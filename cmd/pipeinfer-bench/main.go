@@ -1,0 +1,124 @@
+// Command pipeinfer-bench regenerates the paper's evaluation: every table
+// and figure of §V and §VI, printed as aligned text series in the same
+// order the paper reports them.
+//
+// Usage:
+//
+//	pipeinfer-bench                 # quick pass (reduced reps/tokens)
+//	pipeinfer-bench -full           # paper scale: 10 reps, 512 tokens
+//	pipeinfer-bench -figure 4a      # one figure only
+//	pipeinfer-bench -reps 5 -tokens 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/pipeinfer/pipeinfer/internal/harness"
+)
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "paper-scale parameters (10 reps, 512 tokens)")
+		reps   = flag.Int("reps", 0, "repetitions per condition (overrides)")
+		tokens = flag.Int("tokens", 0, "generated tokens per run (overrides)")
+		prompt = flag.Int("prompt", 0, "prompt length in tokens (overrides)")
+		figure = flag.String("figure", "all", "figure to regenerate: all, tables, 4a..4c, 5a..5c, 6a..6c, 7a, 7b, 7c, 8, 9, 10")
+	)
+	flag.Parse()
+
+	p := harness.Params{Reps: 2, MaxNew: 160, PromptLen: 128, BaseSeed: 42}
+	if *full {
+		p = harness.Paper()
+	}
+	if *reps > 0 {
+		p.Reps = *reps
+	}
+	if *tokens > 0 {
+		p.MaxNew = *tokens
+	}
+	if *prompt > 0 {
+		p.PromptLen = *prompt
+	}
+
+	want := func(id string) bool {
+		return *figure == "all" || strings.EqualFold(*figure, id)
+	}
+
+	if *figure == "all" || *figure == "tables" {
+		fmt.Println(harness.TableI())
+		fmt.Println(harness.TableII())
+		fmt.Println(harness.TableIII())
+		fmt.Println(harness.TableIV())
+	}
+
+	needGrid := false
+	for _, id := range []string{"4a", "4b", "4c", "5a", "5b", "5c", "6a", "6b", "6c", "7a"} {
+		if want(id) {
+			needGrid = true
+		}
+	}
+	var grid *harness.Grid
+	if needGrid {
+		fmt.Fprintf(os.Stderr, "running cluster C grid (%d reps x %d tokens)...\n", p.Reps, p.MaxNew)
+		g, err := harness.RunCPUGrid(p)
+		if err != nil {
+			fatal(err)
+		}
+		grid = g
+	}
+
+	for sub := 0; sub < 3; sub++ {
+		if want(fmt.Sprintf("4%c", 'a'+sub)) {
+			fmt.Println(harness.Fig4(grid, sub).Render())
+		}
+	}
+	for sub := 0; sub < 3; sub++ {
+		if want(fmt.Sprintf("5%c", 'a'+sub)) {
+			fmt.Println(harness.Fig5(grid, sub).Render())
+		}
+	}
+	for sub := 0; sub < 3; sub++ {
+		if want(fmt.Sprintf("6%c", 'a'+sub)) {
+			fmt.Println(harness.Fig6(grid, sub).Render())
+		}
+	}
+	if want("7a") {
+		fmt.Println(harness.Fig7a(grid).Render())
+	}
+	if want("7b") {
+		render(harness.Fig7b(p))
+	}
+	if want("7c") {
+		render(harness.Fig7c(p))
+	}
+	if want("8") {
+		render(harness.Fig8(p))
+	}
+	if want("9") {
+		render(harness.Fig9(p))
+	}
+	if want("10") {
+		render(harness.Fig10(p))
+	}
+	if *figure == "all" || *figure == "sweeps" {
+		render(harness.SweepMicroBatch(p))
+		render(harness.SweepCutoff(p))
+		render(harness.SweepSeqPartitions(p))
+		render(harness.SweepAcceptance(p))
+	}
+}
+
+func render(f harness.Figure, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(f.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipeinfer-bench:", err)
+	os.Exit(1)
+}

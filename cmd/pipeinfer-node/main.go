@@ -1,0 +1,97 @@
+// Command pipeinfer-node runs one rank of a genuinely distributed
+// PipeInfer cluster over TCP. Start one process per rank with identical
+// flags (only -rank differs); every rank derives identical model weights
+// from the shared seed, so no weight files need distributing. Rank 0 is
+// the head: it drives generation and prints the result.
+//
+// Example (three shells, or backgrounded):
+//
+//	pipeinfer-node -rank 0 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 &
+//	pipeinfer-node -rank 1 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 &
+//	pipeinfer-node -rank 2 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/backend/realbk"
+	"github.com/pipeinfer/pipeinfer/internal/comm/tcpcomm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func main() {
+	var (
+		rank         = flag.Int("rank", 0, "this process's rank")
+		peers        = flag.String("peers", "", "comma-separated host:port per rank, in rank order")
+		strategyName = flag.String("strategy", "pipeinfer", "iterative | speculative | pipeinfer")
+		tokens       = flag.Int("tokens", 32, "tokens to generate")
+		promptText   = flag.String("prompt", "Distributed inference over TCP", "prompt text")
+		seed         = flag.Uint64("seed", 7, "shared model weight seed (must match on all ranks)")
+		noise        = flag.Float64("noise", 0.01, "draft perturbation")
+		layers       = flag.Int("layers", 8, "target model layers")
+		timeout      = flag.Duration("timeout", 30*time.Second, "mesh establishment timeout")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if len(addrs) < 2 || *peers == "" {
+		fatal(fmt.Errorf("need -peers with at least two host:port entries"))
+	}
+
+	strategies := map[string]engine.Strategy{
+		"iterative":   engine.StrategyIterative,
+		"speculative": engine.StrategySpeculative,
+		"pipeinfer":   engine.StrategyPipeInfer,
+	}
+	strategy, ok := strategies[*strategyName]
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *strategyName))
+	}
+
+	cfg := model.TinyConfig()
+	cfg.NLayers = *layers
+	tk, err := token.NewTokenizer(cfg.VocabSize)
+	if err != nil {
+		fatal(err)
+	}
+
+	ep, err := tcpcomm.Dial(tcpcomm.Config{Rank: *rank, Addrs: addrs, DialTimeout: *timeout})
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+	fmt.Fprintf(os.Stderr, "rank %d/%d connected\n", *rank, len(addrs))
+
+	out, err := realbk.RunRank(ep, realbk.Options{
+		Nodes:      len(addrs),
+		Strategy:   strategy,
+		CFG:        engine.Config{MaxNew: *tokens},
+		ModelCfg:   cfg,
+		Seed:       *seed,
+		DraftNoise: float32(*noise),
+		Prompt:     tk.Encode(*promptText),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *rank == 0 {
+		fmt.Printf("output: %q\n", tk.Decode(out.Tokens))
+		fmt.Printf("speed: %.1f tok/s  TTFT: %v  ITL: %v  acceptance: %.0f%%  cancelled: %d/%d runs\n",
+			out.Stats.Speed(), out.Stats.TTFT().Round(time.Microsecond),
+			out.Stats.ITL().Round(time.Microsecond), out.Stats.AcceptanceRate()*100,
+			out.Stats.RunsCancelled, out.Stats.RunsLaunched)
+	} else {
+		fmt.Fprintf(os.Stderr, "rank %d done\n", *rank)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipeinfer-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command pipeinfer-trace runs one simulated generation with full
+// timeline recording and prints the Fig 3-style pipeline timeline: run
+// launches, per-stage evaluation spans, cancellations, acceptances — plus
+// per-node utilisation, reproducing the utilisation analysis of §IV-B.
+//
+// Usage:
+//
+//	pipeinfer-trace -nodes 4 -tokens 12
+//	pipeinfer-trace -strategy speculative -acceptance 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pipeinfer "github.com/pipeinfer/pipeinfer"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+func main() {
+	var (
+		strategyName = flag.String("strategy", "pipeinfer", "iterative | speculative | pipeinfer")
+		nodes        = flag.Int("nodes", 4, "cluster nodes")
+		tokens       = flag.Int("tokens", 12, "tokens to generate")
+		acceptance   = flag.Float64("acceptance", 0.79, "draft/target acceptance rate")
+		promptLen    = flag.Int("prompt", 16, "prompt length")
+	)
+	flag.Parse()
+
+	strategies := map[string]pipeinfer.Strategy{
+		"iterative":   pipeinfer.Iterative,
+		"speculative": pipeinfer.Speculative,
+		"pipeinfer":   pipeinfer.PipeInfer,
+	}
+	s, ok := strategies[*strategyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pipeinfer-trace: unknown strategy %q\n", *strategyName)
+		os.Exit(1)
+	}
+
+	tr := pipeinfer.NewTrace()
+	pair := cost.PairDolphinTiny
+	pair.Acceptance = *acceptance
+	out, err := pipeinfer.Simulate(pipeinfer.SimulateOptions{
+		Cluster:   pipeinfer.ClusterC().Take(*nodes),
+		Pair:      pair,
+		Strategy:  s,
+		CFG:       engine.Config{MaxNew: *tokens},
+		PromptLen: *promptLen,
+		Seed:      7,
+		Trace:     tr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeinfer-trace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("strategy=%s nodes=%d tokens=%d acceptance=%.0f%%\n\n",
+		*strategyName, *nodes, *tokens, *acceptance*100)
+	fmt.Println(tr.Render())
+
+	fmt.Printf("generated %d tokens at %.2f tok/s (TTFT %v, ITL %v)\n",
+		out.Stats.Generated, out.Stats.Speed(), out.Stats.TTFT(), out.Stats.ITL())
+	fmt.Printf("runs launched=%d cancelled=%d superfluous=%d\n\n",
+		out.Stats.RunsLaunched, out.Stats.RunsCancelled, out.Stats.Superfluous)
+
+	fmt.Println("per-node utilisation over the generation window:")
+	for node, u := range tr.Utilisation(out.Stats.Done) {
+		fmt.Printf("  %-8s %5.1f%%\n", node, u*100)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: simulate PipeInfer against the two baselines on an 8-node
+// cluster (the paper's reference configuration) and print the headline
+// comparison. Start here.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pipeinfer "github.com/pipeinfer/pipeinfer"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+func main() {
+	cluster := pipeinfer.ClusterC().Take(8) // 8x Xeon Gold, Infiniband EDR
+	pair := pipeinfer.CPUPairs()[0]         // Dolphin-70B + TinyLlama (79% acceptance)
+
+	fmt.Printf("cluster: %d nodes, %s\n", len(cluster.Nodes), cluster.Link.Name)
+	fmt.Printf("models:  %s -> %s (acceptance %.0f%%)\n\n",
+		pair.Draft.Name, pair.Target.Name, pair.Acceptance*100)
+
+	for _, s := range []pipeinfer.Strategy{pipeinfer.Iterative, pipeinfer.Speculative, pipeinfer.PipeInfer} {
+		out, err := pipeinfer.Simulate(pipeinfer.SimulateOptions{
+			Cluster:   cluster,
+			Pair:      pair,
+			Strategy:  s,
+			CFG:       engine.Config{MaxNew: 256},
+			PromptLen: 128,
+			Seed:      42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %6.2f tokens/s   TTFT %8v   ITL %8v   cancelled %d/%d runs\n",
+			s, out.Stats.Speed(), out.Stats.TTFT().Round(1e6), out.Stats.ITL().Round(1e6),
+			out.Stats.RunsCancelled, out.Stats.RunsLaunched)
+	}
+	fmt.Println("\nAll three strategies emit identical tokens (greedy sampling);")
+	fmt.Println("PipeInfer gets there faster by keeping every stage busy.")
+}

@@ -1,0 +1,223 @@
+// Package realbk is the real-compute backend: pipeline workers evaluate
+// genuine transformer layer shards (internal/model) over in-process
+// message passing, and the head runs a real draft model. It executes the
+// same engine code as the simulated backend, providing the ground-truth
+// correctness validation: under greedy sampling every strategy must
+// reproduce the single-node reference output bit for bit (§V-B).
+package realbk
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Worker evaluates one contiguous layer shard of the target model.
+type Worker struct {
+	m     *model.Model
+	lo    int
+	hi    int
+	first bool
+	last  bool
+	cache *kvcache.Cache
+	store *model.KVStore
+}
+
+// NewWorker builds a stage worker over layers [lo, hi).
+func NewWorker(m *model.Model, lo, hi int, first, last bool, cacheCells int) *Worker {
+	return &Worker{
+		m: m, lo: lo, hi: hi, first: first, last: last,
+		cache: kvcache.New(cacheCells),
+		store: model.NewKVStore(m.Cfg, lo, hi, cacheCells),
+	}
+}
+
+// Eval implements engine.Worker with real tensor computation. The
+// per-layer hook doubles as the cancellation probe point.
+func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) ([]byte, int, bool) {
+	n := run.Len()
+	toks := make([]token.Token, n)
+	meta := make([]kvcache.TokenMeta, n)
+	for i, tp := range run.Tokens {
+		toks[i] = tp.Tok
+		meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
+	}
+	cells, err := w.cache.FindSlots(n)
+	if err != nil {
+		panic(fmt.Sprintf("realbk: stage cache exhausted: %v", err))
+	}
+	for i, c := range cells {
+		w.cache.Occupy(c, meta[i].Pos, meta[i].Seqs)
+	}
+	batch := &model.Batch{Tokens: toks, Meta: meta, Cells: cells, Visible: make([][]int, n)}
+	for i := range toks {
+		batch.Visible[i] = w.cache.VisibleCells(nil, meta[i])
+	}
+
+	var x tensor.Mat
+	if w.first {
+		x = w.m.EmbedBatch(toks)
+	} else {
+		x = decodeMat(input, n, w.m.Cfg.Dim)
+	}
+	x, ok := w.m.ForwardLayers(w.lo, w.hi, x, w.store, batch, func(int) bool {
+		return !cancelled()
+	})
+	if !ok {
+		return nil, 0, false
+	}
+	var out tensor.Mat
+	if w.last {
+		out = w.m.Logits(x)
+	} else {
+		out = x
+	}
+	enc := encodeMat(out)
+	return enc, len(enc), true
+}
+
+// ApplyKV applies pipelined cache metadata operations.
+func (w *Worker) ApplyKV(ops []kvcache.Op) { kvcache.ApplyAll(w.cache, ops) }
+
+// Cache exposes the metadata cache for test assertions.
+func (w *Worker) Cache() *kvcache.Cache { return w.cache }
+
+// MemoryBytes reports resident weights plus KV storage.
+func (w *Worker) MemoryBytes() int64 {
+	return w.m.Bytes(w.lo, w.hi, w.first || w.last) + w.store.Bytes()
+}
+
+// Head is the real head backend: a live draft model with incremental KV
+// reuse (longest-common-prefix rollback) plus logits-based result parsing.
+type Head struct {
+	draft     *model.Runner
+	vocab     int
+	evaluated []token.Token
+	last      tensor.Vec
+	haveLast  bool
+}
+
+// NewHead builds the head backend. draft may be nil for the iterative
+// strategy, which never drafts.
+func NewHead(draft *model.Runner, vocab int) *Head {
+	return &Head{draft: draft, vocab: vocab}
+}
+
+// Propose runs the draft model incrementally over ctx and returns the
+// top-width tokens of its output distribution with their probabilities.
+func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) {
+	if h.draft == nil || len(ctx) == 0 {
+		return nil, nil
+	}
+	if err := h.ensure(ctx); err != nil {
+		panic(fmt.Sprintf("realbk: draft evaluation failed: %v", err))
+	}
+	dist := make(tensor.Vec, len(h.last))
+	copy(dist, h.last)
+	tensor.Softmax(dist)
+	idx := tensor.TopK(dist, width)
+	toks := make([]token.Token, len(idx))
+	probs := make([]float32, len(idx))
+	for i, j := range idx {
+		toks[i] = token.Token(j)
+		probs[i] = dist[j]
+	}
+	return toks, probs
+}
+
+// ensure brings the draft KV cache in line with ctx, reusing the longest
+// common prefix and re-evaluating only the suffix.
+func (h *Head) ensure(ctx []token.Token) error {
+	common := 0
+	for common < len(h.evaluated) && common < len(ctx) && h.evaluated[common] == ctx[common] {
+		common++
+	}
+	if common == len(ctx) {
+		if common == len(h.evaluated) && h.haveLast {
+			return nil
+		}
+		// Same tokens but stale logits: re-evaluate the final token.
+		common = len(ctx) - 1
+	}
+	if common < len(h.evaluated) {
+		h.draft.Cache.SeqRm(kvcache.Canonical, int32(common), math.MaxInt32)
+		h.evaluated = h.evaluated[:common]
+	}
+	logits, err := h.draft.EvalSeq(ctx[common:], int32(common), kvcache.Canonical)
+	if err != nil {
+		return err
+	}
+	h.last = logits.Row(logits.Rows - 1)
+	h.evaluated = append(h.evaluated[:common], ctx[common:]...)
+	h.haveLast = true
+	return nil
+}
+
+// Results decodes the final stage's logits.
+func (h *Head) Results(run *engine.RunMsg, _ []token.Token, payload []byte) engine.Results {
+	return &realResults{data: payload, rows: run.Len(), vocab: h.vocab}
+}
+
+// MemoryBytes reports the draft model footprint (zero when absent).
+func (h *Head) MemoryBytes() int64 {
+	if h.draft == nil {
+		return 0
+	}
+	return h.draft.M.Bytes(0, h.draft.M.Cfg.NLayers, true) + h.draft.Store.Bytes()
+}
+
+type realResults struct {
+	data  []byte
+	rows  int
+	vocab int
+}
+
+// Next returns the argmax of logits row i (greedy target choice).
+func (r *realResults) Next(i int) token.Token {
+	if i < 0 || i >= r.rows {
+		panic(fmt.Sprintf("realbk: result row %d of %d", i, r.rows))
+	}
+	row := decodeRow(r.data, i, r.vocab)
+	return token.Token(tensor.ArgMax(row))
+}
+
+// --- float32 wire codec ---
+
+func encodeMat(m tensor.Mat) []byte {
+	buf := make([]byte, 4*len(m.Data))
+	for i, v := range m.Data {
+		bits := math.Float32bits(v)
+		buf[4*i] = byte(bits)
+		buf[4*i+1] = byte(bits >> 8)
+		buf[4*i+2] = byte(bits >> 16)
+		buf[4*i+3] = byte(bits >> 24)
+	}
+	return buf
+}
+
+func decodeMat(buf []byte, rows, cols int) tensor.Mat {
+	if len(buf) != 4*rows*cols {
+		panic(fmt.Sprintf("realbk: activation payload %dB for %dx%d", len(buf), rows, cols))
+	}
+	m := tensor.NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float32frombits(uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
+			uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24)
+	}
+	return m
+}
+
+func decodeRow(buf []byte, row, cols int) tensor.Vec {
+	out := make(tensor.Vec, cols)
+	off := 4 * row * cols
+	for i := range out {
+		out[i] = math.Float32frombits(uint32(buf[off+4*i]) | uint32(buf[off+4*i+1])<<8 |
+			uint32(buf[off+4*i+2])<<16 | uint32(buf[off+4*i+3])<<24)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package realbk
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
+	"github.com/pipeinfer/pipeinfer/internal/core"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Options configures one real-compute generation.
+type Options struct {
+	Nodes    int
+	Strategy engine.Strategy
+	CFG      engine.Config
+	// ModelCfg is the target architecture; zero value means TinyConfig.
+	ModelCfg model.Config
+	// Seed determines target weights (and everything downstream). Every
+	// rank derives identical weights from it, which is how the
+	// distributed TCP deployment replaces weight files.
+	Seed uint64
+	// DraftNoise perturbs the target into the draft model; smaller values
+	// mean better alignment (higher acceptance).
+	DraftNoise float32
+	Prompt     []token.Token
+}
+
+// Outcome is the result of a real generation.
+type Outcome struct {
+	Tokens []token.Token
+	Stats  engine.Stats
+	// PerNodeMem holds resident bytes per rank; in distributed runs each
+	// rank fills only its own slot.
+	PerNodeMem []int64
+}
+
+func (o *Options) defaults() {
+	if o.ModelCfg.Dim == 0 {
+		o.ModelCfg = model.TinyConfig()
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.DraftNoise == 0 {
+		o.DraftNoise = 0.05
+	}
+}
+
+// plan is the rank-independent execution layout every rank derives
+// deterministically from Options.
+type plan struct {
+	cfg        engine.Config
+	topo       engine.Topology
+	lo, hi     []int
+	cacheCells int
+}
+
+func buildPlan(opts *Options) (*plan, error) {
+	opts.defaults()
+	if len(opts.Prompt) == 0 {
+		return nil, fmt.Errorf("realbk: empty prompt")
+	}
+	topo, err := engine.TopologyFor(opts.Strategy, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ModelCfg.NLayers < len(topo.Stages) {
+		return nil, fmt.Errorf("realbk: %d layers cannot split over %d stages",
+			opts.ModelCfg.NLayers, len(topo.Stages))
+	}
+	cfg := opts.CFG.Defaults()
+	splits := cost.UniformSplit(opts.ModelCfg.NLayers, len(topo.Stages))
+	p := &plan{
+		cfg:        cfg,
+		topo:       topo,
+		lo:         make([]int, len(topo.Stages)),
+		hi:         make([]int, len(topo.Stages)),
+		cacheCells: len(opts.Prompt) + cfg.MaxNew + 4*cfg.MaxSeqs*cfg.MicroBatch + 128,
+	}
+	acc := 0
+	for i, s := range splits {
+		p.lo[i], p.hi[i] = acc, acc+s
+		acc += s
+	}
+	return p, nil
+}
+
+func (p *plan) stageIdx(rank int) int {
+	for i, s := range p.topo.Stages {
+		if s == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *plan) newWorker(target *model.Model, si int) *Worker {
+	return NewWorker(target, p.lo[si], p.hi[si], si == 0, si == len(p.topo.Stages)-1, p.cacheCells)
+}
+
+// RunRank executes one pipeline rank over the given endpoint. All ranks
+// must be constructed with identical Options. Rank 0 returns the full
+// outcome (generated tokens, stats); worker ranks return only their local
+// memory accounting. This is the entry point cmd/pipeinfer-node uses to
+// run PipeInfer across separate OS processes connected by tcpcomm.
+func RunRank(ep comm.Endpoint, opts Options) (Outcome, error) {
+	p, err := buildPlan(&opts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if ep.Size() != opts.Nodes {
+		return Outcome{}, fmt.Errorf("realbk: endpoint cluster size %d != %d nodes", ep.Size(), opts.Nodes)
+	}
+	target, err := model.New(opts.ModelCfg, opts.Seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{PerNodeMem: make([]int64, opts.Nodes)}
+	rank := ep.Rank()
+
+	if rank != p.topo.Head {
+		si := p.stageIdx(rank)
+		if si < 0 {
+			return Outcome{}, fmt.Errorf("realbk: rank %d has no role", rank)
+		}
+		w := p.newWorker(target, si)
+		if err := engine.WorkerLoop(ep, p.topo, w); err != nil {
+			return Outcome{}, fmt.Errorf("realbk: stage %d: %w", si, err)
+		}
+		if err := w.Cache().CheckInvariants(); err != nil {
+			return Outcome{}, fmt.Errorf("realbk: stage %d KV corruption: %w", si, err)
+		}
+		out.PerNodeMem[rank] = w.MemoryBytes()
+		return out, nil
+	}
+
+	// Head rank.
+	var draft *model.Runner
+	if opts.Strategy != engine.StrategyIterative {
+		d := model.NewDraft(target, opts.DraftNoise, opts.Seed^0xd4af)
+		draft = model.NewRunner(d, p.cacheCells)
+	}
+	bk := NewHead(draft, opts.ModelCfg.VocabSize)
+	var local engine.Worker
+	var localWorker *Worker
+	if p.topo.HeadIsStage() {
+		localWorker = p.newWorker(target, 0)
+		local = localWorker
+	}
+	h, err := engine.NewHead(ep, p.topo, p.cfg, bk, local)
+	if err != nil {
+		return Outcome{}, err
+	}
+	var toks []token.Token
+	switch opts.Strategy {
+	case engine.StrategyIterative:
+		toks, err = engine.RunIterative(h, opts.Prompt)
+	case engine.StrategySpeculative:
+		toks, err = engine.RunSpeculative(h, opts.Prompt)
+	case engine.StrategyPipeInfer:
+		toks, err = core.Run(h, opts.Prompt)
+	default:
+		err = fmt.Errorf("realbk: unknown strategy %v", opts.Strategy)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	if localWorker != nil {
+		if err := localWorker.Cache().CheckInvariants(); err != nil {
+			return Outcome{}, fmt.Errorf("realbk: head stage KV corruption: %w", err)
+		}
+		out.PerNodeMem[rank] += localWorker.MemoryBytes()
+	}
+	out.PerNodeMem[rank] += bk.MemoryBytes()
+	out.Tokens = toks
+	out.Stats = h.Stats
+	return out, nil
+}
+
+// Run builds the models, spawns one goroutine per pipeline rank connected
+// by chancomm, and executes the selected strategy end to end, merging
+// per-rank memory accounting into one outcome.
+func Run(opts Options) (Outcome, error) {
+	opts.defaults()
+	cluster := chancomm.New(opts.Nodes)
+
+	outcomes := make([]Outcome, opts.Nodes)
+	errs := make([]error, opts.Nodes)
+	var wg sync.WaitGroup
+	for rank := 1; rank < opts.Nodes; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[rank], errs[rank] = RunRank(cluster.Endpoint(rank), opts)
+		}()
+	}
+	outcomes[0], errs[0] = RunRank(cluster.Endpoint(0), opts)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	out := outcomes[0]
+	for rank := 1; rank < opts.Nodes; rank++ {
+		for i, m := range outcomes[rank].PerNodeMem {
+			out.PerNodeMem[i] += m
+		}
+	}
+	return out, nil
+}
+
+// ReferenceGreedy produces the single-runner greedy output every strategy
+// must match exactly.
+func ReferenceGreedy(opts Options, maxNew int) ([]token.Token, error) {
+	opts.defaults()
+	target, err := model.New(opts.ModelCfg, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := model.NewRunner(target, len(opts.Prompt)+maxNew+16)
+	return r.Greedy(opts.Prompt, maxNew)
+}

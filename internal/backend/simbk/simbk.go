@@ -1,0 +1,157 @@
+// Package simbk is the simulated-cluster backend: pipeline workers charge
+// the cost model against the virtual clock instead of computing tensors,
+// and the head interprets results through the deterministic oracle model
+// pair. Because the engines only interact with the backend through the
+// engine.Worker / engine.HeadBackend interfaces, the scheduling behaviour
+// being measured here is byte-for-byte the same code that the real-compute
+// backend validates for correctness.
+package simbk
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/oracle"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// Worker simulates one pipeline stage holding a contiguous layer shard.
+// It maintains full KV cache *metadata* (slot allocation, sequence sets)
+// so the multibuffering protocol is exercised and validated at paper
+// scale; only the tensor arithmetic is replaced by virtual time.
+type Worker struct {
+	ep     comm.Endpoint
+	node   cost.NodeSpec
+	ms     cost.ModelSpec
+	layers int
+	isLast bool
+	cache  *kvcache.Cache
+	name   string
+	tr     *trace.Recorder
+}
+
+// NewWorker builds a simulated stage.
+func NewWorker(ep comm.Endpoint, node cost.NodeSpec, ms cost.ModelSpec, layers int, isLast bool, cacheCells int) *Worker {
+	return &Worker{
+		ep: ep, node: node, ms: ms, layers: layers, isLast: isLast,
+		cache: kvcache.New(cacheCells),
+		name:  fmt.Sprintf("rank%d", ep.Rank()),
+	}
+}
+
+// SetTrace attaches a timeline recorder to the stage.
+func (w *Worker) SetTrace(tr *trace.Recorder) { w.tr = tr }
+
+// Eval charges the stage time for the batch, layer chunk by layer chunk,
+// probing for cancellation between chunks (§IV-D.2's synchronization
+// points). KV metadata is updated exactly as the real backend would.
+func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]byte, int, bool) {
+	cells, err := w.cache.FindSlots(run.Len())
+	if err != nil {
+		panic(fmt.Sprintf("simbk: stage cache exhausted: %v", err))
+	}
+	for i, c := range cells {
+		w.cache.Occupy(c, run.Tokens[i].Pos, run.Tokens[i].Seqs)
+	}
+	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalBeg, run.ID,
+		fmt.Sprintf("%s batch=%d", run.Kind, run.Len()))
+	total := cost.StageTime(w.node, w.ms, w.layers, run.Len())
+	chunk := total / time.Duration(w.layers)
+	for l := 0; l < w.layers; l++ {
+		w.ep.Elapse(chunk)
+		if cancelled() {
+			w.tr.Record(w.ep.Now(), w.name, trace.KindEvalEnd, run.ID,
+				fmt.Sprintf("cancelled at layer %d/%d", l+1, w.layers))
+			return nil, 0, false
+		}
+	}
+	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalEnd, run.ID, "done")
+	if w.isLast {
+		// Result payload: logits for every batch token travel to the head.
+		return nil, run.Len() * w.ms.VocabSize * 4, true
+	}
+	return nil, w.ms.ActivationBytes(run.Len()), true
+}
+
+// ApplyKV applies pipelined cache operations to the stage metadata.
+func (w *Worker) ApplyKV(ops []kvcache.Op) { kvcache.ApplyAll(w.cache, ops) }
+
+// Cache exposes the metadata cache for invariant checks in tests.
+func (w *Worker) Cache() *kvcache.Cache { return w.cache }
+
+// MemoryBytes reports the simulated resident footprint: the weight shard
+// plus an f16 KV cache for the shard's layers.
+func (w *Worker) MemoryBytes() int64 {
+	shard := w.ms.LayerBytes() * float64(w.layers)
+	kv := float64(w.cache.Size()) * float64(w.layers) * float64(w.ms.Dim) * 2 * 2
+	return int64(shard + kv)
+}
+
+// Head is the simulated head backend: drafting charges draft-model step
+// time and defers token choice to the oracle; results are interpreted by
+// replaying the oracle's target stream over the run's context.
+type Head struct {
+	ep    comm.Endpoint
+	node  cost.NodeSpec
+	draft cost.ModelSpec
+	O     *oracle.Oracle
+}
+
+// NewHead builds the simulated head backend.
+func NewHead(ep comm.Endpoint, node cost.NodeSpec, draft cost.ModelSpec, o *oracle.Oracle) *Head {
+	return &Head{ep: ep, node: node, draft: draft, O: o}
+}
+
+// Propose charges one draft forward pass and returns the oracle proposal.
+func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) {
+	h.ep.Elapse(cost.DraftStepTime(h.node, h.draft))
+	return h.O.Propose(ctx, width)
+}
+
+// Results interprets a run's (virtual) logits. ctx holds the tokens at
+// positions [0, BasePos); the per-index context is reconstructed from the
+// run's token placements, which works for chains and trees alike.
+func (h *Head) Results(run *engine.RunMsg, ctx []token.Token, _ []byte) engine.Results {
+	h.ep.Elapse(cost.SampleTime)
+	return &simResults{o: h.O, run: run, prefix: ctx}
+}
+
+// MemoryBytes reports the draft model footprint.
+func (h *Head) MemoryBytes() int64 { return int64(h.draft.Bytes()) }
+
+type simResults struct {
+	o      *oracle.Oracle
+	run    *engine.RunMsg
+	prefix []token.Token
+}
+
+// Next reconstructs the root-to-i path through the batch (parent = the
+// unique earlier token one position up sharing a sequence) and asks the
+// oracle for the target's next token.
+func (r *simResults) Next(i int) token.Token {
+	toks := r.run.Tokens
+	var rev []token.Token
+	cur := i
+	for cur >= 0 {
+		rev = append(rev, toks[cur].Tok)
+		parent := -1
+		for j := range toks {
+			if toks[j].Pos == toks[cur].Pos-1 && toks[j].Seqs.Intersects(toks[cur].Seqs) {
+				parent = j
+				break
+			}
+		}
+		cur = parent
+	}
+	ctx := make([]token.Token, 0, len(r.prefix)+len(rev))
+	ctx = append(ctx, r.prefix...)
+	for j := len(rev) - 1; j >= 0; j-- {
+		ctx = append(ctx, rev[j])
+	}
+	return r.o.TargetNext(ctx)
+}

@@ -1,0 +1,179 @@
+package simbk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+// TestStressSweep hammers the full engine/protocol stack across a grid of
+// acceptance rates, cluster shapes, micro-batch sizes, and seeds. Every
+// run is triple-checked: the runner's built-in KV invariants, exact output
+// equality against the oracle stream, and non-degenerate statistics. This
+// is the reproduction's main defence against scheduling races and cache
+// protocol bugs.
+func TestStressSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep skipped in -short mode")
+	}
+	alphas := []float64{0.05, 0.35, 0.52, 0.79, 0.97}
+	nodeCounts := []int{2, 3, 5, 9}
+	microBatches := []int{1, 2, 4}
+
+	for _, alpha := range alphas {
+		for _, nodes := range nodeCounts {
+			for _, mb := range microBatches {
+				for seed := uint64(1); seed <= 2; seed++ {
+					name := fmt.Sprintf("a%.2f/n%d/mb%d/s%d", alpha, nodes, mb, seed)
+					pair := cost.PairDolphinTiny
+					pair.Acceptance = alpha
+					opts := Options{
+						Cluster:   cost.ClusterC().Take(nodes),
+						Pair:      pair,
+						Strategy:  engine.StrategyPipeInfer,
+						CFG:       engine.Config{MaxNew: 40, MicroBatch: mb},
+						PromptLen: 24,
+						Seed:      seed * 1313,
+					}
+					out, err := Run(opts)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					ref := Reference(opts, 40)
+					for i := range ref {
+						if out.Tokens[i] != ref[i] {
+							t.Fatalf("%s: output diverged at token %d", name, i)
+						}
+					}
+					if out.Stats.Generated < 40 {
+						t.Fatalf("%s: only %d tokens generated", name, out.Stats.Generated)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStressAblationsSweep repeats a reduced sweep with each ablation
+// enabled: correctness must be preserved without cancellation and without
+// continuous speculation.
+func TestStressAblationsSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep skipped in -short mode")
+	}
+	for _, alpha := range []float64{0.3, 0.7} {
+		for _, cfg := range []engine.Config{
+			{MaxNew: 40, DisableCancel: true},
+			{MaxNew: 40, DisableContinuous: true},
+			{MaxNew: 40, DisableCancel: true, DisableContinuous: true},
+		} {
+			pair := cost.PairGoliathXWin7
+			pair.Acceptance = alpha
+			opts := Options{
+				Cluster:   cost.ClusterC().Take(4),
+				Pair:      pair,
+				Strategy:  engine.StrategyPipeInfer,
+				CFG:       cfg,
+				PromptLen: 24,
+				Seed:      99,
+			}
+			out, err := Run(opts)
+			if err != nil {
+				t.Fatalf("alpha=%.1f cfg=%+v: %v", alpha, cfg, err)
+			}
+			ref := Reference(opts, 40)
+			for i := range ref {
+				if out.Tokens[i] != ref[i] {
+					t.Fatalf("alpha=%.1f cfg=%+v: diverged at %d", alpha, cfg, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStressAllStrategiesAllClusters covers the baselines across every
+// preset cluster at small scale.
+func TestStressAllStrategiesAllClusters(t *testing.T) {
+	clusters := []cost.ClusterSpec{
+		cost.ClusterA(),
+		cost.ClusterB().Take(10),
+		cost.ClusterC().Take(6),
+		cost.GPUCluster(),
+	}
+	for _, cl := range clusters {
+		for _, s := range []engine.Strategy{engine.StrategyIterative, engine.StrategySpeculative, engine.StrategyPipeInfer} {
+			opts := Options{
+				Cluster:   cl,
+				Pair:      cost.PairFalcon7,
+				Strategy:  s,
+				CFG:       engine.Config{MaxNew: 24},
+				PromptLen: 16,
+				Seed:      5,
+			}
+			out, err := Run(opts)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", cl.Name, s, err)
+			}
+			ref := Reference(opts, 24)
+			for i := range ref {
+				if out.Tokens[i] != ref[i] {
+					t.Fatalf("%s/%v: diverged at %d", cl.Name, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSeqPressure shrinks the sequence allocator to its minimum and
+// verifies the engine degrades gracefully (backpressure, not deadlock).
+func TestSeqPressure(t *testing.T) {
+	opts := Options{
+		Cluster:   cost.ClusterC().Take(4),
+		Pair:      cost.PairDolphinTiny,
+		Strategy:  engine.StrategyPipeInfer,
+		CFG:       engine.Config{MaxNew: 32, MaxSeqs: 1},
+		PromptLen: 16,
+		Seed:      8,
+	}
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := Reference(opts, 32)
+	for i := range ref {
+		if out.Tokens[i] != ref[i] {
+			t.Fatalf("MaxSeqs=1 diverged at %d", i)
+		}
+	}
+}
+
+// TestLongGeneration runs a paper-length generation once to exercise cache
+// occupancy at full scale.
+func TestLongGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long generation skipped in -short mode")
+	}
+	opts := Options{
+		Cluster:   cost.ClusterC().Take(8),
+		Pair:      cost.PairDolphinTiny,
+		Strategy:  engine.StrategyPipeInfer,
+		CFG:       engine.Config{MaxNew: 512},
+		PromptLen: 128,
+		Seed:      2024,
+	}
+	out, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Generated < 512 {
+		t.Fatalf("generated %d", out.Stats.Generated)
+	}
+	ref := Reference(opts, 512)
+	for i := range ref {
+		if out.Tokens[i] != ref[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

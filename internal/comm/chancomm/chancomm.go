@@ -1,0 +1,106 @@
+// Package chancomm implements comm.Endpoint over in-process shared memory
+// for the real-compute backend: every pipeline node is a goroutine, sends
+// append to the receiver's mailbox, and receivers block on a condition
+// variable. Per (src, tag) FIFO order — the MPI non-overtaking guarantee —
+// holds because each sender appends under the receiver's lock in program
+// order.
+package chancomm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+)
+
+// Cluster is a set of connected in-process endpoints.
+type Cluster struct {
+	eps   []*endpoint
+	epoch time.Time
+}
+
+// New creates a cluster of n endpoints.
+func New(n int) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("chancomm: cluster size %d", n))
+	}
+	c := &Cluster{epoch: time.Now()}
+	for i := 0; i < n; i++ {
+		ep := &endpoint{cluster: c, rank: i}
+		ep.cond = sync.NewCond(&ep.mu)
+		ep.box = newBox()
+		c.eps = append(c.eps, ep)
+	}
+	return c
+}
+
+// Endpoint returns the endpoint for the given rank.
+func (c *Cluster) Endpoint(rank int) comm.Endpoint { return c.eps[rank] }
+
+// Size returns the number of endpoints.
+func (c *Cluster) Size() int { return len(c.eps) }
+
+// box wraps the shared mailbox structure with chancomm-owned locking.
+type box struct {
+	queues map[boxKey][][]byte
+}
+
+type boxKey struct {
+	src int
+	tag comm.Tag
+}
+
+func newBox() *box { return &box{queues: make(map[boxKey][][]byte)} }
+
+type endpoint struct {
+	cluster *Cluster
+	rank    int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  *box
+}
+
+func (e *endpoint) Rank() int { return e.rank }
+func (e *endpoint) Size() int { return len(e.cluster.eps) }
+
+func (e *endpoint) Send(dst int, tag comm.Tag, payload []byte, wireBytes int) {
+	if dst == e.rank {
+		panic("chancomm: send to self")
+	}
+	target := e.cluster.eps[dst]
+	// Copy the payload: the sender may reuse its buffer immediately, which
+	// is exactly what MPI buffered sends permit.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	target.mu.Lock()
+	k := boxKey{e.rank, tag}
+	target.box.queues[k] = append(target.box.queues[k], cp)
+	target.mu.Unlock()
+	target.cond.Broadcast()
+}
+
+func (e *endpoint) Recv(src int, tag comm.Tag) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := boxKey{src, tag}
+	for len(e.box.queues[k]) == 0 {
+		e.cond.Wait()
+	}
+	q := e.box.queues[k]
+	head := q[0]
+	e.box.queues[k] = q[1:]
+	return head
+}
+
+func (e *endpoint) Iprobe(src int, tag comm.Tag) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.box.queues[boxKey{src, tag}]) > 0
+}
+
+func (e *endpoint) Now() time.Duration { return time.Since(e.cluster.epoch) }
+
+// Elapse is a no-op: real computation already consumed wall time.
+func (e *endpoint) Elapse(time.Duration) {}

@@ -1,0 +1,50 @@
+package chancomm
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+)
+
+func TestSelfSendPanics(t *testing.T) {
+	c := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-send")
+		}
+	}()
+	c.Endpoint(0).Send(0, comm.TagRun, nil, 0)
+}
+
+func TestSizeAndRank(t *testing.T) {
+	c := New(3)
+	if c.Size() != 3 {
+		t.Fatal("cluster size")
+	}
+	for i := 0; i < 3; i++ {
+		ep := c.Endpoint(i)
+		if ep.Rank() != i || ep.Size() != 3 {
+			t.Fatalf("endpoint %d identity wrong", i)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty cluster")
+		}
+	}()
+	New(0)
+}
+
+func TestNowMonotonic(t *testing.T) {
+	c := New(1)
+	ep := c.Endpoint(0)
+	a := ep.Now()
+	b := ep.Now()
+	if b < a {
+		t.Fatal("clock went backwards")
+	}
+	ep.Elapse(1 << 30) // no-op, must not affect the clock meaningfully
+}

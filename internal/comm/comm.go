@@ -1,0 +1,87 @@
+// Package comm defines the message-passing interface the inference engines
+// are written against, mirroring the MPI point-to-point semantics the
+// paper's implementation uses (§IV-A.2):
+//
+//   - tagged point-to-point messages;
+//   - buffered sends: a sender continues before the receiver is ready;
+//   - non-overtaking delivery: two messages with the same sender, receiver
+//     and tag are received in send order (MPI §3.5), the property
+//     PipeInfer's transaction ordering is built on;
+//   - Iprobe: non-blocking test for a waiting message, which continuous
+//     speculation uses to detect head-node idleness (§IV-B).
+//
+// Two implementations exist: chancomm (real goroutines, wall clock) and
+// simcomm (discrete-event simulation, virtual clock). Engine code cannot
+// tell them apart, which is what lets a single engine implementation be
+// validated on real tensor math and then measured at paper scale in the
+// simulator.
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tag labels a message stream. Per (src, dst, tag) the stream is FIFO.
+type Tag uint8
+
+const (
+	// TagStart carries transaction-start announcements (§IV-A.2).
+	TagStart Tag = iota
+	// TagRun carries run headers (batch metadata, KV ops).
+	TagRun
+	// TagActivation carries inter-stage activation tensors.
+	TagActivation
+	// TagResult carries final-stage results (logits) to the head.
+	TagResult
+	// TagCancel carries early-inference-cancellation signals (§IV-D).
+	TagCancel
+	// TagControl carries shutdown and miscellaneous control traffic.
+	TagControl
+
+	// NumTags is the number of distinct tags.
+	NumTags
+)
+
+// String names the tag for traces.
+func (t Tag) String() string {
+	switch t {
+	case TagStart:
+		return "start"
+	case TagRun:
+		return "run"
+	case TagActivation:
+		return "activation"
+	case TagResult:
+		return "result"
+	case TagCancel:
+		return "cancel"
+	case TagControl:
+		return "control"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// Endpoint is one node's view of the cluster.
+type Endpoint interface {
+	// Rank is this node's index in [0, Size).
+	Rank() int
+	// Size is the number of nodes.
+	Size() int
+	// Send enqueues a message to dst. It never blocks (buffered send).
+	// wireBytes is the size charged to the interconnect model; if <= 0,
+	// len(payload) is charged. Real implementations ignore it.
+	Send(dst int, tag Tag, payload []byte, wireBytes int)
+	// Recv blocks until a message from src with the given tag arrives and
+	// returns its payload. Messages per (src, tag) arrive in send order.
+	Recv(src int, tag Tag) []byte
+	// Iprobe reports whether Recv(src, tag) would return immediately.
+	Iprobe(src int, tag Tag) bool
+	// Now returns the node-local clock (wall time or virtual time).
+	Now() time.Duration
+	// Elapse accounts for d of local computation: simulated endpoints
+	// advance their virtual clock, real endpoints do nothing because the
+	// computation itself consumed wall time.
+	Elapse(d time.Duration)
+}

@@ -1,0 +1,112 @@
+// Package simcomm implements comm.Endpoint on top of the simnet
+// discrete-event kernel: sends reserve the sender's egress link
+// (serialization + latency) and schedule a delivery event; receives park
+// the simulated process until the matching message arrives. The virtual
+// clock stands in for wall time, so the same engine code that runs real
+// tensor math under chancomm produces paper-scale timing figures here.
+package simcomm
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/simnet"
+)
+
+// Cluster wires n simulated endpoints through per-node egress links.
+type Cluster struct {
+	k     *simnet.Kernel
+	links []*simnet.Link
+	eps   []*endpoint
+}
+
+// New creates a simulated cluster. linkFor returns the egress link model
+// for each rank (heterogeneous interconnects are expressed by returning
+// different links per node).
+func New(k *simnet.Kernel, n int, linkFor func(rank int) *simnet.Link) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("simcomm: cluster size %d", n))
+	}
+	c := &Cluster{k: k}
+	for i := 0; i < n; i++ {
+		c.links = append(c.links, linkFor(i))
+		c.eps = append(c.eps, &endpoint{
+			cluster: c,
+			rank:    i,
+			queues:  make(map[streamKey][][]byte),
+		})
+	}
+	return c
+}
+
+// Bind attaches rank's endpoint to its simulated process. It must be
+// called once, from inside the process function, before any communication.
+func (c *Cluster) Bind(rank int, p *simnet.Proc) comm.Endpoint {
+	ep := c.eps[rank]
+	if ep.proc != nil {
+		panic(fmt.Sprintf("simcomm: rank %d bound twice", rank))
+	}
+	ep.proc = p
+	return ep
+}
+
+type streamKey struct {
+	src int
+	tag comm.Tag
+}
+
+type endpoint struct {
+	cluster *Cluster
+	rank    int
+	proc    *simnet.Proc
+	queues  map[streamKey][][]byte
+	// waiting is non-nil while the process is parked in Recv on that
+	// stream; delivery events use it to wake the process exactly once.
+	waiting *streamKey
+}
+
+func (e *endpoint) Rank() int { return e.rank }
+func (e *endpoint) Size() int { return len(e.cluster.eps) }
+
+func (e *endpoint) Send(dst int, tag comm.Tag, payload []byte, wireBytes int) {
+	if dst == e.rank {
+		panic("simcomm: send to self")
+	}
+	if wireBytes <= 0 {
+		wireBytes = len(payload)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	target := e.cluster.eps[dst]
+	arrival := e.cluster.links[e.rank].Transmit(e.proc.Now(), wireBytes)
+	e.cluster.k.Schedule(arrival, func() {
+		k := streamKey{e.rank, tag}
+		target.queues[k] = append(target.queues[k], cp)
+		if target.waiting != nil && *target.waiting == k {
+			target.waiting = nil
+			target.proc.Ready()
+		}
+	})
+}
+
+func (e *endpoint) Recv(src int, tag comm.Tag) []byte {
+	k := streamKey{src, tag}
+	for len(e.queues[k]) == 0 {
+		e.waiting = &k
+		e.proc.Block()
+	}
+	q := e.queues[k]
+	head := q[0]
+	e.queues[k] = q[1:]
+	return head
+}
+
+func (e *endpoint) Iprobe(src int, tag comm.Tag) bool {
+	return len(e.queues[streamKey{src, tag}]) > 0
+}
+
+func (e *endpoint) Now() time.Duration { return e.proc.Now() }
+
+// Elapse charges d of computation to the virtual clock.
+func (e *endpoint) Elapse(d time.Duration) { e.proc.Advance(d) }

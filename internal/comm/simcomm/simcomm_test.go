@@ -1,0 +1,92 @@
+package simcomm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/simnet"
+)
+
+func TestDoubleBindPanics(t *testing.T) {
+	k := simnet.NewKernel()
+	cl := New(k, 2, func(int) *simnet.Link { return simnet.NewLink(1e9, 0) })
+	panicked := false
+	k.Spawn("p", func(p *simnet.Proc) {
+		cl.Bind(0, p)
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		cl.Bind(0, p)
+	})
+	k.Spawn("q", func(p *simnet.Proc) { cl.Bind(1, p) })
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("expected double-bind panic")
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	k := simnet.NewKernel()
+	cl := New(k, 2, func(int) *simnet.Link { return simnet.NewLink(1e9, 0) })
+	panicked := false
+	k.Spawn("p", func(p *simnet.Proc) {
+		ep := cl.Bind(0, p)
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		ep.Send(0, comm.TagRun, nil, 1)
+	})
+	k.Spawn("q", func(p *simnet.Proc) { cl.Bind(1, p) })
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("expected self-send panic")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty cluster")
+		}
+	}()
+	New(simnet.NewKernel(), 0, nil)
+}
+
+func TestHeterogeneousLinks(t *testing.T) {
+	// Node 0 has a fast egress, node 1 a slow one: the same payload takes
+	// visibly longer in one direction.
+	k := simnet.NewKernel()
+	cl := New(k, 2, func(rank int) *simnet.Link {
+		if rank == 0 {
+			return simnet.NewLink(1e9, time.Millisecond)
+		}
+		return simnet.NewLink(1e3, time.Millisecond) // 1 KB/s
+	})
+	var fastArrival, slowArrival time.Duration
+	k.Spawn("n0", func(p *simnet.Proc) {
+		ep := cl.Bind(0, p)
+		ep.Send(1, comm.TagRun, []byte("x"), 1000)
+		ep.Recv(1, comm.TagRun)
+		slowArrival = ep.Now()
+	})
+	k.Spawn("n1", func(p *simnet.Proc) {
+		ep := cl.Bind(1, p)
+		ep.Recv(0, comm.TagRun)
+		fastArrival = ep.Now()
+		ep.Send(0, comm.TagRun, []byte("y"), 1000)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fastArrival > 2*time.Millisecond {
+		t.Fatalf("fast direction took %v", fastArrival)
+	}
+	if slowArrival-fastArrival < 500*time.Millisecond {
+		t.Fatalf("slow direction (%v) should take ~1s longer than fast (%v)", slowArrival, fastArrival)
+	}
+}

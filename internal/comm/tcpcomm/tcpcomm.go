@@ -1,0 +1,342 @@
+// Package tcpcomm implements comm.Endpoint over TCP, turning the
+// in-process pipeline into a genuinely distributed one: each rank is a
+// separate process (or goroutine) owning one listener, connected in a full
+// mesh. Framing preserves the MPI-like guarantees the engines need —
+// per-(src, tag) FIFO order follows from TCP's in-order bytestream plus a
+// dedicated writer goroutine per peer, and sends are buffered (the sender
+// queues the frame and continues, like MPI_Bsend).
+//
+// This is the deployment path cmd/pipeinfer-node uses to run PipeInfer
+// across real processes; identical deterministic model seeds on every rank
+// replace weight distribution.
+package tcpcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+)
+
+// frame layout: u32 payloadLen | u8 tag | u32 srcRank | payload.
+const frameHeader = 4 + 1 + 4
+
+// handshake: u32 rank, sent once by the dialing side.
+
+// Config describes one rank's view of the cluster.
+type Config struct {
+	// Rank is this process's rank.
+	Rank int
+	// Addrs maps rank to listen address (host:port). len(Addrs) is the
+	// cluster size.
+	Addrs []string
+	// DialTimeout bounds the whole mesh-establishment phase.
+	DialTimeout time.Duration
+	// SendQueue is the per-peer outbound queue depth (buffered-send
+	// window); 0 means 1024 frames.
+	SendQueue int
+}
+
+// Endpoint is a TCP-backed comm.Endpoint.
+type Endpoint struct {
+	rank  int
+	size  int
+	epoch time.Time
+
+	listener net.Listener
+	conns    []net.Conn
+	sendq    []chan []byte
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     map[streamKey][][]byte
+	peerClosed []bool // peer's connection gone (EOF or write failure)
+	err        error  // protocol-level failure (malformed frame)
+
+	closed  chan struct{}
+	writers sync.WaitGroup
+}
+
+type streamKey struct {
+	src int
+	tag comm.Tag
+}
+
+// Dial establishes the mesh: rank i accepts connections from ranks < i and
+// dials ranks > i, so every pair connects exactly once.
+func Dial(cfg Config) (*Endpoint, error) {
+	n := len(cfg.Addrs)
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("tcpcomm: rank %d outside cluster of %d", cfg.Rank, n)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 1024
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, fmt.Errorf("tcpcomm: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+	}
+	e := &Endpoint{
+		rank: cfg.Rank, size: n, epoch: time.Now(),
+		listener:   ln,
+		conns:      make([]net.Conn, n),
+		sendq:      make([]chan []byte, n),
+		queues:     make(map[streamKey][][]byte),
+		peerClosed: make([]bool, n),
+		closed:     make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+
+	deadline := time.Now().Add(cfg.DialTimeout)
+
+	// Accept from lower ranks.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.Rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				acceptErr <- err
+				return
+			}
+			src := int(binary.LittleEndian.Uint32(hello[:]))
+			if src < 0 || src >= n || src >= cfg.Rank {
+				acceptErr <- fmt.Errorf("tcpcomm: bad hello rank %d", src)
+				return
+			}
+			e.conns[src] = conn
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial higher ranks (with retry: peers may not be listening yet).
+	for peer := cfg.Rank + 1; peer < n; peer++ {
+		var conn net.Conn
+		for {
+			conn, err = net.DialTimeout("tcp", cfg.Addrs[peer], time.Second)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				e.Close()
+				return nil, fmt.Errorf("tcpcomm: dial rank %d (%s): %w", peer, cfg.Addrs[peer], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(cfg.Rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("tcpcomm: hello to rank %d: %w", peer, err)
+		}
+		e.conns[peer] = conn
+	}
+	if cfg.Rank > 0 {
+		if err := <-acceptErr; err != nil {
+			e.Close()
+			return nil, fmt.Errorf("tcpcomm: accept: %w", err)
+		}
+	}
+
+	// Per-peer reader and writer goroutines.
+	for peer, conn := range e.conns {
+		if conn == nil {
+			continue
+		}
+		q := make(chan []byte, cfg.SendQueue)
+		e.sendq[peer] = q
+		e.writers.Add(1)
+		go e.writeLoop(peer, conn, q)
+		go e.readLoop(peer, conn)
+	}
+	return e, nil
+}
+
+func (e *Endpoint) writeLoop(peer int, conn net.Conn, q chan []byte) {
+	defer e.writers.Done()
+	for {
+		select {
+		case frame := <-q:
+			if _, err := conn.Write(frame); err != nil {
+				// The peer left (e.g. the head finished and closed):
+				// further traffic to it is dropped, like sending to a
+				// process that already exited its MPI epilogue.
+				e.markPeerClosed(peer)
+				return
+			}
+		case <-e.closed:
+			// Drain anything already queued so shutdown transactions land.
+			for {
+				select {
+				case frame := <-q:
+					if _, err := conn.Write(frame); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Endpoint) readLoop(peer int, conn net.Conn) {
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			// EOF or reset: only this peer is gone. Messages already
+			// queued from it remain receivable; blocking receives on it
+			// will now error instead of hanging.
+			e.markPeerClosed(peer)
+			return
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		tag := comm.Tag(hdr[4])
+		src := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if src != peer || int(tag) >= int(comm.NumTags) {
+			e.fail(fmt.Errorf("tcpcomm: malformed frame from rank %d (src=%d tag=%d)", peer, src, tag))
+			return
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			e.markPeerClosed(peer)
+			return
+		}
+		e.mu.Lock()
+		k := streamKey{src, tag}
+		e.queues[k] = append(e.queues[k], payload)
+		e.mu.Unlock()
+		e.cond.Broadcast()
+	}
+}
+
+func (e *Endpoint) markPeerClosed(peer int) {
+	e.mu.Lock()
+	e.peerClosed[peer] = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+func (e *Endpoint) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Err returns the first transport error observed, if any.
+func (e *Endpoint) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Rank implements comm.Endpoint.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size implements comm.Endpoint.
+func (e *Endpoint) Size() int { return e.size }
+
+// Send implements comm.Endpoint: frames the payload and hands it to the
+// peer's writer goroutine without blocking on the network.
+func (e *Endpoint) Send(dst int, tag comm.Tag, payload []byte, _ int) {
+	if dst == e.rank {
+		panic("tcpcomm: send to self")
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	frame[4] = byte(tag)
+	binary.LittleEndian.PutUint32(frame[5:9], uint32(e.rank))
+	copy(frame[frameHeader:], payload)
+	select {
+	case e.sendq[dst] <- frame:
+	case <-e.closed:
+	}
+}
+
+// Recv implements comm.Endpoint. Waiting on a peer whose connection has
+// closed (with no queued messages left) is unrecoverable for the engine
+// protocol and panics with a descriptive error.
+func (e *Endpoint) Recv(src int, tag comm.Tag) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := streamKey{src, tag}
+	for len(e.queues[k]) == 0 {
+		if e.err != nil {
+			panic(e.err)
+		}
+		if e.peerClosed[src] {
+			panic(fmt.Sprintf("tcpcomm: rank %d closed while rank %d awaited tag %v", src, e.rank, tag))
+		}
+		e.cond.Wait()
+	}
+	q := e.queues[k]
+	head := q[0]
+	e.queues[k] = q[1:]
+	return head
+}
+
+// Iprobe implements comm.Endpoint.
+func (e *Endpoint) Iprobe(src int, tag comm.Tag) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queues[streamKey{src, tag}]) > 0
+}
+
+// Now implements comm.Endpoint.
+func (e *Endpoint) Now() time.Duration { return time.Since(e.epoch) }
+
+// Elapse implements comm.Endpoint (no-op: real time passes by itself).
+func (e *Endpoint) Elapse(time.Duration) {}
+
+// Close tears the mesh down, flushing queued outbound frames first.
+func (e *Endpoint) Close() error {
+	select {
+	case <-e.closed:
+		return nil
+	default:
+		close(e.closed)
+	}
+	e.writers.Wait()
+	for _, c := range e.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if e.listener != nil {
+		e.listener.Close()
+	}
+	return nil
+}
+
+// FreeAddrs reserves n distinct loopback addresses for tests and
+// single-host deployments by briefly listening on port 0.
+func FreeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs, nil
+}

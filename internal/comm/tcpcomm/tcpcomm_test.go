@@ -1,0 +1,249 @@
+package tcpcomm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/backend/realbk"
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// mesh spins up n endpoints over loopback TCP.
+func mesh(t *testing.T, n int) []*Endpoint {
+	t.Helper()
+	addrs, err := FreeAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*Endpoint, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := Dial(Config{Rank: i, Addrs: addrs, DialTimeout: 10 * time.Second})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			eps[i] = ep
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	})
+	return eps
+}
+
+func TestMeshExchange(t *testing.T) {
+	eps := mesh(t, 3)
+	eps[0].Send(2, comm.TagRun, []byte("zero-to-two"), 0)
+	eps[1].Send(2, comm.TagRun, []byte("one-to-two"), 0)
+	if got := eps[2].Recv(0, comm.TagRun); string(got) != "zero-to-two" {
+		t.Fatalf("got %q", got)
+	}
+	if got := eps[2].Recv(1, comm.TagRun); string(got) != "one-to-two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNonOvertakingOverTCP(t *testing.T) {
+	eps := mesh(t, 2)
+	const n = 300
+	go func() {
+		for i := 0; i < n; i++ {
+			eps[0].Send(1, comm.TagActivation, []byte{byte(i), byte(i >> 8)}, 0)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		msg := eps[1].Recv(0, comm.TagActivation)
+		if got := int(msg[0]) | int(msg[1])<<8; got != i {
+			t.Fatalf("order broken at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestTagsIndependentOverTCP(t *testing.T) {
+	eps := mesh(t, 2)
+	eps[0].Send(1, comm.TagRun, []byte("r"), 0)
+	eps[0].Send(1, comm.TagCancel, []byte("c"), 0)
+	if string(eps[1].Recv(0, comm.TagCancel)) != "c" {
+		t.Fatal("cancel stream wrong")
+	}
+	if string(eps[1].Recv(0, comm.TagRun)) != "r" {
+		t.Fatal("run stream wrong")
+	}
+}
+
+func TestIprobeOverTCP(t *testing.T) {
+	eps := mesh(t, 2)
+	if eps[1].Iprobe(0, comm.TagResult) {
+		t.Fatal("probe true on empty queue")
+	}
+	eps[0].Send(1, comm.TagResult, []byte("x"), 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for !eps[1].Iprobe(0, comm.TagResult) {
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if string(eps[1].Recv(0, comm.TagResult)) != "x" {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	eps := mesh(t, 2)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	eps[0].Send(1, comm.TagActivation, big, 0)
+	got := eps[1].Recv(0, comm.TagActivation)
+	if len(got) != len(big) {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}
+
+func TestFreeAddrsDistinct(t *testing.T) {
+	addrs, err := FreeAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+// TestDistributedPipeInferOverTCP is the deployment integration test: the
+// full PipeInfer engine with real tensor computation, each rank on its own
+// TCP endpoint, output verified against the single-model greedy reference.
+func TestDistributedPipeInferOverTCP(t *testing.T) {
+	const nodes = 3
+	cfg := model.TinyConfig()
+	cfg.NLayers = 4
+	opts := realbk.Options{
+		Nodes:      nodes,
+		Strategy:   engine.StrategyPipeInfer,
+		CFG:        engine.Config{MaxNew: 16},
+		ModelCfg:   cfg,
+		Seed:       21,
+		DraftNoise: 0.05,
+		Prompt:     []token.Token{token.BOS, 9, 8, 7, 6},
+	}
+	ref, err := realbk.ReferenceGreedy(opts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eps := mesh(t, nodes)
+	outcomes := make([]realbk.Outcome, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for rank := 0; rank < nodes; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[rank], errs[rank] = realbk.RunRank(eps[rank], opts)
+		}()
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	got := outcomes[0].Tokens
+	if len(got) < len(ref) {
+		t.Fatalf("generated %d tokens", len(got))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("distributed output diverged at %d", i)
+		}
+	}
+}
+
+// TestDistributedIterativeOverTCP covers the baseline path (head is also
+// stage 0) over the TCP transport.
+func TestDistributedIterativeOverTCP(t *testing.T) {
+	const nodes = 2
+	cfg := model.TinyConfig()
+	cfg.NLayers = 4
+	opts := realbk.Options{
+		Nodes:    nodes,
+		Strategy: engine.StrategyIterative,
+		CFG:      engine.Config{MaxNew: 10},
+		ModelCfg: cfg,
+		Seed:     22,
+		Prompt:   []token.Token{token.BOS, 1, 2, 3},
+	}
+	ref, err := realbk.ReferenceGreedy(opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := mesh(t, nodes)
+	var wg sync.WaitGroup
+	var workerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, workerErr = realbk.RunRank(eps[1], opts)
+	}()
+	out, err := realbk.RunRank(eps[0], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if workerErr != nil {
+		t.Fatal(workerErr)
+	}
+	for i := range ref {
+		if out.Tokens[i] != ref[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(Config{Rank: 5, Addrs: []string{"a", "b"}}); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	// Unreachable peer with a short timeout.
+	addrs, err := FreeAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Dial(Config{Rank: 0, Addrs: addrs, DialTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to absent peer should time out")
+	}
+}

@@ -1,0 +1,200 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestModelByteFootprints(t *testing.T) {
+	// Sanity against known GGUF file sizes (within ~15%).
+	cases := []struct {
+		m   ModelSpec
+		gib float64
+	}{
+		{Dolphin70B, 29.7},  // 70B Q3_K_M ~ 30-33 GiB
+		{TinyLlama1B, 0.59}, // ~0.63 GiB
+		{Goliath120B, 36.1}, // Q2_K ~ 39 GiB
+		{Falcon180B, 72.1},  // ~75 GiB
+	}
+	for _, c := range cases {
+		got := c.m.Bytes() / GiB
+		if math.Abs(got-c.gib)/c.gib > 0.15 {
+			t.Fatalf("%s: %.1f GiB, expected ~%.1f", c.m.Name, got, c.gib)
+		}
+	}
+}
+
+func TestActivationBytes(t *testing.T) {
+	if Dolphin70B.ActivationBytes(1) != 8192*4 {
+		t.Fatal("activation bytes wrong")
+	}
+	if Dolphin70B.ActivationBytes(4) != 4*8192*4 {
+		t.Fatal("batched activation bytes wrong")
+	}
+}
+
+func TestMoEActiveParams(t *testing.T) {
+	if Mixtral8x22B.ActiveParams >= Mixtral8x22B.Params {
+		t.Fatal("MoE should have fewer active than total params")
+	}
+}
+
+func TestClusterPresets(t *testing.T) {
+	a, b, c := ClusterA(), ClusterB(), ClusterC()
+	if len(a.Nodes) != 8 || len(b.Nodes) != 13 || len(c.Nodes) != 32 {
+		t.Fatalf("cluster sizes %d/%d/%d", len(a.Nodes), len(b.Nodes), len(c.Nodes))
+	}
+	if b.Nodes[0].Name != XeonE52650.Name || b.Nodes[12].Name != Optiplex.Name {
+		t.Fatal("cluster B composition wrong")
+	}
+	if a.Link.Name != GigabitEthernet.Name || c.Link.Name != InfinibandEDR.Name {
+		t.Fatal("interconnects wrong")
+	}
+	if len(GPUCluster().Nodes) != 4 {
+		t.Fatal("GPU cluster size")
+	}
+	if got := c.Take(15); len(got.Nodes) != 15 {
+		t.Fatal("Take broken")
+	}
+}
+
+func TestStageTimeScaling(t *testing.T) {
+	n := XeonGold6140
+	t1 := StageTime(n, Dolphin70B, 20, 1)
+	t4 := StageTime(n, Dolphin70B, 20, 4)
+	// Batched evaluation must cost less than batch-size times single:
+	// the weights stream once (§II motivation for speculation).
+	if t4 >= 4*t1 {
+		t.Fatalf("no batching benefit: t1=%v t4=%v", t1, t4)
+	}
+	if t4 <= t1 {
+		t.Fatalf("batch should cost more than single: t1=%v t4=%v", t1, t4)
+	}
+	// More layers cost more.
+	if StageTime(n, Dolphin70B, 40, 1) <= t1 {
+		t.Fatal("layer scaling broken")
+	}
+}
+
+func TestStageTimeCalibration(t *testing.T) {
+	// Iterative decoding streams the whole model once per token; on
+	// cluster C the paper's Fig 4a shows roughly 1 token/s for Dolphin-70B.
+	var total time.Duration
+	split := UniformSplit(Dolphin70B.NLayers, 8)
+	for _, l := range split {
+		total += StageTime(XeonGold6140, Dolphin70B, l, 1)
+	}
+	speed := 1.0 / total.Seconds()
+	if speed < 0.5 || speed > 2.5 {
+		t.Fatalf("calibration off: iterative Dolphin on cluster C = %.2f t/s", speed)
+	}
+}
+
+func TestPagingPenalty(t *testing.T) {
+	// A Falcon-180B shard on an 8GB Optiplex pages and slows drastically.
+	shardFits := StageTime(Optiplex, Dolphin70B, 6, 1)  // ~2.2GB shard
+	shardPages := StageTime(Optiplex, Falcon180B, 7, 1) // ~6.6GB > 6GB budget
+	ratioFit := shardFits.Seconds() / (Dolphin70B.LayerBytes() * 6 / Optiplex.MemBW)
+	ratioPage := shardPages.Seconds() / (Falcon180B.LayerBytes() * 7 / Optiplex.MemBW)
+	if ratioPage < 5*ratioFit {
+		t.Fatalf("paging penalty not applied: fit=%v page=%v", shardFits, shardPages)
+	}
+}
+
+func TestEffectiveMemBW(t *testing.T) {
+	n := Optiplex
+	if n.EffectiveMemBW(1*GiB) != n.MemBW {
+		t.Fatal("fitting shard should see full bandwidth")
+	}
+	if n.EffectiveMemBW(100*GiB) >= n.MemBW {
+		t.Fatal("oversized shard should see reduced bandwidth")
+	}
+}
+
+func TestDraftStepTimeOrdersBySize(t *testing.T) {
+	n := XeonGold6140
+	if DraftStepTime(n, TinyLlama1B) >= DraftStepTime(n, Orca7B) {
+		t.Fatal("bigger draft should be slower")
+	}
+}
+
+func TestSplitLayersUniform(t *testing.T) {
+	s := UniformSplit(80, 8)
+	total := 0
+	for _, l := range s {
+		if l != 10 {
+			t.Fatalf("uniform split uneven: %v", s)
+		}
+		total += l
+	}
+	if total != 80 {
+		t.Fatal("split loses layers")
+	}
+	// Non-divisible case.
+	s = UniformSplit(82, 8)
+	total = 0
+	min, max := s[0], s[0]
+	for _, l := range s {
+		total += l
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if total != 82 || max-min > 1 {
+		t.Fatalf("uneven split: %v", s)
+	}
+}
+
+func TestSplitLayersWeighted(t *testing.T) {
+	s := SplitLayers(100, []float64{3, 1})
+	if s[0]+s[1] != 100 {
+		t.Fatal("weighted split loses layers")
+	}
+	if s[0] <= s[1] {
+		t.Fatalf("weights ignored: %v", s)
+	}
+	// Every stage gets at least one layer.
+	s = SplitLayers(4, []float64{100, 1, 1, 1})
+	for _, l := range s {
+		if l < 1 {
+			t.Fatalf("zero-layer stage: %v", s)
+		}
+	}
+}
+
+func TestPairPresets(t *testing.T) {
+	if len(CPUPairs()) != 6 {
+		t.Fatal("CPU pair count")
+	}
+	if len(GPUPairs()) != 7 {
+		t.Fatal("GPU pair count")
+	}
+	if PairDolphinTiny.Acceptance != 0.79 || PairGoliathXWin7.Acceptance != 0.52 {
+		t.Fatal("acceptance rates from §V-B wrong")
+	}
+	for _, p := range CPUPairs() {
+		if p.Draft.Bytes() >= p.Target.Bytes() {
+			t.Fatalf("%s: draft bigger than target", p.Name)
+		}
+		if p.Acceptance <= 0 || p.Acceptance >= 1 {
+			t.Fatalf("%s: acceptance %v", p.Name, p.Acceptance)
+		}
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatal("Seconds conversion")
+	}
+}
+
+func TestLinkSpecNewLink(t *testing.T) {
+	l := GigabitEthernet.NewLink()
+	if l.Latency != GigabitEthernet.Latency {
+		t.Fatal("link latency not propagated")
+	}
+}

@@ -1,0 +1,159 @@
+// Package cost provides the quantitative substrate for the simulated
+// backend: model presets matching the paper's Tables I and III, hardware
+// presets matching Tables II and IV, and the first-order time model that
+// converts (node, model shard, batch size) into compute time and
+// (interconnect, message size) into wire time.
+//
+// CPU LLM inference at batch 1–4 is dominated by streaming the quantized
+// weights through the memory hierarchy once per batch (§II), with a
+// per-token compute term on top; that two-term model is what StageTime
+// implements. Per-batch fixed overhead (graph construction, MPI software
+// stack) provides the depth penalty that caps useful pipeline length.
+package cost
+
+import (
+	"fmt"
+	"time"
+)
+
+// ModelSpec describes one model for the cost model. Figures are
+// approximate public architecture numbers; what the experiments depend on
+// is the relative byte and FLOP footprint, not exact parameter counts.
+type ModelSpec struct {
+	Name         string
+	Params       float64 // total parameters
+	ActiveParams float64 // parameters touched per token (< Params for MoE)
+	BytesPerW    float64 // storage bytes per weight for the quantization
+	NLayers      int
+	Dim          int // hidden size = activation width between stages
+	VocabSize    int
+	QuantName    string
+}
+
+// Bytes returns the total weight footprint.
+func (m ModelSpec) Bytes() float64 { return m.Params * m.BytesPerW }
+
+// LayerBytes returns the average per-layer weight footprint (embedding and
+// head folded in: they are streamed once per run like any layer).
+func (m ModelSpec) LayerBytes() float64 { return m.Bytes() / float64(m.NLayers) }
+
+// LayerParams returns average active parameters per layer.
+func (m ModelSpec) LayerParams() float64 { return m.ActiveParams / float64(m.NLayers) }
+
+// ActivationBytes returns the wire size of per-token activations between
+// pipeline stages (f32 rows, as llama.cpp's MPI backend transfers).
+func (m ModelSpec) ActivationBytes(batch int) int { return batch * m.Dim * 4 }
+
+// String renders "Name (quant)".
+func (m ModelSpec) String() string { return fmt.Sprintf("%s (%s)", m.Name, m.QuantName) }
+
+// Bytes-per-weight for the llama.cpp k-quant formats used in the paper
+// (effective bits / 8, including scales).
+const (
+	bpwQ2K = 2.63 / 8
+	bpwQ3K = 3.44 / 8
+	bpwQ4K = 4.58 / 8
+	bpwQ5K = 5.52 / 8
+)
+
+// Table I / Table III model presets.
+var (
+	// --- CPU experiments (Table I) ---
+
+	Dolphin70B = ModelSpec{Name: "Dolphin 2.1 70B", Params: 69e9, ActiveParams: 69e9,
+		BytesPerW: bpwQ3K, NLayers: 80, Dim: 8192, VocabSize: 32000, QuantName: "Q3_K_M"}
+	TinyLlama1B = ModelSpec{Name: "TinyLlama OpenOrca 1.1B", Params: 1.1e9, ActiveParams: 1.1e9,
+		BytesPerW: bpwQ4K, NLayers: 22, Dim: 2048, VocabSize: 32000, QuantName: "Q4_K_M"}
+	Orca7B = ModelSpec{Name: "Orca 2 7B", Params: 6.74e9, ActiveParams: 6.74e9,
+		BytesPerW: bpwQ4K, NLayers: 32, Dim: 4096, VocabSize: 32000, QuantName: "Q4_K_M"}
+
+	Goliath120B = ModelSpec{Name: "Goliath 120B", Params: 118e9, ActiveParams: 118e9,
+		BytesPerW: bpwQ2K, NLayers: 137, Dim: 8192, VocabSize: 32000, QuantName: "Q2_K"}
+	XWin7B = ModelSpec{Name: "XWinLM 0.2 7B", Params: 6.74e9, ActiveParams: 6.74e9,
+		BytesPerW: bpwQ4K, NLayers: 32, Dim: 4096, VocabSize: 32000, QuantName: "Q4_K_M"}
+	XWin13B = ModelSpec{Name: "XWinLM 0.1 13B", Params: 13e9, ActiveParams: 13e9,
+		BytesPerW: bpwQ4K, NLayers: 40, Dim: 5120, VocabSize: 32000, QuantName: "Q4_K_M"}
+
+	Falcon180B = ModelSpec{Name: "Falcon 180B", Params: 180e9, ActiveParams: 180e9,
+		BytesPerW: bpwQ3K, NLayers: 80, Dim: 14848, VocabSize: 65024, QuantName: "Q3_K_M"}
+	Falcon7B = ModelSpec{Name: "Falcon 7B", Params: 7.2e9, ActiveParams: 7.2e9,
+		BytesPerW: bpwQ3K, NLayers: 32, Dim: 4544, VocabSize: 65024, QuantName: "Q3_K_M"}
+	Falcon40B = ModelSpec{Name: "Falcon 40B", Params: 41.8e9, ActiveParams: 41.8e9,
+		BytesPerW: bpwQ3K, NLayers: 60, Dim: 8192, VocabSize: 65024, QuantName: "Q3_K_M"}
+
+	// --- GPU experiments (Table III) ---
+
+	Senku70B = ModelSpec{Name: "Senku 70B", Params: 69e9, ActiveParams: 69e9,
+		BytesPerW: bpwQ3K, NLayers: 80, Dim: 8192, VocabSize: 32000, QuantName: "Q3_K_M"}
+	LlongOrca7B = ModelSpec{Name: "LlongOrca 7B", Params: 6.74e9, ActiveParams: 6.74e9,
+		BytesPerW: bpwQ4K, NLayers: 32, Dim: 4096, VocabSize: 32000, QuantName: "Q4_K_M"}
+	Dolphin29_70B = ModelSpec{Name: "Dolphin 2.9 70B (Llama 3)", Params: 70.6e9, ActiveParams: 70.6e9,
+		BytesPerW: bpwQ3K, NLayers: 80, Dim: 8192, VocabSize: 128256, QuantName: "Q3_K_M"}
+	Dolphin29_8B = ModelSpec{Name: "Dolphin 2.9 8B (Llama 3)", Params: 8.03e9, ActiveParams: 8.03e9,
+		BytesPerW: bpwQ4K, NLayers: 32, Dim: 4096, VocabSize: 128256, QuantName: "Q4_K_M"}
+	Qwen33B = ModelSpec{Name: "Qwen 33B", Params: 32.5e9, ActiveParams: 32.5e9,
+		BytesPerW: bpwQ5K, NLayers: 60, Dim: 7168, VocabSize: 152064, QuantName: "Q5_K"}
+	Qwen7B = ModelSpec{Name: "Qwen 7B", Params: 7.7e9, ActiveParams: 7.7e9,
+		BytesPerW: bpwQ5K, NLayers: 32, Dim: 4096, VocabSize: 152064, QuantName: "Q5_K"}
+	Mixtral8x22B = ModelSpec{Name: "Mixtral 8x22B", Params: 141e9, ActiveParams: 39e9,
+		BytesPerW: bpwQ3K, NLayers: 56, Dim: 6144, VocabSize: 32768, QuantName: "Q3_K_M"}
+	Mistral7B = ModelSpec{Name: "Mistral 7B", Params: 7.2e9, ActiveParams: 7.2e9,
+		BytesPerW: bpwQ4K, NLayers: 32, Dim: 4096, VocabSize: 32768, QuantName: "Q4_K_M"}
+	Yi34B = ModelSpec{Name: "Yi 34B", Params: 34.4e9, ActiveParams: 34.4e9,
+		BytesPerW: bpwQ3K, NLayers: 60, Dim: 7168, VocabSize: 64000, QuantName: "Q3_K_M"}
+	Yi9B = ModelSpec{Name: "Yi 9B", Params: 8.8e9, ActiveParams: 8.8e9,
+		BytesPerW: bpwQ4K, NLayers: 48, Dim: 4096, VocabSize: 64000, QuantName: "Q4_K_M"}
+)
+
+// Pair couples a target model with a draft model and the empirically
+// calibrated speculation acceptance rate the paper reports for the pair
+// (§V-B). Acceptance drives the oracle in simulated runs.
+type Pair struct {
+	Name       string
+	Target     ModelSpec
+	Draft      ModelSpec
+	Acceptance float64
+}
+
+// Table I pairs with the acceptance rates measured in §V-B.
+var (
+	PairDolphinTiny   = Pair{Name: "Dolphin-70B + TinyLlama", Target: Dolphin70B, Draft: TinyLlama1B, Acceptance: 0.79}
+	PairDolphinOrca   = Pair{Name: "Dolphin-70B + Orca2-7B", Target: Dolphin70B, Draft: Orca7B, Acceptance: 0.66}
+	PairGoliathXWin7  = Pair{Name: "Goliath-120B + XWin-7B", Target: Goliath120B, Draft: XWin7B, Acceptance: 0.52}
+	PairGoliathXWin13 = Pair{Name: "Goliath-120B + XWin-13B", Target: Goliath120B, Draft: XWin13B, Acceptance: 0.61}
+	PairFalcon7       = Pair{Name: "Falcon-180B + Falcon-7B", Target: Falcon180B, Draft: Falcon7B, Acceptance: 0.68675}
+	PairFalcon40      = Pair{Name: "Falcon-180B + Falcon-40B", Target: Falcon180B, Draft: Falcon40B, Acceptance: 0.6947}
+)
+
+// Table III GPU pairs. Acceptance rates are not itemised in §VI; values
+// are set to plausible figures consistent with the model families and the
+// relative speeds in Fig 9.
+var (
+	GPUPairSenkuTiny   = Pair{Name: "Senku 70B + TinyLlama", Target: Senku70B, Draft: TinyLlama1B, Acceptance: 0.76}
+	GPUPairSenkuLlong  = Pair{Name: "Senku 70B + LlongOrca", Target: Senku70B, Draft: LlongOrca7B, Acceptance: 0.70}
+	GPUPairDolphinTiny = Pair{Name: "Dolphin 2.1 70B + TinyLlama", Target: Dolphin70B, Draft: TinyLlama1B, Acceptance: 0.79}
+	GPUPairDolphin29   = Pair{Name: "Dolphin 2.9 70B + 8B (Llama 3)", Target: Dolphin29_70B, Draft: Dolphin29_8B, Acceptance: 0.60}
+	GPUPairQwen        = Pair{Name: "Qwen 33B + 7B (Q5_K)", Target: Qwen33B, Draft: Qwen7B, Acceptance: 0.72}
+	GPUPairMixtral     = Pair{Name: "Mixtral 8x22B + Mistral 7B", Target: Mixtral8x22B, Draft: Mistral7B, Acceptance: 0.65}
+	GPUPairYi          = Pair{Name: "Yi 34B + 9B", Target: Yi34B, Draft: Yi9B, Acceptance: 0.71}
+)
+
+// CPUPairs lists the Table I pairs in figure order.
+func CPUPairs() []Pair {
+	return []Pair{PairDolphinTiny, PairDolphinOrca, PairGoliathXWin7,
+		PairGoliathXWin13, PairFalcon7, PairFalcon40}
+}
+
+// GPUPairs lists the Table III pairs in Fig 9 order.
+func GPUPairs() []Pair {
+	return []Pair{GPUPairSenkuTiny, GPUPairSenkuLlong, GPUPairDolphinTiny,
+		GPUPairDolphin29, GPUPairQwen, GPUPairMixtral, GPUPairYi}
+}
+
+// GiB is a byte-count helper for presets and reports.
+const GiB = float64(1 << 30)
+
+// Seconds converts a float duration safely into time.Duration.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,357 @@
+// Package engine contains the scaffolding shared by all three inference
+// strategies (pipeline-iterative, pipeline-speculative, PipeInfer): the
+// run message format that travels the pipeline, the head-side run tracking
+// FIFO (§IV-A.1), the generic worker loop every non-head rank executes,
+// and the backend interfaces that let the same engine code run either on
+// real tensor math (backend/realbk) or on the cost-model simulator
+// (backend/simbk).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// RunKind distinguishes the pipeline run types (§IV-D.3 treats them
+// differently: non-speculative runs are never cancelled mid-stream).
+type RunKind uint8
+
+const (
+	// KindPrefill processes the prompt.
+	KindPrefill RunKind = iota
+	// KindNonSpec is a single-token canonical-sequence run.
+	KindNonSpec
+	// KindSpec is a speculative run (micro-batch segment or tree).
+	KindSpec
+)
+
+// String names the kind.
+func (k RunKind) String() string {
+	switch k {
+	case KindPrefill:
+		return "prefill"
+	case KindNonSpec:
+		return "nonspec"
+	case KindSpec:
+		return "spec"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// TokenPlace is one batch token with its cache placement.
+type TokenPlace struct {
+	Tok  token.Token
+	Pos  int32
+	Seqs kvcache.SeqSet
+}
+
+// RunMsg is the run configuration the head sends down the pipeline at the
+// start of a decode transaction: identity, batch contents and placement,
+// and the KV operations to apply before evaluation (prefix sharing,
+// §IV-C.3).
+type RunMsg struct {
+	ID     uint32
+	Kind   RunKind
+	Seq    kvcache.SeqID // primary sequence (spec runs); Canonical otherwise
+	Tokens []TokenPlace
+	KVOps  []kvcache.Op
+}
+
+// Len returns the batch size.
+func (r *RunMsg) Len() int { return len(r.Tokens) }
+
+// BasePos returns the position of the first batch token.
+func (r *RunMsg) BasePos() int32 {
+	if len(r.Tokens) == 0 {
+		return -1
+	}
+	return r.Tokens[0].Pos
+}
+
+// MaxPos returns the highest batch token position.
+func (r *RunMsg) MaxPos() int32 {
+	max := int32(-1)
+	for _, t := range r.Tokens {
+		if t.Pos > max {
+			max = t.Pos
+		}
+	}
+	return max
+}
+
+// Encode serialises the message.
+func (r *RunMsg) Encode() []byte {
+	buf := make([]byte, 0, 16+16*len(r.Tokens)+11*len(r.KVOps))
+	buf = append(buf, byte(r.ID), byte(r.ID>>8), byte(r.ID>>16), byte(r.ID>>24))
+	buf = append(buf, byte(r.Kind), byte(r.Seq))
+	buf = append(buf, byte(len(r.Tokens)), byte(len(r.Tokens)>>8))
+	for _, t := range r.Tokens {
+		buf = appendU32(buf, uint32(t.Tok))
+		buf = appendU32(buf, uint32(t.Pos))
+		buf = appendU64(buf, uint64(t.Seqs))
+	}
+	ops := kvcache.EncodeOps(r.KVOps)
+	buf = append(buf, byte(len(r.KVOps)), byte(len(r.KVOps)>>8))
+	buf = append(buf, ops...)
+	return buf
+}
+
+// DecodeRunMsg reverses Encode.
+func DecodeRunMsg(buf []byte) (*RunMsg, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("engine: run message too short (%d bytes)", len(buf))
+	}
+	r := &RunMsg{
+		ID:   uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24,
+		Kind: RunKind(buf[4]),
+		Seq:  kvcache.SeqID(buf[5]),
+	}
+	n := int(buf[6]) | int(buf[7])<<8
+	off := 8
+	if len(buf) < off+16*n+2 {
+		return nil, fmt.Errorf("engine: run message truncated")
+	}
+	r.Tokens = make([]TokenPlace, n)
+	for i := 0; i < n; i++ {
+		r.Tokens[i] = TokenPlace{
+			Tok:  token.Token(readU32(buf[off:])),
+			Pos:  int32(readU32(buf[off+4:])),
+			Seqs: kvcache.SeqSet(readU64(buf[off+8:])),
+		}
+		off += 16
+	}
+	nOps := int(buf[off]) | int(buf[off+1])<<8
+	off += 2
+	ops, err := kvcache.DecodeOps(buf[off : off+11*nOps])
+	if err != nil {
+		return nil, err
+	}
+	r.KVOps = ops
+	return r, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func appendU64(b []byte, v uint64) []byte {
+	return append(appendU32(b, uint32(v)), byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func readU64(b []byte) uint64 {
+	return uint64(readU32(b)) | uint64(readU32(b[4:]))<<32
+}
+
+// EncodeCancel packs run IDs into a cancellation signal payload (§IV-D.2:
+// "the signal contains only a uniquely assigned identifier").
+func EncodeCancel(ids []uint32) []byte {
+	buf := make([]byte, 0, 4*len(ids))
+	for _, id := range ids {
+		buf = appendU32(buf, id)
+	}
+	return buf
+}
+
+// DecodeCancel reverses EncodeCancel.
+func DecodeCancel(buf []byte) []uint32 {
+	ids := make([]uint32, 0, len(buf)/4)
+	for off := 0; off+4 <= len(buf); off += 4 {
+		ids = append(ids, readU32(buf[off:]))
+	}
+	return ids
+}
+
+// Worker is a pipeline stage's compute backend: the real implementation
+// evaluates its layer shard with tensors; the simulated one charges the
+// cost model.
+type Worker interface {
+	// Eval evaluates the stage's layer range for the run. input is the
+	// upstream activation payload (nil for the first target stage, which
+	// embeds the run tokens itself). cancelled is polled between layer
+	// chunks (§IV-D.2 probe points); when it returns true the evaluation
+	// stops immediately and Eval returns (nil, 0, false).
+	//
+	// On completion it returns the payload to forward downstream (an
+	// activation, or the result payload if this is the last stage) plus
+	// the wire size to charge the interconnect.
+	Eval(run *RunMsg, input []byte, cancelled func() bool) (out []byte, wire int, ok bool)
+	// ApplyKV applies pipelined cache operations in transaction order.
+	ApplyKV(ops []kvcache.Op)
+	// MemoryBytes reports the stage's resident footprint (weights + KV).
+	MemoryBytes() int64
+}
+
+// Results interprets a completed run's result payload on the head.
+type Results interface {
+	// Next returns the target model's greedy token following batch
+	// position i (the prediction for run.Tokens[i].Pos + 1).
+	Next(i int) token.Token
+}
+
+// HeadBackend is the head node's compute: the draft model plus result
+// interpretation. Drafting must consume time (wall time for the real
+// drafter, virtual time for the simulated one).
+type HeadBackend interface {
+	// Propose returns up to width draft continuations of ctx with
+	// confidences in descending order (spec.Proposer contract).
+	Propose(ctx []token.Token, width int) ([]token.Token, []float32)
+	// Results parses a result payload for the given run. ctx is the full
+	// token sequence up to and including the run's input tokens, which
+	// the simulated backend uses to reproduce target choices.
+	Results(run *RunMsg, ctx []token.Token, payload []byte) Results
+	// MemoryBytes reports the head's resident footprint (draft model).
+	MemoryBytes() int64
+}
+
+// Topology fixes the pipeline role assignment.
+type Topology struct {
+	// Head is the sampling/orchestration rank (always 0 here).
+	Head int
+	// Stages lists the ranks holding target-model shards, in pipeline
+	// order. For iterative/speculative inference the head doubles as
+	// stage 0 (Stages[0] == Head); for PipeInfer the head is dedicated to
+	// drafting and Stages starts at rank 1 (§IV-A).
+	Stages []int
+}
+
+// Validate checks the topology.
+func (t Topology) Validate(size int) error {
+	if t.Head != 0 {
+		return fmt.Errorf("engine: head must be rank 0, got %d", t.Head)
+	}
+	if len(t.Stages) == 0 {
+		return fmt.Errorf("engine: no stages")
+	}
+	seen := map[int]bool{}
+	for _, s := range t.Stages {
+		if s < 0 || s >= size {
+			return fmt.Errorf("engine: stage rank %d out of cluster size %d", s, size)
+		}
+		if seen[s] {
+			return fmt.Errorf("engine: rank %d assigned twice", s)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// HeadIsStage reports whether the head also evaluates the first shard.
+func (t Topology) HeadIsStage() bool { return len(t.Stages) > 0 && t.Stages[0] == t.Head }
+
+// FirstRemote returns the first stage rank that is not the head, or -1.
+func (t Topology) FirstRemote() int {
+	for _, s := range t.Stages {
+		if s != t.Head {
+			return s
+		}
+	}
+	return -1
+}
+
+// LastStage returns the final stage rank.
+func (t Topology) LastStage() int { return t.Stages[len(t.Stages)-1] }
+
+// Config bundles the tunable engine parameters.
+type Config struct {
+	MaxNew int // tokens to generate (incl. the prompt-sampled token)
+
+	// Speculation parameters.
+	MicroBatch     int     // continuous-speculation micro-batch size (1-4, §IV-B.1)
+	SpecCutoff     float32 // base confidence cutoff (§II-A.1)
+	CutoffRecovery float32 // added per continuous iteration (§IV-B.2)
+	CutoffDecay    float32 // subtracted when speculation stalls (§IV-B.2)
+	TreeWidth      int     // branching factor for tree speculation
+	TreeCap        int     // max nodes per speculation tree
+	MaxSeqs        int     // KV sequence partitions available to runs
+	MaxInflight    int     // max simultaneous runs in the pipeline
+
+	// Ablation switches (Fig 8).
+	DisableCancel     bool // no early inference cancellation
+	DisableContinuous bool // one large speculation batch at a time
+}
+
+// Defaults fills unset fields with the reference configuration.
+func (c Config) Defaults() Config {
+	if c.MaxNew <= 0 {
+		c.MaxNew = 64
+	}
+	if c.MicroBatch <= 0 {
+		c.MicroBatch = 2
+	}
+	if c.SpecCutoff <= 0 {
+		c.SpecCutoff = 0.30
+	}
+	if c.CutoffRecovery <= 0 {
+		c.CutoffRecovery = 0.05
+	}
+	if c.CutoffDecay <= 0 {
+		c.CutoffDecay = 0.05
+	}
+	if c.TreeWidth <= 0 {
+		c.TreeWidth = 2
+	}
+	if c.TreeCap <= 0 {
+		c.TreeCap = 4
+	}
+	if c.MaxSeqs <= 0 {
+		c.MaxSeqs = 8
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 12
+	}
+	return c
+}
+
+// Stats aggregates the §V-A evaluation metrics for one generation.
+type Stats struct {
+	Generated int // tokens produced (incl. the prompt-sampled token)
+
+	PrefillDone time.Duration // when prompt processing finished
+	FirstToken  time.Duration // first acceptance after prefill (TTFT anchor)
+	Done        time.Duration // generation finished
+
+	AcceptTimes []time.Duration // timestamp of every acceptance event
+
+	Proposed      int // draft tokens offered for verification
+	Accepted      int // draft tokens accepted
+	RunsLaunched  int
+	RunsCancelled int
+	Superfluous   int
+}
+
+// TTFT is the time-to-first-token latency (§V-A metric 2).
+func (s *Stats) TTFT() time.Duration { return s.FirstToken - s.PrefillDone }
+
+// GenTime is the wall/virtual time spent generating (prefill excluded).
+func (s *Stats) GenTime() time.Duration { return s.Done - s.PrefillDone }
+
+// Speed is the average generation speed in tokens/second (§V-A metric 1).
+func (s *Stats) Speed() float64 {
+	if s.GenTime() <= 0 {
+		return 0
+	}
+	return float64(s.Generated) / s.GenTime().Seconds()
+}
+
+// ITL is the average inter-token latency (§V-A metric 3): the mean gap
+// between successive token acceptances.
+func (s *Stats) ITL() time.Duration {
+	if len(s.AcceptTimes) < 2 {
+		return 0
+	}
+	span := s.AcceptTimes[len(s.AcceptTimes)-1] - s.AcceptTimes[0]
+	return span / time.Duration(len(s.AcceptTimes)-1)
+}
+
+// AcceptanceRate is the fraction of proposed draft tokens accepted.
+func (s *Stats) AcceptanceRate() float64 {
+	if s.Proposed == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Proposed)
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func TestRunKindString(t *testing.T) {
+	if KindPrefill.String() != "prefill" || KindNonSpec.String() != "nonspec" || KindSpec.String() != "spec" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestRunMsgRoundtrip(t *testing.T) {
+	msg := &RunMsg{
+		ID:   0xDEADBEEF,
+		Kind: KindSpec,
+		Seq:  5,
+		Tokens: []TokenPlace{
+			{Tok: 1234, Pos: 130, Seqs: kvcache.NewSeqSet(5)},
+			{Tok: 77, Pos: 131, Seqs: kvcache.NewSeqSet(5, 0)},
+		},
+		KVOps: []kvcache.Op{
+			{Kind: kvcache.OpSeqCp, Src: 0, Dst: 5, P0: 0, P1: 130},
+			{Kind: kvcache.OpSeqRm, Src: 3, P0: 0, P1: 1 << 30},
+		},
+	}
+	dec, err := DecodeRunMsg(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != msg.ID || dec.Kind != msg.Kind || dec.Seq != msg.Seq {
+		t.Fatalf("header mismatch: %+v", dec)
+	}
+	if len(dec.Tokens) != 2 || dec.Tokens[1] != msg.Tokens[1] {
+		t.Fatalf("tokens mismatch: %+v", dec.Tokens)
+	}
+	if len(dec.KVOps) != 2 || dec.KVOps[0] != msg.KVOps[0] {
+		t.Fatalf("ops mismatch: %+v", dec.KVOps)
+	}
+}
+
+func TestRunMsgRoundtripProperty(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		rng := tensor.NewRNG(uint64(seed))
+		nTokens := int(n%32) + 1
+		msg := &RunMsg{
+			ID:   uint32(rng.Uint64()),
+			Kind: RunKind(rng.Intn(3)),
+			Seq:  kvcache.SeqID(rng.Intn(8)),
+		}
+		for i := 0; i < nTokens; i++ {
+			msg.Tokens = append(msg.Tokens, TokenPlace{
+				Tok:  token.Token(rng.Intn(1 << 20)),
+				Pos:  int32(rng.Intn(1 << 20)),
+				Seqs: kvcache.SeqSet(rng.Uint64()),
+			})
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			msg.KVOps = append(msg.KVOps, kvcache.Op{
+				Kind: kvcache.OpKind(rng.Intn(3)),
+				Src:  kvcache.SeqID(rng.Intn(64)),
+				Dst:  kvcache.SeqID(rng.Intn(64)),
+				P0:   int32(rng.Intn(1 << 20)),
+				P1:   int32(rng.Intn(1 << 20)),
+			})
+		}
+		dec, err := DecodeRunMsg(msg.Encode())
+		if err != nil {
+			return false
+		}
+		if dec.ID != msg.ID || dec.Kind != msg.Kind || dec.Seq != msg.Seq ||
+			len(dec.Tokens) != len(msg.Tokens) || len(dec.KVOps) != len(msg.KVOps) {
+			return false
+		}
+		for i := range msg.Tokens {
+			if dec.Tokens[i] != msg.Tokens[i] {
+				return false
+			}
+		}
+		for i := range msg.KVOps {
+			if dec.KVOps[i] != msg.KVOps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRunMsgErrors(t *testing.T) {
+	if _, err := DecodeRunMsg([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeRunMsg([]byte{0, 0, 0, 0, 0, 0, 5, 0}); err == nil {
+		t.Fatal("truncated token list accepted")
+	}
+}
+
+func TestRunMsgPositions(t *testing.T) {
+	msg := &RunMsg{Tokens: []TokenPlace{{Pos: 10}, {Pos: 12}, {Pos: 11}}}
+	if msg.BasePos() != 10 {
+		t.Fatalf("BasePos = %d", msg.BasePos())
+	}
+	if msg.MaxPos() != 12 {
+		t.Fatalf("MaxPos = %d", msg.MaxPos())
+	}
+	empty := &RunMsg{}
+	if empty.BasePos() != -1 || empty.MaxPos() != -1 {
+		t.Fatal("empty message positions")
+	}
+}
+
+func TestCancelCodec(t *testing.T) {
+	ids := []uint32{1, 1 << 20, 0xFFFFFFFF}
+	dec := DecodeCancel(EncodeCancel(ids))
+	if len(dec) != 3 || dec[0] != 1 || dec[2] != 0xFFFFFFFF {
+		t.Fatalf("cancel roundtrip: %v", dec)
+	}
+	if len(DecodeCancel(nil)) != 0 {
+		t.Fatal("empty cancel payload")
+	}
+}
+
+func TestPayloadFraming(t *testing.T) {
+	if _, ok := PayloadData(EmptyPayload()); ok {
+		t.Fatal("empty payload has data")
+	}
+	data, ok := PayloadData(DataPayload([]byte{1, 2, 3}))
+	if !ok || len(data) != 3 || data[2] != 3 {
+		t.Fatalf("data payload broken: %v %v", data, ok)
+	}
+	// Zero-length data is still "data" (sim backend marker payloads).
+	data, ok = PayloadData(DataPayload(nil))
+	if !ok || len(data) != 0 {
+		t.Fatal("zero-length data payload broken")
+	}
+	if _, ok := PayloadData(nil); ok {
+		t.Fatal("nil payload has data")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	topo, err := TopologyFor(StrategyIterative, 4)
+	if err != nil || len(topo.Stages) != 4 || !topo.HeadIsStage() {
+		t.Fatalf("iterative topology: %+v err=%v", topo, err)
+	}
+	topo, err = TopologyFor(StrategyPipeInfer, 4)
+	if err != nil || len(topo.Stages) != 3 || topo.HeadIsStage() {
+		t.Fatalf("pipeinfer topology: %+v err=%v", topo, err)
+	}
+	if topo.FirstRemote() != 1 || topo.LastStage() != 3 {
+		t.Fatal("remote/last stage wrong")
+	}
+	if _, err := TopologyFor(StrategyPipeInfer, 1); err == nil {
+		t.Fatal("pipeinfer on 1 rank accepted")
+	}
+	bad := Topology{Head: 0, Stages: []int{0, 0}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("duplicate stage accepted")
+	}
+	bad = Topology{Head: 0, Stages: []int{5}}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("out-of-range stage accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyIterative.String() != "iterative" || StrategyPipeInfer.String() != "pipeinfer" {
+		t.Fatal("strategy names")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.MicroBatch < 1 || c.MicroBatch > 4 {
+		t.Fatalf("default micro-batch %d outside the paper's 1-4 range", c.MicroBatch)
+	}
+	if c.SpecCutoff <= 0 || c.CutoffRecovery <= 0 || c.CutoffDecay <= 0 {
+		t.Fatal("cutoff parameters unset")
+	}
+	// Explicit values survive.
+	c = Config{MicroBatch: 4, MaxSeqs: 3}.Defaults()
+	if c.MicroBatch != 4 || c.MaxSeqs != 3 {
+		t.Fatal("explicit config overwritten")
+	}
+}
+
+func TestStatsMetrics(t *testing.T) {
+	s := Stats{
+		Generated:   10,
+		PrefillDone: 1 * time.Second,
+		FirstToken:  1500 * time.Millisecond,
+		Done:        6 * time.Second,
+	}
+	for i := 0; i < 10; i++ {
+		s.AcceptTimes = append(s.AcceptTimes, 1500*time.Millisecond+time.Duration(i)*500*time.Millisecond)
+	}
+	if s.TTFT() != 500*time.Millisecond {
+		t.Fatalf("TTFT %v", s.TTFT())
+	}
+	if s.GenTime() != 5*time.Second {
+		t.Fatalf("GenTime %v", s.GenTime())
+	}
+	if s.Speed() != 2 {
+		t.Fatalf("Speed %v", s.Speed())
+	}
+	if s.ITL() != 500*time.Millisecond {
+		t.Fatalf("ITL %v", s.ITL())
+	}
+	s.Proposed, s.Accepted = 10, 7
+	if s.AcceptanceRate() != 0.7 {
+		t.Fatal("acceptance rate")
+	}
+	var empty Stats
+	if empty.Speed() != 0 || empty.ITL() != 0 || empty.AcceptanceRate() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestCancelSetGC(t *testing.T) {
+	c := newCancelSet()
+	c.ids[5] = true
+	c.ids[10] = true
+	c.gc(7)
+	if c.has(5) {
+		t.Fatal("id 5 should be collected")
+	}
+	if !c.has(10) {
+		t.Fatal("id 10 should survive")
+	}
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+	"github.com/pipeinfer/pipeinfer/internal/transact"
+)
+
+// Run is the head-side tracking record for one in-flight pipeline run
+// (§IV-A.1: "each run of the target pipeline is tracked in a data
+// structure ... placed in a FIFO queue").
+type Run struct {
+	Msg *RunMsg
+	// Ctx is the full token sequence up to and including the run's input
+	// tokens along its path (used for simulated result interpretation and
+	// invalidation checks).
+	Ctx       []token.Token
+	Cancelled bool
+	// Seqs are the sequence partitions this run holds; freed and cleaned
+	// when the run completes.
+	Seqs []kvcache.SeqID
+}
+
+// Head drives the pipeline from rank 0: launching runs, shipping KV
+// transactions, cancelling, and collecting results in FIFO order.
+type Head struct {
+	EP   comm.Endpoint
+	Topo Topology
+	CFG  Config
+	BK   HeadBackend
+	// Local is the head's inline stage worker (iterative/speculative
+	// topologies where Stages[0] == Head); nil for PipeInfer.
+	Local Worker
+
+	nextID   uint32
+	inflight []*Run
+	// localResults queues results produced entirely locally (single-node
+	// topology), preserving FIFO semantics without comm.
+	localResults [][]byte
+
+	Stats Stats
+	// Trace, when non-nil, records the head's timeline events.
+	Trace *trace.Recorder
+}
+
+// NewHead builds a head driver.
+func NewHead(ep comm.Endpoint, topo Topology, cfg Config, bk HeadBackend, local Worker) (*Head, error) {
+	if err := topo.Validate(ep.Size()); err != nil {
+		return nil, err
+	}
+	if topo.HeadIsStage() && local == nil {
+		return nil, fmt.Errorf("engine: topology needs an inline stage worker")
+	}
+	if !topo.HeadIsStage() && local != nil {
+		return nil, fmt.Errorf("engine: inline worker given but head is not a stage")
+	}
+	return &Head{EP: ep, Topo: topo, CFG: cfg.Defaults(), BK: bk, Local: local}, nil
+}
+
+// Inflight returns the number of runs currently in the pipeline.
+func (h *Head) Inflight() int { return len(h.inflight) }
+
+// InflightRuns exposes the FIFO for invalidation scans.
+func (h *Head) InflightRuns() []*Run { return h.inflight }
+
+// Launch assigns an ID, evaluates the head's inline stage if present, and
+// sends the run down the pipeline. It returns the tracking record.
+func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run {
+	h.nextID++
+	msg.ID = h.nextID
+	run := &Run{Msg: msg, Ctx: ctx, Seqs: seqs}
+	h.inflight = append(h.inflight, run)
+	h.Stats.RunsLaunched++
+	h.Trace.Record(h.EP.Now(), "head", trace.KindLaunch, msg.ID,
+		fmt.Sprintf("%s batch=%d base=%d", msg.Kind, msg.Len(), msg.BasePos()))
+
+	if h.Local != nil {
+		h.Local.ApplyKV(msg.KVOps)
+		out, wire, ok := h.Local.Eval(msg, nil, func() bool { return false })
+		payload := EmptyPayload()
+		pw := len(payload)
+		if ok {
+			payload = DataPayload(out)
+			pw = wire + 1
+		}
+		next := h.Topo.FirstRemote()
+		if next < 0 {
+			// Single-node: the inline stage is the whole pipeline.
+			h.localResults = append(h.localResults, payload)
+			return run
+		}
+		transact.Begin(h.EP, next, transact.TypeDecode)
+		enc := msg.Encode()
+		h.EP.Send(next, comm.TagRun, enc, len(enc))
+		h.EP.Send(next, comm.TagActivation, payload, pw)
+		return run
+	}
+
+	// Dedicated head (PipeInfer): ship tokens to the first target stage.
+	first := h.Topo.Stages[0]
+	transact.Begin(h.EP, first, transact.TypeDecode)
+	enc := msg.Encode()
+	h.EP.Send(first, comm.TagRun, enc, len(enc))
+	return run
+}
+
+// ResultWaiting reports whether a completed run's result can be consumed
+// without blocking (§IV-B: the head's idleness probe).
+func (h *Head) ResultWaiting() bool {
+	if len(h.localResults) > 0 {
+		return true
+	}
+	if h.Topo.FirstRemote() < 0 {
+		return false
+	}
+	return h.EP.Iprobe(h.Topo.LastStage(), comm.TagResult)
+}
+
+// AwaitResult blocks for the oldest in-flight run's result and pops it
+// from the FIFO. ok is false when the run was cancelled (empty payload).
+func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
+	if len(h.inflight) == 0 {
+		return nil, nil, false, fmt.Errorf("engine: AwaitResult with empty pipeline")
+	}
+	var payload []byte
+	if len(h.localResults) > 0 {
+		payload = h.localResults[0]
+		h.localResults = h.localResults[1:]
+	} else {
+		payload = h.EP.Recv(h.Topo.LastStage(), comm.TagResult)
+	}
+	run = h.inflight[0]
+	h.inflight = h.inflight[1:]
+	data, hasData := PayloadData(payload)
+	h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
+		fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
+	if !hasData {
+		return run, nil, false, nil
+	}
+	return run, h.BK.Results(run.Msg, run.Ctx, data), true, nil
+}
+
+// Cancel back-propagates cancellation signals for the given runs to every
+// worker stage and marks them cancelled in the FIFO (§IV-D.2). Under the
+// no-cancellation ablation it only marks them locally so the head still
+// discards their results.
+func (h *Head) Cancel(runs []*Run) {
+	ids := make([]uint32, 0, len(runs))
+	for _, r := range runs {
+		if r.Cancelled {
+			continue
+		}
+		r.Cancelled = true
+		ids = append(ids, r.Msg.ID)
+		h.Stats.RunsCancelled++
+		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, r.Msg.ID, r.Msg.Kind.String())
+	}
+	if len(ids) == 0 || h.CFG.DisableCancel {
+		return
+	}
+	payload := EncodeCancel(ids)
+	for _, s := range h.Topo.Stages {
+		if s == h.Topo.Head {
+			continue
+		}
+		h.EP.Send(s, comm.TagCancel, payload, len(payload))
+	}
+}
+
+// SendKV ships cache operations as a pipelined KV transaction: applied to
+// the inline stage immediately and forwarded stage to stage (§IV-C.3).
+func (h *Head) SendKV(ops []kvcache.Op) {
+	if len(ops) == 0 {
+		return
+	}
+	if h.Local != nil {
+		h.Local.ApplyKV(ops)
+	}
+	next := h.Topo.FirstRemote()
+	if next < 0 {
+		return
+	}
+	transact.Begin(h.EP, next, transact.TypeKV)
+	enc := kvcache.EncodeOps(ops)
+	h.EP.Send(next, comm.TagRun, enc, len(enc))
+}
+
+// Shutdown propagates the shutdown transaction through the pipeline.
+func (h *Head) Shutdown() {
+	if next := h.Topo.FirstRemote(); next >= 0 {
+		transact.Begin(h.EP, next, transact.TypeShutdown)
+	}
+}
+
+// Sampled records an accepted token timestamp and first-token latency.
+func (h *Head) Sampled(n int) {
+	now := h.EP.Now()
+	for i := 0; i < n; i++ {
+		h.Stats.AcceptTimes = append(h.Stats.AcceptTimes, now)
+	}
+	if h.Stats.FirstToken == 0 && n > 0 {
+		h.Stats.FirstToken = now
+	}
+	if n > 0 {
+		h.Trace.Record(now, "head", trace.KindAccept, 0, fmt.Sprintf("n=%d", n))
+	}
+}

@@ -1,0 +1,58 @@
+package engine
+
+import "fmt"
+
+// Strategy selects one of the three pipeline inference algorithms the
+// paper compares (§V-A).
+type Strategy int
+
+const (
+	// StrategyIterative is naive pipeline-parallel iterative inference.
+	StrategyIterative Strategy = iota
+	// StrategySpeculative is pipeline-parallel speculative inference
+	// (SpecInfer with a single draft model).
+	StrategySpeculative
+	// StrategyPipeInfer is continuous asynchronous pipelined speculation.
+	StrategyPipeInfer
+)
+
+// String names the strategy as the figures do.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyIterative:
+		return "iterative"
+	case StrategySpeculative:
+		return "speculative"
+	case StrategyPipeInfer:
+		return "pipeinfer"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// TopologyFor builds the role assignment for a strategy on n ranks:
+// iterative and speculative inference use every rank as a target stage
+// (the head doubles as stage 0 and, for speculative, hosts the draft
+// model); PipeInfer dedicates rank 0 to drafting and sampling (§IV-A).
+func TopologyFor(s Strategy, n int) (Topology, error) {
+	if n < 1 {
+		return Topology{}, fmt.Errorf("engine: cluster size %d", n)
+	}
+	t := Topology{Head: 0}
+	switch s {
+	case StrategyIterative, StrategySpeculative:
+		for i := 0; i < n; i++ {
+			t.Stages = append(t.Stages, i)
+		}
+	case StrategyPipeInfer:
+		if n < 2 {
+			return Topology{}, fmt.Errorf("engine: PipeInfer needs >= 2 ranks (dedicated head)")
+		}
+		for i := 1; i < n; i++ {
+			t.Stages = append(t.Stages, i)
+		}
+	default:
+		return Topology{}, fmt.Errorf("engine: unknown strategy %v", s)
+	}
+	return t, nil
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/transact"
+)
+
+// Payload framing: the first byte of every activation/result payload says
+// whether it carries data. Cancelled runs forward empty payloads so that
+// message ordering and per-node state stay intact (§IV-D.2).
+const (
+	payloadEmpty byte = 0
+	payloadData  byte = 1
+)
+
+// EmptyPayload returns the marker payload forwarded for cancelled runs.
+func EmptyPayload() []byte { return []byte{payloadEmpty} }
+
+// DataPayload frames data for the wire.
+func DataPayload(data []byte) []byte {
+	out := make([]byte, 0, 1+len(data))
+	out = append(out, payloadData)
+	return append(out, data...)
+}
+
+// PayloadData unwraps a framed payload; ok is false for the empty marker.
+func PayloadData(p []byte) (data []byte, ok bool) {
+	if len(p) == 0 || p[0] == payloadEmpty {
+		return nil, false
+	}
+	return p[1:], true
+}
+
+// cancelSet tracks cancellation signals received out-of-band. Run IDs are
+// issued and travel in increasing order, so entries at or below the last
+// processed run can be garbage collected.
+type cancelSet struct {
+	ids map[uint32]bool
+}
+
+func newCancelSet() *cancelSet { return &cancelSet{ids: make(map[uint32]bool)} }
+
+func (c *cancelSet) drain(ep comm.Endpoint, head int) {
+	for ep.Iprobe(head, comm.TagCancel) {
+		for _, id := range DecodeCancel(ep.Recv(head, comm.TagCancel)) {
+			c.ids[id] = true
+		}
+	}
+}
+
+func (c *cancelSet) has(id uint32) bool { return c.ids[id] }
+
+func (c *cancelSet) gc(processed uint32) {
+	for id := range c.ids {
+		if id <= processed {
+			delete(c.ids, id)
+		}
+	}
+}
+
+// WorkerLoop is the main loop of every non-head pipeline rank: a
+// transaction server that evaluates decode runs over its layer shard,
+// applies pipelined KV operations, honours cancellation signals, and
+// forwards transactions downstream in order. It returns when the shutdown
+// transaction arrives.
+func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
+	rank := ep.Rank()
+	stageIdx := -1
+	for i, s := range topo.Stages {
+		if s == rank {
+			stageIdx = i
+			break
+		}
+	}
+	if stageIdx < 0 {
+		return fmt.Errorf("engine: rank %d is not a stage", rank)
+	}
+	if stageIdx == 0 && topo.HeadIsStage() {
+		return fmt.Errorf("engine: rank %d is the head's inline stage, not a worker", rank)
+	}
+	upstream := topo.Head
+	if stageIdx > 0 {
+		upstream = topo.Stages[stageIdx-1]
+	}
+	downstream := -1
+	if stageIdx < len(topo.Stages)-1 {
+		downstream = topo.Stages[stageIdx+1]
+	}
+	// Whether this stage receives activations (anything downstream of the
+	// first target stage does; the first stage embeds tokens itself).
+	expectsActivation := stageIdx > 0
+
+	cancels := newCancelSet()
+	d := transact.NewDispatcher(ep, upstream)
+
+	d.Register(transact.TypeDecode, func(ep comm.Endpoint, src int) error {
+		run, err := DecodeRunMsg(ep.Recv(src, comm.TagRun))
+		if err != nil {
+			return err
+		}
+		var input []byte
+		inputOK := true
+		if expectsActivation {
+			input, inputOK = PayloadData(ep.Recv(src, comm.TagActivation))
+		}
+
+		// Pipelined KV operations apply in transaction order even for
+		// cancelled runs: they are metadata-only and the head's cleanup
+		// ops account for them (§IV-C.3).
+		w.ApplyKV(run.KVOps)
+
+		cancels.drain(ep, topo.Head)
+		skip := !inputOK // upstream already cancelled: nothing to compute
+		if cancels.has(run.ID) && run.Kind == KindSpec {
+			// Speculative runs are dropped; non-speculative runs always
+			// run to completion because multibuffering depends on their
+			// cache entries (§IV-D.3).
+			skip = true
+		}
+
+		out := EmptyPayload()
+		wire := len(out)
+		if !skip {
+			cancelled := func() bool {
+				if run.Kind != KindSpec {
+					return false
+				}
+				cancels.drain(ep, topo.Head)
+				return cancels.has(run.ID)
+			}
+			if data, w_, ok := w.Eval(run, input, cancelled); ok {
+				out = DataPayload(data)
+				wire = w_ + 1
+			}
+		}
+		cancels.gc(run.ID)
+
+		if downstream >= 0 {
+			transact.Begin(ep, downstream, transact.TypeDecode)
+			enc := run.Encode()
+			ep.Send(downstream, comm.TagRun, enc, len(enc))
+			ep.Send(downstream, comm.TagActivation, out, wire)
+			return nil
+		}
+		// Last stage: deliver the result to the head. Cancelled or
+		// superfluous runs return the empty marker — the head knows it
+		// cancelled them, and skipping the logits transfer is the "final
+		// sampling is skipped" saving of §IV-D.3.
+		if cancels.has(run.ID) {
+			out = EmptyPayload()
+			wire = len(out)
+		}
+		ep.Send(topo.Head, comm.TagResult, out, wire)
+		return nil
+	})
+
+	d.Register(transact.TypeKV, func(ep comm.Endpoint, src int) error {
+		raw := ep.Recv(src, comm.TagRun)
+		ops, err := kvcache.DecodeOps(raw)
+		if err != nil {
+			return err
+		}
+		w.ApplyKV(ops)
+		if downstream >= 0 {
+			transact.Begin(ep, downstream, transact.TypeKV)
+			ep.Send(downstream, comm.TagRun, raw, len(raw))
+		}
+		return nil
+	})
+
+	d.Register(transact.TypeShutdown, func(ep comm.Endpoint, src int) error {
+		if downstream >= 0 {
+			transact.Begin(ep, downstream, transact.TypeShutdown)
+		}
+		return nil
+	})
+
+	return d.Serve()
+}

@@ -1,0 +1,226 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func speedOf(a metrics.Agg) float64 { return a.Speed.Mean }
+func ttftOf(a metrics.Agg) float64  { return a.TTFT.Mean }
+func itlOf(a metrics.Agg) float64   { return a.ITL.Mean }
+
+// Fig4 regenerates Fig 4 (generation speed vs node count) for sub-figure
+// index 0=a (Dolphin), 1=b (Goliath), 2=c (Falcon).
+func Fig4(g *Grid, sub int) Figure {
+	grp := Groups()[sub]
+	return Figure{
+		ID:     fmt.Sprintf("Fig4%c", 'a'+sub),
+		Title:  grp.Name + " generation speed",
+		YUnit:  "tokens/s",
+		Series: g.project(grp, "tokens/s", speedOf),
+	}
+}
+
+// Fig5 regenerates Fig 5 (time-to-first-token) for sub-figure sub.
+func Fig5(g *Grid, sub int) Figure {
+	grp := Groups()[sub]
+	return Figure{
+		ID:     fmt.Sprintf("Fig5%c", 'a'+sub),
+		Title:  grp.Name + " time-to-first-token",
+		YUnit:  "seconds",
+		Series: g.project(grp, "s", ttftOf),
+	}
+}
+
+// Fig6 regenerates Fig 6 (inter-token latency) for sub-figure sub.
+func Fig6(g *Grid, sub int) Figure {
+	grp := Groups()[sub]
+	return Figure{
+		ID:     fmt.Sprintf("Fig6%c", 'a'+sub),
+		Title:  grp.Name + " inter-token latency",
+		YUnit:  "seconds",
+		Series: g.project(grp, "s", itlOf),
+	}
+}
+
+// Fig7a regenerates the memory-efficiency comparison (speed per GiB of
+// mean per-node memory; the paper plots it in log scale). Small drafts are
+// used, matching the figure's pair selection.
+func Fig7a(g *Grid) Figure {
+	fig := Figure{ID: "Fig7a", Title: "Memory efficiency", YUnit: "tokens/s per GiB (log scale in paper)"}
+	pairs := []cost.Pair{cost.PairDolphinTiny, cost.PairGoliathXWin7, cost.PairFalcon7}
+	names := []string{"Dolphin", "Goliath", "Falcon"}
+	for i, pair := range pairs {
+		for _, s := range []engine.Strategy{engine.StrategyIterative, engine.StrategySpeculative, engine.StrategyPipeInfer} {
+			ser := Series{Label: fmt.Sprintf("%s (%s)", strategyShort(s), names[i])}
+			for _, n := range NodeCounts {
+				agg := g.At(pair, s, n)
+				ser.Points = append(ser.Points, Point{X: nodeLabel(n), Agg: agg, Y: agg.SpeedPerGiB()})
+			}
+			fig.Series = append(fig.Series, ser)
+		}
+	}
+	return fig
+}
+
+func strategyShort(s engine.Strategy) string {
+	switch s {
+	case engine.StrategyIterative:
+		return "Iter."
+	case engine.StrategySpeculative:
+		return "Spec."
+	default:
+		return "Pipe."
+	}
+}
+
+// fig7Pairs are the small-draft pairs used in the constrained-hardware
+// analysis (Fig 7b/7c) and the ablations (Fig 8).
+func fig7Pairs() ([]cost.Pair, []string) {
+	return []cost.Pair{cost.PairDolphinTiny, cost.PairGoliathXWin7, cost.PairFalcon7},
+		[]string{"Dolphin", "Goliath", "Falcon"}
+}
+
+// Fig7b regenerates the cluster A TTFT comparison: 8 Xeon E5 nodes on
+// Gigabit Ethernet, three pairs, three strategies.
+func Fig7b(p Params) (Figure, error) {
+	p = p.Defaults()
+	fig := Figure{ID: "Fig7b", Title: "TTFT on cluster A (8 nodes, GigE)", YUnit: "seconds"}
+	pairs, names := fig7Pairs()
+	for _, s := range []engine.Strategy{engine.StrategyIterative, engine.StrategySpeculative, engine.StrategyPipeInfer} {
+		ser := Series{Label: strategyShort(s)}
+		for i, pair := range pairs {
+			agg, err := Measure(Condition{Cluster: cost.ClusterA(), Pair: pair, Strategy: s}, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			ser.Points = append(ser.Points, Point{X: names[i], Agg: agg, Y: agg.TTFT.Mean})
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}
+
+// Fig7c regenerates the constrained-cluster generation speeds: 4 and 8
+// Xeon E5 nodes (cluster A hardware), then the full 13-node heterogeneous
+// cluster B (8 Xeons + 5 Optiplexes), all on Gigabit Ethernet.
+func Fig7c(p Params) (Figure, error) {
+	p = p.Defaults()
+	fig := Figure{ID: "Fig7c", Title: "Generation speed on constrained clusters", YUnit: "tokens/s",
+		Notes: []string{"4/8 nodes: Xeon E5 only; 13 nodes: + 5 Optiplexes (cluster B)"}}
+	pairs, names := fig7Pairs()
+	b := cost.ClusterB()
+	for i, pair := range pairs {
+		for _, s := range []engine.Strategy{engine.StrategyIterative, engine.StrategySpeculative, engine.StrategyPipeInfer} {
+			ser := Series{Label: fmt.Sprintf("%s (%s)", strategyShort(s), names[i])}
+			for _, n := range ConstrainedNodeCounts {
+				agg, err := Measure(Condition{Cluster: b.Take(n), Pair: pair, Strategy: s}, p)
+				if err != nil {
+					return Figure{}, err
+				}
+				ser.Points = append(ser.Points, Point{X: nodeLabel(n), Agg: agg, Y: agg.Speed.Mean})
+			}
+			fig.Series = append(fig.Series, ser)
+		}
+	}
+	return fig, nil
+}
+
+// Fig8 regenerates the ablation study: PipeInfer with all features versus
+// no early cancellation versus no continuous speculation, on 8 nodes of
+// cluster C with the small draft models, reporting speed, TTFT, and ITL.
+func Fig8(p Params) (Figure, error) {
+	p = p.Defaults()
+	fig := Figure{ID: "Fig8", Title: "Ablation studies (8 nodes)", YUnit: "tokens/s | seconds"}
+	pairs, names := fig7Pairs()
+	cluster := cost.ClusterC().Take(8)
+	variants := []struct {
+		label string
+		cfg   engine.Config
+	}{
+		{"PipeInfer", engine.Config{}},
+		{"No cancellation", engine.Config{DisableCancel: true}},
+		{"No cont. spec.", engine.Config{DisableContinuous: true}},
+	}
+	for i, pair := range pairs {
+		for _, v := range variants {
+			agg, err := Measure(Condition{Cluster: cluster, Pair: pair,
+				Strategy: engine.StrategyPipeInfer, CFG: v.cfg}, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			fig.Series = append(fig.Series, Series{
+				Label: fmt.Sprintf("%s: %s", names[i], v.label),
+				Points: []Point{
+					{X: "Speed (t/s)", Agg: agg, Y: agg.Speed.Mean},
+					{X: "TTFT (s)", Agg: agg, Y: agg.TTFT.Mean},
+					{X: "ITL (s)", Agg: agg, Y: agg.ITL.Mean},
+				},
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Fig9 regenerates the GPU-cluster generation speeds: every Table III
+// pair, PipeInfer versus speculative inference, on the 4-node GPU testbed.
+func Fig9(p Params) (Figure, error) {
+	p = p.Defaults()
+	fig := Figure{ID: "Fig9", Title: "Token generation speed on 4-GPU cluster", YUnit: "tokens/s",
+		Notes: []string{"GPU backend modelled with unoptimised-MPI effective bandwidth (paper §VI caveat)"}}
+	cluster := cost.GPUCluster()
+	for _, s := range []engine.Strategy{engine.StrategyPipeInfer, engine.StrategySpeculative} {
+		ser := Series{Label: strategyShort(s)}
+		for _, pair := range cost.GPUPairs() {
+			agg, err := Measure(Condition{Cluster: cluster, Pair: pair, Strategy: s}, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			ser.Points = append(ser.Points, Point{X: pair.Name, Agg: agg, Y: agg.Speed.Mean})
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}
+
+// promptAcceptance maps the Fig 10 prompts to per-prompt acceptance rates
+// for the Senku+TinyLlama pair: drafts track technical/explanatory text
+// better than open-ended roleplay, producing the paper's prompt-to-prompt
+// spread (speculative inference's speed follows acceptance; PipeInfer's
+// stays comparatively flat).
+var promptAcceptance = []struct {
+	kind  token.PromptKind
+	label string
+	alpha float64
+}{
+	{token.PromptConcept, "Prompt 1 (Explain a technical concept)", 0.78},
+	{token.PromptPaper, "Prompt 2 (Write a paper)", 0.74},
+	{token.PromptRoleplay, "Prompt 3 (Roleplay)", 0.68},
+	{token.PromptCode, "Prompt 4 (Code generation)", 0.82},
+}
+
+// Fig10 regenerates the prompt-to-prompt variance experiment on the GPU
+// cluster with Senku 70B + TinyLlama.
+func Fig10(p Params) (Figure, error) {
+	p = p.Defaults()
+	fig := Figure{ID: "Fig10", Title: "Prompt-to-prompt variance (Senku 70B + TinyLlama, 4-GPU)",
+		YUnit: "tokens/s"}
+	cluster := cost.GPUCluster()
+	for _, s := range []engine.Strategy{engine.StrategyPipeInfer, engine.StrategySpeculative} {
+		ser := Series{Label: strategyShort(s)}
+		for _, pr := range promptAcceptance {
+			agg, err := Measure(Condition{Cluster: cluster, Pair: cost.GPUPairSenkuTiny,
+				Strategy: s, AcceptanceOverride: pr.alpha}, p)
+			if err != nil {
+				return Figure{}, err
+			}
+			ser.Points = append(ser.Points, Point{X: pr.label, Agg: agg, Y: agg.Speed.Mean})
+		}
+		fig.Series = append(fig.Series, ser)
+	}
+	return fig, nil
+}

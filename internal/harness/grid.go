@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
+)
+
+// Grid holds the cluster-C sweep shared by Figs 4, 5, 6 and 7a: every
+// Table I pair, every node count, every strategy. Running it once and
+// projecting three metrics out of it mirrors how the paper derives those
+// figures from the same experiments.
+type Grid struct {
+	Params Params
+	data   map[gridKey]metrics.Agg
+}
+
+type gridKey struct {
+	pair     string
+	strategy engine.Strategy
+	nodes    int
+}
+
+// TargetGroup names one sub-figure's target model and its two draft pairs.
+type TargetGroup struct {
+	Name  string
+	Pairs [2]cost.Pair
+	// DraftShort are the compact draft labels used in the figure legends.
+	DraftShort [2]string
+}
+
+// Groups returns the three sub-figure groups in Fig 4/5/6 order.
+func Groups() []TargetGroup {
+	return []TargetGroup{
+		{Name: "Dolphin-70B", Pairs: [2]cost.Pair{cost.PairDolphinTiny, cost.PairDolphinOrca},
+			DraftShort: [2]string{"TinyLlama", "Orca2"}},
+		{Name: "Goliath-120B", Pairs: [2]cost.Pair{cost.PairGoliathXWin7, cost.PairGoliathXWin13},
+			DraftShort: [2]string{"XWin-7B", "XWin-13B"}},
+		{Name: "Falcon-180B", Pairs: [2]cost.Pair{cost.PairFalcon7, cost.PairFalcon40},
+			DraftShort: [2]string{"Falcon-7B", "Falcon-40B"}},
+	}
+}
+
+// RunCPUGrid executes the full cluster C sweep. Iterative inference does
+// not involve the draft model, so it is measured once per target group and
+// shared between the group's two pairs.
+func RunCPUGrid(p Params) (*Grid, error) {
+	p = p.Defaults()
+	g := &Grid{Params: p, data: make(map[gridKey]metrics.Agg)}
+	clusterC := cost.ClusterC()
+	for _, grp := range Groups() {
+		for _, n := range NodeCounts {
+			cluster := clusterC.Take(n)
+			// Iterative: once per target, stored under both pair names.
+			iter, err := Measure(Condition{Cluster: cluster, Pair: grp.Pairs[0],
+				Strategy: engine.StrategyIterative}, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, pair := range grp.Pairs {
+				g.data[gridKey{pair.Name, engine.StrategyIterative, n}] = iter
+			}
+			for _, pair := range grp.Pairs {
+				for _, s := range []engine.Strategy{engine.StrategySpeculative, engine.StrategyPipeInfer} {
+					agg, err := Measure(Condition{Cluster: cluster, Pair: pair, Strategy: s}, p)
+					if err != nil {
+						return nil, err
+					}
+					g.data[gridKey{pair.Name, s, n}] = agg
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// At returns the aggregate for one grid cell.
+func (g *Grid) At(pair cost.Pair, s engine.Strategy, nodes int) metrics.Agg {
+	return g.data[gridKey{pair.Name, s, nodes}]
+}
+
+// project builds the Fig 4/5/6 series layout for one target group:
+// Iter, Spec(draft1), Spec(draft2), Pipe(draft1), Pipe(draft2).
+func (g *Grid) project(grp TargetGroup, yUnit string, y func(metrics.Agg) float64) []Series {
+	mk := func(label string, pair cost.Pair, s engine.Strategy) Series {
+		ser := Series{Label: label}
+		for _, n := range NodeCounts {
+			agg := g.At(pair, s, n)
+			ser.Points = append(ser.Points, Point{X: nodeLabel(n), Agg: agg, Y: y(agg)})
+		}
+		return ser
+	}
+	return []Series{
+		mk("Iter.", grp.Pairs[0], engine.StrategyIterative),
+		mk("Spec. ("+grp.DraftShort[0]+")", grp.Pairs[0], engine.StrategySpeculative),
+		mk("Spec. ("+grp.DraftShort[1]+")", grp.Pairs[1], engine.StrategySpeculative),
+		mk("Pipe. ("+grp.DraftShort[0]+")", grp.Pairs[0], engine.StrategyPipeInfer),
+		mk("Pipe. ("+grp.DraftShort[1]+")", grp.Pairs[1], engine.StrategyPipeInfer),
+	}
+}

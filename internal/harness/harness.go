@@ -1,0 +1,112 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation (§V, §VI). Each experiment sweeps the same
+// parameter grid the paper reports — model pairs, node counts, strategies,
+// clusters — over the simulated backend, aggregates repetitions, and
+// renders the series in figure order so the output can be compared line by
+// line against the published plots.
+package harness
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/backend/simbk"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
+)
+
+// Params scales an experiment. The paper's settings are Reps=10,
+// MaxNew=512, PromptLen=128; benches default smaller for speed.
+type Params struct {
+	Reps      int
+	MaxNew    int
+	PromptLen int
+	BaseSeed  uint64
+}
+
+// Defaults fills unset parameters with fast-but-meaningful values.
+func (p Params) Defaults() Params {
+	if p.Reps <= 0 {
+		p.Reps = 3
+	}
+	if p.MaxNew <= 0 {
+		p.MaxNew = 128
+	}
+	if p.PromptLen <= 0 {
+		p.PromptLen = 128
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 42
+	}
+	return p
+}
+
+// Paper returns the full paper-scale parameters.
+func Paper() Params { return Params{Reps: 10, MaxNew: 512, PromptLen: 128, BaseSeed: 42} }
+
+// Condition describes one measured cell of an experiment grid.
+type Condition struct {
+	Cluster            cost.ClusterSpec
+	Pair               cost.Pair
+	Strategy           engine.Strategy
+	CFG                engine.Config
+	AcceptanceOverride float64
+	SplitWeights       []float64
+}
+
+// Measure runs the condition Reps times with distinct seeds and aggregates.
+func Measure(c Condition, p Params) (metrics.Agg, error) {
+	p = p.Defaults()
+	var col metrics.Collector
+	cfg := c.CFG
+	cfg.MaxNew = p.MaxNew
+	for rep := 0; rep < p.Reps; rep++ {
+		out, err := simbk.Run(simbk.Options{
+			Cluster:            c.Cluster,
+			Pair:               c.Pair,
+			Strategy:           c.Strategy,
+			CFG:                cfg,
+			PromptLen:          p.PromptLen,
+			Seed:               p.BaseSeed + uint64(rep)*7919,
+			SplitWeights:       c.SplitWeights,
+			AcceptanceOverride: c.AcceptanceOverride,
+		})
+		if err != nil {
+			return metrics.Agg{}, fmt.Errorf("harness: %s/%v/%d nodes: %w",
+				c.Pair.Name, c.Strategy, len(c.Cluster.Nodes), err)
+		}
+		col.Add(out.Stats, out.PerNodeMem)
+	}
+	return col.Agg(), nil
+}
+
+// Point is one X position of a figure series.
+type Point struct {
+	X   string
+	Agg metrics.Agg
+	// Y is the plotted value extracted from Agg by the figure.
+	Y float64
+}
+
+// Series is one labelled line/bar group.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a rendered experiment result.
+type Figure struct {
+	ID     string
+	Title  string
+	YUnit  string
+	Series []Series
+	Notes  []string
+}
+
+// NodeCounts is the paper's cluster C sweep (Figs 4-7a).
+var NodeCounts = []int{4, 8, 15, 32}
+
+// ConstrainedNodeCounts is the Fig 7c sweep on clusters A/B.
+var ConstrainedNodeCounts = []int{4, 8, 13}
+
+func nodeLabel(n int) string { return fmt.Sprintf("%d Node", n) }

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+)
+
+// Render prints the figure as an aligned text table: one row per series,
+// one column per X position.
+func (f Figure) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s (%s)\n", f.ID, f.Title, f.YUnit)
+
+	if len(f.Series) == 0 {
+		sb.WriteString("(empty)\n")
+		return sb.String()
+	}
+	labelW := len("series")
+	for _, s := range f.Series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	var xs []string
+	for _, pt := range f.Series[0].Points {
+		xs = append(xs, pt.X)
+	}
+	colW := make([]int, len(xs))
+	for i, x := range xs {
+		colW[i] = len(x)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+
+	fmt.Fprintf(&sb, "%-*s", labelW, "series")
+	for i, x := range xs {
+		fmt.Fprintf(&sb, "  %*s", colW[i], x)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%s", strings.Repeat("-", labelW))
+	for i := range xs {
+		fmt.Fprintf(&sb, "  %s", strings.Repeat("-", colW[i]))
+	}
+	sb.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%-*s", labelW, s.Label)
+		for i, pt := range s.Points {
+			fmt.Fprintf(&sb, "  %*.3f", colW[i], pt.Y)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// TableI renders the CPU model-pair presets (paper Table I).
+func TableI() string {
+	var sb strings.Builder
+	sb.WriteString("Table I — target/draft model pairs (CPU experiments)\n")
+	sb.WriteString(fmt.Sprintf("%-28s %-10s %-26s %-10s %-11s\n",
+		"target", "size", "draft", "size", "acceptance"))
+	for _, p := range cost.CPUPairs() {
+		sb.WriteString(fmt.Sprintf("%-28s %-10s %-26s %-10s %10.2f%%\n",
+			p.Target.String(), gib(p.Target), p.Draft.String(), gib(p.Draft), p.Acceptance*100))
+	}
+	return sb.String()
+}
+
+// TableII renders the cluster presets (paper Table II).
+func TableII() string {
+	var sb strings.Builder
+	sb.WriteString("Table II — hardware testbeds\n")
+	sb.WriteString(fmt.Sprintf("%-8s %-6s %-24s %-10s %-24s\n",
+		"cluster", "nodes", "CPUs", "RAM", "interconnect"))
+	for _, c := range []cost.ClusterSpec{cost.ClusterA(), cost.ClusterB(), cost.ClusterC()} {
+		kinds := map[string]int{}
+		order := []string{}
+		for _, n := range c.Nodes {
+			if kinds[n.Name] == 0 {
+				order = append(order, n.Name)
+			}
+			kinds[n.Name]++
+		}
+		var cpus []string
+		for _, name := range order {
+			cpus = append(cpus, fmt.Sprintf("%dx %s", kinds[name], name))
+		}
+		sb.WriteString(fmt.Sprintf("%-8s %-6d %-24s %-10s %-24s\n",
+			c.Name, len(c.Nodes), strings.Join(cpus, " + "),
+			fmt.Sprintf("%.0fGB", c.Nodes[0].RAM/cost.GiB), c.Link.Name))
+	}
+	return sb.String()
+}
+
+// TableIII renders the GPU model-pair presets (paper Table III).
+func TableIII() string {
+	var sb strings.Builder
+	sb.WriteString("Table III — target/draft model pairs (GPU experiments)\n")
+	sb.WriteString(fmt.Sprintf("%-32s %-10s %-28s %-10s\n", "target", "size", "draft", "size"))
+	for _, p := range cost.GPUPairs() {
+		sb.WriteString(fmt.Sprintf("%-32s %-10s %-28s %-10s\n",
+			p.Target.String(), gib(p.Target), p.Draft.String(), gib(p.Draft)))
+	}
+	return sb.String()
+}
+
+// TableIV renders the GPU testbed preset (paper Table IV).
+func TableIV() string {
+	c := cost.GPUCluster()
+	return fmt.Sprintf("Table IV — GPU testbed\nnodes: %d x %s, interconnect: %s\n",
+		len(c.Nodes), c.Nodes[0].Name, c.Link.Name)
+}
+
+func gib(m cost.ModelSpec) string {
+	return fmt.Sprintf("%.1fGiB", m.Bytes()/cost.GiB)
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestSweepMicroBatch(t *testing.T) {
+	fig, err := SweepMicroBatch(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := fig.Series[0].Points
+	if len(speeds) != 5 {
+		t.Fatalf("points = %d", len(speeds))
+	}
+	// The paper's 1-4 range must not be dominated by very large batches:
+	// the best in-range setting should beat mb=16.
+	bestSmall := 0.0
+	for _, pt := range speeds[:3] {
+		if pt.Y > bestSmall {
+			bestSmall = pt.Y
+		}
+	}
+	if speeds[4].Y > bestSmall*1.1 {
+		t.Fatalf("mb=16 (%.2f) should not beat the 1-4 range (%.2f)", speeds[4].Y, bestSmall)
+	}
+	// ITL must grow with batch size (the latency cost of larger batches).
+	itl := fig.Series[1].Points
+	if itl[4].Y < itl[0].Y {
+		t.Fatalf("ITL should grow with micro-batch size: mb=1 %.3f vs mb=16 %.3f", itl[0].Y, itl[4].Y)
+	}
+}
+
+func TestSweepCutoff(t *testing.T) {
+	fig, err := SweepCutoff(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 || len(fig.Series[0].Points) != 3 {
+		t.Fatalf("sweep shape wrong")
+	}
+	for _, s := range fig.Series {
+		for _, pt := range s.Points {
+			if pt.Y <= 0 {
+				t.Fatalf("degenerate speed in %s/%s", s.Label, pt.X)
+			}
+		}
+	}
+}
+
+func TestSweepSeqPartitions(t *testing.T) {
+	fig, err := SweepSeqPartitions(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.Series[0].Points
+	// More partitions must never be catastrophically worse, and seqs=8
+	// should comfortably beat seqs=1 (starved continuous speculation).
+	if pts[3].Y <= pts[0].Y {
+		t.Fatalf("seqs=8 (%.2f) should beat seqs=1 (%.2f)", pts[3].Y, pts[0].Y)
+	}
+}
+
+func TestSweepAcceptance(t *testing.T) {
+	fig, err := SweepAcceptance(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, spec, pipe := fig.Series[0], fig.Series[1], fig.Series[2]
+	// At 90% acceptance both speculative strategies crush iterative.
+	if spec.Points[4].Y < iter.Points[4].Y || pipe.Points[4].Y < spec.Points[4].Y {
+		t.Fatalf("high-acceptance ordering broken: iter=%.2f spec=%.2f pipe=%.2f",
+			iter.Points[4].Y, spec.Points[4].Y, pipe.Points[4].Y)
+	}
+	// At 10% acceptance PipeInfer must show near-zero slowdown vs
+	// iterative (the paper's headline resilience claim): within 20%.
+	if pipe.Points[0].Y < iter.Points[0].Y*0.8 {
+		t.Fatalf("PipeInfer at 10%% acceptance (%.2f) far below iterative (%.2f)",
+			pipe.Points[0].Y, iter.Points[0].Y)
+	}
+	// Speculative speed must be monotonically sensitive to acceptance.
+	if spec.Points[0].Y >= spec.Points[4].Y {
+		t.Fatal("speculative speed insensitive to acceptance")
+	}
+}

@@ -1,0 +1,288 @@
+// Package kvcache implements the llama.cpp-style key/value cache metadata
+// that PipeInfer's Pipelined KV Cache Multibuffering (§IV-C) is built on.
+//
+// The cache is a pool of cells. Each cell records the absolute sequence
+// position of the token it holds and the *set of sequences* the entry
+// belongs to. Sequence copy/remove operations manipulate only this
+// metadata — the underlying K/V tensors are shared between sequences — which
+// is why the paper describes multibuffering "buffer swaps" as near-zero
+// cost. Attention masks are derived from the metadata: a query token
+// belonging to sequence set Q sees a cell C iff Q ∩ C.Seqs ≠ ∅ and
+// C.Pos ≤ Q.Pos (causality). Assigning each speculative run its own
+// sequence id therefore guarantees the runs cannot observe one another's
+// entries, while copied prefixes are shared without data movement.
+package kvcache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SeqID identifies a sequence partition. Sequence 0 is the canonical
+// sequence holding accepted tokens (§IV-C.1).
+type SeqID int
+
+// Canonical is the sequence id of the accepted-token sequence.
+const Canonical SeqID = 0
+
+// MaxSeqs is the maximum number of simultaneous sequences (bitset width).
+const MaxSeqs = 64
+
+// SeqSet is a bitset over sequence ids.
+type SeqSet uint64
+
+// NewSeqSet builds a set from the given ids.
+func NewSeqSet(ids ...SeqID) SeqSet {
+	var s SeqSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns s with id included.
+func (s SeqSet) Add(id SeqID) SeqSet {
+	if id < 0 || id >= MaxSeqs {
+		panic(fmt.Sprintf("kvcache: seq id %d out of range", id))
+	}
+	return s | 1<<uint(id)
+}
+
+// Remove returns s with id excluded.
+func (s SeqSet) Remove(id SeqID) SeqSet { return s &^ (1 << uint(id)) }
+
+// Has reports whether id is in the set.
+func (s SeqSet) Has(id SeqID) bool { return s&(1<<uint(id)) != 0 }
+
+// Intersects reports whether the two sets share any sequence.
+func (s SeqSet) Intersects(o SeqSet) bool { return s&o != 0 }
+
+// Empty reports whether the set has no members.
+func (s SeqSet) Empty() bool { return s == 0 }
+
+// Count returns the number of member sequences.
+func (s SeqSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// IDs expands the set into a sorted slice of sequence ids.
+func (s SeqSet) IDs() []SeqID {
+	out := make([]SeqID, 0, s.Count())
+	for id := SeqID(0); id < MaxSeqs; id++ {
+		if s.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Cell is one KV cache slot.
+type Cell struct {
+	// Pos is the absolute position of the cached token, or -1 if empty.
+	Pos int32
+	// Seqs is the set of sequences this entry belongs to.
+	Seqs SeqSet
+}
+
+// Empty reports whether the cell holds no entry.
+func (c Cell) Empty() bool { return c.Seqs.Empty() }
+
+// TokenMeta describes one batch token's placement for mask construction
+// and cache writes.
+type TokenMeta struct {
+	Pos  int32
+	Seqs SeqSet
+}
+
+// Cache is the cell-metadata store. The K/V tensor data itself is owned by
+// the compute backend and indexed by cell number; Cache only decides which
+// cell holds what and who may see it.
+type Cache struct {
+	cells []Cell
+	used  int
+}
+
+// New creates a cache with n cells.
+func New(n int) *Cache {
+	c := &Cache{cells: make([]Cell, n)}
+	for i := range c.cells {
+		c.cells[i].Pos = -1
+	}
+	return c
+}
+
+// Size returns the total number of cells.
+func (c *Cache) Size() int { return len(c.cells) }
+
+// Used returns the number of occupied cells.
+func (c *Cache) Used() int { return c.used }
+
+// Cell returns a copy of cell i's metadata.
+func (c *Cache) Cell(i int) Cell { return c.cells[i] }
+
+// Clear empties every cell.
+func (c *Cache) Clear() {
+	for i := range c.cells {
+		c.cells[i] = Cell{Pos: -1}
+	}
+	c.used = 0
+}
+
+// FindSlots locates n free cells (first-fit) and returns their indices
+// without occupying them. It fails if fewer than n cells are free.
+func (c *Cache) FindSlots(n int) ([]int, error) {
+	out := make([]int, 0, n)
+	for i := range c.cells {
+		if c.cells[i].Empty() {
+			out = append(out, i)
+			if len(out) == n {
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("kvcache: need %d free cells, have %d of %d", n, len(out), len(c.cells))
+}
+
+// Occupy claims cell i for a token at position pos belonging to seqs.
+// Occupying a non-empty cell is a bug in the caller and panics.
+func (c *Cache) Occupy(i int, pos int32, seqs SeqSet) {
+	if seqs.Empty() {
+		panic("kvcache: Occupy with empty sequence set")
+	}
+	if !c.cells[i].Empty() {
+		panic(fmt.Sprintf("kvcache: Occupy of non-empty cell %d", i))
+	}
+	c.cells[i] = Cell{Pos: pos, Seqs: seqs}
+	c.used++
+}
+
+// SeqCp adds sequence dst to every cell that belongs to src with position
+// in [p0, p1). This is the metadata-only "copy" that multibuffering's
+// buffer swap and early cache sharing use. It returns the number of cells
+// affected.
+func (c *Cache) SeqCp(src, dst SeqID, p0, p1 int32) int {
+	n := 0
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if !cell.Empty() && cell.Seqs.Has(src) && cell.Pos >= p0 && cell.Pos < p1 {
+			if !cell.Seqs.Has(dst) {
+				cell.Seqs = cell.Seqs.Add(dst)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SeqRm removes sequence seq from cells with position in [p0, p1). Cells
+// left with no sequences become free. It returns the number of cells freed.
+func (c *Cache) SeqRm(seq SeqID, p0, p1 int32) int {
+	freed := 0
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if !cell.Empty() && cell.Seqs.Has(seq) && cell.Pos >= p0 && cell.Pos < p1 {
+			cell.Seqs = cell.Seqs.Remove(seq)
+			if cell.Seqs.Empty() {
+				cell.Pos = -1
+				c.used--
+				freed++
+			}
+		}
+	}
+	return freed
+}
+
+// SeqKeep removes every sequence except seq from all cells; cells not in
+// seq become free. Used to collapse back to the canonical sequence.
+func (c *Cache) SeqKeep(seq SeqID) {
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.Empty() {
+			continue
+		}
+		if cell.Seqs.Has(seq) {
+			cell.Seqs = NewSeqSet(seq)
+		} else {
+			cell.Seqs = 0
+			cell.Pos = -1
+			c.used--
+		}
+	}
+}
+
+// SeqMaxPos returns the largest position present in seq, or -1 if none.
+func (c *Cache) SeqMaxPos(seq SeqID) int32 {
+	max := int32(-1)
+	for _, cell := range c.cells {
+		if !cell.Empty() && cell.Seqs.Has(seq) && cell.Pos > max {
+			max = cell.Pos
+		}
+	}
+	return max
+}
+
+// SeqLen returns the number of cells belonging to seq.
+func (c *Cache) SeqLen(seq SeqID) int {
+	n := 0
+	for _, cell := range c.cells {
+		if !cell.Empty() && cell.Seqs.Has(seq) {
+			n++
+		}
+	}
+	return n
+}
+
+// Visible reports whether a query token described by q may attend to cell
+// i: they must share a sequence and the cell must not be in the query's
+// future.
+func (c *Cache) Visible(q TokenMeta, i int) bool {
+	cell := c.cells[i]
+	return !cell.Empty() && cell.Seqs.Intersects(q.Seqs) && cell.Pos <= q.Pos
+}
+
+// VisibleCells appends to dst the indices of all cells visible to q, in
+// cell order, and returns the extended slice.
+func (c *Cache) VisibleCells(dst []int, q TokenMeta) []int {
+	for i := range c.cells {
+		if c.Visible(q, i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// BuildMask constructs the attention mask for a batch: mask[t][i] is true
+// iff batch token t may attend to cell i. The batch tokens' own cells must
+// already be occupied (the standard unified-KV convention: a token attends
+// to itself through its cache entry).
+func (c *Cache) BuildMask(batch []TokenMeta) [][]bool {
+	mask := make([][]bool, len(batch))
+	for t, q := range batch {
+		row := make([]bool, len(c.cells))
+		for i := range c.cells {
+			row[i] = c.Visible(q, i)
+		}
+		mask[t] = row
+	}
+	return mask
+}
+
+// CheckInvariants validates internal consistency (used by property tests
+// and enabled in debug paths): the used counter matches occupancy and no
+// occupied cell has an empty sequence set or negative position.
+func (c *Cache) CheckInvariants() error {
+	used := 0
+	for i, cell := range c.cells {
+		switch {
+		case cell.Empty() && cell.Pos != -1:
+			return fmt.Errorf("kvcache: cell %d empty but pos=%d", i, cell.Pos)
+		case !cell.Empty() && cell.Pos < 0:
+			return fmt.Errorf("kvcache: cell %d occupied but pos=%d", i, cell.Pos)
+		}
+		if !cell.Empty() {
+			used++
+		}
+	}
+	if used != c.used {
+		return fmt.Errorf("kvcache: used counter %d != actual %d", c.used, used)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package kvcache
+
+import "fmt"
+
+// OpKind enumerates the cache operations that travel through the pipeline
+// as transactions (§IV-C.3): cache commands are not broadcast but pipelined
+// in order with the activation traffic, which is what guarantees that a
+// later run observes exactly the cache state the head intended.
+type OpKind uint8
+
+const (
+	// OpSeqCp copies (metadata-only) Src -> Dst over [P0, P1).
+	OpSeqCp OpKind = iota
+	// OpSeqRm removes Src over [P0, P1).
+	OpSeqRm
+	// OpSeqKeep drops every sequence except Src.
+	OpSeqKeep
+)
+
+// Op is one serialisable cache command.
+type Op struct {
+	Kind     OpKind
+	Src, Dst SeqID
+	P0, P1   int32
+}
+
+// String renders the op for traces and test failures.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpSeqCp:
+		return fmt.Sprintf("cp(%d->%d, [%d,%d))", o.Src, o.Dst, o.P0, o.P1)
+	case OpSeqRm:
+		return fmt.Sprintf("rm(%d, [%d,%d))", o.Src, o.P0, o.P1)
+	case OpSeqKeep:
+		return fmt.Sprintf("keep(%d)", o.Src)
+	default:
+		return fmt.Sprintf("op(%d)", o.Kind)
+	}
+}
+
+// Apply executes the op against c.
+func (o Op) Apply(c *Cache) {
+	switch o.Kind {
+	case OpSeqCp:
+		c.SeqCp(o.Src, o.Dst, o.P0, o.P1)
+	case OpSeqRm:
+		c.SeqRm(o.Src, o.P0, o.P1)
+	case OpSeqKeep:
+		c.SeqKeep(o.Src)
+	default:
+		panic("kvcache: unknown op kind")
+	}
+}
+
+// ApplyAll executes ops in order against c.
+func ApplyAll(c *Cache, ops []Op) {
+	for _, o := range ops {
+		o.Apply(c)
+	}
+}
+
+// EncodeOps serialises ops into a compact wire format (for comm messages).
+func EncodeOps(ops []Op) []byte {
+	buf := make([]byte, 0, len(ops)*11)
+	for _, o := range ops {
+		buf = append(buf, byte(o.Kind), byte(o.Src), byte(o.Dst))
+		buf = appendI32(buf, o.P0)
+		buf = appendI32(buf, o.P1)
+	}
+	return buf
+}
+
+// DecodeOps reverses EncodeOps.
+func DecodeOps(buf []byte) ([]Op, error) {
+	if len(buf)%11 != 0 {
+		return nil, fmt.Errorf("kvcache: op buffer length %d not a multiple of 11", len(buf))
+	}
+	ops := make([]Op, 0, len(buf)/11)
+	for i := 0; i < len(buf); i += 11 {
+		ops = append(ops, Op{
+			Kind: OpKind(buf[i]),
+			Src:  SeqID(buf[i+1]),
+			Dst:  SeqID(buf[i+2]),
+			P0:   readI32(buf[i+3:]),
+			P1:   readI32(buf[i+7:]),
+		})
+	}
+	return ops, nil
+}
+
+func appendI32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func readI32(b []byte) int32 {
+	return int32(b[0]) | int32(b[1])<<8 | int32(b[2])<<16 | int32(b[3])<<24
+}
+
+// SeqAllocator hands out sequence partitions on a FIFO policy (§IV-C: "a
+// queue stores the currently free sequence identifiers"). Sequence 0 is
+// reserved for the canonical sequence and never allocated.
+type SeqAllocator struct {
+	free []SeqID
+}
+
+// NewSeqAllocator creates an allocator managing sequence ids 1..n.
+func NewSeqAllocator(n int) *SeqAllocator {
+	if n < 1 || n >= MaxSeqs {
+		panic(fmt.Sprintf("kvcache: seq allocator size %d out of range [1,%d)", n, MaxSeqs))
+	}
+	a := &SeqAllocator{free: make([]SeqID, 0, n)}
+	for id := SeqID(1); id <= SeqID(n); id++ {
+		a.free = append(a.free, id)
+	}
+	return a
+}
+
+// Alloc pops the next free sequence id, or returns false if exhausted.
+func (a *SeqAllocator) Alloc() (SeqID, bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	id := a.free[0]
+	a.free = a.free[1:]
+	return id, true
+}
+
+// Free returns id to the back of the FIFO.
+func (a *SeqAllocator) Free(id SeqID) {
+	if id == Canonical {
+		panic("kvcache: freeing the canonical sequence")
+	}
+	for _, f := range a.free {
+		if f == id {
+			panic(fmt.Sprintf("kvcache: double free of seq %d", id))
+		}
+	}
+	a.free = append(a.free, id)
+}
+
+// Available reports how many sequence ids are free.
+func (a *SeqAllocator) Available() int { return len(a.free) }

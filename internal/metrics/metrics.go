@@ -1,0 +1,113 @@
+// Package metrics aggregates the paper's evaluation measurements across
+// repetitions (§V-A runs every experiment 10 times and averages).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± std".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.Std)
+}
+
+// Agg aggregates one experimental condition over repetitions.
+type Agg struct {
+	Speed      Summary // tokens/second
+	TTFT       Summary // seconds
+	ITL        Summary // seconds
+	Acceptance Summary // fraction
+	PerNodeGiB Summary // mean resident GiB per node
+	Cancelled  Summary // cancelled runs per generation
+}
+
+// Collector accumulates repetition results for one condition.
+type Collector struct {
+	speed, ttft, itl, acc, mem, cancelled []float64
+}
+
+// Add records one generation's stats and per-node memory bytes.
+func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
+	c.speed = append(c.speed, s.Speed())
+	c.ttft = append(c.ttft, s.TTFT().Seconds())
+	c.itl = append(c.itl, s.ITL().Seconds())
+	c.acc = append(c.acc, s.AcceptanceRate())
+	c.cancelled = append(c.cancelled, float64(s.RunsCancelled))
+	if len(perNodeMem) > 0 {
+		var sum float64
+		for _, m := range perNodeMem {
+			sum += float64(m)
+		}
+		c.mem = append(c.mem, sum/float64(len(perNodeMem))/float64(1<<30))
+	}
+}
+
+// N reports the number of repetitions recorded.
+func (c *Collector) N() int { return len(c.speed) }
+
+// Agg summarises the collected repetitions.
+func (c *Collector) Agg() Agg {
+	return Agg{
+		Speed:      Summarize(c.speed),
+		TTFT:       Summarize(c.ttft),
+		ITL:        Summarize(c.itl),
+		Acceptance: Summarize(c.acc),
+		PerNodeGiB: Summarize(c.mem),
+		Cancelled:  Summarize(c.cancelled),
+	}
+}
+
+// SpeedPerGiB is Fig 7a's memory-efficiency metric: generation speed
+// divided by mean per-node resident memory.
+func (a Agg) SpeedPerGiB() float64 {
+	if a.PerNodeGiB.Mean <= 0 {
+		return 0
+	}
+	return a.Speed.Mean / a.PerNodeGiB.Mean
+}
+
+// DurationSummary renders a seconds summary as a duration string.
+func DurationSummary(s Summary) string {
+	return fmt.Sprintf("%v ± %v",
+		time.Duration(s.Mean*float64(time.Second)).Round(time.Millisecond),
+		time.Duration(s.Std*float64(time.Second)).Round(time.Millisecond))
+}

@@ -1,0 +1,371 @@
+// Package model implements a from-scratch decoder-only transformer
+// (Llama-family architecture: RMSNorm, rotary embeddings, grouped-query
+// attention, SwiGLU MLP) over the tensor and quant substrates.
+//
+// The models used by the real-compute backend are tiny (a few hundred
+// thousand parameters) but architecturally faithful: they are built from
+// the same decoder-layer structure the paper describes (§II), support
+// evaluation over an arbitrary contiguous layer range so pipeline stages
+// can own disjoint layer sets, and read/write a cell-indexed KV store
+// gated by externally supplied visibility sets — exactly the contract
+// Pipelined KV Cache Multibuffering needs.
+//
+// Draft models are derived from the target by perturbing every weight with
+// Gaussian noise: the noise scale directly controls draft/target alignment
+// (and therefore speculation acceptance rate), substituting for the
+// paper's separately trained draft models.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/quant"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Config describes a transformer architecture.
+type Config struct {
+	VocabSize int
+	Dim       int // model (embedding) dimension
+	NLayers   int
+	NHeads    int // query heads
+	NKVHeads  int // key/value heads (GQA when < NHeads)
+	FFNDim    int // hidden dimension of the SwiGLU MLP
+	RopeBase  float64
+	NormEps   float32
+	Quant     quant.Type // storage format of the big weight matrices
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	switch {
+	case c.VocabSize < token.NumSpecial+256:
+		return fmt.Errorf("model: vocab %d too small", c.VocabSize)
+	case c.Dim <= 0 || c.NLayers <= 0 || c.FFNDim <= 0:
+		return fmt.Errorf("model: non-positive dimensions in %+v", c)
+	case c.NHeads <= 0 || c.Dim%c.NHeads != 0:
+		return fmt.Errorf("model: Dim %d not divisible by NHeads %d", c.Dim, c.NHeads)
+	case c.NKVHeads <= 0 || c.NHeads%c.NKVHeads != 0:
+		return fmt.Errorf("model: NHeads %d not divisible by NKVHeads %d", c.NHeads, c.NKVHeads)
+	case (c.Dim/c.NHeads)%2 != 0:
+		return fmt.Errorf("model: head dim %d must be even for RoPE", c.Dim/c.NHeads)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (c Config) HeadDim() int { return c.Dim / c.NHeads }
+
+// KVDim returns the width of the cached K (or V) row per token.
+func (c Config) KVDim() int { return c.NKVHeads * c.HeadDim() }
+
+// TinyConfig returns the default small architecture used in tests and the
+// real-compute examples.
+func TinyConfig() Config {
+	return Config{
+		VocabSize: token.NumSpecial + 256 + 29, // 288: multiple of quant block
+		Dim:       64,
+		NLayers:   8,
+		NHeads:    4,
+		NKVHeads:  2,
+		FFNDim:    160,
+		RopeBase:  10000,
+		NormEps:   1e-5,
+		Quant:     quant.F32,
+	}
+}
+
+// Layer holds one decoder layer's weights.
+type Layer struct {
+	AttnNorm tensor.Vec // Dim
+	Wq       quant.Mat  // Dim x Dim
+	Wk       quant.Mat  // KVDim x Dim
+	Wv       quant.Mat  // KVDim x Dim
+	Wo       quant.Mat  // Dim x Dim
+	FFNNorm  tensor.Vec // Dim
+	WGate    quant.Mat  // FFNDim x Dim
+	WUp      quant.Mat  // FFNDim x Dim
+	WDown    quant.Mat  // Dim x FFNDim
+}
+
+// Model is a full decoder-only transformer.
+type Model struct {
+	Cfg    Config
+	Embed  tensor.Mat // VocabSize x Dim (kept dense: gathered by row)
+	Layers []Layer
+	Norm   tensor.Vec // final RMSNorm
+	Output quant.Mat  // VocabSize x Dim
+}
+
+// New builds a model with deterministic weights derived from seed.
+func New(cfg Config, seed uint64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	m := &Model{Cfg: cfg}
+
+	std := float32(1.0 / math.Sqrt(float64(cfg.Dim)))
+	m.Embed = tensor.NewMat(cfg.VocabSize, cfg.Dim)
+	rng.FillNormal(m.Embed.Data, 1)
+
+	newQ := func(rows, cols int) quant.Mat {
+		w := tensor.NewMat(rows, cols)
+		rng.FillNormal(w.Data, std)
+		return quant.Quantize(w, cfg.Quant)
+	}
+	ones := func(n int) tensor.Vec {
+		v := make(tensor.Vec, n)
+		for i := range v {
+			v[i] = 1
+		}
+		return v
+	}
+
+	m.Layers = make([]Layer, cfg.NLayers)
+	for l := range m.Layers {
+		m.Layers[l] = Layer{
+			AttnNorm: ones(cfg.Dim),
+			Wq:       newQ(cfg.Dim, cfg.Dim),
+			Wk:       newQ(cfg.KVDim(), cfg.Dim),
+			Wv:       newQ(cfg.KVDim(), cfg.Dim),
+			Wo:       newQ(cfg.Dim, cfg.Dim),
+			FFNNorm:  ones(cfg.Dim),
+			WGate:    newQ(cfg.FFNDim, cfg.Dim),
+			WUp:      newQ(cfg.FFNDim, cfg.Dim),
+			WDown:    newQ(cfg.Dim, cfg.FFNDim),
+		}
+	}
+	m.Norm = ones(cfg.Dim)
+	m.Output = newQ(cfg.VocabSize, cfg.Dim)
+	return m, nil
+}
+
+// NewDraft derives a draft model from target by adding Gaussian noise of
+// the given scale to every weight. noise=0 yields a perfectly aligned
+// draft (acceptance ~100%); larger values lower alignment.
+func NewDraft(target *Model, noise float32, seed uint64) *Model {
+	rng := tensor.NewRNG(seed)
+	perturbQ := func(q quant.Mat) quant.Mat {
+		d := q.Dequantize()
+		for i := range d.Data {
+			d.Data[i] += rng.Norm() * noise
+		}
+		return quant.Quantize(d, target.Cfg.Quant)
+	}
+	perturbV := func(v tensor.Vec) tensor.Vec {
+		out := make(tensor.Vec, len(v))
+		copy(out, v)
+		return out
+	}
+	d := &Model{Cfg: target.Cfg}
+	d.Embed = target.Embed.Clone()
+	d.Layers = make([]Layer, len(target.Layers))
+	for l, src := range target.Layers {
+		d.Layers[l] = Layer{
+			AttnNorm: perturbV(src.AttnNorm),
+			Wq:       perturbQ(src.Wq),
+			Wk:       perturbQ(src.Wk),
+			Wv:       perturbQ(src.Wv),
+			Wo:       perturbQ(src.Wo),
+			FFNNorm:  perturbV(src.FFNNorm),
+			WGate:    perturbQ(src.WGate),
+			WUp:      perturbQ(src.WUp),
+			WDown:    perturbQ(src.WDown),
+		}
+	}
+	d.Norm = perturbV(target.Norm)
+	d.Output = perturbQ(target.Output)
+	return d
+}
+
+// Bytes reports the weight footprint of layers [lo, hi) plus, when
+// includeEnds is true, the embedding and output head. This is what the
+// per-node memory accounting (§V-A metric 4) measures.
+func (m *Model) Bytes(lo, hi int, includeEnds bool) int64 {
+	var b int64
+	for l := lo; l < hi; l++ {
+		lay := &m.Layers[l]
+		b += lay.Wq.Bytes() + lay.Wk.Bytes() + lay.Wv.Bytes() + lay.Wo.Bytes()
+		b += lay.WGate.Bytes() + lay.WUp.Bytes() + lay.WDown.Bytes()
+		b += int64(len(lay.AttnNorm)+len(lay.FFNNorm)) * 4
+	}
+	if includeEnds {
+		b += m.Embed.Bytes() + m.Output.Bytes() + int64(len(m.Norm))*4
+	}
+	return b
+}
+
+// KVStore holds the K/V tensor data for a contiguous layer range of one
+// pipeline stage, indexed by cache cell.
+type KVStore struct {
+	lo, hi int
+	K, V   []tensor.Mat // one nCells x KVDim matrix per local layer
+}
+
+// NewKVStore allocates storage for layers [lo, hi) with nCells cells.
+func NewKVStore(cfg Config, lo, hi, nCells int) *KVStore {
+	s := &KVStore{lo: lo, hi: hi}
+	n := hi - lo
+	s.K = make([]tensor.Mat, n)
+	s.V = make([]tensor.Mat, n)
+	for i := 0; i < n; i++ {
+		s.K[i] = tensor.NewMat(nCells, cfg.KVDim())
+		s.V[i] = tensor.NewMat(nCells, cfg.KVDim())
+	}
+	return s
+}
+
+// Bytes reports the KV storage footprint.
+func (s *KVStore) Bytes() int64 {
+	var b int64
+	for i := range s.K {
+		b += s.K[i].Bytes() + s.V[i].Bytes()
+	}
+	return b
+}
+
+func (s *KVStore) layer(l int) int {
+	if l < s.lo || l >= s.hi {
+		panic(fmt.Sprintf("model: layer %d outside store range [%d,%d)", l, s.lo, s.hi))
+	}
+	return l - s.lo
+}
+
+// Batch bundles the per-token placement metadata for one evaluation:
+// Meta[i] gives position and sequence membership, Cells[i] the cache cell
+// the token's K/V rows are written to, and Visible[i] the cells token i may
+// attend to (computed by the caller from kvcache metadata; it includes the
+// cells of earlier tokens in the same batch).
+type Batch struct {
+	Tokens  []token.Token
+	Meta    []kvcache.TokenMeta
+	Cells   []int
+	Visible [][]int
+}
+
+// Len returns the number of tokens in the batch.
+func (b *Batch) Len() int { return len(b.Tokens) }
+
+// Validate checks that the parallel slices agree.
+func (b *Batch) Validate() error {
+	n := len(b.Tokens)
+	if len(b.Meta) != n || len(b.Cells) != n || len(b.Visible) != n {
+		return fmt.Errorf("model: batch slices disagree: tokens=%d meta=%d cells=%d vis=%d",
+			n, len(b.Meta), len(b.Cells), len(b.Visible))
+	}
+	return nil
+}
+
+// EmbedBatch gathers embedding rows for the batch tokens.
+func (m *Model) EmbedBatch(toks []token.Token) tensor.Mat {
+	x := tensor.NewMat(len(toks), m.Cfg.Dim)
+	for i, t := range toks {
+		if int(t) >= m.Cfg.VocabSize || t < 0 {
+			panic(fmt.Sprintf("model: token %d outside vocab %d", t, m.Cfg.VocabSize))
+		}
+		copy(x.Row(i), m.Embed.Row(int(t)))
+	}
+	return x
+}
+
+// ForwardLayers evaluates layers [lo, hi) over the batch, reading input
+// activations x (batch.Len() rows) and returning the output activations.
+// K/V rows for each token are written into kv at the batch's cells. An
+// optional perLayer hook runs after each layer (the cancellation probe
+// point); returning false aborts the evaluation early and ForwardLayers
+// returns (zero matrix, false).
+func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batch, perLayer func(layer int) bool) (tensor.Mat, bool) {
+	if err := batch.Validate(); err != nil {
+		panic(err)
+	}
+	if x.Rows != batch.Len() || x.Cols != m.Cfg.Dim {
+		panic(fmt.Sprintf("model: activation shape %dx%d does not match batch %d x dim %d",
+			x.Rows, x.Cols, batch.Len(), m.Cfg.Dim))
+	}
+	cfg := m.Cfg
+	headDim := cfg.HeadDim()
+	kvDim := cfg.KVDim()
+	groups := cfg.NHeads / cfg.NKVHeads
+	scale := float32(1.0 / math.Sqrt(float64(headDim)))
+
+	// Scratch buffers reused across layers.
+	h := make(tensor.Vec, cfg.Dim)
+	q := tensor.NewMat(batch.Len(), cfg.Dim)
+	attnOut := make(tensor.Vec, cfg.Dim)
+	proj := make(tensor.Vec, cfg.Dim)
+	gate := make(tensor.Vec, cfg.FFNDim)
+	up := make(tensor.Vec, cfg.FFNDim)
+
+	for l := lo; l < hi; l++ {
+		lay := &m.Layers[l]
+		lk := kv.K[kv.layer(l)]
+		lv := kv.V[kv.layer(l)]
+
+		// Phase 1: project q/k/v for every token, apply RoPE, store K/V.
+		for b := 0; b < batch.Len(); b++ {
+			tensor.RMSNorm(h, x.Row(b), lay.AttnNorm, cfg.NormEps)
+			lay.Wq.MatVec(q.Row(b), h)
+			cell := batch.Cells[b]
+			lay.Wk.MatVec(lk.Row(cell), h)
+			lay.Wv.MatVec(lv.Row(cell), h)
+			pos := int(batch.Meta[b].Pos)
+			tensor.RoPE(q.Row(b), headDim, pos, cfg.RopeBase)
+			tensor.RoPE(lk.Row(cell), headDim, pos, cfg.RopeBase)
+		}
+
+		// Phase 2: attention per token over its visible cells, then the
+		// output projection and MLP with residual connections.
+		for b := 0; b < batch.Len(); b++ {
+			vis := batch.Visible[b]
+			scores := make(tensor.Vec, len(vis))
+			for hIdx := 0; hIdx < cfg.NHeads; hIdx++ {
+				kvHead := hIdx / groups
+				qh := q.Row(b)[hIdx*headDim : (hIdx+1)*headDim]
+				for vi, cell := range vis {
+					kh := lk.Row(cell)[kvHead*headDim : (kvHead+1)*headDim]
+					scores[vi] = tensor.Dot(qh, kh) * scale
+				}
+				tensor.Softmax(scores)
+				out := attnOut[hIdx*headDim : (hIdx+1)*headDim]
+				for i := range out {
+					out[i] = 0
+				}
+				for vi, cell := range vis {
+					vh := lv.Row(cell)[kvHead*headDim : (kvHead+1)*headDim]
+					tensor.Axpy(out, scores[vi], vh)
+				}
+			}
+			lay.Wo.MatVec(proj, attnOut)
+			tensor.Add(x.Row(b), x.Row(b), proj)
+
+			tensor.RMSNorm(h, x.Row(b), lay.FFNNorm, cfg.NormEps)
+			lay.WGate.MatVec(gate, h)
+			lay.WUp.MatVec(up, h)
+			tensor.SiLU(gate)
+			tensor.Mul(gate, gate, up)
+			lay.WDown.MatVec(proj, gate)
+			tensor.Add(x.Row(b), x.Row(b), proj)
+		}
+		_ = kvDim
+		if perLayer != nil && !perLayer(l) {
+			return tensor.Mat{}, false
+		}
+	}
+	return x, true
+}
+
+// Logits applies the final norm and output head to activations x,
+// returning one logit row per batch token.
+func (m *Model) Logits(x tensor.Mat) tensor.Mat {
+	out := tensor.NewMat(x.Rows, m.Cfg.VocabSize)
+	h := make(tensor.Vec, m.Cfg.Dim)
+	for b := 0; b < x.Rows; b++ {
+		tensor.RMSNorm(h, x.Row(b), m.Norm, m.Cfg.NormEps)
+		m.Output.MatVec(out.Row(b), h)
+	}
+	return out
+}

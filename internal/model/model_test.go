@@ -1,0 +1,359 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/quant"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func tinyModel(t testing.TB, seed uint64) *Model {
+	t.Helper()
+	cfg := TinyConfig()
+	cfg.NLayers = 4 // keep tests fast
+	m, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := TinyConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.NHeads = 3 // 64 % 3 != 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for indivisible heads")
+	}
+	bad = good
+	bad.NKVHeads = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for GQA mismatch")
+	}
+	bad = good
+	bad.VocabSize = 10
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for tiny vocab")
+	}
+}
+
+func TestModelDeterministicInit(t *testing.T) {
+	a := tinyModel(t, 1)
+	b := tinyModel(t, 1)
+	for i := range a.Embed.Data {
+		if a.Embed.Data[i] != b.Embed.Data[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+	c := tinyModel(t, 2)
+	if a.Embed.Data[0] == c.Embed.Data[0] {
+		t.Fatal("different seeds produced identical first weight")
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	m := tinyModel(t, 3)
+	prompt := []token.Token{token.BOS, 10, 20, 30}
+
+	r1 := NewRunner(m, 256)
+	out1, err := r1.Greedy(prompt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(m, 256)
+	out2, err := r2.Greedy(prompt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("greedy output differs at %d: %d vs %d", i, out1[i], out2[i])
+		}
+	}
+}
+
+// TestIncrementalMatchesBatched is the central KV-cache invariant: feeding
+// tokens one at a time through the cache must produce the same final
+// logits as evaluating them in one batch.
+func TestIncrementalMatchesBatched(t *testing.T) {
+	m := tinyModel(t, 4)
+	toks := []token.Token{token.BOS, 5, 9, 100, 42, 7}
+
+	batched := NewRunner(m, 64)
+	lb, err := batched.EvalSeq(toks, 0, kvcache.Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc := NewRunner(m, 64)
+	var last tensor.Mat
+	for i, tok := range toks {
+		last, err = inc.EvalSeq([]token.Token{tok}, int32(i), kvcache.Canonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bRow := lb.Row(lb.Rows - 1)
+	iRow := last.Row(0)
+	for j := range bRow {
+		d := bRow[j] - iRow[j]
+		if d < -1e-3 || d > 1e-3 {
+			t.Fatalf("logit %d differs: batched %v vs incremental %v", j, bRow[j], iRow[j])
+		}
+	}
+}
+
+// TestPipelineSplitMatchesWhole verifies that evaluating layer ranges on
+// separate KV stores (as pipeline stages do) reproduces the whole-model
+// forward pass exactly.
+func TestPipelineSplitMatchesWhole(t *testing.T) {
+	m := tinyModel(t, 5)
+	cfg := m.Cfg
+	toks := []token.Token{token.BOS, 11, 22, 33}
+
+	// Whole-model reference.
+	whole := NewRunner(m, 64)
+	want, err := whole.EvalSeq(toks, 0, kvcache.Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two-stage split: layers [0,2) and [2,4), separate caches+stores per
+	// stage exactly like two pipeline nodes.
+	split := cfg.NLayers / 2
+	cacheA := kvcache.New(64)
+	cacheB := kvcache.New(64)
+	storeA := NewKVStore(cfg, 0, split, 64)
+	storeB := NewKVStore(cfg, split, cfg.NLayers, 64)
+
+	prep := func(c *kvcache.Cache) *Batch {
+		meta := make([]kvcache.TokenMeta, len(toks))
+		for i := range toks {
+			meta[i] = kvcache.TokenMeta{Pos: int32(i), Seqs: kvcache.NewSeqSet(0)}
+		}
+		cells, err := c.FindSlots(len(toks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cell := range cells {
+			c.Occupy(cell, meta[i].Pos, meta[i].Seqs)
+		}
+		b := &Batch{Tokens: toks, Meta: meta, Cells: cells, Visible: make([][]int, len(toks))}
+		for i := range toks {
+			b.Visible[i] = c.VisibleCells(nil, meta[i])
+		}
+		return b
+	}
+
+	x := m.EmbedBatch(toks)
+	x, ok := m.ForwardLayers(0, split, x, storeA, prep(cacheA), nil)
+	if !ok {
+		t.Fatal("stage A aborted")
+	}
+	x, ok = m.ForwardLayers(split, cfg.NLayers, x, storeB, prep(cacheB), nil)
+	if !ok {
+		t.Fatal("stage B aborted")
+	}
+	got := m.Logits(x)
+
+	for b := 0; b < want.Rows; b++ {
+		wr, gr := want.Row(b), got.Row(b)
+		for j := range wr {
+			d := wr[j] - gr[j]
+			if d < -1e-4 || d > 1e-4 {
+				t.Fatalf("token %d logit %d: whole %v split %v", b, j, wr[j], gr[j])
+			}
+		}
+	}
+}
+
+// TestSequenceIsolation verifies that two sequences with different
+// contents do not contaminate each other through the shared cell pool.
+func TestSequenceIsolation(t *testing.T) {
+	m := tinyModel(t, 6)
+
+	// Sequence 1 alone.
+	solo := NewRunner(m, 128)
+	want, err := solo.EvalSeq([]token.Token{token.BOS, 50, 60}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequence 1 interleaved with an unrelated sequence 2.
+	mixed := NewRunner(m, 128)
+	if _, err := mixed.EvalSeq([]token.Token{token.BOS, 200, 210, 220}, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mixed.EvalSeq([]token.Token{token.BOS, 50, 60}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lastW := want.Row(want.Rows - 1)
+	lastG := got.Row(got.Rows - 1)
+	for j := range lastW {
+		d := lastW[j] - lastG[j]
+		if d < -1e-4 || d > 1e-4 {
+			t.Fatalf("cross-sequence contamination at logit %d: %v vs %v", j, lastW[j], lastG[j])
+		}
+	}
+}
+
+// TestSeqCpSharedPrefix verifies the multibuffering primitive end to end:
+// a sequence created by SeqCp of a prefix plus its own new token matches
+// evaluating the full sequence from scratch.
+func TestSeqCpSharedPrefix(t *testing.T) {
+	m := tinyModel(t, 7)
+	prefix := []token.Token{token.BOS, 10, 20}
+	next := token.Token(30)
+
+	// Reference: full sequence in one cache.
+	ref := NewRunner(m, 128)
+	full := append(append([]token.Token{}, prefix...), next)
+	want, err := ref.EvalSeq(full, 0, kvcache.Canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared: prefix in canonical seq, then SeqCp into seq 3 and evaluate
+	// only the new token there.
+	sh := NewRunner(m, 128)
+	if _, err := sh.EvalSeq(prefix, 0, kvcache.Canonical); err != nil {
+		t.Fatal(err)
+	}
+	sh.Cache.SeqCp(kvcache.Canonical, 3, 0, int32(len(prefix)))
+	got, err := sh.EvalSeq([]token.Token{next}, int32(len(prefix)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wr := want.Row(want.Rows - 1)
+	gr := got.Row(0)
+	for j := range wr {
+		d := wr[j] - gr[j]
+		if d < -1e-4 || d > 1e-4 {
+			t.Fatalf("shared-prefix eval differs at logit %d: %v vs %v", j, wr[j], gr[j])
+		}
+	}
+}
+
+func TestDraftAlignmentMonotonic(t *testing.T) {
+	m := tinyModel(t, 8)
+	prompt := []token.Token{token.BOS, 40, 41, 42}
+	ref := NewRunner(m, 256)
+	want, err := ref.Greedy(prompt, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agree := func(noise float32) int {
+		d := NewDraft(m, noise, 99)
+		r := NewRunner(d, 256)
+		got, err := r.Greedy(prompt, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range got {
+			if got[i] == want[i] {
+				n++
+			} else {
+				break // prefix agreement is what speculation sees
+			}
+		}
+		return n
+	}
+
+	zero := agree(0)
+	if zero != 24 {
+		t.Fatalf("noise=0 draft should agree fully, got %d/24", zero)
+	}
+	heavy := agree(2.0)
+	if heavy >= zero {
+		t.Fatalf("heavy noise should reduce agreement: %d vs %d", heavy, zero)
+	}
+}
+
+func TestPerLayerHookAbort(t *testing.T) {
+	m := tinyModel(t, 9)
+	r := NewRunner(m, 32)
+	batch, err := r.PrepareBatch([]token.Token{token.BOS},
+		[]kvcache.TokenMeta{{Pos: 0, Seqs: kvcache.NewSeqSet(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.EmbedBatch(batch.Tokens)
+	calls := 0
+	_, ok := m.ForwardLayers(0, m.Cfg.NLayers, x, r.Store, batch, func(l int) bool {
+		calls++
+		return calls < 2 // abort after the second layer
+	})
+	if ok {
+		t.Fatal("expected aborted evaluation")
+	}
+	if calls != 2 {
+		t.Fatalf("hook called %d times, want 2", calls)
+	}
+}
+
+func TestQuantizedModelRuns(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.NLayers = 2
+	cfg.Quant = quant.Q8
+	m, err := New(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(m, 64)
+	out, err := r.Greedy([]token.Token{token.BOS, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("generated %d tokens, want 4", len(out))
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := tinyModel(t, 11)
+	all := m.Bytes(0, m.Cfg.NLayers, true)
+	mid := m.Bytes(1, 3, false)
+	if all <= mid {
+		t.Fatal("full model should outweigh a slice")
+	}
+	perLayer := m.Bytes(0, 1, false)
+	if perLayer*int64(m.Cfg.NLayers) != m.Bytes(0, m.Cfg.NLayers, false) {
+		t.Fatal("layer bytes should be uniform")
+	}
+	if NewKVStore(m.Cfg, 0, 2, 16).Bytes() != int64(2*2*16*m.Cfg.KVDim()*4) {
+		t.Fatal("KV store bytes wrong")
+	}
+}
+
+func TestRunnerSlotExhaustion(t *testing.T) {
+	m := tinyModel(t, 12)
+	r := NewRunner(m, 2)
+	if _, err := r.EvalSeq([]token.Token{1, 2, 3}, 0, 0); err == nil {
+		t.Fatal("expected slot exhaustion error")
+	}
+}
+
+func BenchmarkForwardSingleToken(b *testing.B) {
+	m := tinyModel(b, 13)
+	r := NewRunner(m, 4096)
+	if _, err := r.EvalSeq([]token.Token{token.BOS, 1, 2, 3}, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EvalSeq([]token.Token{5}, int32(4+i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

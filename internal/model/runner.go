@@ -1,0 +1,102 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Runner couples a whole model with a KV cache and store for single-node
+// evaluation: the single-node baseline engine, the real drafter, and the
+// model unit tests all drive inference through it.
+type Runner struct {
+	M     *Model
+	Cache *kvcache.Cache
+	Store *KVStore
+}
+
+// NewRunner creates a runner with an nCells-cell cache.
+func NewRunner(m *Model, nCells int) *Runner {
+	return &Runner{
+		M:     m,
+		Cache: kvcache.New(nCells),
+		Store: NewKVStore(m.Cfg, 0, m.Cfg.NLayers, nCells),
+	}
+}
+
+// PrepareBatch occupies cache cells for the given token metadata and
+// computes per-token visibility. It must be called before evaluation; the
+// returned batch feeds ForwardLayers.
+func (r *Runner) PrepareBatch(toks []token.Token, meta []kvcache.TokenMeta) (*Batch, error) {
+	if len(toks) != len(meta) {
+		return nil, fmt.Errorf("model: %d tokens vs %d metadata entries", len(toks), len(meta))
+	}
+	cells, err := r.Cache.FindSlots(len(toks))
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r.Cache.Occupy(c, meta[i].Pos, meta[i].Seqs)
+	}
+	batch := &Batch{Tokens: toks, Meta: meta, Cells: cells, Visible: make([][]int, len(toks))}
+	for i := range toks {
+		batch.Visible[i] = r.Cache.VisibleCells(nil, meta[i])
+	}
+	return batch, nil
+}
+
+// Eval runs the full model over the batch tokens and returns the logits
+// (one row per token). Cache cells are occupied as a side effect.
+func (r *Runner) Eval(toks []token.Token, meta []kvcache.TokenMeta) (tensor.Mat, error) {
+	batch, err := r.PrepareBatch(toks, meta)
+	if err != nil {
+		return tensor.Mat{}, err
+	}
+	x := r.M.EmbedBatch(toks)
+	x, ok := r.M.ForwardLayers(0, r.M.Cfg.NLayers, x, r.Store, batch, nil)
+	if !ok {
+		return tensor.Mat{}, fmt.Errorf("model: evaluation aborted")
+	}
+	return r.M.Logits(x), nil
+}
+
+// EvalSeq is a convenience wrapper evaluating toks at consecutive positions
+// startPos.. in a single sequence.
+func (r *Runner) EvalSeq(toks []token.Token, startPos int32, seq kvcache.SeqID) (tensor.Mat, error) {
+	meta := make([]kvcache.TokenMeta, len(toks))
+	for i := range toks {
+		meta[i] = kvcache.TokenMeta{Pos: startPos + int32(i), Seqs: kvcache.NewSeqSet(seq)}
+	}
+	return r.Eval(toks, meta)
+}
+
+// Greedy generates maxNew tokens after prompt with greedy sampling,
+// returning only the generated tokens. It is the reference non-speculative
+// decoder all other engines must match bit-for-bit under greedy sampling.
+func (r *Runner) Greedy(prompt []token.Token, maxNew int) ([]token.Token, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("model: empty prompt")
+	}
+	logits, err := r.EvalSeq(prompt, 0, kvcache.Canonical)
+	if err != nil {
+		return nil, err
+	}
+	next := token.Token(tensor.ArgMax(logits.Row(logits.Rows - 1)))
+	out := make([]token.Token, 0, maxNew)
+	pos := int32(len(prompt))
+	for len(out) < maxNew {
+		out = append(out, next)
+		logits, err = r.EvalSeq([]token.Token{next}, pos, kvcache.Canonical)
+		if err != nil {
+			return nil, err
+		}
+		next = token.Token(tensor.ArgMax(logits.Row(0)))
+		pos++
+	}
+	return out, nil
+}
+
+// Reset clears the cache so the runner can be reused for a fresh sequence.
+func (r *Runner) Reset() { r.Cache.Clear() }

@@ -1,0 +1,154 @@
+// Package oracle provides deterministic synthetic target/draft model
+// behaviour for the simulated backend.
+//
+// The scheduling algorithms under study observe exactly two things about
+// the models: which token the target model emits for a given context, and
+// whether the draft model's proposal for that context matches it. The
+// oracle therefore implements both as pure functions of the context token
+// sequence (hash chains), with the per-token agreement probability
+// calibrated to the acceptance rate the paper reports for each model pair
+// (§V-B). Determinism gives three properties the experiments need:
+// identical output across engines (the paper's §V-B correctness check),
+// bit-reproducible simulations, and acceptance rates that concentrate
+// tightly around the calibration target.
+package oracle
+
+import (
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Oracle is a deterministic target/draft model pair.
+type Oracle struct {
+	// Vocab is the vocabulary size; emitted tokens lie in
+	// [token.NumSpecial, Vocab) so generation never hits specials.
+	Vocab int
+	// TargetSeed determines the target model's output stream.
+	TargetSeed uint64
+	// DraftSeed determines where the draft diverges from the target.
+	DraftSeed uint64
+	// Alpha is the probability the draft's top proposal matches the
+	// target for a given context (the pair's acceptance rate).
+	Alpha float64
+	// Alpha2 is the probability the *second* branch candidate matches the
+	// target when the first missed (tree speculation's branch benefit).
+	Alpha2 float64
+}
+
+// New builds an oracle with the given acceptance rate.
+func New(vocab int, alpha float64, seed uint64) *Oracle {
+	return &Oracle{
+		Vocab:      vocab,
+		TargetSeed: seed,
+		DraftSeed:  seed ^ 0xd4af7_5eed,
+		Alpha:      alpha,
+		Alpha2:     0.3,
+	}
+}
+
+// fold hashes a context token sequence into a 64-bit state.
+func fold(seed uint64, ctx []token.Token) uint64 {
+	h := seed
+	for _, t := range ctx {
+		h = tensor.Hash64(h, uint64(uint32(t)))
+	}
+	return h
+}
+
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// mapTok maps a hash into the non-special token range.
+func (o *Oracle) mapTok(h uint64) token.Token {
+	span := uint64(o.Vocab - token.NumSpecial)
+	return token.Token(h%span) + token.NumSpecial
+}
+
+// TargetNext returns the target model's greedy token following ctx.
+func (o *Oracle) TargetNext(ctx []token.Token) token.Token {
+	return o.mapTok(fold(o.TargetSeed, ctx))
+}
+
+// TargetStream returns the n target tokens following prompt.
+func (o *Oracle) TargetStream(prompt []token.Token, n int) []token.Token {
+	ctx := append([]token.Token{}, prompt...)
+	out := make([]token.Token, 0, n)
+	for i := 0; i < n; i++ {
+		t := o.TargetNext(ctx)
+		out = append(out, t)
+		ctx = append(ctx, t)
+	}
+	return out
+}
+
+// Propose returns up to width draft candidates for the context, with
+// confidences in descending order. It implements spec.Proposer.
+//
+// The top candidate equals the target token with probability Alpha; when
+// it misses, the second candidate (if width > 1) equals the target with
+// probability Alpha2. Divergent candidates are deterministic decoys.
+// Confidences correlate mildly with correctness, as real draft confidence
+// does, so the confidence-cutoff machinery has signal to work with.
+func (o *Oracle) Propose(ctx []token.Token, width int) ([]token.Token, []float32) {
+	if width < 1 {
+		return nil, nil
+	}
+	h := fold(o.DraftSeed, ctx)
+	target := o.TargetNext(ctx)
+
+	toks := make([]token.Token, 0, width)
+	probs := make([]float32, 0, width)
+
+	agree := unit(tensor.Hash64(h, 1)) < o.Alpha
+	confRoll := unit(tensor.Hash64(h, 2))
+	var first token.Token
+	var conf float64
+	if agree {
+		first = target
+		conf = 0.55 + 0.40*confRoll
+	} else {
+		first = o.decoy(h, target, 0)
+		conf = 0.30 + 0.55*confRoll
+	}
+	toks = append(toks, first)
+	probs = append(probs, float32(conf))
+
+	remaining := conf
+	for i := 1; i < width; i++ {
+		var cand token.Token
+		if !agree && i == 1 && unit(tensor.Hash64(h, 3)) < o.Alpha2 {
+			cand = target
+		} else {
+			cand = o.decoy(h, target, uint64(i))
+		}
+		// Avoid duplicate candidates.
+		dup := false
+		for _, t := range toks {
+			if t == cand {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			cand = o.decoy(h, target, uint64(i)+100)
+		}
+		c := remaining * (0.4 + 0.3*unit(tensor.Hash64(h, 4+uint64(i))))
+		remaining = c
+		toks = append(toks, cand)
+		probs = append(probs, float32(c))
+	}
+	return toks, probs
+}
+
+// decoy returns a deterministic wrong token (never equal to target).
+func (o *Oracle) decoy(h uint64, target token.Token, salt uint64) token.Token {
+	for i := uint64(0); ; i++ {
+		t := o.mapTok(tensor.Hash64(h, 0x0dec0+salt, i))
+		if t != target {
+			return t
+		}
+	}
+}
+
+var _ interface {
+	Propose(ctx []token.Token, width int) ([]token.Token, []float32)
+} = (*Oracle)(nil)

@@ -1,0 +1,186 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func TestTargetDeterminism(t *testing.T) {
+	o := New(1000, 0.7, 42)
+	ctx := []token.Token{5, 6, 7}
+	a := o.TargetNext(ctx)
+	b := o.TargetNext(ctx)
+	if a != b {
+		t.Fatal("target not deterministic")
+	}
+	c := o.TargetNext([]token.Token{5, 6, 8})
+	if a == c {
+		t.Fatal("target insensitive to context (collision is astronomically unlikely)")
+	}
+	if a < token.NumSpecial || int(a) >= 1000 {
+		t.Fatalf("token %d out of range", a)
+	}
+}
+
+func TestTargetStreamChains(t *testing.T) {
+	o := New(1000, 0.7, 1)
+	prompt := []token.Token{1, 2, 3}
+	s := o.TargetStream(prompt, 10)
+	if len(s) != 10 {
+		t.Fatalf("stream length %d", len(s))
+	}
+	// Chaining: token i must equal TargetNext(prompt + s[:i]).
+	ctx := append([]token.Token{}, prompt...)
+	for i, tok := range s {
+		if want := o.TargetNext(ctx); want != tok {
+			t.Fatalf("stream token %d inconsistent", i)
+		}
+		ctx = append(ctx, tok)
+	}
+}
+
+func TestProposeDeterministic(t *testing.T) {
+	o := New(1000, 0.6, 7)
+	ctx := []token.Token{10, 20}
+	t1, p1 := o.Propose(ctx, 3)
+	t2, p2 := o.Propose(ctx, 3)
+	for i := range t1 {
+		if t1[i] != t2[i] || p1[i] != p2[i] {
+			t.Fatal("Propose not deterministic")
+		}
+	}
+	if len(t1) != 3 {
+		t.Fatalf("want 3 candidates, got %d", len(t1))
+	}
+	for i := 1; i < len(p1); i++ {
+		if p1[i] > p1[i-1] {
+			t.Fatalf("confidences not descending: %v", p1)
+		}
+	}
+}
+
+func TestProposeNoDuplicates(t *testing.T) {
+	o := New(300, 0.5, 9)
+	for trial := 0; trial < 50; trial++ {
+		ctx := []token.Token{token.Token(trial), token.Token(trial * 3)}
+		toks, _ := o.Propose(ctx, 4)
+		seen := map[token.Token]bool{}
+		for _, tok := range toks {
+			if seen[tok] {
+				t.Fatalf("duplicate candidate %d in %v", tok, toks)
+			}
+			seen[tok] = true
+		}
+	}
+}
+
+// TestAcceptanceCalibration runs chain speculation along the target stream
+// and verifies the measured agreement rate matches Alpha.
+func TestAcceptanceCalibration(t *testing.T) {
+	for _, alpha := range []float64{0.52, 0.66, 0.79} {
+		o := New(32000, alpha, 123)
+		ctx := []token.Token{1, 2, 3, 4}
+		agree, total := 0, 0
+		for i := 0; i < 5000; i++ {
+			target := o.TargetNext(ctx)
+			props, _ := o.Propose(ctx, 1)
+			if props[0] == target {
+				agree++
+			}
+			total++
+			ctx = append(ctx, target) // follow the accepted stream
+		}
+		got := float64(agree) / float64(total)
+		if math.Abs(got-alpha) > 0.03 {
+			t.Fatalf("alpha=%.2f: measured agreement %.3f", alpha, got)
+		}
+	}
+}
+
+// TestBranchBenefit: with width 2, the chance that *some* candidate
+// matches the target must exceed Alpha (tree speculation's advantage).
+func TestBranchBenefit(t *testing.T) {
+	o := New(32000, 0.5, 321)
+	ctx := []token.Token{9}
+	hit1, hit2 := 0, 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		target := o.TargetNext(ctx)
+		props, _ := o.Propose(ctx, 2)
+		if props[0] == target {
+			hit1++
+		}
+		if props[0] == target || props[1] == target {
+			hit2++
+		}
+		ctx = append(ctx, target)
+	}
+	if hit2 <= hit1 {
+		t.Fatalf("second branch added nothing: %d vs %d", hit2, hit1)
+	}
+	gain := float64(hit2-hit1) / float64(n)
+	if gain < 0.05 {
+		t.Fatalf("branch gain %.3f too small", gain)
+	}
+}
+
+func TestDecoyNeverTarget(t *testing.T) {
+	o := New(300, 0.0, 11) // alpha 0: proposals always diverge
+	ctx := []token.Token{4, 5}
+	for i := 0; i < 200; i++ {
+		target := o.TargetNext(ctx)
+		props, _ := o.Propose(ctx, 1)
+		if props[0] == target {
+			t.Fatal("alpha=0 oracle proposed the target token")
+		}
+		ctx = append(ctx, target)
+	}
+}
+
+func TestAlphaOneAlwaysAgrees(t *testing.T) {
+	o := New(300, 1.0, 12)
+	ctx := []token.Token{8}
+	for i := 0; i < 200; i++ {
+		target := o.TargetNext(ctx)
+		props, _ := o.Propose(ctx, 1)
+		if props[0] != target {
+			t.Fatal("alpha=1 oracle diverged")
+		}
+		ctx = append(ctx, target)
+	}
+}
+
+func TestConfidencesInUnitRange(t *testing.T) {
+	o := New(500, 0.6, 13)
+	ctx := []token.Token{1}
+	for i := 0; i < 100; i++ {
+		_, probs := o.Propose(ctx, 4)
+		for _, p := range probs {
+			if p <= 0 || p >= 1 {
+				t.Fatalf("confidence %v out of (0,1)", p)
+			}
+		}
+		ctx = append(ctx, o.TargetNext(ctx))
+	}
+}
+
+func TestSeedsIndependent(t *testing.T) {
+	a := New(32000, 0.7, 1)
+	b := New(32000, 0.7, 2)
+	ctx := []token.Token{1, 2, 3}
+	if a.TargetNext(ctx) == b.TargetNext(ctx) {
+		// One collision is possible but suspicious; check a few.
+		same := 0
+		for i := 0; i < 10; i++ {
+			c := append(ctx, token.Token(i))
+			if a.TargetNext(c) == b.TargetNext(c) {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatal("different seeds produce the same stream")
+		}
+	}
+}

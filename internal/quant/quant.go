@@ -1,0 +1,240 @@
+// Package quant implements block quantization formats modelled on
+// llama.cpp's Q8_0 and Q4_0 layouts, plus matrix-vector products that
+// operate directly on quantized weights.
+//
+// The paper's evaluation runs every model in a quantized format (Q2_K
+// through Q5_K, Table I/III). For the real-compute backend the precise
+// k-quant bit packing is irrelevant — what matters is that (a) weights are
+// block-quantized with a per-block scale, (b) dequantisation happens on the
+// fly inside the matmul kernel, and (c) bytes-per-weight drops accordingly,
+// which is what the cost model keys on. Q8_0 (8-bit, block 32) and Q4_0
+// (4-bit, block 32) capture exactly that.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+)
+
+// BlockSize is the number of weights per quantization block, matching
+// llama.cpp's QK8_0/QK4_0.
+const BlockSize = 32
+
+// Type identifies a quantization format.
+type Type int
+
+const (
+	// F32 means no quantization (4 bytes/weight).
+	F32 Type = iota
+	// Q8 is 8-bit block quantization (ca. 1.06 bytes/weight).
+	Q8
+	// Q4 is 4-bit block quantization (ca. 0.56 bytes/weight).
+	Q4
+)
+
+// String returns the llama.cpp-style name of the format.
+func (t Type) String() string {
+	switch t {
+	case F32:
+		return "F32"
+	case Q8:
+		return "Q8_0"
+	case Q4:
+		return "Q4_0"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// BytesPerWeight reports the storage cost of one weight in format t,
+// including the per-block scale overhead.
+func (t Type) BytesPerWeight() float64 {
+	switch t {
+	case F32:
+		return 4
+	case Q8:
+		return (BlockSize + 4) / float64(BlockSize) // int8 + f32 scale per block
+	case Q4:
+		return (BlockSize/2 + 4) / float64(BlockSize)
+	default:
+		panic("quant: unknown type")
+	}
+}
+
+// Mat is a block-quantized row-major matrix. Each row is quantized
+// independently in blocks of BlockSize weights; Cols must therefore be a
+// multiple of BlockSize for Q8/Q4 matrices.
+type Mat struct {
+	Rows, Cols int
+	Typ        Type
+
+	// f32 storage (Typ == F32).
+	f32 []float32
+	// quantized storage: one scale per block plus packed values.
+	scales []float32
+	q8     []int8
+	q4     []uint8 // two 4-bit values per byte
+}
+
+// Quantize converts a dense matrix into format t.
+func Quantize(m tensor.Mat, t Type) Mat {
+	if t != F32 && m.Cols%BlockSize != 0 {
+		panic(fmt.Sprintf("quant: Cols=%d not a multiple of block size %d", m.Cols, BlockSize))
+	}
+	q := Mat{Rows: m.Rows, Cols: m.Cols, Typ: t}
+	switch t {
+	case F32:
+		q.f32 = make([]float32, len(m.Data))
+		copy(q.f32, m.Data)
+	case Q8:
+		nBlocks := m.Rows * m.Cols / BlockSize
+		q.scales = make([]float32, nBlocks)
+		q.q8 = make([]int8, m.Rows*m.Cols)
+		for b := 0; b < nBlocks; b++ {
+			src := m.Data[b*BlockSize : (b+1)*BlockSize]
+			amax := float32(0)
+			for _, v := range src {
+				if a := float32(math.Abs(float64(v))); a > amax {
+					amax = a
+				}
+			}
+			scale := amax / 127
+			q.scales[b] = scale
+			inv := float32(0)
+			if scale != 0 {
+				inv = 1 / scale
+			}
+			for i, v := range src {
+				q.q8[b*BlockSize+i] = int8(roundClamp(v*inv, -127, 127))
+			}
+		}
+	case Q4:
+		nBlocks := m.Rows * m.Cols / BlockSize
+		q.scales = make([]float32, nBlocks)
+		q.q4 = make([]uint8, m.Rows*m.Cols/2)
+		for b := 0; b < nBlocks; b++ {
+			src := m.Data[b*BlockSize : (b+1)*BlockSize]
+			amax := float32(0)
+			for _, v := range src {
+				if a := float32(math.Abs(float64(v))); a > amax {
+					amax = a
+				}
+			}
+			scale := amax / 7
+			q.scales[b] = scale
+			inv := float32(0)
+			if scale != 0 {
+				inv = 1 / scale
+			}
+			for i := 0; i < BlockSize; i += 2 {
+				lo := uint8(roundClamp(src[i]*inv, -8, 7) + 8)
+				hi := uint8(roundClamp(src[i+1]*inv, -8, 7) + 8)
+				q.q4[(b*BlockSize+i)/2] = lo | hi<<4
+			}
+		}
+	}
+	return q
+}
+
+func roundClamp(v, lo, hi float32) float32 {
+	r := float32(math.Round(float64(v)))
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}
+
+// Dequantize expands the matrix back to dense f32 form.
+func (q Mat) Dequantize() tensor.Mat {
+	out := tensor.NewMat(q.Rows, q.Cols)
+	switch q.Typ {
+	case F32:
+		copy(out.Data, q.f32)
+	case Q8:
+		for b := range q.scales {
+			s := q.scales[b]
+			for i := 0; i < BlockSize; i++ {
+				out.Data[b*BlockSize+i] = float32(q.q8[b*BlockSize+i]) * s
+			}
+		}
+	case Q4:
+		for b := range q.scales {
+			s := q.scales[b]
+			for i := 0; i < BlockSize; i += 2 {
+				packed := q.q4[(b*BlockSize+i)/2]
+				out.Data[b*BlockSize+i] = (float32(packed&0x0f) - 8) * s
+				out.Data[b*BlockSize+i+1] = (float32(packed>>4) - 8) * s
+			}
+		}
+	}
+	return out
+}
+
+// Bytes reports the storage footprint of the quantized matrix.
+func (q Mat) Bytes() int64 {
+	switch q.Typ {
+	case F32:
+		return int64(len(q.f32)) * 4
+	case Q8:
+		return int64(len(q.q8)) + int64(len(q.scales))*4
+	case Q4:
+		return int64(len(q.q4)) + int64(len(q.scales))*4
+	default:
+		return 0
+	}
+}
+
+// MatVec computes dst = q * x, dequantising on the fly. Rows are
+// parallelised exactly like tensor.MatVec.
+func (q Mat) MatVec(dst, x []float32) {
+	if len(x) != q.Cols || len(dst) != q.Rows {
+		panic(fmt.Sprintf("quant: MatVec shape mismatch: m=%dx%d x=%d dst=%d",
+			q.Rows, q.Cols, len(x), len(dst)))
+	}
+	switch q.Typ {
+	case F32:
+		m := tensor.Mat{Rows: q.Rows, Cols: q.Cols, Data: q.f32}
+		tensor.MatVec(dst, m, x)
+	case Q8:
+		blocksPerRow := q.Cols / BlockSize
+		for r := 0; r < q.Rows; r++ {
+			var acc float64
+			for b := 0; b < blocksPerRow; b++ {
+				blk := r*blocksPerRow + b
+				s := q.scales[blk]
+				var sub float32
+				base := blk * BlockSize
+				xb := x[b*BlockSize : (b+1)*BlockSize]
+				for i := 0; i < BlockSize; i++ {
+					sub += float32(q.q8[base+i]) * xb[i]
+				}
+				acc += float64(s * sub)
+			}
+			dst[r] = float32(acc)
+		}
+	case Q4:
+		blocksPerRow := q.Cols / BlockSize
+		for r := 0; r < q.Rows; r++ {
+			var acc float64
+			for b := 0; b < blocksPerRow; b++ {
+				blk := r*blocksPerRow + b
+				s := q.scales[blk]
+				var sub float32
+				base := blk * BlockSize
+				xb := x[b*BlockSize : (b+1)*BlockSize]
+				for i := 0; i < BlockSize; i += 2 {
+					packed := q.q4[(base+i)/2]
+					sub += (float32(packed&0x0f) - 8) * xb[i]
+					sub += (float32(packed>>4) - 8) * xb[i+1]
+				}
+				acc += float64(s * sub)
+			}
+			dst[r] = float32(acc)
+		}
+	}
+}

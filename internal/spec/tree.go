@@ -1,0 +1,206 @@
+// Package spec implements speculation trees and token verification
+// (§II-A). A tree of candidate continuations is produced by a draft model,
+// linearised into a single batch whose attention mask keeps sibling
+// branches mutually invisible, evaluated by the target model, and then
+// verified token by token against the target's output distributions.
+//
+// Both verification modes from the literature are provided: greedy
+// verification (used by every experiment in the paper, guaranteeing
+// bit-identical output to non-speculative greedy decoding) and the
+// SpecInfer stochastic token verification algorithm the paper adopts for
+// sampling without distribution drift (§IV-E).
+package spec
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Node is one speculated token in the tree.
+type Node struct {
+	Token    token.Token
+	Prob     float32 // draft confidence for this token
+	Parent   int     // index of parent node, or -1 for a root
+	Children []int
+	Depth    int // 0 for roots
+}
+
+// Tree is a tree of speculative continuations rooted at absolute position
+// BasePos: every root token is a candidate for position BasePos, its
+// children for BasePos+1, and so on.
+type Tree struct {
+	BasePos int32
+	Nodes   []Node
+}
+
+// NewTree creates an empty tree whose roots sit at position basePos.
+func NewTree(basePos int32) *Tree {
+	return &Tree{BasePos: basePos}
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return len(t.Nodes) }
+
+// AddRoot appends a root candidate and returns its index.
+func (t *Tree) AddRoot(tok token.Token, prob float32) int {
+	t.Nodes = append(t.Nodes, Node{Token: tok, Prob: prob, Parent: -1, Depth: 0})
+	return len(t.Nodes) - 1
+}
+
+// AddChild appends a child of parent and returns its index.
+func (t *Tree) AddChild(parent int, tok token.Token, prob float32) int {
+	if parent < 0 || parent >= len(t.Nodes) {
+		panic(fmt.Sprintf("spec: parent %d out of range", parent))
+	}
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{
+		Token: tok, Prob: prob, Parent: parent, Depth: t.Nodes[parent].Depth + 1,
+	})
+	t.Nodes[parent].Children = append(t.Nodes[parent].Children, idx)
+	return idx
+}
+
+// Pos returns the absolute position of node i.
+func (t *Tree) Pos(i int) int32 { return t.BasePos + int32(t.Nodes[i].Depth) }
+
+// Leaves returns the indices of all leaf nodes in insertion order.
+func (t *Tree) Leaves() []int {
+	var out []int
+	for i, n := range t.Nodes {
+		if len(n.Children) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PathTo returns the tokens from the root down to and including node i.
+func (t *Tree) PathTo(i int) []token.Token {
+	var rev []token.Token
+	for n := i; n >= 0; n = t.Nodes[n].Parent {
+		rev = append(rev, t.Nodes[n].Token)
+	}
+	out := make([]token.Token, len(rev))
+	for j := range rev {
+		out[j] = rev[len(rev)-1-j]
+	}
+	return out
+}
+
+// Linear is a tree flattened into target-model batch order. Node order is
+// insertion order, which is topological (parents precede children), so a
+// pipelined evaluation writes ancestor KV entries before descendants read
+// them.
+type Linear struct {
+	Order  []int // node index per batch slot
+	Tokens []token.Token
+	Meta   []kvcache.TokenMeta
+	// SeqOfLeaf maps each leaf node index to its assigned sequence.
+	SeqOfLeaf map[int]kvcache.SeqID
+}
+
+// Linearize flattens the tree, assigning each leaf one sequence id from
+// seqs (len(seqs) must equal the leaf count). An interior node belongs to
+// the union of the sequences of the leaves beneath it, which is what makes
+// the kvcache visibility rule reproduce the paper's tree attention mask:
+// tokens on different branches share no sequence and cannot see each
+// other.
+func (t *Tree) Linearize(seqs []kvcache.SeqID) (*Linear, error) {
+	leaves := t.Leaves()
+	if len(seqs) != len(leaves) {
+		return nil, fmt.Errorf("spec: %d sequences for %d leaves", len(seqs), len(leaves))
+	}
+	// Propagate leaf sequence sets up to the roots.
+	sets := make([]kvcache.SeqSet, len(t.Nodes))
+	leafSeq := make(map[int]kvcache.SeqID, len(leaves))
+	for li, leaf := range leaves {
+		leafSeq[leaf] = seqs[li]
+		for n := leaf; n >= 0; n = t.Nodes[n].Parent {
+			sets[n] = sets[n].Add(seqs[li])
+		}
+	}
+	lin := &Linear{
+		Order:     make([]int, 0, len(t.Nodes)),
+		Tokens:    make([]token.Token, 0, len(t.Nodes)),
+		Meta:      make([]kvcache.TokenMeta, 0, len(t.Nodes)),
+		SeqOfLeaf: leafSeq,
+	}
+	for i, n := range t.Nodes {
+		lin.Order = append(lin.Order, i)
+		lin.Tokens = append(lin.Tokens, n.Token)
+		lin.Meta = append(lin.Meta, kvcache.TokenMeta{Pos: t.Pos(i), Seqs: sets[i]})
+	}
+	return lin, nil
+}
+
+// Proposer produces draft-model continuations. Implementations exist for
+// the real tiny draft model and for the simulated oracle draft.
+type Proposer interface {
+	// Propose returns up to width candidate next tokens for the sequence
+	// context ctx, with draft confidences in descending order.
+	Propose(ctx []token.Token, width int) ([]token.Token, []float32)
+}
+
+// GrowParams bounds tree growth.
+type GrowParams struct {
+	Cutoff   float32 // stop expanding below this confidence (§II-A.1)
+	MaxNodes int     // hard cap on tree size
+	Width    int     // branching factor per expansion
+	MaxDepth int     // maximum depth (0 = unlimited)
+}
+
+// Grow expands a speculation tree from the given accepted prefix using a
+// best-first policy: the frontier node with the highest cumulative draft
+// confidence expands next, and expansion stops when every frontier
+// candidate falls below Cutoff or the tree reaches MaxNodes. The returned
+// tree may be empty if even the first proposal is below the cutoff.
+func Grow(p Proposer, prefix []token.Token, basePos int32, params GrowParams) *Tree {
+	t := NewTree(basePos)
+	if params.MaxNodes <= 0 {
+		return t
+	}
+	type frontier struct {
+		parent int // node to expand (-1 = root expansion)
+		ctx    []token.Token
+		cum    float32 // cumulative confidence along the path
+		depth  int
+	}
+	queue := []frontier{{parent: -1, ctx: prefix, cum: 1, depth: 0}}
+	for len(queue) > 0 && t.Len() < params.MaxNodes {
+		// Pick the highest-cumulative-confidence frontier entry.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].cum > queue[best].cum {
+				best = i
+			}
+		}
+		f := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		if params.MaxDepth > 0 && f.depth >= params.MaxDepth {
+			continue
+		}
+
+		toks, probs := p.Propose(f.ctx, params.Width)
+		for i, tok := range toks {
+			if probs[i] < params.Cutoff {
+				continue
+			}
+			var idx int
+			if f.parent == -1 {
+				idx = t.AddRoot(tok, probs[i])
+			} else {
+				idx = t.AddChild(f.parent, tok, probs[i])
+			}
+			ctx := make([]token.Token, 0, len(f.ctx)+1)
+			ctx = append(ctx, f.ctx...)
+			ctx = append(ctx, tok)
+			queue = append(queue, frontier{parent: idx, ctx: ctx, cum: f.cum * probs[i], depth: f.depth + 1})
+			if t.Len() >= params.MaxNodes {
+				break
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the worker pool used by parallelRange. It defaults to
+// GOMAXPROCS and may be lowered (e.g. to 1 for deterministic profiling) via
+// SetParallelism.
+var maxWorkers atomic.Int32
+
+func init() {
+	maxWorkers.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// SetParallelism bounds the number of goroutines used for tensor kernels.
+// n < 1 resets to GOMAXPROCS. It returns the previous setting.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(maxWorkers.Swap(int32(n)))
+}
+
+// Parallelism reports the current kernel worker bound.
+func Parallelism() int { return int(maxWorkers.Load()) }
+
+// parallelRange splits [0, n) into contiguous chunks and invokes fn on each
+// chunk, using up to Parallelism() goroutines. Small ranges run inline:
+// goroutine handoff (~1µs) would dominate sub-millisecond kernels.
+func parallelRange(n int, fn func(lo, hi int)) {
+	workers := int(maxWorkers.Load())
+	const minChunk = 64 // rows; below this, spawning is pure overhead
+	if workers <= 1 || n < 2*minChunk {
+		fn(0, n)
+		return
+	}
+	chunks := (n + minChunk - 1) / minChunk
+	if chunks > workers {
+		chunks = workers
+	}
+	per := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

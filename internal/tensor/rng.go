@@ -1,0 +1,71 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64). The whole reproduction depends on bit-for-bit determinism
+// across runs and engines, so we avoid math/rand's version-dependent
+// streams and carry our own.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate via Box-Muller.
+func (r *RNG) Norm() float32 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// FillNormal fills dst with normal variates scaled by std.
+func (r *RNG) FillNormal(dst Vec, std float32) {
+	for i := range dst {
+		dst[i] = r.Norm() * std
+	}
+}
+
+// Hash64 mixes a variable number of 64-bit words into a single
+// deterministic 64-bit hash (an FNV/SplitMix hybrid). It is the basis of
+// the oracle model's context-dependent token streams.
+func Hash64(words ...uint64) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, w := range words {
+		h ^= w
+		h *= 0x100000001b3
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+	}
+	h ^= h >> 32
+	return h
+}

@@ -1,0 +1,259 @@
+// Package tensor provides the dense float32 tensor operations that back the
+// pure-Go transformer used by the real-compute backend.
+//
+// The package is deliberately small and specialised: everything the decoder
+// stack needs (matrix-vector and matrix-matrix products, RMSNorm, softmax,
+// rotary position embeddings, SiLU/GELU) and nothing more. Matrix products
+// are parallelised across rows with a shared worker pool so that multi-core
+// hosts see near-linear speedups on the memory-bandwidth-bound shapes that
+// dominate LLM inference.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float32 vector.
+type Vec = []float32
+
+// Mat is a dense row-major matrix: Rows x Cols float32 values.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the i-th row of m as a slice aliasing the matrix storage.
+func (m Mat) Row(i int) Vec {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at row i, column j.
+func (m Mat) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m Mat) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m Mat) Clone() Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Bytes reports the storage footprint of the matrix in bytes.
+func (m Mat) Bytes() int64 { return int64(len(m.Data)) * 4 }
+
+// MatVec computes dst = m * x where x has length m.Cols and dst has length
+// m.Rows. It parallelises across output rows.
+func MatVec(dst Vec, m Mat, x Vec) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m=%dx%d x=%d dst=%d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	parallelRange(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(m.Row(i), x)
+		}
+	})
+}
+
+// MatMulT computes dst = x * m^T for a batch of row vectors: x is n x m.Cols,
+// dst is n x m.Rows. This is the layout used by transformer weight
+// application (weights stored output-major, as llama.cpp does), so the
+// weight rows are streamed once per batch, giving batched inference its
+// cache-reuse advantage.
+func MatMulT(dst Mat, x Mat, m Mat) {
+	if x.Cols != m.Cols || dst.Rows != x.Rows || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch: x=%dx%d m=%dx%d dst=%dx%d",
+			x.Rows, x.Cols, m.Rows, m.Cols, dst.Rows, dst.Cols))
+	}
+	parallelRange(m.Rows, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			w := m.Row(o)
+			for b := 0; b < x.Rows; b++ {
+				dst.Data[b*dst.Cols+o] = Dot(w, x.Row(b))
+			}
+		}
+	})
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b Vec) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	// Four-way unrolled accumulation: keeps the FP dependency chains short
+	// and vectorises well under the gc compiler.
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Axpy computes dst += alpha * x elementwise.
+func Axpy(dst Vec, alpha float32, x Vec) {
+	if len(dst) != len(x) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Mul computes dst = a * b elementwise (Hadamard product).
+func Mul(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: Mul length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// Scale multiplies every element of dst by alpha.
+func Scale(dst Vec, alpha float32) {
+	for i := range dst {
+		dst[i] *= alpha
+	}
+}
+
+// RMSNorm writes the root-mean-square normalisation of x, scaled by weight
+// w, into dst: dst[i] = x[i] / rms(x) * w[i]. eps stabilises the division.
+func RMSNorm(dst, x, w Vec, eps float32) {
+	if len(dst) != len(x) || len(x) != len(w) {
+		panic("tensor: RMSNorm length mismatch")
+	}
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1.0 / math.Sqrt(ss/float64(len(x))+float64(eps)))
+	for i := range dst {
+		dst[i] = x[i] * inv * w[i]
+	}
+}
+
+// Softmax converts x to a probability distribution in place using the
+// numerically stable max-shift formulation.
+func Softmax(x Vec) {
+	if len(x) == 0 {
+		return
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := float32(math.Exp(float64(v - maxv)))
+		x[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1.0 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// SiLU applies x * sigmoid(x) elementwise in place.
+func SiLU(x Vec) {
+	for i, v := range x {
+		x[i] = v / (1.0 + float32(math.Exp(float64(-v))))
+	}
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place.
+func GELU(x Vec) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range x {
+		t := float64(c) * (float64(v) + 0.044715*float64(v)*float64(v)*float64(v))
+		x[i] = float32(0.5 * float64(v) * (1.0 + math.Tanh(t)))
+	}
+}
+
+// RoPE applies rotary position embeddings to the first rotDim elements of
+// each head-sized chunk of x, for a token at absolute position pos.
+// x is laid out as nHeads consecutive chunks of headDim floats.
+func RoPE(x Vec, headDim, pos int, base float64) {
+	if headDim%2 != 0 {
+		panic("tensor: RoPE requires even head dimension")
+	}
+	nHeads := len(x) / headDim
+	for h := 0; h < nHeads; h++ {
+		chunk := x[h*headDim : (h+1)*headDim]
+		for i := 0; i < headDim; i += 2 {
+			theta := float64(pos) / math.Pow(base, float64(i)/float64(headDim))
+			sin, cos := math.Sincos(theta)
+			a, b := float64(chunk[i]), float64(chunk[i+1])
+			chunk[i] = float32(a*cos - b*sin)
+			chunk[i+1] = float32(a*sin + b*cos)
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element of x. Ties resolve to the
+// lowest index so greedy sampling is deterministic.
+func ArgMax(x Vec) int {
+	if len(x) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// TopK returns the indices of the k largest elements of x in descending
+// value order. k is clamped to len(x).
+func TopK(x Vec, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	idx := make([]int, 0, k)
+	// Selection by repeated scan: k is tiny (speculation branch width).
+	used := make(map[int]bool, k)
+	for n := 0; n < k; n++ {
+		best := float32(math.Inf(-1))
+		bi := -1
+		for i, v := range x {
+			if !used[i] && (v > best || bi == -1) {
+				best, bi = v, i
+			}
+		}
+		used[bi] = true
+		idx = append(idx, bi)
+	}
+	return idx
+}

@@ -1,0 +1,132 @@
+// Package trace records pipeline execution timelines: which node did what
+// to which run, when. The text rendering reproduces the shape of the
+// paper's Fig 3 (continuous asynchronous speculation timeline) for any
+// simulated scenario and doubles as a debugging aid for the engines.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies timeline events.
+type Kind string
+
+// Event kinds recorded by the engines and backends.
+const (
+	KindLaunch  Kind = "launch" // head injected a run
+	KindResult  Kind = "result" // head consumed a result
+	KindCancel  Kind = "cancel" // head issued a cancellation
+	KindAccept  Kind = "accept" // token(s) accepted
+	KindEvalBeg Kind = "eval+"  // stage began evaluating a run
+	KindEvalEnd Kind = "eval-"  // stage finished (or skipped) a run
+	KindDraft   Kind = "draft"  // head drafted a micro-batch
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At   time.Duration
+	Node string
+	Kind Kind
+	Run  uint32
+	Note string
+}
+
+// Recorder accumulates events; safe for concurrent use (the real backend
+// records from several goroutines).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event.
+func (r *Recorder) Record(at time.Duration, node string, kind Kind, run uint32, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, Event{At: at, Node: node, Kind: kind, Run: run, Note: note})
+	r.mu.Unlock()
+}
+
+// Events returns a time-sorted copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Render prints a per-node event log resembling Fig 3's timeline.
+func (r *Recorder) Render() string {
+	evs := r.Events()
+	var sb strings.Builder
+	sb.WriteString("time        node          event    run  note\n")
+	sb.WriteString("----------  ------------  -------  ---  ----\n")
+	for _, e := range evs {
+		fmt.Fprintf(&sb, "%-10s  %-12s  %-7s  %3d  %s\n",
+			e.At.Round(time.Microsecond), e.Node, e.Kind, e.Run, e.Note)
+	}
+	return sb.String()
+}
+
+// Spans pairs eval+ / eval- events per (node, run) into busy intervals,
+// the raw material for utilisation analysis.
+type Span struct {
+	Node     string
+	Run      uint32
+	From, To time.Duration
+}
+
+// EvalSpans extracts stage busy intervals.
+func (r *Recorder) EvalSpans() []Span {
+	type key struct {
+		node string
+		run  uint32
+	}
+	open := map[key]time.Duration{}
+	var spans []Span
+	for _, e := range r.Events() {
+		k := key{e.Node, e.Run}
+		switch e.Kind {
+		case KindEvalBeg:
+			open[k] = e.At
+		case KindEvalEnd:
+			if from, ok := open[k]; ok {
+				spans = append(spans, Span{Node: e.Node, Run: e.Run, From: from, To: e.At})
+				delete(open, k)
+			}
+		}
+	}
+	return spans
+}
+
+// Utilisation computes the busy fraction per node over [0, horizon].
+func (r *Recorder) Utilisation(horizon time.Duration) map[string]float64 {
+	busy := map[string]time.Duration{}
+	for _, s := range r.EvalSpans() {
+		busy[s.Node] += s.To - s.From
+	}
+	out := map[string]float64{}
+	for node, b := range busy {
+		if horizon > 0 {
+			out[node] = float64(b) / float64(horizon)
+		}
+	}
+	return out
+}

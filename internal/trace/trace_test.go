@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndRender(t *testing.T) {
+	r := New()
+	r.Record(2*time.Millisecond, "rank1", KindEvalBeg, 7, "spec batch=2")
+	r.Record(1*time.Millisecond, "head", KindLaunch, 7, "spec")
+	r.Record(5*time.Millisecond, "rank1", KindEvalEnd, 7, "done")
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindLaunch {
+		t.Fatal("events not time-sorted")
+	}
+	out := r.Render()
+	for _, want := range []string{"head", "rank1", "launch", "eval+", "done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, "x", KindLaunch, 1, "") // must not panic
+}
+
+func TestEvalSpans(t *testing.T) {
+	r := New()
+	r.Record(1*time.Millisecond, "rank1", KindEvalBeg, 1, "")
+	r.Record(3*time.Millisecond, "rank1", KindEvalEnd, 1, "")
+	r.Record(3*time.Millisecond, "rank1", KindEvalBeg, 2, "")
+	r.Record(6*time.Millisecond, "rank1", KindEvalEnd, 2, "")
+	r.Record(2*time.Millisecond, "rank2", KindEvalBeg, 1, "")
+	r.Record(4*time.Millisecond, "rank2", KindEvalEnd, 1, "")
+
+	spans := r.EvalSpans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	u := r.Utilisation(10 * time.Millisecond)
+	if got := u["rank1"]; got != 0.5 {
+		t.Fatalf("rank1 utilisation %v, want 0.5", got)
+	}
+	if got := u["rank2"]; got != 0.2 {
+		t.Fatalf("rank2 utilisation %v, want 0.2", got)
+	}
+}
+
+func TestUnpairedSpanIgnored(t *testing.T) {
+	r := New()
+	r.Record(1*time.Millisecond, "rank1", KindEvalBeg, 1, "")
+	if len(r.EvalSpans()) != 0 {
+		t.Fatal("unpaired begin produced a span")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Duration(i), "n", KindAccept, uint32(g), "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("lost events: %d", r.Len())
+	}
+}

@@ -1,0 +1,112 @@
+// Package transact implements PipeInfer's pipeline operation transactions
+// (§IV-A.2, Fig 2). A transaction is a single atomic pipeline operation:
+// the initiator sends a start message naming the transaction type on
+// comm.TagStart, and the worker invokes the handler registered for that
+// type. Every message the handler exchanges uses the transaction's own
+// tag, and because MPI-style point-to-point streams are non-overtaking per
+// (sender, receiver, tag), transactions execute on every node in exactly
+// the order they were issued — the ordering guarantee that pipelined KV
+// cache operations and run evaluations rely on.
+package transact
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+)
+
+// Type identifies a transaction handler.
+type Type uint8
+
+const (
+	// TypeDecode evaluates one inference run (§IV-A.1).
+	TypeDecode Type = iota
+	// TypeKV applies standalone KV cache operations (§IV-C.3).
+	TypeKV
+	// TypeShutdown terminates the worker's serve loop.
+	TypeShutdown
+
+	// NumTypes is the number of built-in transaction types.
+	NumTypes
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeDecode:
+		return "decode"
+	case TypeKV:
+		return "kv"
+	case TypeShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Begin announces a transaction of type t to dst. The initiator then sends
+// the transaction's payload messages on the corresponding tag.
+func Begin(ep comm.Endpoint, dst int, t Type) {
+	ep.Send(dst, comm.TagStart, []byte{byte(t)}, 1)
+}
+
+// Handler processes one transaction on a worker. It receives the endpoint
+// and the initiating rank and performs the typed receives itself.
+type Handler func(ep comm.Endpoint, src int) error
+
+// Dispatcher runs a worker's transaction serve loop.
+type Dispatcher struct {
+	ep       comm.Endpoint
+	src      int // upstream rank transactions arrive from
+	handlers [NumTypes]Handler
+}
+
+// NewDispatcher creates a dispatcher receiving transactions from src.
+func NewDispatcher(ep comm.Endpoint, src int) *Dispatcher {
+	return &Dispatcher{ep: ep, src: src}
+}
+
+// Register installs the handler for transaction type t.
+func (d *Dispatcher) Register(t Type, h Handler) {
+	d.handlers[t] = h
+}
+
+// ServeOne receives and dispatches exactly one transaction. It returns
+// (true, nil) after a shutdown transaction.
+func (d *Dispatcher) ServeOne() (shutdown bool, err error) {
+	raw := d.ep.Recv(d.src, comm.TagStart)
+	if len(raw) != 1 {
+		return false, fmt.Errorf("transact: malformed start message (%d bytes)", len(raw))
+	}
+	t := Type(raw[0])
+	if t == TypeShutdown {
+		if h := d.handlers[TypeShutdown]; h != nil {
+			if err := h(d.ep, d.src); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	if int(t) >= int(NumTypes) || d.handlers[t] == nil {
+		return false, fmt.Errorf("transact: no handler for transaction %v", t)
+	}
+	return false, d.handlers[t](d.ep, d.src)
+}
+
+// Serve dispatches transactions until shutdown or error.
+func (d *Dispatcher) Serve() error {
+	for {
+		shutdown, err := d.ServeOne()
+		if err != nil {
+			return err
+		}
+		if shutdown {
+			return nil
+		}
+	}
+}
+
+// Pending reports whether a transaction start is waiting (non-blocking).
+func (d *Dispatcher) Pending() bool {
+	return d.ep.Iprobe(d.src, comm.TagStart)
+}

@@ -1,0 +1,96 @@
+package transact
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
+)
+
+func TestTypeString(t *testing.T) {
+	if TypeDecode.String() != "decode" || TypeKV.String() != "kv" || TypeShutdown.String() != "shutdown" {
+		t.Fatal("type names wrong")
+	}
+}
+
+func TestDispatchOrderMatchesIssueOrder(t *testing.T) {
+	c := chancomm.New(2)
+	var order []Type
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // head
+		defer wg.Done()
+		ep := c.Endpoint(0)
+		Begin(ep, 1, TypeDecode)
+		ep.Send(1, comm.TagRun, []byte("r1"), 0)
+		Begin(ep, 1, TypeKV)
+		ep.Send(1, comm.TagRun, []byte("k1"), 0)
+		Begin(ep, 1, TypeDecode)
+		ep.Send(1, comm.TagRun, []byte("r2"), 0)
+		Begin(ep, 1, TypeShutdown)
+	}()
+
+	go func() { // worker
+		defer wg.Done()
+		ep := c.Endpoint(1)
+		d := NewDispatcher(ep, 0)
+		d.Register(TypeDecode, func(ep comm.Endpoint, src int) error {
+			ep.Recv(src, comm.TagRun)
+			order = append(order, TypeDecode)
+			return nil
+		})
+		d.Register(TypeKV, func(ep comm.Endpoint, src int) error {
+			ep.Recv(src, comm.TagRun)
+			order = append(order, TypeKV)
+			return nil
+		})
+		if err := d.Serve(); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	want := []Type{TypeDecode, TypeKV, TypeDecode}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnregisteredHandlerErrors(t *testing.T) {
+	c := chancomm.New(2)
+	go func() {
+		Begin(c.Endpoint(0), 1, TypeKV)
+	}()
+	d := NewDispatcher(c.Endpoint(1), 0)
+	if _, err := d.ServeOne(); err == nil {
+		t.Fatal("expected error for unregistered handler")
+	}
+}
+
+func TestShutdownHandlerOptional(t *testing.T) {
+	c := chancomm.New(2)
+	go func() { Begin(c.Endpoint(0), 1, TypeShutdown) }()
+	d := NewDispatcher(c.Endpoint(1), 0)
+	shutdown, err := d.ServeOne()
+	if err != nil || !shutdown {
+		t.Fatalf("shutdown=%v err=%v", shutdown, err)
+	}
+}
+
+func TestPending(t *testing.T) {
+	c := chancomm.New(2)
+	d := NewDispatcher(c.Endpoint(1), 0)
+	if d.Pending() {
+		t.Fatal("Pending true on empty queue")
+	}
+	Begin(c.Endpoint(0), 1, TypeDecode)
+	for !d.Pending() { // delivery is asynchronous but fast
+	}
+}

@@ -1,0 +1,129 @@
+// Package pipeinfer is a from-scratch Go reproduction of "PipeInfer:
+// Accelerating LLM Inference using Asynchronous Pipelined Speculation"
+// (Butler, Yu, Mazaheri, Jannesari — SC 2024).
+//
+// The library provides three pipeline-parallel inference strategies —
+// naive iterative, speculative (SpecInfer-style), and PipeInfer's
+// continuous asynchronous speculation — implemented once against
+// backend-neutral interfaces and executable on two substrates:
+//
+//   - a real compute backend (Generate): a pure-Go decoder-only
+//     transformer running tiny deterministic models across goroutine
+//     pipeline stages, used to validate that all strategies produce
+//     bit-identical greedy output;
+//
+//   - a simulated cluster backend (Simulate): a deterministic
+//     discrete-event simulation with calibrated hardware cost models for
+//     the paper's testbeds, used to regenerate every figure of the
+//     evaluation at 70B-180B scale.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for
+// paper-versus-measured results of every table and figure.
+package pipeinfer
+
+import (
+	"github.com/pipeinfer/pipeinfer/internal/backend/realbk"
+	"github.com/pipeinfer/pipeinfer/internal/backend/simbk"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/harness"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// Strategy selects the inference algorithm.
+type Strategy = engine.Strategy
+
+// The three strategies compared throughout the paper.
+const (
+	Iterative   = engine.StrategyIterative
+	Speculative = engine.StrategySpeculative
+	PipeInfer   = engine.StrategyPipeInfer
+)
+
+// Config exposes the engine's tunables (micro-batch size, confidence
+// cutoff and its recovery/decay factors, sequence partitions, ablation
+// switches). The zero value selects the reference configuration.
+type Config = engine.Config
+
+// Stats carries the paper's evaluation metrics for one generation:
+// generation speed, TTFT, ITL, acceptance rate, cancellation counts.
+type Stats = engine.Stats
+
+// Token is a vocabulary index.
+type Token = token.Token
+
+// Tokenizer is the byte-level tokenizer used with the real backend.
+type Tokenizer = token.Tokenizer
+
+// NewTokenizer returns a tokenizer for the given vocabulary size.
+func NewTokenizer(vocabSize int) (*Tokenizer, error) { return token.NewTokenizer(vocabSize) }
+
+// ModelConfig describes a real (tiny) transformer architecture.
+type ModelConfig = model.Config
+
+// TinyModel returns the default small architecture for real-backend runs.
+func TinyModel() ModelConfig { return model.TinyConfig() }
+
+// GenerateOptions configures a real-compute generation.
+type GenerateOptions = realbk.Options
+
+// GenerateResult is the outcome of a real-compute generation.
+type GenerateResult = realbk.Outcome
+
+// Generate runs a generation with real tensor computation across an
+// in-process pipeline of Nodes goroutine stages.
+func Generate(opts GenerateOptions) (GenerateResult, error) { return realbk.Run(opts) }
+
+// ReferenceGreedy returns the single-model greedy output that every
+// strategy must reproduce exactly under greedy sampling.
+func ReferenceGreedy(opts GenerateOptions, maxNew int) ([]Token, error) {
+	return realbk.ReferenceGreedy(opts, maxNew)
+}
+
+// SimulateOptions configures a simulated-cluster generation.
+type SimulateOptions = simbk.Options
+
+// SimulateResult is the outcome of a simulated generation.
+type SimulateResult = simbk.Outcome
+
+// Simulate runs a generation on the discrete-event cluster simulator with
+// paper-scale model and hardware presets.
+func Simulate(opts SimulateOptions) (SimulateResult, error) { return simbk.Run(opts) }
+
+// Cluster and interconnect presets (paper Table II / IV).
+var (
+	ClusterA   = cost.ClusterA
+	ClusterB   = cost.ClusterB
+	ClusterC   = cost.ClusterC
+	GPUCluster = cost.GPUCluster
+)
+
+// ModelPair couples a target and draft model with the pair's calibrated
+// acceptance rate (paper Tables I and III).
+type ModelPair = cost.Pair
+
+// Model pair presets in figure order.
+var (
+	CPUPairs = cost.CPUPairs
+	GPUPairs = cost.GPUPairs
+)
+
+// ExperimentParams scales a figure regeneration (repetitions, generated
+// tokens, prompt length).
+type ExperimentParams = harness.Params
+
+// PaperParams returns the full paper-scale experiment parameters
+// (10 repetitions, 512 tokens, 128-token prompts).
+func PaperParams() ExperimentParams { return harness.Paper() }
+
+// Figure is a regenerated experiment result with a text rendering.
+type Figure = harness.Figure
+
+// Trace records pipeline execution timelines (Fig 3-style).
+type Trace = trace.Recorder
+
+// NewTrace creates an empty timeline recorder to attach to
+// SimulateOptions.Trace.
+func NewTrace() *Trace { return trace.New() }
