@@ -1,0 +1,3 @@
+module github.com/pipeinfer/pipeinfer
+
+go 1.24

@@ -1,0 +1,57 @@
+package realbk
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// TestEvalAllocs asserts the stage-worker Eval path is allocation-free in
+// steady state: batch assembly, forward pass, logits and payload encoding
+// all run out of per-worker staging buffers. This is the per-run cost
+// every pipeline stage pays continuously under asynchronous speculation.
+func TestEvalAllocs(t *testing.T) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	cfg := model.TinyConfig()
+	m, err := model.New(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(m, 0, cfg.NLayers, true, true, 256)
+
+	seqs := kvcache.NewSeqSet(kvcache.Canonical)
+	prefill := &engine.RunMsg{ID: 1, Kind: engine.KindPrefill, Tokens: make([]engine.TokenPlace, 16)}
+	for i := range prefill.Tokens {
+		prefill.Tokens[i] = engine.TokenPlace{
+			Tok: token.Token(token.NumSpecial + i), Pos: int32(i), Seqs: seqs,
+		}
+	}
+	notCancelled := func() bool { return false }
+	if _, _, ok := w.Eval(prefill, nil, notCancelled); !ok {
+		t.Fatal("prefill failed")
+	}
+
+	pos := int32(len(prefill.Tokens))
+	step := &engine.RunMsg{ID: 2, Kind: engine.KindNonSpec, Tokens: []engine.TokenPlace{
+		{Tok: token.Token(token.NumSpecial + 5), Pos: pos, Seqs: seqs},
+	}}
+	rollback := []kvcache.Op{{Kind: kvcache.OpSeqRm, Src: kvcache.Canonical, P0: pos, P1: pos + 1}}
+	run := func() {
+		if _, _, ok := w.Eval(step, nil, notCancelled); !ok {
+			t.Fatal("decode step failed")
+		}
+		w.ApplyKV(rollback)
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Errorf("steady-state worker Eval allocates %.1f times, want 0", allocs)
+	}
+}

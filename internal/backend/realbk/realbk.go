@@ -18,6 +18,13 @@ import (
 )
 
 // Worker evaluates one contiguous layer shard of the target model.
+//
+// All evaluation state (batch assembly, activations, the encoded output
+// payload) lives in per-worker staging buffers reused across runs, so a
+// steady-state decode run performs no heap allocation. The payload
+// returned by Eval aliases the staging buffer and is valid until the
+// worker's next Eval call — the engine worker loop copies it into a
+// pooled wire buffer before evaluating the next run.
 type Worker struct {
 	m     *model.Model
 	lo    int
@@ -26,6 +33,13 @@ type Worker struct {
 	last  bool
 	cache *kvcache.Cache
 	store *model.KVStore
+
+	sc   *model.Scratch
+	toks []token.Token
+	meta []kvcache.TokenMeta
+	x    tensor.Mat // activation staging (embedding or decoded upstream payload)
+	out  tensor.Mat // logits staging for the last stage
+	enc  []byte     // encoded output payload staging
 }
 
 // NewWorker builds a stage worker over layers [lo, hi).
@@ -34,6 +48,7 @@ func NewWorker(m *model.Model, lo, hi int, first, last bool, cacheCells int) *Wo
 		m: m, lo: lo, hi: hi, first: first, last: last,
 		cache: kvcache.New(cacheCells),
 		store: model.NewKVStore(m.Cfg, lo, hi, cacheCells),
+		sc:    model.NewScratch(m.Cfg),
 	}
 }
 
@@ -41,43 +56,38 @@ func NewWorker(m *model.Model, lo, hi int, first, last bool, cacheCells int) *Wo
 // per-layer hook doubles as the cancellation probe point.
 func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) ([]byte, int, bool) {
 	n := run.Len()
-	toks := make([]token.Token, n)
-	meta := make([]kvcache.TokenMeta, n)
+	if cap(w.toks) < n {
+		w.toks = make([]token.Token, n)
+		w.meta = make([]kvcache.TokenMeta, n)
+	}
+	toks, meta := w.toks[:n], w.meta[:n]
 	for i, tp := range run.Tokens {
 		toks[i] = tp.Tok
 		meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
 	}
-	cells, err := w.cache.FindSlots(n)
+	batch, err := w.sc.BatchFor(w.cache, toks, meta)
 	if err != nil {
 		panic(fmt.Sprintf("realbk: stage cache exhausted: %v", err))
-	}
-	for i, c := range cells {
-		w.cache.Occupy(c, meta[i].Pos, meta[i].Seqs)
-	}
-	batch := &model.Batch{Tokens: toks, Meta: meta, Cells: cells, Visible: make([][]int, n)}
-	for i := range toks {
-		batch.Visible[i] = w.cache.VisibleCells(nil, meta[i])
 	}
 
 	var x tensor.Mat
 	if w.first {
-		x = w.m.EmbedBatch(toks)
+		x = w.m.EmbedBatchInto(&w.x, toks)
 	} else {
-		x = decodeMat(input, n, w.m.Cfg.Dim)
+		x = decodeMatInto(&w.x, input, n, w.m.Cfg.Dim)
 	}
-	x, ok := w.m.ForwardLayers(w.lo, w.hi, x, w.store, batch, func(int) bool {
+	x, ok := w.m.ForwardLayersScratch(w.lo, w.hi, x, w.store, batch, func(int) bool {
 		return !cancelled()
-	})
+	}, w.sc)
 	if !ok {
 		return nil, 0, false
 	}
-	var out tensor.Mat
+	out := x
 	if w.last {
-		out = w.m.Logits(x)
-	} else {
-		out = x
+		out = w.m.LogitsInto(&w.out, x, w.sc)
 	}
-	enc := encodeMat(out)
+	enc := encodeMatInto(w.enc[:0], out)
+	w.enc = enc
 	return enc, len(enc), true
 }
 
@@ -100,6 +110,8 @@ type Head struct {
 	evaluated []token.Token
 	last      tensor.Vec
 	haveLast  bool
+	dist      tensor.Vec // softmax staging for Propose
+	topk      []int      // TopKInto scratch
 }
 
 // NewHead builds the head backend. draft may be nil for the iterative
@@ -117,13 +129,16 @@ func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) 
 	if err := h.ensure(ctx); err != nil {
 		panic(fmt.Sprintf("realbk: draft evaluation failed: %v", err))
 	}
-	dist := make(tensor.Vec, len(h.last))
+	if cap(h.dist) < len(h.last) {
+		h.dist = make(tensor.Vec, len(h.last))
+	}
+	dist := h.dist[:len(h.last)]
 	copy(dist, h.last)
 	tensor.Softmax(dist)
-	idx := tensor.TopK(dist, width)
-	toks := make([]token.Token, len(idx))
-	probs := make([]float32, len(idx))
-	for i, j := range idx {
+	h.topk = tensor.TopKInto(h.topk, dist, width)
+	toks := make([]token.Token, len(h.topk))
+	probs := make([]float32, len(h.topk))
+	for i, j := range h.topk {
 		toks[i] = token.Token(j)
 		probs[i] = dist[j]
 	}
@@ -131,7 +146,8 @@ func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) 
 }
 
 // ensure brings the draft KV cache in line with ctx, reusing the longest
-// common prefix and re-evaluating only the suffix.
+// common prefix and re-evaluating only the suffix. The final logit row is
+// copied out of the runner's scratch so it survives later evaluations.
 func (h *Head) ensure(ctx []token.Token) error {
 	common := 0
 	for common < len(h.evaluated) && common < len(ctx) && h.evaluated[common] == ctx[common] {
@@ -152,15 +168,26 @@ func (h *Head) ensure(ctx []token.Token) error {
 	if err != nil {
 		return err
 	}
-	h.last = logits.Row(logits.Rows - 1)
+	h.last = append(h.last[:0], logits.Row(logits.Rows-1)...)
 	h.evaluated = append(h.evaluated[:common], ctx[common:]...)
 	h.haveLast = true
 	return nil
 }
 
-// Results decodes the final stage's logits.
+// Results decodes the final stage's logits, eagerly: the greedy target
+// choice for every batch row is extracted immediately so the payload
+// buffer can be released to the message pool as soon as Results returns.
 func (h *Head) Results(run *engine.RunMsg, _ []token.Token, payload []byte) engine.Results {
-	return &realResults{data: payload, rows: run.Len(), vocab: h.vocab}
+	rows := run.Len()
+	if len(payload) != 4*rows*h.vocab {
+		panic(fmt.Sprintf("realbk: result payload %dB for %d rows of vocab %d",
+			len(payload), rows, h.vocab))
+	}
+	res := &realResults{next: make([]token.Token, rows)}
+	for i := 0; i < rows; i++ {
+		res.next[i] = token.Token(argmaxRow(payload, i, h.vocab))
+	}
+	return res
 }
 
 // MemoryBytes reports the draft model footprint (zero when absent).
@@ -172,44 +199,52 @@ func (h *Head) MemoryBytes() int64 {
 }
 
 type realResults struct {
-	data  []byte
-	rows  int
-	vocab int
+	next []token.Token
 }
 
 // Next returns the argmax of logits row i (greedy target choice).
 func (r *realResults) Next(i int) token.Token {
-	if i < 0 || i >= r.rows {
-		panic(fmt.Sprintf("realbk: result row %d of %d", i, r.rows))
+	if i < 0 || i >= len(r.next) {
+		panic(fmt.Sprintf("realbk: result row %d of %d", i, len(r.next)))
 	}
-	row := decodeRow(r.data, i, r.vocab)
-	return token.Token(tensor.ArgMax(row))
+	return r.next[i]
 }
 
 // --- float32 wire codec ---
 
 func encodeMat(m tensor.Mat) []byte {
-	buf := make([]byte, 4*len(m.Data))
-	for i, v := range m.Data {
+	return encodeMatInto(make([]byte, 0, 4*len(m.Data)), m)
+}
+
+// encodeMatInto appends the little-endian f32 encoding of m to buf.
+func encodeMatInto(buf []byte, m tensor.Mat) []byte {
+	for _, v := range m.Data {
 		bits := math.Float32bits(v)
-		buf[4*i] = byte(bits)
-		buf[4*i+1] = byte(bits >> 8)
-		buf[4*i+2] = byte(bits >> 16)
-		buf[4*i+3] = byte(bits >> 24)
+		buf = append(buf, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
 	}
 	return buf
 }
 
 func decodeMat(buf []byte, rows, cols int) tensor.Mat {
+	var m tensor.Mat
+	return decodeMatInto(&m, buf, rows, cols)
+}
+
+// decodeMatInto decodes buf into dst, reusing its backing storage.
+func decodeMatInto(dst *tensor.Mat, buf []byte, rows, cols int) tensor.Mat {
 	if len(buf) != 4*rows*cols {
 		panic(fmt.Sprintf("realbk: activation payload %dB for %dx%d", len(buf), rows, cols))
 	}
-	m := tensor.NewMat(rows, cols)
-	for i := range m.Data {
-		m.Data[i] = math.Float32frombits(uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
+	if cap(dst.Data) < rows*cols {
+		dst.Data = make([]float32, rows*cols)
+	}
+	dst.Rows, dst.Cols = rows, cols
+	dst.Data = dst.Data[:rows*cols]
+	for i := range dst.Data {
+		dst.Data[i] = math.Float32frombits(uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
 			uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24)
 	}
-	return m
+	return *dst
 }
 
 func decodeRow(buf []byte, row, cols int) tensor.Vec {
@@ -220,4 +255,21 @@ func decodeRow(buf []byte, row, cols int) tensor.Vec {
 			uint32(buf[off+4*i+2])<<16 | uint32(buf[off+4*i+3])<<24)
 	}
 	return out
+}
+
+// argmaxRow decodes logits row `row` from the wire payload on the fly and
+// returns the index of its maximum (ties to the lowest index, matching
+// tensor.ArgMax), without staging the row as a float slice.
+func argmaxRow(buf []byte, row, cols int) int {
+	off := 4 * row * cols
+	best := float32(math.Inf(-1))
+	bi := 0
+	for i := 0; i < cols; i++ {
+		v := math.Float32frombits(uint32(buf[off+4*i]) | uint32(buf[off+4*i+1])<<8 |
+			uint32(buf[off+4*i+2])<<16 | uint32(buf[off+4*i+3])<<24)
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
 }

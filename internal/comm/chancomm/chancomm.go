@@ -71,9 +71,9 @@ func (e *endpoint) Send(dst int, tag comm.Tag, payload []byte, wireBytes int) {
 	}
 	target := e.cluster.eps[dst]
 	// Copy the payload: the sender may reuse its buffer immediately, which
-	// is exactly what MPI buffered sends permit.
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	// is exactly what MPI buffered sends permit. The copy comes from the
+	// shared message pool; the receiver releases it after consumption.
+	cp := append(comm.GetBuf(len(payload)), payload...)
 	target.mu.Lock()
 	k := boxKey{e.rank, tag}
 	target.box.queues[k] = append(target.box.queues[k], cp)

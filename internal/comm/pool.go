@@ -1,0 +1,55 @@
+package comm
+
+import "sync"
+
+// Message buffer pool.
+//
+// Every run through the pipeline used to allocate its wire buffers fresh:
+// the run-header encoding, the framed activation payload, the transport's
+// internal copy, and the result payload — several kilobytes of garbage per
+// decode transaction, paid on the head loop and on every stage. The pool
+// below recycles those buffers with an explicit ownership contract:
+//
+//   - A sender obtains a buffer with GetBuf, fills it, passes it to
+//     Send — which always copies (buffered-send semantics) — and may
+//     release it with PutBuf immediately after Send returns.
+//   - Every payload returned by Recv is owned by the receiving code,
+//     which releases it with PutBuf once the message is fully consumed
+//     (decoded, copied out, or forwarded). Backends that retain payload
+//     bytes past that point must copy them first.
+//
+// Releasing is optional — an unreleased buffer is simply garbage
+// collected — so code outside the engine hot path (tests, tools) can
+// ignore the pool entirely.
+
+// bufw wraps a pooled buffer; sync.Pool stores *bufw so neither Get nor
+// Put boxes a slice header per call.
+type bufw struct{ b []byte }
+
+var (
+	bufPool  = sync.Pool{New: func() any { return &bufw{b: make([]byte, 0, 1024)} }}
+	wrapPool = sync.Pool{New: func() any { return new(bufw) }}
+)
+
+// GetBuf returns an empty buffer with capacity at least n.
+func GetBuf(n int) []byte {
+	w := bufPool.Get().(*bufw)
+	b := w.b
+	w.b = nil
+	wrapPool.Put(w)
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// PutBuf releases a buffer back to the pool. The caller must not touch b
+// afterwards. Zero-capacity buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	w := wrapPool.Get().(*bufw)
+	w.b = b[:0]
+	bufPool.Put(w)
+}

@@ -1,0 +1,40 @@
+package comm
+
+import "testing"
+
+func TestBufPoolRoundtrip(t *testing.T) {
+	b := GetBuf(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("GetBuf(100): len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBuf(b)
+
+	// A recycled buffer must come back empty regardless of prior content.
+	c := GetBuf(1)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has len %d", len(c))
+	}
+	PutBuf(c)
+
+	// Degenerate cases must not panic.
+	PutBuf(nil)
+	PutBuf(make([]byte, 0))
+}
+
+// TestBufPoolSteadyStateAllocs verifies the wrapper shuffle keeps
+// Get/Put allocation-free once warm.
+func TestBufPoolSteadyStateAllocs(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		PutBuf(GetBuf(512))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b := GetBuf(512)
+		PutBuf(b)
+	})
+	// One wrapper pair may still migrate between Ps under the race of
+	// sync.Pool; allow a fractional average but not per-call allocation.
+	if allocs > 0.5 {
+		t.Errorf("pooled Get/Put allocates %.2f times per op", allocs)
+	}
+}

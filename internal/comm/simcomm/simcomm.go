@@ -76,8 +76,7 @@ func (e *endpoint) Send(dst int, tag comm.Tag, payload []byte, wireBytes int) {
 	if wireBytes <= 0 {
 		wireBytes = len(payload)
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	cp := append(comm.GetBuf(len(payload)), payload...)
 	target := e.cluster.eps[dst]
 	arrival := e.cluster.links[e.rank].Transmit(e.proc.Now(), wireBytes)
 	e.cluster.k.Schedule(arrival, func() {

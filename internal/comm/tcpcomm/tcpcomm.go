@@ -168,7 +168,9 @@ func (e *Endpoint) writeLoop(peer int, conn net.Conn, q chan []byte) {
 	for {
 		select {
 		case frame := <-q:
-			if _, err := conn.Write(frame); err != nil {
+			_, err := conn.Write(frame)
+			comm.PutBuf(frame)
+			if err != nil {
 				// The peer left (e.g. the head finished and closed):
 				// further traffic to it is dropped, like sending to a
 				// process that already exited its MPI epilogue.
@@ -180,7 +182,9 @@ func (e *Endpoint) writeLoop(peer int, conn net.Conn, q chan []byte) {
 			for {
 				select {
 				case frame := <-q:
-					if _, err := conn.Write(frame); err != nil {
+					_, err := conn.Write(frame)
+					comm.PutBuf(frame)
+					if err != nil {
 						return
 					}
 				default:
@@ -208,7 +212,7 @@ func (e *Endpoint) readLoop(peer int, conn net.Conn) {
 			e.fail(fmt.Errorf("tcpcomm: malformed frame from rank %d (src=%d tag=%d)", peer, src, tag))
 			return
 		}
-		payload := make([]byte, ln)
+		payload := comm.GetBuf(int(ln))[:ln]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			e.markPeerClosed(peer)
 			return
@@ -256,7 +260,7 @@ func (e *Endpoint) Send(dst int, tag comm.Tag, payload []byte, _ int) {
 	if dst == e.rank {
 		panic("tcpcomm: send to self")
 	}
-	frame := make([]byte, frameHeader+len(payload))
+	frame := comm.GetBuf(frameHeader + len(payload))[:frameHeader+len(payload)]
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	frame[4] = byte(tag)
 	binary.LittleEndian.PutUint32(frame[5:9], uint32(e.rank))

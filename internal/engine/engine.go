@@ -85,7 +85,16 @@ func (r *RunMsg) MaxPos() int32 {
 
 // Encode serialises the message.
 func (r *RunMsg) Encode() []byte {
-	buf := make([]byte, 0, 16+16*len(r.Tokens)+11*len(r.KVOps))
+	return r.AppendEncode(make([]byte, 0, r.EncodedSize()))
+}
+
+// EncodedSize reports the wire size of the message, so senders can size
+// pooled buffers exactly.
+func (r *RunMsg) EncodedSize() int { return 10 + 16*len(r.Tokens) + 11*len(r.KVOps) }
+
+// AppendEncode appends the wire encoding to buf and returns it, letting
+// the head and stage loops serialise into pooled message buffers.
+func (r *RunMsg) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(r.ID), byte(r.ID>>8), byte(r.ID>>16), byte(r.ID>>24))
 	buf = append(buf, byte(r.Kind), byte(r.Seq))
 	buf = append(buf, byte(len(r.Tokens)), byte(len(r.Tokens)>>8))
@@ -94,13 +103,12 @@ func (r *RunMsg) Encode() []byte {
 		buf = appendU32(buf, uint32(t.Pos))
 		buf = appendU64(buf, uint64(t.Seqs))
 	}
-	ops := kvcache.EncodeOps(r.KVOps)
 	buf = append(buf, byte(len(r.KVOps)), byte(len(r.KVOps)>>8))
-	buf = append(buf, ops...)
-	return buf
+	return kvcache.AppendOps(buf, r.KVOps)
 }
 
-// DecodeRunMsg reverses Encode.
+// DecodeRunMsg reverses Encode. It never retains buf, and a truncated or
+// corrupt message yields an error, not a panic.
 func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("engine: run message too short (%d bytes)", len(buf))
@@ -126,6 +134,10 @@ func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 	}
 	nOps := int(buf[off]) | int(buf[off+1])<<8
 	off += 2
+	if 11*nOps > len(buf)-off {
+		return nil, fmt.Errorf("engine: run message truncated: %d KV ops need %d bytes, %d left",
+			nOps, 11*nOps, len(buf)-off)
+	}
 	ops, err := kvcache.DecodeOps(buf[off : off+11*nOps])
 	if err != nil {
 		return nil, err
@@ -150,7 +162,10 @@ func readU64(b []byte) uint64 {
 // EncodeCancel packs run IDs into a cancellation signal payload (§IV-D.2:
 // "the signal contains only a uniquely assigned identifier").
 func EncodeCancel(ids []uint32) []byte {
-	buf := make([]byte, 0, 4*len(ids))
+	return appendCancel(make([]byte, 0, 4*len(ids)), ids)
+}
+
+func appendCancel(buf []byte, ids []uint32) []byte {
 	for _, id := range ids {
 		buf = appendU32(buf, id)
 	}
@@ -179,6 +194,12 @@ type Worker interface {
 	// On completion it returns the payload to forward downstream (an
 	// activation, or the result payload if this is the last stage) plus
 	// the wire size to charge the interconnect.
+	//
+	// Buffer ownership: input is only read during the call — the worker
+	// must copy anything it needs afterwards. The returned payload may
+	// alias worker-owned staging storage and is only valid until the
+	// worker's next Eval call; callers frame or copy it (DataPayload)
+	// before evaluating another run.
 	Eval(run *RunMsg, input []byte, cancelled func() bool) (out []byte, wire int, ok bool)
 	// ApplyKV applies pipelined cache operations in transaction order.
 	ApplyKV(ops []kvcache.Op)

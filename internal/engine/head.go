@@ -81,30 +81,38 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 	if h.Local != nil {
 		h.Local.ApplyKV(msg.KVOps)
 		out, wire, ok := h.Local.Eval(msg, nil, func() bool { return false })
-		payload := EmptyPayload()
-		pw := len(payload)
+		var payload []byte
+		pw := 0
 		if ok {
+			// Copies the worker's staging buffer into a pooled payload.
 			payload = DataPayload(out)
 			pw = wire + 1
+		} else {
+			payload = EmptyPayload()
+			pw = len(payload)
 		}
 		next := h.Topo.FirstRemote()
 		if next < 0 {
-			// Single-node: the inline stage is the whole pipeline.
+			// Single-node: the inline stage is the whole pipeline. The
+			// pooled payload is released when AwaitResult consumes it.
 			h.localResults = append(h.localResults, payload)
 			return run
 		}
 		transact.Begin(h.EP, next, transact.TypeDecode)
-		enc := msg.Encode()
+		enc := msg.AppendEncode(comm.GetBuf(msg.EncodedSize()))
 		h.EP.Send(next, comm.TagRun, enc, len(enc))
+		comm.PutBuf(enc)
 		h.EP.Send(next, comm.TagActivation, payload, pw)
+		comm.PutBuf(payload)
 		return run
 	}
 
 	// Dedicated head (PipeInfer): ship tokens to the first target stage.
 	first := h.Topo.Stages[0]
 	transact.Begin(h.EP, first, transact.TypeDecode)
-	enc := msg.Encode()
+	enc := msg.AppendEncode(comm.GetBuf(msg.EncodedSize()))
 	h.EP.Send(first, comm.TagRun, enc, len(enc))
+	comm.PutBuf(enc)
 	return run
 }
 
@@ -139,9 +147,15 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 	h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
 		fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
 	if !hasData {
+		comm.PutBuf(payload)
 		return run, nil, false, nil
 	}
-	return run, h.BK.Results(run.Msg, run.Ctx, data), true, nil
+	// Backends consume the payload inside Results (the real backend
+	// extracts greedy choices eagerly; the simulated one replays the
+	// oracle), so the wire buffer can return to the pool here.
+	res = h.BK.Results(run.Msg, run.Ctx, data)
+	comm.PutBuf(payload)
+	return run, res, true, nil
 }
 
 // Cancel back-propagates cancellation signals for the given runs to every
@@ -162,13 +176,14 @@ func (h *Head) Cancel(runs []*Run) {
 	if len(ids) == 0 || h.CFG.DisableCancel {
 		return
 	}
-	payload := EncodeCancel(ids)
+	payload := appendCancel(comm.GetBuf(4*len(ids)), ids)
 	for _, s := range h.Topo.Stages {
 		if s == h.Topo.Head {
 			continue
 		}
 		h.EP.Send(s, comm.TagCancel, payload, len(payload))
 	}
+	comm.PutBuf(payload)
 }
 
 // SendKV ships cache operations as a pipelined KV transaction: applied to
@@ -185,8 +200,9 @@ func (h *Head) SendKV(ops []kvcache.Op) {
 		return
 	}
 	transact.Begin(h.EP, next, transact.TypeKV)
-	enc := kvcache.EncodeOps(ops)
+	enc := kvcache.AppendOps(comm.GetBuf(11*len(ops)), ops)
 	h.EP.Send(next, comm.TagRun, enc, len(enc))
+	comm.PutBuf(enc)
 }
 
 // Shutdown propagates the shutdown transaction through the pipeline.

@@ -17,12 +17,15 @@ const (
 )
 
 // EmptyPayload returns the marker payload forwarded for cancelled runs.
-func EmptyPayload() []byte { return []byte{payloadEmpty} }
+// The buffer comes from the message pool; release it with comm.PutBuf
+// after Send.
+func EmptyPayload() []byte { return append(comm.GetBuf(1), payloadEmpty) }
 
-// DataPayload frames data for the wire.
+// DataPayload frames a copy of data for the wire in a pooled buffer
+// (release with comm.PutBuf after Send). Copying here is what lets
+// workers return payloads that alias their reusable staging buffers.
 func DataPayload(data []byte) []byte {
-	out := make([]byte, 0, 1+len(data))
-	out = append(out, payloadData)
+	out := append(comm.GetBuf(1+len(data)), payloadData)
 	return append(out, data...)
 }
 
@@ -45,9 +48,11 @@ func newCancelSet() *cancelSet { return &cancelSet{ids: make(map[uint32]bool)} }
 
 func (c *cancelSet) drain(ep comm.Endpoint, head int) {
 	for ep.Iprobe(head, comm.TagCancel) {
-		for _, id := range DecodeCancel(ep.Recv(head, comm.TagCancel)) {
+		buf := ep.Recv(head, comm.TagCancel)
+		for _, id := range DecodeCancel(buf) {
 			c.ids[id] = true
 		}
+		comm.PutBuf(buf)
 	}
 }
 
@@ -97,14 +102,17 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 	d := transact.NewDispatcher(ep, upstream)
 
 	d.Register(transact.TypeDecode, func(ep comm.Endpoint, src int) error {
-		run, err := DecodeRunMsg(ep.Recv(src, comm.TagRun))
+		raw := ep.Recv(src, comm.TagRun)
+		run, err := DecodeRunMsg(raw)
+		comm.PutBuf(raw) // DecodeRunMsg never retains the wire buffer
 		if err != nil {
 			return err
 		}
-		var input []byte
+		var input, inputBuf []byte
 		inputOK := true
 		if expectsActivation {
-			input, inputOK = PayloadData(ep.Recv(src, comm.TagActivation))
+			inputBuf = ep.Recv(src, comm.TagActivation)
+			input, inputOK = PayloadData(inputBuf)
 		}
 
 		// Pipelined KV operations apply in transaction order even for
@@ -121,8 +129,8 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 			skip = true
 		}
 
-		out := EmptyPayload()
-		wire := len(out)
+		var out []byte
+		wire := 0
 		if !skip {
 			cancelled := func() bool {
 				if run.Kind != KindSpec {
@@ -132,17 +140,29 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 				return cancels.has(run.ID)
 			}
 			if data, w_, ok := w.Eval(run, input, cancelled); ok {
+				// Eval's payload aliases worker staging; DataPayload
+				// copies it into a pooled wire buffer.
 				out = DataPayload(data)
 				wire = w_ + 1
 			}
+		}
+		// input was only read by Eval; its buffer is done.
+		if inputBuf != nil {
+			comm.PutBuf(inputBuf)
+		}
+		if out == nil {
+			out = EmptyPayload()
+			wire = len(out)
 		}
 		cancels.gc(run.ID)
 
 		if downstream >= 0 {
 			transact.Begin(ep, downstream, transact.TypeDecode)
-			enc := run.Encode()
+			enc := run.AppendEncode(comm.GetBuf(run.EncodedSize()))
 			ep.Send(downstream, comm.TagRun, enc, len(enc))
+			comm.PutBuf(enc)
 			ep.Send(downstream, comm.TagActivation, out, wire)
+			comm.PutBuf(out)
 			return nil
 		}
 		// Last stage: deliver the result to the head. Cancelled or
@@ -150,10 +170,12 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 		// cancelled them, and skipping the logits transfer is the "final
 		// sampling is skipped" saving of §IV-D.3.
 		if cancels.has(run.ID) {
+			comm.PutBuf(out)
 			out = EmptyPayload()
 			wire = len(out)
 		}
 		ep.Send(topo.Head, comm.TagResult, out, wire)
+		comm.PutBuf(out)
 		return nil
 	})
 
@@ -161,6 +183,7 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 		raw := ep.Recv(src, comm.TagRun)
 		ops, err := kvcache.DecodeOps(raw)
 		if err != nil {
+			comm.PutBuf(raw)
 			return err
 		}
 		w.ApplyKV(ops)
@@ -168,6 +191,7 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 			transact.Begin(ep, downstream, transact.TypeKV)
 			ep.Send(downstream, comm.TagRun, raw, len(raw))
 		}
+		comm.PutBuf(raw)
 		return nil
 	})
 

@@ -129,16 +129,24 @@ func (c *Cache) Clear() {
 // FindSlots locates n free cells (first-fit) and returns their indices
 // without occupying them. It fails if fewer than n cells are free.
 func (c *Cache) FindSlots(n int) ([]int, error) {
-	out := make([]int, 0, n)
+	return c.FindSlotsInto(make([]int, 0, n), n)
+}
+
+// FindSlotsInto is FindSlots appending into a caller-provided slice
+// (typically scratch[:0]) — the allocation-free variant the decode hot
+// path uses every run.
+func (c *Cache) FindSlotsInto(dst []int, n int) ([]int, error) {
+	found := 0
 	for i := range c.cells {
 		if c.cells[i].Empty() {
-			out = append(out, i)
-			if len(out) == n {
-				return out, nil
+			dst = append(dst, i)
+			found++
+			if found == n {
+				return dst, nil
 			}
 		}
 	}
-	return nil, fmt.Errorf("kvcache: need %d free cells, have %d of %d", n, len(out), len(c.cells))
+	return nil, fmt.Errorf("kvcache: need %d free cells, have %d of %d", n, found, len(c.cells))
 }
 
 // Occupy claims cell i for a token at position pos belonging to seqs.

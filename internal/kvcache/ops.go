@@ -61,7 +61,12 @@ func ApplyAll(c *Cache, ops []Op) {
 
 // EncodeOps serialises ops into a compact wire format (for comm messages).
 func EncodeOps(ops []Op) []byte {
-	buf := make([]byte, 0, len(ops)*11)
+	return AppendOps(make([]byte, 0, len(ops)*11), ops)
+}
+
+// AppendOps appends the wire encoding of ops to buf and returns it,
+// letting callers serialise into pooled message buffers.
+func AppendOps(buf []byte, ops []Op) []byte {
 	for _, o := range ops {
 		buf = append(buf, byte(o.Kind), byte(o.Src), byte(o.Dst))
 		buf = appendI32(buf, o.P0)

@@ -1,0 +1,53 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/quant"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// TestDecodeStepAllocs locks in the zero-allocation decode hot path: once
+// scratch buffers and the RoPE table are warm, a steady-state single-token
+// forward pass (embed, all layers, logits) must not touch the heap.
+// Parallelism is pinned to 1 because the pooled fan-out hands closures to
+// worker goroutines; the serial path is the per-stage steady state the
+// engine keeps every core in anyway (one rank per core).
+func TestDecodeStepAllocs(t *testing.T) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	for _, typ := range []quant.Type{quant.F32, quant.Q8} {
+		cfg := TinyConfig()
+		cfg.Quant = typ
+		m, err := New(cfg, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(m, 256)
+		prompt := make([]token.Token, 16)
+		for i := range prompt {
+			prompt[i] = token.Token(token.NumSpecial + i)
+		}
+		if _, err := r.EvalSeq(prompt, 0, kvcache.Canonical); err != nil {
+			t.Fatal(err)
+		}
+		pos := int32(len(prompt))
+		toks := []token.Token{token.Token(token.NumSpecial + 3)}
+		step := func() {
+			if _, err := r.EvalSeq(toks, pos, kvcache.Canonical); err != nil {
+				t.Fatal(err)
+			}
+			r.Cache.SeqRm(kvcache.Canonical, pos, pos+1)
+		}
+		// Warm the scratch growth paths and the RoPE table.
+		for i := 0; i < 3; i++ {
+			step()
+		}
+		if allocs := testing.AllocsPerRun(50, step); allocs != 0 {
+			t.Errorf("%v: steady-state decode step allocates %.1f times, want 0", typ, allocs)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/quant"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// benchRunner builds a TinyConfig runner with a 32-token prefilled context,
+// the steady decode state the paper's continuous speculation keeps every
+// stage in.
+func benchRunner(b *testing.B, q quant.Type) (*Runner, int32) {
+	b.Helper()
+	cfg := TinyConfig()
+	cfg.Quant = q
+	m, err := New(cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(m, 512)
+	prompt := make([]token.Token, 32)
+	for i := range prompt {
+		prompt[i] = token.Token(token.NumSpecial + i%91)
+	}
+	if _, err := r.EvalSeq(prompt, 0, kvcache.Canonical); err != nil {
+		b.Fatal(err)
+	}
+	return r, int32(len(prompt))
+}
+
+// BenchmarkForwardDecode measures one steady-state single-token decode
+// step (the per-token cost continuous asynchronous speculation pays on
+// every stage). The cache is rolled back after each step so every
+// iteration sees an identical context.
+func BenchmarkForwardDecode(b *testing.B) {
+	r, pos := benchRunner(b, quant.F32)
+	toks := []token.Token{token.Token(token.NumSpecial + 7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EvalSeq(toks, pos, kvcache.Canonical); err != nil {
+			b.Fatal(err)
+		}
+		r.Cache.SeqRm(kvcache.Canonical, pos, pos+1)
+	}
+}
+
+// BenchmarkForwardDecodeQ8 is the same step with Q8_0 weights, exercising
+// the quantized-domain kernels end to end.
+func BenchmarkForwardDecodeQ8(b *testing.B) {
+	r, pos := benchRunner(b, quant.Q8)
+	toks := []token.Token{token.Token(token.NumSpecial + 7)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EvalSeq(toks, pos, kvcache.Canonical); err != nil {
+			b.Fatal(err)
+		}
+		r.Cache.SeqRm(kvcache.Canonical, pos, pos+1)
+	}
+}
+
+// BenchmarkPrefill32 measures prompt-batch evaluation (the TTFT anchor).
+func BenchmarkPrefill32(b *testing.B) {
+	cfg := TinyConfig()
+	m, err := New(cfg, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompt := make([]token.Token, 32)
+	for i := range prompt {
+		prompt[i] = token.Token(token.NumSpecial + i%91)
+	}
+	r := NewRunner(m, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.EvalSeq(prompt, 0, kvcache.Canonical); err != nil {
+			b.Fatal(err)
+		}
+		r.Reset()
+	}
+}

@@ -262,14 +262,21 @@ func (b *Batch) Validate() error {
 
 // EmbedBatch gathers embedding rows for the batch tokens.
 func (m *Model) EmbedBatch(toks []token.Token) tensor.Mat {
-	x := tensor.NewMat(len(toks), m.Cfg.Dim)
+	var x tensor.Mat
+	return m.EmbedBatchInto(&x, toks)
+}
+
+// EmbedBatchInto gathers embedding rows into dst, reusing its backing
+// storage across calls (the zero-allocation decode path).
+func (m *Model) EmbedBatchInto(dst *tensor.Mat, toks []token.Token) tensor.Mat {
+	ensureMat(dst, len(toks), m.Cfg.Dim)
 	for i, t := range toks {
 		if int(t) >= m.Cfg.VocabSize || t < 0 {
 			panic(fmt.Sprintf("model: token %d outside vocab %d", t, m.Cfg.VocabSize))
 		}
-		copy(x.Row(i), m.Embed.Row(int(t)))
+		copy(dst.Row(i), m.Embed.Row(int(t)))
 	}
-	return x
+	return *dst
 }
 
 // ForwardLayers evaluates layers [lo, hi) over the batch, reading input
@@ -279,6 +286,14 @@ func (m *Model) EmbedBatch(toks []token.Token) tensor.Mat {
 // point); returning false aborts the evaluation early and ForwardLayers
 // returns (zero matrix, false).
 func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batch, perLayer func(layer int) bool) (tensor.Mat, bool) {
+	return m.ForwardLayersScratch(lo, hi, x, kv, batch, perLayer, NewScratch(m.Cfg))
+}
+
+// ForwardLayersScratch is ForwardLayers evaluating through a persistent
+// Scratch, the steady-state zero-allocation decode path: every buffer the
+// pass needs (normed hidden state, query projections, attention scores,
+// MLP activations) lives in s and is reused across calls.
+func (m *Model) ForwardLayersScratch(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batch, perLayer func(layer int) bool, s *Scratch) (tensor.Mat, bool) {
 	if err := batch.Validate(); err != nil {
 		panic(err)
 	}
@@ -288,17 +303,15 @@ func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batc
 	}
 	cfg := m.Cfg
 	headDim := cfg.HeadDim()
-	kvDim := cfg.KVDim()
 	groups := cfg.NHeads / cfg.NKVHeads
 	scale := float32(1.0 / math.Sqrt(float64(headDim)))
 
-	// Scratch buffers reused across layers.
-	h := make(tensor.Vec, cfg.Dim)
-	q := tensor.NewMat(batch.Len(), cfg.Dim)
-	attnOut := make(tensor.Vec, cfg.Dim)
-	proj := make(tensor.Vec, cfg.Dim)
-	gate := make(tensor.Vec, cfg.FFNDim)
-	up := make(tensor.Vec, cfg.FFNDim)
+	h := s.h
+	attnOut := s.attnOut
+	proj := s.proj
+	gate := s.gate
+	up := s.up
+	q := s.ensureQ(batch.Len(), cfg.Dim)
 
 	for l := lo; l < hi; l++ {
 		lay := &m.Layers[l]
@@ -308,10 +321,10 @@ func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batc
 		// Phase 1: project q/k/v for every token, apply RoPE, store K/V.
 		for b := 0; b < batch.Len(); b++ {
 			tensor.RMSNorm(h, x.Row(b), lay.AttnNorm, cfg.NormEps)
-			lay.Wq.MatVec(q.Row(b), h)
+			lay.Wq.MatVecQ(q.Row(b), h)
 			cell := batch.Cells[b]
-			lay.Wk.MatVec(lk.Row(cell), h)
-			lay.Wv.MatVec(lv.Row(cell), h)
+			lay.Wk.MatVecQ(lk.Row(cell), h)
+			lay.Wv.MatVecQ(lv.Row(cell), h)
 			pos := int(batch.Meta[b].Pos)
 			tensor.RoPE(q.Row(b), headDim, pos, cfg.RopeBase)
 			tensor.RoPE(lk.Row(cell), headDim, pos, cfg.RopeBase)
@@ -321,7 +334,7 @@ func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batc
 		// output projection and MLP with residual connections.
 		for b := 0; b < batch.Len(); b++ {
 			vis := batch.Visible[b]
-			scores := make(tensor.Vec, len(vis))
+			scores := s.ensureScores(len(vis))
 			for hIdx := 0; hIdx < cfg.NHeads; hIdx++ {
 				kvHead := hIdx / groups
 				qh := q.Row(b)[hIdx*headDim : (hIdx+1)*headDim]
@@ -339,18 +352,16 @@ func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batc
 					tensor.Axpy(out, scores[vi], vh)
 				}
 			}
-			lay.Wo.MatVec(proj, attnOut)
+			lay.Wo.MatVecQ(proj, attnOut)
 			tensor.Add(x.Row(b), x.Row(b), proj)
 
 			tensor.RMSNorm(h, x.Row(b), lay.FFNNorm, cfg.NormEps)
-			lay.WGate.MatVec(gate, h)
-			lay.WUp.MatVec(up, h)
-			tensor.SiLU(gate)
-			tensor.Mul(gate, gate, up)
-			lay.WDown.MatVec(proj, gate)
+			lay.WGate.MatVecQ(gate, h)
+			lay.WUp.MatVecQ(up, h)
+			tensor.SiLUMul(gate, gate, up)
+			lay.WDown.MatVecQ(proj, gate)
 			tensor.Add(x.Row(b), x.Row(b), proj)
 		}
-		_ = kvDim
 		if perLayer != nil && !perLayer(l) {
 			return tensor.Mat{}, false
 		}
@@ -361,11 +372,18 @@ func (m *Model) ForwardLayers(lo, hi int, x tensor.Mat, kv *KVStore, batch *Batc
 // Logits applies the final norm and output head to activations x,
 // returning one logit row per batch token.
 func (m *Model) Logits(x tensor.Mat) tensor.Mat {
-	out := tensor.NewMat(x.Rows, m.Cfg.VocabSize)
-	h := make(tensor.Vec, m.Cfg.Dim)
+	var out tensor.Mat
+	return m.LogitsInto(&out, x, NewScratch(m.Cfg))
+}
+
+// LogitsInto is Logits writing into dst (backing storage reused across
+// calls) with the norm staging buffer taken from s.
+func (m *Model) LogitsInto(dst *tensor.Mat, x tensor.Mat, s *Scratch) tensor.Mat {
+	ensureMat(dst, x.Rows, m.Cfg.VocabSize)
+	h := s.h
 	for b := 0; b < x.Rows; b++ {
 		tensor.RMSNorm(h, x.Row(b), m.Norm, m.Cfg.NormEps)
-		m.Output.MatVec(out.Row(b), h)
+		m.Output.MatVecQ(dst.Row(b), h)
 	}
-	return out
+	return *dst
 }

@@ -1,0 +1,111 @@
+package model
+
+import (
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/tensor"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Scratch owns every buffer one evaluation context (a Runner, a pipeline
+// stage worker) needs for forward passes, so that a steady-state decode
+// step performs zero heap allocations. All buffers are sized once from the
+// model Config (or grown geometrically the first time a larger batch /
+// attention span appears) and reused across calls.
+//
+// A Scratch must not be shared between concurrent evaluations: each
+// Runner and each stage worker owns its own.
+type Scratch struct {
+	// Per-layer forward buffers.
+	h       tensor.Vec // Dim: normed hidden state
+	attnOut tensor.Vec // Dim: concatenated attention head outputs
+	proj    tensor.Vec // Dim: Wo / WDown projection
+	gate    tensor.Vec // FFNDim
+	up      tensor.Vec // FFNDim
+	scores  tensor.Vec // attention scores, grown geometrically
+	qData   []float32  // batch.Len() x Dim query projections
+
+	// Batch assembly (cache placement + visibility).
+	cells []int
+	vis   [][]int
+	batch Batch
+
+	// Activation / logits staging for runner-style whole-model evaluation.
+	x      tensor.Mat
+	logits tensor.Mat
+	meta   []kvcache.TokenMeta
+}
+
+// NewScratch builds a scratch sized for cfg. The per-layer vectors are
+// allocated eagerly; batch-sized buffers grow on first use.
+func NewScratch(cfg Config) *Scratch {
+	return &Scratch{
+		h:       make(tensor.Vec, cfg.Dim),
+		attnOut: make(tensor.Vec, cfg.Dim),
+		proj:    make(tensor.Vec, cfg.Dim),
+		gate:    make(tensor.Vec, cfg.FFNDim),
+		up:      make(tensor.Vec, cfg.FFNDim),
+	}
+}
+
+// ensureQ returns the query-projection matrix for an n-token batch,
+// growing the backing storage when a larger batch appears.
+func (s *Scratch) ensureQ(n, dim int) tensor.Mat {
+	if cap(s.qData) < n*dim {
+		s.qData = make([]float32, n*dim)
+	}
+	return tensor.Mat{Rows: n, Cols: dim, Data: s.qData[:n*dim]}
+}
+
+// ensureScores returns a score buffer of length n, growing geometrically
+// so a token-by-token context extension triggers O(log n) allocations
+// over a whole generation.
+func (s *Scratch) ensureScores(n int) tensor.Vec {
+	if cap(s.scores) < n {
+		grow := 2 * cap(s.scores)
+		if grow < n {
+			grow = n
+		}
+		if grow < 64 {
+			grow = 64
+		}
+		s.scores = make(tensor.Vec, grow)
+	}
+	return s.scores[:n]
+}
+
+// ensureMat shapes dst to rows x cols, reusing its backing storage when
+// large enough.
+func ensureMat(dst *tensor.Mat, rows, cols int) {
+	if cap(dst.Data) < rows*cols {
+		dst.Data = make([]float32, rows*cols)
+	}
+	dst.Rows, dst.Cols = rows, cols
+	dst.Data = dst.Data[:rows*cols]
+}
+
+// BatchFor assembles the evaluation batch for toks/meta against cache:
+// it finds and occupies cache cells and computes per-token visibility,
+// all into reused scratch storage. The returned batch (and its slices)
+// alias the scratch and are valid until the next BatchFor call.
+func (s *Scratch) BatchFor(cache *kvcache.Cache, toks []token.Token, meta []kvcache.TokenMeta) (*Batch, error) {
+	n := len(toks)
+	cells, err := cache.FindSlotsInto(s.cells[:0], n)
+	if err != nil {
+		return nil, err
+	}
+	s.cells = cells
+	for i, c := range cells {
+		cache.Occupy(c, meta[i].Pos, meta[i].Seqs)
+	}
+	if cap(s.vis) < n {
+		vis := make([][]int, n)
+		copy(vis, s.vis)
+		s.vis = vis
+	}
+	s.vis = s.vis[:n]
+	for i := range toks {
+		s.vis[i] = cache.VisibleCells(s.vis[i][:0], meta[i])
+	}
+	s.batch = Batch{Tokens: toks, Meta: meta, Cells: cells, Visible: s.vis}
+	return &s.batch, nil
+}

@@ -1,0 +1,125 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotQ8FMA(scales *float32, q *int8, x *float32, nBlocks int) float32
+//
+// Quantized-domain row dot: for each 32-weight block, sign-extend the
+// int8 weights to int32 (VPMOVSXBD), convert to f32, FMA against the
+// activation, then fold the block sub-product into the row accumulator
+// scaled by the block's f32 scale. The weights never exist as an f32 row
+// in memory.
+TEXT ·dotQ8FMA(SB), NOSPLIT, $0-36
+	MOVQ scales+0(FP), R8
+	MOVQ q+8(FP), SI
+	MOVQ x+16(FP), DI
+	MOVQ nBlocks+24(FP), CX
+	VXORPS Y0, Y0, Y0        // row accumulator
+	TESTQ CX, CX
+	JZ   done
+
+block:
+	VPMOVSXBD (SI), Y1       // weights 0..7
+	VCVTDQ2PS Y1, Y1
+	VMULPS (DI), Y1, Y4      // block sub-product
+	VPMOVSXBD 8(SI), Y2      // weights 8..15
+	VCVTDQ2PS Y2, Y2
+	VFMADD231PS 32(DI), Y2, Y4
+	VPMOVSXBD 16(SI), Y3     // weights 16..23
+	VCVTDQ2PS Y3, Y3
+	VFMADD231PS 64(DI), Y3, Y4
+	VPMOVSXBD 24(SI), Y5     // weights 24..31
+	VCVTDQ2PS Y5, Y5
+	VFMADD231PS 96(DI), Y5, Y4
+	VBROADCASTSS (R8), Y6    // block scale
+	VFMADD231PS Y6, Y4, Y0   // acc += scale * sub
+	ADDQ $32, SI
+	ADDQ $128, DI
+	ADDQ $4, R8
+	DECQ CX
+	JNZ  block
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+32(FP)
+	RET
+
+// func dotQ4FMA(scales *float32, q *uint8, x *float32, nBlocks int) float32
+//
+// Q4_0 row dot. Each block is 16 packed bytes: byte k holds weights
+// (2k, 2k+1) as (lo, hi) nibbles biased by +8. The nibbles are split with
+// mask/shift, re-interleaved into element order with VPUNPCK{L,H}BW,
+// zero-extended, converted, un-biased by subtracting 8.0, and FMA'd
+// against the activation block.
+TEXT ·dotQ4FMA(SB), NOSPLIT, $0-36
+	MOVQ scales+0(FP), R8
+	MOVQ q+8(FP), SI
+	MOVQ x+16(FP), DI
+	MOVQ nBlocks+24(FP), CX
+
+	// X8 = 0x0f byte mask, Y9 = broadcast 8.0f. VEX-encoded moves only:
+	// a legacy-SSE write to an XMM register with dirty YMM uppers incurs
+	// a state-transition penalty on every call.
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	VMOVQ AX, X8
+	VPUNPCKLQDQ X8, X8, X8
+	MOVL $0x41000000, AX     // 8.0f
+	VMOVD AX, X9
+	VBROADCASTSS X9, Y9
+	VXORPS Y0, Y0, Y0        // row accumulator
+
+	TESTQ CX, CX
+	JZ   done
+
+block:
+	VMOVDQU (SI), X1
+	VPAND X8, X1, X2         // lo nibbles: even-indexed weights
+	VPSRLW $4, X1, X3
+	VPAND X8, X3, X3         // hi nibbles: odd-indexed weights
+	VPUNPCKLBW X3, X2, X4    // weights 0..15 in element order
+	VPUNPCKHBW X3, X2, X5    // weights 16..31
+
+	VXORPS Y10, Y10, Y10     // block sub-product
+
+	VPMOVZXBD X4, Y6         // weights 0..7
+	VCVTDQ2PS Y6, Y6
+	VSUBPS Y9, Y6, Y6
+	VFMADD231PS (DI), Y6, Y10
+	VPSRLDQ $8, X4, X6
+	VPMOVZXBD X6, Y7         // weights 8..15
+	VCVTDQ2PS Y7, Y7
+	VSUBPS Y9, Y7, Y7
+	VFMADD231PS 32(DI), Y7, Y10
+
+	VPMOVZXBD X5, Y6         // weights 16..23
+	VCVTDQ2PS Y6, Y6
+	VSUBPS Y9, Y6, Y6
+	VFMADD231PS 64(DI), Y6, Y10
+	VPSRLDQ $8, X5, X6
+	VPMOVZXBD X6, Y7         // weights 24..31
+	VCVTDQ2PS Y7, Y7
+	VSUBPS Y9, Y7, Y7
+	VFMADD231PS 96(DI), Y7, Y10
+
+	VBROADCASTSS (R8), Y11   // block scale
+	VFMADD231PS Y11, Y10, Y0 // acc += scale * sub
+	ADDQ $16, SI
+	ADDQ $128, DI
+	ADDQ $4, R8
+	DECQ CX
+	JNZ  block
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+32(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package quant
+
+func dotQ8Kernel(scales []float32, q []int8, x []float32) float32 {
+	return dotQ8Go(scales, q, x)
+}
+
+func dotQ4Kernel(scales []float32, q []uint8, x []float32) float32 {
+	return dotQ4Go(scales, q, x)
+}

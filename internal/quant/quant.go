@@ -189,52 +189,111 @@ func (q Mat) Bytes() int64 {
 	}
 }
 
-// MatVec computes dst = q * x, dequantising on the fly. Rows are
-// parallelised exactly like tensor.MatVec.
+// MatVec computes dst = q * x, consuming the quantized weights directly.
+// It is an alias of MatVecQ kept for API stability.
 func (q Mat) MatVec(dst, x []float32) {
+	q.MatVecQ(dst, x)
+}
+
+// MatVecQ is the quantized-domain matrix-vector product: every row is
+// evaluated block by block against x via DotQ8/DotQ4 (AVX2 kernels on
+// capable amd64 hosts) without ever staging a dequantized f32 row. Rows
+// are parallelised over the tensor worker pool; the serial path performs
+// zero heap allocations. The whole-shape check guards the raw-pointer
+// SIMD kernels; only the per-row/per-block re-checks are skipped.
+func (q Mat) MatVecQ(dst, x []float32) {
 	if len(x) != q.Cols || len(dst) != q.Rows {
-		panic(fmt.Sprintf("quant: MatVec shape mismatch: m=%dx%d x=%d dst=%d",
+		panic(fmt.Sprintf("quant: MatVecQ shape mismatch: m=%dx%d x=%d dst=%d",
 			q.Rows, q.Cols, len(x), len(dst)))
 	}
 	switch q.Typ {
 	case F32:
 		m := tensor.Mat{Rows: q.Rows, Cols: q.Cols, Data: q.f32}
-		tensor.MatVec(dst, m, x)
+		tensor.MatVecInto(dst, m, x)
 	case Q8:
-		blocksPerRow := q.Cols / BlockSize
-		for r := 0; r < q.Rows; r++ {
-			var acc float64
-			for b := 0; b < blocksPerRow; b++ {
-				blk := r*blocksPerRow + b
-				s := q.scales[blk]
-				var sub float32
-				base := blk * BlockSize
-				xb := x[b*BlockSize : (b+1)*BlockSize]
-				for i := 0; i < BlockSize; i++ {
-					sub += float32(q.q8[base+i]) * xb[i]
-				}
-				acc += float64(s * sub)
-			}
-			dst[r] = float32(acc)
+		if !tensor.ParallelActive(q.Rows) {
+			q.matVecQ8Range(dst, x, 0, q.Rows)
+			return
 		}
+		tensor.ParallelRange(q.Rows, func(lo, hi int) { q.matVecQ8Range(dst, x, lo, hi) })
 	case Q4:
-		blocksPerRow := q.Cols / BlockSize
-		for r := 0; r < q.Rows; r++ {
-			var acc float64
-			for b := 0; b < blocksPerRow; b++ {
-				blk := r*blocksPerRow + b
-				s := q.scales[blk]
-				var sub float32
-				base := blk * BlockSize
-				xb := x[b*BlockSize : (b+1)*BlockSize]
-				for i := 0; i < BlockSize; i += 2 {
-					packed := q.q4[(base+i)/2]
-					sub += (float32(packed&0x0f) - 8) * xb[i]
-					sub += (float32(packed>>4) - 8) * xb[i+1]
-				}
-				acc += float64(s * sub)
-			}
-			dst[r] = float32(acc)
+		if !tensor.ParallelActive(q.Rows) {
+			q.matVecQ4Range(dst, x, 0, q.Rows)
+			return
 		}
+		tensor.ParallelRange(q.Rows, func(lo, hi int) { q.matVecQ4Range(dst, x, lo, hi) })
 	}
+}
+
+func (q Mat) matVecQ8Range(dst, x []float32, lo, hi int) {
+	bpr := q.Cols / BlockSize
+	for r := lo; r < hi; r++ {
+		dst[r] = dotQ8Kernel(q.scales[r*bpr:(r+1)*bpr], q.q8[r*q.Cols:(r+1)*q.Cols], x)
+	}
+}
+
+func (q Mat) matVecQ4Range(dst, x []float32, lo, hi int) {
+	bpr := q.Cols / BlockSize
+	for r := lo; r < hi; r++ {
+		dst[r] = dotQ4Kernel(q.scales[r*bpr:(r+1)*bpr], q.q4[r*q.Cols/2:(r+1)*q.Cols/2], x)
+	}
+}
+
+// DotQ8 computes the inner product of one Q8_0 row (len(x)/BlockSize
+// blocks: per-block scales plus int8 weights) with a dense vector, in the
+// quantized domain.
+func DotQ8(scales []float32, q []int8, x []float32) float32 {
+	if len(x)%BlockSize != 0 || len(q) != len(x) || len(scales) != len(x)/BlockSize {
+		panic(fmt.Sprintf("quant: DotQ8 shape mismatch: scales=%d q=%d x=%d",
+			len(scales), len(q), len(x)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return dotQ8Kernel(scales, q, x)
+}
+
+// DotQ4 is DotQ8 for the Q4_0 packing (two weights per byte).
+func DotQ4(scales []float32, q []uint8, x []float32) float32 {
+	if len(x)%BlockSize != 0 || len(q) != len(x)/2 || len(scales) != len(x)/BlockSize {
+		panic(fmt.Sprintf("quant: DotQ4 shape mismatch: scales=%d q=%d x=%d",
+			len(scales), len(q), len(x)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	return dotQ4Kernel(scales, q, x)
+}
+
+// dotQ8Go is the portable Q8_0 row dot, arithmetic-identical to the seed
+// implementation: f32 accumulation inside a block, f64 across blocks.
+func dotQ8Go(scales []float32, q []int8, x []float32) float32 {
+	var acc float64
+	for b := range scales {
+		qb := q[b*BlockSize : (b+1)*BlockSize]
+		xb := x[b*BlockSize : (b+1)*BlockSize][:BlockSize]
+		var sub float32
+		for i := range qb {
+			sub += float32(qb[i]) * xb[i]
+		}
+		acc += float64(scales[b] * sub)
+	}
+	return float32(acc)
+}
+
+// dotQ4Go is the portable Q4_0 row dot, arithmetic-identical to the seed.
+func dotQ4Go(scales []float32, q []uint8, x []float32) float32 {
+	var acc float64
+	for b := range scales {
+		qb := q[b*BlockSize/2 : (b+1)*BlockSize/2]
+		xb := x[b*BlockSize : (b+1)*BlockSize][:BlockSize]
+		var sub float32
+		for i := 0; i < BlockSize; i += 2 {
+			packed := qb[i/2]
+			sub += (float32(packed&0x0f) - 8) * xb[i]
+			sub += (float32(packed>>4) - 8) * xb[i+1]
+		}
+		acc += float64(scales[b] * sub)
+	}
+	return float32(acc)
 }

@@ -1,0 +1,64 @@
+package tensor
+
+import "testing"
+
+func BenchmarkDot256(b *testing.B) {
+	rng := NewRNG(7)
+	x := make(Vec, 256)
+	y := make(Vec, 256)
+	rng.FillNormal(x, 1)
+	rng.FillNormal(y, 1)
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkMatVec160x64(b *testing.B) {
+	rng := NewRNG(7)
+	m := NewMat(160, 64)
+	rng.FillNormal(m.Data, 0.1)
+	x := make(Vec, 64)
+	rng.FillNormal(x, 1)
+	dst := make(Vec, 160)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, m, x)
+	}
+}
+
+func BenchmarkRoPE(b *testing.B) {
+	rng := NewRNG(7)
+	x := make(Vec, 64)
+	rng.FillNormal(x, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoPE(x, 16, i%512, 10000)
+	}
+}
+
+func BenchmarkSoftmax128(b *testing.B) {
+	rng := NewRNG(7)
+	x := make(Vec, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.FillNormal(x, 1)
+		Softmax(x)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := NewRNG(7)
+	x := make(Vec, 288) // TinyConfig vocab
+	rng.FillNormal(x, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(x, 4)
+	}
+}

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package tensor
+
+// Implemented in simd_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func dotFMA(a, b *float32, n int) float32
+
+// simdOn reports whether the AVX2+FMA kernels are safe to use on this CPU.
+// Detection follows the Intel-documented protocol: the OS must have
+// enabled XMM/YMM state saving (OSXSAVE + XGETBV) in addition to the CPU
+// advertising AVX, FMA and AVX2.
+var simdOn = detectSIMD()
+
+func detectSIMD() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// simdDotMin is the vector length below which the scalar loop beats the
+// call overhead of the assembly kernel. Attention-head dots (headDim ~16)
+// stay scalar; weight-matrix rows (>= 64) take the FMA path.
+const simdDotMin = 32
+
+// dotKernel dispatches to the best available dot implementation. Lengths
+// must already be validated by the caller.
+func dotKernel(a, b Vec) float32 {
+	if simdOn && len(a) >= simdDotMin {
+		return dotFMA(&a[0], &b[0], len(a))
+	}
+	return dotGo(a, b)
+}

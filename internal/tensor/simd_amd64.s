@@ -1,0 +1,93 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotFMA(a, b *float32, n int) float32
+//
+// Inner product with 4 independent YMM accumulators (32 floats per
+// iteration) so the FMA latency chains overlap, then an 8-wide tail loop
+// and a scalar tail. Summation order differs from the scalar loop, so
+// results agree only to floating-point reassociation error.
+TEXT ·dotFMA(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ CX, DX
+	SHRQ $5, DX              // DX = n / 32
+	JZ   tail8
+
+loop32:
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VFMADD231PS (DI), Y4, Y0
+	VFMADD231PS 32(DI), Y5, Y1
+	VFMADD231PS 64(DI), Y6, Y2
+	VFMADD231PS 96(DI), Y7, Y3
+	ADDQ $128, SI
+	ADDQ $128, DI
+	DECQ DX
+	JNZ  loop32
+
+tail8:
+	ANDQ $31, CX             // n % 32
+	MOVQ CX, DX
+	SHRQ $3, DX              // (n % 32) / 8
+	JZ   reduce
+
+loop8:
+	VMOVUPS (SI), Y4
+	VFMADD231PS (DI), Y4, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  loop8
+
+reduce:
+	ANDQ $7, CX              // scalar remainder
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VADDPS Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	TESTQ CX, CX
+	JZ   done
+
+scalar:
+	VMOVSS (SI), X1
+	VFMADD231SS (DI), X1, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  scalar
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+24(FP)
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// simdOn is false off amd64: all kernels use the portable Go loops.
+const simdOn = false
+
+func dotKernel(a, b Vec) float32 { return dotGo(a, b) }

@@ -4,9 +4,16 @@
 // The package is deliberately small and specialised: everything the decoder
 // stack needs (matrix-vector and matrix-matrix products, RMSNorm, softmax,
 // rotary position embeddings, SiLU/GELU) and nothing more. Matrix products
-// are parallelised across rows with a shared worker pool so that multi-core
-// hosts see near-linear speedups on the memory-bandwidth-bound shapes that
-// dominate LLM inference.
+// are parallelised across rows with a persistent worker pool (see
+// ParallelRange / SetParallelism) so that multi-core hosts see near-linear
+// speedups on the memory-bandwidth-bound shapes that dominate LLM
+// inference, and the inner dot products dispatch to AVX2/FMA assembly on
+// amd64 hosts that support it.
+//
+// Hot-path contract: with SetParallelism(1), every kernel in this package
+// runs inline on the calling goroutine and performs zero heap allocations
+// (the property TestDecodeStepAllocs locks in). With parallelism > 1 the
+// only per-call allocation is the chunk closure handed to the worker pool.
 package tensor
 
 import (
@@ -55,15 +62,29 @@ func (m Mat) Bytes() int64 { return int64(len(m.Data)) * 4 }
 // MatVec computes dst = m * x where x has length m.Cols and dst has length
 // m.Rows. It parallelises across output rows.
 func MatVec(dst Vec, m Mat, x Vec) {
+	MatVecInto(dst, m, x)
+}
+
+// MatVecInto is the allocation-free MatVec core. A cheap whole-shape
+// check still guards the entry (the SIMD kernels walk raw pointers, so a
+// mis-sized x must fail deterministically rather than read out of
+// bounds); what it skips are the per-row and per-element re-checks.
+func MatVecInto(dst Vec, m Mat, x Vec) {
 	if len(x) != m.Cols || len(dst) != m.Rows {
-		panic(fmt.Sprintf("tensor: MatVec shape mismatch: m=%dx%d x=%d dst=%d",
+		panic(fmt.Sprintf("tensor: MatVecInto shape mismatch: m=%dx%d x=%d dst=%d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	parallelRange(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = Dot(m.Row(i), x)
-		}
-	})
+	if !ParallelActive(m.Rows) {
+		matVecRange(dst, m, x, 0, m.Rows)
+		return
+	}
+	ParallelRange(m.Rows, func(lo, hi int) { matVecRange(dst, m, x, lo, hi) })
+}
+
+func matVecRange(dst Vec, m Mat, x Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = dotKernel(m.Data[i*m.Cols:(i+1)*m.Cols], x)
+	}
 }
 
 // MatMulT computes dst = x * m^T for a batch of row vectors: x is n x m.Cols,
@@ -76,23 +97,42 @@ func MatMulT(dst Mat, x Mat, m Mat) {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch: x=%dx%d m=%dx%d dst=%dx%d",
 			x.Rows, x.Cols, m.Rows, m.Cols, dst.Rows, dst.Cols))
 	}
-	parallelRange(m.Rows, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			w := m.Row(o)
-			for b := 0; b < x.Rows; b++ {
-				dst.Data[b*dst.Cols+o] = Dot(w, x.Row(b))
-			}
+	if !ParallelActive(m.Rows) {
+		matMulTRange(dst, x, m, 0, m.Rows)
+		return
+	}
+	ParallelRange(m.Rows, func(lo, hi int) { matMulTRange(dst, x, m, lo, hi) })
+}
+
+func matMulTRange(dst Mat, x Mat, m Mat, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		w := m.Row(o)
+		for b := 0; b < x.Rows; b++ {
+			dst.Data[b*dst.Cols+o] = dotKernel(w, x.Row(b))
 		}
-	})
+	}
 }
 
 // Dot returns the inner product of a and b, which must have equal length.
+// On amd64 hosts with AVX2+FMA, long vectors use an assembly kernel whose
+// summation order differs from the scalar loop; within one process the
+// choice is fixed, so outputs stay deterministic.
 func Dot(a, b Vec) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(a), len(b)))
 	}
-	// Four-way unrolled accumulation: keeps the FP dependency chains short
-	// and vectorises well under the gc compiler.
+	return dotKernel(a, b)
+}
+
+// SIMDAccelerated reports whether this process dispatches long dot
+// products to the AVX2/FMA assembly kernels. Sibling packages (quant) use
+// it so every kernel family flips together.
+func SIMDAccelerated() bool { return simdOn }
+
+// dotGo is the portable dot product. Four-way unrolled accumulation keeps
+// the FP dependency chains short and pipelines well under the gc compiler.
+func dotGo(a, b Vec) float32 {
+	b = b[:len(a)] // bounds-check hint
 	var s0, s1, s2, s3 float32
 	i := 0
 	for ; i+4 <= len(a); i += 4 {
@@ -112,6 +152,7 @@ func Axpy(dst Vec, alpha float32, x Vec) {
 	if len(dst) != len(x) {
 		panic("tensor: Axpy length mismatch")
 	}
+	x = x[:len(dst)]
 	for i := range dst {
 		dst[i] += alpha * x[i]
 	}
@@ -191,32 +232,26 @@ func SiLU(x Vec) {
 	}
 }
 
+// SiLUMul computes dst[i] = SiLU(a[i]) * b[i] in a single pass — the fused
+// SwiGLU gate (SiLU(gate) ⊙ up) the decoder MLP applies every layer.
+// Element results are bit-identical to SiLU followed by Mul.
+func SiLUMul(dst, a, b Vec) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: SiLUMul length mismatch")
+	}
+	b = b[:len(a)]
+	for i, v := range a {
+		s := v / (1.0 + float32(math.Exp(float64(-v))))
+		dst[i] = s * b[i]
+	}
+}
+
 // GELU applies the tanh-approximated Gaussian error linear unit in place.
 func GELU(x Vec) {
 	const c = 0.7978845608028654 // sqrt(2/pi)
 	for i, v := range x {
 		t := float64(c) * (float64(v) + 0.044715*float64(v)*float64(v)*float64(v))
 		x[i] = float32(0.5 * float64(v) * (1.0 + math.Tanh(t)))
-	}
-}
-
-// RoPE applies rotary position embeddings to the first rotDim elements of
-// each head-sized chunk of x, for a token at absolute position pos.
-// x is laid out as nHeads consecutive chunks of headDim floats.
-func RoPE(x Vec, headDim, pos int, base float64) {
-	if headDim%2 != 0 {
-		panic("tensor: RoPE requires even head dimension")
-	}
-	nHeads := len(x) / headDim
-	for h := 0; h < nHeads; h++ {
-		chunk := x[h*headDim : (h+1)*headDim]
-		for i := 0; i < headDim; i += 2 {
-			theta := float64(pos) / math.Pow(base, float64(i)/float64(headDim))
-			sin, cos := math.Sincos(theta)
-			a, b := float64(chunk[i]), float64(chunk[i+1])
-			chunk[i] = float32(a*cos - b*sin)
-			chunk[i+1] = float32(a*sin + b*cos)
-		}
 	}
 }
 
@@ -236,24 +271,46 @@ func ArgMax(x Vec) int {
 }
 
 // TopK returns the indices of the k largest elements of x in descending
-// value order. k is clamped to len(x).
+// value order. k is clamped to len(x). Ties resolve to the lowest index.
 func TopK(x Vec, k int) []int {
 	if k > len(x) {
 		k = len(x)
 	}
-	idx := make([]int, 0, k)
-	// Selection by repeated scan: k is tiny (speculation branch width).
-	used := make(map[int]bool, k)
-	for n := 0; n < k; n++ {
-		best := float32(math.Inf(-1))
-		bi := -1
-		for i, v := range x {
-			if !used[i] && (v > best || bi == -1) {
-				best, bi = v, i
+	return TopKInto(make([]int, 0, k), x, k)
+}
+
+// TopKInto is TopK over a caller-provided index slice, appending the
+// result into idx[:0] and returning it — the allocation-free variant the
+// draft proposer calls once per speculation step. A small partial
+// insertion selection replaces the per-call map the previous
+// implementation used: k is tiny (speculation branch width), so the
+// shifted prefix stays within a cache line.
+func TopKInto(idx []int, x Vec, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	idx = idx[:0]
+	if k <= 0 {
+		return idx
+	}
+	for i, v := range x {
+		n := len(idx)
+		if n == k {
+			// Strict comparison keeps the earliest index on ties,
+			// matching repeated-scan selection.
+			if v <= x[idx[n-1]] {
+				continue
 			}
+		} else {
+			idx = append(idx, 0)
+			n++
 		}
-		used[bi] = true
-		idx = append(idx, bi)
+		j := n - 1
+		for j > 0 && v > x[idx[j-1]] {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = i
 	}
 	return idx
 }

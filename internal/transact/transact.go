@@ -47,7 +47,9 @@ func (t Type) String() string {
 // Begin announces a transaction of type t to dst. The initiator then sends
 // the transaction's payload messages on the corresponding tag.
 func Begin(ep comm.Endpoint, dst int, t Type) {
-	ep.Send(dst, comm.TagStart, []byte{byte(t)}, 1)
+	b := append(comm.GetBuf(1), byte(t))
+	ep.Send(dst, comm.TagStart, b, 1)
+	comm.PutBuf(b)
 }
 
 // Handler processes one transaction on a worker. It receives the endpoint
@@ -76,9 +78,11 @@ func (d *Dispatcher) Register(t Type, h Handler) {
 func (d *Dispatcher) ServeOne() (shutdown bool, err error) {
 	raw := d.ep.Recv(d.src, comm.TagStart)
 	if len(raw) != 1 {
+		comm.PutBuf(raw)
 		return false, fmt.Errorf("transact: malformed start message (%d bytes)", len(raw))
 	}
 	t := Type(raw[0])
+	comm.PutBuf(raw)
 	if t == TypeShutdown {
 		if h := d.handlers[TypeShutdown]; h != nil {
 			if err := h(d.ep, d.src); err != nil {
