@@ -3,9 +3,11 @@ package realbk
 import (
 	"testing"
 
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
@@ -53,5 +55,61 @@ func TestEvalAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
 		t.Errorf("steady-state worker Eval allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestServeStepAllocs extends the zero-allocation gate to the serving
+// steady state: a session decoding mid-stream — scheduler step, launch,
+// inline stage evaluation, result decoding, FIFO bookkeeping and stats —
+// performs 0 heap allocations per accepted token. Run messages and
+// tracking records cycle through the head's and scheduler's pools, wire
+// payloads through the comm pool, and logits decoding through the head
+// backend's staging.
+func TestServeStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; gate enforced by the non-race job")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	cfg := model.TinyConfig()
+	cfg.NLayers = 4
+	m, err := model.New(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxNew = 400
+	prompt := make([]token.Token, 8)
+	for i := range prompt {
+		prompt[i] = token.Token(token.NumSpecial + 3*i)
+	}
+	w := NewWorker(m, 0, cfg.NLayers, true, true, len(prompt)+maxNew+64)
+	bk := NewHead(nil, cfg.VocabSize)
+	cl := chancomm.New(1)
+	topo := engine.Topology{Head: 0, Stages: []int{0}}
+	h, err := engine.NewHead(cl.Endpoint(0), topo, engine.Config{MaxNew: maxNew}, bk, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(h, serve.Config{MaxSessions: 1, SeqsPerSession: 1},
+		[]serve.Request{{Prompt: prompt, MaxNew: maxNew}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	genOne := func() {
+		start := sched.TotalAccepted()
+		for sched.TotalAccepted() == start {
+			if err := sched.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the pools and rings into steady state.
+	for i := 0; i < 50; i++ {
+		genOne()
+	}
+	if allocs := testing.AllocsPerRun(100, genOne); allocs != 0 {
+		t.Errorf("serving steady state allocates %.1f times per accepted token, want 0", allocs)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package realbk
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose shadow-memory bookkeeping shows up in
+// testing.AllocsPerRun; allocation gates skip themselves under it (the
+// plain CI job still enforces them).
+const raceEnabled = true

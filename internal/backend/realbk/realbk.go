@@ -102,16 +102,34 @@ func (w *Worker) MemoryBytes() int64 {
 	return w.m.Bytes(w.lo, w.hi, w.first || w.last) + w.store.Bytes()
 }
 
-// Head is the real head backend: a live draft model with incremental KV
-// reuse (longest-common-prefix rollback) plus logits-based result parsing.
-type Head struct {
-	draft     *model.Runner
-	vocab     int
+// maxDraftStreams bounds the number of draft contexts the head maintains
+// at once. The serving layer caps speculative sessions at 16 (width-4
+// namespaces over 64 sequence ids), so 16 streams give every concurrent
+// session its own incrementally maintained draft context.
+const maxDraftStreams = 16
+
+// draftStream is one incrementally evaluated draft-model context. Each
+// stream owns one sequence of the draft runner's cache; keeping several
+// lets the serving layer interleave Propose calls for many sessions
+// without re-evaluating a whole context on every session switch.
+type draftStream struct {
 	evaluated []token.Token
 	last      tensor.Vec
 	haveLast  bool
-	dist      tensor.Vec // softmax staging for Propose
-	topk      []int      // TopKInto scratch
+	lastUse   uint64
+}
+
+// Head is the real head backend: a live draft model with incremental KV
+// reuse (longest-common-prefix rollback, one stream per concurrent
+// context lineage) plus logits-based result parsing.
+type Head struct {
+	draft   *model.Runner
+	vocab   int
+	streams []draftStream
+	tick    uint64
+	dist    tensor.Vec  // softmax staging for Propose
+	topk    []int       // TopKInto scratch
+	res     realResults // Results staging, reused across calls
 }
 
 // NewHead builds the head backend. draft may be nil for the iterative
@@ -126,14 +144,15 @@ func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) 
 	if h.draft == nil || len(ctx) == 0 {
 		return nil, nil
 	}
-	if err := h.ensure(ctx); err != nil {
+	s, err := h.ensure(ctx)
+	if err != nil {
 		panic(fmt.Sprintf("realbk: draft evaluation failed: %v", err))
 	}
-	if cap(h.dist) < len(h.last) {
-		h.dist = make(tensor.Vec, len(h.last))
+	if cap(h.dist) < len(s.last) {
+		h.dist = make(tensor.Vec, len(s.last))
 	}
-	dist := h.dist[:len(h.last)]
-	copy(dist, h.last)
+	dist := h.dist[:len(s.last)]
+	copy(dist, s.last)
 	tensor.Softmax(dist)
 	h.topk = tensor.TopKInto(h.topk, dist, width)
 	toks := make([]token.Token, len(h.topk))
@@ -145,49 +164,140 @@ func (h *Head) Propose(ctx []token.Token, width int) ([]token.Token, []float32) 
 	return toks, probs
 }
 
-// ensure brings the draft KV cache in line with ctx, reusing the longest
-// common prefix and re-evaluating only the suffix. The final logit row is
-// copied out of the runner's scratch so it survives later evaluations.
-func (h *Head) ensure(ctx []token.Token) error {
-	common := 0
-	for common < len(h.evaluated) && common < len(ctx) && h.evaluated[common] == ctx[common] {
-		common++
+// commonLen returns the length of the longest common prefix of a and b.
+func commonLen(a, b []token.Token) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
 	}
+	return n
+}
+
+// ensure returns a draft stream whose KV cache covers ctx, re-evaluating
+// only the suffix past the longest common prefix. Contexts with no
+// common prefix get their own stream (up to maxDraftStreams, then LRU
+// eviction), so sessions proposing through a shared head keep
+// incremental drafting instead of thrashing one cache. The final logit
+// row is copied out of the runner's scratch so it survives later
+// evaluations; stream i lives in draft-cache sequence i.
+func (h *Head) ensure(ctx []token.Token) (*draftStream, error) {
+	h.tick++
+	best, bestCommon := -1, 0
+	for i := range h.streams {
+		if c := commonLen(h.streams[i].evaluated, ctx); c > bestCommon {
+			best, bestCommon = i, c
+		}
+	}
+	// Reuse a stream only when most of it survives the rollback: a token
+	// or two of shared prefix (a common BOS, a shared prompt header) is
+	// not worth destroying another lineage's context over — that is the
+	// thrash the multi-stream cache exists to prevent.
+	if best >= 0 && 2*bestCommon < len(h.streams[best].evaluated) {
+		best, bestCommon = -1, 0
+	}
+	if best < 0 {
+		// A fresh lineage: reuse an evicted (empty) stream, open a new
+		// one, or evict the least recently used once all slots are taken.
+		for i := range h.streams {
+			if len(h.streams[i].evaluated) == 0 {
+				best = i
+				break
+			}
+		}
+		if best < 0 && len(h.streams) < maxDraftStreams {
+			h.streams = append(h.streams, draftStream{})
+			best = len(h.streams) - 1
+		}
+		if best < 0 {
+			best = 0
+			for i := range h.streams {
+				if h.streams[i].lastUse < h.streams[best].lastUse {
+					best = i
+				}
+			}
+			h.evictStream(best)
+		}
+	}
+	s := &h.streams[best]
+	s.lastUse = h.tick
+	seq := kvcache.SeqID(best)
+	common := bestCommon
 	if common == len(ctx) {
-		if common == len(h.evaluated) && h.haveLast {
-			return nil
+		if common == len(s.evaluated) && s.haveLast {
+			return s, nil
 		}
 		// Same tokens but stale logits: re-evaluate the final token.
 		common = len(ctx) - 1
 	}
-	if common < len(h.evaluated) {
-		h.draft.Cache.SeqRm(kvcache.Canonical, int32(common), math.MaxInt32)
-		h.evaluated = h.evaluated[:common]
+	if common < len(s.evaluated) {
+		h.draft.Cache.SeqRm(seq, int32(common), math.MaxInt32)
+		s.evaluated = s.evaluated[:common]
 	}
-	logits, err := h.draft.EvalSeq(ctx[common:], int32(common), kvcache.Canonical)
+	// Completed sessions leave dead streams behind; reclaim their cells
+	// rather than letting the draft cache fill up (LRU order, never the
+	// stream being extended).
+	h.evictForSpace(best, len(ctx)-common)
+	logits, err := h.draft.EvalSeq(ctx[common:], int32(common), seq)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	h.last = append(h.last[:0], logits.Row(logits.Rows-1)...)
-	h.evaluated = append(h.evaluated[:common], ctx[common:]...)
-	h.haveLast = true
-	return nil
+	s.last = append(s.last[:0], logits.Row(logits.Rows-1)...)
+	s.evaluated = append(s.evaluated[:common], ctx[common:]...)
+	s.haveLast = true
+	return s, nil
+}
+
+// evictStream clears stream i's cache entries and context, keeping its
+// buffers for reuse.
+func (h *Head) evictStream(i int) {
+	h.draft.Cache.SeqRm(kvcache.SeqID(i), 0, math.MaxInt32)
+	h.streams[i] = draftStream{evaluated: h.streams[i].evaluated[:0], last: h.streams[i].last}
+}
+
+// evictForSpace frees draft-cache cells until needed slots are available
+// (or no evictable stream remains), evicting least-recently-used streams
+// and never touching keep.
+func (h *Head) evictForSpace(keep, needed int) {
+	free := h.draft.Cache.Size() - h.draft.Cache.Used()
+	for free < needed {
+		lru := -1
+		for i := range h.streams {
+			if i == keep || len(h.streams[i].evaluated) == 0 {
+				continue
+			}
+			if lru < 0 || h.streams[i].lastUse < h.streams[lru].lastUse {
+				lru = i
+			}
+		}
+		if lru < 0 {
+			return // nothing evictable; EvalSeq will report exhaustion
+		}
+		free += len(h.streams[lru].evaluated)
+		h.evictStream(lru)
+	}
 }
 
 // Results decodes the final stage's logits, eagerly: the greedy target
 // choice for every batch row is extracted immediately so the payload
 // buffer can be released to the message pool as soon as Results returns.
+// The returned value aliases head-owned staging and is valid until the
+// next Results call — every engine consumes it before awaiting another
+// result, which keeps the serving layer's accepted-token path
+// allocation-free.
 func (h *Head) Results(run *engine.RunMsg, _ []token.Token, payload []byte) engine.Results {
 	rows := run.Len()
 	if len(payload) != 4*rows*h.vocab {
 		panic(fmt.Sprintf("realbk: result payload %dB for %d rows of vocab %d",
 			len(payload), rows, h.vocab))
 	}
-	res := &realResults{next: make([]token.Token, rows)}
-	for i := 0; i < rows; i++ {
-		res.next[i] = token.Token(argmaxRow(payload, i, h.vocab))
+	if cap(h.res.next) < rows {
+		h.res.next = make([]token.Token, rows)
 	}
-	return res
+	h.res.next = h.res.next[:rows]
+	for i := 0; i < rows; i++ {
+		h.res.next[i] = token.Token(argmaxRow(payload, i, h.vocab))
+	}
+	return &h.res
 }
 
 // MemoryBytes reports the draft model footprint (zero when absent).

@@ -1,0 +1,251 @@
+package realbk
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// ServeOptions configures one multi-request serving run on the real
+// backend: a persistent pipeline over which the session scheduler
+// multiplexes every queued request.
+type ServeOptions struct {
+	Nodes    int
+	CFG      engine.Config
+	ModelCfg model.Config
+	Seed     uint64
+	// Speculate hosts a draft model on a dedicated head (PipeInfer
+	// topology) and runs continuous per-session speculation; without it
+	// every rank is a target stage and sessions interleave plain
+	// non-speculative runs.
+	Speculate  bool
+	DraftNoise float32
+
+	// MaxSessions is the number of concurrent session slots; queued
+	// requests beyond it are admitted as slots free up. Defaults to
+	// min(4, len(Requests)).
+	MaxSessions int
+	// SeqsPerSession is each session's KV namespace width (default 4 when
+	// speculating, else 1).
+	SeqsPerSession int
+
+	Requests []serve.Request
+	// OnToken, when non-nil, streams accepted tokens as they are sampled.
+	OnToken func(req int, tok token.Token)
+}
+
+// ServeOutcome is the result of a serving run.
+type ServeOutcome struct {
+	// Results holds one entry per request, in request order.
+	Results []serve.Result
+	// Stats aggregates the head's view of the whole run (total tokens,
+	// launches, cancellations, acceptance timeline).
+	Stats engine.Stats
+	// PerNodeMem holds resident bytes per rank; in distributed runs each
+	// rank fills only its own slot.
+	PerNodeMem []int64
+}
+
+func (o *ServeOptions) defaults() {
+	if o.ModelCfg.Dim == 0 {
+		o.ModelCfg = model.TinyConfig()
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.DraftNoise == 0 {
+		o.DraftNoise = 0.05
+	}
+	sc := serve.Config{
+		MaxSessions:    o.MaxSessions,
+		SeqsPerSession: o.SeqsPerSession,
+		Speculate:      o.Speculate,
+	}.Normalize(len(o.Requests))
+	o.MaxSessions, o.SeqsPerSession = sc.MaxSessions, sc.SeqsPerSession
+	if o.CFG.MaxInflight <= 0 {
+		// Serving wants at least one run in flight per session slot, plus
+		// headroom for speculation, before the global bound throttles.
+		o.CFG.MaxInflight = max(12, o.MaxSessions+2)
+	}
+}
+
+// servePlan derives the rank-independent layout every rank computes
+// identically from ServeOptions.
+func buildServePlan(opts *ServeOptions) (*plan, error) {
+	opts.defaults()
+	if len(opts.Requests) == 0 {
+		return nil, fmt.Errorf("realbk: no requests to serve")
+	}
+	strategy := engine.StrategyIterative
+	if opts.Speculate {
+		strategy = engine.StrategyPipeInfer
+	}
+	topo, err := engine.TopologyFor(strategy, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ModelCfg.NLayers < len(topo.Stages) {
+		return nil, fmt.Errorf("realbk: %d layers cannot split over %d stages",
+			opts.ModelCfg.NLayers, len(topo.Stages))
+	}
+	cfg := opts.CFG.Defaults()
+	maxReq := 0
+	for _, r := range opts.Requests {
+		n := r.MaxNew
+		if n <= 0 {
+			n = cfg.MaxNew
+		}
+		if len(r.Prompt)+n > maxReq {
+			maxReq = len(r.Prompt) + n
+		}
+	}
+	splits := cost.UniformSplit(opts.ModelCfg.NLayers, len(topo.Stages))
+	p := &plan{
+		cfg:  cfg,
+		topo: topo,
+		lo:   make([]int, len(topo.Stages)),
+		hi:   make([]int, len(topo.Stages)),
+		// Every concurrent session can hold a full request in its
+		// canonical sequence plus in-flight speculative partitions.
+		cacheCells: opts.MaxSessions*(maxReq+4*opts.SeqsPerSession*cfg.MicroBatch) + 128,
+	}
+	acc := 0
+	for i, s := range splits {
+		p.lo[i], p.hi[i] = acc, acc+s
+		acc += s
+	}
+	return p, nil
+}
+
+// ServeRank executes one pipeline rank of a serving run over the given
+// endpoint; all ranks must be constructed with identical options. Rank 0
+// runs the session scheduler and returns the full outcome, worker ranks
+// return only their memory accounting — the same split RunRank uses, so
+// the serving layer runs unchanged over chancomm or tcpcomm.
+func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
+	p, err := buildServePlan(&opts)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	if ep.Size() != opts.Nodes {
+		return ServeOutcome{}, fmt.Errorf("realbk: endpoint cluster size %d != %d nodes", ep.Size(), opts.Nodes)
+	}
+	target, err := model.New(opts.ModelCfg, opts.Seed)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	out := ServeOutcome{PerNodeMem: make([]int64, opts.Nodes)}
+	rank := ep.Rank()
+
+	if rank != p.topo.Head {
+		si := p.stageIdx(rank)
+		if si < 0 {
+			return ServeOutcome{}, fmt.Errorf("realbk: rank %d has no role", rank)
+		}
+		w := p.newWorker(target, si)
+		if err := engine.WorkerLoop(ep, p.topo, w); err != nil {
+			return ServeOutcome{}, fmt.Errorf("realbk: stage %d: %w", si, err)
+		}
+		if err := serveCacheClean(w.Cache()); err != nil {
+			return ServeOutcome{}, fmt.Errorf("realbk: stage %d: %w", si, err)
+		}
+		out.PerNodeMem[rank] = w.MemoryBytes()
+		return out, nil
+	}
+
+	// Head rank: scheduler over all requests.
+	var draft *model.Runner
+	if opts.Speculate {
+		d := model.NewDraft(target, opts.DraftNoise, opts.Seed^0xd4af)
+		draft = model.NewRunner(d, p.cacheCells)
+	}
+	bk := NewHead(draft, opts.ModelCfg.VocabSize)
+	var local engine.Worker
+	var localWorker *Worker
+	if p.topo.HeadIsStage() {
+		localWorker = p.newWorker(target, 0)
+		local = localWorker
+	}
+	h, err := engine.NewHead(ep, p.topo, p.cfg, bk, local)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	sched, err := serve.New(h, serve.Config{
+		MaxSessions:    opts.MaxSessions,
+		SeqsPerSession: opts.SeqsPerSession,
+		Speculate:      opts.Speculate,
+		OnToken:        opts.OnToken,
+	}, opts.Requests)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	results, err := sched.Run()
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	if localWorker != nil {
+		if err := serveCacheClean(localWorker.Cache()); err != nil {
+			return ServeOutcome{}, fmt.Errorf("realbk: head stage: %w", err)
+		}
+		out.PerNodeMem[rank] += localWorker.MemoryBytes()
+	}
+	out.PerNodeMem[rank] += bk.MemoryBytes()
+	out.Results = results
+	out.Stats = h.Stats
+	return out, nil
+}
+
+// serveCacheClean asserts the serving end state: structurally consistent
+// metadata and — because every finished session removed its whole
+// namespace — an entirely empty cache.
+func serveCacheClean(c *kvcache.Cache) error {
+	if err := c.CheckInvariants(); err != nil {
+		return fmt.Errorf("KV corruption: %w", err)
+	}
+	if c.Used() != 0 {
+		return fmt.Errorf("KV leak: %d cells still occupied after serving", c.Used())
+	}
+	return nil
+}
+
+// Serve builds the models once, spawns one goroutine per pipeline rank
+// connected by chancomm, and multiplexes every request through the shared
+// pipeline — the persistent-server counterpart of the one-shot Run.
+func Serve(opts ServeOptions) (ServeOutcome, error) {
+	opts.defaults()
+	cluster := chancomm.New(opts.Nodes)
+
+	outcomes := make([]ServeOutcome, opts.Nodes)
+	errs := make([]error, opts.Nodes)
+	var wg sync.WaitGroup
+	for rank := 1; rank < opts.Nodes; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[rank], errs[rank] = ServeRank(cluster.Endpoint(rank), opts)
+		}()
+	}
+	outcomes[0], errs[0] = ServeRank(cluster.Endpoint(0), opts)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ServeOutcome{}, err
+		}
+	}
+	out := outcomes[0]
+	for rank := 1; rank < opts.Nodes; rank++ {
+		for i, m := range outcomes[rank].PerNodeMem {
+			out.PerNodeMem[i] += m
+		}
+	}
+	return out, nil
+}

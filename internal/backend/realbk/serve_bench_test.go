@@ -1,0 +1,78 @@
+package realbk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+// benchServeNodes and benchServeTokens fix the serving benchmark
+// workload: a 3-stage pipeline, 32 tokens per request.
+const (
+	benchServeNodes  = 3
+	benchServeTokens = 32
+)
+
+// BenchmarkServeThroughput measures aggregate serving throughput at 1, 4
+// and 16 concurrent sessions: one pipeline (and one weight build) per
+// iteration serves every request, sessions interleaved by the scheduler.
+// The tok/s metric is the serving-layer headline recorded in
+// BENCH_pr2.json; compare against BenchmarkServeSerialBaseline, which
+// runs the same requests one-shot, back to back.
+func BenchmarkServeThroughput(b *testing.B) {
+	for _, sessions := range []int{1, 4, 16} {
+		sessions := sessions
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			reqs := serveRequests(sessions, benchServeTokens)
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := Serve(ServeOptions{
+					Nodes:       benchServeNodes,
+					CFG:         engine.Config{MaxNew: benchServeTokens},
+					ModelCfg:    serveModel(6),
+					Seed:        13,
+					MaxSessions: sessions,
+					Requests:    reqs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += out.Stats.Generated
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+			b.ReportMetric(float64(total)/float64(b.N), "tok/serve")
+		})
+	}
+}
+
+// BenchmarkServeSerialBaseline is the no-serving-layer control: the same
+// 4-request workload as BenchmarkServeThroughput/sessions=4, but each
+// request runs as its own one-shot generation — pipeline rebuilt, no
+// cross-request interleaving. The acceptance criterion for PR 2 is that
+// 4-session serving beats this aggregate.
+func BenchmarkServeSerialBaseline(b *testing.B) {
+	reqs := serveRequests(4, benchServeTokens)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			out, err := Run(Options{
+				Nodes:    benchServeNodes,
+				Strategy: engine.StrategyIterative,
+				CFG:      engine.Config{MaxNew: benchServeTokens},
+				ModelCfg: serveModel(6),
+				Seed:     13,
+				Prompt:   r.Prompt,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += out.Stats.Generated
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+}

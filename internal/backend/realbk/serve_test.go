@@ -1,0 +1,280 @@
+package realbk
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// serveModel returns a small target architecture serving tests share.
+func serveModel(layers int) model.Config {
+	cfg := model.TinyConfig()
+	cfg.NLayers = layers
+	return cfg
+}
+
+// serveRequests builds n requests with distinct prompts of varying length.
+func serveRequests(n, maxNew int) []serve.Request {
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		p := make([]token.Token, 4+i%3)
+		for j := range p {
+			p[j] = token.Token(token.NumSpecial + (11*i+7*j)%250)
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	return reqs
+}
+
+// TestServeGreedyParity is the serving correctness wall on the real
+// backend: every concurrently served session must produce greedy output
+// bit-identical to its own serial single-model reference, whatever mix of
+// slot counts, namespace widths and speculation the scheduler runs with —
+// including slot recycling (more requests than slots) and the full
+// 64-sequence bitset.
+func TestServeGreedyParity(t *testing.T) {
+	const maxNew = 9
+	cases := []struct {
+		name        string
+		nodes       int
+		speculate   bool
+		maxSessions int
+		width       int
+		requests    int
+	}{
+		{"16-concurrent-sessions", 2, false, 16, 1, 16},
+		{"recycled-slots", 2, false, 5, 1, 12},
+		{"speculative", 3, true, 4, 4, 8},
+		{"speculative-full-bitset", 2, true, 16, 4, 16},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			reqs := serveRequests(tc.requests, maxNew)
+			cfg := engine.Config{MaxNew: maxNew}
+			if tc.speculate {
+				// The tiny draft's top-1 confidence is flat (~0.03-0.07);
+				// with a near-full pipeline the reactive cutoff decays
+				// slowly, so start it below the confidence floor to make
+				// speculation engage within a short test run.
+				cfg.SpecCutoff = 0.02
+			}
+			opts := ServeOptions{
+				Nodes:          tc.nodes,
+				CFG:            cfg,
+				ModelCfg:       serveModel(4),
+				Seed:           21,
+				Speculate:      tc.speculate,
+				DraftNoise:     0.01,
+				MaxSessions:    tc.maxSessions,
+				SeqsPerSession: tc.width,
+				Requests:       reqs,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Results) != tc.requests {
+				t.Fatalf("%d results for %d requests", len(out.Results), tc.requests)
+			}
+			for i, res := range out.Results {
+				ref, err := ReferenceGreedy(Options{
+					ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+				}, maxNew)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("request %d diverged from its serial reference at token %d: %d != %d",
+							i, j, res.Tokens[j], ref[j])
+					}
+				}
+				if res.Stats.Generated != maxNew {
+					t.Fatalf("request %d generated %d, want %d", i, res.Stats.Generated, maxNew)
+				}
+			}
+			if out.Stats.Generated != tc.requests*maxNew {
+				t.Fatalf("aggregate generated %d, want %d", out.Stats.Generated, tc.requests*maxNew)
+			}
+			if tc.speculate && out.Stats.Proposed == 0 {
+				t.Fatal("speculative serving proposed nothing")
+			}
+		})
+	}
+}
+
+// TestServeStreamsTokens checks the OnToken streaming callback: every
+// session's stream, concatenated in arrival order, equals its final
+// output.
+func TestServeStreamsTokens(t *testing.T) {
+	const maxNew = 6
+	reqs := serveRequests(5, maxNew)
+	streams := make([][]token.Token, len(reqs))
+	opts := ServeOptions{
+		Nodes:    2,
+		CFG:      engine.Config{MaxNew: maxNew},
+		ModelCfg: serveModel(4),
+		Seed:     9,
+		Requests: reqs,
+		OnToken:  func(req int, tok token.Token) { streams[req] = append(streams[req], tok) },
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		if fmt.Sprint(streams[i]) != fmt.Sprint(res.Tokens) {
+			t.Fatalf("request %d streamed %v but returned %v", i, streams[i], res.Tokens)
+		}
+	}
+}
+
+// TestServeNamespaceIsolation serves two sessions whose prompts share a
+// prefix but diverge, with interleaving guaranteed by single-token
+// admission, and checks outputs stay independent — the SeqSet namespace
+// contract in action.
+func TestServeNamespaceIsolation(t *testing.T) {
+	const maxNew = 8
+	pa := []token.Token{token.NumSpecial + 1, token.NumSpecial + 2, token.NumSpecial + 3}
+	pb := []token.Token{token.NumSpecial + 1, token.NumSpecial + 2, token.NumSpecial + 99}
+	reqs := []serve.Request{{Prompt: pa, MaxNew: maxNew}, {Prompt: pb, MaxNew: maxNew}}
+	out, err := Serve(ServeOptions{
+		Nodes: 2, CFG: engine.Config{MaxNew: maxNew}, ModelCfg: serveModel(4),
+		Seed: 4, MaxSessions: 2, Requests: reqs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range [][]token.Token{pa, pb} {
+		ref, err := ReferenceGreedy(Options{ModelCfg: serveModel(4), Seed: 4, Prompt: p}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if out.Results[i].Tokens[j] != ref[j] {
+				t.Fatalf("session %d corrupted by its neighbour at token %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDraftStreamsInterleaved pins the multi-stream draft cache: a head
+// shared by several sessions, proposing for interleaved unrelated
+// contexts, must return exactly what dedicated per-context heads would —
+// each lineage keeps its own incrementally maintained stream instead of
+// thrashing one cache.
+func TestDraftStreamsInterleaved(t *testing.T) {
+	cfg := serveModel(4)
+	m, err := model.New(cfg, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newHead := func() *Head {
+		d := model.NewDraft(m, 0.02, 33^0xd4af)
+		return NewHead(model.NewRunner(d, 512), cfg.VocabSize)
+	}
+	shared := newHead()
+	solo := []*Head{newHead(), newHead(), newHead()}
+	ctxs := [][]token.Token{
+		{token.NumSpecial + 1, token.NumSpecial + 2},
+		{token.NumSpecial + 50},
+		{token.NumSpecial + 90, token.NumSpecial + 91, token.NumSpecial + 92},
+	}
+	for step := 0; step < 6; step++ {
+		for c := range ctxs {
+			gotT, gotP := shared.Propose(ctxs[c], 2)
+			wantT, wantP := solo[c].Propose(ctxs[c], 2)
+			for i := range wantT {
+				if gotT[i] != wantT[i] || gotP[i] != wantP[i] {
+					t.Fatalf("step %d ctx %d: shared head proposed (%v,%v), dedicated head (%v,%v)",
+						step, c, gotT, gotP, wantT, wantP)
+				}
+			}
+			ctxs[c] = append(ctxs[c], gotT[0])
+		}
+	}
+}
+
+// TestServeSpeculativeManyRequests is the draft-cache lifecycle
+// regression: many long-prompt requests recycled through few speculative
+// slots must not exhaust the shared draft runner's cache — completed
+// sessions' draft streams are reclaimed by LRU eviction under space
+// pressure.
+func TestServeSpeculativeManyRequests(t *testing.T) {
+	const maxNew = 6
+	reqs := make([]serve.Request, 12)
+	for i := range reqs {
+		p := make([]token.Token, 64)
+		for j := range p {
+			p[j] = token.Token(token.NumSpecial + (13*i+5*j)%250)
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	opts := ServeOptions{
+		Nodes:          3,
+		CFG:            engine.Config{MaxNew: maxNew, SpecCutoff: 0.02},
+		ModelCfg:       serveModel(4),
+		Seed:           8,
+		Speculate:      true,
+		DraftNoise:     0.01,
+		MaxSessions:    2,
+		SeqsPerSession: 2,
+		Requests:       reqs,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged at token %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDraftStreamsNoPrefixThrash pins stream selection: contexts sharing
+// only a token of prefix must get their own streams rather than
+// repeatedly rolling one stream back to the shared token.
+func TestDraftStreamsNoPrefixThrash(t *testing.T) {
+	cfg := serveModel(4)
+	m, err := model.New(cfg, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.NewDraft(m, 0.02, 44^0xd4af)
+	h := NewHead(model.NewRunner(d, 512), cfg.VocabSize)
+	a := []token.Token{token.BOS, token.NumSpecial + 10, token.NumSpecial + 11, token.NumSpecial + 12}
+	bb := []token.Token{token.BOS, token.NumSpecial + 80, token.NumSpecial + 81, token.NumSpecial + 82}
+	for step := 0; step < 4; step++ {
+		ta, _ := h.Propose(a, 1)
+		tb, _ := h.Propose(bb, 1)
+		a = append(a, ta[0])
+		bb = append(bb, tb[0])
+	}
+	if len(h.streams) != 2 {
+		t.Fatalf("two lineages sharing one BOS token use %d streams, want 2", len(h.streams))
+	}
+	// Each stream's evaluated context must extend one of the lineages.
+	for i := range h.streams {
+		ev := h.streams[i].evaluated
+		if commonLen(ev, a) != len(ev) && commonLen(ev, bb) != len(ev) {
+			t.Fatalf("stream %d holds a context matching neither lineage", i)
+		}
+	}
+}

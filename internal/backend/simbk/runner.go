@@ -42,6 +42,11 @@ type Outcome struct {
 	PerNodeMem []int64
 }
 
+// simVocab is the oracle vocabulary: it only influences token identity,
+// not wire sizes (those use the model spec); a compact vocab keeps
+// hashing fast.
+const simVocab = 4096
+
 // Prompt builds the deterministic synthetic prompt for a seed.
 func Prompt(vocab, n int, seed uint64) []token.Token {
 	rng := tensor.NewRNG(seed ^ 0x9e37)
@@ -70,9 +75,6 @@ func Run(opts Options) (Outcome, error) {
 	if opts.AcceptanceOverride > 0 {
 		alpha = opts.AcceptanceOverride
 	}
-	// The oracle vocabulary only influences token identity, not wire
-	// sizes (those use the model spec); a compact vocab keeps hashing fast.
-	const simVocab = 4096
 	o := oracle.New(simVocab, alpha, opts.Seed)
 	prompt := Prompt(simVocab, opts.PromptLen, opts.Seed)
 
@@ -187,7 +189,6 @@ func Run(opts Options) (Outcome, error) {
 // Reference returns the target stream the generation must equal under
 // greedy sampling (the §V-B zero-deviation check).
 func Reference(opts Options, maxNew int) []token.Token {
-	const simVocab = 4096
 	alpha := opts.Pair.Acceptance
 	if opts.AcceptanceOverride > 0 {
 		alpha = opts.AcceptanceOverride

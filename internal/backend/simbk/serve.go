@@ -1,0 +1,206 @@
+package simbk
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm/simcomm"
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/oracle"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/simnet"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// ServeOptions configures one multi-tenant serving simulation: Sessions
+// concurrent requests multiplexed over a paper-scale cluster, which is
+// how multi-request scheduling behaviour is measured at 70B scale
+// without 70B hardware.
+type ServeOptions struct {
+	Cluster cost.ClusterSpec
+	Pair    cost.Pair
+	CFG     engine.Config
+	// Sessions is the number of requests to serve.
+	Sessions int
+	// PromptLen is each request's prompt size in tokens.
+	PromptLen int
+	// Seed drives every request's oracle stream; request i derives its
+	// own prompt from it, so sessions generate distinct sequences.
+	Seed uint64
+	// Speculate enables per-session continuous speculation on a dedicated
+	// drafting head (PipeInfer topology); without it every rank is a
+	// target stage.
+	Speculate bool
+	// MaxSessions bounds concurrent session slots (default min(4,
+	// Sessions)); SeqsPerSession is the per-session namespace width
+	// (default 4 when speculating, else 1).
+	MaxSessions    int
+	SeqsPerSession int
+	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
+	AcceptanceOverride float64
+	// Trace, when non-nil, records the full pipeline timeline.
+	Trace *trace.Recorder
+}
+
+// ServeOutcome is the result of a serving simulation.
+type ServeOutcome struct {
+	Results    []serve.Result
+	Stats      engine.Stats
+	PerNodeMem []int64
+}
+
+func (o *ServeOptions) defaults() {
+	if o.Sessions <= 0 {
+		o.Sessions = 4
+	}
+	if o.PromptLen <= 0 {
+		o.PromptLen = 128
+	}
+	sc := serve.Config{
+		MaxSessions:    o.MaxSessions,
+		SeqsPerSession: o.SeqsPerSession,
+		Speculate:      o.Speculate,
+	}.Normalize(o.Sessions)
+	o.MaxSessions, o.SeqsPerSession = sc.MaxSessions, sc.SeqsPerSession
+	if o.CFG.MaxInflight <= 0 {
+		o.CFG.MaxInflight = max(12, o.MaxSessions+2)
+	}
+}
+
+// servePrompt builds request i's deterministic prompt.
+func servePrompt(opts *ServeOptions, i int) []token.Token {
+	return Prompt(simVocab, opts.PromptLen, opts.Seed^(uint64(i+1)*0x9e3779b97f4a7c15))
+}
+
+// ServeReference returns the target stream request i of a serving
+// simulation must reproduce exactly under greedy sampling — the
+// per-session analogue of Reference.
+func ServeReference(opts ServeOptions, i, maxNew int) []token.Token {
+	opts.defaults()
+	alpha := opts.Pair.Acceptance
+	if opts.AcceptanceOverride > 0 {
+		alpha = opts.AcceptanceOverride
+	}
+	o := oracle.New(simVocab, alpha, opts.Seed)
+	return o.TargetStream(servePrompt(&opts, i), maxNew)
+}
+
+// Serve runs a multi-session serving simulation and returns per-request
+// results plus aggregate stats and memory accounting.
+func Serve(opts ServeOptions) (ServeOutcome, error) {
+	opts.defaults()
+	n := len(opts.Cluster.Nodes)
+	strategy := engine.StrategyIterative
+	if opts.Speculate {
+		strategy = engine.StrategyPipeInfer
+	}
+	topo, err := engine.TopologyFor(strategy, n)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
+	cfg := opts.CFG.Defaults()
+
+	alpha := opts.Pair.Acceptance
+	if opts.AcceptanceOverride > 0 {
+		alpha = opts.AcceptanceOverride
+	}
+	o := oracle.New(simVocab, alpha, opts.Seed)
+	reqs := make([]serve.Request, opts.Sessions)
+	for i := range reqs {
+		reqs[i] = serve.Request{Prompt: servePrompt(&opts, i), MaxNew: cfg.MaxNew}
+	}
+
+	splits := cost.UniformSplit(opts.Pair.Target.NLayers, len(topo.Stages))
+	cacheCells := opts.MaxSessions*(opts.PromptLen+cfg.MaxNew+4*opts.SeqsPerSession*cfg.MicroBatch) + 256
+
+	k := simnet.NewKernel()
+	cl := simcomm.New(k, n, func(int) *simnet.Link { return opts.Cluster.Link.NewLink() })
+
+	var out ServeOutcome
+	var runErr error
+	workers := make([]*Worker, len(topo.Stages))
+
+	for si, rank := range topo.Stages {
+		if rank == topo.Head {
+			continue
+		}
+		si, rank := si, rank
+		k.Spawn(fmt.Sprintf("stage%d", si), func(p *simnet.Proc) {
+			ep := cl.Bind(rank, p)
+			w := NewWorker(ep, opts.Cluster.Nodes[rank], opts.Pair.Target,
+				splits[si], si == len(topo.Stages)-1, cacheCells)
+			w.SetTrace(opts.Trace)
+			workers[si] = w
+			if err := engine.WorkerLoop(ep, topo, w); err != nil && runErr == nil {
+				runErr = fmt.Errorf("simbk: stage %d: %w", si, err)
+			}
+		})
+	}
+
+	k.Spawn("head", func(p *simnet.Proc) {
+		ep := cl.Bind(topo.Head, p)
+		bk := NewHead(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Draft, o)
+		var local engine.Worker
+		if topo.HeadIsStage() {
+			w := NewWorker(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Target,
+				splits[0], len(topo.Stages) == 1, cacheCells)
+			w.SetTrace(opts.Trace)
+			workers[0] = w
+			local = w
+		}
+		h, err := engine.NewHead(ep, topo, cfg, bk, local)
+		if err != nil {
+			runErr = err
+			return
+		}
+		h.Trace = opts.Trace
+		sched, err := serve.New(h, serve.Config{
+			MaxSessions:    opts.MaxSessions,
+			SeqsPerSession: opts.SeqsPerSession,
+			Speculate:      opts.Speculate,
+			// The simulated backend replays the oracle over run contexts.
+			NeedCtx: true,
+		}, reqs)
+		if err != nil {
+			runErr = err
+			return
+		}
+		results, err := sched.Run()
+		if err != nil {
+			runErr = fmt.Errorf("simbk: head: %w", err)
+			return
+		}
+		out.Results = results
+		out.Stats = h.Stats
+		out.PerNodeMem = make([]int64, n)
+		out.PerNodeMem[topo.Head] += bk.MemoryBytes()
+		for si, w := range workers {
+			if w != nil {
+				out.PerNodeMem[topo.Stages[si]] += w.MemoryBytes()
+			}
+		}
+	})
+
+	if err := k.Run(); err != nil {
+		return ServeOutcome{}, fmt.Errorf("simbk: simulation: %w", err)
+	}
+	if runErr != nil {
+		return ServeOutcome{}, runErr
+	}
+	// Serving end-state self-check: metadata invariants hold on every
+	// stage and — every finished session having removed its namespace —
+	// no cell is still occupied.
+	for si, w := range workers {
+		if w == nil {
+			continue
+		}
+		if err := w.Cache().CheckInvariants(); err != nil {
+			return ServeOutcome{}, fmt.Errorf("simbk: stage %d KV corruption: %w", si, err)
+		}
+		if used := w.Cache().Used(); used != 0 {
+			return ServeOutcome{}, fmt.Errorf("simbk: stage %d KV leak: %d cells occupied after serving", si, used)
+		}
+	}
+	return out, nil
+}

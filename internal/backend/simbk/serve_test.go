@@ -1,0 +1,137 @@
+package simbk
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+)
+
+// TestSimServeGreedyParity is the serving correctness wall at paper
+// scale: 16 concurrent sessions multiplexed over a simulated cluster must
+// each reproduce their own oracle target stream bit for bit, with and
+// without per-session speculation, including slot recycling.
+func TestSimServeGreedyParity(t *testing.T) {
+	const maxNew = 24
+	cases := []struct {
+		name        string
+		nodes       int
+		speculate   bool
+		sessions    int
+		maxSessions int
+		width       int
+	}{
+		{"16-concurrent-sessions", 4, false, 16, 16, 1},
+		{"speculative-16", 4, true, 16, 16, 4},
+		{"speculative-recycled-slots", 5, true, 10, 4, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := ServeOptions{
+				Cluster:        cost.ClusterC().Take(tc.nodes),
+				Pair:           cost.CPUPairs()[0],
+				CFG:            engine.Config{MaxNew: maxNew},
+				Sessions:       tc.sessions,
+				PromptLen:      12,
+				Seed:           5,
+				Speculate:      tc.speculate,
+				MaxSessions:    tc.maxSessions,
+				SeqsPerSession: tc.width,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Results) != tc.sessions {
+				t.Fatalf("%d results for %d sessions", len(out.Results), tc.sessions)
+			}
+			for i, res := range out.Results {
+				ref := ServeReference(opts, i, maxNew)
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("session %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("session %d deviated from its oracle stream at token %d", i, j)
+					}
+				}
+			}
+			if out.Stats.Generated != tc.sessions*maxNew {
+				t.Fatalf("aggregate generated %d, want %d", out.Stats.Generated, tc.sessions*maxNew)
+			}
+			if tc.speculate {
+				if out.Stats.Proposed == 0 {
+					t.Fatal("speculative serving proposed nothing")
+				}
+				if out.Stats.Accepted == 0 {
+					t.Fatal("speculative serving accepted nothing")
+				}
+			}
+		})
+	}
+}
+
+// TestSimServeDistinctStreams guards the per-session prompt derivation:
+// different sessions must generate different sequences.
+func TestSimServeDistinctStreams(t *testing.T) {
+	opts := ServeOptions{
+		Cluster:  cost.ClusterC().Take(3),
+		Pair:     cost.CPUPairs()[0],
+		CFG:      engine.Config{MaxNew: 8},
+		Sessions: 3, PromptLen: 8, Seed: 11,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(out.Results); i++ {
+		for j := i + 1; j < len(out.Results); j++ {
+			eq := true
+			for k := range out.Results[i].Tokens {
+				if out.Results[i].Tokens[k] != out.Results[j].Tokens[k] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				t.Fatalf("sessions %d and %d produced identical streams", i, j)
+			}
+		}
+	}
+}
+
+// TestSimServeThroughputBeatsSerial checks the pipeline-fill win in
+// virtual time, where it is exact: serving N sessions concurrently must
+// finish in less virtual time than N back-to-back single-request runs of
+// the same requests.
+func TestSimServeThroughputBeatsSerial(t *testing.T) {
+	const maxNew = 24
+	const sessions = 4
+	opts := ServeOptions{
+		Cluster:  cost.ClusterC().Take(4),
+		Pair:     cost.CPUPairs()[0],
+		CFG:      engine.Config{MaxNew: maxNew},
+		Sessions: sessions, PromptLen: 16, Seed: 3,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := out.Stats.Done
+
+	single, err := Run(Options{
+		Cluster: opts.Cluster, Pair: opts.Pair,
+		Strategy:  engine.StrategyIterative,
+		CFG:       engine.Config{MaxNew: maxNew},
+		PromptLen: 16, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := 4 * single.Stats.Done
+	if served >= serial {
+		t.Fatalf("serving %d sessions took %v, serial %d runs take %v — no pipeline-fill win",
+			sessions, served, sessions, serial)
+	}
+}

@@ -1,6 +1,9 @@
 package comm
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestBufPoolRoundtrip(t *testing.T) {
 	b := GetBuf(100)
@@ -37,4 +40,53 @@ func TestBufPoolSteadyStateAllocs(t *testing.T) {
 	if allocs > 0.5 {
 		t.Errorf("pooled Get/Put allocates %.2f times per op", allocs)
 	}
+}
+
+// TestPoolConcurrentChurn hammers the message pool from many goroutines
+// in the pattern the transports use — producer gets a buffer, fills it,
+// hands it to a consumer through a channel, consumer reads and releases —
+// so the -race job can catch any buffer handed to two owners at once.
+func TestPoolConcurrentChurn(t *testing.T) {
+	const (
+		producers = 8
+		msgs      = 400
+	)
+	ch := make(chan []byte, 16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				// Sender path: pooled scratch encoded and released after a
+				// simulated Send's copy, exactly like the engine hot path.
+				scratch := GetBuf(64)
+				for j := 0; j < 64; j++ {
+					scratch = append(scratch, byte(p))
+				}
+				cp := append(GetBuf(len(scratch)), scratch...)
+				PutBuf(scratch)
+				ch <- cp
+			}
+		}()
+	}
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	go func() {
+		defer consumed.Done()
+		for i := 0; i < producers*msgs; i++ {
+			buf := <-ch
+			marker := buf[0]
+			for _, b := range buf {
+				if b != marker {
+					t.Errorf("buffer shared between producers: %d vs %d", b, marker)
+					break
+				}
+			}
+			PutBuf(buf)
+		}
+	}()
+	wg.Wait()
+	consumed.Wait()
 }

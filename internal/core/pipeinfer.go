@@ -210,8 +210,8 @@ func (p *PipeInfer) trySpeculate() bool {
 
 func (p *PipeInfer) specInflight() int {
 	n := 0
-	for _, r := range p.h.InflightRuns() {
-		if r.Msg.Kind == engine.KindSpec && !r.Cancelled {
+	for i := 0; i < p.h.Inflight(); i++ {
+		if r := p.h.InflightAt(i); r.Msg.Kind == engine.KindSpec && !r.Cancelled {
 			n++
 		}
 	}
@@ -335,8 +335,8 @@ func (p *PipeInfer) dropPending() {
 		return
 	}
 	inflight := map[*engine.Run]bool{}
-	for _, r := range p.h.InflightRuns() {
-		inflight[r] = true
+	for i := 0; i < p.h.Inflight(); i++ {
+		inflight[p.h.InflightAt(i)] = true
 	}
 	seen := map[*engine.Run]bool{}
 	var victims []*engine.Run
@@ -358,7 +358,8 @@ func (p *PipeInfer) dropPending() {
 func (p *PipeInfer) scanInflight() {
 	a := len(p.accepted)
 	var victims []*engine.Run
-	for _, r := range p.h.InflightRuns() {
+	for i := 0; i < p.h.Inflight(); i++ {
+		r := p.h.InflightAt(i)
 		if r.Cancelled {
 			continue
 		}

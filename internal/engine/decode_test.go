@@ -12,9 +12,10 @@ import (
 // truncated messages.
 func TestDecodeRunMsgTruncated(t *testing.T) {
 	msg := &RunMsg{
-		ID:   0xdeadbeef,
-		Kind: KindSpec,
-		Seq:  3,
+		ID:      0xdeadbeef,
+		Kind:    KindSpec,
+		Seq:     3,
+		Session: 0x1234,
 		Tokens: []TokenPlace{
 			{Tok: 42, Pos: 7, Seqs: kvcache.NewSeqSet(0, 3)},
 			{Tok: 99, Pos: 8, Seqs: kvcache.NewSeqSet(3)},
@@ -28,7 +29,7 @@ func TestDecodeRunMsgTruncated(t *testing.T) {
 	if len(full) != msg.EncodedSize() {
 		t.Fatalf("EncodedSize %d != wire length %d", msg.EncodedSize(), len(full))
 	}
-	if dec, err := DecodeRunMsg(full); err != nil || dec.ID != msg.ID {
+	if dec, err := DecodeRunMsg(full); err != nil || dec.ID != msg.ID || dec.Session != msg.Session {
 		t.Fatalf("full decode failed: %v", err)
 	}
 
@@ -47,7 +48,7 @@ func TestDecodeRunMsgTruncated(t *testing.T) {
 
 	// Corrupt the KV-op count so it claims more ops than bytes remain.
 	corrupt := append([]byte(nil), full...)
-	opsOff := 8 + 16*len(msg.Tokens)
+	opsOff := 10 + 16*len(msg.Tokens)
 	corrupt[opsOff] = 0xff
 	corrupt[opsOff+1] = 0xff
 	if _, err := DecodeRunMsg(corrupt); err == nil {
@@ -56,8 +57,8 @@ func TestDecodeRunMsgTruncated(t *testing.T) {
 
 	// Corrupt the token count the same way.
 	corrupt = append([]byte(nil), full...)
-	corrupt[6] = 0xff
-	corrupt[7] = 0xff
+	corrupt[8] = 0xff
+	corrupt[9] = 0xff
 	if _, err := DecodeRunMsg(corrupt); err == nil {
 		t.Fatal("inflated token count decoded without error")
 	}

@@ -54,11 +54,16 @@ type TokenPlace struct {
 // and the KV operations to apply before evaluation (prefix sharing,
 // §IV-C.3).
 type RunMsg struct {
-	ID     uint32
-	Kind   RunKind
-	Seq    kvcache.SeqID // primary sequence (spec runs); Canonical otherwise
-	Tokens []TokenPlace
-	KVOps  []kvcache.Op
+	ID   uint32
+	Kind RunKind
+	Seq  kvcache.SeqID // primary sequence (spec runs); Canonical otherwise
+	// Session tags the run with the serving-layer session slot that owns
+	// it (0 outside the serving layer). The head FIFO uses it to account
+	// in-flight runs per session and stages carry it through so results
+	// and cancellations demux to the right request's cache partitions.
+	Session uint16
+	Tokens  []TokenPlace
+	KVOps   []kvcache.Op
 }
 
 // Len returns the batch size.
@@ -90,13 +95,14 @@ func (r *RunMsg) Encode() []byte {
 
 // EncodedSize reports the wire size of the message, so senders can size
 // pooled buffers exactly.
-func (r *RunMsg) EncodedSize() int { return 10 + 16*len(r.Tokens) + 11*len(r.KVOps) }
+func (r *RunMsg) EncodedSize() int { return 12 + 16*len(r.Tokens) + 11*len(r.KVOps) }
 
 // AppendEncode appends the wire encoding to buf and returns it, letting
 // the head and stage loops serialise into pooled message buffers.
 func (r *RunMsg) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(r.ID), byte(r.ID>>8), byte(r.ID>>16), byte(r.ID>>24))
 	buf = append(buf, byte(r.Kind), byte(r.Seq))
+	buf = append(buf, byte(r.Session), byte(r.Session>>8))
 	buf = append(buf, byte(len(r.Tokens)), byte(len(r.Tokens)>>8))
 	for _, t := range r.Tokens {
 		buf = appendU32(buf, uint32(t.Tok))
@@ -110,16 +116,17 @@ func (r *RunMsg) AppendEncode(buf []byte) []byte {
 // DecodeRunMsg reverses Encode. It never retains buf, and a truncated or
 // corrupt message yields an error, not a panic.
 func DecodeRunMsg(buf []byte) (*RunMsg, error) {
-	if len(buf) < 8 {
+	if len(buf) < 10 {
 		return nil, fmt.Errorf("engine: run message too short (%d bytes)", len(buf))
 	}
 	r := &RunMsg{
-		ID:   uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24,
-		Kind: RunKind(buf[4]),
-		Seq:  kvcache.SeqID(buf[5]),
+		ID:      uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24,
+		Kind:    RunKind(buf[4]),
+		Seq:     kvcache.SeqID(buf[5]),
+		Session: uint16(buf[6]) | uint16(buf[7])<<8,
 	}
-	n := int(buf[6]) | int(buf[7])<<8
-	off := 8
+	n := int(buf[8]) | int(buf[9])<<8
+	off := 10
 	if len(buf) < off+16*n+2 {
 		return nil, fmt.Errorf("engine: run message truncated")
 	}

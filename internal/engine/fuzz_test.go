@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+)
+
+// fuzzSeedMsgs are representative run messages whose encodings seed the
+// corpus: empty, single-token non-spec, a spec batch with KV ops, and a
+// serving-layer message with a non-zero session tag.
+func fuzzSeedMsgs() []*RunMsg {
+	return []*RunMsg{
+		{ID: 1, Kind: KindPrefill},
+		{ID: 2, Kind: KindNonSpec, Seq: 0, Tokens: []TokenPlace{
+			{Tok: 42, Pos: 17, Seqs: kvcache.NewSeqSet(0)},
+		}},
+		{ID: 0xdeadbeef, Kind: KindSpec, Seq: 3, Session: 7, Tokens: []TokenPlace{
+			{Tok: 9, Pos: 4, Seqs: kvcache.NewSeqSet(0, 3)},
+			{Tok: 10, Pos: 5, Seqs: kvcache.NewSeqSet(3)},
+		}, KVOps: []kvcache.Op{
+			{Kind: kvcache.OpSeqCp, Src: 0, Dst: 3, P0: 0, P1: 4},
+			{Kind: kvcache.OpSeqRm, Src: 3, P0: 0, P1: 1 << 30},
+		}},
+		{ID: 77, Kind: KindNonSpec, Session: 63, Tokens: []TokenPlace{
+			{Tok: 1, Pos: 0, Seqs: 1 << 60},
+		}},
+	}
+}
+
+// FuzzDecodeRunMsg feeds arbitrary bytes to the run-message decoder: it
+// must never panic, and whatever it accepts must re-encode to exactly the
+// bytes it consumed (encode∘decode identity on the accepted prefix).
+func FuzzDecodeRunMsg(f *testing.F) {
+	for _, m := range fuzzSeedMsgs() {
+		enc := m.Encode()
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		f.Add(append(enc, 0xff, 0x00, 0x7f))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeRunMsg(data)
+		if err != nil {
+			return
+		}
+		enc := msg.AppendEncode(nil)
+		if len(enc) != msg.EncodedSize() {
+			t.Fatalf("EncodedSize %d != encoding length %d", msg.EncodedSize(), len(enc))
+		}
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encoding differs from the decoded prefix:\n got %x\nwant %x", enc, data[:min(len(enc), len(data))])
+		}
+		again, err := DecodeRunMsg(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a produced encoding failed: %v", err)
+		}
+		if again.ID != msg.ID || again.Kind != msg.Kind || again.Seq != msg.Seq ||
+			again.Session != msg.Session || len(again.Tokens) != len(msg.Tokens) ||
+			len(again.KVOps) != len(msg.KVOps) {
+			t.Fatalf("decode(encode(m)) != m: %+v vs %+v", again, msg)
+		}
+	})
+}
+
+// FuzzDecodeCancel checks the cancellation-signal codec: no panic on any
+// input, and decoded IDs re-encode to exactly the consumed 4-byte groups.
+func FuzzDecodeCancel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeCancel([]uint32{1}))
+	f.Add(EncodeCancel([]uint32{7, 0xdeadbeef, 0, 1 << 30}))
+	f.Add([]byte{1, 2, 3}) // trailing partial group
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids := DecodeCancel(data)
+		if len(ids) != len(data)/4 {
+			t.Fatalf("decoded %d ids from %d bytes", len(ids), len(data))
+		}
+		enc := EncodeCancel(ids)
+		if !bytes.Equal(enc, data[:4*len(ids)]) {
+			t.Fatalf("re-encoding differs: %x vs %x", enc, data[:4*len(ids)])
+		}
+	})
+}

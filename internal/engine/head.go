@@ -37,10 +37,17 @@ type Head struct {
 	Local Worker
 
 	nextID   uint32
-	inflight []*Run
+	inflight ring[*Run]
 	// localResults queues results produced entirely locally (single-node
 	// topology), preserving FIFO semantics without comm.
-	localResults [][]byte
+	localResults ring[[]byte]
+	// freeRuns recycles consumed Run records (see Recycle): single-request
+	// engines let records be garbage collected, the serving layer returns
+	// them here so steady-state decode launches allocate nothing.
+	freeRuns []*Run
+	// sessInflight counts in-flight runs per session slot (RunMsg.Session),
+	// the accounting the serving layer's fair admission is built on.
+	sessInflight []int
 
 	Stats Stats
 	// Trace, when non-nil, records the head's timeline events.
@@ -62,21 +69,59 @@ func NewHead(ep comm.Endpoint, topo Topology, cfg Config, bk HeadBackend, local 
 }
 
 // Inflight returns the number of runs currently in the pipeline.
-func (h *Head) Inflight() int { return len(h.inflight) }
+func (h *Head) Inflight() int { return h.inflight.len() }
 
-// InflightRuns exposes the FIFO for invalidation scans.
-func (h *Head) InflightRuns() []*Run { return h.inflight }
+// InflightAt returns the i-th oldest in-flight run for invalidation scans
+// (0 is the next run AwaitResult will pop).
+func (h *Head) InflightAt(i int) *Run { return h.inflight.at(i) }
+
+// SessionInflight reports how many of session slot s's runs are in the
+// pipeline.
+func (h *Head) SessionInflight(s uint16) int {
+	if int(s) >= len(h.sessInflight) {
+		return 0
+	}
+	return h.sessInflight[s]
+}
+
+// newRun returns a zeroed tracking record, reusing a recycled one if
+// available.
+func (h *Head) newRun() *Run {
+	if n := len(h.freeRuns); n > 0 {
+		r := h.freeRuns[n-1]
+		h.freeRuns = h.freeRuns[:n-1]
+		return r
+	}
+	return &Run{}
+}
+
+// Recycle returns a consumed run record to the head's free list so the
+// next Launch reuses it. Only callers that drop every reference to the
+// record (and anything derived from its pointer identity) may recycle;
+// the single-request engines, which key invalidation state by *Run, must
+// not.
+func (h *Head) Recycle(run *Run) {
+	*run = Run{}
+	h.freeRuns = append(h.freeRuns, run)
+}
 
 // Launch assigns an ID, evaluates the head's inline stage if present, and
 // sends the run down the pipeline. It returns the tracking record.
 func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run {
 	h.nextID++
 	msg.ID = h.nextID
-	run := &Run{Msg: msg, Ctx: ctx, Seqs: seqs}
-	h.inflight = append(h.inflight, run)
+	run := h.newRun()
+	run.Msg, run.Ctx, run.Seqs = msg, ctx, seqs
+	h.inflight.push(run)
+	for int(msg.Session) >= len(h.sessInflight) {
+		h.sessInflight = append(h.sessInflight, 0)
+	}
+	h.sessInflight[msg.Session]++
 	h.Stats.RunsLaunched++
-	h.Trace.Record(h.EP.Now(), "head", trace.KindLaunch, msg.ID,
-		fmt.Sprintf("%s batch=%d base=%d", msg.Kind, msg.Len(), msg.BasePos()))
+	if h.Trace != nil {
+		h.Trace.Record(h.EP.Now(), "head", trace.KindLaunch, msg.ID,
+			fmt.Sprintf("%s batch=%d base=%d", msg.Kind, msg.Len(), msg.BasePos()))
+	}
 
 	if h.Local != nil {
 		h.Local.ApplyKV(msg.KVOps)
@@ -95,7 +140,7 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 		if next < 0 {
 			// Single-node: the inline stage is the whole pipeline. The
 			// pooled payload is released when AwaitResult consumes it.
-			h.localResults = append(h.localResults, payload)
+			h.localResults.push(payload)
 			return run
 		}
 		transact.Begin(h.EP, next, transact.TypeDecode)
@@ -119,7 +164,7 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 // ResultWaiting reports whether a completed run's result can be consumed
 // without blocking (§IV-B: the head's idleness probe).
 func (h *Head) ResultWaiting() bool {
-	if len(h.localResults) > 0 {
+	if h.localResults.len() > 0 {
 		return true
 	}
 	if h.Topo.FirstRemote() < 0 {
@@ -131,21 +176,22 @@ func (h *Head) ResultWaiting() bool {
 // AwaitResult blocks for the oldest in-flight run's result and pops it
 // from the FIFO. ok is false when the run was cancelled (empty payload).
 func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
-	if len(h.inflight) == 0 {
+	if h.inflight.len() == 0 {
 		return nil, nil, false, fmt.Errorf("engine: AwaitResult with empty pipeline")
 	}
 	var payload []byte
-	if len(h.localResults) > 0 {
-		payload = h.localResults[0]
-		h.localResults = h.localResults[1:]
+	if h.localResults.len() > 0 {
+		payload = h.localResults.pop()
 	} else {
 		payload = h.EP.Recv(h.Topo.LastStage(), comm.TagResult)
 	}
-	run = h.inflight[0]
-	h.inflight = h.inflight[1:]
+	run = h.inflight.pop()
+	h.sessInflight[run.Msg.Session]--
 	data, hasData := PayloadData(payload)
-	h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
-		fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
+	if h.Trace != nil {
+		h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
+			fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
+	}
 	if !hasData {
 		comm.PutBuf(payload)
 		return run, nil, false, nil
@@ -161,7 +207,8 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 // Cancel back-propagates cancellation signals for the given runs to every
 // worker stage and marks them cancelled in the FIFO (§IV-D.2). Under the
 // no-cancellation ablation it only marks them locally so the head still
-// discards their results.
+// discards their results. Signals carry run IDs, which are unique across
+// sessions, so cancelling one session's runs can never touch another's.
 func (h *Head) Cancel(runs []*Run) {
 	ids := make([]uint32, 0, len(runs))
 	for _, r := range runs {
@@ -171,7 +218,9 @@ func (h *Head) Cancel(runs []*Run) {
 		r.Cancelled = true
 		ids = append(ids, r.Msg.ID)
 		h.Stats.RunsCancelled++
-		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, r.Msg.ID, r.Msg.Kind.String())
+		if h.Trace != nil {
+			h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, r.Msg.ID, r.Msg.Kind.String())
+		}
 	}
 	if len(ids) == 0 || h.CFG.DisableCancel {
 		return
@@ -221,7 +270,7 @@ func (h *Head) Sampled(n int) {
 	if h.Stats.FirstToken == 0 && n > 0 {
 		h.Stats.FirstToken = now
 	}
-	if n > 0 {
+	if n > 0 && h.Trace != nil {
 		h.Trace.Record(now, "head", trace.KindAccept, 0, fmt.Sprintf("n=%d", n))
 	}
 }

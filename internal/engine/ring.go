@@ -1,0 +1,51 @@
+package engine
+
+// ring is a growable FIFO ring buffer. The head's run-tracking FIFO and
+// local-result queue used to be plain slices re-sliced on pop, which made
+// every push reallocate once the backing array's head crept forward — a
+// steady per-run heap allocation the serving layer's zero-alloc gate
+// forbids. The ring reuses its backing array once it has grown to the
+// steady-state depth.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// push appends v at the tail, growing the backing array if full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		grown := make([]T, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// pop removes and returns the head element. It panics on an empty ring
+// (callers guard with len).
+func (r *ring[T]) pop() T {
+	if r.n == 0 {
+		panic("engine: pop of empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// at returns the i-th element from the head without removing it.
+func (r *ring[T]) at(i int) T {
+	if i < 0 || i >= r.n {
+		panic("engine: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// len returns the number of queued elements.
+func (r *ring[T]) len() int { return r.n }

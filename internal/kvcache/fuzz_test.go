@@ -1,0 +1,35 @@
+package kvcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeOps checks the KV-operation wire codec: arbitrary input never
+// panics, length validation rejects non-multiples of the record size, and
+// accepted input re-encodes bit-identically (encode∘decode identity).
+func FuzzDecodeOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeOps([]Op{{Kind: OpSeqCp, Src: 0, Dst: 3, P0: 0, P1: 7}}))
+	f.Add(EncodeOps([]Op{
+		{Kind: OpSeqRm, Src: 5, P0: -1, P1: 1 << 30},
+		{Kind: OpSeqKeep, Src: 0},
+		{Kind: OpKind(200), Src: 63, Dst: 63, P0: -(1 << 31), P1: 1<<31 - 1},
+	}))
+	f.Add([]byte{1, 2, 3, 4, 5}) // not a multiple of 11
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeOps(data)
+		if err != nil {
+			if len(data)%11 == 0 {
+				t.Fatalf("well-sized input rejected: %v", err)
+			}
+			return
+		}
+		if len(ops) != len(data)/11 {
+			t.Fatalf("decoded %d ops from %d bytes", len(ops), len(data))
+		}
+		if !bytes.Equal(EncodeOps(ops), data) {
+			t.Fatal("re-encoding differs from input")
+		}
+	})
+}

@@ -113,8 +113,19 @@ func NewSeqAllocator(n int) *SeqAllocator {
 	if n < 1 || n >= MaxSeqs {
 		panic(fmt.Sprintf("kvcache: seq allocator size %d out of range [1,%d)", n, MaxSeqs))
 	}
-	a := &SeqAllocator{free: make([]SeqID, 0, n)}
-	for id := SeqID(1); id <= SeqID(n); id++ {
+	return NewSeqAllocatorRange(1, SeqID(n)+1)
+}
+
+// NewSeqAllocatorRange creates an allocator managing sequence ids
+// [lo, hi). The serving layer uses it to hand each session the speculative
+// ids of its own namespace window; id 0 (the global canonical sequence)
+// is never allocatable.
+func NewSeqAllocatorRange(lo, hi SeqID) *SeqAllocator {
+	if lo < 1 || hi <= lo || hi > MaxSeqs {
+		panic(fmt.Sprintf("kvcache: seq allocator range [%d,%d) invalid", lo, hi))
+	}
+	a := &SeqAllocator{free: make([]SeqID, 0, hi-lo)}
+	for id := lo; id < hi; id++ {
 		a.free = append(a.free, id)
 	}
 	return a

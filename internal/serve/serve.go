@@ -1,0 +1,790 @@
+// Package serve implements the multi-request serving layer: a session
+// scheduler that multiplexes N concurrent generation requests over one
+// shared pipeline. PipeInfer keeps a single request's pipeline saturated
+// with asynchronous speculative runs (§IV-B); the serving layer extends
+// the same idea across requests — idle pipeline slots that one session's
+// continuous speculation cannot fill are filled by other sessions' runs,
+// so the pipeline stays busy even when every individual request is
+// latency-bound. Each session runs the same launch/verify/cancel state
+// machine as the single-request PipeInfer engine (internal/core), driven
+// in an event-per-result style so one head thread can interleave all of
+// them.
+//
+// # Session / sequence-namespace contract
+//
+// Sessions share the physical KV cache of every pipeline stage and are
+// isolated purely by sequence-set metadata. The kvcache sequence-id space
+// (kvcache.MaxSeqs ids) is statically partitioned into MaxSessions
+// disjoint namespaces of SeqsPerSession consecutive ids each
+// (kvcache.NamespaceFor): session slot s owns ids
+// [s*W, (s+1)*W), its first id is the slot's canonical accepted-token
+// sequence, and the remaining W-1 ids are its speculative partitions.
+// The contract every session must honour:
+//
+//   - every KV operation a session issues names only ids inside its own
+//     namespace (kvcache.Namespace.ValidOp);
+//   - kvcache.OpSeqKeep is forbidden — it would clear every other
+//     session's entries;
+//   - token positions are session-local (each request counts from 0);
+//     disjoint sequence sets are what keep equal positions of different
+//     sessions from seeing each other, not the positions themselves;
+//   - when a session completes, every id in its namespace is removed over
+//     the full position range before the slot is reused, so a recycled
+//     slot starts from an empty namespace.
+//
+// Stages need no per-session state: they demux runs purely through
+// engine.RunMsg.Session and the sequence sets carried in token
+// placements. Cancellation signals carry globally unique run IDs, so one
+// session's early cancellation (§IV-D) can never kill another session's
+// runs.
+//
+// # Scheduling
+//
+// The scheduler is strictly head-side and single-threaded. Each step it
+// (1) admits queued requests to free session slots, then (2) consumes one
+// completed run if a result is waiting, otherwise (3) launches one run,
+// visiting sessions round-robin so admission is fair, bounded by the
+// global engine.Config.MaxInflight and a per-session speculative quota.
+// Completed sessions drain their in-flight runs, release their namespace,
+// and hand the slot to the next queued request — continuous session
+// scheduling with no pipeline flush between requests.
+//
+// Steady-state decode is allocation-free: run messages, tracking records
+// and wire buffers all cycle through pools, so a session decoding
+// mid-stream performs no heap allocation per accepted token (gated by
+// TestServeStepAllocs in backend/realbk).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// Request is one queued generation request.
+type Request struct {
+	Prompt []token.Token
+	// MaxNew is the number of tokens to generate (defaults to the engine
+	// config's MaxNew).
+	MaxNew int
+}
+
+// Result is one request's outcome.
+type Result struct {
+	Tokens []token.Token
+	Stats  engine.Stats
+}
+
+// Config tunes the serving layer.
+type Config struct {
+	// MaxSessions is the number of concurrent session slots (defaults to
+	// min(4, number of requests)).
+	MaxSessions int
+	// SeqsPerSession is each session's namespace width: 1 canonical
+	// sequence plus SeqsPerSession-1 speculative partitions. Defaults to
+	// 4 when Speculate is set, 1 otherwise. MaxSessions*SeqsPerSession
+	// must not exceed kvcache.MaxSeqs.
+	SeqsPerSession int
+	// Speculate enables per-session continuous speculation (requires a
+	// drafting head backend and SeqsPerSession >= 2).
+	Speculate bool
+	// NeedCtx must be set for backends whose Results interpretation needs
+	// the run's context tokens (the simulated backend). The real backend
+	// decodes logits directly and leaves it false, which keeps the decode
+	// hot path snapshot-free.
+	NeedCtx bool
+	// OnToken, when non-nil, streams every accepted token as it is
+	// sampled, tagged with the request index.
+	OnToken func(req int, tok token.Token)
+}
+
+// Normalize fills the derived session-layout defaults: slot count
+// bounded by the request count, namespace width 1 without speculation
+// and 4 with. Backends call it before sizing stage caches so the layout
+// they provision is exactly the one the scheduler partitions.
+func (c Config) Normalize(numRequests int) Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4
+		if numRequests > 0 && numRequests < c.MaxSessions {
+			c.MaxSessions = numRequests
+		}
+	}
+	if c.SeqsPerSession <= 0 {
+		c.SeqsPerSession = 1
+		if c.Speculate {
+			c.SeqsPerSession = 4
+		}
+	}
+	return c
+}
+
+type sessState uint8
+
+const (
+	statePrefill sessState = iota
+	stateDecode
+	stateDrain
+)
+
+// pendingTok is one speculated-but-unverified token in a session's chain
+// beyond its accepted sequence. It names the carrying run by ID, not
+// pointer: run records are recycled after their result is consumed.
+type pendingTok struct {
+	tok token.Token
+	seq kvcache.SeqID
+	run uint32
+}
+
+// session is one request's in-flight generation state.
+type session struct {
+	req  int // request index
+	slot int // namespace slot == RunMsg.Session
+	ns   kvcache.Namespace
+	// alloc hands out the namespace's speculative ids (nil when width 1).
+	alloc    *kvcache.SeqAllocator
+	canonSet kvcache.SeqSet
+
+	accepted []token.Token
+	prompt   int
+	maxNew   int
+
+	state       sessState
+	wantNonSpec bool
+
+	pending []pendingTok
+	cutoff  float32
+
+	stats engine.Stats
+}
+
+func (s *session) generated() int { return len(s.accepted) - s.prompt }
+
+// inflight reports the session's in-flight run count straight from the
+// head FIFO's per-session accounting — the single source of truth.
+func (s *Scheduler) inflight(sess *session) int {
+	return s.h.SessionInflight(uint16(sess.slot))
+}
+
+// Scheduler multiplexes requests over one engine.Head.
+type Scheduler struct {
+	h   *engine.Head
+	cfg Config
+
+	reqs    []Request
+	results []Result
+	nextReq int
+	done    int
+
+	slots   []*session
+	rr      int
+	specCap int
+
+	total int // accepted tokens across all sessions
+
+	// Reusable scratch: all uses are synchronous within one step.
+	msgPool []*engine.RunMsg
+	ops     []kvcache.Op
+	victims []*engine.Run
+	ctx     []token.Token
+}
+
+// New validates the configuration and builds a scheduler over h. The head
+// must be freshly constructed: the scheduler owns its FIFO and stats.
+func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: no requests")
+	}
+	cfg = cfg.Normalize(len(reqs))
+	if cfg.Speculate && cfg.SeqsPerSession < 2 {
+		return nil, fmt.Errorf("serve: speculation needs SeqsPerSession >= 2, got %d", cfg.SeqsPerSession)
+	}
+	if cfg.MaxSessions*cfg.SeqsPerSession > kvcache.MaxSeqs {
+		return nil, fmt.Errorf("serve: %d sessions x %d seqs exceed the %d sequence ids",
+			cfg.MaxSessions, cfg.SeqsPerSession, kvcache.MaxSeqs)
+	}
+	reqs = append([]Request(nil), reqs...)
+	totalNew := 0
+	for i, r := range reqs {
+		if len(r.Prompt) == 0 {
+			return nil, fmt.Errorf("serve: request %d has an empty prompt", i)
+		}
+		if r.MaxNew <= 0 {
+			reqs[i].MaxNew = h.CFG.MaxNew
+		}
+		totalNew += reqs[i].MaxNew
+	}
+	s := &Scheduler{
+		h:       h,
+		cfg:     cfg,
+		reqs:    reqs,
+		results: make([]Result, len(reqs)),
+		slots:   make([]*session, cfg.MaxSessions),
+		specCap: max(2, h.CFG.MaxInflight/cfg.MaxSessions),
+	}
+	// Aggregate acceptance timestamps never outgrow this, keeping the
+	// per-token Sampled call allocation-free.
+	h.Stats.AcceptTimes = make([]time.Duration, 0, totalNew)
+	return s, nil
+}
+
+// Done reports whether every request has completed.
+func (s *Scheduler) Done() bool { return s.done == len(s.reqs) }
+
+// TotalAccepted returns the number of tokens accepted across all sessions
+// so far (the serving alloc gate steps until this advances).
+func (s *Scheduler) TotalAccepted() int { return s.total }
+
+// Run drives the scheduler until every request has completed and returns
+// the per-request results in request order.
+func (s *Scheduler) Run() ([]Result, error) {
+	for !s.Done() {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	s.h.Stats.Done = s.h.EP.Now()
+	s.h.Stats.Generated = s.total
+	s.h.Shutdown()
+	return s.results, nil
+}
+
+// Step performs one scheduling action: admit queued requests to free
+// slots, then consume one completed run if a result is waiting, otherwise
+// launch one run (round-robin over sessions), otherwise block for the
+// pipeline.
+func (s *Scheduler) Step() error {
+	if s.Done() {
+		return nil
+	}
+	s.admit()
+	if s.h.ResultWaiting() {
+		return s.handleResult()
+	}
+	if s.tryLaunch() {
+		return nil
+	}
+	if s.h.Inflight() > 0 {
+		return s.handleResult()
+	}
+	return fmt.Errorf("serve: scheduler stalled with %d/%d requests done", s.done, len(s.reqs))
+}
+
+// admit moves queued requests into free session slots.
+func (s *Scheduler) admit() {
+	for s.nextReq < len(s.reqs) {
+		slot := -1
+		for i, sl := range s.slots {
+			if sl == nil {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			return
+		}
+		req := s.reqs[s.nextReq]
+		ns := kvcache.NamespaceFor(slot, s.cfg.SeqsPerSession)
+		sess := &session{
+			req:      s.nextReq,
+			slot:     slot,
+			ns:       ns,
+			alloc:    ns.SpecAllocator(),
+			canonSet: kvcache.NewSeqSet(ns.Canonical()),
+			accepted: make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
+			prompt:   len(req.Prompt),
+			maxNew:   req.MaxNew,
+			cutoff:   s.h.CFG.SpecCutoff,
+		}
+		copy(sess.accepted, req.Prompt)
+		sess.stats.AcceptTimes = make([]time.Duration, 0, req.MaxNew)
+		s.slots[slot] = sess
+		s.nextReq++
+	}
+}
+
+// --- launching ---
+
+// tryLaunch admits at most one run, visiting sessions round-robin from
+// just past the last admitted one so every session gets a fair share of
+// the global in-flight budget.
+func (s *Scheduler) tryLaunch() bool {
+	if s.h.Inflight() >= s.h.CFG.MaxInflight {
+		return false
+	}
+	n := len(s.slots)
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		sess := s.slots[idx]
+		if sess == nil {
+			continue
+		}
+		if s.launchFor(sess) {
+			s.rr = (idx + 1) % n
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) launchFor(sess *session) bool {
+	switch sess.state {
+	case statePrefill:
+		if s.inflight(sess) > 0 {
+			return false
+		}
+		s.launchPrefill(sess)
+		return true
+	case stateDecode:
+		// A freshly sampled token always feeds straight back into the
+		// pipeline; an idle session (no runs in flight, nothing owed) is
+		// restarted the same way — the per-session analogue of the core
+		// engine's "pipeline non-empty while tokens remain" invariant.
+		if sess.wantNonSpec || s.inflight(sess) == 0 {
+			sess.wantNonSpec = false
+			s.launchNonSpec(sess)
+			return true
+		}
+		if s.cfg.Speculate && sess.alloc != nil && s.inflight(sess) < s.specCap {
+			return s.trySpeculate(sess)
+		}
+	}
+	return false
+}
+
+// getMsg returns a pooled run message with n token slots.
+func (s *Scheduler) getMsg(n int) *engine.RunMsg {
+	var m *engine.RunMsg
+	if k := len(s.msgPool); k > 0 {
+		m = s.msgPool[k-1]
+		s.msgPool = s.msgPool[:k-1]
+	} else {
+		m = &engine.RunMsg{}
+	}
+	if cap(m.Tokens) < n {
+		m.Tokens = make([]engine.TokenPlace, n)
+	}
+	m.Tokens = m.Tokens[:n]
+	m.KVOps = nil
+	return m
+}
+
+func (s *Scheduler) putMsg(m *engine.RunMsg) {
+	m.Tokens = m.Tokens[:0]
+	m.KVOps = nil
+	s.msgPool = append(s.msgPool, m)
+}
+
+func (s *Scheduler) launchPrefill(sess *session) {
+	msg := s.getMsg(sess.prompt)
+	msg.Kind = engine.KindPrefill
+	msg.Seq = sess.ns.Canonical()
+	msg.Session = uint16(sess.slot)
+	for i := 0; i < sess.prompt; i++ {
+		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
+	}
+	s.h.Launch(msg, nil, nil)
+	sess.stats.RunsLaunched++
+}
+
+func (s *Scheduler) launchNonSpec(sess *session) {
+	a := len(sess.accepted)
+	msg := s.getMsg(1)
+	msg.Kind = engine.KindNonSpec
+	msg.Seq = sess.ns.Canonical()
+	msg.Session = uint16(sess.slot)
+	msg.Tokens[0] = engine.TokenPlace{Tok: sess.accepted[a-1], Pos: int32(a - 1), Seqs: sess.canonSet}
+	var ctx []token.Token
+	if s.cfg.NeedCtx {
+		// Accepted tokens are append-only, so the context prefix can
+		// alias the session buffer instead of snapshotting.
+		ctx = sess.accepted[: a-1 : a-1]
+	}
+	s.h.Launch(msg, ctx, nil)
+	sess.stats.RunsLaunched++
+}
+
+// trySpeculate drafts one micro-batch extending the session's speculation
+// frontier and launches it as a speculative run in a freshly allocated
+// sequence partition (§IV-B.1 applied per session).
+func (s *Scheduler) trySpeculate(sess *session) bool {
+	if sess.alloc.Available() == 0 {
+		return false
+	}
+	a := len(sess.accepted)
+	ctx := append(s.ctx[:0], sess.accepted...)
+	for _, pt := range sess.pending {
+		ctx = append(ctx, pt.tok)
+	}
+	prefixLen := len(ctx)
+	if prefixLen >= sess.prompt+sess.maxNew {
+		return false // frontier already covers the whole request
+	}
+
+	batch := s.h.CFG.MicroBatch
+	var toks []token.Token
+	for len(toks) < batch {
+		cand, probs := s.h.BK.Propose(ctx, 1)
+		if len(cand) == 0 || probs[0] < sess.cutoff {
+			break
+		}
+		toks = append(toks, cand[0])
+		ctx = append(ctx, cand[0])
+	}
+	s.ctx = ctx[:0]
+	if len(toks) == 0 {
+		// Reactive speculation: decay the cutoff so the session scales
+		// utilisation back up while waiting (§IV-B.2).
+		sess.cutoff -= s.h.CFG.CutoffDecay
+		if sess.cutoff < 0.02 {
+			sess.cutoff = 0.02
+		}
+		return false
+	}
+
+	seq, ok := sess.alloc.Alloc()
+	if !ok {
+		return false
+	}
+
+	// Prefix sharing ops: the session's canonical prefix plus every
+	// pending chain segment, grouped by owning sequence — all inside the
+	// session's namespace.
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpSeqCp,
+		Src: sess.ns.Canonical(), Dst: seq, P0: 0, P1: int32(a)})
+	for i := 0; i < len(sess.pending); {
+		j := i
+		for j+1 < len(sess.pending) && sess.pending[j+1].seq == sess.pending[i].seq {
+			j++
+		}
+		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqCp,
+			Src: sess.pending[i].seq, Dst: seq, P0: int32(a + i), P1: int32(a + j + 1)})
+		i = j + 1
+	}
+	s.ops = ops
+
+	msg := s.getMsg(len(toks))
+	msg.Kind = engine.KindSpec
+	msg.Seq = seq
+	msg.Session = uint16(sess.slot)
+	seqSet := kvcache.NewSeqSet(seq)
+	for i, t := range toks {
+		msg.Tokens[i] = engine.TokenPlace{Tok: t, Pos: int32(prefixLen + i), Seqs: seqSet}
+	}
+	msg.KVOps = ops
+	var runCtx []token.Token
+	if s.cfg.NeedCtx {
+		// The prefix includes pending tokens, which are rewritten on
+		// rejection — this snapshot must be real.
+		runCtx = make([]token.Token, prefixLen)
+		copy(runCtx, sess.accepted)
+		for i, pt := range sess.pending {
+			runCtx[a+i] = pt.tok
+		}
+	}
+	run := s.h.Launch(msg, runCtx, []kvcache.SeqID{seq})
+	msg.KVOps = nil // ops scratch is reused; Launch consumed them
+	sess.stats.RunsLaunched++
+	for _, t := range toks {
+		sess.pending = append(sess.pending, pendingTok{tok: t, seq: seq, run: run.Msg.ID})
+	}
+	sess.stats.Proposed += len(toks)
+	s.h.Stats.Proposed += len(toks)
+
+	// Each successful continuous iteration raises the confidence bar for
+	// the next (§IV-B.2 recovery factor).
+	sess.cutoff += s.h.CFG.CutoffRecovery
+	if sess.cutoff > 0.95 {
+		sess.cutoff = 0.95
+	}
+	return true
+}
+
+// --- result handling ---
+
+func (s *Scheduler) handleResult() error {
+	run, res, ok, err := s.h.AwaitResult()
+	if err != nil {
+		return err
+	}
+	slot := int(run.Msg.Session)
+	if slot >= len(s.slots) || s.slots[slot] == nil {
+		return fmt.Errorf("serve: result for idle session slot %d", slot)
+	}
+	sess := s.slots[slot]
+
+	switch sess.state {
+	case statePrefill:
+		err = s.onPrefill(sess, run, res, ok)
+	case stateDecode:
+		err = s.onDecode(sess, run, res, ok)
+	case stateDrain:
+		s.h.SendKV(s.appendCleanup(sess, run, s.ops[:0]))
+	}
+
+	// The run record and its message are ours alone now (pending tokens
+	// reference runs by ID): recycle both for the next launch.
+	msg := run.Msg
+	s.h.Recycle(run)
+	s.putMsg(msg)
+	if err != nil {
+		return err
+	}
+	if sess.state == stateDrain && s.inflight(sess) == 0 {
+		s.finalize(sess)
+	}
+	return nil
+}
+
+func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results, ok bool) error {
+	if !ok || run.Cancelled {
+		return fmt.Errorf("serve: prefill cancelled for request %d", sess.req)
+	}
+	now := s.h.EP.Now()
+	sess.stats.PrefillDone = now
+	if s.h.Stats.PrefillDone == 0 {
+		s.h.Stats.PrefillDone = now
+	}
+	sess.state = stateDecode
+	// The prompt-sampled token counts as generated but not as a timed
+	// acceptance: TTFT anchors at prefill completion, mirroring the
+	// single-request engines.
+	s.accept(sess, res.Next(sess.prompt-1), true)
+	if sess.generated() >= sess.maxNew {
+		s.enterDrain(sess)
+	} else {
+		sess.wantNonSpec = true
+	}
+	return nil
+}
+
+// onDecode consumes one decode result: verification, sampling, cache
+// promotion, invalidation and follow-up scheduling — the per-session
+// mirror of the core PipeInfer engine's handleResult.
+func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results, ok bool) error {
+	ops := s.ops[:0]
+	if !ok || run.Cancelled {
+		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		return nil
+	}
+
+	a := len(sess.accepted)
+	base := int(run.Msg.BasePos())
+	l := run.Msg.Len()
+
+	// Superfluous: every output position is already accepted (§IV-D.1).
+	if base+l < a {
+		sess.stats.Superfluous++
+		s.h.Stats.Superfluous++
+		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		return nil
+	}
+	// Invalidated: an input token conflicts with the session's accepted
+	// sequence or its (possibly rewritten) pending chain.
+	if !s.inputsValid(sess, run) {
+		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		return nil
+	}
+
+	i0 := a - 1 - base
+	if i0 < 0 {
+		return fmt.Errorf("serve: result gap for request %d: accepted end %d, run base %d",
+			sess.req, a, base)
+	}
+	sampledNew := false
+	anyAccept := false
+	for i := i0; i < l; i++ {
+		if sess.generated() >= sess.maxNew {
+			break
+		}
+		next := res.Next(i)
+		if len(sess.pending) > 0 {
+			pt := sess.pending[0]
+			if pt.tok == next {
+				// Draft token confirmed: promote its cache entries to the
+				// session's canonical sequence (the multibuffering swap).
+				pos := int32(len(sess.accepted))
+				ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqCp,
+					Src: pt.seq, Dst: sess.ns.Canonical(), P0: pos, P1: pos + 1})
+				s.accept(sess, next, false)
+				sess.pending = sess.pending[1:]
+				sess.stats.Accepted++
+				s.h.Stats.Accepted++
+				anyAccept = true
+				continue
+			}
+			// Rejection: take the target's token, drop the rest of the
+			// chain, cancel every run that carried a dropped token.
+			s.accept(sess, next, false)
+			s.dropPending(sess)
+			sampledNew = true
+			break
+		}
+		// Bonus token past the end of all speculation.
+		s.accept(sess, next, false)
+		sampledNew = true
+		break
+	}
+	if anyAccept {
+		sess.cutoff = s.h.CFG.SpecCutoff
+	}
+
+	ops = s.appendCleanup(sess, run, ops)
+	// Promotions and cleanups must be issued before any dependent launch:
+	// transaction order is what makes later runs see the promoted cells.
+	s.h.SendKV(ops)
+	s.scanSession(sess)
+	if sess.generated() >= sess.maxNew {
+		s.enterDrain(sess)
+		return nil
+	}
+	if sampledNew {
+		sess.wantNonSpec = true
+	}
+	return nil
+}
+
+// accept appends one sampled token to the session and records the
+// acceptance in both the per-session and the aggregate stats. The
+// prefill-sampled token (fromPrefill) is generated but not timestamped,
+// so TTFT and ITL measure post-prefill decoding only.
+func (s *Scheduler) accept(sess *session, tok token.Token, fromPrefill bool) {
+	sess.accepted = append(sess.accepted, tok)
+	s.total++
+	if !fromPrefill {
+		now := s.h.EP.Now()
+		sess.stats.AcceptTimes = append(sess.stats.AcceptTimes, now)
+		if sess.stats.FirstToken == 0 {
+			sess.stats.FirstToken = now
+		}
+		s.h.Sampled(1)
+	}
+	if s.cfg.OnToken != nil {
+		s.cfg.OnToken(sess.req, tok)
+	}
+}
+
+// inputsValid checks the run's input tokens against the session's current
+// accepted/pending state (§IV-D.1's token-sequence comparison).
+func (s *Scheduler) inputsValid(sess *session, run *engine.Run) bool {
+	a := len(sess.accepted)
+	for _, tp := range run.Msg.Tokens {
+		pos := int(tp.Pos)
+		switch {
+		case pos < a:
+			if sess.accepted[pos] != tp.Tok {
+				return false
+			}
+		case pos-a < len(sess.pending):
+			if sess.pending[pos-a].tok != tp.Tok {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// dropPending discards the session's speculation chain and cancels the
+// session's runs that carried it. Other sessions' runs are untouched.
+func (s *Scheduler) dropPending(sess *session) {
+	if len(sess.pending) == 0 {
+		return
+	}
+	victims := s.victims[:0]
+	for i := 0; i < s.h.Inflight(); i++ {
+		r := s.h.InflightAt(i)
+		if int(r.Msg.Session) != sess.slot || r.Cancelled {
+			continue
+		}
+		for _, pt := range sess.pending {
+			if pt.run == r.Msg.ID {
+				victims = append(victims, r)
+				break
+			}
+		}
+	}
+	s.victims = victims
+	sess.pending = sess.pending[:0]
+	s.cancelFor(sess, victims)
+}
+
+// scanSession sweeps the FIFO for this session's runs whose outputs are
+// all already decided (superfluous) or whose inputs conflict
+// (invalidated), and cancels them (§IV-D.1 per session).
+func (s *Scheduler) scanSession(sess *session) {
+	a := len(sess.accepted)
+	victims := s.victims[:0]
+	for i := 0; i < s.h.Inflight(); i++ {
+		r := s.h.InflightAt(i)
+		if int(r.Msg.Session) != sess.slot || r.Cancelled {
+			continue
+		}
+		if int(r.Msg.MaxPos())+1 < a || !s.inputsValid(sess, r) {
+			victims = append(victims, r)
+		}
+	}
+	s.victims = victims
+	if len(victims) > 0 {
+		s.cancelFor(sess, victims)
+	}
+}
+
+// appendCleanup returns the run's sequence partitions to the session's
+// allocator and appends the SeqRm ops that clear them on every stage.
+func (s *Scheduler) appendCleanup(sess *session, run *engine.Run, ops []kvcache.Op) []kvcache.Op {
+	for _, id := range run.Seqs {
+		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqRm, Src: id, P0: 0, P1: 1 << 30})
+		sess.alloc.Free(id)
+	}
+	run.Seqs = nil
+	s.ops = ops[:0]
+	return ops
+}
+
+// enterDrain stops a finished session from launching, discards its
+// speculation chain, and cancels whatever it still has in flight. The
+// slot is released once the last in-flight run's result arrives.
+func (s *Scheduler) enterDrain(sess *session) {
+	sess.state = stateDrain
+	sess.wantNonSpec = false
+	sess.pending = sess.pending[:0]
+	victims := s.victims[:0]
+	for i := 0; i < s.h.Inflight(); i++ {
+		r := s.h.InflightAt(i)
+		if int(r.Msg.Session) == sess.slot && !r.Cancelled {
+			victims = append(victims, r)
+		}
+	}
+	s.victims = victims
+	s.cancelFor(sess, victims)
+}
+
+// cancelFor cancels a session's runs, crediting the cancellations to its
+// per-session stats as well as the aggregate.
+func (s *Scheduler) cancelFor(sess *session, victims []*engine.Run) {
+	before := s.h.Stats.RunsCancelled
+	s.h.Cancel(victims)
+	sess.stats.RunsCancelled += s.h.Stats.RunsCancelled - before
+}
+
+// finalize releases a drained session's namespace — removing every one of
+// its sequence ids over the full position range on every stage, so the
+// recycled slot starts from an empty namespace — and records the result.
+func (s *Scheduler) finalize(sess *session) {
+	ops := s.ops[:0]
+	for i := 0; i < sess.ns.Width; i++ {
+		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqRm,
+			Src: sess.ns.Base + kvcache.SeqID(i), P0: 0, P1: 1 << 30})
+	}
+	s.ops = ops[:0]
+	s.h.SendKV(ops)
+	sess.stats.Done = s.h.EP.Now()
+	sess.stats.Generated = sess.generated()
+	s.results[sess.req] = Result{Tokens: sess.accepted[sess.prompt:], Stats: sess.stats}
+	s.slots[sess.slot] = nil
+	s.done++
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// testHead builds a head over a single-rank cluster with a trivial
+// backend, enough to exercise New's validation paths.
+func testHead(t *testing.T) *engine.Head {
+	t.Helper()
+	cl := chancomm.New(1)
+	topo := engine.Topology{Head: 0, Stages: []int{0}}
+	h, err := engine.NewHead(cl.Endpoint(0), topo, engine.Config{}, nopBackend{}, nopWorker{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+type nopBackend struct{}
+
+func (nopBackend) Propose([]token.Token, int) ([]token.Token, []float32) { return nil, nil }
+func (nopBackend) Results(*engine.RunMsg, []token.Token, []byte) engine.Results {
+	return nil
+}
+func (nopBackend) MemoryBytes() int64 { return 0 }
+
+type nopWorker struct{}
+
+func (nopWorker) Eval(*engine.RunMsg, []byte, func() bool) ([]byte, int, bool) { return nil, 0, true }
+func (nopWorker) ApplyKV([]kvcache.Op)                                         {}
+func (nopWorker) MemoryBytes() int64                                           { return 0 }
+
+func req(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{Prompt: []token.Token{token.BOS}, MaxNew: 4}
+	}
+	return out
+}
+
+// TestNewValidation pins the configuration contract: empty request sets,
+// empty prompts, namespace overflow of the 64-id space, and speculation
+// without spec partitions are all rejected up front.
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		reqs []Request
+		want string
+	}{
+		{"no-requests", Config{}, nil, "no requests"},
+		{"empty-prompt", Config{}, []Request{{}}, "empty prompt"},
+		{"namespace-overflow", Config{MaxSessions: 17, SeqsPerSession: 4}, req(17), "exceed"},
+		{"speculate-width-1", Config{Speculate: true, SeqsPerSession: 1}, req(2), "SeqsPerSession"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(testHead(t), tc.cfg, tc.reqs)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestNewDefaults checks the derived defaults: slot count bounded by the
+// request count, width 1 without speculation, 4 with.
+func TestNewDefaults(t *testing.T) {
+	s, err := New(testHead(t), Config{}, req(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.slots) != 2 || s.cfg.SeqsPerSession != 1 {
+		t.Fatalf("defaults: %d slots width %d", len(s.slots), s.cfg.SeqsPerSession)
+	}
+	s, err = New(testHead(t), Config{Speculate: true}, req(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.slots) != 4 || s.cfg.SeqsPerSession != 4 {
+		t.Fatalf("speculative defaults: %d slots width %d", len(s.slots), s.cfg.SeqsPerSession)
+	}
+	// MaxNew defaulting comes from the engine config.
+	s, err = New(testHead(t), Config{}, []Request{{Prompt: []token.Token{token.BOS}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.reqs[0].MaxNew != s.h.CFG.MaxNew {
+		t.Fatalf("MaxNew default %d, want engine default %d", s.reqs[0].MaxNew, s.h.CFG.MaxNew)
+	}
+}
+
+// TestAdmissionRoundRobin checks slot assignment and recycling: requests
+// beyond MaxSessions stay queued until a slot frees, and freed slots are
+// reused lowest-first with a fresh namespace.
+func TestAdmissionRoundRobin(t *testing.T) {
+	s, err := New(testHead(t), Config{MaxSessions: 2}, req(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.admit()
+	if s.slots[0] == nil || s.slots[1] == nil || s.nextReq != 2 {
+		t.Fatalf("admission filled %d requests", s.nextReq)
+	}
+	if s.slots[0].ns.Canonical() == s.slots[1].ns.Canonical() {
+		t.Fatal("two sessions share a canonical sequence")
+	}
+	// Finish slot 0's session by hand and re-admit.
+	s.finalize(s.slots[0])
+	s.admit()
+	if s.slots[0] == nil || s.slots[0].req != 2 {
+		t.Fatal("freed slot was not recycled to the next queued request")
+	}
+}

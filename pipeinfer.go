@@ -28,6 +28,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/harness"
 	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
@@ -80,6 +81,42 @@ func Generate(opts GenerateOptions) (GenerateResult, error) { return realbk.Run(
 // strategy must reproduce exactly under greedy sampling.
 func ReferenceGreedy(opts GenerateOptions, maxNew int) ([]Token, error) {
 	return realbk.ReferenceGreedy(opts, maxNew)
+}
+
+// ServeRequest is one queued generation request for the serving layer.
+type ServeRequest = serve.Request
+
+// ServeResult is one served request's outcome (tokens plus per-session
+// §V-A metrics).
+type ServeResult = serve.Result
+
+// ServeOptions configures a real-compute serving run: N concurrent
+// requests multiplexed over one shared pipeline with continuous session
+// scheduling and optional per-session speculation.
+type ServeOptions = realbk.ServeOptions
+
+// ServeOutcome bundles per-request results with aggregate stats.
+type ServeOutcome = realbk.ServeOutcome
+
+// Serve runs the multi-request serving layer on the real backend: the
+// pipeline is built once and every queued request is admitted to a
+// session slot as one frees up, each session's output remaining
+// bit-identical to its serial greedy reference. See internal/serve for
+// the session/namespace contract.
+func Serve(opts ServeOptions) (ServeOutcome, error) { return realbk.Serve(opts) }
+
+// SimulateServeOptions configures a simulated multi-tenant serving run
+// (paper-scale clusters, virtual time).
+type SimulateServeOptions = simbk.ServeOptions
+
+// SimulateServeOutcome is the simulated serving result.
+type SimulateServeOutcome = simbk.ServeOutcome
+
+// SimulateServe runs the serving layer on the discrete-event cluster
+// simulator, which is how multi-tenant scheduling is measured at 70B
+// scale without 70B hardware.
+func SimulateServe(opts SimulateServeOptions) (SimulateServeOutcome, error) {
+	return simbk.Serve(opts)
 }
 
 // SimulateOptions configures a simulated-cluster generation.

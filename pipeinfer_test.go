@@ -99,3 +99,61 @@ func TestFacadeTrace(t *testing.T) {
 		t.Fatal("no evaluation spans recorded")
 	}
 }
+
+func TestFacadeServe(t *testing.T) {
+	cfg := pipeinfer.TinyModel()
+	cfg.NLayers = 4
+	tk, err := pipeinfer.NewTokenizer(cfg.VocabSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := []string{"hello", "world", "again"}
+	reqs := make([]pipeinfer.ServeRequest, len(prompts))
+	for i, p := range prompts {
+		reqs[i] = pipeinfer.ServeRequest{Prompt: tk.Encode(p), MaxNew: 6}
+	}
+	out, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:    2,
+		ModelCfg: cfg,
+		Seed:     3,
+		Requests: reqs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		ref, err := pipeinfer.ReferenceGreedy(pipeinfer.GenerateOptions{
+			ModelCfg: cfg, Seed: 3, Prompt: reqs[i].Prompt,
+		}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if out.Results[i].Tokens[j] != ref[j] {
+				t.Fatalf("served request %d diverged from its serial reference", i)
+			}
+		}
+	}
+}
+
+func TestFacadeSimulateServe(t *testing.T) {
+	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
+		Cluster:   pipeinfer.ClusterC().Take(4),
+		Pair:      pipeinfer.CPUPairs()[0],
+		CFG:       pipeinfer.Config{MaxNew: 12},
+		Sessions:  6,
+		PromptLen: 8,
+		Seed:      2,
+		Speculate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 6 || out.Stats.Generated != 6*12 {
+		t.Fatalf("degenerate serving outcome: %d results, %d generated",
+			len(out.Results), out.Stats.Generated)
+	}
+	if out.Stats.Speed() <= 0 {
+		t.Fatal("no aggregate speed")
+	}
+}
