@@ -10,6 +10,9 @@
 //	pipeinfer-serve -nodes 3 -sessions 4 -tokens 32        # real backend
 //	pipeinfer-serve -speculate -slots 4                    # per-session speculation
 //	pipeinfer-serve -sim -sessions 16 -nodes 8             # 70B-scale simulation
+//	pipeinfer-serve -sessions 16 -slots 16 -kv-cells 128 -kv-page 8
+//	                                                       # oversubscribed KV: eviction +
+//	                                                       # preemption + readmission engage
 package main
 
 import (
@@ -37,11 +40,13 @@ func main() {
 		noise     = flag.Float64("noise", 0.01, "draft perturbation (with -speculate)")
 		stream    = flag.Bool("stream", true, "print tokens as sessions accept them")
 		sim       = flag.Bool("sim", false, "serve on the simulated 70B-scale cluster instead")
+		kvCells   = flag.Int("kv-cells", 0, "per-stage KV capacity in cells (0 = fully provisioned; smaller values oversubscribe and engage eviction/preemption)")
+		kvPage    = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16)")
 	)
 	flag.Parse()
 
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage)
 		return
 	}
 
@@ -67,6 +72,8 @@ func main() {
 		Speculate:   *speculate,
 		DraftNoise:  float32(*noise),
 		MaxSessions: *slots,
+		KVCells:     *kvCells,
+		KVPageSize:  *kvPage,
 		Requests:    reqs,
 	}
 	if *stream {
@@ -74,6 +81,9 @@ func main() {
 			fmt.Printf("[s%d] %s\n", req, tk.Decode([]token.Token{tok}))
 		}
 	}
+	// Memory-pressure events are part of the serving story: show them.
+	opts.OnPreempt = func(req int) { fmt.Printf("[s%d] -- preempted: KV evicted, request parked --\n", req) }
+	opts.OnReadmit = func(req int) { fmt.Printf("[s%d] -- readmitted: recomputing prefix --\n", req) }
 
 	start := time.Now()
 	out, err := pipeinfer.Serve(opts)
@@ -107,6 +117,8 @@ func main() {
 	fmt.Printf("aggregate: %d tokens in %v (%.1f tok/s); runs: %d launched, %d cancelled\n",
 		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
 		out.Stats.RunsLaunched, out.Stats.RunsCancelled)
+	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
+		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
 		os.Exit(1)
@@ -116,7 +128,7 @@ func main() {
 
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage int) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:     pipeinfer.ClusterC().Take(nodes),
 		Pair:        pipeinfer.CPUPairs()[0],
@@ -126,6 +138,8 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool) {
 		Seed:        seed,
 		Speculate:   speculate,
 		MaxSessions: slots,
+		KVCells:     kvCells,
+		KVPageSize:  kvPage,
 	})
 	if err != nil {
 		fatal(err)
@@ -139,6 +153,8 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool) {
 	fmt.Printf("aggregate: %d tokens in %v virtual (%.1f tok/s); acceptance %.0f%%\n",
 		out.Stats.Generated, out.Stats.Done.Round(time.Millisecond),
 		out.Stats.Speed(), out.Stats.AcceptanceRate()*100)
+	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
+		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
 }
 
 func fatal(err error) {

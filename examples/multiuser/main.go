@@ -5,16 +5,21 @@
 // requests to session slots round-robin, and interleaves every session's
 // runs into a single pipelined stream — so stages that would sit idle
 // between one request's runs evaluate another request's instead. The
-// walkthrough runs the same workload three ways:
+// walkthrough runs the same workload four ways:
 //
 //  1. serially, one pipeline rebuilt per request (no serving layer);
 //  2. served concurrently on the real backend, verifying every session
 //     against its single-model greedy reference;
-//  3. served at 70B scale on the simulated cluster, where the
+//  3. served with the KV cache oversubscribed (-kv-cells/-kv-page), so
+//     sessions are preempted — their pages evicted pipeline-wide — and
+//     readmitted by recomputing their prefix, with outputs still
+//     bit-identical;
+//  4. served at 70B scale on the simulated cluster, where the
 //     pipeline-fill win is measured in exact virtual time.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -29,6 +34,12 @@ func main() {
 		tokens = 24
 		nodes  = 3
 	)
+	// Memory-pressure scenarios are reproducible from the CLI: -kv-cells
+	// caps the per-stage KV cache (0 picks a deliberately tight default
+	// for step 3), -kv-page sets the page granularity.
+	kvCells := flag.Int("kv-cells", 0, "per-stage KV capacity in cells for the oversubscribed run (0 = half the fully provisioned size)")
+	kvPage := flag.Int("kv-page", 8, "KV page size in cells")
+	flag.Parse()
 	cfg := pipeinfer.TinyModel()
 	cfg.NLayers = 6
 	tk, err := pipeinfer.NewTokenizer(cfg.VocabSize)
@@ -96,7 +107,44 @@ func main() {
 	}
 	fmt.Println("every user's output is bit-identical to their solo greedy run")
 
-	// 3. The same scheduling at 70B scale, in virtual time: 16 tenants on
+	// 3. Oversubscribed KV: a cache too small to hold every user at once.
+	// The scheduler drops speculative pages, preempts idle sessions (their
+	// namespaces evicted on every stage), parks the requests, and readmits
+	// them by recomputing their prefix — outputs must not change by a bit.
+	cells := *kvCells
+	if cells <= 0 {
+		// Half of what the six 24-token sessions would need at once.
+		cells = users * (8 + tokens) / 2
+	}
+	pressured, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:       nodes,
+		CFG:         engine.Config{MaxNew: tokens},
+		ModelCfg:    cfg,
+		Seed:        42,
+		MaxSessions: users,
+		KVCells:     cells,
+		KVPageSize:  *kvPage,
+		Requests:    reqs,
+		OnPreempt:   func(req int) { fmt.Printf("  user %d preempted (KV evicted, parked)\n", req) },
+		OnReadmit:   func(req int) { fmt.Printf("  user %d readmitted (prefix recompute)\n", req) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range reqs {
+		if len(pressured.Results[i].Tokens) != len(out.Results[i].Tokens) {
+			log.Fatalf("user %d got a different answer under memory pressure", i)
+		}
+		for j, tok := range out.Results[i].Tokens {
+			if pressured.Results[i].Tokens[j] != tok {
+				log.Fatalf("user %d got a different answer under memory pressure", i)
+			}
+		}
+	}
+	fmt.Printf("\noversubscribed KV (%d cells, page %d): %d spec drops, %d preemptions, %d readmissions — outputs unchanged\n",
+		cells, *kvPage, pressured.Stats.SpecDrops, pressured.Stats.Preemptions, pressured.Stats.Readmissions)
+
+	// 4. The same scheduling at 70B scale, in virtual time: 16 tenants on
 	// a 8-node cluster with per-session speculation.
 	sim, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:     pipeinfer.ClusterC().Take(8),

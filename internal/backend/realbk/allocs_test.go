@@ -6,6 +6,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
@@ -25,7 +26,7 @@ func TestEvalAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := NewWorker(m, 0, cfg.NLayers, true, true, 256)
+	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: 256})
 
 	seqs := kvcache.NewSeqSet(kvcache.Canonical)
 	prefill := &engine.RunMsg{ID: 1, Kind: engine.KindPrefill, Tokens: make([]engine.TokenPlace, 16)}
@@ -83,7 +84,7 @@ func TestServeStepAllocs(t *testing.T) {
 	for i := range prompt {
 		prompt[i] = token.Token(token.NumSpecial + 3*i)
 	}
-	w := NewWorker(m, 0, cfg.NLayers, true, true, len(prompt)+maxNew+64)
+	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: len(prompt) + maxNew + 64})
 	bk := NewHead(nil, cfg.VocabSize)
 	cl := chancomm.New(1)
 	topo := engine.Topology{Head: 0, Stages: []int{0}}
@@ -91,8 +92,13 @@ func TestServeStepAllocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := serve.New(h, serve.Config{MaxSessions: 1, SeqsPerSession: 1},
-		[]serve.Request{{Prompt: prompt, MaxNew: maxNew}})
+	// KV enables the shadow-cache admission path: the zero-alloc gate
+	// covers pressure *checking* (the common case); only actual
+	// preemption events may allocate.
+	sched, err := serve.New(h, serve.Config{
+		MaxSessions: 1, SeqsPerSession: 1,
+		KV: kvpage.Config{Cells: len(prompt) + maxNew + 64},
+	}, []serve.Request{{Prompt: prompt, MaxNew: maxNew}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
 	"github.com/pipeinfer/pipeinfer/internal/token"
@@ -31,7 +32,7 @@ type Worker struct {
 	hi    int
 	first bool
 	last  bool
-	cache *kvcache.Cache
+	cache *kvpage.Cache
 	store *model.KVStore
 
 	sc   *model.Scratch
@@ -42,12 +43,17 @@ type Worker struct {
 	enc  []byte     // encoded output payload staging
 }
 
-// NewWorker builds a stage worker over layers [lo, hi).
-func NewWorker(m *model.Model, lo, hi int, first, last bool, cacheCells int) *Worker {
+// NewWorker builds a stage worker over layers [lo, hi). The paged KV
+// metadata cache is sized by kv (capacity rounded up to whole pages; the
+// K/V tensor store matches the rounded size, rows indexed by cell id =
+// page*pageSize + slot). kv.ShardSeqs is the serving layer's per-session
+// namespace width; zero means one shard for single-request engines.
+func NewWorker(m *model.Model, lo, hi int, first, last bool, kv kvpage.Config) *Worker {
+	cache := kvpage.New(kv)
 	return &Worker{
 		m: m, lo: lo, hi: hi, first: first, last: last,
-		cache: kvcache.New(cacheCells),
-		store: model.NewKVStore(m.Cfg, lo, hi, cacheCells),
+		cache: cache,
+		store: model.NewKVStore(m.Cfg, lo, hi, cache.Size()),
 		sc:    model.NewScratch(m.Cfg),
 	}
 }
@@ -92,10 +98,10 @@ func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) (
 }
 
 // ApplyKV applies pipelined cache metadata operations.
-func (w *Worker) ApplyKV(ops []kvcache.Op) { kvcache.ApplyAll(w.cache, ops) }
+func (w *Worker) ApplyKV(ops []kvcache.Op) { w.cache.ApplyAll(ops) }
 
 // Cache exposes the metadata cache for test assertions.
-func (w *Worker) Cache() *kvcache.Cache { return w.cache }
+func (w *Worker) Cache() *kvpage.Cache { return w.cache }
 
 // MemoryBytes reports resident weights plus KV storage.
 func (w *Worker) MemoryBytes() int64 {

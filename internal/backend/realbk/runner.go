@@ -9,6 +9,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/core"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
@@ -54,10 +55,12 @@ func (o *Options) defaults() {
 // plan is the rank-independent execution layout every rank derives
 // deterministically from Options.
 type plan struct {
-	cfg        engine.Config
-	topo       engine.Topology
-	lo, hi     []int
-	cacheCells int
+	cfg    engine.Config
+	topo   engine.Topology
+	lo, hi []int
+	// kv sizes every stage's paged KV cache; all ranks derive the same
+	// config so their metadata stores evolve in lock-step.
+	kv kvpage.Config
 }
 
 func buildPlan(opts *Options) (*plan, error) {
@@ -76,11 +79,11 @@ func buildPlan(opts *Options) (*plan, error) {
 	cfg := opts.CFG.Defaults()
 	splits := cost.UniformSplit(opts.ModelCfg.NLayers, len(topo.Stages))
 	p := &plan{
-		cfg:        cfg,
-		topo:       topo,
-		lo:         make([]int, len(topo.Stages)),
-		hi:         make([]int, len(topo.Stages)),
-		cacheCells: len(opts.Prompt) + cfg.MaxNew + 4*cfg.MaxSeqs*cfg.MicroBatch + 128,
+		cfg:  cfg,
+		topo: topo,
+		lo:   make([]int, len(topo.Stages)),
+		hi:   make([]int, len(topo.Stages)),
+		kv:   kvpage.Config{Cells: len(opts.Prompt) + cfg.MaxNew + 4*cfg.MaxSeqs*cfg.MicroBatch + 128},
 	}
 	acc := 0
 	for i, s := range splits {
@@ -100,7 +103,7 @@ func (p *plan) stageIdx(rank int) int {
 }
 
 func (p *plan) newWorker(target *model.Model, si int) *Worker {
-	return NewWorker(target, p.lo[si], p.hi[si], si == 0, si == len(p.topo.Stages)-1, p.cacheCells)
+	return NewWorker(target, p.lo[si], p.hi[si], si == 0, si == len(p.topo.Stages)-1, p.kv)
 }
 
 // RunRank executes one pipeline rank over the given endpoint. All ranks
@@ -143,7 +146,7 @@ func RunRank(ep comm.Endpoint, opts Options) (Outcome, error) {
 	var draft *model.Runner
 	if opts.Strategy != engine.StrategyIterative {
 		d := model.NewDraft(target, opts.DraftNoise, opts.Seed^0xd4af)
-		draft = model.NewRunner(d, p.cacheCells)
+		draft = model.NewRunner(d, p.kv.Cells)
 	}
 	bk := NewHead(draft, opts.ModelCfg.VocabSize)
 	var local engine.Worker

@@ -8,7 +8,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
-	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/token"
@@ -37,9 +37,25 @@ type ServeOptions struct {
 	// speculating, else 1).
 	SeqsPerSession int
 
+	// KVCells overrides the per-stage KV cache capacity in cells. The
+	// default provisions every session's worst case simultaneously; a
+	// smaller value oversubscribes the cache and engages the serving
+	// layer's memory-pressure protocol (speculative drop, session
+	// preemption, prefix-recompute readmission). It must cover at least
+	// one full request.
+	KVCells int
+	// KVPageSize sets the paged cache's page granularity
+	// (default kvpage.DefaultPageSize).
+	KVPageSize int
+
 	Requests []serve.Request
 	// OnToken, when non-nil, streams accepted tokens as they are sampled.
 	OnToken func(req int, tok token.Token)
+	// OnPreempt / OnReadmit, when non-nil, observe the memory-pressure
+	// protocol: a request being parked (its KV footprint evicted) and
+	// later readmitted via prefix recompute.
+	OnPreempt func(req int)
+	OnReadmit func(req int)
 }
 
 // ServeOutcome is the result of a serving run.
@@ -108,14 +124,23 @@ func buildServePlan(opts *ServeOptions) (*plan, error) {
 		}
 	}
 	splits := cost.UniformSplit(opts.ModelCfg.NLayers, len(topo.Stages))
+	// Every concurrent session can hold a full request in its canonical
+	// sequence plus in-flight speculative partitions; KVCells deliberately
+	// undersizes this to engage the memory-pressure protocol.
+	cells := opts.MaxSessions*(maxReq+4*opts.SeqsPerSession*cfg.MicroBatch) + 128
+	if opts.KVCells > 0 {
+		cells = opts.KVCells
+	}
 	p := &plan{
 		cfg:  cfg,
 		topo: topo,
 		lo:   make([]int, len(topo.Stages)),
 		hi:   make([]int, len(topo.Stages)),
-		// Every concurrent session can hold a full request in its
-		// canonical sequence plus in-flight speculative partitions.
-		cacheCells: opts.MaxSessions*(maxReq+4*opts.SeqsPerSession*cfg.MicroBatch) + 128,
+		kv: kvpage.Config{
+			Cells:     cells,
+			PageSize:  opts.KVPageSize,
+			ShardSeqs: opts.SeqsPerSession,
+		},
 	}
 	acc := 0
 	for i, s := range splits {
@@ -165,7 +190,7 @@ func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
 	var draft *model.Runner
 	if opts.Speculate {
 		d := model.NewDraft(target, opts.DraftNoise, opts.Seed^0xd4af)
-		draft = model.NewRunner(d, p.cacheCells)
+		draft = model.NewRunner(d, p.kv.Cells)
 	}
 	bk := NewHead(draft, opts.ModelCfg.VocabSize)
 	var local engine.Worker
@@ -182,7 +207,10 @@ func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
 		MaxSessions:    opts.MaxSessions,
 		SeqsPerSession: opts.SeqsPerSession,
 		Speculate:      opts.Speculate,
+		KV:             p.kv,
 		OnToken:        opts.OnToken,
+		OnPreempt:      opts.OnPreempt,
+		OnReadmit:      opts.OnReadmit,
 	}, opts.Requests)
 	if err != nil {
 		return ServeOutcome{}, err
@@ -205,8 +233,9 @@ func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
 
 // serveCacheClean asserts the serving end state: structurally consistent
 // metadata and — because every finished session removed its whole
-// namespace — an entirely empty cache.
-func serveCacheClean(c *kvcache.Cache) error {
+// namespace — an entirely empty cache with every page back on the free
+// list.
+func serveCacheClean(c *kvpage.Cache) error {
 	if err := c.CheckInvariants(); err != nil {
 		return fmt.Errorf("KV corruption: %w", err)
 	}

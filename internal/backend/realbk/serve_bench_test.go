@@ -76,3 +76,42 @@ func BenchmarkServeSerialBaseline(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
 }
+
+// BenchmarkServeThroughputPressure is the oversubscribed variant: 16
+// sessions over a KV cache sized for roughly half of them, so the
+// eviction/preemption/readmission protocol runs continuously. The
+// interesting number is the cost of staying correct under pressure
+// (prefix recompute is paid work), relative to the fully provisioned
+// sessions=16 case.
+func BenchmarkServeThroughputPressure(b *testing.B) {
+	const sessions = 16
+	reqs := serveRequests(sessions, benchServeTokens)
+	// Per-session footprint: prompt (4-6) + 32 generated ≈ 38 cells.
+	// Half-provisioned: 8 sessions' worth of 8-cell pages.
+	total := 0
+	pressure := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Serve(ServeOptions{
+			Nodes:       benchServeNodes,
+			CFG:         engine.Config{MaxNew: benchServeTokens},
+			ModelCfg:    serveModel(6),
+			Seed:        13,
+			MaxSessions: sessions,
+			KVCells:     sessions * 40 / 2,
+			KVPageSize:  8,
+			Requests:    reqs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += out.Stats.Generated
+		pressure += out.Stats.Preemptions + out.Stats.SpecDrops
+	}
+	b.StopTimer()
+	if pressure == 0 {
+		b.Fatal("pressure benchmark ran without pressure")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+	b.ReportMetric(float64(pressure)/float64(b.N), "evictions/serve")
+}

@@ -278,3 +278,111 @@ func TestDraftStreamsNoPrefixThrash(t *testing.T) {
 		}
 	}
 }
+
+// TestServeOversubscribedParity is the PR-3 memory-pressure acceptance
+// gate: the per-stage KV cache is sized for roughly half the concurrent
+// sessions, so completing all 16 requires the full eviction protocol —
+// speculative drops, preempting idle sessions (OpEvictShard down the
+// pipeline), parking, and prefix-recompute readmission — and every
+// session must still be bit-identical to its serial greedy reference.
+func TestServeOversubscribedParity(t *testing.T) {
+	const maxNew = 8
+	reqs := serveRequests(16, maxNew)
+	// One VIP request: a session never preempts a higher-priority one, so
+	// the VIP must finish without ever being parked.
+	const vip = 3
+	reqs[vip].Priority = 1
+	// Footprint per session: prompt (4-6) + 8 generated ≈ 12-14 cells = 2
+	// pages of 8. Full provisioning would need 16 sessions x 2 pages; 16
+	// pages (128 cells) fit ~8.
+	opts := ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        21,
+		MaxSessions: 16,
+		KVCells:     128,
+		KVPageSize:  8,
+		Requests:    reqs,
+	}
+	preempted := make(map[int]bool)
+	opts.OnPreempt = func(req int) { preempted[req] = true }
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tokens) != len(ref) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged from its serial reference at token %d (preempted=%v)",
+					i, j, preempted[i])
+			}
+		}
+	}
+	if out.Stats.Preemptions == 0 {
+		t.Fatal("oversubscribed serving finished without a single preemption — pressure never engaged")
+	}
+	if out.Stats.Readmissions == 0 {
+		t.Fatal("preempted sessions finished without readmission")
+	}
+	if out.Stats.Readmissions < out.Stats.Preemptions {
+		t.Fatalf("%d preemptions but only %d readmissions — a parked session leaked",
+			out.Stats.Preemptions, out.Stats.Readmissions)
+	}
+	if preempted[vip] {
+		t.Fatal("the high-priority request was preempted by lower-priority work")
+	}
+	if out.Results[vip].Stats.Preemptions != 0 {
+		t.Fatal("the high-priority session recorded a preemption")
+	}
+}
+
+// TestServeOversubscribedSpeculative runs the pressure protocol with
+// per-session speculation: speculative pages are reclaimed first
+// (OpDropSpec), sessions still park and readmit, and parity still holds.
+func TestServeOversubscribedSpeculative(t *testing.T) {
+	const maxNew = 8
+	reqs := serveRequests(8, maxNew)
+	opts := ServeOptions{
+		Nodes:          3,
+		CFG:            engine.Config{MaxNew: maxNew, SpecCutoff: 0.02},
+		ModelCfg:       serveModel(4),
+		Seed:           21,
+		Speculate:      true,
+		DraftNoise:     0.01,
+		MaxSessions:    8,
+		SeqsPerSession: 2,
+		KVCells:        96,
+		KVPageSize:     8,
+		Requests:       reqs,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged at token %d under speculative pressure", i, j)
+			}
+		}
+	}
+	if out.Stats.SpecDrops+out.Stats.Preemptions == 0 {
+		t.Fatal("speculative oversubscription never engaged the pressure protocol")
+	}
+}

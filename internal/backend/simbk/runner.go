@@ -7,6 +7,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/core"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/oracle"
 	"github.com/pipeinfer/pipeinfer/internal/simnet"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
@@ -86,7 +87,7 @@ func Run(opts Options) (Outcome, error) {
 		}
 		splits = cost.SplitLayers(opts.Pair.Target.NLayers, opts.SplitWeights)
 	}
-	cacheCells := opts.PromptLen + cfg.MaxNew + 4*cfg.MaxSeqs*cfg.MicroBatch + 256
+	kv := kvpage.Config{Cells: opts.PromptLen + cfg.MaxNew + 4*cfg.MaxSeqs*cfg.MicroBatch + 256}
 
 	k := simnet.NewKernel()
 	cl := simcomm.New(k, n, func(int) *simnet.Link { return opts.Cluster.Link.NewLink() })
@@ -104,7 +105,7 @@ func Run(opts Options) (Outcome, error) {
 		k.Spawn(fmt.Sprintf("stage%d", si), func(p *simnet.Proc) {
 			ep := cl.Bind(rank, p)
 			w := NewWorker(ep, opts.Cluster.Nodes[rank], opts.Pair.Target,
-				splits[si], si == len(topo.Stages)-1, cacheCells)
+				splits[si], si == len(topo.Stages)-1, kv)
 			w.SetTrace(opts.Trace)
 			workers[si] = w
 			if err := engine.WorkerLoop(ep, topo, w); err != nil && runErr == nil {
@@ -120,7 +121,7 @@ func Run(opts Options) (Outcome, error) {
 		var local engine.Worker
 		if topo.HeadIsStage() {
 			w := NewWorker(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Target,
-				splits[0], len(topo.Stages) == 1, cacheCells)
+				splits[0], len(topo.Stages) == 1, kv)
 			w.SetTrace(opts.Trace)
 			workers[0] = w
 			local = w

@@ -6,6 +6,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/comm/simcomm"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/oracle"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/simnet"
@@ -37,6 +38,11 @@ type ServeOptions struct {
 	// (default 4 when speculating, else 1).
 	MaxSessions    int
 	SeqsPerSession int
+	// KVCells overrides the per-stage KV capacity in cells (default:
+	// every session slot fully provisioned); undersizing engages the
+	// memory-pressure protocol. KVPageSize sets the page granularity.
+	KVCells    int
+	KVPageSize int
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
 	// Trace, when non-nil, records the full pipeline timeline.
@@ -112,7 +118,11 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 	}
 
 	splits := cost.UniformSplit(opts.Pair.Target.NLayers, len(topo.Stages))
-	cacheCells := opts.MaxSessions*(opts.PromptLen+cfg.MaxNew+4*opts.SeqsPerSession*cfg.MicroBatch) + 256
+	cells := opts.MaxSessions*(opts.PromptLen+cfg.MaxNew+4*opts.SeqsPerSession*cfg.MicroBatch) + 256
+	if opts.KVCells > 0 {
+		cells = opts.KVCells
+	}
+	kv := kvpage.Config{Cells: cells, PageSize: opts.KVPageSize, ShardSeqs: opts.SeqsPerSession}
 
 	k := simnet.NewKernel()
 	cl := simcomm.New(k, n, func(int) *simnet.Link { return opts.Cluster.Link.NewLink() })
@@ -129,7 +139,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 		k.Spawn(fmt.Sprintf("stage%d", si), func(p *simnet.Proc) {
 			ep := cl.Bind(rank, p)
 			w := NewWorker(ep, opts.Cluster.Nodes[rank], opts.Pair.Target,
-				splits[si], si == len(topo.Stages)-1, cacheCells)
+				splits[si], si == len(topo.Stages)-1, kv)
 			w.SetTrace(opts.Trace)
 			workers[si] = w
 			if err := engine.WorkerLoop(ep, topo, w); err != nil && runErr == nil {
@@ -144,7 +154,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 		var local engine.Worker
 		if topo.HeadIsStage() {
 			w := NewWorker(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Target,
-				splits[0], len(topo.Stages) == 1, cacheCells)
+				splits[0], len(topo.Stages) == 1, kv)
 			w.SetTrace(opts.Trace)
 			workers[0] = w
 			local = w
@@ -159,6 +169,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			MaxSessions:    opts.MaxSessions,
 			SeqsPerSession: opts.SeqsPerSession,
 			Speculate:      opts.Speculate,
+			KV:             kv,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,
 		}, reqs)

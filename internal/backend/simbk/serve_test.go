@@ -135,3 +135,41 @@ func TestSimServeThroughputBeatsSerial(t *testing.T) {
 			sessions, served, sessions, serial)
 	}
 }
+
+// TestSimServeOversubscribed runs the memory-pressure protocol at paper
+// scale: a KV cache sized for roughly half the 16 tenants forces
+// eviction, parking and prefix-recompute readmission in the simulator,
+// and every session must still reproduce its oracle stream exactly.
+func TestSimServeOversubscribed(t *testing.T) {
+	const maxNew = 24
+	opts := ServeOptions{
+		Cluster:     cost.ClusterC().Take(4),
+		Pair:        cost.CPUPairs()[0],
+		CFG:         engine.Config{MaxNew: maxNew},
+		Sessions:    16,
+		PromptLen:   12,
+		Seed:        5,
+		MaxSessions: 16,
+		KVCells:     320,
+		KVPageSize:  8,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref := ServeReference(opts, i, maxNew)
+		if len(res.Tokens) != len(ref) {
+			t.Fatalf("session %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("session %d deviated from its oracle stream at token %d", i, j)
+			}
+		}
+	}
+	if out.Stats.Preemptions == 0 || out.Stats.Readmissions == 0 {
+		t.Fatalf("oversubscribed sim serving recorded %d preemptions / %d readmissions — pressure never engaged",
+			out.Stats.Preemptions, out.Stats.Readmissions)
+	}
+}

@@ -15,31 +15,35 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/oracle"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
 
 // Worker simulates one pipeline stage holding a contiguous layer shard.
-// It maintains full KV cache *metadata* (slot allocation, sequence sets)
-// so the multibuffering protocol is exercised and validated at paper
-// scale; only the tensor arithmetic is replaced by virtual time.
+// It maintains full KV cache *metadata* (paged slot allocation, sequence
+// sets) so the multibuffering protocol is exercised and validated at
+// paper scale; only the tensor arithmetic is replaced by virtual time.
 type Worker struct {
 	ep     comm.Endpoint
 	node   cost.NodeSpec
 	ms     cost.ModelSpec
 	layers int
 	isLast bool
-	cache  *kvcache.Cache
+	cache  *kvpage.Cache
+	mask   kvcache.MaskBits // reusable visibility bitset, rebuilt per run
+	meta   []kvcache.TokenMeta
 	name   string
 	tr     *trace.Recorder
 }
 
-// NewWorker builds a simulated stage.
-func NewWorker(ep comm.Endpoint, node cost.NodeSpec, ms cost.ModelSpec, layers int, isLast bool, cacheCells int) *Worker {
+// NewWorker builds a simulated stage with a paged KV metadata cache
+// sized by kv.
+func NewWorker(ep comm.Endpoint, node cost.NodeSpec, ms cost.ModelSpec, layers int, isLast bool, kv kvpage.Config) *Worker {
 	return &Worker{
 		ep: ep, node: node, ms: ms, layers: layers, isLast: isLast,
-		cache: kvcache.New(cacheCells),
+		cache: kvpage.New(kv),
 		name:  fmt.Sprintf("rank%d", ep.Rank()),
 	}
 }
@@ -51,13 +55,14 @@ func (w *Worker) SetTrace(tr *trace.Recorder) { w.tr = tr }
 // probing for cancellation between chunks (§IV-D.2's synchronization
 // points). KV metadata is updated exactly as the real backend would.
 func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]byte, int, bool) {
-	cells, err := w.cache.FindSlots(run.Len())
+	cells, err := w.cache.FindSlots(run.Len(), run.Tokens[0].Seqs)
 	if err != nil {
 		panic(fmt.Sprintf("simbk: stage cache exhausted: %v", err))
 	}
 	for i, c := range cells {
 		w.cache.Occupy(c, run.Tokens[i].Pos, run.Tokens[i].Seqs)
 	}
+	w.checkVisibility(run)
 	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalBeg, run.ID,
 		fmt.Sprintf("%s batch=%d", run.Kind, run.Len()))
 	total := cost.StageTime(w.node, w.ms, w.layers, run.Len())
@@ -78,11 +83,35 @@ func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]by
 	return nil, w.ms.ActivationBytes(run.Len()), true
 }
 
+// checkVisibility rebuilds the run's attention mask from cache metadata
+// (the reusable-bitset BuildMaskInto — no per-run allocation) and asserts
+// the multibuffering visibility invariant: the token at session-local
+// position p must see exactly p+1 cells — its full shared prefix plus its
+// own entry, each position once. Prefix-sharing ops, promotions, eviction
+// and page recycling all preserve it; a violation here is metadata
+// corruption that the real backend would surface as a parity mismatch.
+func (w *Worker) checkVisibility(run *engine.RunMsg) {
+	if cap(w.meta) < run.Len() {
+		w.meta = make([]kvcache.TokenMeta, run.Len())
+	}
+	meta := w.meta[:run.Len()]
+	for i, tp := range run.Tokens {
+		meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
+	}
+	w.cache.BuildMaskInto(&w.mask, meta)
+	for i, tp := range run.Tokens {
+		if got, want := w.mask.RowOnes(i), int(tp.Pos)+1; got != want {
+			panic(fmt.Sprintf("simbk: run %d token %d at pos %d sees %d cells, want %d",
+				run.ID, i, tp.Pos, got, want))
+		}
+	}
+}
+
 // ApplyKV applies pipelined cache operations to the stage metadata.
-func (w *Worker) ApplyKV(ops []kvcache.Op) { kvcache.ApplyAll(w.cache, ops) }
+func (w *Worker) ApplyKV(ops []kvcache.Op) { w.cache.ApplyAll(ops) }
 
 // Cache exposes the metadata cache for invariant checks in tests.
-func (w *Worker) Cache() *kvcache.Cache { return w.cache }
+func (w *Worker) Cache() *kvpage.Cache { return w.cache }
 
 // MemoryBytes reports the simulated resident footprint: the weight shard
 // plus an f16 KV cache for the shard's layers.

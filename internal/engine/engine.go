@@ -350,6 +350,14 @@ type Stats struct {
 	RunsLaunched  int
 	RunsCancelled int
 	Superfluous   int
+
+	// Memory-pressure protocol counters (serving layer, PR 3): sessions
+	// whose speculative KV pages were dropped, sessions preempted (whole
+	// namespace evicted, request parked), and parked sessions readmitted
+	// by re-prefilling their accepted prefix.
+	SpecDrops    int
+	Preemptions  int
+	Readmissions int
 }
 
 // TTFT is the time-to-first-token latency (§V-A metric 2).

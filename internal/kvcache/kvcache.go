@@ -1,5 +1,9 @@
-// Package kvcache implements the llama.cpp-style key/value cache metadata
-// that PipeInfer's Pipelined KV Cache Multibuffering (§IV-C) is built on.
+// Package kvcache defines the key/value cache *metadata model* that
+// PipeInfer's Pipelined KV Cache Multibuffering (§IV-C) is built on: the
+// sequence-id space (SeqID/SeqSet), cell metadata (Cell/TokenMeta), the
+// serialisable cache-operation vocabulary (Op and its wire codec), the
+// per-session sequence Namespace partitioning, and a flat reference
+// implementation of the cell store (Cache).
 //
 // The cache is a pool of cells. Each cell records the absolute sequence
 // position of the token it holds and the *set of sequences* the entry
@@ -11,6 +15,18 @@
 // C.Pos ≤ Q.Pos (causality). Assigning each speculative run its own
 // sequence id therefore guarantees the runs cannot observe one another's
 // entries, while copied prefixes are shared without data movement.
+//
+// # The flat Cache is the reference implementation
+//
+// Since PR 3 the production cell store is internal/kvpage: a paged,
+// per-namespace-sharded cache whose sequence operations cost O(session
+// footprint) instead of O(total cache) and which supports eviction under
+// memory pressure. The flat Cache here scans every cell on every
+// operation — trivially auditable, obviously correct — and is retained as
+// the behavioural oracle: kvpage's differential property tests drive
+// identical operation sequences through both stores and require identical
+// visible-cell sets, sequence lengths and occupancy. New cache semantics
+// must land here first, then in kvpage.
 package kvcache
 
 import (
@@ -38,6 +54,29 @@ func NewSeqSet(ids ...SeqID) SeqSet {
 		s = s.Add(id)
 	}
 	return s
+}
+
+// NewSeqSetRange builds the set holding every id in [lo, hi).
+func NewSeqSetRange(lo, hi SeqID) SeqSet {
+	if lo < 0 || hi < lo || hi > MaxSeqs {
+		panic(fmt.Sprintf("kvcache: seq range [%d,%d) out of bounds", lo, hi))
+	}
+	if hi == lo {
+		return 0
+	}
+	span := SeqSet(1)<<uint(hi-lo) - 1
+	if hi-lo == MaxSeqs {
+		span = ^SeqSet(0)
+	}
+	return span << uint(lo)
+}
+
+// Min returns the smallest member id, or -1 for the empty set.
+func (s SeqSet) Min() SeqID {
+	if s == 0 {
+		return -1
+	}
+	return SeqID(bits.TrailingZeros64(uint64(s)))
 }
 
 // Add returns s with id included.
@@ -216,6 +255,28 @@ func (c *Cache) SeqKeep(seq SeqID) {
 	}
 }
 
+// RemoveSeqs strips every sequence in mask from all cells; cells left with
+// no sequences become free. It is the bulk-removal primitive behind the
+// serving layer's eviction ops (OpDropSpec clears a namespace's
+// speculative ids, OpEvictShard a whole namespace) and returns the number
+// of cells freed.
+func (c *Cache) RemoveSeqs(mask SeqSet) int {
+	freed := 0
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.Empty() || !cell.Seqs.Intersects(mask) {
+			continue
+		}
+		cell.Seqs &^= mask
+		if cell.Seqs.Empty() {
+			cell.Pos = -1
+			c.used--
+			freed++
+		}
+	}
+	return freed
+}
+
 // SeqMaxPos returns the largest position present in seq, or -1 if none.
 func (c *Cache) SeqMaxPos(seq SeqID) int32 {
 	max := int32(-1)
@@ -257,16 +318,81 @@ func (c *Cache) VisibleCells(dst []int, q TokenMeta) []int {
 	return dst
 }
 
-// BuildMask constructs the attention mask for a batch: mask[t][i] is true
-// iff batch token t may attend to cell i. The batch tokens' own cells must
-// already be occupied (the standard unified-KV convention: a token attends
-// to itself through its cache entry).
-func (c *Cache) BuildMask(batch []TokenMeta) [][]bool {
-	mask := make([][]bool, len(batch))
+// MaskBits is a reusable bitset attention mask: one row of Cols bits per
+// batch token, packed 64 cells to the word. Reset reshapes it in place,
+// reusing the backing words, so building a mask every run allocates
+// nothing in steady state — the replacement for BuildMask's per-batch
+// [][]bool.
+type MaskBits struct {
+	words []uint64
+	rows  int
+	cols  int
+	wpr   int // words per row
+}
+
+// Reset reshapes the mask to rows x cols and clears every bit.
+func (m *MaskBits) Reset(rows, cols int) {
+	m.rows, m.cols = rows, cols
+	m.wpr = (cols + 63) / 64
+	n := rows * m.wpr
+	if cap(m.words) < n {
+		m.words = make([]uint64, n)
+	}
+	m.words = m.words[:n]
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}
+
+// Rows and Cols report the current shape.
+func (m *MaskBits) Rows() int { return m.rows }
+
+// Cols reports the number of cells per row.
+func (m *MaskBits) Cols() int { return m.cols }
+
+// Set marks cell i visible to batch token t.
+func (m *MaskBits) Set(t, i int) { m.words[t*m.wpr+i/64] |= 1 << uint(i%64) }
+
+// Get reports whether cell i is visible to batch token t.
+func (m *MaskBits) Get(t, i int) bool {
+	return m.words[t*m.wpr+i/64]&(1<<uint(i%64)) != 0
+}
+
+// RowOnes counts the cells visible to batch token t.
+func (m *MaskBits) RowOnes(t int) int {
+	n := 0
+	for _, w := range m.words[t*m.wpr : (t+1)*m.wpr] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// BuildMaskInto fills dst with the attention mask for a batch:
+// dst.Get(t, i) is true iff batch token t may attend to cell i. The batch
+// tokens' own cells must already be occupied (the standard unified-KV
+// convention: a token attends to itself through its cache entry).
+func (c *Cache) BuildMaskInto(dst *MaskBits, batch []TokenMeta) {
+	dst.Reset(len(batch), len(c.cells))
 	for t, q := range batch {
+		for i := range c.cells {
+			if c.Visible(q, i) {
+				dst.Set(t, i)
+			}
+		}
+	}
+}
+
+// BuildMask is the allocating convenience form of BuildMaskInto, kept for
+// tests and one-shot callers: mask[t][i] is true iff batch token t may
+// attend to cell i.
+func (c *Cache) BuildMask(batch []TokenMeta) [][]bool {
+	var bits MaskBits
+	c.BuildMaskInto(&bits, batch)
+	mask := make([][]bool, len(batch))
+	for t := range batch {
 		row := make([]bool, len(c.cells))
 		for i := range c.cells {
-			row[i] = c.Visible(q, i)
+			row[i] = bits.Get(t, i)
 		}
 		mask[t] = row
 	}

@@ -350,3 +350,32 @@ func TestSeqAllocatorCanonicalProtected(t *testing.T) {
 	}()
 	a.Free(Canonical)
 }
+
+// TestBuildMaskIntoReuse pins the bitset mask replacement for BuildMask:
+// same visibility bits as the [][]bool form, and reshaping a MaskBits
+// reuses its backing words — the per-batch allocation the serving hot
+// path must not pay.
+func TestBuildMaskIntoReuse(t *testing.T) {
+	c := New(8)
+	s0 := NewSeqSet(0)
+	for i := 0; i < 5; i++ {
+		c.Occupy(i, int32(i), s0)
+	}
+	batch := []TokenMeta{{Pos: 2, Seqs: s0}, {Pos: 4, Seqs: s0}}
+	var mask MaskBits
+	c.BuildMaskInto(&mask, batch)
+	ref := c.BuildMask(batch)
+	for t2 := range batch {
+		for i := 0; i < c.Size(); i++ {
+			if mask.Get(t2, i) != ref[t2][i] {
+				t.Fatalf("mask bit (%d,%d) = %v, BuildMask says %v", t2, i, mask.Get(t2, i), ref[t2][i])
+			}
+		}
+	}
+	if mask.RowOnes(0) != 3 || mask.RowOnes(1) != 5 {
+		t.Fatalf("row popcounts %d/%d, want 3/5", mask.RowOnes(0), mask.RowOnes(1))
+	}
+	if allocs := testing.AllocsPerRun(50, func() { c.BuildMaskInto(&mask, batch) }); allocs != 0 {
+		t.Fatalf("BuildMaskInto allocates %.1f times after warmup, want 0", allocs)
+	}
+}

@@ -53,15 +53,19 @@ func (ns Namespace) SpecAllocator() *SeqAllocator {
 }
 
 // ValidOp reports whether a cache operation stays inside the namespace.
-// This is the serving-layer isolation contract: every op a session issues
-// must name only its own ids, and OpSeqKeep — which clears every other
-// sequence in the cache — is never valid while sessions share a cache.
+// This is the serving-layer isolation contract: every op issued on a
+// session's behalf must name only its own ids. The memory-pressure ops
+// (OpDropSpec, OpEvictShard) are valid only when they target exactly
+// this namespace; OpSeqKeep — which clears every other sequence in the
+// cache — is never valid while sessions share a cache.
 func (ns Namespace) ValidOp(o Op) bool {
 	switch o.Kind {
 	case OpSeqCp:
 		return ns.Contains(o.Src) && ns.Contains(o.Dst)
 	case OpSeqRm:
 		return ns.Contains(o.Src)
+	case OpDropSpec, OpEvictShard:
+		return o.Src == ns.Base && o.Dst == SeqID(ns.Width)
 	default:
 		return false
 	}

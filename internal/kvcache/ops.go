@@ -15,6 +15,19 @@ const (
 	OpSeqRm
 	// OpSeqKeep drops every sequence except Src.
 	OpSeqKeep
+	// OpDropSpec clears a namespace's speculative partitions: every
+	// sequence in [Src+1, Src+Dst) is removed from all cells (Src is the
+	// namespace base, Dst its width). Cells shared with the canonical
+	// sequence survive; speculative-only cells are freed. This is the
+	// serving scheduler's first memory-pressure response, broadcast down
+	// the pipeline as a KV transaction like every other cache op.
+	OpDropSpec
+	// OpEvictShard evicts a whole namespace: every sequence in
+	// [Src, Src+Dst) is removed from all cells, freeing the session's
+	// entire KV footprint. The scheduler issues it when preempting an
+	// idle session; the parked request is later readmitted by
+	// re-prefilling its accepted prefix.
+	OpEvictShard
 )
 
 // Op is one serialisable cache command.
@@ -33,10 +46,22 @@ func (o Op) String() string {
 		return fmt.Sprintf("rm(%d, [%d,%d))", o.Src, o.P0, o.P1)
 	case OpSeqKeep:
 		return fmt.Sprintf("keep(%d)", o.Src)
+	case OpDropSpec:
+		return fmt.Sprintf("dropspec(ns %d+%d)", o.Src, o.Dst)
+	case OpEvictShard:
+		return fmt.Sprintf("evict(ns %d+%d)", o.Src, o.Dst)
 	default:
 		return fmt.Sprintf("op(%d)", o.Kind)
 	}
 }
+
+// SpecSet returns the sequence set an OpDropSpec clears: the namespace's
+// non-canonical ids.
+func (o Op) SpecSet() SeqSet { return NewSeqSetRange(o.Src+1, o.Src+o.Dst) }
+
+// ShardSet returns the sequence set an OpEvictShard clears: every id of
+// the namespace.
+func (o Op) ShardSet() SeqSet { return NewSeqSetRange(o.Src, o.Src+o.Dst) }
 
 // Apply executes the op against c.
 func (o Op) Apply(c *Cache) {
@@ -47,6 +72,10 @@ func (o Op) Apply(c *Cache) {
 		c.SeqRm(o.Src, o.P0, o.P1)
 	case OpSeqKeep:
 		c.SeqKeep(o.Src)
+	case OpDropSpec:
+		c.RemoveSeqs(o.SpecSet())
+	case OpEvictShard:
+		c.RemoveSeqs(o.ShardSet())
 	default:
 		panic("kvcache: unknown op kind")
 	}

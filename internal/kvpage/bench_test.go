@@ -1,0 +1,114 @@
+package kvpage
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+)
+
+// fillSessions occupies `sessions` namespaces with `perSession` cells
+// each in the paged cache, and the identical layout in a flat reference
+// cache, returning both. Sequence ids are spread over width-4 namespaces
+// (the serving layer's speculative layout).
+func fillSessions(sessions, perSession int) (*Cache, *kvcache.Cache) {
+	const width = 4
+	paged := New(Config{Cells: sessions*perSession + 64, PageSize: 16, ShardSeqs: width})
+	flat := kvcache.New(paged.Size())
+	scratch := make([]int, 0, perSession)
+	for s := 0; s < sessions; s++ {
+		seqs := kvcache.NewSeqSet(kvcache.SeqID(s * width))
+		cells, err := paged.FindSlotsInto(scratch[:0], perSession, seqs)
+		if err != nil {
+			panic(err)
+		}
+		for i, c := range cells {
+			paged.Occupy(c, int32(i), seqs)
+		}
+		fcells, err := flat.FindSlots(perSession)
+		if err != nil {
+			panic(err)
+		}
+		for i, c := range fcells {
+			flat.Occupy(c, int32(i), seqs)
+		}
+	}
+	return paged, flat
+}
+
+// BenchmarkFindSlots measures the per-run slot-finding cost for the LAST
+// session of an N-session cache — the position where the flat cache's
+// first-fit scan must walk every other session's occupancy and the paged
+// cache walks only the target shard. The PR-3 acceptance criterion is
+// paged/16-sessions within noise of paged/1-session and ≥5x faster than
+// flat/16-sessions.
+func BenchmarkFindSlots(b *testing.B) {
+	const perSession = 256
+	for _, sessions := range []int{1, 4, 16} {
+		paged, flat := fillSessions(sessions, perSession)
+		target := kvcache.NewSeqSet(kvcache.SeqID((sessions - 1) * 4))
+		scratch := make([]int, 0, 4)
+		b.Run(fmt.Sprintf("paged/sessions=%d", sessions), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, err := paged.FindSlotsInto(scratch[:0], 1, target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				paged.Occupy(cells[0], perSession, target)
+				paged.SeqRm(target.Min(), perSession, perSession+1)
+			}
+		})
+		b.Run(fmt.Sprintf("flat/sessions=%d", sessions), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells, err := flat.FindSlotsInto(scratch[:0], 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flat.Occupy(cells[0], perSession, target)
+				flat.SeqRm(target.Min(), perSession, perSession+1)
+			}
+		})
+	}
+}
+
+// BenchmarkSeqOps measures the steady-state sequence operations a
+// serving step issues (promotion copy + cleanup remove) against one
+// session of a 16-session cache: paged cost tracks the session footprint,
+// flat cost the whole cache.
+func BenchmarkSeqOps(b *testing.B) {
+	const perSession = 256
+	paged, flat := fillSessions(16, perSession)
+	base := kvcache.SeqID(15 * 4)
+	b.Run("paged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			paged.SeqCp(base, base+1, 0, 64)
+			paged.SeqRm(base+1, 0, 1<<30)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flat.SeqCp(base, base+1, 0, 64)
+			flat.SeqRm(base+1, 0, 1<<30)
+		}
+	})
+}
+
+// BenchmarkVisibleCells measures visibility-list construction (the
+// per-token attention gather set) for a frontier query of the last
+// session.
+func BenchmarkVisibleCells(b *testing.B) {
+	const perSession = 256
+	paged, flat := fillSessions(16, perSession)
+	q := kvcache.TokenMeta{Pos: perSession - 1, Seqs: kvcache.NewSeqSet(15 * 4)}
+	dst := make([]int, 0, perSession)
+	b.Run("paged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst = paged.VisibleCells(dst[:0], q)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst = flat.VisibleCells(dst[:0], q)
+		}
+	})
+}

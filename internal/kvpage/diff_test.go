@@ -1,0 +1,254 @@
+package kvpage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+)
+
+// diffHarness drives identical operation sequences through the paged
+// cache and the flat reference cache and holds them to identical
+// observable behaviour: occupancy, per-sequence lengths and max
+// positions, and visible-cell sets (compared as position/sequence-set
+// multisets — cell numbering is an implementation detail).
+type diffHarness struct {
+	t     testing.TB
+	paged *Cache
+	flat  *kvcache.Cache
+	cfg   Config
+	// nextPos tracks a plausible next position per sequence so occupied
+	// batches look like real decode traffic (monotone per sequence).
+	nextPos [kvcache.MaxSeqs]int32
+	scratch []int
+}
+
+func newDiffHarness(t testing.TB, cfg Config) *diffHarness {
+	paged := New(cfg)
+	return &diffHarness{
+		t:     t,
+		paged: paged,
+		flat:  kvcache.New(paged.Size()),
+		cfg:   cfg,
+	}
+}
+
+func (d *diffHarness) shardWidth() int {
+	if d.cfg.ShardSeqs <= 0 || d.cfg.ShardSeqs > kvcache.MaxSeqs {
+		return kvcache.MaxSeqs
+	}
+	return d.cfg.ShardSeqs
+}
+
+// seqInShard maps (shard, lane) to a concrete sequence id.
+func (d *diffHarness) seqInShard(shard, lane int) kvcache.SeqID {
+	w := d.shardWidth()
+	return kvcache.SeqID(shard*w + lane%w)
+}
+
+func (d *diffHarness) nShards() int { return (kvcache.MaxSeqs + d.shardWidth() - 1) / d.shardWidth() }
+
+// occupyBatch places n cells for seq in both caches (same positions and
+// sequence sets; cell choice is each implementation's own). A paged
+// refusal — which can be stricter than flat thanks to page granularity —
+// skips the batch in both, keeping them in sync.
+func (d *diffHarness) occupyBatch(seq kvcache.SeqID, n int) {
+	seqs := kvcache.NewSeqSet(seq)
+	pagedCells, err := d.paged.FindSlotsInto(d.scratch[:0], n, seqs)
+	if err != nil {
+		return
+	}
+	d.scratch = pagedCells[:0]
+	flatCells, err := d.flat.FindSlots(n)
+	if err != nil {
+		d.t.Fatalf("flat refused %d cells the paged cache granted: %v", n, err)
+	}
+	for i := 0; i < n; i++ {
+		pos := d.nextPos[seq]
+		d.nextPos[seq]++
+		d.paged.Occupy(pagedCells[i], pos, seqs)
+		d.flat.Occupy(flatCells[i], pos, seqs)
+	}
+}
+
+func (d *diffHarness) apply(op kvcache.Op) {
+	op.Apply(d.flat)
+	d.paged.Apply(op)
+	if op.Kind == kvcache.OpSeqRm || op.Kind == kvcache.OpSeqKeep {
+		d.resyncNextPos()
+	}
+	if op.Kind == kvcache.OpDropSpec || op.Kind == kvcache.OpEvictShard {
+		d.resyncNextPos()
+	}
+}
+
+func (d *diffHarness) resyncNextPos() {
+	for id := kvcache.SeqID(0); id < kvcache.MaxSeqs; id++ {
+		d.nextPos[id] = d.paged.SeqMaxPos(id) + 1
+	}
+}
+
+// visKey renders a visible cell as its observable identity.
+func visKey(pos int32, seqs kvcache.SeqSet) string { return fmt.Sprintf("%d/%x", pos, uint64(seqs)) }
+
+func (d *diffHarness) compare() {
+	t := d.t
+	if err := d.paged.CheckInvariants(); err != nil {
+		t.Fatalf("paged invariants: %v", err)
+	}
+	if err := d.flat.CheckInvariants(); err != nil {
+		t.Fatalf("flat invariants: %v", err)
+	}
+	if d.paged.Used() != d.flat.Used() {
+		t.Fatalf("occupancy diverged: paged %d, flat %d", d.paged.Used(), d.flat.Used())
+	}
+	for id := kvcache.SeqID(0); id < kvcache.MaxSeqs; id++ {
+		if pl, fl := d.paged.SeqLen(id), d.flat.SeqLen(id); pl != fl {
+			t.Fatalf("seq %d length diverged: paged %d, flat %d", id, pl, fl)
+		}
+		if pm, fm := d.paged.SeqMaxPos(id), d.flat.SeqMaxPos(id); pm != fm {
+			t.Fatalf("seq %d max-pos diverged: paged %d, flat %d", id, pm, fm)
+		}
+		if d.paged.SeqLen(id) == 0 {
+			continue
+		}
+		// Visible-set equality for a query at the sequence frontier.
+		q := kvcache.TokenMeta{Pos: d.paged.SeqMaxPos(id), Seqs: kvcache.NewSeqSet(id)}
+		var pv, fv []string
+		for _, c := range d.paged.VisibleCells(nil, q) {
+			cell := d.paged.Cell(c)
+			pv = append(pv, visKey(cell.Pos, cell.Seqs))
+		}
+		for _, c := range d.flat.VisibleCells(nil, q) {
+			cell := d.flat.Cell(c)
+			fv = append(fv, visKey(cell.Pos, cell.Seqs))
+		}
+		sort.Strings(pv)
+		sort.Strings(fv)
+		if len(pv) != len(fv) {
+			t.Fatalf("seq %d visible-set size diverged: paged %d, flat %d", id, len(pv), len(fv))
+		}
+		for i := range pv {
+			if pv[i] != fv[i] {
+				t.Fatalf("seq %d visible set diverged at %d: paged %s, flat %s", id, i, pv[i], fv[i])
+			}
+		}
+		// Paged visibility must come back position-sorted.
+		last := int32(-1)
+		for _, c := range d.paged.VisibleCells(nil, q) {
+			if p := d.paged.Cell(c).Pos; p < last {
+				t.Fatalf("seq %d paged visibility out of position order", id)
+			} else {
+				last = p
+			}
+		}
+	}
+}
+
+// step decodes one pseudo-random operation and applies it to both caches.
+func (d *diffHarness) step(rng *rand.Rand, allowKeep bool) {
+	w := d.shardWidth()
+	shard := rng.Intn(min(d.nShards(), 8))
+	base := kvcache.SeqID(shard * w)
+	switch k := rng.Intn(100); {
+	case k < 45:
+		d.occupyBatch(d.seqInShard(shard, rng.Intn(w)), 1+rng.Intn(4))
+	case k < 60:
+		src := d.seqInShard(shard, rng.Intn(w))
+		dst := d.seqInShard(shard, rng.Intn(w))
+		hi := d.nextPos[src]
+		if hi <= 0 {
+			return
+		}
+		p0 := rng.Int31n(hi + 1)
+		d.apply(kvcache.Op{Kind: kvcache.OpSeqCp, Src: src, Dst: dst, P0: p0, P1: p0 + rng.Int31n(8) + 1})
+	case k < 80:
+		seq := d.seqInShard(shard, rng.Intn(w))
+		p0 := rng.Int31n(d.nextPos[seq] + 1)
+		p1 := p0 + rng.Int31n(16) + 1
+		if rng.Intn(4) == 0 {
+			p1 = 1 << 30
+		}
+		d.apply(kvcache.Op{Kind: kvcache.OpSeqRm, Src: seq, P0: p0, P1: p1})
+	case k < 88 && w > 1:
+		d.apply(kvcache.Op{Kind: kvcache.OpDropSpec, Src: base, Dst: kvcache.SeqID(w)})
+	case k < 94:
+		d.apply(kvcache.Op{Kind: kvcache.OpEvictShard, Src: base, Dst: kvcache.SeqID(w)})
+	case allowKeep:
+		d.apply(kvcache.Op{Kind: kvcache.OpSeqKeep, Src: d.seqInShard(shard, rng.Intn(w))})
+	}
+}
+
+// TestDifferentialRandomOps is the paged-vs-flat property test: long
+// random op sequences (occupy / cp / rm / keep / drop-spec / evict)
+// through both stores, with full-state comparison along the way.
+func TestDifferentialRandomOps(t *testing.T) {
+	configs := []struct {
+		name      string
+		cfg       Config
+		allowKeep bool
+	}{
+		{"multi-shard", Config{Cells: 256, PageSize: 8, ShardSeqs: 4}, false},
+		{"single-shard", Config{Cells: 128, PageSize: 16}, true},
+		{"tiny-pages", Config{Cells: 96, PageSize: 2, ShardSeqs: 8}, false},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				d := newDiffHarness(t, tc.cfg)
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 3000; i++ {
+					d.step(rng, tc.allowKeep)
+					if i%101 == 0 {
+						d.compare()
+					}
+				}
+				d.compare()
+			}
+		})
+	}
+}
+
+// FuzzDifferentialOps feeds byte-derived op streams through the harness:
+// every 3 bytes decode one operation. The fuzzer hunts for any operation
+// interleaving where the paged cache's observable state diverges from
+// the flat reference.
+func FuzzDifferentialOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x00, 0x05, 0x90, 0x01, 0x00})
+	f.Add([]byte{0x20, 0x03, 0x01, 0x55, 0x02, 0x03, 0x5e, 0x01, 0x07, 0x60, 0x00, 0x10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*512 {
+			data = data[:3*512]
+		}
+		d := newDiffHarness(t, Config{Cells: 64, PageSize: 4, ShardSeqs: 4})
+		w := 4
+		for i := 0; i+3 <= len(data); i += 3 {
+			k, a, b := data[i], data[i+1], data[i+2]
+			shard := int(a>>4) % 4
+			base := kvcache.SeqID(shard * w)
+			seq := base + kvcache.SeqID(int(a)%w)
+			switch k % 5 {
+			case 0:
+				d.occupyBatch(seq, 1+int(b)%4)
+			case 1:
+				dst := base + kvcache.SeqID(int(b)%w)
+				hi := d.nextPos[seq]
+				if hi > 0 {
+					p0 := int32(b) % hi
+					d.apply(kvcache.Op{Kind: kvcache.OpSeqCp, Src: seq, Dst: dst, P0: p0, P1: p0 + int32(k%7) + 1})
+				}
+			case 2:
+				p0 := int32(b) % (d.nextPos[seq] + 1)
+				d.apply(kvcache.Op{Kind: kvcache.OpSeqRm, Src: seq, P0: p0, P1: p0 + int32(k%11) + 1})
+			case 3:
+				d.apply(kvcache.Op{Kind: kvcache.OpDropSpec, Src: base, Dst: kvcache.SeqID(w)})
+			case 4:
+				d.apply(kvcache.Op{Kind: kvcache.OpEvictShard, Src: base, Dst: kvcache.SeqID(w)})
+			}
+		}
+		d.compare()
+	})
+}

@@ -1,0 +1,703 @@
+// Package kvpage is the paged KV cache metadata store: the production
+// implementation of the cell-metadata model defined in internal/kvcache,
+// built for multi-session serving where the flat reference cache's
+// every-operation full scans become the bottleneck.
+//
+// # Architecture
+//
+// The cell space is divided into fixed-size pages (Config.PageSize cells,
+// default 16). Pages live on a global free list and are mapped on demand
+// into shards: one shard per sequence-id namespace (Config.ShardSeqs
+// consecutive ids — the serving layer's per-session window; the default,
+// kvcache.MaxSeqs, is a single shard covering the whole id space, which
+// is what single-request engines and the draft runner use). A cell's
+// index is page*PageSize + slot, so the compute backends' K/V tensor
+// stores — which index rows by cell — address paged storage with no
+// translation layer.
+//
+// Every sequence operation (slot finding, copy/remove/keep, visibility)
+// walks only the owning shard's page list, so its cost is O(session
+// footprint) and independent of how full the rest of the cache is. The
+// cache additionally maintains per-sequence length and max-position
+// counters, updated exactly on Occupy/SeqCp/SeqRm/SeqKeep/eviction, so
+// SeqLen and SeqMaxPos are O(1); CheckInvariants asserts them against a
+// brute-force scan.
+//
+// # Eviction
+//
+// Pages whose last cell is released return to the free list immediately,
+// so one session's churn becomes another session's capacity. Two bulk
+// reclamation primitives back the serving layer's memory-pressure
+// protocol, both expressible as pipelined kvcache ops (so every stage
+// replays them in transaction order): DropSpec frees a namespace's
+// speculative-only cells (kvcache.OpDropSpec), EvictShard frees a
+// namespace's entire footprint (kvcache.OpEvictShard) so the parked
+// session can be readmitted later by re-prefilling its accepted prefix.
+//
+// # Visibility order
+//
+// VisibleCells returns cells sorted by position (ties by cell index),
+// not by cell index as the flat reference does. Attention accumulates
+// floating-point sums in visible-cell order, so position order makes a
+// session's attention arithmetic identical to its serial single-runner
+// reference regardless of how pages were recycled, evicted and
+// reallocated in between — the property the serving layer's bit-identical
+// parity gates depend on.
+package kvpage
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+)
+
+// DefaultPageSize is the page granularity used when Config.PageSize is 0.
+const DefaultPageSize = 16
+
+// Config sizes a paged cache.
+type Config struct {
+	// Cells is the requested capacity; it is rounded up to a whole number
+	// of pages.
+	Cells int
+	// PageSize is the number of cells per page (default DefaultPageSize).
+	PageSize int
+	// ShardSeqs is the number of consecutive sequence ids per shard: the
+	// serving layer passes its per-session namespace width so every
+	// session's footprint lives in its own shard. 0 (the default) means
+	// one shard spanning all kvcache.MaxSeqs ids.
+	ShardSeqs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = DefaultPageSize
+	}
+	if c.ShardSeqs <= 0 || c.ShardSeqs > kvcache.MaxSeqs {
+		c.ShardSeqs = kvcache.MaxSeqs
+	}
+	if c.Cells <= 0 {
+		c.Cells = c.PageSize
+	}
+	return c
+}
+
+const noPage = int32(-1)
+
+// shard is one namespace's slice of the cache: the pages it owns plus a
+// free-cell count so capacity checks are O(1).
+type shard struct {
+	pages []int32 // owned pages, scan order
+	free  int     // free cells across owned pages
+}
+
+// Cache is the paged cell-metadata store. It implements the same
+// operation vocabulary as the flat kvcache.Cache reference; the
+// differential property tests in this package hold the two to identical
+// observable behaviour.
+type Cache struct {
+	pageSize  int
+	shardSeqs int
+	cells     []kvcache.Cell
+	pageOwner []int32 // per page: owning shard, -1 when free
+	pageUsed  []int32 // per page: occupied cells
+	freePages []int32 // stack of unowned pages
+	shards    []shard
+	used      int
+
+	seqLen [kvcache.MaxSeqs]int32
+	seqMax [kvcache.MaxSeqs]int32
+}
+
+// New creates a paged cache. Capacity is rounded up to whole pages; Size
+// reports the rounded value.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	nPages := (cfg.Cells + cfg.PageSize - 1) / cfg.PageSize
+	nShards := (kvcache.MaxSeqs + cfg.ShardSeqs - 1) / cfg.ShardSeqs
+	c := &Cache{
+		pageSize:  cfg.PageSize,
+		shardSeqs: cfg.ShardSeqs,
+		cells:     make([]kvcache.Cell, nPages*cfg.PageSize),
+		pageOwner: make([]int32, nPages),
+		pageUsed:  make([]int32, nPages),
+		freePages: make([]int32, 0, nPages),
+		shards:    make([]shard, nShards),
+	}
+	for i := range c.cells {
+		c.cells[i].Pos = -1
+	}
+	for p := nPages - 1; p >= 0; p-- {
+		c.pageOwner[p] = noPage
+		c.freePages = append(c.freePages, int32(p))
+	}
+	for i := range c.seqMax {
+		c.seqMax[i] = -1
+	}
+	return c
+}
+
+// NewCells is shorthand for a default-page single-shard cache with at
+// least n cells — the drop-in replacement for kvcache.New in single-
+// session contexts.
+func NewCells(n int) *Cache { return New(Config{Cells: n}) }
+
+// Size returns the total number of cells (page-aligned capacity).
+func (c *Cache) Size() int { return len(c.cells) }
+
+// PageSize returns the cells-per-page granularity.
+func (c *Cache) PageSize() int { return c.pageSize }
+
+// Used returns the number of occupied cells.
+func (c *Cache) Used() int { return c.used }
+
+// Cell returns a copy of cell i's metadata.
+func (c *Cache) Cell(i int) kvcache.Cell { return c.cells[i] }
+
+// shardOf maps a sequence set to its owning shard. All ids of one set
+// must live in one namespace window — the serving isolation contract.
+func (c *Cache) shardOf(seqs kvcache.SeqSet) int {
+	min := seqs.Min()
+	if min < 0 {
+		panic("kvpage: empty sequence set has no shard")
+	}
+	return int(min) / c.shardSeqs
+}
+
+// shardOfSeq maps one sequence id to its shard.
+func (c *Cache) shardOfSeq(seq kvcache.SeqID) int { return int(seq) / c.shardSeqs }
+
+// shardBase returns the first sequence id of shard s.
+func (c *Cache) shardBase(s int) kvcache.SeqID { return kvcache.SeqID(s * c.shardSeqs) }
+
+// shardSet returns the sequence-id window of shard s as a bitset.
+func (c *Cache) shardSet(s int) kvcache.SeqSet {
+	lo := c.shardBase(s)
+	hi := lo + kvcache.SeqID(c.shardSeqs)
+	if hi > kvcache.MaxSeqs {
+		hi = kvcache.MaxSeqs
+	}
+	return kvcache.NewSeqSetRange(lo, hi)
+}
+
+// Clear empties every cell and returns every page to the free list.
+func (c *Cache) Clear() {
+	for i := range c.cells {
+		c.cells[i] = kvcache.Cell{Pos: -1}
+	}
+	c.freePages = c.freePages[:0]
+	for p := len(c.pageOwner) - 1; p >= 0; p-- {
+		c.pageOwner[p] = noPage
+		c.pageUsed[p] = 0
+		c.freePages = append(c.freePages, int32(p))
+	}
+	for s := range c.shards {
+		c.shards[s].pages = c.shards[s].pages[:0]
+		c.shards[s].free = 0
+	}
+	for i := range c.seqLen {
+		c.seqLen[i] = 0
+		c.seqMax[i] = -1
+	}
+	c.used = 0
+}
+
+// FreeCells reports the cache-wide free capacity (free cells inside
+// mapped pages plus unmapped pages).
+func (c *Cache) FreeCells() int {
+	n := len(c.freePages) * c.pageSize
+	for s := range c.shards {
+		n += c.shards[s].free
+	}
+	return n
+}
+
+// CanPlace reports whether n cells can be found for the shard owning
+// seqs without evicting anyone: free cells already mapped to the shard
+// plus whole pages still on the free list.
+func (c *Cache) CanPlace(seqs kvcache.SeqSet, n int) bool {
+	sh := &c.shards[c.shardOf(seqs)]
+	return sh.free+len(c.freePages)*c.pageSize >= n
+}
+
+// ShardUsed reports the occupied-cell footprint of the shard owning seqs.
+func (c *Cache) ShardUsed(seqs kvcache.SeqSet) int {
+	sh := &c.shards[c.shardOf(seqs)]
+	return len(sh.pages)*c.pageSize - sh.free
+}
+
+// FindSlots locates n free cells for the shard owning seqs and returns
+// their indices without occupying them (allocating convenience form).
+func (c *Cache) FindSlots(n int, seqs kvcache.SeqSet) ([]int, error) {
+	return c.FindSlotsInto(make([]int, 0, n), n, seqs)
+}
+
+// FindSlotsInto finds n free cells for the shard owning seqs, appending
+// into a caller-provided slice (typically scratch[:0]) — the
+// allocation-free variant the decode hot path uses every run. Partially
+// filled pages already owned by the shard are consumed first (scan
+// order), then whole pages are mapped from the free list. The caller must
+// Occupy every returned cell before the next FindSlots; mapped pages stay
+// with the shard until their cells drain. Only the owning shard's pages
+// are ever touched: cost is O(session footprint), not O(cache).
+func (c *Cache) FindSlotsInto(dst []int, n int, seqs kvcache.SeqSet) ([]int, error) {
+	si := c.shardOf(seqs)
+	sh := &c.shards[si]
+	if sh.free+len(c.freePages)*c.pageSize < n {
+		return nil, fmt.Errorf("kvpage: need %d cells for shard %d, have %d shard-free + %d unmapped pages of %d",
+			n, si, sh.free, len(c.freePages), c.pageSize)
+	}
+	found := 0
+	for _, p := range sh.pages {
+		if found == n {
+			break
+		}
+		if c.pageUsed[p] == int32(c.pageSize) {
+			continue
+		}
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize && found < n; s++ {
+			if c.cells[base+s].Empty() {
+				dst = append(dst, base+s)
+				found++
+			}
+		}
+	}
+	for found < n {
+		p := c.mapPage(si)
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize && found < n; s++ {
+			dst = append(dst, base+s)
+			found++
+		}
+	}
+	return dst, nil
+}
+
+// mapPage pops a page off the free list and hands it to shard si.
+func (c *Cache) mapPage(si int) int32 {
+	k := len(c.freePages)
+	if k == 0 {
+		panic("kvpage: mapPage with empty free list")
+	}
+	p := c.freePages[k-1]
+	c.freePages = c.freePages[:k-1]
+	c.pageOwner[p] = int32(si)
+	c.shards[si].pages = append(c.shards[si].pages, p)
+	c.shards[si].free += c.pageSize
+	return p
+}
+
+// unmapPage returns a drained page from shard si to the free list.
+func (c *Cache) unmapPage(si int, p int32) {
+	sh := &c.shards[si]
+	for i, q := range sh.pages {
+		if q == p {
+			sh.pages[i] = sh.pages[len(sh.pages)-1]
+			sh.pages = sh.pages[:len(sh.pages)-1]
+			break
+		}
+	}
+	sh.free -= c.pageSize
+	c.pageOwner[p] = noPage
+	c.freePages = append(c.freePages, p)
+}
+
+// Occupy claims cell i for a token at position pos belonging to seqs. The
+// cell's page must already be mapped to the owning shard (FindSlots does
+// this). Occupying a non-empty cell is a bug in the caller and panics.
+func (c *Cache) Occupy(i int, pos int32, seqs kvcache.SeqSet) {
+	if seqs.Empty() {
+		panic("kvpage: Occupy with empty sequence set")
+	}
+	if !c.cells[i].Empty() {
+		panic(fmt.Sprintf("kvpage: Occupy of non-empty cell %d", i))
+	}
+	p := int32(i / c.pageSize)
+	si := c.shardOf(seqs)
+	if c.pageOwner[p] != int32(si) {
+		panic(fmt.Sprintf("kvpage: cell %d belongs to shard %d, token to shard %d",
+			i, c.pageOwner[p], si))
+	}
+	c.cells[i] = kvcache.Cell{Pos: pos, Seqs: seqs}
+	c.pageUsed[p]++
+	c.shards[si].free--
+	c.used++
+	for s := seqs; s != 0; {
+		id := s.Min()
+		s = s.Remove(id)
+		c.seqLen[id]++
+		if pos > c.seqMax[id] {
+			c.seqMax[id] = pos
+		}
+	}
+}
+
+// release frees occupied cell i of shard si, unmapping its page when it
+// drains. Counters for the cell's sequences are the caller's business.
+func (c *Cache) release(si int, i int) {
+	c.cells[i] = kvcache.Cell{Pos: -1}
+	p := int32(i / c.pageSize)
+	c.pageUsed[p]--
+	c.shards[si].free++
+	c.used--
+	if c.pageUsed[p] == 0 {
+		c.unmapPage(si, p)
+	}
+}
+
+// SeqCp adds sequence dst to every cell that belongs to src with position
+// in [p0, p1) — the metadata-only "copy" behind multibuffering's buffer
+// swap and prefix sharing. Only src's shard is scanned; src and dst must
+// live in the same shard. It returns the number of cells affected.
+func (c *Cache) SeqCp(src, dst kvcache.SeqID, p0, p1 int32) int {
+	si := c.shardOfSeq(src)
+	if c.shardOfSeq(dst) != si {
+		panic(fmt.Sprintf("kvpage: SeqCp %d->%d crosses shards", src, dst))
+	}
+	sh := &c.shards[si]
+	n := 0
+	for _, p := range sh.pages {
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Empty() || !cell.Seqs.Has(src) || cell.Pos < p0 || cell.Pos >= p1 {
+				continue
+			}
+			if !cell.Seqs.Has(dst) {
+				cell.Seqs = cell.Seqs.Add(dst)
+				n++
+				c.seqLen[dst]++
+				if cell.Pos > c.seqMax[dst] {
+					c.seqMax[dst] = cell.Pos
+				}
+			}
+		}
+	}
+	return n
+}
+
+// SeqRm removes sequence seq from cells with position in [p0, p1); cells
+// left with no sequences free (and drained pages unmap). The shard is
+// scanned once, recomputing seq's length and max-pos exactly. It returns
+// the number of cells freed.
+func (c *Cache) SeqRm(seq kvcache.SeqID, p0, p1 int32) int {
+	si := c.shardOfSeq(seq)
+	sh := &c.shards[si]
+	freed := 0
+	remain := int32(0)
+	remainMax := int32(-1)
+	for pi := 0; pi < len(sh.pages); pi++ {
+		p := sh.pages[pi]
+		base := int(p) * c.pageSize
+		drained := false
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Empty() || !cell.Seqs.Has(seq) {
+				continue
+			}
+			if cell.Pos < p0 || cell.Pos >= p1 {
+				remain++
+				if cell.Pos > remainMax {
+					remainMax = cell.Pos
+				}
+				continue
+			}
+			cell.Seqs = cell.Seqs.Remove(seq)
+			if cell.Seqs.Empty() {
+				cell.Pos = -1
+				c.pageUsed[p]--
+				sh.free++
+				c.used--
+				freed++
+				drained = c.pageUsed[p] == 0
+			}
+		}
+		if drained {
+			// unmapPage swap-removes sh.pages[pi]; revisit the slot.
+			c.unmapPage(si, p)
+			pi--
+		}
+	}
+	c.seqLen[seq] = remain
+	c.seqMax[seq] = remainMax
+	return freed
+}
+
+// SeqKeep removes every sequence except seq from all cells of every
+// shard; cells not in seq free. The single-request engines use it to
+// collapse back to the canonical sequence (it is forbidden while sessions
+// share a cache — kvcache.Namespace.ValidOp).
+func (c *Cache) SeqKeep(seq kvcache.SeqID) {
+	for si := range c.shards {
+		sh := &c.shards[si]
+		for pi := 0; pi < len(sh.pages); pi++ {
+			p := sh.pages[pi]
+			base := int(p) * c.pageSize
+			drained := false
+			for s := 0; s < c.pageSize; s++ {
+				cell := &c.cells[base+s]
+				if cell.Empty() {
+					continue
+				}
+				if cell.Seqs.Has(seq) {
+					cell.Seqs = kvcache.NewSeqSet(seq)
+					continue
+				}
+				cell.Seqs = 0
+				cell.Pos = -1
+				c.pageUsed[p]--
+				sh.free++
+				c.used--
+				drained = c.pageUsed[p] == 0
+			}
+			if drained {
+				c.unmapPage(si, p)
+				pi--
+			}
+		}
+	}
+	for id := range c.seqLen {
+		if kvcache.SeqID(id) != seq {
+			c.seqLen[id] = 0
+			c.seqMax[id] = -1
+		}
+	}
+}
+
+// RemoveSeqs strips every sequence in mask from all cells of the mask's
+// shard, freeing cells left with no sequences — the primitive behind the
+// eviction ops. All ids in mask must live in one shard. It returns the
+// number of cells freed.
+func (c *Cache) RemoveSeqs(mask kvcache.SeqSet) int {
+	if mask.Empty() {
+		return 0
+	}
+	si := c.shardOf(mask)
+	if mask&^c.shardSet(si) != 0 {
+		panic(fmt.Sprintf("kvpage: RemoveSeqs mask %#x crosses shard %d", uint64(mask), si))
+	}
+	sh := &c.shards[si]
+	freed := 0
+	for pi := 0; pi < len(sh.pages); pi++ {
+		p := sh.pages[pi]
+		base := int(p) * c.pageSize
+		drained := false
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Empty() || !cell.Seqs.Intersects(mask) {
+				continue
+			}
+			cell.Seqs &^= mask
+			if cell.Seqs.Empty() {
+				cell.Pos = -1
+				c.pageUsed[p]--
+				sh.free++
+				c.used--
+				freed++
+				drained = c.pageUsed[p] == 0
+			}
+		}
+		if drained {
+			c.unmapPage(si, p)
+			pi--
+		}
+	}
+	for s := mask; s != 0; {
+		id := s.Min()
+		s = s.Remove(id)
+		c.seqLen[id] = 0
+		c.seqMax[id] = -1
+	}
+	return freed
+}
+
+// DropSpec frees a namespace's speculative-only cells, keeping everything
+// the canonical sequence still references (kvcache.OpDropSpec applied
+// locally). It returns the number of cells freed.
+func (c *Cache) DropSpec(ns kvcache.Namespace) int {
+	return c.RemoveSeqs(ns.Set().Remove(ns.Canonical()))
+}
+
+// EvictShard frees a namespace's entire footprint, returning all of its
+// pages to the free list (kvcache.OpEvictShard applied locally). It
+// returns the number of cells freed.
+func (c *Cache) EvictShard(ns kvcache.Namespace) int { return c.RemoveSeqs(ns.Set()) }
+
+// SeqMaxPos returns the largest position present in seq, or -1 if none —
+// O(1) from the maintained counter.
+func (c *Cache) SeqMaxPos(seq kvcache.SeqID) int32 { return c.seqMax[seq] }
+
+// SeqLen returns the number of cells belonging to seq — O(1) from the
+// maintained counter.
+func (c *Cache) SeqLen(seq kvcache.SeqID) int { return int(c.seqLen[seq]) }
+
+// Visible reports whether a query token described by q may attend to cell
+// i: they must share a sequence and the cell must not be in the query's
+// future.
+func (c *Cache) Visible(q kvcache.TokenMeta, i int) bool {
+	cell := c.cells[i]
+	return !cell.Empty() && cell.Seqs.Intersects(q.Seqs) && cell.Pos <= q.Pos
+}
+
+// VisibleCells appends to dst the indices of all cells visible to q —
+// scanning only q's shard — sorted by position (ties by cell index), and
+// returns the extended slice. See the package comment for why position
+// order, not cell order, is the contract.
+func (c *Cache) VisibleCells(dst []int, q kvcache.TokenMeta) []int {
+	start := len(dst)
+	sh := &c.shards[c.shardOf(q.Seqs)]
+	for _, p := range sh.pages {
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize; s++ {
+			if c.Visible(q, base+s) {
+				dst = append(dst, base+s)
+			}
+		}
+	}
+	// Insertion sort by (pos, cell): page scans yield nearly sorted runs
+	// (sessions fill pages in position order), so this is close to O(n)
+	// in practice and allocation-free always.
+	for i := start + 1; i < len(dst); i++ {
+		ci := dst[i]
+		pi := c.cells[ci].Pos
+		j := i - 1
+		for j >= start && (c.cells[dst[j]].Pos > pi || (c.cells[dst[j]].Pos == pi && dst[j] > ci)) {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = ci
+	}
+	return dst
+}
+
+// BuildMaskInto fills dst with the attention mask for a batch:
+// dst.Get(t, i) is true iff batch token t may attend to cell i. Rows span
+// the whole cell space (mask consumers index by global cell id) but only
+// each token's shard is scanned to set bits.
+func (c *Cache) BuildMaskInto(dst *kvcache.MaskBits, batch []kvcache.TokenMeta) {
+	dst.Reset(len(batch), len(c.cells))
+	for t, q := range batch {
+		sh := &c.shards[c.shardOf(q.Seqs)]
+		for _, p := range sh.pages {
+			base := int(p) * c.pageSize
+			for s := 0; s < c.pageSize; s++ {
+				if c.Visible(q, base+s) {
+					dst.Set(t, base+s)
+				}
+			}
+		}
+	}
+}
+
+// Apply executes one pipelined cache op against the paged store — the
+// kvpage counterpart of kvcache.Op.Apply.
+func (c *Cache) Apply(o kvcache.Op) {
+	switch o.Kind {
+	case kvcache.OpSeqCp:
+		c.SeqCp(o.Src, o.Dst, o.P0, o.P1)
+	case kvcache.OpSeqRm:
+		c.SeqRm(o.Src, o.P0, o.P1)
+	case kvcache.OpSeqKeep:
+		c.SeqKeep(o.Src)
+	case kvcache.OpDropSpec:
+		c.RemoveSeqs(o.SpecSet())
+	case kvcache.OpEvictShard:
+		c.RemoveSeqs(o.ShardSet())
+	default:
+		panic("kvpage: unknown op kind")
+	}
+}
+
+// ApplyAll executes ops in order against c.
+func (c *Cache) ApplyAll(ops []kvcache.Op) {
+	for _, o := range ops {
+		c.Apply(o)
+	}
+}
+
+// CheckInvariants validates internal consistency: cell/counter agreement,
+// page accounting, shard ownership (every occupied cell's sequences lie
+// inside its page's shard window), free-list integrity, and the
+// per-sequence length/max-pos counters against a brute-force scan.
+func (c *Cache) CheckInvariants() error {
+	var bruteLen [kvcache.MaxSeqs]int32
+	var bruteMax [kvcache.MaxSeqs]int32
+	for i := range bruteMax {
+		bruteMax[i] = -1
+	}
+	used := 0
+	for p := range c.pageOwner {
+		base := p * c.pageSize
+		pUsed := int32(0)
+		for s := 0; s < c.pageSize; s++ {
+			cell := c.cells[base+s]
+			switch {
+			case cell.Empty() && cell.Pos != -1:
+				return fmt.Errorf("kvpage: cell %d empty but pos=%d", base+s, cell.Pos)
+			case !cell.Empty() && cell.Pos < 0:
+				return fmt.Errorf("kvpage: cell %d occupied but pos=%d", base+s, cell.Pos)
+			}
+			if cell.Empty() {
+				continue
+			}
+			pUsed++
+			used++
+			owner := c.pageOwner[p]
+			if owner == noPage {
+				return fmt.Errorf("kvpage: occupied cell %d on free page %d", base+s, p)
+			}
+			if cell.Seqs&^c.shardSet(int(owner)) != 0 {
+				return fmt.Errorf("kvpage: cell %d seqs %#x escape shard %d",
+					base+s, uint64(cell.Seqs), owner)
+			}
+			for ss := cell.Seqs; ss != 0; {
+				id := ss.Min()
+				ss = ss.Remove(id)
+				bruteLen[id]++
+				if cell.Pos > bruteMax[id] {
+					bruteMax[id] = cell.Pos
+				}
+			}
+		}
+		if pUsed != c.pageUsed[p] {
+			return fmt.Errorf("kvpage: page %d used counter %d != actual %d", p, c.pageUsed[p], pUsed)
+		}
+		if c.pageOwner[p] == noPage && pUsed != 0 {
+			return fmt.Errorf("kvpage: free page %d has %d occupied cells", p, pUsed)
+		}
+	}
+	if used != c.used {
+		return fmt.Errorf("kvpage: used counter %d != actual %d", c.used, used)
+	}
+	for id := range c.seqLen {
+		if c.seqLen[id] != bruteLen[id] {
+			return fmt.Errorf("kvpage: seq %d len counter %d != brute-force %d", id, c.seqLen[id], bruteLen[id])
+		}
+		if c.seqMax[id] != bruteMax[id] {
+			return fmt.Errorf("kvpage: seq %d max-pos counter %d != brute-force %d", id, c.seqMax[id], bruteMax[id])
+		}
+	}
+	mapped := 0
+	for si := range c.shards {
+		sh := &c.shards[si]
+		free := 0
+		for _, p := range sh.pages {
+			if c.pageOwner[p] != int32(si) {
+				return fmt.Errorf("kvpage: shard %d lists page %d owned by %d", si, p, c.pageOwner[p])
+			}
+			free += c.pageSize - int(c.pageUsed[p])
+			if c.pageUsed[p] == 0 {
+				return fmt.Errorf("kvpage: shard %d holds drained page %d", si, p)
+			}
+		}
+		if free != sh.free {
+			return fmt.Errorf("kvpage: shard %d free counter %d != actual %d", si, sh.free, free)
+		}
+		mapped += len(sh.pages)
+	}
+	if mapped+len(c.freePages) != len(c.pageOwner) {
+		return fmt.Errorf("kvpage: %d mapped + %d free pages != %d total",
+			mapped, len(c.freePages), len(c.pageOwner))
+	}
+	return nil
+}

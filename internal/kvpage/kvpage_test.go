@@ -1,0 +1,290 @@
+package kvpage
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+)
+
+func checkInv(t *testing.T, c *Cache) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRounding(t *testing.T) {
+	c := New(Config{Cells: 17, PageSize: 16})
+	if c.Size() != 32 {
+		t.Fatalf("17 cells at page 16 should round to 32, got %d", c.Size())
+	}
+	if c.FreeCells() != 32 {
+		t.Fatalf("fresh cache should be all free, got %d", c.FreeCells())
+	}
+	checkInv(t, c)
+}
+
+// TestShardMappingAndRelease drives one shard through map/drain cycles:
+// pages are pulled from the free list on demand and return the moment
+// their last cell frees, so another shard can reuse them.
+func TestShardMappingAndRelease(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 4})
+	s0 := kvcache.NewSeqSet(0) // shard 0
+	s1 := kvcache.NewSeqSet(4) // shard 1
+
+	cells, err := c.FindSlots(10, s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		c.Occupy(cell, int32(i), s0)
+	}
+	checkInv(t, c)
+	if got := c.ShardUsed(s0); got != 10 {
+		t.Fatalf("shard 0 used %d, want 10", got)
+	}
+	if got := c.SeqLen(0); got != 10 {
+		t.Fatalf("seq 0 len %d, want 10", got)
+	}
+	if got := c.SeqMaxPos(0); got != 9 {
+		t.Fatalf("seq 0 max %d, want 9", got)
+	}
+
+	// Cross-shard isolation: shard 1 allocates distinct pages.
+	cells1, err := c.FindSlots(4, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells1 {
+		c.Occupy(cell, int32(i), s1)
+		if cell/8 == cells[0]/8 {
+			t.Fatalf("shard 1 cell %d shares page with shard 0", cell)
+		}
+	}
+	checkInv(t, c)
+
+	// Drain shard 0: both its pages must return to the free list.
+	if freed := c.SeqRm(0, 0, 1<<30); freed != 10 {
+		t.Fatalf("freed %d, want 10", freed)
+	}
+	checkInv(t, c)
+	if got := c.ShardUsed(s0); got != 0 {
+		t.Fatalf("drained shard still uses %d cells", got)
+	}
+	if c.SeqMaxPos(0) != -1 || c.SeqLen(0) != 0 {
+		t.Fatal("drained seq counters not reset")
+	}
+	if c.FreeCells() != c.Size()-4 {
+		t.Fatalf("free %d, want %d", c.FreeCells(), c.Size()-4)
+	}
+}
+
+// TestCapacityIsPerShard pins the pressure semantics: a shard cannot
+// claim cells of pages mapped to other shards, even when those pages are
+// mostly empty.
+func TestCapacityIsPerShard(t *testing.T) {
+	c := New(Config{Cells: 32, PageSize: 16, ShardSeqs: 32})
+	s0 := kvcache.NewSeqSet(0)
+	s1 := kvcache.NewSeqSet(32) // shard 1
+	// One token per shard: each maps one page.
+	for _, s := range []kvcache.SeqSet{s0, s1} {
+		cells, err := c.FindSlots(1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Occupy(cells[0], 0, s)
+	}
+	if c.CanPlace(s0, 16) {
+		t.Fatal("shard 0 cannot hold 16 more cells: 15 in its page, none unmapped")
+	}
+	if !c.CanPlace(s0, 15) {
+		t.Fatal("shard 0 should hold 15 more cells in its partial page")
+	}
+	if _, err := c.FindSlots(16, s0); err == nil {
+		t.Fatal("expected per-shard exhaustion")
+	}
+}
+
+func TestEvictionPrimitives(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 4})
+	ns := kvcache.NamespaceFor(1, 4) // seqs 4..7
+	canon := kvcache.NewSeqSet(ns.Canonical())
+
+	// Canonical prefix of 6 cells, spec chain of 3 in seq 5 sharing it.
+	cells, err := c.FindSlots(6, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		c.Occupy(cell, int32(i), canon)
+	}
+	c.SeqCp(ns.Canonical(), 5, 0, 6)
+	spec := kvcache.NewSeqSet(5)
+	sc, err := c.FindSlots(3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range sc {
+		c.Occupy(cell, int32(6+i), spec)
+	}
+	checkInv(t, c)
+
+	// DropSpec frees only the spec-only cells; the shared prefix stays.
+	if freed := c.DropSpec(ns); freed != 3 {
+		t.Fatalf("DropSpec freed %d, want 3", freed)
+	}
+	checkInv(t, c)
+	if got := c.SeqLen(ns.Canonical()); got != 6 {
+		t.Fatalf("canonical len %d after DropSpec, want 6", got)
+	}
+	if c.SeqLen(5) != 0 || c.SeqMaxPos(5) != -1 {
+		t.Fatal("spec seq counters not cleared")
+	}
+
+	// EvictShard frees everything and returns the pages.
+	if freed := c.EvictShard(ns); freed != 6 {
+		t.Fatalf("EvictShard freed %d, want 6", freed)
+	}
+	checkInv(t, c)
+	if c.Used() != 0 || c.FreeCells() != c.Size() {
+		t.Fatal("eviction left occupancy behind")
+	}
+
+	// The same primitives via wire ops.
+	for i, cell := range mustSlots(t, c, 2, canon) {
+		c.Occupy(cell, int32(i), canon)
+	}
+	c.Apply(kvcache.Op{Kind: kvcache.OpEvictShard, Src: ns.Base, Dst: kvcache.SeqID(ns.Width)})
+	if c.Used() != 0 {
+		t.Fatal("OpEvictShard left cells")
+	}
+	checkInv(t, c)
+}
+
+func mustSlots(t *testing.T, c *Cache, n int, seqs kvcache.SeqSet) []int {
+	t.Helper()
+	cells, err := c.FindSlots(n, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// TestVisibleCellsPositionOrder pins the visibility-order contract:
+// whatever order pages were allocated and recycled in, VisibleCells
+// yields ascending positions — the order the serial reference runner
+// accumulates attention in.
+func TestVisibleCellsPositionOrder(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 4})
+	canon := kvcache.NewSeqSet(0)
+	// Occupy 8 cells at positions 0..7, free the middle ones, then
+	// re-occupy positions 8..11: page recycling now interleaves high
+	// positions into low cell indices.
+	for i, cell := range mustSlots(t, c, 8, canon) {
+		c.Occupy(cell, int32(i), canon)
+	}
+	c.SeqRm(0, 2, 6)
+	for i, cell := range mustSlots(t, c, 4, canon) {
+		c.Occupy(cell, int32(8+i), canon)
+	}
+	checkInv(t, c)
+
+	vis := c.VisibleCells(nil, kvcache.TokenMeta{Pos: 11, Seqs: canon})
+	want := []int32{0, 1, 6, 7, 8, 9, 10, 11}
+	if len(vis) != len(want) {
+		t.Fatalf("visible %d cells, want %d", len(vis), len(want))
+	}
+	for i, cell := range vis {
+		if c.Cell(cell).Pos != want[i] {
+			t.Fatalf("visible[%d] has pos %d, want %d", i, c.Cell(cell).Pos, want[i])
+		}
+	}
+}
+
+func TestBuildMaskIntoShardIsolation(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 4})
+	a := kvcache.NewSeqSet(0)
+	b := kvcache.NewSeqSet(4)
+	for i, cell := range mustSlots(t, c, 3, a) {
+		c.Occupy(cell, int32(i), a)
+	}
+	for i, cell := range mustSlots(t, c, 5, b) {
+		c.Occupy(cell, int32(i), b)
+	}
+	var mask kvcache.MaskBits
+	c.BuildMaskInto(&mask, []kvcache.TokenMeta{
+		{Pos: 2, Seqs: a},
+		{Pos: 4, Seqs: b},
+	})
+	if got := mask.RowOnes(0); got != 3 {
+		t.Fatalf("shard-0 query sees %d cells, want 3", got)
+	}
+	if got := mask.RowOnes(1); got != 5 {
+		t.Fatalf("shard-1 query sees %d cells, want 5", got)
+	}
+	// No cross-shard visibility, bit by bit.
+	for i := 0; i < c.Size(); i++ {
+		if mask.Get(0, i) && mask.Get(1, i) {
+			t.Fatalf("cell %d visible to both namespaces", i)
+		}
+	}
+}
+
+// TestSeqCpCountersExact drives copy/remove interleavings and checks the
+// O(1) counters stay exact (CheckInvariants holds them to a brute-force
+// scan).
+func TestSeqCpCountersExact(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 8})
+	canon := kvcache.NewSeqSet(0)
+	for i, cell := range mustSlots(t, c, 12, canon) {
+		c.Occupy(cell, int32(i), canon)
+	}
+	c.SeqCp(0, 3, 4, 9)
+	if got := c.SeqLen(3); got != 5 {
+		t.Fatalf("seq 3 len %d, want 5", got)
+	}
+	if got := c.SeqMaxPos(3); got != 8 {
+		t.Fatalf("seq 3 max %d, want 8", got)
+	}
+	checkInv(t, c)
+	c.SeqRm(3, 8, 9)
+	if got := c.SeqMaxPos(3); got != 7 {
+		t.Fatalf("seq 3 max %d after rm, want 7", got)
+	}
+	checkInv(t, c)
+	c.SeqKeep(0)
+	if c.SeqLen(3) != 0 || c.SeqLen(0) != 12 {
+		t.Fatal("SeqKeep counters wrong")
+	}
+	checkInv(t, c)
+}
+
+// TestFindSlotsAllocFree pins the hot path: steady-state slot finding,
+// occupancy and removal allocate nothing.
+func TestFindSlotsAllocFree(t *testing.T) {
+	c := New(Config{Cells: 256, PageSize: 16, ShardSeqs: 4})
+	seqs := kvcache.NewSeqSet(8)
+	scratch := make([]int, 0, 4)
+	// Warm the shard page list.
+	cells, err := c.FindSlotsInto(scratch[:0], 4, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		c.Occupy(cell, int32(i), seqs)
+	}
+	c.SeqRm(8, 0, 1<<30)
+	allocs := testing.AllocsPerRun(100, func() {
+		cs, err := c.FindSlotsInto(scratch[:0], 4, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cell := range cs {
+			c.Occupy(cell, int32(i), seqs)
+		}
+		c.SeqRm(8, 0, 1<<30)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %.1f times, want 0", allocs)
+	}
+}

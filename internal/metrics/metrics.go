@@ -58,11 +58,17 @@ type Agg struct {
 	Acceptance Summary // fraction
 	PerNodeGiB Summary // mean resident GiB per node
 	Cancelled  Summary // cancelled runs per generation
+
+	// Memory-pressure protocol counters per run (serving layer, PR 3).
+	SpecDrops    Summary // speculative footprints dropped
+	Preemptions  Summary // sessions parked (namespace evicted)
+	Readmissions Summary // parked sessions readmitted (prefix recompute)
 }
 
 // Collector accumulates repetition results for one condition.
 type Collector struct {
 	speed, ttft, itl, acc, mem, cancelled []float64
+	specDrops, preempts, readmits         []float64
 }
 
 // Add records one generation's stats and per-node memory bytes.
@@ -72,6 +78,9 @@ func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
 	c.itl = append(c.itl, s.ITL().Seconds())
 	c.acc = append(c.acc, s.AcceptanceRate())
 	c.cancelled = append(c.cancelled, float64(s.RunsCancelled))
+	c.specDrops = append(c.specDrops, float64(s.SpecDrops))
+	c.preempts = append(c.preempts, float64(s.Preemptions))
+	c.readmits = append(c.readmits, float64(s.Readmissions))
 	if len(perNodeMem) > 0 {
 		var sum float64
 		for _, m := range perNodeMem {
@@ -87,13 +96,23 @@ func (c *Collector) N() int { return len(c.speed) }
 // Agg summarises the collected repetitions.
 func (c *Collector) Agg() Agg {
 	return Agg{
-		Speed:      Summarize(c.speed),
-		TTFT:       Summarize(c.ttft),
-		ITL:        Summarize(c.itl),
-		Acceptance: Summarize(c.acc),
-		PerNodeGiB: Summarize(c.mem),
-		Cancelled:  Summarize(c.cancelled),
+		Speed:        Summarize(c.speed),
+		TTFT:         Summarize(c.ttft),
+		ITL:          Summarize(c.itl),
+		Acceptance:   Summarize(c.acc),
+		PerNodeGiB:   Summarize(c.mem),
+		Cancelled:    Summarize(c.cancelled),
+		SpecDrops:    Summarize(c.specDrops),
+		Preemptions:  Summarize(c.preempts),
+		Readmissions: Summarize(c.readmits),
 	}
+}
+
+// PressureEvents reports the mean number of memory-pressure events
+// (speculative drops plus preemptions) per run — an unbounded count, not
+// a rate.
+func (a Agg) PressureEvents() float64 {
+	return a.SpecDrops.Mean + a.Preemptions.Mean
 }
 
 // SpeedPerGiB is Fig 7a's memory-efficiency metric: generation speed

@@ -339,7 +339,12 @@ func TestBytesAccounting(t *testing.T) {
 func TestRunnerSlotExhaustion(t *testing.T) {
 	m := tinyModel(t, 12)
 	r := NewRunner(m, 2)
-	if _, err := r.EvalSeq([]token.Token{1, 2, 3}, 0, 0); err == nil {
+	// Capacity rounds up to a whole page; one token past it must fail.
+	toks := make([]token.Token, r.Cache.Size()+1)
+	for i := range toks {
+		toks[i] = token.Token(i % 9)
+	}
+	if _, err := r.EvalSeq(toks, 0, 0); err == nil {
 		t.Fatal("expected slot exhaustion error")
 	}
 }

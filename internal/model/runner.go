@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
@@ -18,19 +19,22 @@ import (
 // single-token evaluation allocates nothing (see TestDecodeStepAllocs).
 type Runner struct {
 	M     *Model
-	Cache *kvcache.Cache
+	Cache *kvpage.Cache
 	Store *KVStore
 
 	sc     *Scratch
 	oneTok []token.Token // Greedy's single-token batch, reused
 }
 
-// NewRunner creates a runner with an nCells-cell cache.
+// NewRunner creates a runner with a single-shard paged cache of at least
+// nCells cells (rounded up to whole pages; the KV store matches the
+// rounded size so every cell indexes a tensor row).
 func NewRunner(m *Model, nCells int) *Runner {
+	cache := kvpage.NewCells(nCells)
 	return &Runner{
 		M:      m,
-		Cache:  kvcache.New(nCells),
-		Store:  NewKVStore(m.Cfg, 0, m.Cfg.NLayers, nCells),
+		Cache:  cache,
+		Store:  NewKVStore(m.Cfg, 0, m.Cfg.NLayers, cache.Size()),
 		sc:     NewScratch(m.Cfg),
 		oneTok: make([]token.Token, 1),
 	}
@@ -44,7 +48,7 @@ func (r *Runner) PrepareBatch(toks []token.Token, meta []kvcache.TokenMeta) (*Ba
 	if len(toks) != len(meta) {
 		return nil, fmt.Errorf("model: %d tokens vs %d metadata entries", len(toks), len(meta))
 	}
-	cells, err := r.Cache.FindSlots(len(toks))
+	cells, err := r.Cache.FindSlots(len(toks), meta[0].Seqs)
 	if err != nil {
 		return nil, err
 	}

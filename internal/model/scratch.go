@@ -2,6 +2,7 @@ package model
 
 import (
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
@@ -83,13 +84,14 @@ func ensureMat(dst *tensor.Mat, rows, cols int) {
 	dst.Data = dst.Data[:rows*cols]
 }
 
-// BatchFor assembles the evaluation batch for toks/meta against cache:
-// it finds and occupies cache cells and computes per-token visibility,
-// all into reused scratch storage. The returned batch (and its slices)
-// alias the scratch and are valid until the next BatchFor call.
-func (s *Scratch) BatchFor(cache *kvcache.Cache, toks []token.Token, meta []kvcache.TokenMeta) (*Batch, error) {
+// BatchFor assembles the evaluation batch for toks/meta against the paged
+// cache: it finds and occupies cache cells (in the shard owning the batch's
+// sequences) and computes per-token visibility, all into reused scratch
+// storage. The returned batch (and its slices) alias the scratch and are
+// valid until the next BatchFor call.
+func (s *Scratch) BatchFor(cache *kvpage.Cache, toks []token.Token, meta []kvcache.TokenMeta) (*Batch, error) {
 	n := len(toks)
-	cells, err := cache.FindSlotsInto(s.cells[:0], n)
+	cells, err := cache.FindSlotsInto(s.cells[:0], n, meta[0].Seqs)
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,32 @@
 // and hand the slot to the next queued request — continuous session
 // scheduling with no pipeline flush between requests.
 //
+// # Memory pressure (PR 3)
+//
+// Stage KV caches are paged (internal/kvpage) and may be oversubscribed:
+// MaxSessions can exceed what the cache holds simultaneously. The
+// scheduler mirrors the stages' paged metadata in a head-side shadow
+// cache (Config.KV) — every stage replays the head's transaction stream
+// in order, so the shadow is a conservative upper bound on any stage's
+// occupancy — and gates every launch on it. When a launch would not fit:
+//
+//  1. drop speculative pages pipeline-wide (kvcache.OpDropSpec per
+//     session: unverified chains are discarded, their runs cancelled,
+//     their cells freed on every stage — speculation is optional work);
+//  2. preempt the lowest-priority idle session (no runs in flight):
+//     kvcache.OpEvictShard frees its entire namespace and the request is
+//     parked, keeping its slot and accepted tokens but zero KV;
+//  3. a parked session is readmitted once the cells for its full prefix
+//     are free without evicting anyone: it re-prefills prompt+generated
+//     tokens (prefix recompute), which reproduces the exact cache state
+//     it was evicted with — greedy output stays bit-identical to the
+//     uninterrupted run.
+//
+// Speculative launches never trigger eviction; they are simply skipped
+// under pressure. Victims are chosen lowest Request.Priority first
+// (ties: largest footprint) and only at or below the requester's
+// priority.
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
@@ -61,6 +87,7 @@ import (
 
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -70,6 +97,11 @@ type Request struct {
 	// MaxNew is the number of tokens to generate (defaults to the engine
 	// config's MaxNew).
 	MaxNew int
+	// Priority orders sessions under memory pressure: when the scheduler
+	// must preempt, it parks the idle session with the lowest priority
+	// first, and a session never evicts one of higher priority. 0 is the
+	// default class.
+	Priority int
 }
 
 // Result is one request's outcome.
@@ -99,6 +131,16 @@ type Config struct {
 	// OnToken, when non-nil, streams every accepted token as it is
 	// sampled, tagged with the request index.
 	OnToken func(req int, tok token.Token)
+	// KV mirrors the stage caches' paged layout at the head: the shadow
+	// cache admission control runs against. KV.Cells == 0 disables
+	// memory-pressure handling (the scheduler then assumes stages are
+	// provisioned for the worst case, as pre-PR-3 callers did).
+	KV kvpage.Config
+	// OnPreempt / OnReadmit, when non-nil, observe the memory-pressure
+	// protocol: a request parked (KV footprint evicted pipeline-wide) and
+	// a parked request readmitted via prefix recompute.
+	OnPreempt func(req int)
+	OnReadmit func(req int)
 }
 
 // Normalize fills the derived session-layout defaults: slot count
@@ -127,6 +169,10 @@ const (
 	statePrefill sessState = iota
 	stateDecode
 	stateDrain
+	// stateParked: the session was preempted — its whole KV namespace
+	// evicted on every stage — and waits, holding its slot and accepted
+	// tokens, until the cells for its full prefix are free again.
+	stateParked
 )
 
 // pendingTok is one speculated-but-unverified token in a session's chain
@@ -150,9 +196,14 @@ type session struct {
 	accepted []token.Token
 	prompt   int
 	maxNew   int
+	priority int
 
 	state       sessState
 	wantNonSpec bool
+	// readmitted marks a prefill as a post-preemption prefix recompute:
+	// its sampled token is a timed mid-stream acceptance, not the
+	// untimed prompt-sampled one.
+	readmitted bool
 
 	pending []pendingTok
 	cutoff  float32
@@ -184,11 +235,21 @@ type Scheduler struct {
 
 	total int // accepted tokens across all sessions
 
+	// kv is the head-side shadow of every stage's paged KV metadata (nil
+	// when Config.KV is unset): launches occupy it, KV transactions apply
+	// to it, and admission control reads it. Because stages replay the
+	// head's transaction stream in order — and skip occupancy only for
+	// runs cancelled in flight — the shadow is a conservative (never
+	// under-counting) bound on any stage's occupancy at the matching
+	// point of the stream, which is what makes its CanPlace verdicts safe.
+	kv *kvpage.Cache
+
 	// Reusable scratch: all uses are synchronous within one step.
 	msgPool []*engine.RunMsg
 	ops     []kvcache.Op
 	victims []*engine.Run
 	ctx     []token.Token
+	kvCells []int
 }
 
 // New validates the configuration and builds a scheduler over h. The head
@@ -214,6 +275,14 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		if r.MaxNew <= 0 {
 			reqs[i].MaxNew = h.CFG.MaxNew
 		}
+		if cfg.KV.Cells > 0 {
+			// Oversubscription is fine — preemption parks whole sessions —
+			// but a single request that cannot fit alone can never finish.
+			if need := len(r.Prompt) + reqs[i].MaxNew; need > cfg.KV.Cells {
+				return nil, fmt.Errorf("serve: request %d needs %d KV cells but capacity is %d",
+					i, need, cfg.KV.Cells)
+			}
+		}
 		totalNew += reqs[i].MaxNew
 	}
 	s := &Scheduler{
@@ -223,6 +292,12 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		results: make([]Result, len(reqs)),
 		slots:   make([]*session, cfg.MaxSessions),
 		specCap: max(2, h.CFG.MaxInflight/cfg.MaxSessions),
+	}
+	if cfg.KV.Cells > 0 {
+		// The shadow must partition shards exactly like the stages do.
+		cfg.KV.ShardSeqs = cfg.SeqsPerSession
+		s.cfg.KV = cfg.KV
+		s.kv = kvpage.New(cfg.KV)
 	}
 	// Aggregate acceptance timestamps never outgrow this, keeping the
 	// per-token Sampled call allocation-free.
@@ -269,7 +344,7 @@ func (s *Scheduler) Step() error {
 	if s.h.Inflight() > 0 {
 		return s.handleResult()
 	}
-	return fmt.Errorf("serve: scheduler stalled with %d/%d requests done", s.done, len(s.reqs))
+	return fmt.Errorf("serve: scheduler stalled with %d/%d requests done (KV capacity too small for one session's footprint?)", s.done, len(s.reqs))
 }
 
 // admit moves queued requests into free session slots.
@@ -296,6 +371,7 @@ func (s *Scheduler) admit() {
 			accepted: make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
 			prompt:   len(req.Prompt),
 			maxNew:   req.MaxNew,
+			priority: req.Priority,
 			cutoff:   s.h.CFG.SpecCutoff,
 		}
 		copy(sess.accepted, req.Prompt)
@@ -335,7 +411,20 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		if s.inflight(sess) > 0 {
 			return false
 		}
+		// Canonical prefill may preempt to make room: admission is
+		// mandatory work.
+		if !s.ensureRoom(sess, sess.prompt) {
+			return false
+		}
 		s.launchPrefill(sess)
+		return true
+	case stateParked:
+		// Readmission never evicts anyone: wait until the full accepted
+		// prefix fits in genuinely free cells, then recompute it.
+		if !s.roomFor(sess, len(sess.accepted)) {
+			return false
+		}
+		s.launchReadmit(sess)
 		return true
 	case stateDecode:
 		// A freshly sampled token always feeds straight back into the
@@ -343,6 +432,9 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		// restarted the same way — the per-session analogue of the core
 		// engine's "pipeline non-empty while tokens remain" invariant.
 		if sess.wantNonSpec || s.inflight(sess) == 0 {
+			if !s.ensureRoom(sess, 1) {
+				return false // wantNonSpec persists; retried next step
+			}
 			sess.wantNonSpec = false
 			s.launchNonSpec(sess)
 			return true
@@ -352,6 +444,149 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		}
 	}
 	return false
+}
+
+// roomFor reports whether n cells fit the session's shard without any
+// reclamation (always true without a shadow cache).
+func (s *Scheduler) roomFor(sess *session, n int) bool {
+	return s.kv == nil || s.kv.CanPlace(sess.canonSet, n)
+}
+
+// ensureRoom makes room for an n-cell canonical launch, escalating
+// through the memory-pressure protocol: free space, then dropping
+// speculative pages pipeline-wide, then preempting idle sessions in
+// priority order. It reports whether the launch may proceed.
+func (s *Scheduler) ensureRoom(sess *session, n int) bool {
+	if s.roomFor(sess, n) {
+		return true
+	}
+	// Stage 1: speculation is optional work — reclaim every session's
+	// unverified chains (including the requester's own).
+	for _, other := range s.slots {
+		if other == nil || other.state != stateDecode {
+			continue
+		}
+		if s.dropSpecPages(other) && s.roomFor(sess, n) {
+			return true
+		}
+	}
+	if s.roomFor(sess, n) {
+		return true
+	}
+	// Stage 2: preempt idle sessions, lowest priority first, never one
+	// strictly more important than the requester.
+	for {
+		victim := s.pickVictim(sess)
+		if victim == nil {
+			return false
+		}
+		s.preempt(victim)
+		if s.roomFor(sess, n) {
+			return true
+		}
+	}
+}
+
+// dropSpecPages discards a session's speculative state end to end: the
+// pending chain is dropped, its in-flight speculative runs are cancelled,
+// and one OpDropSpec transaction frees the namespace's non-canonical
+// cells on the shadow and every stage. It reports whether anything was
+// reclaimed.
+func (s *Scheduler) dropSpecPages(sess *session) bool {
+	hasSpecRuns := sess.alloc != nil && sess.alloc.Available() < sess.ns.Width-1
+	if len(sess.pending) == 0 && !hasSpecRuns {
+		return false
+	}
+	s.dropPending(sess)
+	// Cancel any remaining speculative runs (fully verified ones no
+	// longer carry pending tokens, so dropPending missed them).
+	victims := s.victims[:0]
+	for i := 0; i < s.h.Inflight(); i++ {
+		r := s.h.InflightAt(i)
+		if int(r.Msg.Session) == sess.slot && !r.Cancelled && r.Msg.Kind == engine.KindSpec {
+			victims = append(victims, r)
+		}
+	}
+	s.victims = victims
+	s.cancelFor(sess, victims)
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpDropSpec,
+		Src: sess.ns.Base, Dst: kvcache.SeqID(sess.ns.Width)})
+	s.ops = ops[:0]
+	s.sendKV(ops)
+	sess.stats.SpecDrops++
+	s.h.Stats.SpecDrops++
+	return true
+}
+
+// pickVictim selects the session to preempt for requester: idle (no runs
+// in flight), decoding, holding KV pages, at most the requester's
+// priority — the lowest-priority such session, largest footprint on ties.
+func (s *Scheduler) pickVictim(requester *session) *session {
+	var victim *session
+	vUsed := 0
+	for _, cand := range s.slots {
+		if cand == nil || cand == requester || cand.state != stateDecode {
+			continue
+		}
+		if cand.priority > requester.priority || s.inflight(cand) != 0 {
+			continue
+		}
+		used := s.kv.ShardUsed(cand.canonSet)
+		if used == 0 {
+			continue
+		}
+		if victim == nil || cand.priority < victim.priority ||
+			(cand.priority == victim.priority && used > vUsed) {
+			victim, vUsed = cand, used
+		}
+	}
+	return victim
+}
+
+// preempt parks an idle session: one OpEvictShard transaction frees its
+// whole namespace on the shadow and every stage, and the session waits in
+// stateParked for prefix-recompute readmission. Accepted tokens, the
+// slot and the namespace assignment are all retained — only KV is given
+// up.
+func (s *Scheduler) preempt(victim *session) {
+	victim.pending = victim.pending[:0]
+	victim.wantNonSpec = false
+	victim.state = stateParked
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpEvictShard,
+		Src: victim.ns.Base, Dst: kvcache.SeqID(victim.ns.Width)})
+	s.ops = ops[:0]
+	s.sendKV(ops)
+	victim.stats.Preemptions++
+	s.h.Stats.Preemptions++
+	if s.cfg.OnPreempt != nil {
+		s.cfg.OnPreempt(victim.req)
+	}
+}
+
+// launchReadmit re-prefills a parked session's full accepted prefix
+// (prompt plus everything generated before preemption). Recomputing the
+// prefix rebuilds exactly the canonical cache state the session was
+// evicted with, and the prefill's sampled token is the next token of the
+// uninterrupted greedy stream.
+func (s *Scheduler) launchReadmit(sess *session) {
+	n := len(sess.accepted)
+	msg := s.getMsg(n)
+	msg.Kind = engine.KindPrefill
+	msg.Seq = sess.ns.Canonical()
+	msg.Session = uint16(sess.slot)
+	for i := 0; i < n; i++ {
+		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
+	}
+	sess.state = statePrefill
+	sess.readmitted = true
+	sess.cutoff = s.h.CFG.SpecCutoff
+	s.launch(msg, nil, nil)
+	sess.stats.RunsLaunched++
+	sess.stats.Readmissions++
+	s.h.Stats.Readmissions++
+	if s.cfg.OnReadmit != nil {
+		s.cfg.OnReadmit(sess.req)
+	}
 }
 
 // getMsg returns a pooled run message with n token slots.
@@ -377,6 +612,33 @@ func (s *Scheduler) putMsg(m *engine.RunMsg) {
 	s.msgPool = append(s.msgPool, m)
 }
 
+// launch mirrors the run into the shadow cache — its KV ops, then one
+// occupied cell per token — and hands it to the head. ensureRoom/roomFor
+// have already guaranteed the cells exist.
+func (s *Scheduler) launch(msg *engine.RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *engine.Run {
+	if s.kv != nil {
+		s.kv.ApplyAll(msg.KVOps)
+		cells, err := s.kv.FindSlotsInto(s.kvCells[:0], len(msg.Tokens), msg.Tokens[0].Seqs)
+		if err != nil {
+			panic(fmt.Sprintf("serve: shadow cache underprovisioned for admitted launch: %v", err))
+		}
+		s.kvCells = cells[:0]
+		for i, c := range cells {
+			s.kv.Occupy(c, msg.Tokens[i].Pos, msg.Tokens[i].Seqs)
+		}
+	}
+	return s.h.Launch(msg, ctx, seqs)
+}
+
+// sendKV applies a KV transaction to the shadow cache and ships it down
+// the pipeline.
+func (s *Scheduler) sendKV(ops []kvcache.Op) {
+	if s.kv != nil {
+		s.kv.ApplyAll(ops)
+	}
+	s.h.SendKV(ops)
+}
+
 func (s *Scheduler) launchPrefill(sess *session) {
 	msg := s.getMsg(sess.prompt)
 	msg.Kind = engine.KindPrefill
@@ -385,7 +647,7 @@ func (s *Scheduler) launchPrefill(sess *session) {
 	for i := 0; i < sess.prompt; i++ {
 		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
 	}
-	s.h.Launch(msg, nil, nil)
+	s.launch(msg, nil, nil)
 	sess.stats.RunsLaunched++
 }
 
@@ -402,7 +664,7 @@ func (s *Scheduler) launchNonSpec(sess *session) {
 		// alias the session buffer instead of snapshotting.
 		ctx = sess.accepted[: a-1 : a-1]
 	}
-	s.h.Launch(msg, ctx, nil)
+	s.launch(msg, ctx, nil)
 	sess.stats.RunsLaunched++
 }
 
@@ -441,6 +703,12 @@ func (s *Scheduler) trySpeculate(sess *session) bool {
 		if sess.cutoff < 0.02 {
 			sess.cutoff = 0.02
 		}
+		return false
+	}
+
+	// Speculation is optional work: under memory pressure it is skipped,
+	// never allowed to trigger eviction.
+	if !s.roomFor(sess, len(toks)) {
 		return false
 	}
 
@@ -484,7 +752,7 @@ func (s *Scheduler) trySpeculate(sess *session) bool {
 			runCtx[a+i] = pt.tok
 		}
 	}
-	run := s.h.Launch(msg, runCtx, []kvcache.SeqID{seq})
+	run := s.launch(msg, runCtx, []kvcache.SeqID{seq})
 	msg.KVOps = nil // ops scratch is reused; Launch consumed them
 	sess.stats.RunsLaunched++
 	for _, t := range toks {
@@ -521,7 +789,7 @@ func (s *Scheduler) handleResult() error {
 	case stateDecode:
 		err = s.onDecode(sess, run, res, ok)
 	case stateDrain:
-		s.h.SendKV(s.appendCleanup(sess, run, s.ops[:0]))
+		s.sendKV(s.appendCleanup(sess, run, s.ops[:0]))
 	}
 
 	// The run record and its message are ours alone now (pending tokens
@@ -542,16 +810,24 @@ func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results
 	if !ok || run.Cancelled {
 		return fmt.Errorf("serve: prefill cancelled for request %d", sess.req)
 	}
+	readmit := sess.readmitted
+	sess.readmitted = false
 	now := s.h.EP.Now()
-	sess.stats.PrefillDone = now
-	if s.h.Stats.PrefillDone == 0 {
-		s.h.Stats.PrefillDone = now
+	if !readmit {
+		// A readmission prefill is mid-generation: the original prefill
+		// timestamp (and TTFT anchor) stands.
+		sess.stats.PrefillDone = now
+		if s.h.Stats.PrefillDone == 0 {
+			s.h.Stats.PrefillDone = now
+		}
 	}
 	sess.state = stateDecode
-	// The prompt-sampled token counts as generated but not as a timed
-	// acceptance: TTFT anchors at prefill completion, mirroring the
-	// single-request engines.
-	s.accept(sess, res.Next(sess.prompt-1), true)
+	// The token sampled off the prefill's last position is the next
+	// greedy token. For a first prefill it counts as generated but not as
+	// a timed acceptance (TTFT anchors at prefill completion, mirroring
+	// the single-request engines); for a prefix-recompute readmission it
+	// is an ordinary mid-stream acceptance.
+	s.accept(sess, res.Next(run.Msg.Len()-1), !readmit)
 	if sess.generated() >= sess.maxNew {
 		s.enterDrain(sess)
 	} else {
@@ -566,7 +842,7 @@ func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results
 func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results, ok bool) error {
 	ops := s.ops[:0]
 	if !ok || run.Cancelled {
-		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		s.sendKV(s.appendCleanup(sess, run, ops))
 		return nil
 	}
 
@@ -578,13 +854,13 @@ func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results,
 	if base+l < a {
 		sess.stats.Superfluous++
 		s.h.Stats.Superfluous++
-		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		s.sendKV(s.appendCleanup(sess, run, ops))
 		return nil
 	}
 	// Invalidated: an input token conflicts with the session's accepted
 	// sequence or its (possibly rewritten) pending chain.
 	if !s.inputsValid(sess, run) {
-		s.h.SendKV(s.appendCleanup(sess, run, ops))
+		s.sendKV(s.appendCleanup(sess, run, ops))
 		return nil
 	}
 
@@ -634,7 +910,7 @@ func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results,
 	ops = s.appendCleanup(sess, run, ops)
 	// Promotions and cleanups must be issued before any dependent launch:
 	// transaction order is what makes later runs see the promoted cells.
-	s.h.SendKV(ops)
+	s.sendKV(ops)
 	s.scanSession(sess)
 	if sess.generated() >= sess.maxNew {
 		s.enterDrain(sess)
@@ -781,7 +1057,7 @@ func (s *Scheduler) finalize(sess *session) {
 			Src: sess.ns.Base + kvcache.SeqID(i), P0: 0, P1: 1 << 30})
 	}
 	s.ops = ops[:0]
-	s.h.SendKV(ops)
+	s.sendKV(ops)
 	sess.stats.Done = s.h.EP.Now()
 	sess.stats.Generated = sess.generated()
 	s.results[sess.req] = Result{Tokens: sess.accepted[sess.prompt:], Stats: sess.stats}

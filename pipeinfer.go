@@ -101,8 +101,13 @@ type ServeOutcome = realbk.ServeOutcome
 // Serve runs the multi-request serving layer on the real backend: the
 // pipeline is built once and every queued request is admitted to a
 // session slot as one frees up, each session's output remaining
-// bit-identical to its serial greedy reference. See internal/serve for
-// the session/namespace contract.
+// bit-identical to its serial greedy reference. Stage KV caches are
+// paged (internal/kvpage) and may be oversubscribed via
+// ServeOptions.KVCells: under memory pressure the scheduler drops
+// speculative pages, preempts idle sessions (evicting their KV
+// pipeline-wide), and readmits parked requests by recomputing their
+// prefix — still bit-identical. See internal/serve for the
+// session/namespace contract and the pressure protocol.
 func Serve(opts ServeOptions) (ServeOutcome, error) { return realbk.Serve(opts) }
 
 // SimulateServeOptions configures a simulated multi-tenant serving run
