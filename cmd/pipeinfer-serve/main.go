@@ -13,6 +13,12 @@
 //	pipeinfer-serve -sessions 16 -slots 16 -kv-cells 128 -kv-page 8
 //	                                                       # oversubscribed KV: eviction +
 //	                                                       # preemption + readmission engage
+//	pipeinfer-serve -sessions 16 -slots 16 -batch 4        # cross-session batching: up to 4
+//	                                                       # sessions' steps coalesce into one
+//	                                                       # multi-row pipeline run
+//	pipeinfer-serve -batch 8 -batch-window 2               # hold a partial batch up to 2
+//	                                                       # scheduler steps while the
+//	                                                       # pipeline is busy
 package main
 
 import (
@@ -42,11 +48,13 @@ func main() {
 		sim       = flag.Bool("sim", false, "serve on the simulated 70B-scale cluster instead")
 		kvCells   = flag.Int("kv-cells", 0, "per-stage KV capacity in cells (0 = fully provisioned; smaller values oversubscribe and engage eviction/preemption)")
 		kvPage    = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16)")
+		batchSz   = flag.Int("batch", 0, "cross-session batching: coalesce up to this many sessions' steps into one multi-row pipeline run (0/1 = off)")
+		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
 	)
 	flag.Parse()
 
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, *batchSz, *batchWin)
 		return
 	}
 
@@ -74,6 +82,8 @@ func main() {
 		MaxSessions: *slots,
 		KVCells:     *kvCells,
 		KVPageSize:  *kvPage,
+		MaxBatch:    *batchSz,
+		BatchWindow: *batchWin,
 		Requests:    reqs,
 	}
 	if *stream {
@@ -119,6 +129,10 @@ func main() {
 		out.Stats.RunsLaunched, out.Stats.RunsCancelled)
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
+	if out.Stats.BatchedRuns > 0 {
+		fmt.Printf("batching: %d multi-session runs, mean width %.1f, %d rows masked out in flight\n",
+			out.Stats.BatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
+	}
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
 		os.Exit(1)
@@ -128,7 +142,7 @@ func main() {
 
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage int) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin int) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:     pipeinfer.ClusterC().Take(nodes),
 		Pair:        pipeinfer.CPUPairs()[0],
@@ -140,6 +154,8 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		MaxSessions: slots,
 		KVCells:     kvCells,
 		KVPageSize:  kvPage,
+		MaxBatch:    batchSz,
+		BatchWindow: batchWin,
 	})
 	if err != nil {
 		fatal(err)
@@ -155,6 +171,10 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		out.Stats.Speed(), out.Stats.AcceptanceRate()*100)
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
+	if out.Stats.BatchedRuns > 0 {
+		fmt.Printf("batching: %d multi-session runs, mean width %.1f, %d rows masked out in flight\n",
+			out.Stats.BatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
+	}
 }
 
 func fatal(err error) {

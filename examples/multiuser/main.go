@@ -10,12 +10,17 @@
 //  1. serially, one pipeline rebuilt per request (no serving layer);
 //  2. served concurrently on the real backend, verifying every session
 //     against its single-model greedy reference;
-//  3. served with the KV cache oversubscribed (-kv-cells/-kv-page), so
+//  3. served with cross-session batching (-batch/-batch-window): up to
+//     -batch users' decode steps coalesce into one multi-row pipeline
+//     run, amortising per-run overhead, with outputs still bit-identical
+//     to each user's solo run;
+//  4. served with the KV cache oversubscribed (-kv-cells/-kv-page), so
 //     sessions are preempted — their pages evicted pipeline-wide — and
 //     readmitted by recomputing their prefix, with outputs still
 //     bit-identical;
-//  4. served at 70B scale on the simulated cluster, where the
-//     pipeline-fill win is measured in exact virtual time.
+//  5. served at 70B scale on the simulated cluster, where the
+//     pipeline-fill and batch-amortisation wins are measured in exact
+//     virtual time.
 package main
 
 import (
@@ -39,6 +44,8 @@ func main() {
 	// for step 3), -kv-page sets the page granularity.
 	kvCells := flag.Int("kv-cells", 0, "per-stage KV capacity in cells for the oversubscribed run (0 = half the fully provisioned size)")
 	kvPage := flag.Int("kv-page", 8, "KV page size in cells")
+	batchSz := flag.Int("batch", 4, "cross-session batch width for the batched run (sessions coalesced per pipeline run)")
+	batchWin := flag.Int("batch-window", 0, "scheduler steps a partial batch may wait while the pipeline is busy")
 	flag.Parse()
 	cfg := pipeinfer.TinyModel()
 	cfg.NLayers = 6
@@ -107,7 +114,42 @@ func main() {
 	}
 	fmt.Println("every user's output is bit-identical to their solo greedy run")
 
-	// 3. Oversubscribed KV: a cache too small to hold every user at once.
+	// 3. Cross-session batching: every user's single-token decode steps
+	// coalesce into shared multi-row pipeline runs (up to -batch users per
+	// run), paying the per-run overhead — wire header, FIFO record, KV
+	// transaction, stage wakeup — once per batch instead of once per user.
+	// Per-row sequence sets keep attention per-user-isolated, so outputs
+	// must not change by a bit.
+	batchStart := time.Now()
+	batched, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:       nodes,
+		CFG:         engine.Config{MaxNew: tokens},
+		ModelCfg:    cfg,
+		Seed:        42,
+		MaxSessions: users,
+		MaxBatch:    *batchSz,
+		BatchWindow: *batchWin,
+		Requests:    reqs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchedWall := time.Since(batchStart)
+	for i := range reqs {
+		if len(batched.Results[i].Tokens) != len(out.Results[i].Tokens) {
+			log.Fatalf("user %d got a different answer under batching", i)
+		}
+		for j, tok := range out.Results[i].Tokens {
+			if batched.Results[i].Tokens[j] != tok {
+				log.Fatalf("user %d got a different answer under batching", i)
+			}
+		}
+	}
+	fmt.Printf("\ncross-session batching (width %d): %8v, %d multi-user runs (mean width %.1f, %d vs %d runs total) — outputs unchanged\n",
+		*batchSz, batchedWall.Round(time.Millisecond), batched.Stats.BatchedRuns,
+		batched.Stats.MeanBatch(), batched.Stats.RunsLaunched, out.Stats.RunsLaunched)
+
+	// 4. Oversubscribed KV: a cache too small to hold every user at once.
 	// The scheduler drops speculative pages, preempts idle sessions (their
 	// namespaces evicted on every stage), parks the requests, and readmits
 	// them by recomputing their prefix — outputs must not change by a bit.
@@ -144,8 +186,9 @@ func main() {
 	fmt.Printf("\noversubscribed KV (%d cells, page %d): %d spec drops, %d preemptions, %d readmissions — outputs unchanged\n",
 		cells, *kvPage, pressured.Stats.SpecDrops, pressured.Stats.Preemptions, pressured.Stats.Readmissions)
 
-	// 4. The same scheduling at 70B scale, in virtual time: 16 tenants on
-	// a 8-node cluster with per-session speculation.
+	// 5. The same scheduling at 70B scale, in virtual time: 16 tenants on
+	// a 8-node cluster with per-session speculation and cross-session
+	// batching.
 	sim, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:     pipeinfer.ClusterC().Take(8),
 		Pair:        pipeinfer.CPUPairs()[0],
@@ -155,6 +198,7 @@ func main() {
 		Seed:        42,
 		Speculate:   true,
 		MaxSessions: 8,
+		MaxBatch:    *batchSz,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -119,3 +119,69 @@ func TestServeStepAllocs(t *testing.T) {
 		t.Errorf("serving steady state allocates %.1f times per accepted token, want 0", allocs)
 	}
 }
+
+// TestServeBatchedStepAllocs extends the zero-allocation gate to batched
+// serving steady state: four sessions coalesced into shared multi-row
+// runs — batch collection, v3 composition, shadow placement, batched
+// inline evaluation, multi-session result-frame encode/decode and the
+// per-session demux — perform 0 heap allocations per accepted token.
+// Batch row slices, run messages and result frames all cycle through the
+// scheduler's pools, comm.GetBuf and per-worker staging.
+func TestServeBatchedStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; gate enforced by the non-race job")
+	}
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+
+	cfg := model.TinyConfig()
+	cfg.NLayers = 4
+	m, err := model.New(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		maxNew   = 300
+		sessions = 4
+	)
+	reqs := make([]serve.Request, sessions)
+	for s := range reqs {
+		prompt := make([]token.Token, 8)
+		for i := range prompt {
+			prompt[i] = token.Token(token.NumSpecial + (3*i+7*s)%250)
+		}
+		reqs[s] = serve.Request{Prompt: prompt, MaxNew: maxNew}
+	}
+	cells := sessions*(8+maxNew) + 256
+	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: cells, ShardSeqs: 1})
+	bk := NewHead(nil, cfg.VocabSize)
+	cl := chancomm.New(1)
+	topo := engine.Topology{Head: 0, Stages: []int{0}}
+	h, err := engine.NewHead(cl.Endpoint(0), topo, engine.Config{MaxNew: maxNew}, bk, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(h, serve.Config{
+		MaxSessions: sessions, SeqsPerSession: 1,
+		MaxBatch: sessions,
+		KV:       kvpage.Config{Cells: cells, ShardSeqs: 1},
+	}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	genOne := func() {
+		start := sched.TotalAccepted()
+		for sched.TotalAccepted() == start {
+			if err := sched.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 60; i++ {
+		genOne()
+	}
+	if allocs := testing.AllocsPerRun(100, genOne); allocs != 0 {
+		t.Errorf("batched serving steady state allocates %.1f times per accepted token, want 0", allocs)
+	}
+}

@@ -1,0 +1,343 @@
+package realbk
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
+	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// TestServeBatchedGreedyParity is the PR-4 acceptance gate on the real
+// backend: 16 concurrent sessions with cross-session batching enabled
+// must produce greedy output bit-identical to their serial single-model
+// references — with and without speculation, at several batch widths, and
+// composed with the PR-3 memory-pressure protocol (oversubscribed KV:
+// batching + drop-spec + preemption + prefix-recompute readmission).
+func TestServeBatchedGreedyParity(t *testing.T) {
+	const maxNew = 9
+	cases := []struct {
+		name        string
+		nodes       int
+		speculate   bool
+		maxSessions int
+		width       int
+		requests    int
+		maxBatch    int
+		batchWindow int
+		kvCells     int
+		kvPage      int
+	}{
+		{name: "16-sessions-batch-4", nodes: 2, maxSessions: 16, width: 1, requests: 16, maxBatch: 4},
+		{name: "16-sessions-batch-8-window", nodes: 3, maxSessions: 16, width: 1, requests: 16, maxBatch: 8, batchWindow: 2},
+		{name: "recycled-slots-batch-4", nodes: 2, maxSessions: 5, width: 1, requests: 12, maxBatch: 4},
+		{name: "speculative-batch-4", nodes: 3, speculate: true, maxSessions: 8, width: 4, requests: 8, maxBatch: 4},
+		{name: "oversubscribed-batch-4", nodes: 2, maxSessions: 16, width: 1, requests: 16, maxBatch: 4, kvCells: 128, kvPage: 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			reqs := serveRequests(tc.requests, maxNew)
+			cfg := engine.Config{MaxNew: maxNew}
+			if tc.speculate {
+				cfg.SpecCutoff = 0.02
+			}
+			opts := ServeOptions{
+				Nodes:          tc.nodes,
+				CFG:            cfg,
+				ModelCfg:       serveModel(4),
+				Seed:           21,
+				Speculate:      tc.speculate,
+				DraftNoise:     0.01,
+				MaxSessions:    tc.maxSessions,
+				SeqsPerSession: tc.width,
+				MaxBatch:       tc.maxBatch,
+				BatchWindow:    tc.batchWindow,
+				KVCells:        tc.kvCells,
+				KVPageSize:     tc.kvPage,
+				Requests:       reqs,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range out.Results {
+				ref, err := ReferenceGreedy(Options{
+					ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+				}, maxNew)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("request %d diverged from its serial reference at token %d under batching: %d != %d",
+							i, j, res.Tokens[j], ref[j])
+					}
+				}
+			}
+			if out.Stats.Generated != tc.requests*maxNew {
+				t.Fatalf("aggregate generated %d, want %d", out.Stats.Generated, tc.requests*maxNew)
+			}
+			if out.Stats.BatchedRuns == 0 {
+				t.Fatal("batching enabled but no multi-session run was ever launched")
+			}
+			if mean := out.Stats.MeanBatch(); mean < 1.5 {
+				t.Fatalf("mean batch width %.2f — coalescing never engaged", mean)
+			}
+			if tc.kvCells > 0 && out.Stats.Preemptions == 0 {
+				t.Fatal("oversubscribed case ran without pressure — undersizing failed")
+			}
+		})
+	}
+}
+
+// TestServeBatchedMatchesUnbatched runs the same workload with batching
+// off and on (same seed, same requests) and checks outcome equality
+// end to end — same tokens and same total generated — so batching is a
+// pure scheduling change.
+func TestServeBatchedMatchesUnbatched(t *testing.T) {
+	const maxNew = 7
+	reqs := serveRequests(8, maxNew)
+	run := func(maxBatch int) ServeOutcome {
+		out, err := Serve(ServeOptions{
+			Nodes:       2,
+			CFG:         engine.Config{MaxNew: maxNew},
+			ModelCfg:    serveModel(4),
+			Seed:        13,
+			MaxSessions: 8,
+			MaxBatch:    maxBatch,
+			Requests:    reqs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	plain := run(0)
+	batched := run(4)
+	for i := range reqs {
+		if len(plain.Results[i].Tokens) != len(batched.Results[i].Tokens) {
+			t.Fatalf("request %d length differs: %d vs %d", i,
+				len(plain.Results[i].Tokens), len(batched.Results[i].Tokens))
+		}
+		for j := range plain.Results[i].Tokens {
+			if plain.Results[i].Tokens[j] != batched.Results[i].Tokens[j] {
+				t.Fatalf("request %d token %d differs between batched and unbatched serving", i, j)
+			}
+		}
+	}
+	if batched.Stats.BatchedRuns == 0 {
+		t.Fatal("batched run launched no multi-session runs")
+	}
+	if batched.Stats.RunsLaunched >= plain.Stats.RunsLaunched {
+		t.Fatalf("batching did not reduce run count: %d batched vs %d plain",
+			batched.Stats.RunsLaunched, plain.Stats.RunsLaunched)
+	}
+}
+
+// TestBatchedRowCancel is the PR-4 cancellation regression gate: one of
+// four sessions batched into a single in-flight run is cancelled with a
+// row-masked signal, and the remaining three sessions' rows must complete
+// bit-identically to their solo (unbatched) runs, while the masked row is
+// dropped at the stage — absent from the result frame, never occupying
+// stage KV.
+func TestBatchedRowCancel(t *testing.T) {
+	cfg := serveModel(4)
+	m, err := model.New(cfg, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 4
+	kv := kvpage.Config{Cells: 256, ShardSeqs: 1}
+
+	// Per-session prompts and their canonical namespaces.
+	prompts := make([][]token.Token, sessions)
+	for s := range prompts {
+		p := make([]token.Token, 5+s)
+		for j := range p {
+			p[j] = token.Token(token.NumSpecial + (17*s+5*j)%250)
+		}
+		prompts[s] = p
+	}
+	prefill := func(h *engine.Head, s int) {
+		ns := kvcache.NamespaceFor(s, 1)
+		set := kvcache.NewSeqSet(ns.Canonical())
+		msg := &engine.RunMsg{Kind: engine.KindPrefill, Seq: ns.Canonical(), Session: uint16(s),
+			Tokens: make([]engine.TokenPlace, len(prompts[s]))}
+		for i, tok := range prompts[s] {
+			msg.Tokens[i] = engine.TokenPlace{Tok: tok, Pos: int32(i), Seqs: set}
+		}
+		h.Launch(msg, nil, nil)
+		if _, _, ok, err := h.AwaitResult(); err != nil || !ok {
+			t.Fatalf("prefill session %d: ok=%v err=%v", s, ok, err)
+		}
+	}
+	batchedMsg := func() *engine.RunMsg {
+		msg := &engine.RunMsg{Kind: engine.KindNonSpec, Session: 0,
+			Tokens:      make([]engine.TokenPlace, sessions),
+			RowSessions: make([]uint16, sessions)}
+		for s := 0; s < sessions; s++ {
+			ns := kvcache.NamespaceFor(s, 1)
+			p := prompts[s]
+			msg.Tokens[s] = engine.TokenPlace{
+				Tok: p[len(p)-1], Pos: int32(len(p) - 1), Seqs: kvcache.NewSeqSet(ns.Canonical()),
+			}
+			msg.RowSessions[s] = uint16(s)
+		}
+		msg.Seq = kvcache.NamespaceFor(0, 1).Canonical()
+		return msg
+	}
+
+	// runWorker serves the queued transactions until shutdown.
+	runWorker := func(cl *chancomm.Cluster, topo engine.Topology, w *Worker) (*sync.WaitGroup, *error) {
+		var wg sync.WaitGroup
+		var workerErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := engine.WorkerLoop(cl.Endpoint(1), topo, w); err != nil {
+				workerErr = err
+			}
+		}()
+		return &wg, &workerErr
+	}
+
+	// runPipeline prefills every session over a dedicated worker rank,
+	// then enqueues the batched decode AND the row-masked cancel while no
+	// worker loop is running, so the stage deterministically sees the
+	// mask before evaluating the batch.
+	runPipeline := func(cancelSlot int) (next []token.Token, stageUsed int, maskedPanics bool) {
+		cl := chancomm.New(2)
+		topo := engine.Topology{Head: 0, Stages: []int{1}}
+		w := NewWorker(m, 0, cfg.NLayers, true, true, kv)
+		bk := NewHead(nil, cfg.VocabSize)
+		h, err := engine.NewHead(cl.Endpoint(0), topo, engine.Config{MaxNew: 4}, bk, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Phase 1: prefills, worker running.
+		wg, workerErr := runWorker(cl, topo, w)
+		for s := 0; s < sessions; s++ {
+			prefill(h, s)
+		}
+		h.Shutdown()
+		wg.Wait()
+		if *workerErr != nil {
+			t.Fatal(*workerErr)
+		}
+		// Phase 2: batched decode + cancel enqueued first, then served.
+		run := h.Launch(batchedMsg(), nil, nil)
+		if cancelSlot >= 0 {
+			h.CancelRows(run, uint16(cancelSlot), true)
+			if h.SessionInflight(uint16(cancelSlot)) != 1 {
+				t.Fatal("row masking dropped the session's FIFO accounting")
+			}
+		}
+		wg, workerErr = runWorker(cl, topo, w)
+		got, res, ok, err := h.AwaitResult()
+		if err != nil || !ok {
+			t.Fatalf("batched run: ok=%v err=%v", ok, err)
+		}
+		if got != run {
+			t.Fatal("FIFO returned the wrong run")
+		}
+		next = make([]token.Token, sessions)
+		for s := 0; s < sessions; s++ {
+			if cancelSlot == s {
+				next[s] = -1
+				// The masked row must be absent from the result frame:
+				// asking for it is a protocol violation and panics.
+				maskedPanics = panics(func() { res.Next(s) })
+				continue
+			}
+			next[s] = res.Next(s)
+		}
+		h.Shutdown()
+		wg.Wait()
+		if *workerErr != nil {
+			t.Fatal(*workerErr)
+		}
+		return next, w.Cache().Used(), maskedPanics
+	}
+
+	clean, cleanUsed, _ := runPipeline(-1)
+	masked, maskedUsed, maskedPanics := runPipeline(2)
+
+	for s := 0; s < sessions; s++ {
+		if s == 2 {
+			continue
+		}
+		if masked[s] != clean[s] {
+			t.Fatalf("session %d's greedy choice changed when session 2 was masked out: %d != %d",
+				s, masked[s], clean[s])
+		}
+	}
+	if !maskedPanics {
+		t.Fatal("the masked row's result was still delivered")
+	}
+	// The masked row must not have occupied a stage cell: one cell per
+	// prompt token plus one per surviving decode row.
+	if want := cleanUsed - 1; maskedUsed != want {
+		t.Fatalf("stage occupies %d cells with a masked row, want %d (clean run: %d)",
+			maskedUsed, want, cleanUsed)
+	}
+}
+
+// panics reports whether f panics.
+func panics(f func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	f()
+	return
+}
+
+// TestBatchedRowCancelServing exercises row masking end to end through
+// the scheduler: speculative sessions batched into shared runs reject
+// draft chains continuously (noisy draft), so dropPending must mask just
+// the rejecting session's rows out of in-flight batched speculative runs
+// — and every session must still match its serial reference.
+func TestBatchedRowCancelServing(t *testing.T) {
+	const maxNew = 12
+	reqs := serveRequests(6, maxNew)
+	opts := ServeOptions{
+		Nodes:          3,
+		CFG:            engine.Config{MaxNew: maxNew, SpecCutoff: 0.02},
+		ModelCfg:       serveModel(4),
+		Seed:           5,
+		Speculate:      true,
+		DraftNoise:     0.3, // noisy draft → frequent rejections → row masks
+		MaxSessions:    6,
+		SeqsPerSession: 4,
+		MaxBatch:       4,
+		Requests:       reqs,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged at token %d with row-masked cancellation", i, j)
+			}
+		}
+	}
+	if out.Stats.BatchedRuns == 0 {
+		t.Fatal("no batched runs launched")
+	}
+	if out.Stats.RowCancels == 0 {
+		t.Fatal("continuous rejection produced no row-masked cancellations")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/pipeinfer/pipeinfer/internal/batch"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
@@ -41,6 +42,14 @@ type Worker struct {
 	x    tensor.Mat // activation staging (embedding or decoded upstream payload)
 	out  tensor.Mat // logits staging for the last stage
 	enc  []byte     // encoded output payload staging
+
+	// Batched-run staging: surviving (unmasked) row indices, the
+	// multi-session result-frame tags, and a reusable zero row for
+	// masked slots of inter-stage payloads.
+	live     []int
+	rowTags  []uint16
+	sessTags []uint16
+	zeros    []byte
 }
 
 // NewWorker builds a stage worker over layers [lo, hi). The paged KV
@@ -61,6 +70,9 @@ func NewWorker(m *model.Model, lo, hi int, first, last bool, kv kvpage.Config) *
 // Eval implements engine.Worker with real tensor computation. The
 // per-layer hook doubles as the cancellation probe point.
 func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) ([]byte, int, bool) {
+	if run.Batched() {
+		return w.evalBatched(run, input, cancelled)
+	}
 	n := run.Len()
 	if cap(w.toks) < n {
 		w.toks = make([]token.Token, n)
@@ -71,7 +83,7 @@ func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) (
 		toks[i] = tp.Tok
 		meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
 	}
-	batch, err := w.sc.BatchFor(w.cache, toks, meta)
+	b, err := w.sc.BatchFor(w.cache, toks, meta)
 	if err != nil {
 		panic(fmt.Sprintf("realbk: stage cache exhausted: %v", err))
 	}
@@ -82,7 +94,7 @@ func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) (
 	} else {
 		x = decodeMatInto(&w.x, input, n, w.m.Cfg.Dim)
 	}
-	x, ok := w.m.ForwardLayersScratch(w.lo, w.hi, x, w.store, batch, func(int) bool {
+	x, ok := w.m.ForwardLayersScratch(w.lo, w.hi, x, w.store, b, func(int) bool {
 		return !cancelled()
 	}, w.sc)
 	if !ok {
@@ -93,6 +105,84 @@ func (w *Worker) Eval(run *engine.RunMsg, input []byte, cancelled func() bool) (
 		out = w.m.LogitsInto(&w.out, x, w.sc)
 	}
 	enc := encodeMatInto(w.enc[:0], out)
+	w.enc = enc
+	return enc, len(enc), true
+}
+
+// evalBatched evaluates a multi-session batched run: only surviving
+// (unmasked) rows are placed in the cache and computed — per-row sequence
+// sets keep every session's attention inside its own shard, so each row's
+// arithmetic is bit-identical to its solo run. Between stages the
+// activation payload keeps the full original row shape (masked rows
+// zero-filled) so per-stage differences in cancellation knowledge can
+// never skew decoding; the last stage instead emits a self-describing
+// multi-session result frame tagging each surviving row.
+func (w *Worker) evalBatched(run *engine.RunMsg, input []byte, cancelled func() bool) ([]byte, int, bool) {
+	n := run.Len()
+	live := w.live[:0]
+	for i := 0; i < n; i++ {
+		if !run.RowDead(i) {
+			live = append(live, i)
+		}
+	}
+	w.live = live
+	nl := len(live)
+	if nl == 0 {
+		return nil, 0, false
+	}
+	if cap(w.toks) < nl {
+		w.toks = make([]token.Token, nl)
+		w.meta = make([]kvcache.TokenMeta, nl)
+	}
+	toks, meta := w.toks[:nl], w.meta[:nl]
+	for k, i := range live {
+		toks[k] = run.Tokens[i].Tok
+		meta[k] = kvcache.TokenMeta{Pos: run.Tokens[i].Pos, Seqs: run.Tokens[i].Seqs}
+	}
+	b, err := w.sc.BatchFor(w.cache, toks, meta)
+	if err != nil {
+		panic(fmt.Sprintf("realbk: stage cache exhausted: %v", err))
+	}
+
+	var x tensor.Mat
+	if w.first {
+		x = w.m.EmbedBatchInto(&w.x, toks)
+	} else {
+		x = decodeRowsInto(&w.x, input, n, w.m.Cfg.Dim, live)
+	}
+	x, ok := w.m.ForwardLayersScratch(w.lo, w.hi, x, w.store, b, func(int) bool {
+		return !cancelled()
+	}, w.sc)
+	if !ok {
+		return nil, 0, false
+	}
+	if w.last {
+		out := w.m.LogitsInto(&w.out, x, w.sc)
+		rt, st := w.rowTags[:0], w.sessTags[:0]
+		for _, i := range live {
+			rt = append(rt, uint16(i))
+			st = append(st, run.RowSessions[i])
+		}
+		w.rowTags, w.sessTags = rt, st
+		enc := batch.AppendResultHeader(w.enc[:0], n, rt, st)
+		enc = encodeMatInto(enc, out)
+		w.enc = enc
+		return enc, len(enc), true
+	}
+	// Middle stage: full-shape payload, masked rows zero-filled.
+	if len(w.zeros) < 4*w.m.Cfg.Dim {
+		w.zeros = make([]byte, 4*w.m.Cfg.Dim)
+	}
+	enc := w.enc[:0]
+	li := 0
+	for i := 0; i < n; i++ {
+		if li < nl && live[li] == i {
+			enc = encodeVecInto(enc, x.Row(li))
+			li++
+		} else {
+			enc = append(enc, w.zeros[:4*w.m.Cfg.Dim]...)
+		}
+	}
 	w.enc = enc
 	return enc, len(enc), true
 }
@@ -136,6 +226,9 @@ type Head struct {
 	dist    tensor.Vec  // softmax staging for Propose
 	topk    []int       // TopKInto scratch
 	res     realResults // Results staging, reused across calls
+	// Batched result-frame decode scratch.
+	rowTags  []uint16
+	sessTags []uint16
 }
 
 // NewHead builds the head backend. draft may be nil for the iterative
@@ -306,6 +399,43 @@ func (h *Head) Results(run *engine.RunMsg, _ []token.Token, payload []byte) engi
 	return &h.res
 }
 
+// BatchResults decodes a multi-session result frame (internal/batch):
+// surviving rows' logits are argmaxed eagerly into the shared staging,
+// indexed by the row's position in the original run message, so the
+// serving demux calls Next with original row indices exactly as for solo
+// runs. Rows masked out at a stage are absent from the frame; the head
+// has masked at least those rows itself (it issued every mask), so the
+// demux never asks for them.
+func (h *Head) BatchResults(run *engine.RunMsg, _ [][]token.Token, payload []byte) engine.Results {
+	total, rows, sessions, logits, err := batch.DecodeResult(payload, h.rowTags[:0], h.sessTags[:0])
+	if err != nil {
+		panic(fmt.Sprintf("realbk: bad batched result frame: %v", err))
+	}
+	h.rowTags, h.sessTags = rows[:0], sessions[:0]
+	if total != run.Len() {
+		panic(fmt.Sprintf("realbk: result frame for %d rows, run has %d", total, run.Len()))
+	}
+	if len(logits) != 4*len(rows)*h.vocab {
+		panic(fmt.Sprintf("realbk: batched result payload %dB for %d rows of vocab %d",
+			len(logits), len(rows), h.vocab))
+	}
+	if cap(h.res.next) < total {
+		h.res.next = make([]token.Token, total)
+	}
+	h.res.next = h.res.next[:total]
+	for i := range h.res.next {
+		h.res.next[i] = -1
+	}
+	for k, orig := range rows {
+		if run.RowSessions[orig] != sessions[k] {
+			panic(fmt.Sprintf("realbk: result frame row %d tagged session %d, run says %d",
+				orig, sessions[k], run.RowSessions[orig]))
+		}
+		h.res.next[orig] = token.Token(argmaxRow(logits, k, h.vocab))
+	}
+	return &h.res
+}
+
 // MemoryBytes reports the draft model footprint (zero when absent).
 func (h *Head) MemoryBytes() int64 {
 	if h.draft == nil {
@@ -318,10 +448,15 @@ type realResults struct {
 	next []token.Token
 }
 
-// Next returns the argmax of logits row i (greedy target choice).
+// Next returns the argmax of logits row i (greedy target choice). A
+// negative entry marks a batched row that was masked out at a stage and
+// never computed — asking for it is a demux bug.
 func (r *realResults) Next(i int) token.Token {
 	if i < 0 || i >= len(r.next) {
 		panic(fmt.Sprintf("realbk: result row %d of %d", i, len(r.next)))
+	}
+	if r.next[i] < 0 {
+		panic(fmt.Sprintf("realbk: result row %d was masked out of its batched run", i))
 	}
 	return r.next[i]
 }
@@ -339,6 +474,39 @@ func encodeMatInto(buf []byte, m tensor.Mat) []byte {
 		buf = append(buf, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
 	}
 	return buf
+}
+
+// encodeVecInto appends the little-endian f32 encoding of one row.
+func encodeVecInto(buf []byte, v tensor.Vec) []byte {
+	for _, f := range v {
+		bits := math.Float32bits(f)
+		buf = append(buf, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+	}
+	return buf
+}
+
+// decodeRowsInto decodes the selected rows of a full-shape rows x cols
+// payload into dst (backing storage reused): dst row k holds payload row
+// sel[k]. The batched evaluation path uses it to pick the surviving rows
+// out of an upstream activation frame.
+func decodeRowsInto(dst *tensor.Mat, buf []byte, rows, cols int, sel []int) tensor.Mat {
+	if len(buf) != 4*rows*cols {
+		panic(fmt.Sprintf("realbk: activation payload %dB for %dx%d", len(buf), rows, cols))
+	}
+	if cap(dst.Data) < len(sel)*cols {
+		dst.Data = make([]float32, len(sel)*cols)
+	}
+	dst.Rows, dst.Cols = len(sel), cols
+	dst.Data = dst.Data[:len(sel)*cols]
+	for k, r := range sel {
+		off := 4 * r * cols
+		row := dst.Data[k*cols : (k+1)*cols]
+		for i := range row {
+			row[i] = math.Float32frombits(uint32(buf[off+4*i]) | uint32(buf[off+4*i+1])<<8 |
+				uint32(buf[off+4*i+2])<<16 | uint32(buf[off+4*i+3])<<24)
+		}
+	}
+	return *dst
 }
 
 func decodeMat(buf []byte, rows, cols int) tensor.Mat {

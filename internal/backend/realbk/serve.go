@@ -48,6 +48,15 @@ type ServeOptions struct {
 	// (default kvpage.DefaultPageSize).
 	KVPageSize int
 
+	// MaxBatch enables cross-session batching: up to MaxBatch sessions'
+	// compatible steps coalesce into one multi-row pipeline run
+	// (internal/batch). 0 or 1 disables batching.
+	MaxBatch int
+	// BatchWindow bounds how many scheduler steps a partial batch may
+	// wait for more ready sessions while the pipeline is busy (0 =
+	// launch immediately).
+	BatchWindow int
+
 	Requests []serve.Request
 	// OnToken, when non-nil, streams accepted tokens as they are sampled.
 	OnToken func(req int, tok token.Token)
@@ -156,6 +165,16 @@ func buildServePlan(opts *ServeOptions) (*plan, error) {
 // return only their memory accounting — the same split RunRank uses, so
 // the serving layer runs unchanged over chancomm or tcpcomm.
 func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
+	return serveRank(ep, opts, nil)
+}
+
+// serveRank is ServeRank with an optional prebuilt target model. The
+// in-process Serve entry builds the weights once and shares them across
+// every rank goroutine — the model is read-only during evaluation, each
+// worker owns its KV store and scratch — instead of deriving the same
+// weights from the seed once per rank the way separate OS processes
+// must.
+func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeOutcome, error) {
 	p, err := buildServePlan(&opts)
 	if err != nil {
 		return ServeOutcome{}, err
@@ -163,9 +182,11 @@ func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
 	if ep.Size() != opts.Nodes {
 		return ServeOutcome{}, fmt.Errorf("realbk: endpoint cluster size %d != %d nodes", ep.Size(), opts.Nodes)
 	}
-	target, err := model.New(opts.ModelCfg, opts.Seed)
-	if err != nil {
-		return ServeOutcome{}, err
+	if target == nil {
+		target, err = model.New(opts.ModelCfg, opts.Seed)
+		if err != nil {
+			return ServeOutcome{}, err
+		}
 	}
 	out := ServeOutcome{PerNodeMem: make([]int64, opts.Nodes)}
 	rank := ep.Rank()
@@ -211,6 +232,8 @@ func ServeRank(ep comm.Endpoint, opts ServeOptions) (ServeOutcome, error) {
 		OnToken:        opts.OnToken,
 		OnPreempt:      opts.OnPreempt,
 		OnReadmit:      opts.OnReadmit,
+		MaxBatch:       opts.MaxBatch,
+		BatchWindow:    opts.BatchWindow,
 	}, opts.Requests)
 	if err != nil {
 		return ServeOutcome{}, err
@@ -247,10 +270,17 @@ func serveCacheClean(c *kvpage.Cache) error {
 
 // Serve builds the models once, spawns one goroutine per pipeline rank
 // connected by chancomm, and multiplexes every request through the shared
-// pipeline — the persistent-server counterpart of the one-shot Run.
+// pipeline — the persistent-server counterpart of the one-shot Run. The
+// target weights are built once and shared read-only by every rank
+// goroutine (separate-process deployments via ServeRank still derive
+// their own copy from the seed).
 func Serve(opts ServeOptions) (ServeOutcome, error) {
 	opts.defaults()
 	cluster := chancomm.New(opts.Nodes)
+	target, err := model.New(opts.ModelCfg, opts.Seed)
+	if err != nil {
+		return ServeOutcome{}, err
+	}
 
 	outcomes := make([]ServeOutcome, opts.Nodes)
 	errs := make([]error, opts.Nodes)
@@ -260,10 +290,10 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			outcomes[rank], errs[rank] = ServeRank(cluster.Endpoint(rank), opts)
+			outcomes[rank], errs[rank] = serveRank(cluster.Endpoint(rank), opts, target)
 		}()
 	}
-	outcomes[0], errs[0] = ServeRank(cluster.Endpoint(0), opts)
+	outcomes[0], errs[0] = serveRank(cluster.Endpoint(0), opts, target)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -115,3 +115,54 @@ func BenchmarkServeThroughputPressure(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
 	b.ReportMetric(float64(pressure)/float64(b.N), "evictions/serve")
 }
+
+// BenchmarkServeBatchedThroughput measures the cross-session batching win
+// (PR 4): the BenchmarkServeThroughput workload at 1/4/16 sessions, each
+// at batch widths 1/4/8. batch=1 runs the identical pre-batching
+// schedule (the no-regression control); at 16 sessions and batch >= 4
+// the per-run overhead (wire header, FIFO record, KV transaction, stage
+// wakeup) is amortised across coalesced sessions, which is the tok/s
+// headline recorded in BENCH_pr4.json.
+func BenchmarkServeBatchedThroughput(b *testing.B) {
+	for _, sessions := range []int{1, 4, 16} {
+		for _, width := range []int{1, 4, 8} {
+			if width > sessions {
+				continue
+			}
+			sessions, width := sessions, width
+			b.Run(fmt.Sprintf("sessions=%d/batch=%d", sessions, width), func(b *testing.B) {
+				reqs := serveRequests(sessions, benchServeTokens)
+				total := 0
+				batched := 0
+				runs := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, err := Serve(ServeOptions{
+						Nodes:       benchServeNodes,
+						CFG:         engine.Config{MaxNew: benchServeTokens},
+						ModelCfg:    serveModel(6),
+						Seed:        13,
+						MaxSessions: sessions,
+						MaxBatch:    width,
+						Requests:    reqs,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += out.Stats.Generated
+					batched += out.Stats.BatchedRows
+					runs += out.Stats.RunsLaunched
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+				if total > 0 {
+					b.ReportMetric(float64(batched)/float64(total), "batched-frac")
+					// Pipeline runs per accepted token: the per-run
+					// overhead (wire header, FIFO record, stage wakeups)
+					// batching amortises.
+					b.ReportMetric(float64(runs)/float64(total), "runs/tok")
+				}
+			})
+		}
+	}
+}

@@ -43,6 +43,13 @@ type ServeOptions struct {
 	// memory-pressure protocol. KVPageSize sets the page granularity.
 	KVCells    int
 	KVPageSize int
+	// MaxBatch enables cross-session batching: up to MaxBatch sessions'
+	// compatible steps coalesce into one multi-row pipeline run
+	// (internal/batch). 0 or 1 disables batching. BatchWindow bounds how
+	// many scheduler steps a partial batch may wait while the pipeline is
+	// busy (0 = launch immediately).
+	MaxBatch    int
+	BatchWindow int
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
 	// Trace, when non-nil, records the full pipeline timeline.
@@ -170,6 +177,8 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			SeqsPerSession: opts.SeqsPerSession,
 			Speculate:      opts.Speculate,
 			KV:             kv,
+			MaxBatch:       opts.MaxBatch,
+			BatchWindow:    opts.BatchWindow,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,
 		}, reqs)

@@ -173,3 +173,100 @@ func TestSimServeOversubscribed(t *testing.T) {
 			out.Stats.Preemptions, out.Stats.Readmissions)
 	}
 }
+
+// TestSimServeBatchedGreedyParity is the PR-4 acceptance gate at paper
+// scale: sessions multiplexed with cross-session batching enabled must
+// each reproduce their oracle stream bit for bit — plain and speculative,
+// and composed with the memory-pressure protocol (oversubscribed KV).
+func TestSimServeBatchedGreedyParity(t *testing.T) {
+	const maxNew = 24
+	cases := []struct {
+		name        string
+		nodes       int
+		speculate   bool
+		sessions    int
+		maxSessions int
+		width       int
+		maxBatch    int
+		batchWindow int
+		kvCells     int
+		kvPage      int
+	}{
+		{name: "16-sessions-batch-4", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 4},
+		{name: "16-sessions-batch-8-window", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 8, batchWindow: 2},
+		{name: "speculative-batch-4", nodes: 4, speculate: true, sessions: 8, maxSessions: 8, width: 4, maxBatch: 4},
+		{name: "oversubscribed-batch-4", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 4, kvCells: 320, kvPage: 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := ServeOptions{
+				Cluster:        cost.ClusterC().Take(tc.nodes),
+				Pair:           cost.CPUPairs()[0],
+				CFG:            engine.Config{MaxNew: maxNew},
+				Sessions:       tc.sessions,
+				PromptLen:      12,
+				Seed:           5,
+				Speculate:      tc.speculate,
+				MaxSessions:    tc.maxSessions,
+				SeqsPerSession: tc.width,
+				MaxBatch:       tc.maxBatch,
+				BatchWindow:    tc.batchWindow,
+				KVCells:        tc.kvCells,
+				KVPageSize:     tc.kvPage,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range out.Results {
+				ref := ServeReference(opts, i, maxNew)
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("session %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("session %d deviated from its oracle stream at token %d under batching", i, j)
+					}
+				}
+			}
+			if out.Stats.BatchedRuns == 0 {
+				t.Fatal("batching enabled but no multi-session run was launched")
+			}
+			if tc.kvCells > 0 && out.Stats.Preemptions == 0 {
+				t.Fatal("oversubscribed batched serving never engaged the pressure protocol")
+			}
+		})
+	}
+}
+
+// TestSimServeBatchedFasterThanUnbatched checks the amortisation win in
+// exact virtual time: serving the same 16-session workload with batch 4
+// must finish sooner than one-run-per-session serving, because per-run
+// wire headers and stage wakeups are paid once per batch.
+func TestSimServeBatchedFasterThanUnbatched(t *testing.T) {
+	const maxNew = 24
+	base := ServeOptions{
+		Cluster:     cost.ClusterC().Take(4),
+		Pair:        cost.CPUPairs()[0],
+		CFG:         engine.Config{MaxNew: maxNew},
+		Sessions:    16,
+		PromptLen:   12,
+		Seed:        7,
+		MaxSessions: 16,
+	}
+	plain, err := Serve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := base
+	batched.MaxBatch = 4
+	fast, err := Serve(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Stats.Done >= plain.Stats.Done {
+		t.Fatalf("batched serving took %v virtual, unbatched %v — no amortisation win",
+			fast.Stats.Done, plain.Stats.Done)
+	}
+}

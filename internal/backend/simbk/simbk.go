@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/pipeinfer/pipeinfer/internal/batch"
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
@@ -34,8 +35,15 @@ type Worker struct {
 	cache  *kvpage.Cache
 	mask   kvcache.MaskBits // reusable visibility bitset, rebuilt per run
 	meta   []kvcache.TokenMeta
+	cells  []int
 	name   string
 	tr     *trace.Recorder
+	// Batched-run staging: surviving row indices, frame tags and the
+	// encoded multi-session result frame.
+	live     []int
+	rowTags  []uint16
+	sessTags []uint16
+	enc      []byte
 }
 
 // NewWorker builds a simulated stage with a paged KV metadata cache
@@ -53,19 +61,39 @@ func (w *Worker) SetTrace(tr *trace.Recorder) { w.tr = tr }
 
 // Eval charges the stage time for the batch, layer chunk by layer chunk,
 // probing for cancellation between chunks (§IV-D.2's synchronization
-// points). KV metadata is updated exactly as the real backend would.
+// points). KV metadata is updated exactly as the real backend would:
+// rows of a batched run are placed per owning shard, and rows masked out
+// by per-session cancellation are skipped entirely (no occupancy, no
+// charged compute). The last stage of a batched run returns the
+// multi-session result frame tagging every surviving row.
 func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]byte, int, bool) {
-	cells, err := w.cache.FindSlots(run.Len(), run.Tokens[0].Seqs)
+	live := w.live[:0]
+	for i := 0; i < run.Len(); i++ {
+		if !run.RowDead(i) {
+			live = append(live, i)
+		}
+	}
+	w.live = live
+	nl := len(live)
+	if nl == 0 {
+		return nil, 0, false
+	}
+	if cap(w.meta) < nl {
+		w.meta = make([]kvcache.TokenMeta, nl)
+	}
+	meta := w.meta[:nl]
+	for k, i := range live {
+		meta[k] = kvcache.TokenMeta{Pos: run.Tokens[i].Pos, Seqs: run.Tokens[i].Seqs}
+	}
+	cells, err := w.cache.PlaceRowsInto(w.cells[:0], meta)
 	if err != nil {
 		panic(fmt.Sprintf("simbk: stage cache exhausted: %v", err))
 	}
-	for i, c := range cells {
-		w.cache.Occupy(c, run.Tokens[i].Pos, run.Tokens[i].Seqs)
-	}
-	w.checkVisibility(run)
+	w.cells = cells[:0]
+	w.checkVisibility(run, meta, live)
 	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalBeg, run.ID,
-		fmt.Sprintf("%s batch=%d", run.Kind, run.Len()))
-	total := cost.StageTime(w.node, w.ms, w.layers, run.Len())
+		fmt.Sprintf("%s batch=%d", run.Kind, nl))
+	total := cost.StageTime(w.node, w.ms, w.layers, nl)
 	chunk := total / time.Duration(w.layers)
 	for l := 0; l < w.layers; l++ {
 		w.ep.Elapse(chunk)
@@ -77,32 +105,40 @@ func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]by
 	}
 	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalEnd, run.ID, "done")
 	if w.isLast {
-		// Result payload: logits for every batch token travel to the head.
-		return nil, run.Len() * w.ms.VocabSize * 4, true
+		// Result payload: logits for every surviving batch token travel
+		// to the head. Batched runs additionally carry the frame header
+		// naming each surviving row, so the head's demux never has to
+		// guess which rows a stage masked out.
+		wire := nl * w.ms.VocabSize * 4
+		if !run.Batched() {
+			return nil, wire, true
+		}
+		rt, st := w.rowTags[:0], w.sessTags[:0]
+		for _, i := range live {
+			rt = append(rt, uint16(i))
+			st = append(st, run.RowSessions[i])
+		}
+		w.rowTags, w.sessTags = rt, st
+		w.enc = batch.AppendResultHeader(w.enc[:0], run.Len(), rt, st)
+		return w.enc, wire + len(w.enc), true
 	}
-	return nil, w.ms.ActivationBytes(run.Len()), true
+	return nil, w.ms.ActivationBytes(nl), true
 }
 
-// checkVisibility rebuilds the run's attention mask from cache metadata
-// (the reusable-bitset BuildMaskInto — no per-run allocation) and asserts
-// the multibuffering visibility invariant: the token at session-local
-// position p must see exactly p+1 cells — its full shared prefix plus its
-// own entry, each position once. Prefix-sharing ops, promotions, eviction
-// and page recycling all preserve it; a violation here is metadata
-// corruption that the real backend would surface as a parity mismatch.
-func (w *Worker) checkVisibility(run *engine.RunMsg) {
-	if cap(w.meta) < run.Len() {
-		w.meta = make([]kvcache.TokenMeta, run.Len())
-	}
-	meta := w.meta[:run.Len()]
-	for i, tp := range run.Tokens {
-		meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
-	}
+// checkVisibility rebuilds the surviving rows' attention mask from cache
+// metadata (the reusable-bitset BuildMaskInto — no per-run allocation)
+// and asserts the multibuffering visibility invariant: the token at
+// session-local position p must see exactly p+1 cells — its full shared
+// prefix plus its own entry, each position once. Prefix-sharing ops,
+// promotions, eviction, page recycling and cross-session batching all
+// preserve it; a violation here is metadata corruption that the real
+// backend would surface as a parity mismatch.
+func (w *Worker) checkVisibility(run *engine.RunMsg, meta []kvcache.TokenMeta, live []int) {
 	w.cache.BuildMaskInto(&w.mask, meta)
-	for i, tp := range run.Tokens {
-		if got, want := w.mask.RowOnes(i), int(tp.Pos)+1; got != want {
+	for k, i := range live {
+		if got, want := w.mask.RowOnes(k), int(run.Tokens[i].Pos)+1; got != want {
 			panic(fmt.Sprintf("simbk: run %d token %d at pos %d sees %d cells, want %d",
-				run.ID, i, tp.Pos, got, want))
+				run.ID, i, run.Tokens[i].Pos, got, want))
 		}
 	}
 }
@@ -150,19 +186,51 @@ func (h *Head) Results(run *engine.RunMsg, ctx []token.Token, _ []byte) engine.R
 	return &simResults{o: h.O, run: run, prefix: ctx}
 }
 
+// BatchResults interprets a multi-session batched run's result: the
+// payload is the frame the last stage emitted (validated against the run
+// — total row count and per-row session tags must agree), and ctxs[i] is
+// row i's session context, which replaces the single shared prefix of
+// Results. Row-path reconstruction stays per session automatically:
+// disjoint namespaces mean a row's parent can only be an earlier row of
+// the same session.
+func (h *Head) BatchResults(run *engine.RunMsg, ctxs [][]token.Token, payload []byte) engine.Results {
+	h.ep.Elapse(cost.SampleTime)
+	total, rows, sessions, _, err := batch.DecodeResult(payload, nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("simbk: bad batched result frame: %v", err))
+	}
+	if total != run.Len() {
+		panic(fmt.Sprintf("simbk: result frame for %d rows, run has %d", total, run.Len()))
+	}
+	for k, orig := range rows {
+		if run.RowSessions[orig] != sessions[k] {
+			panic(fmt.Sprintf("simbk: result frame row %d tagged session %d, run says %d",
+				orig, sessions[k], run.RowSessions[orig]))
+		}
+	}
+	return &simResults{o: h.O, run: run, ctxs: ctxs}
+}
+
 // MemoryBytes reports the draft model footprint.
 func (h *Head) MemoryBytes() int64 { return int64(h.draft.Bytes()) }
 
 type simResults struct {
-	o      *oracle.Oracle
-	run    *engine.RunMsg
+	o   *oracle.Oracle
+	run *engine.RunMsg
+	// prefix is the shared context of a solo run; ctxs the per-row
+	// contexts of a batched run (exactly one of the two is used).
 	prefix []token.Token
+	ctxs   [][]token.Token
 }
 
 // Next reconstructs the root-to-i path through the batch (parent = the
 // unique earlier token one position up sharing a sequence) and asks the
 // oracle for the target's next token.
 func (r *simResults) Next(i int) token.Token {
+	prefix := r.prefix
+	if r.ctxs != nil {
+		prefix = r.ctxs[i]
+	}
 	toks := r.run.Tokens
 	var rev []token.Token
 	cur := i
@@ -177,8 +245,8 @@ func (r *simResults) Next(i int) token.Token {
 		}
 		cur = parent
 	}
-	ctx := make([]token.Token, 0, len(r.prefix)+len(rev))
-	ctx = append(ctx, r.prefix...)
+	ctx := make([]token.Token, 0, len(prefix)+len(rev))
+	ctx = append(ctx, prefix...)
 	for j := len(rev) - 1; j >= 0; j-- {
 		ctx = append(ctx, rev[j])
 	}

@@ -1,0 +1,166 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// TestComposeInto checks composition of staged rows into a v3 run: row
+// order, per-row session tags, distinct-session count and context
+// collection.
+func TestComposeInto(t *testing.T) {
+	var c Composer
+	c.MaxBatch = 4
+	ctxA := []token.Token{1, 2}
+	ctxB := []token.Token{3}
+	c.Stage(Row{Session: 2, Tok: 10, Pos: 5, Seqs: kvcache.NewSeqSet(2), Ctx: ctxA})
+	c.Stage(Row{Session: 2, Tok: 11, Pos: 6, Seqs: kvcache.NewSeqSet(2), Ctx: ctxA})
+	c.Stage(Row{Session: 7, Tok: 12, Pos: 1, Seqs: kvcache.NewSeqSet(7), Ctx: ctxB})
+	if c.Sessions() != 2 || c.Rows() != 3 {
+		t.Fatalf("staged %d sessions / %d rows", c.Sessions(), c.Rows())
+	}
+	msg := &engine.RunMsg{}
+	ctxs := c.ComposeInto(msg, engine.KindSpec, nil, true)
+	if !msg.Batched() || msg.Len() != 3 || msg.Kind != engine.KindSpec {
+		t.Fatalf("composed %+v", msg)
+	}
+	if msg.RowSessions[0] != 2 || msg.RowSessions[2] != 7 || msg.Session != 2 {
+		t.Fatalf("row sessions %v primary %d", msg.RowSessions, msg.Session)
+	}
+	if msg.Tokens[1].Tok != 11 || msg.Tokens[2].Pos != 1 {
+		t.Fatalf("tokens %v", msg.Tokens)
+	}
+	if len(ctxs) != 3 || &ctxs[0][0] != &ctxA[0] || &ctxs[2][0] != &ctxB[0] {
+		t.Fatalf("contexts not collected per row")
+	}
+	if c.Rows() != 0 || c.Sessions() != 0 {
+		t.Fatal("composer not reset after compose")
+	}
+}
+
+// TestGroups checks the per-session group iteration both ways.
+func TestGroups(t *testing.T) {
+	msg := &engine.RunMsg{
+		Tokens:      make([]engine.TokenPlace, 5),
+		RowSessions: []uint16{3, 3, 1, 5, 5},
+	}
+	slot, hi := Group(msg, 0)
+	if slot != 3 || hi != 2 {
+		t.Fatalf("group 0: slot %d hi %d", slot, hi)
+	}
+	slot, hi = Group(msg, 2)
+	if slot != 1 || hi != 3 {
+		t.Fatalf("group 2: slot %d hi %d", slot, hi)
+	}
+	lo, hi := GroupOf(msg, 5)
+	if lo != 3 || hi != 5 {
+		t.Fatalf("GroupOf(5) = [%d,%d)", lo, hi)
+	}
+	lo, hi = GroupOf(msg, 9)
+	if lo != hi {
+		t.Fatalf("GroupOf(absent) = [%d,%d)", lo, hi)
+	}
+}
+
+// TestShouldHold pins the bounded batch-window policy: hold only while
+// the pipeline is busy, the batch is partial, more sessions could join,
+// and at most Window consecutive times.
+func TestShouldHold(t *testing.T) {
+	c := Composer{MaxBatch: 4, Window: 2}
+	if c.ShouldHold(1, true, false) {
+		t.Fatal("held back with an idle pipeline — latency regression")
+	}
+	if !c.ShouldHold(1, true, true) || !c.ShouldHold(1, true, true) {
+		t.Fatal("window refused to hold a partial batch")
+	}
+	if c.ShouldHold(1, true, true) {
+		t.Fatal("window held past its bound")
+	}
+	// The window re-arms after an exhausted hold.
+	if !c.ShouldHold(2, true, true) {
+		t.Fatal("window did not re-arm after flushing")
+	}
+	// Full batch never holds.
+	c = Composer{MaxBatch: 1, Window: 5}
+	if c.ShouldHold(1, true, true) {
+		t.Fatal("full batch held back")
+	}
+	// No one left to join, or nobody ready: flush / no-op.
+	c = Composer{MaxBatch: 4, Window: 5}
+	if c.ShouldHold(1, false, true) {
+		t.Fatal("held with no sessions left to join")
+	}
+	if c.ShouldHold(0, true, true) {
+		t.Fatal("held an empty batch")
+	}
+}
+
+// TestResultFrameRoundTrip checks the multi-session result frame codec on
+// a representative frame, including the payload pass-through.
+func TestResultFrameRoundTrip(t *testing.T) {
+	payload := []byte{0xaa, 0xbb, 0xcc, 0xdd}
+	enc := AppendResultHeader(nil, 4, []uint16{0, 2, 3}, []uint16{8, 1, 63})
+	enc = append(enc, payload...)
+	total, rows, sessions, got, err := DecodeResult(enc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 4 || len(rows) != 3 || rows[1] != 2 || sessions[2] != 63 {
+		t.Fatalf("decoded total=%d rows=%v sessions=%v", total, rows, sessions)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %x, want %x", got, payload)
+	}
+	// Malformed frames error out, never panic.
+	for _, bad := range [][]byte{
+		nil,
+		{1, 0},
+		AppendResultHeader(nil, 1, []uint16{0, 0}, []uint16{0, 0}),     // duplicate row
+		AppendResultHeader(nil, 1, []uint16{1}, []uint16{0}),           // row >= total
+		AppendResultHeader(nil, 2, []uint16{0}, []uint16{64}),          // session out of range
+		AppendResultHeader(nil, 3, []uint16{0, 1}, []uint16{0, 0})[:6], // truncated tags
+	} {
+		if _, _, _, _, err := DecodeResult(bad, nil, nil); err == nil {
+			t.Fatalf("malformed frame %x accepted", bad)
+		}
+	}
+}
+
+// FuzzDecodeBatchResult feeds arbitrary bytes to the result-frame
+// decoder: it must never panic, and whatever it accepts must re-encode to
+// exactly the bytes it consumed (encode∘decode identity, payload
+// included).
+func FuzzDecodeBatchResult(f *testing.F) {
+	seed := AppendResultHeader(nil, 4, []uint16{0, 2, 3}, []uint16{8, 1, 63})
+	seed = append(seed, 0xde, 0xad, 0xbe, 0xef)
+	f.Add(seed)
+	f.Add(AppendResultHeader(nil, 0, nil, nil))
+	f.Add(AppendResultHeader(nil, 16, []uint16{5}, []uint16{0}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		total, rows, sessions, payload, err := DecodeResult(data, nil, nil)
+		if err != nil {
+			return
+		}
+		enc := AppendResultHeader(nil, total, rows, sessions)
+		enc = append(enc, payload...)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encoding differs:\n got %x\nwant %x", enc, data)
+		}
+		// Decoding into scratch must append, not clobber.
+		scratchR := make([]uint16, 1, 1+len(rows))
+		scratchS := make([]uint16, 1, 1+len(sessions))
+		_, r2, s2, _, err := DecodeResult(data, scratchR, scratchS)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if len(r2) != 1+len(rows) || len(s2) != 1+len(sessions) {
+			t.Fatalf("scratch decode clobbered: %v %v", r2, s2)
+		}
+	})
+}

@@ -61,13 +61,94 @@ type RunMsg struct {
 	// it (0 outside the serving layer). The head FIFO uses it to account
 	// in-flight runs per session and stages carry it through so results
 	// and cancellations demux to the right request's cache partitions.
+	// For multi-session batched runs it is the first row's session; the
+	// authoritative per-row owner is RowSessions.
 	Session uint16
 	Tokens  []TokenPlace
 	KVOps   []kvcache.Op
+
+	// RowSessions, when non-nil, tags every token row with its owning
+	// session slot — a cross-session batched run (wire format v3, PR 4):
+	// the serving layer's batch composer coalesces several sessions'
+	// compatible steps into one pipeline run, and stages/results demux
+	// per row. One session's rows are contiguous. nil means every row
+	// belongs to Session (wire format v2, unchanged on the wire).
+	RowSessions []uint16
+
+	// DeadSessions is the set of session slots (bit per slot) whose rows
+	// have been masked out of this batched run by per-session
+	// cancellation. It is NOT wire-encoded: the head sets bits as it
+	// cancels a session's rows (Head.CancelRows), and every stage derives
+	// its own view from the row-masked cancellation signals it has
+	// received by the time it evaluates the run — so per-stage views may
+	// lag, which is safe because masked rows' sequences are always
+	// cleaned up namespace-wide afterwards.
+	DeadSessions uint64
 }
 
 // Len returns the batch size.
 func (r *RunMsg) Len() int { return len(r.Tokens) }
+
+// Batched reports whether the run carries per-row session tags (a
+// multi-session batched run). Length, not nil-ness, is the test: pooled
+// messages keep an emptied RowSessions backing array between uses.
+func (r *RunMsg) Batched() bool { return len(r.RowSessions) > 0 }
+
+// RowSession returns the session slot owning token row i.
+func (r *RunMsg) RowSession(i int) uint16 {
+	if len(r.RowSessions) > 0 {
+		return r.RowSessions[i]
+	}
+	return r.Session
+}
+
+// InvolvesSession reports whether any row of the run belongs to session
+// slot s.
+func (r *RunMsg) InvolvesSession(s uint16) bool {
+	if len(r.RowSessions) == 0 {
+		return r.Session == s
+	}
+	for _, rs := range r.RowSessions {
+		if rs == s {
+			return true
+		}
+	}
+	return false
+}
+
+// RowDead reports whether token row i has been masked out of the run by
+// per-session cancellation.
+func (r *RunMsg) RowDead(i int) bool {
+	s := r.RowSession(i)
+	return s < 64 && r.DeadSessions&(1<<s) != 0
+}
+
+// AllDead reports whether every row of the run is masked out.
+func (r *RunMsg) AllDead() bool {
+	if r.DeadSessions == 0 || len(r.Tokens) == 0 {
+		return false
+	}
+	for i := range r.Tokens {
+		if !r.RowDead(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveRows counts rows not masked out by per-session cancellation.
+func (r *RunMsg) LiveRows() int {
+	if r.DeadSessions == 0 {
+		return len(r.Tokens)
+	}
+	n := 0
+	for i := range r.Tokens {
+		if !r.RowDead(i) {
+			n++
+		}
+	}
+	return n
+}
 
 // BasePos returns the position of the first batch token.
 func (r *RunMsg) BasePos() int32 {
@@ -88,6 +169,12 @@ func (r *RunMsg) MaxPos() int32 {
 	return max
 }
 
+// kindBatched is the flag bit on the wire Kind byte marking a v3 frame:
+// per-row session tags follow the KV op section. v2 frames never set it
+// (RunKind values are tiny), which is what lets the v3 decoder accept v2
+// frames unchanged.
+const kindBatched = 0x80
+
 // Encode serialises the message.
 func (r *RunMsg) Encode() []byte {
 	return r.AppendEncode(make([]byte, 0, r.EncodedSize()))
@@ -95,13 +182,30 @@ func (r *RunMsg) Encode() []byte {
 
 // EncodedSize reports the wire size of the message, so senders can size
 // pooled buffers exactly.
-func (r *RunMsg) EncodedSize() int { return 12 + 16*len(r.Tokens) + 11*len(r.KVOps) }
+func (r *RunMsg) EncodedSize() int {
+	n := 12 + 16*len(r.Tokens) + 11*len(r.KVOps)
+	if r.Batched() {
+		n += 2 * len(r.Tokens)
+	}
+	return n
+}
 
 // AppendEncode appends the wire encoding to buf and returns it, letting
 // the head and stage loops serialise into pooled message buffers.
+// Batched runs (RowSessions non-nil) encode as wire format v3: the Kind
+// byte carries the kindBatched flag and one session tag per token row
+// follows the KV ops. DeadSessions is head-/stage-local state and is
+// never encoded.
 func (r *RunMsg) AppendEncode(buf []byte) []byte {
+	kind := byte(r.Kind)
+	if r.Batched() {
+		if len(r.RowSessions) != len(r.Tokens) {
+			panic(fmt.Sprintf("engine: %d row sessions for %d tokens", len(r.RowSessions), len(r.Tokens)))
+		}
+		kind |= kindBatched
+	}
 	buf = append(buf, byte(r.ID), byte(r.ID>>8), byte(r.ID>>16), byte(r.ID>>24))
-	buf = append(buf, byte(r.Kind), byte(r.Seq))
+	buf = append(buf, kind, byte(r.Seq))
 	buf = append(buf, byte(r.Session), byte(r.Session>>8))
 	buf = append(buf, byte(len(r.Tokens)), byte(len(r.Tokens)>>8))
 	for _, t := range r.Tokens {
@@ -110,18 +214,28 @@ func (r *RunMsg) AppendEncode(buf []byte) []byte {
 		buf = appendU64(buf, uint64(t.Seqs))
 	}
 	buf = append(buf, byte(len(r.KVOps)), byte(len(r.KVOps)>>8))
-	return kvcache.AppendOps(buf, r.KVOps)
+	buf = kvcache.AppendOps(buf, r.KVOps)
+	if r.Batched() {
+		for _, s := range r.RowSessions {
+			buf = append(buf, byte(s), byte(s>>8))
+		}
+	}
+	return buf
 }
 
 // DecodeRunMsg reverses Encode. It never retains buf, and a truncated or
-// corrupt message yields an error, not a panic.
+// corrupt message yields an error, not a panic. The decoder accepts both
+// wire formats: v2 frames (no kindBatched flag) decode with nil
+// RowSessions, exactly as before v3 existed.
 func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 	if len(buf) < 10 {
 		return nil, fmt.Errorf("engine: run message too short (%d bytes)", len(buf))
 	}
+	kind := buf[4]
+	batched := kind&kindBatched != 0
 	r := &RunMsg{
 		ID:      uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24,
-		Kind:    RunKind(buf[4]),
+		Kind:    RunKind(kind &^ kindBatched),
 		Seq:     kvcache.SeqID(buf[5]),
 		Session: uint16(buf[6]) | uint16(buf[7])<<8,
 	}
@@ -150,6 +264,21 @@ func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 		return nil, err
 	}
 	r.KVOps = ops
+	off += 11 * nOps
+	if batched {
+		if n == 0 {
+			return nil, fmt.Errorf("engine: batched run message without token rows")
+		}
+		if len(buf) < off+2*n {
+			return nil, fmt.Errorf("engine: batched run message truncated: %d row sessions need %d bytes, %d left",
+				n, 2*n, len(buf)-off)
+		}
+		r.RowSessions = make([]uint16, n)
+		for i := 0; i < n; i++ {
+			r.RowSessions[i] = uint16(buf[off]) | uint16(buf[off+1])<<8
+			off += 2
+		}
+	}
 	return r, nil
 }
 
@@ -166,26 +295,51 @@ func readU64(b []byte) uint64 {
 	return uint64(readU32(b)) | uint64(readU32(b[4:]))<<32
 }
 
-// EncodeCancel packs run IDs into a cancellation signal payload (§IV-D.2:
-// "the signal contains only a uniquely assigned identifier").
-func EncodeCancel(ids []uint32) []byte {
-	return appendCancel(make([]byte, 0, 4*len(ids)), ids)
+// CancelSig is one cancellation signal entry (§IV-D.2 extended for
+// cross-session batching): Sessions == 0 cancels the whole run (the
+// classic signal, "only a uniquely assigned identifier"); a non-zero
+// Sessions bitmask surgically masks just those session slots' rows out of
+// an in-flight batched run, leaving the other sessions' rows to complete
+// untouched.
+type CancelSig struct {
+	ID       uint32
+	Sessions uint64
 }
 
-func appendCancel(buf []byte, ids []uint32) []byte {
+// cancelSigBytes is the fixed wire size of one cancellation entry.
+const cancelSigBytes = 12
+
+// EncodeCancel packs run IDs into whole-run cancellation signal entries.
+func EncodeCancel(ids []uint32) []byte {
+	buf := make([]byte, 0, cancelSigBytes*len(ids))
 	for _, id := range ids {
-		buf = appendU32(buf, id)
+		buf = appendCancelSig(buf, CancelSig{ID: id})
 	}
 	return buf
 }
 
-// DecodeCancel reverses EncodeCancel.
-func DecodeCancel(buf []byte) []uint32 {
-	ids := make([]uint32, 0, len(buf)/4)
-	for off := 0; off+4 <= len(buf); off += 4 {
-		ids = append(ids, readU32(buf[off:]))
+// EncodeCancelSigs packs cancellation entries (whole-run or row-masked).
+func EncodeCancelSigs(sigs []CancelSig) []byte {
+	buf := make([]byte, 0, cancelSigBytes*len(sigs))
+	for _, s := range sigs {
+		buf = appendCancelSig(buf, s)
 	}
-	return ids
+	return buf
+}
+
+func appendCancelSig(buf []byte, s CancelSig) []byte {
+	buf = appendU32(buf, s.ID)
+	return appendU64(buf, s.Sessions)
+}
+
+// DecodeCancel reverses EncodeCancel/EncodeCancelSigs, ignoring a
+// trailing partial entry.
+func DecodeCancel(buf []byte) []CancelSig {
+	sigs := make([]CancelSig, 0, len(buf)/cancelSigBytes)
+	for off := 0; off+cancelSigBytes <= len(buf); off += cancelSigBytes {
+		sigs = append(sigs, CancelSig{ID: readU32(buf[off:]), Sessions: readU64(buf[off+4:])})
+	}
+	return sigs
 }
 
 // Worker is a pipeline stage's compute backend: the real implementation
@@ -219,6 +373,18 @@ type Results interface {
 	// Next returns the target model's greedy token following batch
 	// position i (the prediction for run.Tokens[i].Pos + 1).
 	Next(i int) token.Token
+}
+
+// BatchResultsBackend is optionally implemented by head backends that
+// interpret multi-session batched result frames (internal/batch codec):
+// the last stage of a batched run emits a self-describing frame tagging
+// every surviving row with its original index and session, because stages
+// may have masked cancelled sessions' rows out en route. ctxs, when
+// non-nil, holds each original row's session context (the batched
+// counterpart of the ctx argument of Results); context-free backends
+// ignore it.
+type BatchResultsBackend interface {
+	BatchResults(run *RunMsg, ctxs [][]token.Token, payload []byte) Results
 }
 
 // HeadBackend is the head node's compute: the draft model plus result
@@ -358,6 +524,24 @@ type Stats struct {
 	SpecDrops    int
 	Preemptions  int
 	Readmissions int
+
+	// Cross-session batching counters (serving layer, PR 4): multi-session
+	// runs launched, the per-session steps they coalesced (BatchedRows /
+	// BatchedRuns is the realised mean batch width), and per-session rows
+	// surgically masked out of in-flight batched runs instead of
+	// cancelling the whole run.
+	BatchedRuns int
+	BatchedRows int
+	RowCancels  int
+}
+
+// MeanBatch is the realised mean number of per-session steps coalesced
+// per batched run (0 when batching never engaged).
+func (s *Stats) MeanBatch() float64 {
+	if s.BatchedRuns == 0 {
+		return 0
+	}
+	return float64(s.BatchedRows) / float64(s.BatchedRuns)
 }
 
 // TTFT is the time-to-first-token latency (§V-A metric 2).

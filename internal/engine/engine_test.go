@@ -121,11 +121,111 @@ func TestRunMsgPositions(t *testing.T) {
 func TestCancelCodec(t *testing.T) {
 	ids := []uint32{1, 1 << 20, 0xFFFFFFFF}
 	dec := DecodeCancel(EncodeCancel(ids))
-	if len(dec) != 3 || dec[0] != 1 || dec[2] != 0xFFFFFFFF {
+	if len(dec) != 3 || dec[0].ID != 1 || dec[2].ID != 0xFFFFFFFF {
 		t.Fatalf("cancel roundtrip: %v", dec)
+	}
+	for _, sig := range dec {
+		if sig.Sessions != 0 {
+			t.Fatalf("whole-run cancel carries a row mask: %+v", sig)
+		}
+	}
+	// Row-masked entries round-trip too.
+	sigs := []CancelSig{{ID: 9, Sessions: 1 << 5}, {ID: 10}}
+	dec = DecodeCancel(EncodeCancelSigs(sigs))
+	if len(dec) != 2 || dec[0] != sigs[0] || dec[1] != sigs[1] {
+		t.Fatalf("row-mask roundtrip: %v", dec)
 	}
 	if len(DecodeCancel(nil)) != 0 {
 		t.Fatal("empty cancel payload")
+	}
+}
+
+// TestRunMsgV3Codec pins the batched wire format: per-row session tags
+// round-trip, and the flag bit never leaks into Kind.
+func TestRunMsgV3Codec(t *testing.T) {
+	msg := &RunMsg{
+		ID: 42, Kind: KindNonSpec, Seq: 0, Session: 3,
+		Tokens: []TokenPlace{
+			{Tok: 7, Pos: 4, Seqs: kvcache.NewSeqSet(3)},
+			{Tok: 8, Pos: 9, Seqs: kvcache.NewSeqSet(5)},
+		},
+		RowSessions: []uint16{3, 5},
+	}
+	enc := msg.Encode()
+	if len(enc) != msg.EncodedSize() {
+		t.Fatalf("EncodedSize %d != %d", msg.EncodedSize(), len(enc))
+	}
+	dec, err := DecodeRunMsg(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Batched() || dec.Kind != KindNonSpec || dec.RowSessions[1] != 5 {
+		t.Fatalf("v3 decode: %+v", dec)
+	}
+	if dec.RowSession(0) != 3 || dec.RowSession(1) != 5 {
+		t.Fatalf("row sessions: %d %d", dec.RowSession(0), dec.RowSession(1))
+	}
+	if !dec.InvolvesSession(5) || dec.InvolvesSession(4) {
+		t.Fatal("InvolvesSession broken")
+	}
+}
+
+// TestRunMsgV2V3Compat pins backward decoding: the v3 decoder must accept
+// v2 frames byte for byte. The fixture bytes are a frozen v2 encoding
+// (pre-PR-4 layout) of a session-tagged single-token run.
+func TestRunMsgV2V3Compat(t *testing.T) {
+	// ID=0x01020304, Kind=1 (nonspec), Seq=2, Session=7, one token
+	// (Tok=42, Pos=17, Seqs=bit 2), zero KV ops.
+	v2 := []byte{
+		0x04, 0x03, 0x02, 0x01, // ID
+		0x01, 0x02, // Kind, Seq
+		0x07, 0x00, // Session
+		0x01, 0x00, // 1 token
+		42, 0, 0, 0, // Tok
+		17, 0, 0, 0, // Pos
+		0x04, 0, 0, 0, 0, 0, 0, 0, // Seqs = 1<<2
+		0x00, 0x00, // 0 KV ops
+	}
+	msg, err := DecodeRunMsg(v2)
+	if err != nil {
+		t.Fatalf("v3 decoder rejected a v2 frame: %v", err)
+	}
+	if msg.Batched() || msg.ID != 0x01020304 || msg.Kind != KindNonSpec ||
+		msg.Seq != 2 || msg.Session != 7 || len(msg.Tokens) != 1 ||
+		msg.Tokens[0].Tok != 42 || msg.Tokens[0].Pos != 17 {
+		t.Fatalf("v2 frame decoded wrong: %+v", msg)
+	}
+	// And a non-batched message still encodes to the identical v2 bytes.
+	if got := msg.Encode(); len(got) != len(v2) {
+		t.Fatalf("re-encoded v2 frame is %d bytes, want %d", len(got), len(v2))
+	} else {
+		for i := range got {
+			if got[i] != v2[i] {
+				t.Fatalf("re-encoded v2 frame differs at byte %d", i)
+			}
+		}
+	}
+}
+
+// TestRunMsgRowMasks pins the dead-row bookkeeping helpers.
+func TestRunMsgRowMasks(t *testing.T) {
+	msg := &RunMsg{
+		Tokens:      make([]TokenPlace, 3),
+		RowSessions: []uint16{1, 1, 4},
+	}
+	if msg.AllDead() || msg.LiveRows() != 3 {
+		t.Fatal("fresh run has dead rows")
+	}
+	msg.DeadSessions = 1 << 1
+	if !msg.RowDead(0) || !msg.RowDead(1) || msg.RowDead(2) {
+		t.Fatal("mask selects wrong rows")
+	}
+	if msg.AllDead() || msg.LiveRows() != 1 {
+		t.Fatalf("live rows %d", msg.LiveRows())
+	}
+	msg.DeadSessions |= 1 << 4
+	if !msg.AllDead() || msg.LiveRows() != 0 {
+		t.Fatal("fully masked run not AllDead")
 	}
 }
 
@@ -227,13 +327,34 @@ func TestStatsMetrics(t *testing.T) {
 
 func TestCancelSetGC(t *testing.T) {
 	c := newCancelSet()
-	c.ids[5] = true
-	c.ids[10] = true
+	c.masks[5] = fullCancel
+	c.masks[10] = fullCancel
 	c.gc(7)
-	if c.has(5) {
+	if c.full(5) {
 		t.Fatal("id 5 should be collected")
 	}
-	if !c.has(10) {
+	if !c.full(10) {
 		t.Fatal("id 10 should survive")
+	}
+}
+
+// TestCancelSetMasks pins the row-mask union semantics: per-session
+// masks accumulate, a whole-run signal saturates to full.
+func TestCancelSetMasks(t *testing.T) {
+	c := newCancelSet()
+	c.masks[3] |= 1 << 2
+	c.masks[3] |= 1 << 9
+	if c.full(3) {
+		t.Fatal("partial masks read as full cancel")
+	}
+	if c.mask(3) != (1<<2)|(1<<9) {
+		t.Fatalf("mask union %x", c.mask(3))
+	}
+	c.masks[3] |= fullCancel
+	if !c.full(3) {
+		t.Fatal("full cancel lost")
+	}
+	if c.mask(99) != 0 {
+		t.Fatal("unknown id has a mask")
 	}
 }

@@ -66,20 +66,88 @@ func FuzzDecodeRunMsg(f *testing.F) {
 }
 
 // FuzzDecodeCancel checks the cancellation-signal codec: no panic on any
-// input, and decoded IDs re-encode to exactly the consumed 4-byte groups.
+// input, and decoded entries re-encode to exactly the consumed 12-byte
+// groups (run ID plus session-row mask).
 func FuzzDecodeCancel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeCancel([]uint32{1}))
 	f.Add(EncodeCancel([]uint32{7, 0xdeadbeef, 0, 1 << 30}))
+	f.Add(EncodeCancelSigs([]CancelSig{{ID: 12, Sessions: 1 << 63}, {ID: 13, Sessions: 5}}))
 	f.Add([]byte{1, 2, 3}) // trailing partial group
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ids := DecodeCancel(data)
-		if len(ids) != len(data)/4 {
-			t.Fatalf("decoded %d ids from %d bytes", len(ids), len(data))
+		sigs := DecodeCancel(data)
+		if len(sigs) != len(data)/cancelSigBytes {
+			t.Fatalf("decoded %d entries from %d bytes", len(sigs), len(data))
 		}
-		enc := EncodeCancel(ids)
-		if !bytes.Equal(enc, data[:4*len(ids)]) {
-			t.Fatalf("re-encoding differs: %x vs %x", enc, data[:4*len(ids)])
+		enc := EncodeCancelSigs(sigs)
+		if !bytes.Equal(enc, data[:cancelSigBytes*len(sigs)]) {
+			t.Fatalf("re-encoding differs: %x vs %x", enc, data[:cancelSigBytes*len(sigs)])
+		}
+	})
+}
+
+// fuzzSeedMsgsV3 extends the corpus with batched (wire v3) messages:
+// a two-session non-speculative batch and a same-depth speculative batch
+// with per-session prefix-sharing ops.
+func fuzzSeedMsgsV3() []*RunMsg {
+	return []*RunMsg{
+		{ID: 5, Kind: KindNonSpec, Session: 0, Tokens: []TokenPlace{
+			{Tok: 11, Pos: 3, Seqs: kvcache.NewSeqSet(0)},
+			{Tok: 12, Pos: 8, Seqs: kvcache.NewSeqSet(4)},
+		}, RowSessions: []uint16{0, 4}},
+		{ID: 6, Kind: KindSpec, Session: 1, Seq: 5, Tokens: []TokenPlace{
+			{Tok: 20, Pos: 9, Seqs: kvcache.NewSeqSet(5)},
+			{Tok: 21, Pos: 10, Seqs: kvcache.NewSeqSet(5)},
+			{Tok: 30, Pos: 4, Seqs: kvcache.NewSeqSet(9)},
+			{Tok: 31, Pos: 5, Seqs: kvcache.NewSeqSet(9)},
+		}, RowSessions: []uint16{1, 1, 2, 2}, KVOps: []kvcache.Op{
+			{Kind: kvcache.OpSeqCp, Src: 4, Dst: 5, P0: 0, P1: 9},
+			{Kind: kvcache.OpSeqCp, Src: 8, Dst: 9, P0: 0, P1: 4},
+		}},
+	}
+}
+
+// FuzzDecodeRunMsgV3 fuzzes the v3 (batched) run-message codec with both
+// v2 and v3 seeds: no panic on arbitrary bytes, encode∘decode identity on
+// the accepted prefix, and field-level round-trip equality including the
+// per-row session tags. Accepting every v2 seed frame is the
+// backward-decoding guarantee.
+func FuzzDecodeRunMsgV3(f *testing.F) {
+	for _, m := range append(fuzzSeedMsgs(), fuzzSeedMsgsV3()...) {
+		enc := m.Encode()
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		f.Add(append(enc, 0x7f, 0x80))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeRunMsg(data)
+		if err != nil {
+			return
+		}
+		enc := msg.AppendEncode(nil)
+		if len(enc) != msg.EncodedSize() {
+			t.Fatalf("EncodedSize %d != encoding length %d", msg.EncodedSize(), len(enc))
+		}
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encoding differs from the decoded prefix:\n got %x\nwant %x", enc, data[:min(len(enc), len(data))])
+		}
+		again, err := DecodeRunMsg(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a produced encoding failed: %v", err)
+		}
+		if again.Batched() != msg.Batched() || len(again.RowSessions) != len(msg.RowSessions) {
+			t.Fatalf("batched tags lost: %+v vs %+v", again, msg)
+		}
+		for i := range msg.RowSessions {
+			if again.RowSessions[i] != msg.RowSessions[i] {
+				t.Fatalf("row session %d: %d != %d", i, again.RowSessions[i], msg.RowSessions[i])
+			}
+		}
+		if again.Kind != msg.Kind || again.ID != msg.ID || again.Session != msg.Session {
+			t.Fatalf("decode(encode(m)) != m: %+v vs %+v", again, msg)
+		}
+		if again.DeadSessions != 0 {
+			t.Fatal("DeadSessions leaked onto the wire")
 		}
 	})
 }

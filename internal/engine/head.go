@@ -21,8 +21,13 @@ type Run struct {
 	Ctx       []token.Token
 	Cancelled bool
 	// Seqs are the sequence partitions this run holds; freed and cleaned
-	// when the run completes.
+	// when the run completes. For batched runs they span several sessions'
+	// namespaces — each id is returned to the namespace that owns it.
 	Seqs []kvcache.SeqID
+	// Ctxs, for multi-session batched runs on context-carrying backends,
+	// holds each token row's session context (Ctx is nil then). Rows of
+	// one session share the same slice.
+	Ctxs [][]token.Token
 }
 
 // Head drives the pipeline from rank 0: launching runs, shipping KV
@@ -37,6 +42,7 @@ type Head struct {
 	Local Worker
 
 	nextID   uint32
+	batchBK  BatchResultsBackend // BK's batched-frame view, nil if unsupported
 	inflight ring[*Run]
 	// localResults queues results produced entirely locally (single-node
 	// topology), preserving FIFO semantics without comm.
@@ -65,7 +71,9 @@ func NewHead(ep comm.Endpoint, topo Topology, cfg Config, bk HeadBackend, local 
 	if !topo.HeadIsStage() && local != nil {
 		return nil, fmt.Errorf("engine: inline worker given but head is not a stage")
 	}
-	return &Head{EP: ep, Topo: topo, CFG: cfg.Defaults(), BK: bk, Local: local}, nil
+	h := &Head{EP: ep, Topo: topo, CFG: cfg.Defaults(), BK: bk, Local: local}
+	h.batchBK, _ = bk.(BatchResultsBackend)
+	return h, nil
 }
 
 // Inflight returns the number of runs currently in the pipeline.
@@ -105,19 +113,71 @@ func (h *Head) Recycle(run *Run) {
 	h.freeRuns = append(h.freeRuns, run)
 }
 
+// adjustSessInflight credits delta to every distinct session a run
+// involves: a plain run is one session's, a batched run fans out into one
+// per-session completion per distinct RowSessions entry.
+func (h *Head) adjustSessInflight(msg *RunMsg, delta int) {
+	grow := func(s uint16) {
+		for int(s) >= len(h.sessInflight) {
+			h.sessInflight = append(h.sessInflight, 0)
+		}
+	}
+	if !msg.Batched() {
+		grow(msg.Session)
+		h.sessInflight[msg.Session] += delta
+		return
+	}
+	for i, s := range msg.RowSessions {
+		dup := false
+		for j := 0; j < i; j++ {
+			if msg.RowSessions[j] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			grow(s)
+			h.sessInflight[s] += delta
+		}
+	}
+}
+
+// distinctSessions counts the sessions a run fans out to.
+func distinctSessions(msg *RunMsg) int {
+	if !msg.Batched() {
+		return 1
+	}
+	n := 0
+	for i, s := range msg.RowSessions {
+		dup := false
+		for j := 0; j < i; j++ {
+			if msg.RowSessions[j] == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n++
+		}
+	}
+	return n
+}
+
 // Launch assigns an ID, evaluates the head's inline stage if present, and
 // sends the run down the pipeline. It returns the tracking record.
 func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run {
 	h.nextID++
 	msg.ID = h.nextID
+	msg.DeadSessions = 0
 	run := h.newRun()
 	run.Msg, run.Ctx, run.Seqs = msg, ctx, seqs
 	h.inflight.push(run)
-	for int(msg.Session) >= len(h.sessInflight) {
-		h.sessInflight = append(h.sessInflight, 0)
-	}
-	h.sessInflight[msg.Session]++
+	h.adjustSessInflight(msg, 1)
 	h.Stats.RunsLaunched++
+	if msg.Batched() {
+		h.Stats.BatchedRuns++
+		h.Stats.BatchedRows += distinctSessions(msg)
+	}
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindLaunch, msg.ID,
 			fmt.Sprintf("%s batch=%d base=%d", msg.Kind, msg.Len(), msg.BasePos()))
@@ -186,7 +246,7 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 		payload = h.EP.Recv(h.Topo.LastStage(), comm.TagResult)
 	}
 	run = h.inflight.pop()
-	h.sessInflight[run.Msg.Session]--
+	h.adjustSessInflight(run.Msg, -1)
 	data, hasData := PayloadData(payload)
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
@@ -198,8 +258,14 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 	}
 	// Backends consume the payload inside Results (the real backend
 	// extracts greedy choices eagerly; the simulated one replays the
-	// oracle), so the wire buffer can return to the pool here.
-	res = h.BK.Results(run.Msg, run.Ctx, data)
+	// oracle), so the wire buffer can return to the pool here. Batched
+	// runs carry a self-describing multi-session result frame and go
+	// through the backend's batch view.
+	if run.Msg.Batched() && h.batchBK != nil {
+		res = h.batchBK.BatchResults(run.Msg, run.Ctxs, data)
+	} else {
+		res = h.BK.Results(run.Msg, run.Ctx, data)
+	}
 	comm.PutBuf(payload)
 	return run, res, true, nil
 }
@@ -210,29 +276,72 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 // discards their results. Signals carry run IDs, which are unique across
 // sessions, so cancelling one session's runs can never touch another's.
 func (h *Head) Cancel(runs []*Run) {
-	ids := make([]uint32, 0, len(runs))
+	payload := comm.GetBuf(cancelSigBytes * len(runs))
+	n := 0
 	for _, r := range runs {
 		if r.Cancelled {
 			continue
 		}
 		r.Cancelled = true
-		ids = append(ids, r.Msg.ID)
+		n++
+		payload = appendCancelSig(payload, CancelSig{ID: r.Msg.ID})
 		h.Stats.RunsCancelled++
 		if h.Trace != nil {
 			h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, r.Msg.ID, r.Msg.Kind.String())
 		}
 	}
-	if len(ids) == 0 || h.CFG.DisableCancel {
+	if n > 0 && !h.CFG.DisableCancel {
+		h.broadcastCancel(payload)
+	}
+	comm.PutBuf(payload)
+}
+
+// CancelRows surgically masks session slot's rows out of an in-flight
+// batched run instead of cancelling the whole run: the head stops
+// delivering those rows' results (the serving demux skips dead rows), and
+// when signal is set a row-masked cancellation signal lets every stage
+// skip the rows' evaluation too. signal must only be set when the
+// session's sequences are cleaned up namespace-wide afterwards (chain
+// drop, session drain, shard eviction) — stages that honour the mask skip
+// the rows' KV occupancy, so without cleanup their caches would diverge.
+// Once every session of the run is masked, the run counts as cancelled.
+func (h *Head) CancelRows(run *Run, slot uint16, signal bool) {
+	if !run.Msg.Batched() {
+		panic("engine: CancelRows on a non-batched run")
+	}
+	if run.Cancelled || slot >= 64 {
 		return
 	}
-	payload := appendCancel(comm.GetBuf(4*len(ids)), ids)
+	bit := uint64(1) << slot
+	if run.Msg.DeadSessions&bit != 0 {
+		return
+	}
+	run.Msg.DeadSessions |= bit
+	h.Stats.RowCancels++
+	if h.Trace != nil {
+		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, run.Msg.ID,
+			fmt.Sprintf("row-mask session %d", slot))
+	}
+	if run.Msg.AllDead() {
+		run.Cancelled = true
+		h.Stats.RunsCancelled++
+	}
+	if !signal || h.CFG.DisableCancel {
+		return
+	}
+	payload := appendCancelSig(comm.GetBuf(cancelSigBytes), CancelSig{ID: run.Msg.ID, Sessions: bit})
+	h.broadcastCancel(payload)
+	comm.PutBuf(payload)
+}
+
+// broadcastCancel ships a cancellation payload to every worker stage.
+func (h *Head) broadcastCancel(payload []byte) {
 	for _, s := range h.Topo.Stages {
 		if s == h.Topo.Head {
 			continue
 		}
 		h.EP.Send(s, comm.TagCancel, payload, len(payload))
 	}
-	comm.PutBuf(payload)
 }
 
 // SendKV ships cache operations as a pipelined KV transaction: applied to

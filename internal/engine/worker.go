@@ -37,31 +37,44 @@ func PayloadData(p []byte) (data []byte, ok bool) {
 	return p[1:], true
 }
 
-// cancelSet tracks cancellation signals received out-of-band. Run IDs are
-// issued and travel in increasing order, so entries at or below the last
-// processed run can be garbage collected.
+// cancelSet tracks cancellation signals received out-of-band: per run ID
+// the union of row masks seen, with the all-ones mask standing for a
+// whole-run cancellation. Run IDs are issued and travel in increasing
+// order, so entries at or below the last processed run can be garbage
+// collected.
 type cancelSet struct {
-	ids map[uint32]bool
+	masks map[uint32]uint64
 }
 
-func newCancelSet() *cancelSet { return &cancelSet{ids: make(map[uint32]bool)} }
+// fullCancel is the stored mask meaning "the entire run is cancelled".
+const fullCancel = ^uint64(0)
+
+func newCancelSet() *cancelSet { return &cancelSet{masks: make(map[uint32]uint64)} }
 
 func (c *cancelSet) drain(ep comm.Endpoint, head int) {
 	for ep.Iprobe(head, comm.TagCancel) {
 		buf := ep.Recv(head, comm.TagCancel)
-		for _, id := range DecodeCancel(buf) {
-			c.ids[id] = true
+		for _, sig := range DecodeCancel(buf) {
+			m := sig.Sessions
+			if m == 0 {
+				m = fullCancel
+			}
+			c.masks[sig.ID] |= m
 		}
 		comm.PutBuf(buf)
 	}
 }
 
-func (c *cancelSet) has(id uint32) bool { return c.ids[id] }
+// full reports whether the whole run is cancelled.
+func (c *cancelSet) full(id uint32) bool { return c.masks[id] == fullCancel }
+
+// mask returns the union of session-row masks signalled for the run.
+func (c *cancelSet) mask(id uint32) uint64 { return c.masks[id] }
 
 func (c *cancelSet) gc(processed uint32) {
-	for id := range c.ids {
+	for id := range c.masks {
 		if id <= processed {
-			delete(c.ids, id)
+			delete(c.masks, id)
 		}
 	}
 }
@@ -122,22 +135,35 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 
 		cancels.drain(ep, topo.Head)
 		skip := !inputOK // upstream already cancelled: nothing to compute
-		if cancels.has(run.ID) && run.Kind == KindSpec {
+		if cancels.full(run.ID) && (run.Kind == KindSpec || run.Batched()) {
 			// Speculative runs are dropped; non-speculative runs always
 			// run to completion because multibuffering depends on their
-			// cache entries (§IV-D.3).
+			// cache entries (§IV-D.3). Batched runs of any kind may be
+			// dropped whole: the head only fully cancels one when every
+			// involved session's state is cleaned up namespace-wide.
 			skip = true
+		}
+		if !skip && run.Batched() {
+			// Surgical per-session cancellation: mask signalled sessions'
+			// rows out of the batch. Workers skip masked rows' evaluation
+			// and KV occupancy; the head guarantees those sessions'
+			// sequences are cleaned up afterwards, so per-stage knowledge
+			// lag is safe.
+			run.DeadSessions = cancels.mask(run.ID)
+			if run.AllDead() {
+				skip = true
+			}
 		}
 
 		var out []byte
 		wire := 0
 		if !skip {
 			cancelled := func() bool {
-				if run.Kind != KindSpec {
+				if run.Kind != KindSpec && !run.Batched() {
 					return false
 				}
 				cancels.drain(ep, topo.Head)
-				return cancels.has(run.ID)
+				return cancels.full(run.ID)
 			}
 			if data, w_, ok := w.Eval(run, input, cancelled); ok {
 				// Eval's payload aliases worker staging; DataPayload
@@ -169,7 +195,7 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 		// superfluous runs return the empty marker — the head knows it
 		// cancelled them, and skipping the logits transfer is the "final
 		// sampling is skipped" saving of §IV-D.3.
-		if cancels.has(run.ID) {
+		if cancels.full(run.ID) {
 			comm.PutBuf(out)
 			out = EmptyPayload()
 			wire = len(out)

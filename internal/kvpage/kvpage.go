@@ -225,6 +225,17 @@ func (c *Cache) ShardUsed(seqs kvcache.SeqSet) int {
 	return len(sh.pages)*c.pageSize - sh.free
 }
 
+// ShardFree reports the free cells inside pages already mapped to the
+// shard owning seqs (excluding the global free list). The serving
+// layer's batch composer uses it together with FreePages to account
+// multi-shard placements conservatively before admitting a batch.
+func (c *Cache) ShardFree(seqs kvcache.SeqSet) int {
+	return c.shards[c.shardOf(seqs)].free
+}
+
+// FreePages reports the number of unmapped pages on the global free list.
+func (c *Cache) FreePages() int { return len(c.freePages) }
+
 // FindSlots locates n free cells for the shard owning seqs and returns
 // their indices without occupying them (allocating convenience form).
 func (c *Cache) FindSlots(n int, seqs kvcache.SeqSet) ([]int, error) {
@@ -269,6 +280,37 @@ func (c *Cache) FindSlotsInto(dst []int, n int, seqs kvcache.SeqSet) ([]int, err
 			dst = append(dst, base+s)
 			found++
 		}
+	}
+	return dst, nil
+}
+
+// PlaceRowsInto finds and occupies one cell per row of a (possibly
+// multi-session) batch, appending the cell indices to dst and returning
+// the extended slice. Consecutive rows sharing a shard are placed with
+// one FindSlots pass over that shard and occupied immediately, so a
+// cross-session batched run — whose rows are grouped per session, one
+// namespace shard each — places every session's rows inside its own
+// shard: attention isolation and the O(session footprint) cost bound both
+// survive batching. For a uniform single-shard batch the behaviour is
+// exactly FindSlotsInto followed by per-row Occupy.
+func (c *Cache) PlaceRowsInto(dst []int, metas []kvcache.TokenMeta) ([]int, error) {
+	for lo := 0; lo < len(metas); {
+		si := c.shardOf(metas[lo].Seqs)
+		hi := lo + 1
+		for hi < len(metas) && c.shardOf(metas[hi].Seqs) == si {
+			hi++
+		}
+		start := len(dst)
+		d, err := c.FindSlotsInto(dst, hi-lo, metas[lo].Seqs)
+		if err != nil {
+			return nil, err
+		}
+		dst = d
+		for k := start; k < len(dst); k++ {
+			m := metas[lo+k-start]
+			c.Occupy(dst[k], m.Pos, m.Seqs)
+		}
+		lo = hi
 	}
 	return dst, nil
 }

@@ -63,12 +63,18 @@ type Agg struct {
 	SpecDrops    Summary // speculative footprints dropped
 	Preemptions  Summary // sessions parked (namespace evicted)
 	Readmissions Summary // parked sessions readmitted (prefix recompute)
+
+	// Cross-session batching counters per run (serving layer, PR 4).
+	BatchedRuns Summary // multi-session pipeline runs launched
+	MeanBatch   Summary // realised mean sessions per batched run
+	RowCancels  Summary // per-session rows masked out of in-flight batches
 }
 
 // Collector accumulates repetition results for one condition.
 type Collector struct {
 	speed, ttft, itl, acc, mem, cancelled []float64
 	specDrops, preempts, readmits         []float64
+	batchedRuns, meanBatch, rowCancels    []float64
 }
 
 // Add records one generation's stats and per-node memory bytes.
@@ -81,6 +87,9 @@ func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
 	c.specDrops = append(c.specDrops, float64(s.SpecDrops))
 	c.preempts = append(c.preempts, float64(s.Preemptions))
 	c.readmits = append(c.readmits, float64(s.Readmissions))
+	c.batchedRuns = append(c.batchedRuns, float64(s.BatchedRuns))
+	c.meanBatch = append(c.meanBatch, s.MeanBatch())
+	c.rowCancels = append(c.rowCancels, float64(s.RowCancels))
 	if len(perNodeMem) > 0 {
 		var sum float64
 		for _, m := range perNodeMem {
@@ -105,6 +114,9 @@ func (c *Collector) Agg() Agg {
 		SpecDrops:    Summarize(c.specDrops),
 		Preemptions:  Summarize(c.preempts),
 		Readmissions: Summarize(c.readmits),
+		BatchedRuns:  Summarize(c.batchedRuns),
+		MeanBatch:    Summarize(c.meanBatch),
+		RowCancels:   Summarize(c.rowCancels),
 	}
 }
 

@@ -84,3 +84,21 @@ func TestDurationSummary(t *testing.T) {
 		t.Fatalf("duration summary %q", got)
 	}
 }
+
+// TestBatchingCounters checks the PR-4 batching counters flow through
+// aggregation: batched runs, realised mean batch width and row cancels.
+func TestBatchingCounters(t *testing.T) {
+	var c Collector
+	c.Add(engine.Stats{BatchedRuns: 4, BatchedRows: 12, RowCancels: 2}, nil)
+	c.Add(engine.Stats{BatchedRuns: 2, BatchedRows: 8, RowCancels: 0}, nil)
+	a := c.Agg()
+	if a.BatchedRuns.Mean != 3 {
+		t.Fatalf("BatchedRuns mean %v", a.BatchedRuns.Mean)
+	}
+	if a.MeanBatch.Mean != 3.5 { // (12/4 + 8/2) / 2
+		t.Fatalf("MeanBatch mean %v", a.MeanBatch.Mean)
+	}
+	if a.RowCancels.Mean != 1 {
+		t.Fatalf("RowCancels mean %v", a.RowCancels.Mean)
+	}
+}

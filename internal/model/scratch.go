@@ -85,20 +85,20 @@ func ensureMat(dst *tensor.Mat, rows, cols int) {
 }
 
 // BatchFor assembles the evaluation batch for toks/meta against the paged
-// cache: it finds and occupies cache cells (in the shard owning the batch's
-// sequences) and computes per-token visibility, all into reused scratch
-// storage. The returned batch (and its slices) alias the scratch and are
-// valid until the next BatchFor call.
+// cache: it finds and occupies cache cells and computes per-token
+// visibility, all into reused scratch storage. Rows are placed grouped by
+// owning shard (kvpage.PlaceRowsInto), so a cross-session batched run —
+// rows grouped per session, one namespace shard each — keeps every
+// session's cells and visibility inside its own shard; a single-session
+// batch behaves exactly as before. The returned batch (and its slices)
+// alias the scratch and are valid until the next BatchFor call.
 func (s *Scratch) BatchFor(cache *kvpage.Cache, toks []token.Token, meta []kvcache.TokenMeta) (*Batch, error) {
 	n := len(toks)
-	cells, err := cache.FindSlotsInto(s.cells[:0], n, meta[0].Seqs)
+	cells, err := cache.PlaceRowsInto(s.cells[:0], meta)
 	if err != nil {
 		return nil, err
 	}
 	s.cells = cells
-	for i, c := range cells {
-		cache.Occupy(c, meta[i].Pos, meta[i].Seqs)
-	}
 	if cap(s.vis) < n {
 		vis := make([][]int, n)
 		copy(vis, s.vis)

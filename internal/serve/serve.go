@@ -75,16 +75,36 @@
 // (ties: largest footprint) and only at or below the requester's
 // priority.
 //
+// # Cross-session batching (PR 4)
+//
+// With Config.MaxBatch > 1 the scheduler coalesces compatible sessions'
+// steps into shared multi-row pipeline runs through the batch composer
+// (internal/batch): every ready non-speculative decode step joins one
+// batched run (up to MaxBatch sessions, held back at most BatchWindow
+// steps while the pipeline is busy), and same-depth speculative chain
+// segments batch likewise. Per-row (session, seq-set, position) tags
+// travel as wire format v3; per-row sequence sets keep attention
+// per-session-isolated, so batched output is bit-identical to the
+// unbatched schedule (TestServeBatchedGreedyParity). Per-session
+// cancellation of a batched run surgically masks just that session's
+// rows out of the in-flight batch (engine.Head.CancelRows) instead of
+// cancelling the whole run, and the last stage's result arrives as a
+// self-describing multi-session frame demuxed row group by row group.
+// Batching composes with the memory-pressure protocol: batch admission
+// is gated on the shadow cache with a conservative multi-shard account,
+// and pressure escalation falls back to solo launches.
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
-// TestServeStepAllocs in backend/realbk).
+// TestServeStepAllocs in backend/realbk), batched or not.
 package serve
 
 import (
 	"fmt"
 	"time"
 
+	"github.com/pipeinfer/pipeinfer/internal/batch"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
@@ -141,6 +161,19 @@ type Config struct {
 	// a parked request readmitted via prefix recompute.
 	OnPreempt func(req int)
 	OnReadmit func(req int)
+	// MaxBatch enables cross-session batching (internal/batch, PR 4): up
+	// to MaxBatch sessions' compatible steps — non-speculative decode
+	// steps, and same-depth speculative chain segments — are coalesced
+	// into one multi-row pipeline run, amortising per-run overhead at
+	// high session counts. 0 or 1 disables batching (the pre-PR-4
+	// one-run-per-session schedule, byte-identical behaviour).
+	MaxBatch int
+	// BatchWindow bounds how many consecutive scheduler steps a partially
+	// filled batch may wait for more ready sessions while the pipeline is
+	// busy; a batch is always launched immediately when the pipeline is
+	// idle, so single-session latency never regresses. 0 (the default)
+	// launches every batch as soon as it is collected.
+	BatchWindow int
 }
 
 // Normalize fills the derived session-layout defaults: slot count
@@ -244,12 +277,22 @@ type Scheduler struct {
 	// point of the stream, which is what makes its CanPlace verdicts safe.
 	kv *kvpage.Cache
 
+	// composer coalesces ready sessions' steps into multi-row runs
+	// (nil when batching is disabled).
+	composer *batch.Composer
+
 	// Reusable scratch: all uses are synchronous within one step.
 	msgPool []*engine.RunMsg
 	ops     []kvcache.Op
 	victims []*engine.Run
 	ctx     []token.Token
 	kvCells []int
+	rowMeta []kvcache.TokenMeta
+	ready   []*session
+	specSel []*session
+	specBuf []token.Token
+	specLen []int
+	ctxPool [][][]token.Token
 }
 
 // New validates the configuration and builds a scheduler over h. The head
@@ -285,6 +328,9 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		}
 		totalNew += reqs[i].MaxNew
 	}
+	if cfg.MaxBatch > cfg.MaxSessions {
+		cfg.MaxBatch = cfg.MaxSessions
+	}
 	s := &Scheduler{
 		h:       h,
 		cfg:     cfg,
@@ -292,6 +338,9 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		results: make([]Result, len(reqs)),
 		slots:   make([]*session, cfg.MaxSessions),
 		specCap: max(2, h.CFG.MaxInflight/cfg.MaxSessions),
+	}
+	if cfg.MaxBatch > 1 {
+		s.composer = &batch.Composer{MaxBatch: cfg.MaxBatch, Window: cfg.BatchWindow}
 	}
 	if cfg.KV.Cells > 0 {
 		// The shadow must partition shards exactly like the stages do.
@@ -385,10 +434,14 @@ func (s *Scheduler) admit() {
 
 // tryLaunch admits at most one run, visiting sessions round-robin from
 // just past the last admitted one so every session gets a fair share of
-// the global in-flight budget.
+// the global in-flight budget. With batching enabled, one admitted run
+// may carry several sessions' steps.
 func (s *Scheduler) tryLaunch() bool {
 	if s.h.Inflight() >= s.h.CFG.MaxInflight {
 		return false
+	}
+	if s.composer != nil {
+		return s.tryLaunchBatching()
 	}
 	n := len(s.slots)
 	for i := 0; i < n; i++ {
@@ -401,6 +454,95 @@ func (s *Scheduler) tryLaunch() bool {
 			s.rr = (idx + 1) % n
 			return true
 		}
+	}
+	return false
+}
+
+// tryLaunchBatching is the batching-mode launch pass:
+//
+//  1. collect every session with a ready non-speculative decode step
+//     (round-robin, bounded by MaxBatch and a conservative multi-shard
+//     room account) and launch them as one batched run — unless the
+//     bounded batch window says a partial batch should wait for more;
+//  2. otherwise serve prefill / readmission / pressure-escalated work
+//     through the ordinary per-session path;
+//  3. otherwise draft speculative chains for eligible sessions and
+//     launch the largest same-depth group as one batched speculative run.
+func (s *Scheduler) tryLaunchBatching() bool {
+	n := len(s.slots)
+
+	// Pass 1: non-speculative decode steps.
+	ready := s.ready[:0]
+	var blocked *session
+	active := 0
+	freePages := -1
+	for i := 0; i < n; i++ {
+		sess := s.slots[(s.rr+i)%n]
+		if sess == nil {
+			continue
+		}
+		if sess.state == stateDecode || sess.state == statePrefill {
+			active++
+		}
+		if sess.state != stateDecode || !(sess.wantNonSpec || s.inflight(sess) == 0) {
+			continue
+		}
+		if len(ready) >= s.cfg.MaxBatch {
+			continue
+		}
+		if s.kv != nil {
+			// Conservative collective account: a shard with a mapped free
+			// cell pays for itself; otherwise it consumes one page from a
+			// shared free-page budget.
+			if s.kv.ShardFree(sess.canonSet) < 1 {
+				if freePages < 0 {
+					freePages = s.kv.FreePages()
+				}
+				if freePages < 1 {
+					if blocked == nil {
+						blocked = sess
+					}
+					continue
+				}
+				freePages--
+			}
+		}
+		ready = append(ready, sess)
+	}
+	s.ready = ready
+	if len(ready) > 0 {
+		if s.composer.ShouldHold(len(ready), active > len(ready), s.h.Inflight() > 0) {
+			return false // Step consumes a result instead; steps stay ready
+		}
+		s.launchNonSpecBatch(ready)
+		s.rr = (int(ready[len(ready)-1].slot) + 1) % n
+		return true
+	}
+	// Ready sessions exist but none fit: escalate through the pressure
+	// protocol for the first blocked one and launch it solo.
+	if blocked != nil && s.ensureRoom(blocked, 1) {
+		blocked.wantNonSpec = false
+		s.launchNonSpec(blocked)
+		s.rr = (blocked.slot + 1) % n
+		return true
+	}
+
+	// Pass 2: prefill and readmission work (and their escalation paths).
+	for i := 0; i < n; i++ {
+		idx := (s.rr + i) % n
+		sess := s.slots[idx]
+		if sess == nil || (sess.state != statePrefill && sess.state != stateParked) {
+			continue
+		}
+		if s.launchFor(sess) {
+			s.rr = (idx + 1) % n
+			return true
+		}
+	}
+
+	// Pass 3: same-depth speculative batching.
+	if s.cfg.Speculate {
+		return s.tryLaunchSpecBatch()
 	}
 	return false
 }
@@ -503,7 +645,12 @@ func (s *Scheduler) dropSpecPages(sess *session) bool {
 	victims := s.victims[:0]
 	for i := 0; i < s.h.Inflight(); i++ {
 		r := s.h.InflightAt(i)
-		if int(r.Msg.Session) == sess.slot && !r.Cancelled && r.Msg.Kind == engine.KindSpec {
+		if r.Cancelled || r.Msg.Kind != engine.KindSpec || !r.Msg.InvolvesSession(uint16(sess.slot)) {
+			continue
+		}
+		if r.Msg.Batched() {
+			s.cancelRowsFor(sess, r, true)
+		} else {
 			victims = append(victims, r)
 		}
 	}
@@ -602,30 +749,39 @@ func (s *Scheduler) getMsg(n int) *engine.RunMsg {
 		m.Tokens = make([]engine.TokenPlace, n)
 	}
 	m.Tokens = m.Tokens[:n]
+	m.RowSessions = m.RowSessions[:0]
+	m.DeadSessions = 0
 	m.KVOps = nil
 	return m
 }
 
 func (s *Scheduler) putMsg(m *engine.RunMsg) {
 	m.Tokens = m.Tokens[:0]
+	m.RowSessions = m.RowSessions[:0]
+	m.DeadSessions = 0
 	m.KVOps = nil
 	s.msgPool = append(s.msgPool, m)
 }
 
 // launch mirrors the run into the shadow cache — its KV ops, then one
-// occupied cell per token — and hands it to the head. ensureRoom/roomFor
-// have already guaranteed the cells exist.
+// occupied cell per token, rows placed per owning shard — and hands it to
+// the head. ensureRoom/roomFor (or the batch collection's collective
+// account) have already guaranteed the cells exist.
 func (s *Scheduler) launch(msg *engine.RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *engine.Run {
 	if s.kv != nil {
 		s.kv.ApplyAll(msg.KVOps)
-		cells, err := s.kv.FindSlotsInto(s.kvCells[:0], len(msg.Tokens), msg.Tokens[0].Seqs)
+		if cap(s.rowMeta) < len(msg.Tokens) {
+			s.rowMeta = make([]kvcache.TokenMeta, len(msg.Tokens))
+		}
+		meta := s.rowMeta[:len(msg.Tokens)]
+		for i, tp := range msg.Tokens {
+			meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
+		}
+		cells, err := s.kv.PlaceRowsInto(s.kvCells[:0], meta)
 		if err != nil {
 			panic(fmt.Sprintf("serve: shadow cache underprovisioned for admitted launch: %v", err))
 		}
 		s.kvCells = cells[:0]
-		for i, c := range cells {
-			s.kv.Occupy(c, msg.Tokens[i].Pos, msg.Tokens[i].Seqs)
-		}
 	}
 	return s.h.Launch(msg, ctx, seqs)
 }
@@ -666,6 +822,279 @@ func (s *Scheduler) launchNonSpec(sess *session) {
 	}
 	s.launch(msg, ctx, nil)
 	sess.stats.RunsLaunched++
+}
+
+// launchNonSpecBatch coalesces the ready sessions' single-token decode
+// steps into one multi-session run. A batch of one takes the ordinary
+// solo path, so batching never changes the wire format until it actually
+// coalesces.
+func (s *Scheduler) launchNonSpecBatch(ready []*session) {
+	if len(ready) == 1 {
+		ready[0].wantNonSpec = false
+		s.launchNonSpec(ready[0])
+		return
+	}
+	for _, sess := range ready {
+		a := len(sess.accepted)
+		var ctx []token.Token
+		if s.cfg.NeedCtx {
+			ctx = sess.accepted[: a-1 : a-1]
+		}
+		s.composer.Stage(batch.Row{
+			Session: uint16(sess.slot),
+			Tok:     sess.accepted[a-1],
+			Pos:     int32(a - 1),
+			Seqs:    sess.canonSet,
+			Ctx:     ctx,
+		})
+		sess.wantNonSpec = false
+		sess.stats.RunsLaunched++
+	}
+	s.launchComposed(engine.KindNonSpec, nil)
+}
+
+// launchComposed turns the composer's staged rows into a v3 run message
+// and launches it; seqs are the speculative partitions the run holds
+// (nil for non-speculative batches).
+func (s *Scheduler) launchComposed(kind engine.RunKind, seqs []kvcache.SeqID) *engine.Run {
+	msg := s.getMsg(0)
+	var ctxs [][]token.Token
+	if s.cfg.NeedCtx {
+		ctxs = s.getCtxs()
+	}
+	ctxs = s.composer.ComposeInto(msg, kind, ctxs, s.cfg.NeedCtx)
+	msg.Seq = kvcache.SeqID(0)
+	if len(seqs) > 0 {
+		msg.Seq = seqs[0]
+	} else {
+		// Primary seq: the first row's canonical sequence.
+		msg.Seq = msg.Tokens[0].Seqs.Min()
+	}
+	run := s.launch(msg, nil, seqs)
+	run.Ctxs = ctxs
+	return run
+}
+
+// getCtxs returns a pooled per-row context array for a batched run.
+func (s *Scheduler) getCtxs() [][]token.Token {
+	if k := len(s.ctxPool); k > 0 {
+		c := s.ctxPool[k-1]
+		s.ctxPool = s.ctxPool[:k-1]
+		return c[:0]
+	}
+	return nil
+}
+
+func (s *Scheduler) putCtxs(c [][]token.Token) {
+	if c != nil {
+		s.ctxPool = append(s.ctxPool, c[:0])
+	}
+}
+
+// draftChain drafts one micro-batch extending sess's speculation
+// frontier, appending the tokens to s.specBuf and returning how many were
+// drafted (0 = frontier covered or a confidence stall). Apart from the
+// reactive cutoff decay on a stall, it leaves the session untouched, so
+// candidates that end up outside the launched same-depth group simply
+// re-draft on a later step.
+func (s *Scheduler) draftChain(sess *session) int {
+	ctx := append(s.ctx[:0], sess.accepted...)
+	for _, pt := range sess.pending {
+		ctx = append(ctx, pt.tok)
+	}
+	if len(ctx) >= sess.prompt+sess.maxNew {
+		s.ctx = ctx[:0]
+		return 0
+	}
+	n := 0
+	for n < s.h.CFG.MicroBatch {
+		cand, probs := s.h.BK.Propose(ctx, 1)
+		if len(cand) == 0 || probs[0] < sess.cutoff {
+			break
+		}
+		s.specBuf = append(s.specBuf, cand[0])
+		ctx = append(ctx, cand[0])
+		n++
+	}
+	s.ctx = ctx[:0]
+	if n == 0 {
+		sess.cutoff -= s.h.CFG.CutoffDecay
+		if sess.cutoff < 0.02 {
+			sess.cutoff = 0.02
+		}
+	}
+	return n
+}
+
+// tryLaunchSpecBatch drafts chains for every speculation-eligible session
+// and launches the largest same-depth group as one batched speculative
+// run — each session's chain in its own freshly allocated partition of
+// its own namespace, prefix-sharing ops concatenated per session.
+func (s *Scheduler) tryLaunchSpecBatch() bool {
+	n := len(s.slots)
+	sel := s.specSel[:0]
+	lens := s.specLen[:0]
+	s.specBuf = s.specBuf[:0]
+	freePages := -1
+	for i := 0; i < n && len(sel) < s.cfg.MaxBatch; i++ {
+		sess := s.slots[(s.rr+i)%n]
+		if sess == nil || sess.state != stateDecode || sess.alloc == nil {
+			continue
+		}
+		if s.inflight(sess) >= s.specCap || sess.alloc.Available() == 0 {
+			continue
+		}
+		drafted := s.draftChain(sess)
+		if drafted == 0 {
+			continue
+		}
+		// Speculation is optional work: skip the candidate under memory
+		// pressure (conservative multi-shard account, never escalating).
+		if s.kv != nil {
+			free := s.kv.ShardFree(sess.canonSet)
+			if free < drafted {
+				if freePages < 0 {
+					freePages = s.kv.FreePages()
+				}
+				need := (drafted - free + s.kv.PageSize() - 1) / s.kv.PageSize()
+				if freePages < need {
+					s.specBuf = s.specBuf[:len(s.specBuf)-drafted]
+					continue
+				}
+				freePages -= need
+			}
+		}
+		sel = append(sel, sess)
+		lens = append(lens, drafted)
+	}
+	s.specSel, s.specLen = sel, lens
+	if len(sel) == 0 {
+		return false
+	}
+	bestDepth, bestCount := 0, 0
+	for d := 1; d <= s.h.CFG.MicroBatch; d++ {
+		count := 0
+		for _, l := range lens {
+			if l == d {
+				count++
+			}
+		}
+		if count >= bestCount { // prefer deeper chains on ties
+			bestDepth, bestCount = d, count
+		}
+	}
+	launched := s.launchSpecGroup(bestDepth)
+	s.specSel = sel[:0]
+	s.specLen = lens[:0]
+	return launched
+}
+
+// launchSpecGroup composes and launches the drafted chains of depth
+// `depth` as one batched speculative run, then records each session's
+// pending tokens against the launched run's ID. It reports whether a run
+// was launched.
+func (s *Scheduler) launchSpecGroup(depth int) bool {
+	sel, lens := s.specSel, s.specLen
+	ops := s.ops[:0]
+	seqs := make([]kvcache.SeqID, 0, len(sel))
+	off := 0
+	for k, sess := range sel {
+		l := lens[k]
+		if l != depth {
+			off += l
+			continue
+		}
+		seq, ok := sess.alloc.Alloc()
+		if !ok {
+			lens[k] = -1 // out of partitions: drop from the group
+			off += l
+			continue
+		}
+		seqs = append(seqs, seq)
+		a := len(sess.accepted)
+		prefixLen := a + len(sess.pending)
+		// Prefix sharing: canonical prefix plus pending chain segments,
+		// grouped by owning sequence — all inside the session's namespace.
+		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqCp,
+			Src: sess.ns.Canonical(), Dst: seq, P0: 0, P1: int32(a)})
+		for i := 0; i < len(sess.pending); {
+			j := i
+			for j+1 < len(sess.pending) && sess.pending[j+1].seq == sess.pending[i].seq {
+				j++
+			}
+			ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqCp,
+				Src: sess.pending[i].seq, Dst: seq, P0: int32(a + i), P1: int32(a + j + 1)})
+			i = j + 1
+		}
+		var runCtx []token.Token
+		if s.cfg.NeedCtx {
+			// The prefix includes pending tokens, which are rewritten on
+			// rejection — this snapshot must be real.
+			runCtx = make([]token.Token, prefixLen)
+			copy(runCtx, sess.accepted)
+			for i, pt := range sess.pending {
+				runCtx[a+i] = pt.tok
+			}
+		}
+		seqSet := kvcache.NewSeqSet(seq)
+		for i := 0; i < l; i++ {
+			s.composer.Stage(batch.Row{
+				Session: uint16(sess.slot),
+				Tok:     s.specBuf[off+i],
+				Pos:     int32(prefixLen + i),
+				Seqs:    seqSet,
+				Ctx:     runCtx,
+			})
+		}
+		off += l
+	}
+	s.ops = ops
+	if s.composer.Rows() == 0 {
+		s.ops = ops[:0]
+		return false
+	}
+	msg := s.getMsg(0)
+	var ctxs [][]token.Token
+	if s.cfg.NeedCtx {
+		ctxs = s.getCtxs()
+	}
+	ctxs = s.composer.ComposeInto(msg, engine.KindSpec, ctxs, s.cfg.NeedCtx)
+	msg.Seq = seqs[0]
+	msg.KVOps = ops
+	run := s.launch(msg, nil, seqs)
+	run.Ctxs = ctxs
+	msg.KVOps = nil // ops scratch is reused; Launch consumed them
+	s.ops = ops[:0]
+
+	// Record pending chains against the launched run and apply the
+	// continuous-speculation cutoff recovery per session (§IV-B.2).
+	off = 0
+	si := 0
+	for k, sess := range sel {
+		l := lens[k]
+		if l == -1 { // dropped at alloc time; its tokens still occupy buf
+			off += depth
+			continue
+		}
+		if l != depth {
+			off += l
+			continue
+		}
+		seq := seqs[si]
+		si++
+		for i := 0; i < l; i++ {
+			sess.pending = append(sess.pending, pendingTok{tok: s.specBuf[off+i], seq: seq, run: run.Msg.ID})
+		}
+		sess.stats.RunsLaunched++
+		sess.stats.Proposed += l
+		s.h.Stats.Proposed += l
+		sess.cutoff += s.h.CFG.CutoffRecovery
+		if sess.cutoff > 0.95 {
+			sess.cutoff = 0.95
+		}
+		off += l
+	}
+	return true
 }
 
 // trySpeculate drafts one micro-batch extending the session's speculation
@@ -777,6 +1206,9 @@ func (s *Scheduler) handleResult() error {
 	if err != nil {
 		return err
 	}
+	if run.Msg.Batched() {
+		return s.handleBatchedResult(run, res, ok)
+	}
 	slot := int(run.Msg.Session)
 	if slot >= len(s.slots) || s.slots[slot] == nil {
 		return fmt.Errorf("serve: result for idle session slot %d", slot)
@@ -789,7 +1221,7 @@ func (s *Scheduler) handleResult() error {
 	case stateDecode:
 		err = s.onDecode(sess, run, res, ok)
 	case stateDrain:
-		s.sendKV(s.appendCleanup(sess, run, s.ops[:0]))
+		s.sendKV(s.appendCleanup(run, s.ops[:0]))
 	}
 
 	// The run record and its message are ours alone now (pending tokens
@@ -804,6 +1236,66 @@ func (s *Scheduler) handleResult() error {
 		s.finalize(sess)
 	}
 	return nil
+}
+
+// handleBatchedResult demultiplexes one multi-session run's result back
+// to every involved session's state machine: each contiguous per-session
+// row group is consumed exactly as a solo run of that session would be —
+// verification, sampling, promotion, invalidation scans — with rows of
+// cancelled (masked) sessions skipped. The run's speculative partitions
+// are then cleaned up in one pass, each returned to the namespace that
+// owns it, and drained sessions whose last in-flight run this was are
+// finalized.
+func (s *Scheduler) handleBatchedResult(run *engine.Run, res engine.Results, ok bool) error {
+	msg := run.Msg
+	var firstErr error
+	for lo := 0; lo < len(msg.Tokens); {
+		slot, hi := batch.Group(msg, lo)
+		sess := (*session)(nil)
+		if int(slot) < len(s.slots) {
+			sess = s.slots[slot]
+		}
+		if sess == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: batched result row for idle session slot %d", slot)
+			}
+			lo = hi
+			continue
+		}
+		rowOk := ok && !run.Cancelled && !msg.RowDead(lo)
+		switch sess.state {
+		case stateDecode:
+			if err := s.onDecodeRows(sess, run, res, rowOk, lo, hi, nil); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case stateDrain, stateParked:
+			// Masked or obsolete rows; the namespace-wide cleanup that
+			// accompanies drain/park covers their cache entries.
+		case statePrefill:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: batched result for prefilling session slot %d", slot)
+			}
+		}
+		lo = hi
+	}
+	// Run-level cleanup: one SeqRm per held partition, each freed back to
+	// its owning session's allocator.
+	s.sendKV(s.appendCleanup(run, s.ops[:0]))
+	// Finalize drained sessions for which this was the last in-flight run.
+	for lo := 0; lo < len(msg.Tokens); {
+		slot, hi := batch.Group(msg, lo)
+		if int(slot) < len(s.slots) {
+			if sess := s.slots[slot]; sess != nil && sess.state == stateDrain && s.inflight(sess) == 0 {
+				s.finalize(sess)
+			}
+		}
+		lo = hi
+	}
+	s.putCtxs(run.Ctxs)
+	run.Ctxs = nil
+	s.h.Recycle(run)
+	s.putMsg(msg)
+	return firstErr
 }
 
 func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results, ok bool) error {
@@ -836,36 +1328,63 @@ func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results
 	return nil
 }
 
-// onDecode consumes one decode result: verification, sampling, cache
-// promotion, invalidation and follow-up scheduling — the per-session
-// mirror of the core PipeInfer engine's handleResult.
+// onDecode consumes one solo decode result: verification, sampling,
+// cache promotion, invalidation and follow-up scheduling — the
+// per-session mirror of the core PipeInfer engine's handleResult. The
+// run's partitions are cleaned up whatever the outcome, in the same KV
+// transaction as any promotions (one pipelined round per result, as
+// before batching).
 func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results, ok bool) error {
-	ops := s.ops[:0]
 	if !ok || run.Cancelled {
-		s.sendKV(s.appendCleanup(sess, run, ops))
+		s.sendKV(s.appendCleanup(run, s.ops[:0]))
 		return nil
 	}
+	return s.onDecodeRows(sess, run, res, true, 0, run.Msg.Len(), run)
+}
+
+// onDecodeRows consumes session sess's contiguous row group [lo, hi) of a
+// decode result — the whole run for solo runs, one session's slice of a
+// batched run otherwise. ok is false for cancelled runs and masked-out
+// rows, which need no per-session action. When cleanup is non-nil (the
+// solo path), the run's partition cleanup rides the same KV transaction
+// as the promotions; batched callers pass nil and clean up once per run.
+func (s *Scheduler) onDecodeRows(sess *session, run *engine.Run, res engine.Results, ok bool, lo, hi int, cleanup *engine.Run) error {
+	if !ok {
+		if cleanup != nil {
+			s.sendKV(s.appendCleanup(cleanup, s.ops[:0]))
+		}
+		return nil
+	}
+	ops := s.ops[:0]
+	toks := run.Msg.Tokens[lo:hi]
 
 	a := len(sess.accepted)
-	base := int(run.Msg.BasePos())
-	l := run.Msg.Len()
+	base := int(toks[0].Pos)
+	l := hi - lo
 
 	// Superfluous: every output position is already accepted (§IV-D.1).
 	if base+l < a {
 		sess.stats.Superfluous++
 		s.h.Stats.Superfluous++
-		s.sendKV(s.appendCleanup(sess, run, ops))
+		if cleanup != nil {
+			s.sendKV(s.appendCleanup(cleanup, ops))
+		}
 		return nil
 	}
 	// Invalidated: an input token conflicts with the session's accepted
 	// sequence or its (possibly rewritten) pending chain.
-	if !s.inputsValid(sess, run) {
-		s.sendKV(s.appendCleanup(sess, run, ops))
+	if !s.rowsValid(sess, toks) {
+		if cleanup != nil {
+			s.sendKV(s.appendCleanup(cleanup, ops))
+		}
 		return nil
 	}
 
 	i0 := a - 1 - base
 	if i0 < 0 {
+		if cleanup != nil {
+			s.sendKV(s.appendCleanup(cleanup, ops))
+		}
 		return fmt.Errorf("serve: result gap for request %d: accepted end %d, run base %d",
 			sess.req, a, base)
 	}
@@ -875,7 +1394,7 @@ func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results,
 		if sess.generated() >= sess.maxNew {
 			break
 		}
-		next := res.Next(i)
+		next := res.Next(lo + i)
 		if len(sess.pending) > 0 {
 			pt := sess.pending[0]
 			if pt.tok == next {
@@ -907,9 +1426,12 @@ func (s *Scheduler) onDecode(sess *session, run *engine.Run, res engine.Results,
 		sess.cutoff = s.h.CFG.SpecCutoff
 	}
 
-	ops = s.appendCleanup(sess, run, ops)
 	// Promotions and cleanups must be issued before any dependent launch:
 	// transaction order is what makes later runs see the promoted cells.
+	if cleanup != nil {
+		ops = s.appendCleanup(cleanup, ops)
+	}
+	s.ops = ops[:0]
 	s.sendKV(ops)
 	s.scanSession(sess)
 	if sess.generated() >= sess.maxNew {
@@ -942,11 +1464,13 @@ func (s *Scheduler) accept(sess *session, tok token.Token, fromPrefill bool) {
 	}
 }
 
-// inputsValid checks the run's input tokens against the session's current
-// accepted/pending state (§IV-D.1's token-sequence comparison).
-func (s *Scheduler) inputsValid(sess *session, run *engine.Run) bool {
+// rowsValid checks a row group's input tokens against the session's
+// current accepted/pending state (§IV-D.1's token-sequence comparison).
+// For solo runs the group is the whole batch; for batched runs it is the
+// session's own rows.
+func (s *Scheduler) rowsValid(sess *session, toks []engine.TokenPlace) bool {
 	a := len(sess.accepted)
-	for _, tp := range run.Msg.Tokens {
+	for _, tp := range toks {
 		pos := int(tp.Pos)
 		switch {
 		case pos < a:
@@ -965,7 +1489,10 @@ func (s *Scheduler) inputsValid(sess *session, run *engine.Run) bool {
 }
 
 // dropPending discards the session's speculation chain and cancels the
-// session's runs that carried it. Other sessions' runs are untouched.
+// session's runs that carried it. Other sessions' runs are untouched: a
+// batched run carrying the chain has just this session's rows masked out
+// (the signalled mask is safe — the dropped chain's partitions are
+// cleaned up when the run's result arrives).
 func (s *Scheduler) dropPending(sess *session) {
 	if len(sess.pending) == 0 {
 		return
@@ -973,14 +1500,23 @@ func (s *Scheduler) dropPending(sess *session) {
 	victims := s.victims[:0]
 	for i := 0; i < s.h.Inflight(); i++ {
 		r := s.h.InflightAt(i)
-		if int(r.Msg.Session) != sess.slot || r.Cancelled {
+		if r.Cancelled || !r.Msg.InvolvesSession(uint16(sess.slot)) {
 			continue
 		}
+		carried := false
 		for _, pt := range sess.pending {
 			if pt.run == r.Msg.ID {
-				victims = append(victims, r)
+				carried = true
 				break
 			}
+		}
+		if !carried {
+			continue
+		}
+		if r.Msg.Batched() {
+			s.cancelRowsFor(sess, r, true)
+		} else {
+			victims = append(victims, r)
 		}
 	}
 	s.victims = victims
@@ -988,19 +1524,43 @@ func (s *Scheduler) dropPending(sess *session) {
 	s.cancelFor(sess, victims)
 }
 
-// scanSession sweeps the FIFO for this session's runs whose outputs are
-// all already decided (superfluous) or whose inputs conflict
-// (invalidated), and cancels them (§IV-D.1 per session).
+// scanSession sweeps the FIFO for this session's runs (or row groups of
+// batched runs) whose outputs are all already decided (superfluous) or
+// whose inputs conflict (invalidated), and cancels them (§IV-D.1 per
+// session). Batched speculative rows are masked out with a stage signal
+// (their partitions are cleaned at result time); batched non-speculative
+// rows are only marked dead head-side, because stages must still write
+// their canonical cache entries (§IV-D.3 applied per row).
 func (s *Scheduler) scanSession(sess *session) {
 	a := len(sess.accepted)
+	slot := uint16(sess.slot)
 	victims := s.victims[:0]
 	for i := 0; i < s.h.Inflight(); i++ {
 		r := s.h.InflightAt(i)
-		if int(r.Msg.Session) != sess.slot || r.Cancelled {
+		if r.Cancelled {
 			continue
 		}
-		if int(r.Msg.MaxPos())+1 < a || !s.inputsValid(sess, r) {
-			victims = append(victims, r)
+		if !r.Msg.Batched() {
+			if int(r.Msg.Session) != sess.slot {
+				continue
+			}
+			if int(r.Msg.MaxPos())+1 < a || !s.rowsValid(sess, r.Msg.Tokens) {
+				victims = append(victims, r)
+			}
+			continue
+		}
+		lo, hi := batch.GroupOf(r.Msg, slot)
+		if lo == hi || r.Msg.RowDead(lo) {
+			continue
+		}
+		maxPos := int32(-1)
+		for _, tp := range r.Msg.Tokens[lo:hi] {
+			if tp.Pos > maxPos {
+				maxPos = tp.Pos
+			}
+		}
+		if int(maxPos)+1 < a || !s.rowsValid(sess, r.Msg.Tokens[lo:hi]) {
+			s.cancelRowsFor(sess, r, r.Msg.Kind == engine.KindSpec)
 		}
 	}
 	s.victims = victims
@@ -1009,12 +1569,25 @@ func (s *Scheduler) scanSession(sess *session) {
 	}
 }
 
-// appendCleanup returns the run's sequence partitions to the session's
-// allocator and appends the SeqRm ops that clear them on every stage.
-func (s *Scheduler) appendCleanup(sess *session, run *engine.Run, ops []kvcache.Op) []kvcache.Op {
+// cancelRowsFor masks sess's rows out of a batched in-flight run,
+// crediting the row cancellation to the session's stats.
+func (s *Scheduler) cancelRowsFor(sess *session, r *engine.Run, signal bool) {
+	before := s.h.Stats.RowCancels
+	s.h.CancelRows(r, uint16(sess.slot), signal)
+	sess.stats.RowCancels += s.h.Stats.RowCancels - before
+}
+
+// appendCleanup returns the run's sequence partitions to their owning
+// sessions' allocators and appends the SeqRm ops that clear them on every
+// stage. Batched speculative runs hold one partition per coalesced
+// session; each id's owner follows from the static namespace partition.
+func (s *Scheduler) appendCleanup(run *engine.Run, ops []kvcache.Op) []kvcache.Op {
 	for _, id := range run.Seqs {
 		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqRm, Src: id, P0: 0, P1: 1 << 30})
-		sess.alloc.Free(id)
+		slot := int(id) / s.cfg.SeqsPerSession
+		if sess := s.slots[slot]; sess != nil && sess.alloc != nil {
+			sess.alloc.Free(id)
+		}
 	}
 	run.Seqs = nil
 	s.ops = ops[:0]
@@ -1022,7 +1595,9 @@ func (s *Scheduler) appendCleanup(sess *session, run *engine.Run, ops []kvcache.
 }
 
 // enterDrain stops a finished session from launching, discards its
-// speculation chain, and cancels whatever it still has in flight. The
+// speculation chain, and cancels whatever it still has in flight — for
+// batched runs, just this session's rows are surgically masked out (the
+// stage signal is safe because finalize removes the whole namespace). The
 // slot is released once the last in-flight run's result arrives.
 func (s *Scheduler) enterDrain(sess *session) {
 	sess.state = stateDrain
@@ -1031,7 +1606,12 @@ func (s *Scheduler) enterDrain(sess *session) {
 	victims := s.victims[:0]
 	for i := 0; i < s.h.Inflight(); i++ {
 		r := s.h.InflightAt(i)
-		if int(r.Msg.Session) == sess.slot && !r.Cancelled {
+		if r.Cancelled || !r.Msg.InvolvesSession(uint16(sess.slot)) {
+			continue
+		}
+		if r.Msg.Batched() {
+			s.cancelRowsFor(sess, r, true)
+		} else {
 			victims = append(victims, r)
 		}
 	}
