@@ -19,12 +19,21 @@
 //	pipeinfer-serve -batch 8 -batch-window 2               # hold a partial batch up to 2
 //	                                                       # scheduler steps while the
 //	                                                       # pipeline is busy
+//	pipeinfer-serve -batch 8 -prefill-chunk 32             # chunked cross-session prefill:
+//	                                                       # prompts split into 32-token chunks
+//	                                                       # that ride in the same runs as
+//	                                                       # decode rows, shortest prompt first
+//	pipeinfer-serve -batch auto                            # adaptive batch width: the scheduler
+//	                                                       # picks each step's width from load,
+//	                                                       # occupancy and measured run overhead
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	pipeinfer "github.com/pipeinfer/pipeinfer"
@@ -32,6 +41,32 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
+
+// parseBatch interprets the -batch flag: "auto" selects the adaptive
+// width controller (optionally capped, "auto:8"), an integer sets a
+// static width, 0/1 disables batching.
+func parseBatch(v string) (width int, auto bool, err error) {
+	if v == "" || v == "0" {
+		return 0, false, nil
+	}
+	if v == "auto" {
+		return 0, true, nil
+	}
+	if rest, ok := strings.CutPrefix(v, "auto:"); ok {
+		w, err := strconv.Atoi(rest)
+		if err != nil || w <= 1 {
+			// Caps <= 1 would silently fall back to the slot-count default
+			// (serve.Config treats them as "no cap given"); reject instead.
+			return 0, false, fmt.Errorf("bad -batch cap %q (want an integer >= 2)", rest)
+		}
+		return w, true, nil
+	}
+	w, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad -batch %q (want an integer or \"auto\")", v)
+	}
+	return w, false, nil
+}
 
 func main() {
 	var (
@@ -48,13 +83,19 @@ func main() {
 		sim       = flag.Bool("sim", false, "serve on the simulated 70B-scale cluster instead")
 		kvCells   = flag.Int("kv-cells", 0, "per-stage KV capacity in cells (0 = fully provisioned; smaller values oversubscribe and engage eviction/preemption)")
 		kvPage    = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16)")
-		batchSz   = flag.Int("batch", 0, "cross-session batching: coalesce up to this many sessions' steps into one multi-row pipeline run (0/1 = off)")
+		batchStr  = flag.String("batch", "0", "cross-session batching: coalesce up to this many sessions' steps into one multi-row pipeline run (0/1 = off; \"auto\" = adaptive width, \"auto:N\" = adaptive capped at N)")
 		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
+		chunk     = flag.Int("prefill-chunk", 0, "chunked cross-session prefill: per-run prompt token budget; prompts split into chunks that batch across sessions and ride with decode rows (0 = whole-prompt prefills; needs -batch)")
 	)
 	flag.Parse()
 
+	batchSz, autoBatch, err := parseBatch(*batchStr)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, *batchSz, *batchWin)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch)
 		return
 	}
 
@@ -73,18 +114,20 @@ func main() {
 	}
 
 	opts := pipeinfer.ServeOptions{
-		Nodes:       *nodes,
-		CFG:         engine.Config{MaxNew: *tokens},
-		ModelCfg:    cfg,
-		Seed:        *seed,
-		Speculate:   *speculate,
-		DraftNoise:  float32(*noise),
-		MaxSessions: *slots,
-		KVCells:     *kvCells,
-		KVPageSize:  *kvPage,
-		MaxBatch:    *batchSz,
-		BatchWindow: *batchWin,
-		Requests:    reqs,
+		Nodes:        *nodes,
+		CFG:          engine.Config{MaxNew: *tokens},
+		ModelCfg:     cfg,
+		Seed:         *seed,
+		Speculate:    *speculate,
+		DraftNoise:   float32(*noise),
+		MaxSessions:  *slots,
+		KVCells:      *kvCells,
+		KVPageSize:   *kvPage,
+		MaxBatch:     batchSz,
+		BatchWindow:  *batchWin,
+		PrefillChunk: *chunk,
+		AutoBatch:    autoBatch,
+		Requests:     reqs,
 	}
 	if *stream {
 		opts.OnToken = func(req int, tok token.Token) {
@@ -127,11 +170,19 @@ func main() {
 	fmt.Printf("aggregate: %d tokens in %v (%.1f tok/s); runs: %d launched, %d cancelled\n",
 		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
 		out.Stats.RunsLaunched, out.Stats.RunsCancelled)
+	if len(out.Results) > 0 {
+		var ttftSum time.Duration
+		for _, r := range out.Results {
+			ttftSum += r.Stats.TimeToFirst()
+		}
+		fmt.Printf("latency: mean TTFT %v across %d sessions\n",
+			(ttftSum / time.Duration(len(out.Results))).Round(time.Millisecond), len(out.Results))
+	}
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
 	if out.Stats.BatchedRuns > 0 {
-		fmt.Printf("batching: %d multi-session runs, mean width %.1f, %d rows masked out in flight\n",
-			out.Stats.BatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
+		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
+			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
 	}
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
@@ -142,38 +193,46 @@ func main() {
 
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin int) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
-		Cluster:     pipeinfer.ClusterC().Take(nodes),
-		Pair:        pipeinfer.CPUPairs()[0],
-		CFG:         engine.Config{MaxNew: tokens},
-		Sessions:    sessions,
-		PromptLen:   64,
-		Seed:        seed,
-		Speculate:   speculate,
-		MaxSessions: slots,
-		KVCells:     kvCells,
-		KVPageSize:  kvPage,
-		MaxBatch:    batchSz,
-		BatchWindow: batchWin,
+		Cluster:      pipeinfer.ClusterC().Take(nodes),
+		Pair:         pipeinfer.CPUPairs()[0],
+		CFG:          engine.Config{MaxNew: tokens},
+		Sessions:     sessions,
+		PromptLen:    64,
+		Seed:         seed,
+		Speculate:    speculate,
+		MaxSessions:  slots,
+		KVCells:      kvCells,
+		KVPageSize:   kvPage,
+		MaxBatch:     batchSz,
+		BatchWindow:  batchWin,
+		PrefillChunk: chunk,
+		AutoBatch:    autoBatch,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("== simulated serving: %d sessions over %d nodes (speculate=%v) ==\n",
 		sessions, nodes, speculate)
+	var ttftSum, ttftMean time.Duration
 	for i, res := range out.Results {
+		ttftSum += res.Stats.TimeToFirst()
 		fmt.Printf("session %d: %d tokens, TTFT %v, speed %.1f tok/s\n",
-			i, res.Stats.Generated, res.Stats.TTFT().Round(time.Millisecond), res.Stats.Speed())
+			i, res.Stats.Generated, res.Stats.TimeToFirst().Round(time.Millisecond), res.Stats.Speed())
 	}
-	fmt.Printf("aggregate: %d tokens in %v virtual (%.1f tok/s); acceptance %.0f%%\n",
+	if len(out.Results) > 0 {
+		ttftMean = ttftSum / time.Duration(len(out.Results))
+	}
+	fmt.Printf("aggregate: %d tokens in %v virtual (%.1f tok/s); acceptance %.0f%%; mean TTFT %v\n",
 		out.Stats.Generated, out.Stats.Done.Round(time.Millisecond),
-		out.Stats.Speed(), out.Stats.AcceptanceRate()*100)
+		out.Stats.Speed(), out.Stats.AcceptanceRate()*100,
+		ttftMean.Round(time.Millisecond))
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
 	if out.Stats.BatchedRuns > 0 {
-		fmt.Printf("batching: %d multi-session runs, mean width %.1f, %d rows masked out in flight\n",
-			out.Stats.BatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
+		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
+			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
 	}
 }
 

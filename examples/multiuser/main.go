@@ -14,11 +14,18 @@
 //     -batch users' decode steps coalesce into one multi-row pipeline
 //     run, amortising per-run overhead, with outputs still bit-identical
 //     to each user's solo run;
-//  4. served with the KV cache oversubscribed (-kv-cells/-kv-page), so
+//  4. a prefill burst (-prefill-chunk): 8 sessions with long prompts
+//     arrive simultaneously, once with whole-prompt prefill runs (every
+//     user's first token waits behind the longest prompt at the head of
+//     the FIFO) and once with chunked cross-session prefill batching
+//     (prompts split into chunks scheduled shortest-remaining-first,
+//     riding in the same runs as decode rows) — mean TTFT printed for
+//     both, outputs bit-identical;
+//  5. served with the KV cache oversubscribed (-kv-cells/-kv-page), so
 //     sessions are preempted — their pages evicted pipeline-wide — and
 //     readmitted by recomputing their prefix, with outputs still
 //     bit-identical;
-//  5. served at 70B scale on the simulated cluster, where the
+//  6. served at 70B scale on the simulated cluster, where the
 //     pipeline-fill and batch-amortisation wins are measured in exact
 //     virtual time.
 package main
@@ -46,6 +53,7 @@ func main() {
 	kvPage := flag.Int("kv-page", 8, "KV page size in cells")
 	batchSz := flag.Int("batch", 4, "cross-session batch width for the batched run (sessions coalesced per pipeline run)")
 	batchWin := flag.Int("batch-window", 0, "scheduler steps a partial batch may wait while the pipeline is busy")
+	chunk := flag.Int("prefill-chunk", 24, "prefill chunk budget (tokens per run) for the burst step")
 	flag.Parse()
 	cfg := pipeinfer.TinyModel()
 	cfg.NLayers = 6
@@ -149,7 +157,67 @@ func main() {
 		*batchSz, batchedWall.Round(time.Millisecond), batched.Stats.BatchedRuns,
 		batched.Stats.MeanBatch(), batched.Stats.RunsLaunched, out.Stats.RunsLaunched)
 
-	// 4. Oversubscribed KV: a cache too small to hold every user at once.
+	// 4. A prefill burst: 8 users with long prompts (one very long) press
+	// enter at the same instant. Whole-prompt prefills complete strictly
+	// in FIFO order, so everyone's first token queues behind the longest
+	// prompt; chunked cross-session prefill splits every prompt into
+	// -prefill-chunk-token chunks scheduled shortest-remaining-first, so
+	// short prompts overtake long ones and mean time-to-first-token
+	// drops — with every output still bit-identical.
+	const burstUsers = 8
+	burstReqs := make([]pipeinfer.ServeRequest, burstUsers)
+	for i := range burstReqs {
+		words := 24
+		if i == 0 {
+			words = 160 // the long prompt every other user would queue behind
+		}
+		text := fmt.Sprintf("user %d elaborates:", i)
+		for w := 0; w < words; w++ {
+			text += fmt.Sprintf(" point %d", w)
+		}
+		burstReqs[i] = pipeinfer.ServeRequest{Prompt: tk.Encode(text), MaxNew: 8}
+	}
+	meanTTFT := func(out pipeinfer.ServeOutcome) time.Duration {
+		var sum time.Duration
+		for _, r := range out.Results {
+			sum += r.Stats.TimeToFirst()
+		}
+		return (sum / burstUsers).Round(time.Millisecond)
+	}
+	burstRun := func(prefillChunk int) pipeinfer.ServeOutcome {
+		out, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+			Nodes:        nodes,
+			CFG:          engine.Config{MaxNew: 8},
+			ModelCfg:     cfg,
+			Seed:         42,
+			MaxSessions:  burstUsers,
+			MaxBatch:     *batchSz,
+			PrefillChunk: prefillChunk,
+			Requests:     burstReqs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+	whole := burstRun(0)
+	chunked := burstRun(*chunk)
+	for i := range burstReqs {
+		if len(whole.Results[i].Tokens) != len(chunked.Results[i].Tokens) {
+			log.Fatalf("user %d got a different answer under chunked prefill", i)
+		}
+		for j, tok := range whole.Results[i].Tokens {
+			if chunked.Results[i].Tokens[j] != tok {
+				log.Fatalf("user %d got a different answer under chunked prefill", i)
+			}
+		}
+	}
+	fmt.Printf("\nprefill burst (%d users at once, one long prompt):\n", burstUsers)
+	fmt.Printf("  whole-prompt prefills:  mean TTFT %v\n", meanTTFT(whole))
+	fmt.Printf("  chunked prefill (%d-token chunks): mean TTFT %v (%d chunk runs) — outputs unchanged\n",
+		*chunk, meanTTFT(chunked), chunked.Stats.PrefillBatchedRuns)
+
+	// 5. Oversubscribed KV: a cache too small to hold every user at once.
 	// The scheduler drops speculative pages, preempts idle sessions (their
 	// namespaces evicted on every stage), parks the requests, and readmits
 	// them by recomputing their prefix — outputs must not change by a bit.
@@ -186,7 +254,7 @@ func main() {
 	fmt.Printf("\noversubscribed KV (%d cells, page %d): %d spec drops, %d preemptions, %d readmissions — outputs unchanged\n",
 		cells, *kvPage, pressured.Stats.SpecDrops, pressured.Stats.Preemptions, pressured.Stats.Readmissions)
 
-	// 5. The same scheduling at 70B scale, in virtual time: 16 tenants on
+	// 6. The same scheduling at 70B scale, in virtual time: 16 tenants on
 	// a 8-node cluster with per-session speculation and cross-session
 	// batching.
 	sim, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{

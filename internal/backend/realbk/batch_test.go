@@ -9,6 +9,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -31,17 +32,37 @@ func TestServeBatchedGreedyParity(t *testing.T) {
 		batchWindow int
 		kvCells     int
 		kvPage      int
+		promptLen   int // 0 = the short default prompts
+		chunk       int // chunked cross-session prefill budget
+		autoBatch   bool
 	}{
 		{name: "16-sessions-batch-4", nodes: 2, maxSessions: 16, width: 1, requests: 16, maxBatch: 4},
 		{name: "16-sessions-batch-8-window", nodes: 3, maxSessions: 16, width: 1, requests: 16, maxBatch: 8, batchWindow: 2},
 		{name: "recycled-slots-batch-4", nodes: 2, maxSessions: 5, width: 1, requests: 12, maxBatch: 4},
 		{name: "speculative-batch-4", nodes: 3, speculate: true, maxSessions: 8, width: 4, requests: 8, maxBatch: 4},
 		{name: "oversubscribed-batch-4", nodes: 2, maxSessions: 16, width: 1, requests: 16, maxBatch: 4, kvCells: 128, kvPage: 8},
+		// Chunked cross-session prefill (PR 5): concurrent long-prompt
+		// prefills split into chunks that ride in the same runs as
+		// decode rows — with and without speculation, and composed with
+		// the memory-pressure protocol (oversubscribed KV: chunked
+		// prefill + preemption + chunked prefix-recompute readmission).
+		{name: "chunked-prefill-batch-4", nodes: 2, maxSessions: 8, width: 1, requests: 8, maxBatch: 4, promptLen: 40, chunk: 8},
+		{name: "chunked-prefill-speculative", nodes: 3, speculate: true, maxSessions: 6, width: 4, requests: 6, maxBatch: 4, promptLen: 32, chunk: 8},
+		{name: "chunked-prefill-oversubscribed", nodes: 2, maxSessions: 8, width: 1, requests: 8, maxBatch: 4, promptLen: 40, chunk: 8, kvCells: 160, kvPage: 8},
+		// Adaptive batch width (-batch=auto): the controller must stay
+		// bit-identical at whatever widths it picks, chunked prefill
+		// included.
+		{name: "auto-width-chunked", nodes: 2, maxSessions: 8, width: 1, requests: 8, maxBatch: 8, promptLen: 40, chunk: 8, autoBatch: true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			reqs := serveRequests(tc.requests, maxNew)
+			var reqs []serve.Request
+			if tc.promptLen > 0 {
+				reqs = serveRequestsLen(tc.requests, maxNew, tc.promptLen)
+			} else {
+				reqs = serveRequests(tc.requests, maxNew)
+			}
 			cfg := engine.Config{MaxNew: maxNew}
 			if tc.speculate {
 				cfg.SpecCutoff = 0.02
@@ -59,6 +80,8 @@ func TestServeBatchedGreedyParity(t *testing.T) {
 				BatchWindow:    tc.batchWindow,
 				KVCells:        tc.kvCells,
 				KVPageSize:     tc.kvPage,
+				PrefillChunk:   tc.chunk,
+				AutoBatch:      tc.autoBatch,
 				Requests:       reqs,
 			}
 			out, err := Serve(opts)
@@ -94,7 +117,121 @@ func TestServeBatchedGreedyParity(t *testing.T) {
 			if tc.kvCells > 0 && out.Stats.Preemptions == 0 {
 				t.Fatal("oversubscribed case ran without pressure — undersizing failed")
 			}
+			if tc.chunk > 0 && out.Stats.PrefillBatchedRuns == 0 {
+				t.Fatal("chunked prefill enabled but no chunk run was ever launched")
+			}
 		})
+	}
+}
+
+// TestPrefillChunkResume is the chunked-prefill preemption gate: with
+// the KV cache far too small for every session's prompt, chunked
+// prefills are preempted mid-prompt — their partially recomputed prefix
+// evicted pipeline-wide between chunks — and readmission re-prefills the
+// prompt chunk by chunk from position 0. Every session must still match
+// its serial greedy reference bit for bit, at least one preemption must
+// hit a session that had produced no output yet (a genuine mid-prompt
+// preemption), and no stage may leak a cell (chunked prefill never
+// strands pages on preemption; Serve's end-state check enforces it).
+func TestPrefillChunkResume(t *testing.T) {
+	const maxNew = 24
+	reqs := serveRequestsLen(6, maxNew, 48)
+	started := make([]bool, len(reqs))
+	midPromptPreempts := 0
+	opts := ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        21,
+		MaxSessions: 6,
+		// Well under two sessions' worth of cells for six 48-prompt,
+		// 24-token requests: decoding sessions and later admissions
+		// fight for room, so chunked prefills are preempted mid-prompt.
+		KVCells:      96,
+		KVPageSize:   8,
+		MaxBatch:     4,
+		PrefillChunk: 8,
+		Requests:     reqs,
+	}
+	opts.OnToken = func(req int, tok token.Token) { started[req] = true }
+	opts.OnPreempt = func(req int) {
+		if !started[req] {
+			midPromptPreempts++
+		}
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tokens) != len(ref) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged from its serial reference at token %d after chunked resume: %d != %d",
+					i, j, res.Tokens[j], ref[j])
+			}
+		}
+	}
+	if out.Stats.Preemptions == 0 || out.Stats.Readmissions == 0 {
+		t.Fatalf("pressure never engaged: %d preemptions, %d readmissions",
+			out.Stats.Preemptions, out.Stats.Readmissions)
+	}
+	if midPromptPreempts == 0 {
+		t.Fatal("no session was preempted mid-prompt — the resume path never ran")
+	}
+	if out.Stats.PrefillBatchedRuns == 0 {
+		t.Fatal("no chunked prefill runs launched")
+	}
+}
+
+// TestServeChunkedMatchesWhole runs the same burst with whole-prompt and
+// chunked prefill (same seed, same requests) and checks end-to-end
+// outcome equality — chunking is a pure scheduling change.
+func TestServeChunkedMatchesWhole(t *testing.T) {
+	const maxNew = 7
+	reqs := serveRequestsLen(6, maxNew, 36)
+	run := func(chunk int) ServeOutcome {
+		out, err := Serve(ServeOptions{
+			Nodes:        2,
+			CFG:          engine.Config{MaxNew: maxNew},
+			ModelCfg:     serveModel(4),
+			Seed:         13,
+			MaxSessions:  6,
+			MaxBatch:     4,
+			PrefillChunk: chunk,
+			Requests:     reqs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	whole := run(0)
+	chunked := run(8)
+	for i := range reqs {
+		if len(whole.Results[i].Tokens) != len(chunked.Results[i].Tokens) {
+			t.Fatalf("request %d length differs: %d vs %d", i,
+				len(whole.Results[i].Tokens), len(chunked.Results[i].Tokens))
+		}
+		for j := range whole.Results[i].Tokens {
+			if whole.Results[i].Tokens[j] != chunked.Results[i].Tokens[j] {
+				t.Fatalf("request %d token %d differs between chunked and whole-prompt prefill", i, j)
+			}
+		}
+	}
+	if whole.Stats.PrefillBatchedRuns != 0 {
+		t.Fatal("whole-prompt run counted prefill-chunk runs")
+	}
+	if chunked.Stats.PrefillBatchedRuns == 0 {
+		t.Fatal("chunked run launched no chunk runs")
 	}
 }
 

@@ -44,12 +44,14 @@ type Worker struct {
 	enc  []byte     // encoded output payload staging
 
 	// Batched-run staging: surviving (unmasked) row indices, the
-	// multi-session result-frame tags, and a reusable zero row for
-	// masked slots of inter-stage payloads.
+	// multi-session result-frame tags, a reusable zero row for masked
+	// slots of inter-stage payloads, and the sampling-row selection of
+	// ranged (chunked-prefill) runs.
 	live     []int
 	rowTags  []uint16
 	sessTags []uint16
 	zeros    []byte
+	samp     []int
 }
 
 // NewWorker builds a stage worker over layers [lo, hi). The paged KV
@@ -157,13 +159,23 @@ func (w *Worker) evalBatched(run *engine.RunMsg, input []byte, cancelled func() 
 		return nil, 0, false
 	}
 	if w.last {
-		out := w.m.LogitsInto(&w.out, x, w.sc)
+		// Ranged (chunked-prefill) runs sample only the rows computing
+		// their range's final position: an intermediate prompt chunk's
+		// rows are absent from the result frame and never pay the
+		// vocab-sized output projection. Unranged runs sample every
+		// surviving row, exactly as before ranges existed.
+		samp := w.samp[:0]
 		rt, st := w.rowTags[:0], w.sessTags[:0]
-		for _, i := range live {
+		for k, i := range live {
+			if !run.SamplingRow(i) {
+				continue
+			}
+			samp = append(samp, k)
 			rt = append(rt, uint16(i))
 			st = append(st, run.RowSessions[i])
 		}
-		w.rowTags, w.sessTags = rt, st
+		w.samp, w.rowTags, w.sessTags = samp, rt, st
+		out := w.m.LogitsRowsInto(&w.out, x, samp, w.sc)
 		enc := batch.AppendResultHeader(w.enc[:0], n, rt, st)
 		enc = encodeMatInto(enc, out)
 		w.enc = enc

@@ -56,6 +56,17 @@ type ServeOptions struct {
 	// wait for more ready sessions while the pipeline is busy (0 =
 	// launch immediately).
 	BatchWindow int
+	// PrefillChunk, with batching enabled, splits prompt prefills into
+	// chunks of at most this many tokens per composed run; chunks batch
+	// across sessions and ride in the same multi-row runs as decode rows,
+	// scheduled shortest-remaining-prefill-first (0 = whole-prompt
+	// prefill runs, the pre-chunking schedule).
+	PrefillChunk int
+	// AutoBatch replaces the static batch width with the adaptive
+	// controller (-batch=auto): MaxBatch becomes the cap (default
+	// MaxSessions) and the per-step width tracks demand, pipeline
+	// occupancy and the EMA-measured per-run overhead.
+	AutoBatch bool
 
 	Requests []serve.Request
 	// OnToken, when non-nil, streams accepted tokens as they are sampled.
@@ -234,6 +245,8 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 		OnReadmit:      opts.OnReadmit,
 		MaxBatch:       opts.MaxBatch,
 		BatchWindow:    opts.BatchWindow,
+		PrefillChunk:   opts.PrefillChunk,
+		AutoBatch:      opts.AutoBatch,
 	}, opts.Requests)
 	if err != nil {
 		return ServeOutcome{}, err

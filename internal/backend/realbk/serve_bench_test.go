@@ -3,8 +3,11 @@ package realbk
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
 // benchServeNodes and benchServeTokens fix the serving benchmark
@@ -165,4 +168,115 @@ func BenchmarkServeBatchedThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// burstRequests builds the prefill-burst workload: n sessions arriving
+// together with >= 256-token prompts, heavy-tailed the way real traffic
+// is — a couple of very long prompts (4x) mixed into the batch. Under
+// whole-prompt prefill the pipeline completes prompts strictly in FIFO
+// order, so every session behind a long prompt waits for all of it
+// (head-of-line blocking); chunked prefill schedules chunks
+// shortest-remaining-first and lets the short prompts overtake.
+func burstRequests(n, maxNew int) []serve.Request {
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		plen := 256 + (i%4)*8
+		if i%8 == 0 {
+			plen = 1024
+		}
+		p := make([]token.Token, plen)
+		for j := range p {
+			p[j] = token.Token(token.NumSpecial + (13*i+7*j)%250)
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	return reqs
+}
+
+// BenchmarkServePrefillBurst is the PR-5 acceptance benchmark: 16
+// sessions with >= 256-token prompts arriving at once, served with
+// whole-prompt prefills (the PR-4 schedule), with chunked cross-session
+// prefill, and with the adaptive width controller on top. The headline
+// metric is mean time-to-first-token across the burst (ttft-ms); tok/s
+// over the whole serve (prefill + decode) guards steady-state
+// throughput. Recorded in BENCH_pr5.json.
+func BenchmarkServePrefillBurst(b *testing.B) {
+	const (
+		sessions = 16
+		maxNew   = 8
+	)
+	cases := []struct {
+		name  string
+		chunk int
+		batch int
+		auto  bool
+	}{
+		{name: "whole-prefill", chunk: 0, batch: 8},
+		{name: "chunk=64", chunk: 64, batch: 8},
+		{name: "chunk=64-batch=auto", chunk: 64, batch: 0, auto: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			reqs := burstRequests(sessions, maxNew)
+			total := 0
+			var ttft time.Duration
+			prefillRuns := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := Serve(ServeOptions{
+					Nodes:        benchServeNodes,
+					CFG:          engine.Config{MaxNew: maxNew},
+					ModelCfg:     serveModel(6),
+					Seed:         13,
+					MaxSessions:  sessions,
+					MaxBatch:     tc.batch,
+					PrefillChunk: tc.chunk,
+					AutoBatch:    tc.auto,
+					Requests:     reqs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += out.Stats.Generated
+				for _, r := range out.Results {
+					ttft += r.Stats.TimeToFirst()
+				}
+				prefillRuns += out.Stats.PrefillBatchedRuns
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(ttft.Milliseconds())/float64(b.N*sessions), "ttft-ms")
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+			b.ReportMetric(float64(prefillRuns)/float64(b.N), "chunk-runs")
+		})
+	}
+}
+
+// BenchmarkServeAutoWidth pins the adaptive width controller on the
+// steady-state decode workload: 16 short-prompt sessions decoding
+// continuously, -batch=auto against the hand-tuned static widths of
+// BenchmarkServeBatchedThroughput. Acceptance: auto within 5% of the
+// best static width. Recorded in BENCH_pr5.json.
+func BenchmarkServeAutoWidth(b *testing.B) {
+	const sessions = 16
+	reqs := serveRequests(sessions, benchServeTokens)
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Serve(ServeOptions{
+			Nodes:       benchServeNodes,
+			CFG:         engine.Config{MaxNew: benchServeTokens},
+			ModelCfg:    serveModel(6),
+			Seed:        13,
+			MaxSessions: sessions,
+			AutoBatch:   true,
+			Requests:    reqs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += out.Stats.Generated
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
 }

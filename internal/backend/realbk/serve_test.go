@@ -30,6 +30,20 @@ func serveRequests(n, maxNew int) []serve.Request {
 	return reqs
 }
 
+// serveRequestsLen builds n requests with distinct prompts around plen
+// tokens (varied a little so chunk boundaries differ per session).
+func serveRequestsLen(n, maxNew, plen int) []serve.Request {
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		p := make([]token.Token, plen+i%5)
+		for j := range p {
+			p[j] = token.Token(token.NumSpecial + (11*i+7*j)%250)
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	return reqs
+}
+
 // TestServeGreedyParity is the serving correctness wall on the real
 // backend: every concurrently served session must produce greedy output
 // bit-identical to its own serial single-model reference, whatever mix of

@@ -50,6 +50,13 @@ type ServeOptions struct {
 	// busy (0 = launch immediately).
 	MaxBatch    int
 	BatchWindow int
+	// PrefillChunk, with batching enabled, splits prompt prefills into
+	// chunks of at most this many tokens per composed run (chunked
+	// cross-session prefill, shortest-remaining-first; 0 = whole-prompt
+	// prefill runs). AutoBatch replaces the static width with the
+	// adaptive controller (MaxBatch becomes the cap).
+	PrefillChunk int
+	AutoBatch    bool
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
 	// Trace, when non-nil, records the full pipeline timeline.
@@ -179,6 +186,8 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			KV:             kv,
 			MaxBatch:       opts.MaxBatch,
 			BatchWindow:    opts.BatchWindow,
+			PrefillChunk:   opts.PrefillChunk,
+			AutoBatch:      opts.AutoBatch,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,
 		}, reqs)

@@ -191,21 +191,34 @@ func TestSimServeBatchedGreedyParity(t *testing.T) {
 		batchWindow int
 		kvCells     int
 		kvPage      int
+		promptLen   int // 0 = the short default (12)
+		chunk       int // chunked cross-session prefill budget
+		autoBatch   bool
 	}{
 		{name: "16-sessions-batch-4", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 4},
 		{name: "16-sessions-batch-8-window", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 8, batchWindow: 2},
 		{name: "speculative-batch-4", nodes: 4, speculate: true, sessions: 8, maxSessions: 8, width: 4, maxBatch: 4},
 		{name: "oversubscribed-batch-4", nodes: 4, sessions: 16, maxSessions: 16, width: 1, maxBatch: 4, kvCells: 320, kvPage: 8},
+		// Chunked cross-session prefill (PR 5) at paper scale: long
+		// prompts split into 16-token chunks riding with decode rows,
+		// plain, speculative and with the adaptive width controller.
+		{name: "chunked-prefill-batch-4", nodes: 4, sessions: 8, maxSessions: 8, width: 1, maxBatch: 4, promptLen: 96, chunk: 16},
+		{name: "chunked-prefill-speculative", nodes: 4, speculate: true, sessions: 6, maxSessions: 6, width: 4, maxBatch: 4, promptLen: 64, chunk: 16},
+		{name: "auto-width-chunked", nodes: 4, sessions: 8, maxSessions: 8, width: 1, maxBatch: 8, promptLen: 96, chunk: 16, autoBatch: true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			promptLen := 12
+			if tc.promptLen > 0 {
+				promptLen = tc.promptLen
+			}
 			opts := ServeOptions{
 				Cluster:        cost.ClusterC().Take(tc.nodes),
 				Pair:           cost.CPUPairs()[0],
 				CFG:            engine.Config{MaxNew: maxNew},
 				Sessions:       tc.sessions,
-				PromptLen:      12,
+				PromptLen:      promptLen,
 				Seed:           5,
 				Speculate:      tc.speculate,
 				MaxSessions:    tc.maxSessions,
@@ -214,6 +227,8 @@ func TestSimServeBatchedGreedyParity(t *testing.T) {
 				BatchWindow:    tc.batchWindow,
 				KVCells:        tc.kvCells,
 				KVPageSize:     tc.kvPage,
+				PrefillChunk:   tc.chunk,
+				AutoBatch:      tc.autoBatch,
 			}
 			out, err := Serve(opts)
 			if err != nil {
@@ -235,6 +250,9 @@ func TestSimServeBatchedGreedyParity(t *testing.T) {
 			}
 			if tc.kvCells > 0 && out.Stats.Preemptions == 0 {
 				t.Fatal("oversubscribed batched serving never engaged the pressure protocol")
+			}
+			if tc.chunk > 0 && out.Stats.PrefillBatchedRuns == 0 {
+				t.Fatal("chunked prefill enabled but no chunk run was launched")
 			}
 		})
 	}

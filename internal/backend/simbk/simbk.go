@@ -105,22 +105,26 @@ func (w *Worker) Eval(run *engine.RunMsg, _ []byte, cancelled func() bool) ([]by
 	}
 	w.tr.Record(w.ep.Now(), w.name, trace.KindEvalEnd, run.ID, "done")
 	if w.isLast {
-		// Result payload: logits for every surviving batch token travel
-		// to the head. Batched runs additionally carry the frame header
-		// naming each surviving row, so the head's demux never has to
-		// guess which rows a stage masked out.
-		wire := nl * w.ms.VocabSize * 4
+		// Result payload: logits for every surviving *sampling* batch
+		// token travel to the head. Batched runs additionally carry the
+		// frame header naming each surviving row, so the head's demux
+		// never has to guess which rows a stage masked out; ranged
+		// (chunked-prefill) runs leave intermediate chunk rows out of
+		// both the frame and the charged logits wire entirely.
 		if !run.Batched() {
-			return nil, wire, true
+			return nil, nl * w.ms.VocabSize * 4, true
 		}
 		rt, st := w.rowTags[:0], w.sessTags[:0]
 		for _, i := range live {
+			if !run.SamplingRow(i) {
+				continue
+			}
 			rt = append(rt, uint16(i))
 			st = append(st, run.RowSessions[i])
 		}
 		w.rowTags, w.sessTags = rt, st
 		w.enc = batch.AppendResultHeader(w.enc[:0], run.Len(), rt, st)
-		return w.enc, wire + len(w.enc), true
+		return w.enc, len(rt)*w.ms.VocabSize*4 + len(w.enc), true
 	}
 	return nil, w.ms.ActivationBytes(nl), true
 }

@@ -50,6 +50,15 @@ type Row struct {
 	// Ctx is the row's session context for context-carrying backends
 	// (nil otherwise). Rows of one session share the same slice.
 	Ctx []token.Token
+	// Range, when Len > 0, tags the row with the (position, length)
+	// range its chunk covers a prefix of (the v3 range extension, PR 5):
+	// prefill-chunk rows carry the session's full remaining prefill
+	// range, so only the row computing the range's final position
+	// samples. Zero Len means an ordinary sampling row; ComposeInto
+	// fills its range in as the degenerate (pos, 1) when any staged row
+	// is ranged, and emits no ranges at all otherwise — pure decode
+	// batches stay byte-identical to the pre-range wire format.
+	Range engine.RowRange
 }
 
 // Composer accumulates per-session rows between scheduler steps and
@@ -96,12 +105,17 @@ func (c *Composer) Full() bool { return c.nsess >= c.MaxBatch }
 // ShouldHold applies the bounded batch-window policy to a candidate
 // batch of `sessions` ready sessions: hold back only when the pipeline
 // has work in flight (so holding costs no idle time), the batch is not
-// full, more sessions could plausibly join (moreSessions), and the
-// window has not been exhausted. A held batch's sessions stay ready; the
-// scheduler consumes a result instead, which is exactly what frees more
-// sessions to join.
-func (c *Composer) ShouldHold(sessions int, moreSessions, pipelineBusy bool) bool {
-	if c.Window <= 0 || !pipelineBusy || !moreSessions || sessions == 0 || sessions >= c.MaxBatch {
+// full at this step's width bound (the adaptive controller may cap
+// below MaxBatch — holding a width-capped batch waits for a fill that
+// can never happen), more sessions could plausibly join (moreSessions),
+// and the window has not been exhausted. A held batch's sessions stay
+// ready; the scheduler consumes a result instead, which is exactly what
+// frees more sessions to join.
+func (c *Composer) ShouldHold(sessions, width int, moreSessions, pipelineBusy bool) bool {
+	if width > c.MaxBatch || width <= 0 {
+		width = c.MaxBatch
+	}
+	if c.Window <= 0 || !pipelineBusy || !moreSessions || sessions == 0 || sessions >= width {
 		c.held = 0
 		return false
 	}
@@ -124,6 +138,13 @@ func (c *Composer) ComposeInto(msg *engine.RunMsg, kind engine.RunKind, ctxs [][
 	if n == 0 {
 		panic("batch: composing an empty batch")
 	}
+	ranged := false
+	for i := range c.rows {
+		if c.rows[i].Range.Len > 0 {
+			ranged = true
+			break
+		}
+	}
 	if cap(msg.Tokens) < n {
 		msg.Tokens = make([]engine.TokenPlace, n)
 	}
@@ -132,11 +153,26 @@ func (c *Composer) ComposeInto(msg *engine.RunMsg, kind engine.RunKind, ctxs [][
 	}
 	msg.Tokens = msg.Tokens[:n]
 	msg.RowSessions = msg.RowSessions[:n]
+	if ranged {
+		if cap(msg.RowRanges) < n {
+			msg.RowRanges = make([]engine.RowRange, n)
+		}
+		msg.RowRanges = msg.RowRanges[:n]
+	} else {
+		msg.RowRanges = msg.RowRanges[:0]
+	}
 	msg.Kind = kind
 	msg.DeadSessions = 0
 	for i, r := range c.rows {
 		msg.Tokens[i] = engine.TokenPlace{Tok: r.Tok, Pos: r.Pos, Seqs: r.Seqs}
 		msg.RowSessions[i] = r.Session
+		if ranged {
+			rr := r.Range
+			if rr.Len <= 0 {
+				rr = engine.RowRange{Pos: r.Pos, Len: 1}
+			}
+			msg.RowRanges[i] = rr
+		}
 		if needCtx {
 			ctxs = append(ctxs, r.Ctx)
 		}

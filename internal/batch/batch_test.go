@@ -42,6 +42,55 @@ func TestComposeInto(t *testing.T) {
 	}
 }
 
+// TestComposeIntoRanges checks the range-extension composition rules: a
+// batch with any ranged row (a prefill chunk) emits per-row ranges for
+// every row, filling unranged decode rows with the degenerate (pos, 1)
+// range, while a batch with no ranged rows emits no ranges at all — the
+// pre-range wire format byte for byte.
+func TestComposeIntoRanges(t *testing.T) {
+	var c Composer
+	c.MaxBatch = 4
+	// A 2-row intermediate chunk of session 3 (remaining range 10 from
+	// position 4) plus session 1's decode row.
+	rng := engine.RowRange{Pos: 4, Len: 10}
+	c.Stage(Row{Session: 3, Tok: 20, Pos: 4, Seqs: kvcache.NewSeqSet(3), Range: rng})
+	c.Stage(Row{Session: 3, Tok: 21, Pos: 5, Seqs: kvcache.NewSeqSet(3), Range: rng})
+	c.Stage(Row{Session: 1, Tok: 30, Pos: 8, Seqs: kvcache.NewSeqSet(1)})
+	msg := &engine.RunMsg{}
+	c.ComposeInto(msg, engine.KindNonSpec, nil, false)
+	if !msg.Ranged() || len(msg.RowRanges) != 3 {
+		t.Fatalf("ranged composition: %+v", msg)
+	}
+	if msg.RowRanges[0] != rng || msg.RowRanges[1] != rng {
+		t.Fatalf("chunk ranges %v", msg.RowRanges)
+	}
+	if msg.RowRanges[2] != (engine.RowRange{Pos: 8, Len: 1}) {
+		t.Fatalf("decode row range %+v, want degenerate (8, 1)", msg.RowRanges[2])
+	}
+	if msg.SamplingRow(0) || msg.SamplingRow(1) || !msg.SamplingRow(2) {
+		t.Fatal("sampling rows wrong for a mixed chunk+decode batch")
+	}
+	// A pure decode batch composed into the same (pooled) message must
+	// drop the ranges again.
+	c.Stage(Row{Session: 1, Tok: 31, Pos: 9, Seqs: kvcache.NewSeqSet(1)})
+	c.Stage(Row{Session: 3, Tok: 22, Pos: 6, Seqs: kvcache.NewSeqSet(3)})
+	c.ComposeInto(msg, engine.KindNonSpec, nil, false)
+	if msg.Ranged() {
+		t.Fatal("pure decode batch still carries ranges")
+	}
+	plain := &engine.RunMsg{
+		Kind: engine.KindNonSpec, Session: 1,
+		Tokens: []engine.TokenPlace{
+			{Tok: 31, Pos: 9, Seqs: kvcache.NewSeqSet(1)},
+			{Tok: 22, Pos: 6, Seqs: kvcache.NewSeqSet(3)},
+		},
+		RowSessions: []uint16{1, 3},
+	}
+	if !bytes.Equal(msg.Encode(), plain.Encode()) {
+		t.Fatal("pure decode batch encoding differs from the pre-range format")
+	}
+}
+
 // TestGroups checks the per-session group iteration both ways.
 func TestGroups(t *testing.T) {
 	msg := &engine.RunMsg{
@@ -71,30 +120,30 @@ func TestGroups(t *testing.T) {
 // and at most Window consecutive times.
 func TestShouldHold(t *testing.T) {
 	c := Composer{MaxBatch: 4, Window: 2}
-	if c.ShouldHold(1, true, false) {
+	if c.ShouldHold(1, 0, true, false) {
 		t.Fatal("held back with an idle pipeline — latency regression")
 	}
-	if !c.ShouldHold(1, true, true) || !c.ShouldHold(1, true, true) {
+	if !c.ShouldHold(1, 0, true, true) || !c.ShouldHold(1, 0, true, true) {
 		t.Fatal("window refused to hold a partial batch")
 	}
-	if c.ShouldHold(1, true, true) {
+	if c.ShouldHold(1, 0, true, true) {
 		t.Fatal("window held past its bound")
 	}
 	// The window re-arms after an exhausted hold.
-	if !c.ShouldHold(2, true, true) {
+	if !c.ShouldHold(2, 0, true, true) {
 		t.Fatal("window did not re-arm after flushing")
 	}
 	// Full batch never holds.
 	c = Composer{MaxBatch: 1, Window: 5}
-	if c.ShouldHold(1, true, true) {
+	if c.ShouldHold(1, 0, true, true) {
 		t.Fatal("full batch held back")
 	}
 	// No one left to join, or nobody ready: flush / no-op.
 	c = Composer{MaxBatch: 4, Window: 5}
-	if c.ShouldHold(1, false, true) {
+	if c.ShouldHold(1, 0, false, true) {
 		t.Fatal("held with no sessions left to join")
 	}
-	if c.ShouldHold(0, true, true) {
+	if c.ShouldHold(0, 0, true, true) {
 		t.Fatal("held an empty batch")
 	}
 }

@@ -49,6 +49,15 @@ type TokenPlace struct {
 	Seqs kvcache.SeqSet
 }
 
+// RowRange is one row's (position, length) range in a ranged batched run
+// (wire format v3 range extension): the row's chunk covers a prefix of
+// the logical range [Pos, Pos+Len) of its session's sequence. A plain
+// decode row is the degenerate range (pos, 1).
+type RowRange struct {
+	Pos int32
+	Len int32
+}
+
 // RunMsg is the run configuration the head sends down the pipeline at the
 // start of a decode transaction: identity, batch contents and placement,
 // and the KV operations to apply before evaluation (prefix sharing,
@@ -75,6 +84,20 @@ type RunMsg struct {
 	// belongs to Session (wire format v2, unchanged on the wire).
 	RowSessions []uint16
 
+	// RowRanges, when non-nil, extends a batched run with per-row
+	// (position, length) ranges (wire format v3 range extension, PR 5):
+	// row i belongs to a logical token range [Pos, Pos+Len) of its
+	// session's sequence, of which the run carries a contiguous chunk.
+	// Chunked cross-session prefill rides on this: a prompt split into
+	// PrefillChunk-token chunks tags each chunk row with the remaining
+	// prefill range, so stages know that only the row computing the
+	// range's final position yields a consumable logit row (SamplingRow)
+	// — intermediate chunk rows write KV and forward activations but skip
+	// logits and the result frame entirely. Parallel to Tokens; requires
+	// RowSessions (ranges are meaningless without row groups). nil means
+	// every row samples, exactly the pre-range batched behaviour.
+	RowRanges []RowRange
+
 	// DeadSessions is the set of session slots (bit per slot) whose rows
 	// have been masked out of this batched run by per-session
 	// cancellation. It is NOT wire-encoded: the head sets bits as it
@@ -93,6 +116,23 @@ func (r *RunMsg) Len() int { return len(r.Tokens) }
 // multi-session batched run). Length, not nil-ness, is the test: pooled
 // messages keep an emptied RowSessions backing array between uses.
 func (r *RunMsg) Batched() bool { return len(r.RowSessions) > 0 }
+
+// Ranged reports whether the run carries per-row (position, length)
+// ranges (the v3 range extension). Like Batched, length is the test.
+func (r *RunMsg) Ranged() bool { return len(r.RowRanges) > 0 }
+
+// SamplingRow reports whether token row i's logits are consumed at the
+// head: always true for unranged runs; for ranged runs only the row that
+// computes its range's final position samples — the rows of an
+// intermediate prefill chunk never do, so stages skip their logits and
+// leave them out of the result frame.
+func (r *RunMsg) SamplingRow(i int) bool {
+	if len(r.RowRanges) == 0 {
+		return true
+	}
+	rr := r.RowRanges[i]
+	return r.Tokens[i].Pos == rr.Pos+rr.Len-1
+}
 
 // RowSession returns the session slot owning token row i.
 func (r *RunMsg) RowSession(i int) uint16 {
@@ -175,6 +215,13 @@ func (r *RunMsg) MaxPos() int32 {
 // frames unchanged.
 const kindBatched = 0x80
 
+// kindRanged is the flag bit marking the v3 range extension: one
+// (position, length) range per token row follows the session tags. It is
+// only ever set together with kindBatched — ranges describe row groups,
+// which only batched runs have — and unranged v3 frames decode unchanged,
+// which is what keeps v2/v3 compatibility intact.
+const kindRanged = 0x40
+
 // Encode serialises the message.
 func (r *RunMsg) Encode() []byte {
 	return r.AppendEncode(make([]byte, 0, r.EncodedSize()))
@@ -186,6 +233,9 @@ func (r *RunMsg) EncodedSize() int {
 	n := 12 + 16*len(r.Tokens) + 11*len(r.KVOps)
 	if r.Batched() {
 		n += 2 * len(r.Tokens)
+	}
+	if r.Ranged() {
+		n += 8 * len(r.Tokens)
 	}
 	return n
 }
@@ -204,6 +254,15 @@ func (r *RunMsg) AppendEncode(buf []byte) []byte {
 		}
 		kind |= kindBatched
 	}
+	if r.Ranged() {
+		if !r.Batched() {
+			panic("engine: row ranges without row sessions")
+		}
+		if len(r.RowRanges) != len(r.Tokens) {
+			panic(fmt.Sprintf("engine: %d row ranges for %d tokens", len(r.RowRanges), len(r.Tokens)))
+		}
+		kind |= kindRanged
+	}
 	buf = append(buf, byte(r.ID), byte(r.ID>>8), byte(r.ID>>16), byte(r.ID>>24))
 	buf = append(buf, kind, byte(r.Seq))
 	buf = append(buf, byte(r.Session), byte(r.Session>>8))
@@ -220,6 +279,12 @@ func (r *RunMsg) AppendEncode(buf []byte) []byte {
 			buf = append(buf, byte(s), byte(s>>8))
 		}
 	}
+	if r.Ranged() {
+		for _, rr := range r.RowRanges {
+			buf = appendU32(buf, uint32(rr.Pos))
+			buf = appendU32(buf, uint32(rr.Len))
+		}
+	}
 	return buf
 }
 
@@ -233,9 +298,13 @@ func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 	}
 	kind := buf[4]
 	batched := kind&kindBatched != 0
+	ranged := kind&kindRanged != 0
+	if ranged && !batched {
+		return nil, fmt.Errorf("engine: ranged run message without row sessions")
+	}
 	r := &RunMsg{
 		ID:      uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24,
-		Kind:    RunKind(kind &^ kindBatched),
+		Kind:    RunKind(kind &^ (kindBatched | kindRanged)),
 		Seq:     kvcache.SeqID(buf[5]),
 		Session: uint16(buf[6]) | uint16(buf[7])<<8,
 	}
@@ -277,6 +346,20 @@ func DecodeRunMsg(buf []byte) (*RunMsg, error) {
 		for i := 0; i < n; i++ {
 			r.RowSessions[i] = uint16(buf[off]) | uint16(buf[off+1])<<8
 			off += 2
+		}
+	}
+	if ranged {
+		if len(buf) < off+8*n {
+			return nil, fmt.Errorf("engine: ranged run message truncated: %d row ranges need %d bytes, %d left",
+				n, 8*n, len(buf)-off)
+		}
+		r.RowRanges = make([]RowRange, n)
+		for i := 0; i < n; i++ {
+			r.RowRanges[i] = RowRange{
+				Pos: int32(readU32(buf[off:])),
+				Len: int32(readU32(buf[off+4:])),
+			}
+			off += 8
 		}
 	}
 	return r, nil
@@ -533,6 +616,11 @@ type Stats struct {
 	BatchedRuns int
 	BatchedRows int
 	RowCancels  int
+
+	// Chunked-prefill counters (serving layer, PR 5): batched runs that
+	// carried at least one prompt-prefill chunk group alongside (or
+	// instead of) decode rows.
+	PrefillBatchedRuns int
 }
 
 // MeanBatch is the realised mean number of per-session steps coalesced
@@ -546,6 +634,14 @@ func (s *Stats) MeanBatch() float64 {
 
 // TTFT is the time-to-first-token latency (§V-A metric 2).
 func (s *Stats) TTFT() time.Duration { return s.FirstToken - s.PrefillDone }
+
+// TimeToFirst is the serving-layer time-to-first-token: the wall (or
+// virtual) time from run start until the first token is emitted — the
+// prompt-sampled token that becomes available the moment prefill
+// completes. For a burst of simultaneously arriving sessions this is the
+// latency each user experiences before any output appears; TTFT (above)
+// measures only the post-prefill decode gap.
+func (s *Stats) TimeToFirst() time.Duration { return s.PrefillDone }
 
 // GenTime is the wall/virtual time spent generating (prefill excluded).
 func (s *Stats) GenTime() time.Duration { return s.Done - s.PrefillDone }

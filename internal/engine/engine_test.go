@@ -207,6 +207,69 @@ func TestRunMsgV2V3Compat(t *testing.T) {
 	}
 }
 
+// TestRunMsgRangedRoundTrip pins the v3 range extension: per-row
+// (position, length) ranges survive encode∘decode, the ranged flag
+// composes with the batched flag, SamplingRow picks exactly the rows
+// computing their range's final position, and unranged v3 frames decode
+// with every row sampling — the pre-range behaviour.
+func TestRunMsgRangedRoundTrip(t *testing.T) {
+	msg := &RunMsg{
+		ID: 12, Kind: KindNonSpec, Seq: 8, Session: 2,
+		Tokens: []TokenPlace{
+			{Tok: 50, Pos: 4, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 51, Pos: 5, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 52, Pos: 6, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 7, Pos: 12, Seqs: kvcache.NewSeqSet(0)},
+		},
+		RowSessions: []uint16{2, 2, 2, 0},
+		RowRanges:   []RowRange{{Pos: 4, Len: 3}, {Pos: 4, Len: 3}, {Pos: 4, Len: 3}, {Pos: 12, Len: 1}},
+	}
+	enc := msg.Encode()
+	if len(enc) != msg.EncodedSize() {
+		t.Fatalf("EncodedSize %d != %d", msg.EncodedSize(), len(enc))
+	}
+	dec, err := DecodeRunMsg(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Ranged() || !dec.Batched() || dec.Kind != KindNonSpec {
+		t.Fatalf("ranged decode: %+v", dec)
+	}
+	for i := range msg.RowRanges {
+		if dec.RowRanges[i] != msg.RowRanges[i] {
+			t.Fatalf("range %d: %+v != %+v", i, dec.RowRanges[i], msg.RowRanges[i])
+		}
+	}
+	// Rows 0 and 1 are intermediate chunk rows; row 2 completes the
+	// chunk's range; row 3 is a decode row (degenerate range).
+	want := []bool{false, false, true, true}
+	for i, w := range want {
+		if dec.SamplingRow(i) != w {
+			t.Fatalf("SamplingRow(%d) = %v, want %v", i, dec.SamplingRow(i), w)
+		}
+	}
+	// An unranged batched frame still samples every row.
+	msg.RowRanges = nil
+	dec, err = DecodeRunMsg(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Ranged() {
+		t.Fatal("unranged frame decoded ranged")
+	}
+	for i := range dec.Tokens {
+		if !dec.SamplingRow(i) {
+			t.Fatalf("unranged row %d does not sample", i)
+		}
+	}
+	// A ranged flag without the batched flag is a protocol violation and
+	// must error, never panic or misparse.
+	bad := []byte{1, 0, 0, 0, 0x41, 0, 0, 0, 0, 0}
+	if _, err := DecodeRunMsg(bad); err == nil {
+		t.Fatal("decoder accepted ranges without row sessions")
+	}
+}
+
 // TestRunMsgRowMasks pins the dead-row bookkeeping helpers.
 func TestRunMsgRowMasks(t *testing.T) {
 	msg := &RunMsg{

@@ -107,6 +107,90 @@ func fuzzSeedMsgsV3() []*RunMsg {
 	}
 }
 
+// fuzzSeedMsgsRanges extends the corpus with ranged (v3 range extension)
+// messages: a mixed prefill-chunk + decode-row run, an intermediate chunk
+// with no sampling row, and a single-group final chunk.
+func fuzzSeedMsgsRanges() []*RunMsg {
+	return []*RunMsg{
+		// Mixed: session 2's 3-token prefill chunk completing range
+		// [4, 7), plus session 0's decode row.
+		{ID: 9, Kind: KindNonSpec, Session: 2, Tokens: []TokenPlace{
+			{Tok: 50, Pos: 4, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 51, Pos: 5, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 52, Pos: 6, Seqs: kvcache.NewSeqSet(8)},
+			{Tok: 7, Pos: 12, Seqs: kvcache.NewSeqSet(0)},
+		}, RowSessions: []uint16{2, 2, 2, 0},
+			RowRanges: []RowRange{{Pos: 4, Len: 3}, {Pos: 4, Len: 3}, {Pos: 4, Len: 3}, {Pos: 12, Len: 1}}},
+		// Intermediate chunk: 2 of a remaining 40-token range — no row
+		// samples.
+		{ID: 10, Kind: KindPrefill, Session: 1, Tokens: []TokenPlace{
+			{Tok: 60, Pos: 0, Seqs: kvcache.NewSeqSet(4)},
+			{Tok: 61, Pos: 1, Seqs: kvcache.NewSeqSet(4)},
+		}, RowSessions: []uint16{1, 1},
+			RowRanges: []RowRange{{Pos: 0, Len: 40}, {Pos: 0, Len: 40}}},
+		// Final single-row chunk of a readmitted prefix.
+		{ID: 11, Kind: KindPrefill, Session: 5, Tokens: []TokenPlace{
+			{Tok: 70, Pos: 99, Seqs: kvcache.NewSeqSet(20)},
+		}, RowSessions: []uint16{5},
+			RowRanges: []RowRange{{Pos: 99, Len: 1}}},
+	}
+}
+
+// FuzzDecodeRunMsgRanges fuzzes the v3 range-extension codec with v2, v3
+// and ranged seeds: no panic on arbitrary bytes, encode∘decode identity
+// on the accepted prefix, field-level round-trip equality including the
+// per-row (position, length) ranges, and cross-version compatibility —
+// every v2 and unranged-v3 seed frame must still be accepted unchanged,
+// and a ranged flag without row sessions must be rejected, never
+// misparsed.
+func FuzzDecodeRunMsgRanges(f *testing.F) {
+	seeds := append(fuzzSeedMsgs(), fuzzSeedMsgsV3()...)
+	seeds = append(seeds, fuzzSeedMsgsRanges()...)
+	for _, m := range seeds {
+		enc := m.Encode()
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		f.Add(append(enc, 0x40, 0xc0))
+	}
+	// A ranged-flag frame with no batched flag: must error, not panic.
+	f.Add([]byte{1, 0, 0, 0, 0x41, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeRunMsg(data)
+		if err != nil {
+			return
+		}
+		if msg.Ranged() && !msg.Batched() {
+			t.Fatal("decoder accepted row ranges without row sessions")
+		}
+		enc := msg.AppendEncode(nil)
+		if len(enc) != msg.EncodedSize() {
+			t.Fatalf("EncodedSize %d != encoding length %d", msg.EncodedSize(), len(enc))
+		}
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encoding differs from the decoded prefix:\n got %x\nwant %x", enc, data[:min(len(enc), len(data))])
+		}
+		again, err := DecodeRunMsg(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a produced encoding failed: %v", err)
+		}
+		if again.Ranged() != msg.Ranged() || len(again.RowRanges) != len(msg.RowRanges) {
+			t.Fatalf("row ranges lost: %+v vs %+v", again, msg)
+		}
+		for i := range msg.RowRanges {
+			if again.RowRanges[i] != msg.RowRanges[i] {
+				t.Fatalf("row range %d: %+v != %+v", i, again.RowRanges[i], msg.RowRanges[i])
+			}
+			if again.SamplingRow(i) != msg.SamplingRow(i) {
+				t.Fatalf("sampling row %d changed across the round trip", i)
+			}
+		}
+		if again.Kind != msg.Kind || again.ID != msg.ID || again.Session != msg.Session ||
+			len(again.RowSessions) != len(msg.RowSessions) {
+			t.Fatalf("decode(encode(m)) != m: %+v vs %+v", again, msg)
+		}
+	})
+}
+
 // FuzzDecodeRunMsgV3 fuzzes the v3 (batched) run-message codec with both
 // v2 and v3 seeds: no panic on arbitrary bytes, encode∘decode identity on
 // the accepted prefix, and field-level round-trip equality including the

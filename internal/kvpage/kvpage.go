@@ -236,6 +236,21 @@ func (c *Cache) ShardFree(seqs kvcache.SeqSet) int {
 // FreePages reports the number of unmapped pages on the global free list.
 func (c *Cache) FreePages() int { return len(c.freePages) }
 
+// PagesShort reports how many unmapped free-list pages a placement of n
+// cells into the shard owning seqs would consume beyond the shard's own
+// mapped free cells — 0 when the shard absorbs the whole placement. The
+// serving layer's batch composer charges this against a shared free-page
+// budget before admitting each row group of a multi-session batch, so a
+// variable-length group (a prefill chunk) and a single decode row go
+// through one conservative account.
+func (c *Cache) PagesShort(seqs kvcache.SeqSet, n int) int {
+	free := c.shards[c.shardOf(seqs)].free
+	if n <= free {
+		return 0
+	}
+	return (n - free + c.pageSize - 1) / c.pageSize
+}
+
 // FindSlots locates n free cells for the shard owning seqs and returns
 // their indices without occupying them (allocating convenience form).
 func (c *Cache) FindSlots(n int, seqs kvcache.SeqSet) ([]int, error) {

@@ -288,3 +288,42 @@ func TestFindSlotsAllocFree(t *testing.T) {
 		t.Fatalf("hot path allocates %.1f times, want 0", allocs)
 	}
 }
+
+// TestPagesShort pins the conservative multi-cell room account behind
+// batched admission: a placement absorbed by the shard's mapped free
+// cells costs no pages, anything beyond costs whole pages rounded up,
+// and the account follows occupancy as cells are placed.
+func TestPagesShort(t *testing.T) {
+	c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 1})
+	seqs := kvcache.NewSeqSet(0)
+	// Nothing mapped yet: every cell comes from the free list.
+	if got := c.PagesShort(seqs, 1); got != 1 {
+		t.Fatalf("empty shard, 1 cell: %d pages, want 1", got)
+	}
+	if got := c.PagesShort(seqs, 20); got != 3 {
+		t.Fatalf("empty shard, 20 cells: %d pages, want 3", got)
+	}
+	// Occupy 5 cells: one page mapped, 3 free cells absorb small
+	// placements.
+	cells, err := c.FindSlots(5, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cell := range cells {
+		c.Occupy(cell, int32(i), seqs)
+	}
+	if got := c.PagesShort(seqs, 3); got != 0 {
+		t.Fatalf("3 cells with 3 shard-free: %d pages, want 0", got)
+	}
+	if got := c.PagesShort(seqs, 4); got != 1 {
+		t.Fatalf("4 cells with 3 shard-free: %d pages, want 1", got)
+	}
+	if got := c.PagesShort(seqs, 3+16); got != 2 {
+		t.Fatalf("19 cells with 3 shard-free: %d pages, want 2", got)
+	}
+	// A different namespace's shard has no mapped pages: full price.
+	other := kvcache.NewSeqSet(1)
+	if got := c.PagesShort(other, 2); got != 1 {
+		t.Fatalf("other shard, 2 cells: %d pages, want 1", got)
+	}
+}

@@ -66,8 +66,12 @@ type Agg struct {
 
 	// Cross-session batching counters per run (serving layer, PR 4).
 	BatchedRuns Summary // multi-session pipeline runs launched
-	MeanBatch   Summary // realised mean sessions per batched run
+	MeanBatch   Summary // realised mean sessions per batched run (incl. prefill-chunk runs)
 	RowCancels  Summary // per-session rows masked out of in-flight batches
+
+	// Chunked-prefill counters (serving layer, PR 5).
+	PrefillBatchedRuns Summary // batched runs carrying prompt-prefill chunk groups
+	TimeToFirst        Summary // seconds from run start to the first emitted token
 }
 
 // Collector accumulates repetition results for one condition.
@@ -75,6 +79,7 @@ type Collector struct {
 	speed, ttft, itl, acc, mem, cancelled []float64
 	specDrops, preempts, readmits         []float64
 	batchedRuns, meanBatch, rowCancels    []float64
+	prefillBatched, timeToFirst           []float64
 }
 
 // Add records one generation's stats and per-node memory bytes.
@@ -90,6 +95,8 @@ func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
 	c.batchedRuns = append(c.batchedRuns, float64(s.BatchedRuns))
 	c.meanBatch = append(c.meanBatch, s.MeanBatch())
 	c.rowCancels = append(c.rowCancels, float64(s.RowCancels))
+	c.prefillBatched = append(c.prefillBatched, float64(s.PrefillBatchedRuns))
+	c.timeToFirst = append(c.timeToFirst, s.TimeToFirst().Seconds())
 	if len(perNodeMem) > 0 {
 		var sum float64
 		for _, m := range perNodeMem {
@@ -117,6 +124,9 @@ func (c *Collector) Agg() Agg {
 		BatchedRuns:  Summarize(c.batchedRuns),
 		MeanBatch:    Summarize(c.meanBatch),
 		RowCancels:   Summarize(c.rowCancels),
+
+		PrefillBatchedRuns: Summarize(c.prefillBatched),
+		TimeToFirst:        Summarize(c.timeToFirst),
 	}
 }
 
@@ -134,6 +144,91 @@ func (a Agg) SpeedPerGiB() float64 {
 		return 0
 	}
 	return a.Speed.Mean / a.PerNodeGiB.Mean
+}
+
+// CostEMA is an online, exponentially forgotten least-squares fit of the
+// pipeline's per-run service time T(n) ≈ Overhead + PerRow·n, where n is
+// the run's token-row count. The serving scheduler feeds it one
+// observation per consumed result while the pipeline is busy (so the gap
+// between consecutive results approximates one run's service time) and
+// the adaptive batch-width controller reads the fitted overhead-to-row
+// cost ratio: a large ratio means per-run overhead dominates and wide
+// batches pay, a small one means rows dominate and width buys little.
+// All state is five scalars, so Observe is allocation-free and O(1).
+type CostEMA struct {
+	// Decay is the per-observation forgetting factor in (0, 1); 0 picks
+	// DefaultCostDecay. Smaller values track regime changes faster.
+	Decay float64
+
+	s1, sn, snn, st, snt float64
+	n                    int
+}
+
+// DefaultCostDecay keeps roughly the last ~50 runs' weight in the fit.
+const DefaultCostDecay = 0.98
+
+// Observe folds one (rows, serviceTime) sample into the fit.
+func (e *CostEMA) Observe(rows int, d time.Duration) {
+	if rows <= 0 || d <= 0 {
+		return
+	}
+	lambda := e.Decay
+	if lambda <= 0 || lambda >= 1 {
+		lambda = DefaultCostDecay
+	}
+	x, t := float64(rows), d.Seconds()
+	e.s1 = lambda*e.s1 + 1
+	e.sn = lambda*e.sn + x
+	e.snn = lambda*e.snn + x*x
+	e.st = lambda*e.st + t
+	e.snt = lambda*e.snt + x*t
+	e.n++
+}
+
+// Samples reports how many observations have been folded in.
+func (e *CostEMA) Samples() int { return e.n }
+
+// fit solves the 2x2 normal equations; ok is false until the samples
+// show enough row-count variation to separate overhead from row cost.
+func (e *CostEMA) fit() (a, b float64, ok bool) {
+	det := e.s1*e.snn - e.sn*e.sn
+	if e.n < 4 || det < 1e-12 {
+		return 0, 0, false
+	}
+	a = (e.snn*e.st - e.sn*e.snt) / det
+	b = (e.s1*e.snt - e.sn*e.st) / det
+	return a, b, true
+}
+
+// Overhead returns the fitted fixed per-run cost in seconds (0 until the
+// fit is determined).
+func (e *CostEMA) Overhead() float64 {
+	a, _, ok := e.fit()
+	if !ok || a < 0 {
+		return 0
+	}
+	return a
+}
+
+// PerRow returns the fitted marginal per-row cost in seconds (0 until
+// the fit is determined).
+func (e *CostEMA) PerRow() float64 {
+	_, b, ok := e.fit()
+	if !ok || b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Ratio returns Overhead/PerRow — how many rows of compute one run's
+// fixed overhead is worth — or 0 while the fit is undetermined. The
+// adaptive width controller widens batches in proportion to it.
+func (e *CostEMA) Ratio() float64 {
+	a, b, ok := e.fit()
+	if !ok || a <= 0 || b <= 1e-12 {
+		return 0
+	}
+	return a / b
 }
 
 // DurationSummary renders a seconds summary as a duration string.

@@ -102,3 +102,70 @@ func TestBatchingCounters(t *testing.T) {
 		t.Fatalf("RowCancels mean %v", a.RowCancels.Mean)
 	}
 }
+
+// TestPrefillCounters checks the PR-5 chunked-prefill counters flow
+// through aggregation: prefill-chunk runs and time-to-first-token.
+func TestPrefillCounters(t *testing.T) {
+	var c Collector
+	c.Add(engine.Stats{PrefillBatchedRuns: 6, PrefillDone: 2 * time.Second}, nil)
+	c.Add(engine.Stats{PrefillBatchedRuns: 2, PrefillDone: 1 * time.Second}, nil)
+	a := c.Agg()
+	if a.PrefillBatchedRuns.Mean != 4 {
+		t.Fatalf("PrefillBatchedRuns mean %v", a.PrefillBatchedRuns.Mean)
+	}
+	if a.TimeToFirst.Mean != 1.5 {
+		t.Fatalf("TimeToFirst mean %v", a.TimeToFirst.Mean)
+	}
+}
+
+// TestCostEMA checks the adaptive width controller's cost model: fed
+// exact T = a + b·n samples at varying row counts, the exponentially
+// forgotten least-squares fit must recover the overhead, the per-row
+// cost and their ratio; fed constant-width samples it must stay
+// undetermined (no row-count variation separates a from b).
+func TestCostEMA(t *testing.T) {
+	var e CostEMA
+	const (
+		overhead = 5 * time.Millisecond
+		perRow   = time.Millisecond
+	)
+	for i := 0; i < 60; i++ {
+		n := 1 + i%8
+		e.Observe(n, overhead+time.Duration(n)*perRow)
+	}
+	if e.Samples() != 60 {
+		t.Fatalf("samples %d", e.Samples())
+	}
+	if got := e.Overhead(); got < 0.0045 || got > 0.0055 {
+		t.Fatalf("overhead %v, want ~0.005", got)
+	}
+	if got := e.PerRow(); got < 0.0009 || got > 0.0011 {
+		t.Fatalf("per-row %v, want ~0.001", got)
+	}
+	if got := e.Ratio(); got < 4.5 || got > 5.5 {
+		t.Fatalf("ratio %v, want ~5", got)
+	}
+	// A shifted regime is tracked: after many cheaper samples the fit
+	// forgets the old overhead.
+	for i := 0; i < 400; i++ {
+		n := 1 + i%8
+		e.Observe(n, time.Millisecond+time.Duration(n)*perRow)
+	}
+	if got := e.Overhead(); got > 0.002 {
+		t.Fatalf("overhead %v after regime change, want ~0.001", got)
+	}
+	// Constant width: undetermined, reported as zeros.
+	var flat CostEMA
+	for i := 0; i < 50; i++ {
+		flat.Observe(4, 9*time.Millisecond)
+	}
+	if flat.Ratio() != 0 || flat.Overhead() != 0 || flat.PerRow() != 0 {
+		t.Fatal("constant-width samples produced a determined fit")
+	}
+	// Garbage observations are ignored.
+	flat.Observe(0, time.Second)
+	flat.Observe(3, -time.Second)
+	if flat.Samples() != 50 {
+		t.Fatal("degenerate observations were counted")
+	}
+}

@@ -387,3 +387,18 @@ func (m *Model) LogitsInto(dst *tensor.Mat, x tensor.Mat, s *Scratch) tensor.Mat
 	}
 	return *dst
 }
+
+// LogitsRowsInto computes logits for the selected activation rows only:
+// dst row k is the logits of x.Row(sel[k]). Chunked prefill uses it to
+// pay the vocab-sized output projection just for the rows whose logits
+// the head will actually consume — an intermediate prompt chunk's rows
+// write KV and forward activations but never sample.
+func (m *Model) LogitsRowsInto(dst *tensor.Mat, x tensor.Mat, sel []int, s *Scratch) tensor.Mat {
+	ensureMat(dst, len(sel), m.Cfg.VocabSize)
+	h := s.h
+	for k, b := range sel {
+		tensor.RMSNorm(h, x.Row(b), m.Norm, m.Cfg.NormEps)
+		m.Output.MatVecQ(dst.Row(k), h)
+	}
+	return *dst
+}

@@ -94,6 +94,31 @@
 // is gated on the shadow cache with a conservative multi-shard account,
 // and pressure escalation falls back to solo launches.
 //
+// # Chunked prefill & adaptive batch width (PR 5)
+//
+// With Config.PrefillChunk > 0 (and batching on), prompt prefills are
+// split into chunks of at most PrefillChunk tokens per composed run and
+// ride in the same multi-row runs as decode rows (wire format v3 range
+// extension: per-row (position, length) ranges mark which rows sample —
+// an intermediate chunk's rows write KV and forward activations but skip
+// logits and the result frame entirely). Chunk launches are ordered
+// shortest-remaining-prefill-first, so a burst of simultaneously
+// arriving prompts completes one by one instead of every session's TTFT
+// serialising behind the longest prompt at the head of the FIFO; several
+// sessions' small chunks coalesce under the shared per-run token budget.
+// Chunked prefill composes with the memory-pressure protocol: a session
+// preempted between chunks resets its fill progress (the namespace
+// eviction frees every placed chunk cell, stranding nothing) and
+// readmission re-prefills the accepted prefix chunk by chunk,
+// bit-identically.
+//
+// With Config.AutoBatch, MaxBatch becomes only a cap and each step's
+// effective batch width is picked from demand, pipeline occupancy and an
+// EMA-fitted per-run overhead / per-row cost model (metrics.CostEMA):
+// batches shrink to exactly what is ready while the pipeline drains and
+// widen toward the cap under backlog while the measured overhead says
+// coalescing still pays.
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
@@ -108,6 +133,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -174,6 +200,27 @@ type Config struct {
 	// idle, so single-session latency never regresses. 0 (the default)
 	// launches every batch as soon as it is collected.
 	BatchWindow int
+	// PrefillChunk, when > 0 and batching is enabled (MaxBatch > 1),
+	// splits prompt prefills into chunks of at most PrefillChunk tokens
+	// per composed run (the per-run prefill token budget) instead of one
+	// whole-prompt run per session. Chunks ride in the same multi-row
+	// runs as decode rows (wire format v3 range extension: per-row
+	// (position, length) ranges mark which rows sample), several small
+	// chunks coalesce across sessions, and chunk launches are ordered
+	// shortest-remaining-prefill-first — a burst of new sessions
+	// completes prompt by prompt instead of serialising TTFT behind the
+	// longest prompt at the head of the FIFO. 0 (the default) keeps the
+	// one-run-per-prompt schedule. Ignored without batching.
+	PrefillChunk int
+	// AutoBatch replaces the static batch width with the adaptive
+	// controller (-batch=auto on the CLIs): MaxBatch becomes a hard cap
+	// (defaulting to MaxSessions) and the effective width of each step is
+	// picked from demand (active sessions plus queued requests), pipeline
+	// occupancy, and the EMA-fitted per-run overhead vs per-row cost
+	// (metrics.CostEMA) — batches shrink to exactly what is ready while
+	// the pipeline drains, and widen toward the cap under backlog while
+	// the measured overhead says coalescing still pays.
+	AutoBatch bool
 }
 
 // Normalize fills the derived session-layout defaults: slot count
@@ -238,6 +285,18 @@ type session struct {
 	// untimed prompt-sampled one.
 	readmitted bool
 
+	// Chunked-prefill progress (PR 5; meaningful only while the session
+	// is in statePrefill with chunking enabled): the prefill covers
+	// accepted[0:fillTarget], of which [0:fillSent) has been launched in
+	// chunks and [0:fillDone) has completed at the stages. fillTarget is
+	// the prompt length for a fresh admission and the full accepted
+	// prefix for a chunked readmission; preemption resets fillSent and
+	// fillDone to 0 (the namespace eviction discards every placed chunk,
+	// so readmission re-prefills from position 0).
+	fillTarget int
+	fillSent   int
+	fillDone   int
+
 	pending []pendingTok
 	cutoff  float32
 
@@ -281,18 +340,26 @@ type Scheduler struct {
 	// (nil when batching is disabled).
 	composer *batch.Composer
 
+	// runCost is the adaptive width controller's EMA-fitted per-run cost
+	// model (Config.AutoBatch); lastResultAt anchors the service-time
+	// observations it is fed.
+	runCost      metrics.CostEMA
+	lastResultAt time.Duration
+
 	// Reusable scratch: all uses are synchronous within one step.
-	msgPool []*engine.RunMsg
-	ops     []kvcache.Op
-	victims []*engine.Run
-	ctx     []token.Token
-	kvCells []int
-	rowMeta []kvcache.TokenMeta
-	ready   []*session
-	specSel []*session
-	specBuf []token.Token
-	specLen []int
-	ctxPool [][][]token.Token
+	msgPool  []*engine.RunMsg
+	ops      []kvcache.Op
+	victims  []*engine.Run
+	ctx      []token.Token
+	kvCells  []int
+	rowMeta  []kvcache.TokenMeta
+	ready    []*session
+	chunkSel []*session
+	chunkLen []int
+	specSel  []*session
+	specBuf  []token.Token
+	specLen  []int
+	ctxPool  [][][]token.Token
 }
 
 // New validates the configuration and builds a scheduler over h. The head
@@ -327,6 +394,11 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 			}
 		}
 		totalNew += reqs[i].MaxNew
+	}
+	if cfg.AutoBatch && cfg.MaxBatch <= 1 {
+		// Auto mode without an explicit cap: the controller may widen all
+		// the way to one row group per session slot.
+		cfg.MaxBatch = cfg.MaxSessions
 	}
 	if cfg.MaxBatch > cfg.MaxSessions {
 		cfg.MaxBatch = cfg.MaxSessions
@@ -412,16 +484,17 @@ func (s *Scheduler) admit() {
 		req := s.reqs[s.nextReq]
 		ns := kvcache.NamespaceFor(slot, s.cfg.SeqsPerSession)
 		sess := &session{
-			req:      s.nextReq,
-			slot:     slot,
-			ns:       ns,
-			alloc:    ns.SpecAllocator(),
-			canonSet: kvcache.NewSeqSet(ns.Canonical()),
-			accepted: make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
-			prompt:   len(req.Prompt),
-			maxNew:   req.MaxNew,
-			priority: req.Priority,
-			cutoff:   s.h.CFG.SpecCutoff,
+			req:        s.nextReq,
+			slot:       slot,
+			ns:         ns,
+			alloc:      ns.SpecAllocator(),
+			canonSet:   kvcache.NewSeqSet(ns.Canonical()),
+			accepted:   make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
+			prompt:     len(req.Prompt),
+			maxNew:     req.MaxNew,
+			priority:   req.Priority,
+			cutoff:     s.h.CFG.SpecCutoff,
+			fillTarget: len(req.Prompt),
 		}
 		copy(sess.accepted, req.Prompt)
 		sess.stats.AcceptTimes = make([]time.Duration, 0, req.MaxNew)
@@ -458,24 +531,56 @@ func (s *Scheduler) tryLaunch() bool {
 	return false
 }
 
+// chunking reports whether chunked prefill is active: batching enabled
+// and a per-run prefill token budget configured.
+func (s *Scheduler) chunking() bool { return s.composer != nil && s.cfg.PrefillChunk > 0 }
+
 // tryLaunchBatching is the batching-mode launch pass:
 //
 //  1. collect every session with a ready non-speculative decode step
-//     (round-robin, bounded by MaxBatch and a conservative multi-shard
-//     room account) and launch them as one batched run — unless the
-//     bounded batch window says a partial batch should wait for more;
-//  2. otherwise serve prefill / readmission / pressure-escalated work
-//     through the ordinary per-session path;
+//     plus, with chunked prefill enabled, prompt-prefill chunks
+//     (shortest-remaining-prefill-first, bounded by one shared
+//     PrefillChunk token budget per run) and launch them as one mixed
+//     multi-row run — unless the batch is pure decode and the bounded
+//     batch window says a partial batch should wait for more;
+//  2. otherwise serve whole-prompt prefill / readmission /
+//     pressure-escalated work through the ordinary per-session path;
 //  3. otherwise draft speculative chains for eligible sessions and
 //     launch the largest same-depth group as one batched speculative run.
+//
+// The width bound is MaxBatch, or the adaptive controller's pick in auto
+// mode (effectiveWidth).
 func (s *Scheduler) tryLaunchBatching() bool {
 	n := len(s.slots)
+	width := s.effectiveWidth()
 
-	// Pass 1: non-speculative decode steps.
+	// Pass 1: non-speculative decode steps and prefill chunks, charged
+	// against one conservative collective room account: each row group
+	// pays the free-list pages its shard cannot absorb (kvpage.PagesShort)
+	// out of a shared budget.
 	ready := s.ready[:0]
+	chunks := s.chunkSel[:0]
 	var blocked *session
+	blockedNeed := 0
 	active := 0
 	freePages := -1
+	charge := func(sess *session, cells int) bool {
+		if s.kv == nil {
+			return true
+		}
+		need := s.kv.PagesShort(sess.canonSet, cells)
+		if need == 0 {
+			return true
+		}
+		if freePages < 0 {
+			freePages = s.kv.FreePages()
+		}
+		if freePages < need {
+			return false
+		}
+		freePages -= need
+		return true
+	}
 	for i := 0; i < n; i++ {
 		sess := s.slots[(s.rr+i)%n]
 		if sess == nil {
@@ -484,54 +589,118 @@ func (s *Scheduler) tryLaunchBatching() bool {
 		if sess.state == stateDecode || sess.state == statePrefill {
 			active++
 		}
-		if sess.state != stateDecode || !(sess.wantNonSpec || s.inflight(sess) == 0) {
-			continue
-		}
-		if len(ready) >= s.cfg.MaxBatch {
-			continue
-		}
-		if s.kv != nil {
-			// Conservative collective account: a shard with a mapped free
-			// cell pays for itself; otherwise it consumes one page from a
-			// shared free-page budget.
-			if s.kv.ShardFree(sess.canonSet) < 1 {
-				if freePages < 0 {
-					freePages = s.kv.FreePages()
-				}
-				if freePages < 1 {
-					if blocked == nil {
-						blocked = sess
-					}
-					continue
-				}
-				freePages--
+		switch {
+		case sess.state == stateDecode && (sess.wantNonSpec || s.inflight(sess) == 0):
+			if len(ready) >= width {
+				continue
 			}
+			if !charge(sess, 1) {
+				if blocked == nil {
+					blocked, blockedNeed = sess, 1
+				}
+				continue
+			}
+			ready = append(ready, sess)
+		case sess.state == statePrefill && s.chunking() && sess.fillSent < sess.fillTarget:
+			chunks = append(chunks, sess)
 		}
-		ready = append(ready, sess)
 	}
-	s.ready = ready
-	if len(ready) > 0 {
-		if s.composer.ShouldHold(len(ready), active > len(ready), s.h.Inflight() > 0) {
-			return false // Step consumes a result instead; steps stay ready
+	if len(chunks) > 0 {
+		// Shortest-remaining-prefill-first: the session closest to its
+		// first token launches first, so a burst of prompts completes one
+		// by one instead of serialising every session's TTFT behind the
+		// longest prompt at the head of the FIFO (insertion sort: the
+		// list is near-sorted across steps, and allocation-free always).
+		for i := 1; i < len(chunks); i++ {
+			c := chunks[i]
+			rem := c.fillTarget - c.fillSent
+			j := i - 1
+			for j >= 0 && (chunks[j].fillTarget-chunks[j].fillSent > rem ||
+				(chunks[j].fillTarget-chunks[j].fillSent == rem && chunks[j].slot > c.slot)) {
+				chunks[j+1] = chunks[j]
+				j--
+			}
+			chunks[j+1] = c
 		}
-		s.launchNonSpecBatch(ready)
-		s.rr = (int(ready[len(ready)-1].slot) + 1) % n
+		// Admission keeps at least one group slot for prefill work so a
+		// decode-saturated step cannot starve sessions mid-prompt; the
+		// displaced decode step stays ready and is retried next step,
+		// and its page charge is refunded so chunk admission sees the
+		// full remaining budget (the shadow is untouched during
+		// collection, so recomputing the charge is exact).
+		if len(ready) >= width && width > 0 {
+			if trimmed := ready[width-1]; s.kv != nil && freePages >= 0 {
+				freePages += s.kv.PagesShort(trimmed.canonSet, 1)
+			}
+			ready = ready[:width-1]
+		}
+		// The per-session chunk sizes admitted (and charged) here are
+		// recorded and staged verbatim, so the KV charge and the staged
+		// cells can never drift apart.
+		lens := s.chunkLen[:0]
+		budget := s.cfg.PrefillChunk
+		kept := 0
+		for _, sess := range chunks {
+			if kept >= width-len(ready) || budget == 0 {
+				break
+			}
+			k := sess.fillTarget - sess.fillSent
+			if k > budget {
+				k = budget
+			}
+			if !charge(sess, k) {
+				if blocked == nil {
+					blocked, blockedNeed = sess, k
+				}
+				continue
+			}
+			budget -= k
+			chunks[kept] = sess
+			lens = append(lens, k)
+			kept++
+		}
+		chunks = chunks[:kept]
+		s.chunkLen = lens
+	}
+	s.ready, s.chunkSel = ready, chunks
+	if len(ready)+len(chunks) > 0 {
+		// Prefill chunks are mandatory admission work and never held; a
+		// pure decode batch keeps the bounded batch-window policy.
+		if len(chunks) == 0 {
+			if s.composer.ShouldHold(len(ready), width, active > len(ready), s.h.Inflight() > 0) {
+				return false // Step consumes a result instead; steps stay ready
+			}
+			s.launchNonSpecBatch(ready)
+			s.rr = (int(ready[len(ready)-1].slot) + 1) % n
+			return true
+		}
+		s.launchMixedBatch(ready, chunks, s.chunkLen)
+		s.rr = (int(chunks[len(chunks)-1].slot) + 1) % n
 		return true
 	}
-	// Ready sessions exist but none fit: escalate through the pressure
-	// protocol for the first blocked one and launch it solo.
-	if blocked != nil && s.ensureRoom(blocked, 1) {
-		blocked.wantNonSpec = false
-		s.launchNonSpec(blocked)
+	// Work exists but nothing fit: escalate through the pressure protocol
+	// for the first blocked session and launch it solo.
+	if blocked != nil && s.ensureRoom(blocked, blockedNeed) {
+		if blocked.state == statePrefill {
+			s.launchChunkSolo(blocked)
+		} else {
+			blocked.wantNonSpec = false
+			s.launchNonSpec(blocked)
+		}
 		s.rr = (blocked.slot + 1) % n
 		return true
 	}
 
-	// Pass 2: prefill and readmission work (and their escalation paths).
+	// Pass 2: whole-prompt prefill and readmission work (and their
+	// escalation paths). Chunked-mode prefilling sessions are pass-1
+	// work; parked sessions readmit here in both modes.
 	for i := 0; i < n; i++ {
 		idx := (s.rr + i) % n
 		sess := s.slots[idx]
 		if sess == nil || (sess.state != statePrefill && sess.state != stateParked) {
+			continue
+		}
+		if sess.state == statePrefill && s.chunking() {
 			continue
 		}
 		if s.launchFor(sess) {
@@ -540,11 +709,75 @@ func (s *Scheduler) tryLaunchBatching() bool {
 		}
 	}
 
-	// Pass 3: same-depth speculative batching.
+	// Pass 3: same-depth speculative batching, bounded by the same
+	// effective width as pass 1.
 	if s.cfg.Speculate {
-		return s.tryLaunchSpecBatch()
+		return s.tryLaunchSpecBatch(width)
 	}
 	return false
+}
+
+// effectiveWidth picks this step's batch-width bound: MaxBatch in static
+// mode. In auto mode (Config.AutoBatch) MaxBatch is only the hard cap:
+// demand (active sessions plus queued requests) bounds the width from
+// above — a draining pipeline batches exactly what is ready now, adding
+// no latency waiting for width that cannot materialise — and under
+// backlog the EMA-fitted cost model caps the width at the point where
+// one run's fixed overhead is essentially amortised (beyond ~8x the
+// overhead-to-row-cost ratio, a wider batch buys almost no throughput
+// and only adds per-step latency).
+func (s *Scheduler) effectiveWidth() int {
+	capW := s.cfg.MaxBatch
+	if !s.cfg.AutoBatch || capW <= 1 {
+		return capW
+	}
+	demand := len(s.reqs) - s.nextReq // queued requests become work on admission
+	for _, sess := range s.slots {
+		if sess != nil && sess.state != stateParked {
+			demand++
+		}
+	}
+	if demand > capW {
+		demand = capW
+	}
+	if demand < 1 {
+		demand = 1
+	}
+	if s.h.Inflight() == 0 {
+		return demand
+	}
+	if r := s.runCost.Ratio(); r > 0 {
+		justified := int(8*r + 0.5)
+		if justified < 2 {
+			justified = 2
+		}
+		if demand > justified {
+			demand = justified
+		}
+	}
+	return demand
+}
+
+// observeRunCost feeds the adaptive width controller's cost model: while
+// results arrive back to back with more work still in flight, the gap
+// between consecutive completions approximates one run's service time at
+// its row count, which is what lets the EMA separate fixed per-run
+// overhead from marginal per-row cost.
+func (s *Scheduler) observeRunCost(run *engine.Run) {
+	if !s.cfg.AutoBatch {
+		return
+	}
+	now := s.h.EP.Now()
+	if s.lastResultAt > 0 && s.h.Inflight() > 0 {
+		s.runCost.Observe(run.Msg.Len(), now-s.lastResultAt)
+	}
+	s.lastResultAt = now
+	if s.h.Inflight() == 0 {
+		// The pipeline just drained: the gap up to the next result would
+		// include idle time, not service time. Drop the anchor so the
+		// first post-lull completion is not fed into the fit.
+		s.lastResultAt = 0
+	}
 }
 
 func (s *Scheduler) launchFor(sess *session) bool {
@@ -562,9 +795,15 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		return true
 	case stateParked:
 		// Readmission never evicts anyone: wait until the full accepted
-		// prefix fits in genuinely free cells, then recompute it.
+		// prefix fits in genuinely free cells, then recompute it — in one
+		// run, or chunk by chunk when chunked prefill is on.
 		if !s.roomFor(sess, len(sess.accepted)) {
 			return false
+		}
+		if s.chunking() {
+			s.beginChunkedReadmit(sess)
+			s.launchChunkSolo(sess)
+			return true
 		}
 		s.launchReadmit(sess)
 		return true
@@ -666,13 +905,17 @@ func (s *Scheduler) dropSpecPages(sess *session) bool {
 }
 
 // pickVictim selects the session to preempt for requester: idle (no runs
-// in flight), decoding, holding KV pages, at most the requester's
-// priority — the lowest-priority such session, largest footprint on ties.
+// in flight), decoding — or mid chunked prefill between chunks — holding
+// KV pages, at most the requester's priority — the lowest-priority such
+// session, largest footprint on ties. (A non-chunked prefilling session
+// is never a candidate in practice: idle means its whole-prompt run has
+// not launched, so it holds no pages.)
 func (s *Scheduler) pickVictim(requester *session) *session {
 	var victim *session
 	vUsed := 0
 	for _, cand := range s.slots {
-		if cand == nil || cand == requester || cand.state != stateDecode {
+		if cand == nil || cand == requester ||
+			(cand.state != stateDecode && cand.state != statePrefill) {
 			continue
 		}
 		if cand.priority > requester.priority || s.inflight(cand) != 0 {
@@ -698,6 +941,13 @@ func (s *Scheduler) pickVictim(requester *session) *session {
 func (s *Scheduler) preempt(victim *session) {
 	victim.pending = victim.pending[:0]
 	victim.wantNonSpec = false
+	if victim.state == statePrefill {
+		// A mid-prompt chunked prefill gives up its recomputed prefix;
+		// the eviction frees every placed chunk cell, so readmission
+		// restarts the chunk sequence from position 0 — never stranding
+		// shadow pages.
+		victim.fillSent, victim.fillDone = 0, 0
+	}
 	victim.state = stateParked
 	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpEvictShard,
 		Src: victim.ns.Base, Dst: kvcache.SeqID(victim.ns.Width)})
@@ -750,6 +1000,7 @@ func (s *Scheduler) getMsg(n int) *engine.RunMsg {
 	}
 	m.Tokens = m.Tokens[:n]
 	m.RowSessions = m.RowSessions[:0]
+	m.RowRanges = m.RowRanges[:0]
 	m.DeadSessions = 0
 	m.KVOps = nil
 	return m
@@ -758,6 +1009,7 @@ func (s *Scheduler) getMsg(n int) *engine.RunMsg {
 func (s *Scheduler) putMsg(m *engine.RunMsg) {
 	m.Tokens = m.Tokens[:0]
 	m.RowSessions = m.RowSessions[:0]
+	m.RowRanges = m.RowRanges[:0]
 	m.DeadSessions = 0
 	m.KVOps = nil
 	s.msgPool = append(s.msgPool, m)
@@ -835,22 +1087,113 @@ func (s *Scheduler) launchNonSpecBatch(ready []*session) {
 		return
 	}
 	for _, sess := range ready {
-		a := len(sess.accepted)
-		var ctx []token.Token
-		if s.cfg.NeedCtx {
-			ctx = sess.accepted[: a-1 : a-1]
-		}
-		s.composer.Stage(batch.Row{
-			Session: uint16(sess.slot),
-			Tok:     sess.accepted[a-1],
-			Pos:     int32(a - 1),
-			Seqs:    sess.canonSet,
-			Ctx:     ctx,
-		})
-		sess.wantNonSpec = false
-		sess.stats.RunsLaunched++
+		s.stageDecodeRow(sess)
 	}
 	s.launchComposed(engine.KindNonSpec, nil)
+}
+
+// stageDecodeRow stages one session's single-token decode step into the
+// composer.
+func (s *Scheduler) stageDecodeRow(sess *session) {
+	a := len(sess.accepted)
+	var ctx []token.Token
+	if s.cfg.NeedCtx {
+		ctx = sess.accepted[: a-1 : a-1]
+	}
+	s.composer.Stage(batch.Row{
+		Session: uint16(sess.slot),
+		Tok:     sess.accepted[a-1],
+		Pos:     int32(a - 1),
+		Seqs:    sess.canonSet,
+		Ctx:     ctx,
+	})
+	sess.wantNonSpec = false
+	sess.stats.RunsLaunched++
+}
+
+// stageChunk stages the next chunk of a session's chunked prefill: up to
+// budget tokens of the unfilled range [fillSent, fillTarget), every row
+// tagged with the remaining (position, length) range so stages know that
+// only the row computing position fillTarget-1 samples (the v3 range
+// extension). It returns the number of tokens staged.
+func (s *Scheduler) stageChunk(sess *session, budget int) int {
+	lo := sess.fillSent
+	hi := lo + budget
+	if hi > sess.fillTarget {
+		hi = sess.fillTarget
+	}
+	rng := engine.RowRange{Pos: int32(lo), Len: int32(sess.fillTarget - lo)}
+	var ctx []token.Token
+	if s.cfg.NeedCtx {
+		// The chunk's context is the already-recomputed prefix; accepted
+		// is append-only and frozen during prefill, so aliasing is safe.
+		ctx = sess.accepted[:lo:lo]
+	}
+	for p := lo; p < hi; p++ {
+		s.composer.Stage(batch.Row{
+			Session: uint16(sess.slot),
+			Tok:     sess.accepted[p],
+			Pos:     int32(p),
+			Seqs:    sess.canonSet,
+			Ctx:     ctx,
+			Range:   rng,
+		})
+	}
+	sess.fillSent = hi
+	sess.stats.RunsLaunched++
+	return hi - lo
+}
+
+// launchMixedBatch composes ready decode rows and SRPT-ordered prefill
+// chunks into one ranged multi-row run — the chunked-prefill form of
+// cross-session batching: prompt chunks ride in the same runs as decode
+// rows, so admissions make prefill progress without stalling the decode
+// cadence, and several sessions' small chunks (the tails of a burst)
+// coalesce under one shared PrefillChunk token budget. lens[i] is the
+// size admission charged for chunks[i]; staging exactly those keeps the
+// staged cells and the KV charge in lockstep.
+func (s *Scheduler) launchMixedBatch(ready, chunks []*session, lens []int) {
+	for _, sess := range ready {
+		s.stageDecodeRow(sess)
+	}
+	for i, sess := range chunks {
+		s.stageChunk(sess, lens[i])
+	}
+	kind := engine.KindPrefill
+	if len(ready) > 0 {
+		kind = engine.KindNonSpec
+	}
+	s.launchComposed(kind, nil)
+	s.h.Stats.PrefillBatchedRuns++
+}
+
+// launchChunkSolo launches one session's next prefill chunk as a ranged
+// run of its own — the escalation and readmission entry points, where no
+// batch is being collected.
+func (s *Scheduler) launchChunkSolo(sess *session) {
+	s.stageChunk(sess, s.cfg.PrefillChunk)
+	s.launchComposed(engine.KindPrefill, nil)
+	s.h.Stats.PrefillBatchedRuns++
+}
+
+// beginChunkedReadmit converts a parked session back into a chunked
+// prefill over its full accepted prefix (prompt plus everything
+// generated before preemption) — the chunked form of prefix-recompute
+// readmission. Recomputing the prefix rebuilds exactly the canonical
+// cache state the session was evicted with, so greedy output stays
+// bit-identical; a session parked mid-prompt (nothing generated yet)
+// restarts as an ordinary first prefill, untimed sampled token included.
+func (s *Scheduler) beginChunkedReadmit(sess *session) {
+	sess.state = statePrefill
+	sess.readmitted = sess.generated() > 0
+	sess.fillTarget = len(sess.accepted)
+	sess.fillSent, sess.fillDone = 0, 0
+	sess.cutoff = s.h.CFG.SpecCutoff
+	sess.stats.Readmissions++
+	s.h.Stats.Readmissions++
+	if s.cfg.OnReadmit != nil {
+		s.cfg.OnReadmit(sess.req)
+	}
 }
 
 // launchComposed turns the composer's staged rows into a v3 run message
@@ -929,14 +1272,16 @@ func (s *Scheduler) draftChain(sess *session) int {
 // tryLaunchSpecBatch drafts chains for every speculation-eligible session
 // and launches the largest same-depth group as one batched speculative
 // run — each session's chain in its own freshly allocated partition of
-// its own namespace, prefix-sharing ops concatenated per session.
-func (s *Scheduler) tryLaunchSpecBatch() bool {
+// its own namespace, prefix-sharing ops concatenated per session. width
+// is this step's batch-width bound (the adaptive controller's pick in
+// auto mode, MaxBatch otherwise).
+func (s *Scheduler) tryLaunchSpecBatch(width int) bool {
 	n := len(s.slots)
 	sel := s.specSel[:0]
 	lens := s.specLen[:0]
 	s.specBuf = s.specBuf[:0]
 	freePages := -1
-	for i := 0; i < n && len(sel) < s.cfg.MaxBatch; i++ {
+	for i := 0; i < n && len(sel) < width; i++ {
 		sess := s.slots[(s.rr+i)%n]
 		if sess == nil || sess.state != stateDecode || sess.alloc == nil {
 			continue
@@ -951,12 +1296,10 @@ func (s *Scheduler) tryLaunchSpecBatch() bool {
 		// Speculation is optional work: skip the candidate under memory
 		// pressure (conservative multi-shard account, never escalating).
 		if s.kv != nil {
-			free := s.kv.ShardFree(sess.canonSet)
-			if free < drafted {
+			if need := s.kv.PagesShort(sess.canonSet, drafted); need > 0 {
 				if freePages < 0 {
 					freePages = s.kv.FreePages()
 				}
-				need := (drafted - free + s.kv.PageSize() - 1) / s.kv.PageSize()
 				if freePages < need {
 					s.specBuf = s.specBuf[:len(s.specBuf)-drafted]
 					continue
@@ -1206,6 +1549,7 @@ func (s *Scheduler) handleResult() error {
 	if err != nil {
 		return err
 	}
+	s.observeRunCost(run)
 	if run.Msg.Batched() {
 		return s.handleBatchedResult(run, res, ok)
 	}
@@ -1272,8 +1616,10 @@ func (s *Scheduler) handleBatchedResult(run *engine.Run, res engine.Results, ok 
 			// Masked or obsolete rows; the namespace-wide cleanup that
 			// accompanies drain/park covers their cache entries.
 		case statePrefill:
-			if firstErr == nil {
-				firstErr = fmt.Errorf("serve: batched result for prefilling session slot %d", slot)
+			// A chunk of the session's chunked prefill (ranged runs are
+			// the only batched runs a prefilling session rides in).
+			if err := s.onPrefillRows(sess, run, res, rowOk, lo, hi); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
 		lo = hi
@@ -1302,29 +1648,58 @@ func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results
 	if !ok || run.Cancelled {
 		return fmt.Errorf("serve: prefill cancelled for request %d", sess.req)
 	}
+	s.completePrefill(sess, res.Next(run.Msg.Len()-1))
+	return nil
+}
+
+// completePrefill finishes a session's prefill — whole-prompt or the
+// final chunk of a chunked one — with next, the token sampled off the
+// prefix's last position: timestamps, the transition to decoding, and
+// the acceptance. For a first prefill the sampled token counts as
+// generated but not as a timed acceptance (TTFT anchors at prefill
+// completion, mirroring the single-request engines); for a
+// prefix-recompute readmission it is an ordinary mid-stream acceptance
+// and the original prefill timestamp (the TTFT anchor) stands.
+func (s *Scheduler) completePrefill(sess *session, next token.Token) {
 	readmit := sess.readmitted
 	sess.readmitted = false
-	now := s.h.EP.Now()
 	if !readmit {
-		// A readmission prefill is mid-generation: the original prefill
-		// timestamp (and TTFT anchor) stands.
+		now := s.h.EP.Now()
 		sess.stats.PrefillDone = now
 		if s.h.Stats.PrefillDone == 0 {
 			s.h.Stats.PrefillDone = now
 		}
 	}
 	sess.state = stateDecode
-	// The token sampled off the prefill's last position is the next
-	// greedy token. For a first prefill it counts as generated but not as
-	// a timed acceptance (TTFT anchors at prefill completion, mirroring
-	// the single-request engines); for a prefix-recompute readmission it
-	// is an ordinary mid-stream acceptance.
-	s.accept(sess, res.Next(run.Msg.Len()-1), !readmit)
+	s.accept(sess, next, !readmit)
 	if sess.generated() >= sess.maxNew {
 		s.enterDrain(sess)
 	} else {
 		sess.wantNonSpec = true
 	}
+}
+
+// onPrefillRows consumes one chunk group [lo, hi) of a session's chunked
+// prefill. An intermediate chunk only advances the fill progress — its
+// rows wrote their KV cells at every stage but carry no logits (they are
+// absent from the result frame). The final chunk — the one whose last
+// row computes position fillTarget-1 — completes the prefill exactly as
+// the solo whole-prompt path would: the sampled token off the prompt end
+// (untimed for a first prefill, a timed mid-stream acceptance for a
+// prefix-recompute readmission) and the transition to decoding.
+func (s *Scheduler) onPrefillRows(sess *session, run *engine.Run, res engine.Results, ok bool, lo, hi int) error {
+	if !ok {
+		return fmt.Errorf("serve: prefill chunk cancelled for request %d", sess.req)
+	}
+	if int(run.Msg.Tokens[lo].Pos) != sess.fillDone {
+		return fmt.Errorf("serve: prefill chunk gap for request %d: chunk base %d, filled %d",
+			sess.req, run.Msg.Tokens[lo].Pos, sess.fillDone)
+	}
+	sess.fillDone += hi - lo
+	if sess.fillDone < sess.fillTarget {
+		return nil
+	}
+	s.completePrefill(sess, res.Next(hi-1))
 	return nil
 }
 
