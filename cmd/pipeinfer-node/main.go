@@ -9,12 +9,26 @@
 //	pipeinfer-node -rank 0 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 &
 //	pipeinfer-node -rank 1 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 &
 //	pipeinfer-node -rank 2 -peers 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//
+// With -serve N the cluster runs the multi-request serving layer instead
+// of a single generation, and the fault-tolerance machinery is available
+// end to end: -heartbeat keeps links monitored and self-healing (dead
+// connections redial with exponential backoff and jitter), -run-timeout
+// arms the head's run watchdog so a stalled or lost run recovers its
+// sessions by eviction + prefix-recompute readmission:
+//
+//	pipeinfer-node -rank 0 -peers ... -serve 8 -run-timeout 2s -heartbeat 500ms
+//
+// Ctrl-C during mesh establishment aborts the dial loop immediately
+// instead of blocking until -timeout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,6 +36,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/comm/tcpcomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -36,6 +51,12 @@ func main() {
 		noise        = flag.Float64("noise", 0.01, "draft perturbation")
 		layers       = flag.Int("layers", 8, "target model layers")
 		timeout      = flag.Duration("timeout", 30*time.Second, "mesh establishment timeout")
+
+		sessions   = flag.Int("serve", 0, "serve this many concurrent requests instead of one generation (must match on all ranks)")
+		runTimeout = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off; needs -serve; rank 0 only)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "link keepalive interval; silent links are torn down and redialed (0 = off)")
+		backoff    = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff, doubled with jitter up to 2s")
+		reconnect  = flag.Duration("reconnect-timeout", 10*time.Second, "per-link reconnection budget after a failure (0 = broken links stay down)")
 	)
 	flag.Parse()
 
@@ -61,12 +82,27 @@ func main() {
 		fatal(err)
 	}
 
-	ep, err := tcpcomm.Dial(tcpcomm.Config{Rank: *rank, Addrs: addrs, DialTimeout: *timeout})
+	// Ctrl-C aborts mesh establishment (and reconnection waits) instead of
+	// sleeping out the dial timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ep, err := tcpcomm.Dial(tcpcomm.Config{
+		Rank: *rank, Addrs: addrs, DialTimeout: *timeout,
+		Heartbeat:        *heartbeat,
+		ReconnectBackoff: *backoff,
+		ReconnectTimeout: *reconnect,
+		Context:          ctx,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer ep.Close()
 	fmt.Fprintf(os.Stderr, "rank %d/%d connected\n", *rank, len(addrs))
+
+	if *sessions > 0 {
+		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *promptText, *seed, *noise, *runTimeout)
+		return
+	}
 
 	out, err := realbk.RunRank(ep, realbk.Options{
 		Nodes:      len(addrs),
@@ -86,9 +122,60 @@ func main() {
 			out.Stats.Speed(), out.Stats.TTFT().Round(time.Microsecond),
 			out.Stats.ITL().Round(time.Microsecond), out.Stats.AcceptanceRate()*100,
 			out.Stats.RunsCancelled, out.Stats.RunsLaunched)
+		if n := ep.Reconnects(); n > 0 {
+			fmt.Printf("fault tolerance: %d links re-established\n", n)
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "rank %d done\n", *rank)
 	}
+}
+
+// serveCluster runs one rank of a distributed serving run: the shared
+// pipeline multiplexes every request, with the watchdog and session
+// recovery armed when runTimeout > 0.
+func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg model.Config,
+	strategy engine.Strategy, sessions, tokens int, promptText string, seed uint64,
+	noise float64, runTimeout time.Duration) {
+	if strategy == engine.StrategySpeculative {
+		fatal(fmt.Errorf("-serve supports iterative and pipeinfer strategies"))
+	}
+	reqs := make([]serve.Request, sessions)
+	for i := range reqs {
+		reqs[i] = serve.Request{
+			Prompt: tk.Encode(fmt.Sprintf("%s %d", promptText, i)),
+			MaxNew: tokens,
+		}
+	}
+	rank := ep.Rank()
+	start := time.Now()
+	out, err := realbk.ServeRank(ep, realbk.ServeOptions{
+		Nodes:      len(addrs),
+		CFG:        engine.Config{MaxNew: tokens},
+		ModelCfg:   cfg,
+		Seed:       seed,
+		Speculate:  strategy == engine.StrategyPipeInfer,
+		DraftNoise: float32(noise),
+		RunTimeout: runTimeout,
+		Requests:   reqs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if rank != 0 {
+		fmt.Fprintf(os.Stderr, "rank %d done\n", rank)
+		return
+	}
+	wall := time.Since(start)
+	total := 0
+	for i, res := range out.Results {
+		total += res.Stats.Generated
+		fmt.Printf("session %d: %q (%d tok)\n", i, tk.Decode(res.Tokens), len(res.Tokens))
+	}
+	fmt.Printf("aggregate: %d tokens in %v (%.1f tok/s); runs: %d launched, %d cancelled\n",
+		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
+		out.Stats.RunsLaunched, out.Stats.RunsCancelled)
+	fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
+		out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 }
 
 func fatal(err error) {

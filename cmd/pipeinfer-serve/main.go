@@ -86,6 +86,9 @@ func main() {
 		batchStr  = flag.String("batch", "0", "cross-session batching: coalesce up to this many sessions' steps into one multi-row pipeline run (0/1 = off; \"auto\" = adaptive width, \"auto:N\" = adaptive capped at N)")
 		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
 		chunk     = flag.Int("prefill-chunk", 0, "chunked cross-session prefill: per-run prompt token budget; prompts split into chunks that batch across sessions and ride with decode rows (0 = whole-prompt prefills; needs -batch)")
+		runTO     = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off)")
+		_         = flag.Duration("heartbeat", time.Second, "link keepalive interval (TCP transport only; the in-process mesh here has no links to keep alive — see pipeinfer-node)")
+		_         = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff (TCP transport only — see pipeinfer-node)")
 	)
 	flag.Parse()
 
@@ -95,7 +98,7 @@ func main() {
 	}
 
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch, *runTO)
 		return
 	}
 
@@ -127,6 +130,7 @@ func main() {
 		BatchWindow:  *batchWin,
 		PrefillChunk: *chunk,
 		AutoBatch:    autoBatch,
+		RunTimeout:   *runTO,
 		Requests:     reqs,
 	}
 	if *stream {
@@ -134,9 +138,10 @@ func main() {
 			fmt.Printf("[s%d] %s\n", req, tk.Decode([]token.Token{tok}))
 		}
 	}
-	// Memory-pressure events are part of the serving story: show them.
+	// Memory-pressure and fault events are part of the serving story: show them.
 	opts.OnPreempt = func(req int) { fmt.Printf("[s%d] -- preempted: KV evicted, request parked --\n", req) }
 	opts.OnReadmit = func(req int) { fmt.Printf("[s%d] -- readmitted: recomputing prefix --\n", req) }
+	opts.OnRecover = func(req int) { fmt.Printf("[s%d] -- run failed: recovering by prefix recompute --\n", req) }
 
 	start := time.Now()
 	out, err := pipeinfer.Serve(opts)
@@ -184,6 +189,10 @@ func main() {
 		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
 			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
 	}
+	if *runTO > 0 || out.Stats.RunTimeouts > 0 {
+		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
+			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
+	}
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
 		os.Exit(1)
@@ -193,7 +202,7 @@ func main() {
 
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:      pipeinfer.ClusterC().Take(nodes),
 		Pair:         pipeinfer.CPUPairs()[0],
@@ -209,6 +218,7 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		BatchWindow:  batchWin,
 		PrefillChunk: chunk,
 		AutoBatch:    autoBatch,
+		RunTimeout:   runTO,
 	})
 	if err != nil {
 		fatal(err)
@@ -233,6 +243,10 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 	if out.Stats.BatchedRuns > 0 {
 		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
 			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
+	}
+	if runTO > 0 || out.Stats.RunTimeouts > 0 {
+		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
+			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 	}
 }
 

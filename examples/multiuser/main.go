@@ -27,7 +27,12 @@
 //     bit-identical;
 //  6. served at 70B scale on the simulated cluster, where the
 //     pipeline-fill and batch-amortisation wins are measured in exact
-//     virtual time.
+//     virtual time;
+//  7. served through injected faults: a seeded fault plan drops result
+//     frames and blacks out the result link mid-run, the run watchdog
+//     (-run-timeout) declares the affected runs failed, and the hit
+//     sessions recover by eviction + prefix recompute — with every
+//     user's output still bit-identical.
 package main
 
 import (
@@ -37,6 +42,8 @@ import (
 	"time"
 
 	pipeinfer "github.com/pipeinfer/pipeinfer"
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/faultcomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 )
 
@@ -274,4 +281,49 @@ func main() {
 	fmt.Printf("\nsimulated 70B serving: 16 tenants, %d tokens in %v virtual (%.1f tok/s aggregate, %.0f%% acceptance)\n",
 		sim.Stats.Generated, sim.Stats.Done.Round(time.Millisecond),
 		sim.Stats.Speed(), sim.Stats.AcceptanceRate()*100)
+
+	// 7. Fault injection: the same workload through a deliberately lossy
+	// network. The seeded plan drops two result frames outright and
+	// blacks out the result link for a few milliseconds mid-run; the run
+	// watchdog (RunTimeout) detects both — a result arriving for a newer
+	// run proves the older one's is lost, and a silent pipeline fails at
+	// its deadline — cancels the failed runs pipeline-wide, evicts the
+	// affected sessions' KV, and readmits them by prefix recompute.
+	// Recovery is invisible in the output: greedy decoding is
+	// deterministic in the accepted prefix, so every user's answer must
+	// still match their solo run bit for bit.
+	plan := &faultcomm.Plan{Seed: 1, Rules: []faultcomm.Rule{
+		{Src: nodes - 1, Dst: 0, Tag: int(comm.TagResult), Kind: faultcomm.Drop, Nth: 5},
+		{Src: nodes - 1, Dst: 0, Tag: int(comm.TagResult), Kind: faultcomm.Drop, Nth: 31},
+		{Src: nodes - 1, Dst: 0, Tag: -1, Kind: faultcomm.Partition, From: 2 * time.Millisecond, Until: 8 * time.Millisecond},
+	}}
+	faulted, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:       nodes,
+		CFG:         engine.Config{MaxNew: tokens},
+		ModelCfg:    cfg,
+		Seed:        42,
+		MaxSessions: users,
+		RunTimeout:  50 * time.Millisecond,
+		WrapEndpoint: func(_ int, ep comm.Endpoint) comm.Endpoint {
+			return faultcomm.Wrap(ep, plan)
+		},
+		OnRecover: func(req int) { fmt.Printf("  user %d recovered (run failed, prefix recompute)\n", req) },
+		Requests:  reqs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfault injection (%d faults: dropped results + a blackout window):\n", plan.Stats().Total())
+	for i := range reqs {
+		if len(faulted.Results[i].Tokens) != len(out.Results[i].Tokens) {
+			log.Fatalf("user %d got a different answer under faults", i)
+		}
+		for j, tok := range out.Results[i].Tokens {
+			if faulted.Results[i].Tokens[j] != tok {
+				log.Fatalf("user %d got a different answer under faults", i)
+			}
+		}
+	}
+	fmt.Printf("  %d run timeouts, %d session recoveries — outputs unchanged\n",
+		faulted.Stats.RunTimeouts, faulted.Stats.Recoveries)
 }

@@ -1,6 +1,8 @@
 package realbk
 
 import (
+	"time"
+
 	"testing"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
@@ -165,6 +167,9 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 		MaxSessions: sessions, SeqsPerSession: 1,
 		MaxBatch: sessions,
 		KV:       kvpage.Config{Cells: cells, ShardSeqs: 1},
+		// The armed watchdog's per-launch deadline derivation and
+		// per-result re-arm are part of the steady state being gated.
+		RunTimeout: time.Minute,
 	}, reqs)
 	if err != nil {
 		t.Fatal(err)

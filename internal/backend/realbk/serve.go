@@ -3,6 +3,7 @@ package realbk
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
@@ -68,6 +69,21 @@ type ServeOptions struct {
 	// occupancy and the EMA-measured per-run overhead.
 	AutoBatch bool
 
+	// RunTimeout arms the head's run watchdog (PR 6): a launched run whose
+	// result does not arrive within its per-run deadline is declared
+	// failed, and the sessions it carried are recovered by eviction +
+	// prefix-recompute readmission. 0 (the default) disables the watchdog.
+	RunTimeout time.Duration
+	// RunTimeoutMult and RunTimeoutCap tune the watchdog's adaptive
+	// deadline (see serve.Config); zero values take the serving defaults.
+	RunTimeoutMult float64
+	RunTimeoutCap  time.Duration
+
+	// WrapEndpoint, when non-nil, wraps each rank's endpoint before the
+	// engine sees it — the hook fault-injection harnesses (faultcomm) use
+	// to perturb a run without the backend knowing.
+	WrapEndpoint func(rank int, ep comm.Endpoint) comm.Endpoint
+
 	Requests []serve.Request
 	// OnToken, when non-nil, streams accepted tokens as they are sampled.
 	OnToken func(req int, tok token.Token)
@@ -76,6 +92,9 @@ type ServeOptions struct {
 	// later readmitted via prefix recompute.
 	OnPreempt func(req int)
 	OnReadmit func(req int)
+	// OnRecover, when non-nil, observes fault recovery: a request whose
+	// in-flight run was declared failed being parked for readmission.
+	OnRecover func(req int)
 }
 
 // ServeOutcome is the result of a serving run.
@@ -193,6 +212,9 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 	if ep.Size() != opts.Nodes {
 		return ServeOutcome{}, fmt.Errorf("realbk: endpoint cluster size %d != %d nodes", ep.Size(), opts.Nodes)
 	}
+	if opts.WrapEndpoint != nil {
+		ep = opts.WrapEndpoint(ep.Rank(), ep)
+	}
 	if target == nil {
 		target, err = model.New(opts.ModelCfg, opts.Seed)
 		if err != nil {
@@ -247,6 +269,10 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 		BatchWindow:    opts.BatchWindow,
 		PrefillChunk:   opts.PrefillChunk,
 		AutoBatch:      opts.AutoBatch,
+		RunTimeout:     opts.RunTimeout,
+		RunTimeoutMult: opts.RunTimeoutMult,
+		RunTimeoutCap:  opts.RunTimeoutCap,
+		OnRecover:      opts.OnRecover,
 	}, opts.Requests)
 	if err != nil {
 		return ServeOutcome{}, err
@@ -263,6 +289,9 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 	}
 	out.PerNodeMem[rank] += bk.MemoryBytes()
 	out.Results = results
+	if rc, ok := ep.(interface{ Reconnects() int }); ok {
+		h.Stats.Reconnects = rc.Reconnects()
+	}
 	out.Stats = h.Stats
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/faultcomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/token"
@@ -279,4 +281,66 @@ func BenchmarkServeAutoWidth(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+}
+
+// BenchmarkServeFaultGoodput is the PR-6 performance benchmark: the
+// 16-session batched decode workload served (a) fault-free with the
+// watchdog disarmed — the no-regression control against BENCH_pr5 —
+// (b) fault-free with the watchdog armed, isolating the deadline
+// bookkeeping's cost, and (c) through a 1% result-drop rate, where every
+// loss is detected (FIFO gap or deadline) and repaired by eviction +
+// prefix recompute. tok/s under (c) is goodput: every session still
+// delivers its full output, so the metric prices detection and recovery,
+// not partial answers. Recorded in BENCH_pr6.json.
+func BenchmarkServeFaultGoodput(b *testing.B) {
+	const sessions = 16
+	cases := []struct {
+		name     string
+		timeout  time.Duration
+		dropProb float64
+	}{
+		{"fault-free", 0, 0},
+		{"watchdog-armed", 50 * time.Millisecond, 0},
+		{"drop-1pct", 50 * time.Millisecond, 0.01},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			reqs := serveRequests(sessions, benchServeTokens)
+			total, timeouts, recoveries := 0, 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := ServeOptions{
+					Nodes:       benchServeNodes,
+					CFG:         engine.Config{MaxNew: benchServeTokens},
+					ModelCfg:    serveModel(6),
+					Seed:        13,
+					MaxSessions: sessions,
+					MaxBatch:    8,
+					RunTimeout:  tc.timeout,
+					Requests:    reqs,
+				}
+				if tc.dropProb > 0 {
+					plan := &faultcomm.Plan{Seed: uint64(i) + 1, Rules: []faultcomm.Rule{{
+						Src: benchServeNodes - 1, Dst: 0, Tag: int(comm.TagResult),
+						Kind: faultcomm.Drop, Prob: tc.dropProb,
+					}}}
+					opts.WrapEndpoint = wrapPlan(plan)
+				}
+				out, err := Serve(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += out.Stats.Generated
+				timeouts += out.Stats.RunTimeouts
+				recoveries += out.Stats.Recoveries
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+			if tc.dropProb > 0 {
+				b.ReportMetric(float64(timeouts)/float64(b.N), "timeouts/run")
+				b.ReportMetric(float64(recoveries)/float64(b.N), "recoveries/run")
+			}
+		})
+	}
 }

@@ -2,7 +2,9 @@ package simbk
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/comm/simcomm"
 	"github.com/pipeinfer/pipeinfer/internal/cost"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
@@ -59,6 +61,19 @@ type ServeOptions struct {
 	AutoBatch    bool
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
+	// RunTimeout arms the head's run watchdog in virtual time (PR 6):
+	// failed runs recover their sessions by eviction + prefix-recompute
+	// readmission. 0 disables. RunTimeoutMult / RunTimeoutCap tune the
+	// adaptive deadline (serve.Config defaults when zero).
+	RunTimeout     time.Duration
+	RunTimeoutMult float64
+	RunTimeoutCap  time.Duration
+	// WrapEndpoint, when non-nil, wraps each rank's endpoint before the
+	// engine sees it — the fault-injection hook (faultcomm over simcomm
+	// perturbs the run in exact virtual time).
+	WrapEndpoint func(rank int, ep comm.Endpoint) comm.Endpoint
+	// OnRecover, when non-nil, observes fault recovery on the head.
+	OnRecover func(req int)
 	// Trace, when non-nil, records the full pipeline timeline.
 	Trace *trace.Recorder
 }
@@ -151,7 +166,10 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 		}
 		si, rank := si, rank
 		k.Spawn(fmt.Sprintf("stage%d", si), func(p *simnet.Proc) {
-			ep := cl.Bind(rank, p)
+			ep := comm.Endpoint(cl.Bind(rank, p))
+			if opts.WrapEndpoint != nil {
+				ep = opts.WrapEndpoint(rank, ep)
+			}
 			w := NewWorker(ep, opts.Cluster.Nodes[rank], opts.Pair.Target,
 				splits[si], si == len(topo.Stages)-1, kv)
 			w.SetTrace(opts.Trace)
@@ -163,7 +181,10 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 	}
 
 	k.Spawn("head", func(p *simnet.Proc) {
-		ep := cl.Bind(topo.Head, p)
+		ep := comm.Endpoint(cl.Bind(topo.Head, p))
+		if opts.WrapEndpoint != nil {
+			ep = opts.WrapEndpoint(topo.Head, ep)
+		}
 		bk := NewHead(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Draft, o)
 		var local engine.Worker
 		if topo.HeadIsStage() {
@@ -188,6 +209,10 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			BatchWindow:    opts.BatchWindow,
 			PrefillChunk:   opts.PrefillChunk,
 			AutoBatch:      opts.AutoBatch,
+			RunTimeout:     opts.RunTimeout,
+			RunTimeoutMult: opts.RunTimeoutMult,
+			RunTimeoutCap:  opts.RunTimeoutCap,
+			OnRecover:      opts.OnRecover,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,
 		}, reqs)

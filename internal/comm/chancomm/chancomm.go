@@ -60,6 +60,11 @@ type endpoint struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	box  *box
+	// timer wakes a bounded WaitRecv at its deadline; allocated on first
+	// use and reused (Reset) so steady-state watchdog waits stay
+	// allocation-free. Safe as a single field because only the owning
+	// rank's goroutine ever receives on an endpoint.
+	timer *time.Timer
 }
 
 func (e *endpoint) Rank() int { return e.rank }
@@ -92,6 +97,36 @@ func (e *endpoint) Recv(src int, tag comm.Tag) []byte {
 	head := q[0]
 	e.box.queues[k] = q[1:]
 	return head
+}
+
+// WaitRecv implements comm.Waiter: wait up to d for a message on (src,
+// tag). The deadline timer broadcasts the endpoint's condition variable
+// under the lock, so it can only fire while the waiter is parked (or
+// about to re-check the queue) — never between the queue check and the
+// Wait.
+func (e *endpoint) WaitRecv(src int, tag comm.Tag, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := boxKey{src, tag}
+	for len(e.box.queues[k]) == 0 {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return false
+		}
+		if e.timer == nil {
+			e.timer = time.AfterFunc(rem, func() {
+				e.mu.Lock()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			})
+		} else {
+			e.timer.Reset(rem)
+		}
+		e.cond.Wait()
+		e.timer.Stop()
+	}
+	return true
 }
 
 func (e *endpoint) Iprobe(src int, tag comm.Tag) bool {

@@ -63,6 +63,22 @@ func (t Tag) String() string {
 	}
 }
 
+// Waiter is an optional Endpoint capability: a bounded wait for message
+// availability. The serving layer's run watchdog needs to wait for the
+// oldest in-flight run's result *or* its deadline, whichever comes first —
+// a blocking Recv cannot express the deadline, and an Iprobe poll loop
+// would either burn a core (real transports) or never let virtual time
+// advance (simulated ones). Each transport waits natively: condition
+// variables with a timer under chancomm/tcpcomm, a scheduled wake-up
+// event under simcomm.
+type Waiter interface {
+	// WaitRecv blocks until Recv(src, tag) would return without blocking
+	// or until d has elapsed on the node-local clock, and reports whether
+	// a message is available. Spurious early returns are not allowed:
+	// false means the full duration passed with no message.
+	WaitRecv(src int, tag Tag, d time.Duration) bool
+}
+
 // Endpoint is one node's view of the cluster.
 type Endpoint interface {
 	// Rank is this node's index in [0, Size).

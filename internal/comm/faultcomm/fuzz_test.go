@@ -1,0 +1,98 @@
+package faultcomm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+)
+
+// FuzzPlanDeterminism drives arbitrary rule parameters and traffic
+// through a wrapped endpoint and checks the plan engine's two structural
+// contracts: replaying the identical seeded plan over identical traffic
+// yields a byte-identical delivery sequence (determinism is what makes
+// chaos tests reproducible), and the injection accounting conserves
+// frames — delivered + dropped - duplicated always equals sent, and the
+// per-link counters sum to the totals.
+func FuzzPlanDeterminism(f *testing.F) {
+	f.Add(uint64(42), uint8(Drop), int8(3), int8(0), uint8(77), uint8(40))
+	f.Add(uint64(7), uint8(Dup), int8(0), int8(2), uint8(128), uint8(25))
+	f.Add(uint64(0), uint8(Corrupt), int8(1), int8(0), uint8(0), uint8(10))
+	f.Add(uint64(9), uint8(Delay), int8(0), int8(3), uint8(200), uint8(30))
+	f.Fuzz(func(t *testing.T, seed uint64, kind uint8, nth, every int8, prob uint8, n uint8) {
+		k := Kind(kind % uint8(Partition)) // Stall/Partition hold frames; the rest deliver
+		if k == Stall {
+			k = Delay
+		}
+		if n == 0 || n > 64 {
+			n = 64
+		}
+		rule := Rule{
+			Src: -1, Dst: -1, Tag: int(comm.TagResult),
+			Kind: k,
+			Nth:  int(nth), Every: int(every),
+			Prob: float64(prob) / 255,
+		}
+		if rule.Nth < 0 {
+			rule.Nth = 0
+		}
+		if rule.Every < 0 {
+			rule.Every = 0
+		}
+		run := func() ([]byte, Stats) {
+			p := &Plan{Seed: seed, Rules: []Rule{rule}}
+			s, r := pair(p)
+			send(s, 1, comm.TagResult, 5, int(n))
+			var got []byte
+			for r.Iprobe(0, comm.TagResult) {
+				buf := r.Recv(0, comm.TagResult)
+				got = append(got, buf...)
+				comm.PutBuf(buf)
+			}
+			return got, p.Stats()
+		}
+		a, sa := run()
+		b, sb := run()
+		if !bytes.Equal(a, b) || sa != sb {
+			t.Fatalf("same plan, different outcome: %v/%+v vs %v/%+v", a, sa, b, sb)
+		}
+		delivered := len(a) / 2 // two bytes per frame
+		if delivered+sa.Dropped-sa.Duplicated != int(n) {
+			t.Fatalf("frames not conserved: delivered %d + dropped %d - duplicated %d != sent %d (stats %+v)",
+				delivered, sa.Dropped, sa.Duplicated, n, sa)
+		}
+		if ls := paneSum(&Plan{}); ls != (Stats{}) {
+			t.Fatalf("empty plan has non-zero link stats: %+v", ls)
+		}
+		p := &Plan{Seed: seed, Rules: []Rule{rule}}
+		s, r := pair(p)
+		send(s, 1, comm.TagResult, 5, int(n))
+		for r.Iprobe(0, comm.TagResult) {
+			comm.PutBuf(r.Recv(0, comm.TagResult))
+		}
+		if sum := paneSum(p); sum != p.Stats() {
+			t.Fatalf("per-link stats %+v do not sum to totals %+v", sum, p.Stats())
+		}
+	})
+}
+
+// paneSum folds every link's counters into one Stats for comparison
+// against the plan totals.
+func paneSum(p *Plan) Stats {
+	var sum Stats
+	for src := -1; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			if src < 0 {
+				continue
+			}
+			ls := p.LinkStats(src, dst)
+			sum.Delayed += ls.Delayed
+			sum.Dropped += ls.Dropped
+			sum.Duplicated += ls.Duplicated
+			sum.Corrupted += ls.Corrupted
+			sum.Stalled += ls.Stalled
+			sum.Partitioned += ls.Partitioned
+		}
+	}
+	return sum
+}

@@ -64,6 +64,9 @@ type endpoint struct {
 	// waiting is non-nil while the process is parked in Recv on that
 	// stream; delivery events use it to wake the process exactly once.
 	waiting *streamKey
+	// waitSeq numbers bounded waits so a WaitRecv deadline event scheduled
+	// by an earlier (already satisfied) wait cannot wake a later one.
+	waitSeq uint64
 }
 
 func (e *endpoint) Rank() int { return e.rank }
@@ -99,6 +102,33 @@ func (e *endpoint) Recv(src int, tag comm.Tag) []byte {
 	head := q[0]
 	e.queues[k] = q[1:]
 	return head
+}
+
+// WaitRecv implements comm.Waiter: park the process until a message
+// arrives on (src, tag) or d of virtual time passes. The deadline is one
+// scheduled kernel event; if a delivery wakes the process first the
+// event fires later as a no-op (guarded by waitSeq), so stale wake-ups
+// can never unpark an unrelated Recv.
+func (e *endpoint) WaitRecv(src int, tag comm.Tag, d time.Duration) bool {
+	k := streamKey{src, tag}
+	if len(e.queues[k]) > 0 {
+		return true
+	}
+	deadline := e.proc.Now() + d
+	e.waitSeq++
+	seq := e.waitSeq
+	e.cluster.k.Schedule(deadline, func() {
+		if e.waiting != nil && *e.waiting == k && e.waitSeq == seq {
+			e.waiting = nil
+			e.proc.Ready()
+		}
+	})
+	for len(e.queues[k]) == 0 && e.proc.Now() < deadline {
+		e.waiting = &k
+		e.proc.Block()
+	}
+	e.waiting = nil
+	return len(e.queues[k]) > 0
 }
 
 func (e *endpoint) Iprobe(src int, tag comm.Tag) bool {

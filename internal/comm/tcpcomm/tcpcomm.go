@@ -9,21 +9,43 @@
 // This is the deployment path cmd/pipeinfer-node uses to run PipeInfer
 // across real processes; identical deterministic model seeds on every rank
 // replace weight distribution.
+//
+// # Fault tolerance (PR 6)
+//
+// With Config.Heartbeat set, every link carries periodic heartbeat
+// frames and a monitor declares a link dead after DeadAfter of silence;
+// with Config.ReconnectTimeout set, a broken link (read/write error or
+// heartbeat death) is re-established instead of closing the peer: the
+// lower rank of the pair redials with exponential backoff and jitter,
+// the higher rank re-accepts on its standing listener. Every frame
+// carries a per-link sequence number, so after a reconnection the
+// receiver silently drops the one frame the sender may retransmit
+// (a write that failed midway can still have been delivered) and counts
+// frames lost in flight — the engine-level watchdog and session
+// recovery own re-deriving their contents. Reconnects() reports how
+// many links were re-established.
 package tcpcomm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 )
 
-// frame layout: u32 payloadLen | u8 tag | u32 srcRank | payload.
-const frameHeader = 4 + 1 + 4
+// frame layout: u32 payloadLen | u8 tag | u32 srcRank | u32 seq | payload.
+const frameHeader = 4 + 1 + 4 + 4
+
+// heartbeatTag marks keepalive frames; it lives outside the comm.Tag
+// space and never reaches the stream queues.
+const heartbeatTag = 0xFF
 
 // handshake: u32 rank, sent once by the dialing side.
 
@@ -39,6 +61,24 @@ type Config struct {
 	// SendQueue is the per-peer outbound queue depth (buffered-send
 	// window); 0 means 1024 frames.
 	SendQueue int
+	// Heartbeat, when > 0, sends keepalive frames on every link at this
+	// interval and arms dead-link detection.
+	Heartbeat time.Duration
+	// DeadAfter is the silence threshold after which the monitor tears a
+	// link down so it reconnects (default 4 x Heartbeat). Only meaningful
+	// with Heartbeat set.
+	DeadAfter time.Duration
+	// ReconnectBackoff is the initial redial backoff (default 50ms); each
+	// attempt doubles it up to 2s with +-50% jitter, both for mesh
+	// establishment and for reconnection.
+	ReconnectBackoff time.Duration
+	// ReconnectTimeout bounds re-establishing one broken link. 0 disables
+	// reconnection: a broken link marks the peer closed, the pre-PR-6
+	// behaviour.
+	ReconnectTimeout time.Duration
+	// Context, when non-nil, aborts mesh establishment and reconnection
+	// waits when cancelled (Ctrl-C during a slow cluster start).
+	Context context.Context
 }
 
 // Endpoint is a TCP-backed comm.Endpoint.
@@ -46,6 +86,7 @@ type Endpoint struct {
 	rank  int
 	size  int
 	epoch time.Time
+	cfg   Config
 
 	listener net.Listener
 	conns    []net.Conn
@@ -56,10 +97,33 @@ type Endpoint struct {
 	queues     map[streamKey][][]byte
 	peerClosed []bool // peer's connection gone (EOF or write failure)
 	err        error  // protocol-level failure (malformed frame)
+	waitTimer  *time.Timer
+
+	// Reconnection state: connMu single-flights repair per peer and
+	// guards conns entries; redialed delivers re-accepted connections
+	// from the background acceptor; sendSeq/recvSeq number frames per
+	// link (sendSeq is touched only by the peer's writer goroutine,
+	// recvSeq only by its current reader); lastRecv feeds the heartbeat
+	// monitor's dead-link detection.
+	connMu     []sync.Mutex
+	redialed   []chan net.Conn
+	sendSeq    []uint32
+	recvSeq    []uint32
+	lastRecv   []atomic.Int64
+	reconnects atomic.Int64
+	lost       atomic.Int64
+	dups       atomic.Int64
 
 	closed  chan struct{}
 	writers sync.WaitGroup
 }
+
+// Reconnects reports how many broken links were re-established.
+func (e *Endpoint) Reconnects() int { return int(e.reconnects.Load()) }
+
+// FramesLost reports frames the per-link sequence numbers proved lost in
+// flight across link failures.
+func (e *Endpoint) FramesLost() int { return int(e.lost.Load()) }
 
 type streamKey struct {
 	src int
@@ -79,18 +143,35 @@ func Dial(cfg Config) (*Endpoint, error) {
 	if cfg.SendQueue <= 0 {
 		cfg.SendQueue = 1024
 	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if cfg.Heartbeat > 0 && cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 4 * cfg.Heartbeat
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
 	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
 	if err != nil {
 		return nil, fmt.Errorf("tcpcomm: listen %s: %w", cfg.Addrs[cfg.Rank], err)
 	}
 	e := &Endpoint{
-		rank: cfg.Rank, size: n, epoch: time.Now(),
+		rank: cfg.Rank, size: n, epoch: time.Now(), cfg: cfg,
 		listener:   ln,
 		conns:      make([]net.Conn, n),
 		sendq:      make([]chan []byte, n),
 		queues:     make(map[streamKey][][]byte),
 		peerClosed: make([]bool, n),
+		connMu:     make([]sync.Mutex, n),
+		redialed:   make([]chan net.Conn, n),
+		sendSeq:    make([]uint32, n),
+		recvSeq:    make([]uint32, n),
+		lastRecv:   make([]atomic.Int64, n),
 		closed:     make(chan struct{}),
+	}
+	for i := range e.redialed {
+		e.redialed[i] = make(chan net.Conn, 1)
 	}
 	e.cond = sync.NewCond(&e.mu)
 
@@ -121,24 +202,14 @@ func Dial(cfg Config) (*Endpoint, error) {
 	}()
 
 	// Dial higher ranks (with retry: peers may not be listening yet).
+	// Exponential backoff with jitter keeps a large cluster's redial
+	// storm spread out, and the context lets Ctrl-C abort a stuck mesh
+	// establishment instead of sleeping out the full DialTimeout.
 	for peer := cfg.Rank + 1; peer < n; peer++ {
-		var conn net.Conn
-		for {
-			conn, err = net.DialTimeout("tcp", cfg.Addrs[peer], time.Second)
-			if err == nil {
-				break
-			}
-			if time.Now().After(deadline) {
-				e.Close()
-				return nil, fmt.Errorf("tcpcomm: dial rank %d (%s): %w", peer, cfg.Addrs[peer], err)
-			}
-			time.Sleep(50 * time.Millisecond)
-		}
-		var hello [4]byte
-		binary.LittleEndian.PutUint32(hello[:], uint32(cfg.Rank))
-		if _, err := conn.Write(hello[:]); err != nil {
+		conn, err := e.dialPeer(peer, deadline)
+		if err != nil {
 			e.Close()
-			return nil, fmt.Errorf("tcpcomm: hello to rank %d: %w", peer, err)
+			return nil, err
 		}
 		e.conns[peer] = conn
 	}
@@ -150,31 +221,217 @@ func Dial(cfg Config) (*Endpoint, error) {
 	}
 
 	// Per-peer reader and writer goroutines.
+	now := time.Now().UnixNano()
 	for peer, conn := range e.conns {
 		if conn == nil {
 			continue
 		}
+		e.lastRecv[peer].Store(now)
 		q := make(chan []byte, cfg.SendQueue)
 		e.sendq[peer] = q
 		e.writers.Add(1)
 		go e.writeLoop(peer, conn, q)
 		go e.readLoop(peer, conn)
 	}
+	if cfg.ReconnectTimeout > 0 {
+		go e.acceptLoop()
+	}
+	if cfg.Heartbeat > 0 {
+		go e.heartbeatLoop()
+	}
 	return e, nil
+}
+
+// dialPeer dials one peer with exponential backoff and jitter until the
+// deadline, honouring context cancellation and endpoint shutdown.
+func (e *Endpoint) dialPeer(peer int, deadline time.Time) (net.Conn, error) {
+	backoff := e.cfg.ReconnectBackoff
+	for {
+		conn, err := net.DialTimeout("tcp", e.cfg.Addrs[peer], time.Second)
+		if err == nil {
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(e.rank))
+			if _, werr := conn.Write(hello[:]); werr != nil {
+				conn.Close()
+				err = werr
+			} else {
+				return conn, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("tcpcomm: dial rank %d (%s): %w", peer, e.cfg.Addrs[peer], err)
+		}
+		jittered := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-time.After(jittered):
+		case <-e.cfg.Context.Done():
+			return nil, fmt.Errorf("tcpcomm: dial rank %d: %w", peer, e.cfg.Context.Err())
+		case <-e.closed:
+			return nil, fmt.Errorf("tcpcomm: dial rank %d: endpoint closed", peer)
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// acceptLoop re-accepts reconnections for the endpoint's lifetime: a
+// dialing peer's hello identifies which broken link the fresh connection
+// repairs, and reconnect() on that link picks it up.
+func (e *Endpoint) acceptLoop() {
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed with the endpoint
+		}
+		go func(conn net.Conn) {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			src := int(binary.LittleEndian.Uint32(hello[:]))
+			if src < 0 || src >= e.size || src == e.rank {
+				conn.Close()
+				return
+			}
+			select {
+			case e.redialed[src] <- conn:
+			default:
+				conn.Close() // a newer reconnection already waits
+			}
+		}(conn)
+	}
+}
+
+// heartbeatLoop keeps every link warm and tears down silent ones so the
+// reconnect machinery (or, without it, peer-closed detection) kicks in
+// long before TCP's own timeouts would.
+func (e *Endpoint) heartbeatLoop() {
+	t := time.NewTicker(e.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.closed:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-e.cfg.DeadAfter).UnixNano()
+		for peer := 0; peer < e.size; peer++ {
+			if peer == e.rank || e.sendq[peer] == nil {
+				continue
+			}
+			frame := comm.GetBuf(frameHeader)[:frameHeader]
+			binary.LittleEndian.PutUint32(frame[0:4], 0)
+			frame[4] = heartbeatTag
+			binary.LittleEndian.PutUint32(frame[5:9], uint32(e.rank))
+			select {
+			case e.sendq[peer] <- frame:
+			default:
+				comm.PutBuf(frame) // writer saturated: traffic is queued anyway
+			}
+			if e.lastRecv[peer].Load() < cutoff && !e.isPeerClosed(peer) {
+				// Silent past the threshold: close the conn so both loops
+				// fail fast into reconnection.
+				e.connMu[peer].Lock()
+				if c := e.conns[peer]; c != nil {
+					c.Close()
+				}
+				e.connMu[peer].Unlock()
+			}
+		}
+	}
+}
+
+func (e *Endpoint) isPeerClosed(peer int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peerClosed[peer]
+}
+
+// reconnect re-establishes a broken link, single-flighted per peer: the
+// caller passes the conn it saw fail, and whichever of the read/write
+// loops gets here first repairs the link (the original dialer redials
+// with backoff, the original acceptor waits for the redial to land on
+// its listener) and starts a fresh reader. Returns the live conn, or nil
+// when reconnection is disabled, timed out, or the endpoint is closing.
+func (e *Endpoint) reconnect(peer int, failed net.Conn) net.Conn {
+	if e.cfg.ReconnectTimeout <= 0 {
+		return nil
+	}
+	e.connMu[peer].Lock()
+	defer e.connMu[peer].Unlock()
+	if e.conns[peer] != failed {
+		return e.conns[peer] // the other loop already repaired the link
+	}
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	failed.Close()
+	e.conns[peer] = nil
+	deadline := time.Now().Add(e.cfg.ReconnectTimeout)
+	var conn net.Conn
+	if e.rank < peer {
+		c, err := e.dialPeer(peer, deadline)
+		if err != nil {
+			return nil
+		}
+		conn = c
+	} else {
+		select {
+		case conn = <-e.redialed[peer]:
+		case <-time.After(e.cfg.ReconnectTimeout):
+			return nil
+		case <-e.cfg.Context.Done():
+			return nil
+		case <-e.closed:
+			return nil
+		}
+	}
+	e.conns[peer] = conn
+	e.lastRecv[peer].Store(time.Now().UnixNano())
+	e.reconnects.Add(1)
+	go e.readLoop(peer, conn)
+	return conn
 }
 
 func (e *Endpoint) writeLoop(peer int, conn net.Conn, q chan []byte) {
 	defer e.writers.Done()
+	send := func(frame []byte) bool {
+		// The link sequence number is assigned here, by the one writer
+		// goroutine per peer, so heartbeats and data frames share one
+		// monotone numbering in wire order.
+		binary.LittleEndian.PutUint32(frame[9:13], e.sendSeq[peer])
+		e.sendSeq[peer]++
+		for {
+			_, err := conn.Write(frame)
+			if err == nil {
+				comm.PutBuf(frame)
+				return true
+			}
+			// Retrying the same frame (same seq) on the repaired link is
+			// safe: if the failed write had in fact been delivered, the
+			// receiver's seq dedup drops the duplicate.
+			next := e.reconnect(peer, conn)
+			if next == nil {
+				// The peer is genuinely gone (or reconnection is off):
+				// further traffic to it is dropped, like sending to a
+				// process that already exited its MPI epilogue.
+				comm.PutBuf(frame)
+				e.markPeerClosed(peer)
+				return false
+			}
+			conn = next
+		}
+	}
 	for {
 		select {
 		case frame := <-q:
-			_, err := conn.Write(frame)
-			comm.PutBuf(frame)
-			if err != nil {
-				// The peer left (e.g. the head finished and closed):
-				// further traffic to it is dropped, like sending to a
-				// process that already exited its MPI epilogue.
-				e.markPeerClosed(peer)
+			if !send(frame) {
 				return
 			}
 		case <-e.closed:
@@ -182,9 +439,7 @@ func (e *Endpoint) writeLoop(peer int, conn net.Conn, q chan []byte) {
 			for {
 				select {
 				case frame := <-q:
-					_, err := conn.Write(frame)
-					comm.PutBuf(frame)
-					if err != nil {
+					if !send(frame) {
 						return
 					}
 				default:
@@ -199,25 +454,56 @@ func (e *Endpoint) readLoop(peer int, conn net.Conn) {
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			// EOF or reset: only this peer is gone. Messages already
-			// queued from it remain receivable; blocking receives on it
-			// will now error instead of hanging.
-			e.markPeerClosed(peer)
+			// EOF or reset. With reconnection armed the link is repaired
+			// (the fresh conn gets its own reader); otherwise only this
+			// peer is gone — messages already queued from it remain
+			// receivable, blocking receives on it error instead of
+			// hanging.
+			if e.reconnect(peer, conn) == nil {
+				e.markPeerClosed(peer)
+			}
 			return
 		}
 		ln := binary.LittleEndian.Uint32(hdr[0:4])
 		tag := comm.Tag(hdr[4])
 		src := int(binary.LittleEndian.Uint32(hdr[5:9]))
-		if src != peer || int(tag) >= int(comm.NumTags) {
+		seq := binary.LittleEndian.Uint32(hdr[9:13])
+		hb := hdr[4] == heartbeatTag
+		if src != peer || (!hb && int(tag) >= int(comm.NumTags)) {
 			e.fail(fmt.Errorf("tcpcomm: malformed frame from rank %d (src=%d tag=%d)", peer, src, tag))
 			return
 		}
+		e.lastRecv[peer].Store(time.Now().UnixNano())
 		payload := comm.GetBuf(int(ln))[:ln]
 		if _, err := io.ReadFull(conn, payload); err != nil {
-			e.markPeerClosed(peer)
+			comm.PutBuf(payload)
+			if e.reconnect(peer, conn) == nil {
+				e.markPeerClosed(peer)
+			}
 			return
 		}
 		e.mu.Lock()
+		// Link seq accounting (under mu: a stale reader can overlap the
+		// repaired link's reader for an instant): duplicates — the one
+		// frame the writer may retransmit after a mid-write failure —
+		// are dropped, gaps count the frames the dead link swallowed.
+		dup := false
+		if want := e.recvSeq[peer]; seq == want {
+			e.recvSeq[peer] = seq + 1
+		} else if int32(seq-want) < 0 {
+			dup = true
+		} else {
+			e.lost.Add(int64(seq - want))
+			e.recvSeq[peer] = seq + 1
+		}
+		if dup || hb {
+			e.mu.Unlock()
+			if dup {
+				e.dups.Add(1)
+			}
+			comm.PutBuf(payload)
+			continue
+		}
 		k := streamKey{src, tag}
 		e.queues[k] = append(e.queues[k], payload)
 		e.mu.Unlock()
@@ -293,6 +579,38 @@ func (e *Endpoint) Recv(src int, tag comm.Tag) []byte {
 	return head
 }
 
+// WaitRecv implements comm.Waiter: wait up to d for a message on (src,
+// tag). A closed peer or transport error returns false immediately —
+// no message is coming, and the caller's watchdog should treat the wait
+// as expired rather than block forever.
+func (e *Endpoint) WaitRecv(src int, tag comm.Tag, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	k := streamKey{src, tag}
+	for len(e.queues[k]) == 0 {
+		if e.err != nil || e.peerClosed[src] {
+			return false
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return false
+		}
+		if e.waitTimer == nil {
+			e.waitTimer = time.AfterFunc(rem, func() {
+				e.mu.Lock()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+			})
+		} else {
+			e.waitTimer.Reset(rem)
+		}
+		e.cond.Wait()
+		e.waitTimer.Stop()
+	}
+	return true
+}
+
 // Iprobe implements comm.Endpoint.
 func (e *Endpoint) Iprobe(src int, tag comm.Tag) bool {
 	e.mu.Lock()
@@ -315,10 +633,12 @@ func (e *Endpoint) Close() error {
 		close(e.closed)
 	}
 	e.writers.Wait()
-	for _, c := range e.conns {
-		if c != nil {
+	for i := range e.conns {
+		e.connMu[i].Lock()
+		if c := e.conns[i]; c != nil {
 			c.Close()
 		}
+		e.connMu[i].Unlock()
 	}
 	if e.listener != nil {
 		e.listener.Close()

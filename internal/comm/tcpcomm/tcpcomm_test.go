@@ -1,6 +1,7 @@
 package tcpcomm
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -230,6 +231,118 @@ func TestDistributedIterativeOverTCP(t *testing.T) {
 		if out.Tokens[i] != ref[i] {
 			t.Fatalf("diverged at %d", i)
 		}
+	}
+}
+
+// meshFT spins up n endpoints with heartbeats and reconnection armed.
+func meshFT(t *testing.T, n int, hb time.Duration) []*Endpoint {
+	t.Helper()
+	addrs, err := FreeAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*Endpoint, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := Dial(Config{
+				Rank: i, Addrs: addrs, DialTimeout: 10 * time.Second,
+				Heartbeat: hb, ReconnectTimeout: 5 * time.Second,
+				ReconnectBackoff: 5 * time.Millisecond,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			eps[i] = ep
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	})
+	return eps
+}
+
+// TestReconnectRestoresTraffic kills the live TCP connection between two
+// ranks and proves the link self-heals: traffic resumes in both
+// directions and at least one side counts a reconnection.
+func TestReconnectRestoresTraffic(t *testing.T) {
+	eps := meshFT(t, 2, 10*time.Millisecond)
+	eps[0].Send(1, comm.TagRun, []byte("before"), 0)
+	if string(eps[1].Recv(0, comm.TagRun)) != "before" {
+		t.Fatal("pre-fault message lost")
+	}
+
+	// Sever the link out from under both endpoints.
+	eps[0].connMu[1].Lock()
+	eps[0].conns[1].Close()
+	eps[0].connMu[1].Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for eps[0].Reconnects() == 0 && eps[1].Reconnects() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("link never reconnected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eps[0].Send(1, comm.TagRun, []byte("after-01"), 0)
+	eps[1].Send(0, comm.TagRun, []byte("after-10"), 0)
+	if string(eps[1].Recv(0, comm.TagRun)) != "after-01" {
+		t.Fatal("0->1 traffic not restored")
+	}
+	if string(eps[0].Recv(1, comm.TagRun)) != "after-10" {
+		t.Fatal("1->0 traffic not restored")
+	}
+}
+
+// TestHeartbeatKeepsIdleLinkAlive proves heartbeats refresh the silence
+// monitor: an idle link several DeadAfter periods long is not torn down.
+func TestHeartbeatKeepsIdleLinkAlive(t *testing.T) {
+	eps := meshFT(t, 2, 5*time.Millisecond) // DeadAfter defaults to 20ms
+	time.Sleep(150 * time.Millisecond)
+	if n := eps[0].Reconnects() + eps[1].Reconnects(); n != 0 {
+		t.Fatalf("idle heartbeat-kept link reconnected %d times", n)
+	}
+	eps[0].Send(1, comm.TagRun, []byte("still-alive"), 0)
+	if string(eps[1].Recv(0, comm.TagRun)) != "still-alive" {
+		t.Fatal("idle link dropped traffic")
+	}
+}
+
+// TestDialHonorsContextCancel proves Ctrl-C (context cancellation)
+// aborts a stuck mesh establishment instead of sleeping out DialTimeout.
+func TestDialHonorsContextCancel(t *testing.T) {
+	addrs, err := FreeAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = Dial(Config{Rank: 0, Addrs: addrs, DialTimeout: 30 * time.Second, Context: ctx})
+	if err == nil {
+		t.Fatal("dial to absent peer should fail on cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation took %v, should abort promptly", time.Since(start))
 	}
 }
 

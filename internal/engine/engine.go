@@ -621,6 +621,17 @@ type Stats struct {
 	// carried at least one prompt-prefill chunk group alongside (or
 	// instead of) decode rows.
 	PrefillBatchedRuns int
+
+	// Fault-tolerance counters (serving layer, PR 6): runs declared failed
+	// by the watchdog (deadline passed or a newer result proved theirs
+	// lost), sessions recovered by eviction + prefix-recompute readmission,
+	// transport links re-established after a dead connection, and times the
+	// repeated-failure breaker tripped (speculation off, batch width
+	// clamped until results flow again).
+	RunTimeouts  int
+	Recoveries   int
+	Reconnects   int
+	BreakerTrips int
 }
 
 // MeanBatch is the realised mean number of per-session steps coalesced

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
@@ -28,6 +29,15 @@ type Run struct {
 	// holds each token row's session context (Ctx is nil then). Rows of
 	// one session share the same slice.
 	Ctxs [][]token.Token
+	// Deadline, when > 0, is the node-local time by which the run's result
+	// must arrive before the serving watchdog declares it failed. Set by
+	// the scheduler at launch from the CostEMA service-time fit.
+	Deadline time.Duration
+	// FailedLive marks a watchdog-failed run that was still live when it
+	// failed: its result carried state some session needed. A run the
+	// scheduler had already cancelled produces an expected-missing result
+	// and needs cleanup only, not session recovery.
+	FailedLive bool
 }
 
 // Head drives the pipeline from rank 0: launching runs, shipping KV
@@ -47,6 +57,10 @@ type Head struct {
 	// localResults queues results produced entirely locally (single-node
 	// topology), preserving FIFO semantics without comm.
 	localResults ring[[]byte]
+	// pendingResult holds a received result frame whose run ID is ahead of
+	// the FIFO head (its arrival proved the oldest run's result lost); it
+	// is re-examined after the failed run is popped.
+	pendingResult []byte
 	// freeRuns recycles consumed Run records (see Recycle): single-request
 	// engines let records be garbage collected, the serving layer returns
 	// them here so steady-state decode launches allocate nothing.
@@ -186,6 +200,19 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 	if h.Local != nil {
 		h.Local.ApplyKV(msg.KVOps)
 		out, wire, ok := h.Local.Eval(msg, nil, func() bool { return false })
+		next := h.Topo.FirstRemote()
+		if next < 0 {
+			// Single-node: the inline stage is the whole pipeline. The
+			// pooled result frame is released when AwaitResult consumes it.
+			var payload []byte
+			if ok {
+				payload = ResultPayload(msg.ID, out)
+			} else {
+				payload = EmptyResultPayload(msg.ID)
+			}
+			h.localResults.push(payload)
+			return run
+		}
 		var payload []byte
 		pw := 0
 		if ok {
@@ -195,13 +222,6 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 		} else {
 			payload = EmptyPayload()
 			pw = len(payload)
-		}
-		next := h.Topo.FirstRemote()
-		if next < 0 {
-			// Single-node: the inline stage is the whole pipeline. The
-			// pooled payload is released when AwaitResult consumes it.
-			h.localResults.push(payload)
-			return run
 		}
 		transact.Begin(h.EP, next, transact.TypeDecode)
 		enc := msg.AppendEncode(comm.GetBuf(msg.EncodedSize()))
@@ -224,7 +244,7 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 // ResultWaiting reports whether a completed run's result can be consumed
 // without blocking (§IV-B: the head's idleness probe).
 func (h *Head) ResultWaiting() bool {
-	if h.localResults.len() > 0 {
+	if h.localResults.len() > 0 || h.pendingResult != nil {
 		return true
 	}
 	if h.Topo.FirstRemote() < 0 {
@@ -233,21 +253,12 @@ func (h *Head) ResultWaiting() bool {
 	return h.EP.Iprobe(h.Topo.LastStage(), comm.TagResult)
 }
 
-// AwaitResult blocks for the oldest in-flight run's result and pops it
-// from the FIFO. ok is false when the run was cancelled (empty payload).
-func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
-	if h.inflight.len() == 0 {
-		return nil, nil, false, fmt.Errorf("engine: AwaitResult with empty pipeline")
-	}
-	var payload []byte
-	if h.localResults.len() > 0 {
-		payload = h.localResults.pop()
-	} else {
-		payload = h.EP.Recv(h.Topo.LastStage(), comm.TagResult)
-	}
+// consumeResult pops the FIFO head and hands its result frame to the
+// backend. The frame's ID has already been matched against the run's.
+func (h *Head) consumeResult(payload []byte) (run *Run, res Results, ok bool, err error) {
 	run = h.inflight.pop()
 	h.adjustSessInflight(run.Msg, -1)
-	data, hasData := PayloadData(payload)
+	_, data, hasData, _ := ParseResult(payload)
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
 			fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
@@ -268,6 +279,129 @@ func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
 	}
 	comm.PutBuf(payload)
 	return run, res, true, nil
+}
+
+// AwaitResult blocks for the oldest in-flight run's result and pops it
+// from the FIFO. ok is false when the run was cancelled (empty payload).
+// Result frames carry their run's ID: a frame below the FIFO head's ID is
+// a late or duplicated delivery of an already-failed run and is silently
+// discarded; one above it means the oldest run's result is lost, which
+// only the deadline-bounded AwaitResultWithin can recover from, so here
+// it is an error.
+func (h *Head) AwaitResult() (run *Run, res Results, ok bool, err error) {
+	if h.inflight.len() == 0 {
+		return nil, nil, false, fmt.Errorf("engine: AwaitResult with empty pipeline")
+	}
+	if h.localResults.len() > 0 {
+		return h.consumeResult(h.localResults.pop())
+	}
+	want := h.inflight.at(0).Msg.ID
+	for {
+		var payload []byte
+		if h.pendingResult != nil {
+			payload, h.pendingResult = h.pendingResult, nil
+		} else {
+			payload = h.EP.Recv(h.Topo.LastStage(), comm.TagResult)
+		}
+		id, _, _, perr := ParseResult(payload)
+		if perr != nil {
+			comm.PutBuf(payload)
+			return nil, nil, false, perr
+		}
+		if id == want {
+			return h.consumeResult(payload)
+		}
+		comm.PutBuf(payload)
+		if int32(id-want) < 0 {
+			continue // stale: a failed run's late or duplicated result
+		}
+		return nil, nil, false, fmt.Errorf("engine: result for run %d while awaiting run %d (result lost?)", id, want)
+	}
+}
+
+// AwaitResultWithin is AwaitResult bounded by the oldest run's watchdog
+// budget: it waits up to d for that run's result and otherwise declares
+// the run failed — either the deadline passed with nothing to show, or a
+// newer run's result arrived first, which per-stream FIFO order turns
+// into proof that the oldest result is lost. A failed run is popped,
+// counted in Stats.RunTimeouts, and signalled cancelled pipeline-wide;
+// the caller owns recovering its sessions. Endpoints without the
+// comm.Waiter capability fall back to the blocking AwaitResult.
+func (h *Head) AwaitResultWithin(d time.Duration) (run *Run, res Results, ok bool, failed bool, err error) {
+	if h.inflight.len() == 0 {
+		return nil, nil, false, false, fmt.Errorf("engine: AwaitResultWithin with empty pipeline")
+	}
+	if h.localResults.len() > 0 {
+		run, res, ok, err = h.consumeResult(h.localResults.pop())
+		return run, res, ok, false, err
+	}
+	waiter, canWait := h.EP.(comm.Waiter)
+	if !canWait || h.Topo.FirstRemote() < 0 {
+		run, res, ok, err = h.AwaitResult()
+		return run, res, ok, false, err
+	}
+	last := h.Topo.LastStage()
+	want := h.inflight.at(0).Msg.ID
+	start := h.EP.Now()
+	for {
+		var payload []byte
+		if h.pendingResult != nil {
+			payload, h.pendingResult = h.pendingResult, nil
+		} else {
+			rem := d - (h.EP.Now() - start)
+			if rem < 0 {
+				rem = 0
+			}
+			if !waiter.WaitRecv(last, comm.TagResult, rem) {
+				return h.failOldest(), nil, false, true, nil
+			}
+			payload = h.EP.Recv(last, comm.TagResult)
+		}
+		id, _, _, perr := ParseResult(payload)
+		if perr != nil {
+			comm.PutBuf(payload)
+			return nil, nil, false, false, perr
+		}
+		switch {
+		case id == want:
+			run, res, ok, err = h.consumeResult(payload)
+			return run, res, ok, false, err
+		case int32(id-want) < 0:
+			comm.PutBuf(payload) // stale: a failed run's late or duplicated result
+		default:
+			// FIFO order: a newer result can only arrive after the older
+			// one, so the oldest run's result is gone. Keep the frame for
+			// the next await.
+			h.pendingResult = payload
+			return h.failOldest(), nil, false, true, nil
+		}
+	}
+}
+
+// failOldest pops the oldest in-flight run as failed, counts the
+// timeout, and signals every stage to skip whatever remains of it. The
+// serving layer recovers the run's sessions afterwards (eviction +
+// prefix-recompute readmission), which is what keeps greedy output
+// bit-identical through the failure.
+func (h *Head) failOldest() *Run {
+	run := h.inflight.pop()
+	h.adjustSessInflight(run.Msg, -1)
+	h.Stats.RunTimeouts++
+	if h.Trace != nil {
+		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, run.Msg.ID, "watchdog-failed")
+	}
+	if !run.Cancelled {
+		// Failure is not a scheduling decision: the run is marked
+		// cancelled so late stages skip it, but RunsCancelled stays put.
+		run.FailedLive = true
+		run.Cancelled = true
+		if !h.CFG.DisableCancel {
+			payload := appendCancelSig(comm.GetBuf(cancelSigBytes), CancelSig{ID: run.Msg.ID})
+			h.broadcastCancel(payload)
+			comm.PutBuf(payload)
+		}
+	}
+	return run
 }
 
 // Cancel back-propagates cancellation signals for the given runs to every

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm"
@@ -35,6 +36,42 @@ func PayloadData(p []byte) (data []byte, ok bool) {
 		return nil, false
 	}
 	return p[1:], true
+}
+
+// Result payloads (last stage → head) extend the marker framing with the
+// run's ID: marker byte | u32 run ID | data. The ID is what lets the head
+// fence faults on the result stream — a result below the FIFO head's ID
+// is late or duplicated and is discarded, one above it proves the FIFO
+// head's own result was lost (per-stream FIFO order means it can never
+// arrive later), so the run can be failed immediately instead of waiting
+// out the watchdog deadline.
+const resultHeader = 1 + 4
+
+// ResultPayload frames a copy of data as a result carrying the run's ID
+// (pooled buffer; release with comm.PutBuf after Send).
+func ResultPayload(id uint32, data []byte) []byte {
+	out := append(comm.GetBuf(resultHeader+len(data)), payloadData, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(out[1:], id)
+	return append(out, data...)
+}
+
+// EmptyResultPayload frames the cancelled-run result marker for run id.
+func EmptyResultPayload(id uint32) []byte {
+	out := append(comm.GetBuf(resultHeader), payloadEmpty, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(out[1:], id)
+	return out
+}
+
+// ParseResult unwraps a result payload into the run ID and optional data.
+func ParseResult(p []byte) (id uint32, data []byte, hasData bool, err error) {
+	if len(p) < resultHeader {
+		return 0, nil, false, fmt.Errorf("engine: malformed result payload (%d bytes)", len(p))
+	}
+	id = binary.LittleEndian.Uint32(p[1:])
+	if p[0] == payloadEmpty {
+		return id, nil, false, nil
+	}
+	return id, p[resultHeader:], true, nil
 }
 
 // cancelSet tracks cancellation signals received out-of-band: per run ID
@@ -155,6 +192,7 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 			}
 		}
 
+		last := downstream < 0
 		var out []byte
 		wire := 0
 		if !skip {
@@ -166,10 +204,17 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 				return cancels.full(run.ID)
 			}
 			if data, w_, ok := w.Eval(run, input, cancelled); ok {
-				// Eval's payload aliases worker staging; DataPayload
-				// copies it into a pooled wire buffer.
-				out = DataPayload(data)
-				wire = w_ + 1
+				// Eval's payload aliases worker staging; ResultPayload /
+				// DataPayload copy it into a pooled wire buffer. Results
+				// additionally carry the run ID so the head can fence
+				// late, duplicated, or lost results on a faulty link.
+				if last {
+					out = ResultPayload(run.ID, data)
+					wire = w_ + resultHeader
+				} else {
+					out = DataPayload(data)
+					wire = w_ + 1
+				}
 			}
 		}
 		// input was only read by Eval; its buffer is done.
@@ -177,12 +222,16 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 			comm.PutBuf(inputBuf)
 		}
 		if out == nil {
-			out = EmptyPayload()
+			if last {
+				out = EmptyResultPayload(run.ID)
+			} else {
+				out = EmptyPayload()
+			}
 			wire = len(out)
 		}
 		cancels.gc(run.ID)
 
-		if downstream >= 0 {
+		if !last {
 			transact.Begin(ep, downstream, transact.TypeDecode)
 			enc := run.AppendEncode(comm.GetBuf(run.EncodedSize()))
 			ep.Send(downstream, comm.TagRun, enc, len(enc))
@@ -197,7 +246,7 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 		// sampling is skipped" saving of §IV-D.3.
 		if cancels.full(run.ID) {
 			comm.PutBuf(out)
-			out = EmptyPayload()
+			out = EmptyResultPayload(run.ID)
 			wire = len(out)
 		}
 		ep.Send(topo.Head, comm.TagResult, out, wire)

@@ -106,6 +106,12 @@ type Cache struct {
 
 	seqLen [kvcache.MaxSeqs]int32
 	seqMax [kvcache.MaxSeqs]int32
+
+	// dryFree / dryTouched are CanPlaceRows scratch: per-shard simulated
+	// free counts (-1 = untouched) and the shards touched by the current
+	// dry run, so repeated admission checks allocate nothing.
+	dryFree    []int
+	dryTouched []int
 }
 
 // New creates a paged cache. Capacity is rounded up to whole pages; Size
@@ -122,6 +128,10 @@ func New(cfg Config) *Cache {
 		pageUsed:  make([]int32, nPages),
 		freePages: make([]int32, 0, nPages),
 		shards:    make([]shard, nShards),
+		dryFree:   make([]int, nShards),
+	}
+	for i := range c.dryFree {
+		c.dryFree[i] = -1
 	}
 	for i := range c.cells {
 		c.cells[i].Pos = -1
@@ -328,6 +338,53 @@ func (c *Cache) PlaceRowsInto(dst []int, metas []kvcache.TokenMeta) ([]int, erro
 		lo = hi
 	}
 	return dst, nil
+}
+
+// CanPlaceRows reports whether PlaceRowsInto would succeed for metas,
+// without occupying anything: the same consecutive-shard grouping, each
+// group's demand charged first against its shard's simulated free cells
+// and then against the shared unmapped-page budget (a mapped page's
+// leftover cells stay with the shard, exactly as FindSlotsInto leaves
+// them). The serving layer dry-runs every launch through this before
+// mutating the shadow, so an admission accounting bug degrades into a
+// graceful rejection instead of a mid-placement panic. Allocation-free.
+func (c *Cache) CanPlaceRows(metas []kvcache.TokenMeta) bool {
+	budget := len(c.freePages)
+	ok := true
+	touched := c.dryTouched[:0]
+	for lo := 0; lo < len(metas) && ok; {
+		si := c.shardOf(metas[lo].Seqs)
+		hi := lo + 1
+		for hi < len(metas) && c.shardOf(metas[hi].Seqs) == si {
+			hi++
+		}
+		n := hi - lo
+		if c.dryFree[si] < 0 {
+			c.dryFree[si] = c.shards[si].free
+			touched = append(touched, si)
+		}
+		take := n
+		if take > c.dryFree[si] {
+			take = c.dryFree[si]
+		}
+		c.dryFree[si] -= take
+		n -= take
+		if n > 0 {
+			pages := (n + c.pageSize - 1) / c.pageSize
+			if pages > budget {
+				ok = false
+				break
+			}
+			budget -= pages
+			c.dryFree[si] += pages*c.pageSize - n
+		}
+		lo = hi
+	}
+	for _, si := range touched {
+		c.dryFree[si] = -1
+	}
+	c.dryTouched = touched[:0]
+	return ok
 }
 
 // mapPage pops a page off the free list and hands it to shard si.

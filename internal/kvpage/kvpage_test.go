@@ -1,6 +1,7 @@
 package kvpage
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
@@ -325,5 +326,56 @@ func TestPagesShort(t *testing.T) {
 	other := kvcache.NewSeqSet(1)
 	if got := c.PagesShort(other, 2); got != 1 {
 		t.Fatalf("other shard, 2 cells: %d pages, want 1", got)
+	}
+}
+
+// TestCanPlaceRowsPredictsPlacement is the regression wall for the
+// serving layer's launch dry run (PR 6): across randomized batch
+// histories, CanPlaceRows must agree exactly with PlaceRowsInto — true
+// means placement succeeds, false means it would have failed — and the
+// dry run itself must not mutate any cache state. This is what turned
+// the old "shadow cache underprovisioned for admitted launch" panic
+// into a graceful launch rejection.
+func TestCanPlaceRowsPredictsPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 4})
+		var pos [4]int32
+		for step := 0; step < 64; step++ {
+			// A random batch: a few per-shard row groups, like a composed
+			// multi-session run's per-session groups.
+			var metas []kvcache.TokenMeta
+			for g := 1 + rng.Intn(3); g > 0; g-- {
+				sh := rng.Intn(4)
+				seqs := kvcache.NewSeqSet(kvcache.SeqID(sh * 4))
+				for r := 1 + rng.Intn(12); r > 0; r-- {
+					metas = append(metas, kvcache.TokenMeta{Pos: pos[sh], Seqs: seqs})
+					pos[sh]++
+				}
+			}
+			used, free, pages := c.Used(), c.FreeCells(), c.FreePages()
+			ok := c.CanPlaceRows(metas)
+			if again := c.CanPlaceRows(metas); again != ok {
+				t.Fatalf("trial %d step %d: dry run not idempotent (%v then %v)", trial, step, ok, again)
+			}
+			if c.Used() != used || c.FreeCells() != free || c.FreePages() != pages {
+				t.Fatalf("trial %d step %d: dry run mutated the cache", trial, step)
+			}
+			cells, err := c.PlaceRowsInto(nil, metas)
+			if ok && err != nil {
+				t.Fatalf("trial %d step %d: CanPlaceRows approved a failing placement: %v", trial, step, err)
+			}
+			if !ok && err == nil {
+				t.Fatalf("trial %d step %d: CanPlaceRows rejected a succeeding placement (%d rows, %d free)",
+					trial, step, len(metas), free)
+			}
+			if err != nil {
+				break // placement may have partially applied; start a fresh trial
+			}
+			if len(cells) != len(metas) {
+				t.Fatalf("trial %d step %d: placed %d cells for %d rows", trial, step, len(cells), len(metas))
+			}
+			checkInv(t, c)
+		}
 	}
 }

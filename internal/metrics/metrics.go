@@ -72,6 +72,12 @@ type Agg struct {
 	// Chunked-prefill counters (serving layer, PR 5).
 	PrefillBatchedRuns Summary // batched runs carrying prompt-prefill chunk groups
 	TimeToFirst        Summary // seconds from run start to the first emitted token
+
+	// Fault-tolerance counters per run (serving layer, PR 6).
+	RunTimeouts  Summary // runs the watchdog declared failed
+	Recoveries   Summary // sessions recovered by evict + prefix-recompute
+	Reconnects   Summary // transport links re-established
+	BreakerTrips Summary // repeated-failure breaker trips
 }
 
 // Collector accumulates repetition results for one condition.
@@ -80,6 +86,8 @@ type Collector struct {
 	specDrops, preempts, readmits         []float64
 	batchedRuns, meanBatch, rowCancels    []float64
 	prefillBatched, timeToFirst           []float64
+	runTimeouts, recoveries               []float64
+	reconnects, breakerTrips              []float64
 }
 
 // Add records one generation's stats and per-node memory bytes.
@@ -97,6 +105,10 @@ func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
 	c.rowCancels = append(c.rowCancels, float64(s.RowCancels))
 	c.prefillBatched = append(c.prefillBatched, float64(s.PrefillBatchedRuns))
 	c.timeToFirst = append(c.timeToFirst, s.TimeToFirst().Seconds())
+	c.runTimeouts = append(c.runTimeouts, float64(s.RunTimeouts))
+	c.recoveries = append(c.recoveries, float64(s.Recoveries))
+	c.reconnects = append(c.reconnects, float64(s.Reconnects))
+	c.breakerTrips = append(c.breakerTrips, float64(s.BreakerTrips))
 	if len(perNodeMem) > 0 {
 		var sum float64
 		for _, m := range perNodeMem {
@@ -127,7 +139,18 @@ func (c *Collector) Agg() Agg {
 
 		PrefillBatchedRuns: Summarize(c.prefillBatched),
 		TimeToFirst:        Summarize(c.timeToFirst),
+
+		RunTimeouts:  Summarize(c.runTimeouts),
+		Recoveries:   Summarize(c.recoveries),
+		Reconnects:   Summarize(c.reconnects),
+		BreakerTrips: Summarize(c.breakerTrips),
 	}
+}
+
+// FaultEvents reports the mean number of fault-tolerance events (run
+// timeouts plus session recoveries plus link reconnections) per run.
+func (a Agg) FaultEvents() float64 {
+	return a.RunTimeouts.Mean + a.Recoveries.Mean + a.Reconnects.Mean
 }
 
 // PressureEvents reports the mean number of memory-pressure events

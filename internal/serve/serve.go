@@ -119,6 +119,27 @@
 // widen toward the cap under backlog while the measured overhead says
 // coalescing still pays.
 //
+// # Fault tolerance (PR 6)
+//
+// With Config.RunTimeout set, the scheduler arms a run watchdog: every
+// launched run carries a deadline (RunTimeoutMult times the EMA cost
+// model's service-time prediction, clamped to [RunTimeout,
+// RunTimeoutCap]), result waits are bounded by the oldest run's budget
+// (engine.Head.AwaitResultWithin over comm.Waiter), and results carry
+// their run's ID so a lost result is detected the moment a newer one
+// arrives (per-stream FIFO order makes the gap a proof, not a guess). A
+// failed run's sessions are recovered through the same machinery
+// preemption built: in-flight runs cancelled, the namespace evicted
+// pipeline-wide (kvcache.OpEvictShard), the session parked, and
+// prefix-recompute readmission re-derives the greedy stream
+// bit-identically — the lost result's sampled token falls out of the
+// recomputed prefill. Unaffected batch rows complete normally via the
+// existing row-cancel machinery. Repeated consecutive failures trip a
+// degradation breaker (speculation off, batch width one) so a
+// persistently faulty link degrades throughput instead of feeding an
+// evict/readmit storm; sustained healthy completions reset it. Counters:
+// Stats.RunTimeouts, Recoveries, BreakerTrips.
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
@@ -221,6 +242,28 @@ type Config struct {
 	// the pipeline drains, and widen toward the cap under backlog while
 	// the measured overhead says coalescing still pays.
 	AutoBatch bool
+	// RunTimeout arms the run watchdog (PR 6): every launched run gets a
+	// completion deadline, and a run whose result misses it — a stalled
+	// stage, a lost result frame, a dead link — is failed instead of
+	// hanging the scheduler forever. Each affected session is recovered
+	// through the preemption machinery (namespace evicted pipeline-wide,
+	// session parked) and prefix-recompute readmission re-derives its
+	// greedy stream bit-identically. The deadline is RunTimeoutMult times
+	// the EMA cost model's predicted service time, clamped to
+	// [RunTimeout, RunTimeoutCap]; RunTimeout itself is the floor that
+	// stands alone until the fit converges. 0 disables the watchdog (the
+	// default — fault tolerance is opt-in).
+	RunTimeout time.Duration
+	// RunTimeoutMult scales the per-run deadline over the cost model's
+	// prediction (default 8, a p99-style headroom multiple).
+	RunTimeoutMult float64
+	// RunTimeoutCap bounds the derived deadline from above (default
+	// 64 x RunTimeout).
+	RunTimeoutCap time.Duration
+	// OnRecover, when non-nil, observes fault recovery: a session evicted
+	// and parked for prefix-recompute readmission because a run it was
+	// riding in timed out or had its result lost.
+	OnRecover func(req int)
 }
 
 // Normalize fills the derived session-layout defaults: slot count
@@ -238,6 +281,14 @@ func (c Config) Normalize(numRequests int) Config {
 		c.SeqsPerSession = 1
 		if c.Speculate {
 			c.SeqsPerSession = 4
+		}
+	}
+	if c.RunTimeout > 0 {
+		if c.RunTimeoutMult <= 0 {
+			c.RunTimeoutMult = 8
+		}
+		if c.RunTimeoutCap <= 0 {
+			c.RunTimeoutCap = 64 * c.RunTimeout
 		}
 	}
 	return c
@@ -341,10 +392,21 @@ type Scheduler struct {
 	composer *batch.Composer
 
 	// runCost is the adaptive width controller's EMA-fitted per-run cost
-	// model (Config.AutoBatch); lastResultAt anchors the service-time
+	// model (Config.AutoBatch, and the watchdog's deadline derivation
+	// under Config.RunTimeout); lastResultAt anchors the service-time
 	// observations it is fed.
 	runCost      metrics.CostEMA
 	lastResultAt time.Duration
+
+	// Degradation breaker (PR 6): failStreak counts consecutive
+	// watchdog-failed runs; at breakerTripAfter the breaker trips —
+	// speculation is disabled and the batch width collapses to one — so
+	// a persistently faulty link degrades throughput instead of feeding
+	// an evict/readmit storm with speculative work that will be lost.
+	// okStreak consecutive healthy completions reset it.
+	failStreak int
+	okStreak   int
+	tripped    bool
 
 	// Reusable scratch: all uses are synchronous within one step.
 	msgPool  []*engine.RunMsg
@@ -710,8 +772,10 @@ func (s *Scheduler) tryLaunchBatching() bool {
 	}
 
 	// Pass 3: same-depth speculative batching, bounded by the same
-	// effective width as pass 1.
-	if s.cfg.Speculate {
+	// effective width as pass 1. The open breaker disables speculation:
+	// under repeated faults every drafted chain is work the next failure
+	// throws away.
+	if s.cfg.Speculate && !s.tripped {
 		return s.tryLaunchSpecBatch(width)
 	}
 	return false
@@ -727,6 +791,9 @@ func (s *Scheduler) tryLaunchBatching() bool {
 // overhead-to-row-cost ratio, a wider batch buys almost no throughput
 // and only adds per-step latency).
 func (s *Scheduler) effectiveWidth() int {
+	if s.tripped {
+		return 1 // breaker open: minimise work lost to the next failure
+	}
 	capW := s.cfg.MaxBatch
 	if !s.cfg.AutoBatch || capW <= 1 {
 		return capW
@@ -764,7 +831,7 @@ func (s *Scheduler) effectiveWidth() int {
 // its row count, which is what lets the EMA separate fixed per-run
 // overhead from marginal per-row cost.
 func (s *Scheduler) observeRunCost(run *engine.Run) {
-	if !s.cfg.AutoBatch {
+	if !s.cfg.AutoBatch && s.cfg.RunTimeout == 0 {
 		return
 	}
 	now := s.h.EP.Now()
@@ -794,6 +861,13 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		s.launchPrefill(sess)
 		return true
 	case stateParked:
+		// A session parked by fault recovery may still have cancelled
+		// runs draining through the pipeline; readmitting before their
+		// (empty) results are consumed would interleave the recomputed
+		// prefix with stale cleanups.
+		if s.inflight(sess) > 0 {
+			return false
+		}
 		// Readmission never evicts anyone: wait until the full accepted
 		// prefix fits in genuinely free cells, then recompute it — in one
 		// run, or chunk by chunk when chunked prefill is on.
@@ -820,7 +894,7 @@ func (s *Scheduler) launchFor(sess *session) bool {
 			s.launchNonSpec(sess)
 			return true
 		}
-		if s.cfg.Speculate && sess.alloc != nil && s.inflight(sess) < s.specCap {
+		if s.cfg.Speculate && !s.tripped && sess.alloc != nil && s.inflight(sess) < s.specCap {
 			return s.trySpeculate(sess)
 		}
 	}
@@ -933,26 +1007,49 @@ func (s *Scheduler) pickVictim(requester *session) *session {
 	return victim
 }
 
-// preempt parks an idle session: one OpEvictShard transaction frees its
-// whole namespace on the shadow and every stage, and the session waits in
-// stateParked for prefix-recompute readmission. Accepted tokens, the
-// slot and the namespace assignment are all retained — only KV is given
-// up.
-func (s *Scheduler) preempt(victim *session) {
-	victim.pending = victim.pending[:0]
-	victim.wantNonSpec = false
-	if victim.state == statePrefill {
+// park takes a session out of the pipeline: its speculation chain is
+// dropped, any in-flight runs are cancelled (batched runs lose just its
+// rows), one OpEvictShard transaction frees its whole namespace on the
+// shadow and every stage, and the session waits in stateParked for
+// prefix-recompute readmission. Accepted tokens, the slot and the
+// namespace assignment are all retained — only KV is given up.
+// Preemption parks idle victims (the cancel sweep finds nothing); fault
+// recovery and launch rejection park sessions with live runs.
+func (s *Scheduler) park(sess *session) {
+	sess.pending = sess.pending[:0]
+	sess.wantNonSpec = false
+	victims := s.victims[:0]
+	for i := 0; i < s.h.Inflight(); i++ {
+		r := s.h.InflightAt(i)
+		if r.Cancelled || !r.Msg.InvolvesSession(uint16(sess.slot)) {
+			continue
+		}
+		if r.Msg.Batched() {
+			s.cancelRowsFor(sess, r, true)
+		} else {
+			victims = append(victims, r)
+		}
+	}
+	s.victims = victims
+	s.cancelFor(sess, victims)
+	if sess.state == statePrefill {
 		// A mid-prompt chunked prefill gives up its recomputed prefix;
 		// the eviction frees every placed chunk cell, so readmission
 		// restarts the chunk sequence from position 0 — never stranding
 		// shadow pages.
-		victim.fillSent, victim.fillDone = 0, 0
+		sess.fillSent, sess.fillDone = 0, 0
 	}
-	victim.state = stateParked
+	sess.state = stateParked
 	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpEvictShard,
-		Src: victim.ns.Base, Dst: kvcache.SeqID(victim.ns.Width)})
+		Src: sess.ns.Base, Dst: kvcache.SeqID(sess.ns.Width)})
 	s.ops = ops[:0]
 	s.sendKV(ops)
+}
+
+// preempt parks an idle session under memory pressure, crediting the
+// preemption.
+func (s *Scheduler) preempt(victim *session) {
+	s.park(victim)
 	victim.stats.Preemptions++
 	s.h.Stats.Preemptions++
 	if s.cfg.OnPreempt != nil {
@@ -975,9 +1072,14 @@ func (s *Scheduler) launchReadmit(sess *session) {
 		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
 	}
 	sess.state = statePrefill
-	sess.readmitted = true
+	// A session recovered before its first token regenerates the prompt-
+	// sampled token, which stays untimed (same rule as a fresh prefill).
+	sess.readmitted = sess.generated() > 0
 	sess.cutoff = s.h.CFG.SpecCutoff
-	s.launch(msg, nil, nil)
+	if s.launch(msg, nil, nil) == nil {
+		s.putMsg(msg)
+		return
+	}
 	sess.stats.RunsLaunched++
 	sess.stats.Readmissions++
 	s.h.Stats.Readmissions++
@@ -1018,10 +1120,14 @@ func (s *Scheduler) putMsg(m *engine.RunMsg) {
 // launch mirrors the run into the shadow cache — its KV ops, then one
 // occupied cell per token, rows placed per owning shard — and hands it to
 // the head. ensureRoom/roomFor (or the batch collection's collective
-// account) have already guaranteed the cells exist.
+// account) have already guaranteed the cells exist; launch re-verifies
+// with an allocation-free dry run before mutating anything, and if the
+// shadow disagrees it degrades gracefully instead of panicking:
+// speculative work is dropped, mandatory work parks its sessions for
+// prefix-recompute readmission, and the caller sees nil and unwinds its
+// staging.
 func (s *Scheduler) launch(msg *engine.RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *engine.Run {
 	if s.kv != nil {
-		s.kv.ApplyAll(msg.KVOps)
 		if cap(s.rowMeta) < len(msg.Tokens) {
 			s.rowMeta = make([]kvcache.TokenMeta, len(msg.Tokens))
 		}
@@ -1029,13 +1135,129 @@ func (s *Scheduler) launch(msg *engine.RunMsg, ctx []token.Token, seqs []kvcache
 		for i, tp := range msg.Tokens {
 			meta[i] = kvcache.TokenMeta{Pos: tp.Pos, Seqs: tp.Seqs}
 		}
+		if !s.kv.CanPlaceRows(meta) && !s.reclaimFor(msg, meta) {
+			s.rejectLaunch(msg)
+			return nil
+		}
+		s.kv.ApplyAll(msg.KVOps)
 		cells, err := s.kv.PlaceRowsInto(s.kvCells[:0], meta)
 		if err != nil {
-			panic(fmt.Sprintf("serve: shadow cache underprovisioned for admitted launch: %v", err))
+			// CanPlaceRows dry-ran this exact grouping; failing here means
+			// the shadow's own bookkeeping is inconsistent.
+			panic(fmt.Sprintf("serve: shadow cache placement diverged from dry run: %v", err))
 		}
 		s.kvCells = cells[:0]
 	}
-	return s.h.Launch(msg, ctx, seqs)
+	run := s.h.Launch(msg, ctx, seqs)
+	if s.cfg.RunTimeout > 0 {
+		run.Deadline = s.h.EP.Now() + s.deadlineFor(msg.Len())
+	}
+	return run
+}
+
+// reclaimFor is the in-launch pressure escalation: when the dry run
+// fails, reclaim speculative pages from sessions not riding in msg and
+// retry. Speculative launches never reclaim — optional work is dropped,
+// not paid for out of other sessions' chains.
+func (s *Scheduler) reclaimFor(msg *engine.RunMsg, meta []kvcache.TokenMeta) bool {
+	if msg.Kind == engine.KindSpec {
+		return false
+	}
+	for _, other := range s.slots {
+		if other == nil || other.state != stateDecode || msg.InvolvesSession(uint16(other.slot)) {
+			continue
+		}
+		if s.dropSpecPages(other) && s.kv.CanPlaceRows(meta) {
+			return true
+		}
+	}
+	return s.kv.CanPlaceRows(meta)
+}
+
+// rejectLaunch degrades a launch the shadow cannot place even after
+// reclamation: speculative runs are simply dropped (the caller frees
+// their partitions); for mandatory runs every involved live session is
+// parked — eviction plus prefix-recompute readmission re-derives their
+// output bit-identically once room frees up — so an accounting mismatch
+// costs throughput, never a crash.
+func (s *Scheduler) rejectLaunch(msg *engine.RunMsg) {
+	if msg.Kind == engine.KindSpec {
+		return
+	}
+	if msg.Batched() {
+		for lo := 0; lo < len(msg.Tokens); {
+			slot, hi := batch.Group(msg, lo)
+			s.parkSlot(int(slot))
+			lo = hi
+		}
+		return
+	}
+	s.parkSlot(int(msg.Session))
+}
+
+// parkSlot preempt-parks a live session by slot number (launch rejection
+// shares the preemption bookkeeping).
+func (s *Scheduler) parkSlot(slot int) {
+	if slot >= len(s.slots) {
+		return
+	}
+	sess := s.slots[slot]
+	if sess == nil || sess.state == stateParked || sess.state == stateDrain {
+		return
+	}
+	s.preempt(sess)
+}
+
+// deadlineFor derives one run's watchdog budget: RunTimeoutMult times
+// the cost model's predicted service time for the run behind everything
+// already in flight, clamped to [RunTimeout, RunTimeoutCap]. Until the
+// fit converges the floor stands alone, so the watchdog starts
+// conservative and tightens as evidence accumulates.
+func (s *Scheduler) deadlineFor(rows int) time.Duration {
+	d := s.cfg.RunTimeout
+	oh, pr := s.runCost.Overhead(), s.runCost.PerRow()
+	if oh > 0 || pr > 0 {
+		pred := s.cfg.RunTimeoutMult * (oh + pr*float64(rows)) * float64(s.h.Inflight())
+		if p := time.Duration(pred * float64(time.Second)); p > d {
+			d = p
+		}
+	}
+	if s.cfg.RunTimeoutCap > 0 && d > s.cfg.RunTimeoutCap {
+		d = s.cfg.RunTimeoutCap
+	}
+	return d
+}
+
+// rearmOldest refreshes the head-of-line run's deadline after the
+// pipeline made progress (a result consumed, or a failed run processed).
+// The watchdog is a no-progress timeout, not a sojourn bound: a run deep
+// in a cold pipeline legitimately waits many service times for everything
+// ahead of it, so its launch-time deadline only has to cover the queue it
+// joined, and each completion grants the new oldest a fresh single-run
+// budget. Without this, a prefill wave deeper than RunTimeout/service
+// fails its own tail and re-admits it to the back of the queue, forever.
+// The deadline only ever moves forward, and only on progress — a stalled
+// pipeline extends nothing, so a genuine stall still fails the oldest
+// run one budget after the last completion.
+func (s *Scheduler) rearmOldest() {
+	if s.cfg.RunTimeout == 0 || s.h.Inflight() == 0 {
+		return
+	}
+	oldest := s.h.InflightAt(0)
+	d := s.cfg.RunTimeout
+	oh, pr := s.runCost.Overhead(), s.runCost.PerRow()
+	if oh > 0 || pr > 0 {
+		pred := s.cfg.RunTimeoutMult * (oh + pr*float64(oldest.Msg.Len()))
+		if p := time.Duration(pred * float64(time.Second)); p > d {
+			d = p
+		}
+	}
+	if s.cfg.RunTimeoutCap > 0 && d > s.cfg.RunTimeoutCap {
+		d = s.cfg.RunTimeoutCap
+	}
+	if nd := s.h.EP.Now() + d; nd > oldest.Deadline {
+		oldest.Deadline = nd
+	}
 }
 
 // sendKV applies a KV transaction to the shadow cache and ships it down
@@ -1055,7 +1277,10 @@ func (s *Scheduler) launchPrefill(sess *session) {
 	for i := 0; i < sess.prompt; i++ {
 		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
 	}
-	s.launch(msg, nil, nil)
+	if s.launch(msg, nil, nil) == nil {
+		s.putMsg(msg)
+		return
+	}
 	sess.stats.RunsLaunched++
 }
 
@@ -1072,7 +1297,10 @@ func (s *Scheduler) launchNonSpec(sess *session) {
 		// alias the session buffer instead of snapshotting.
 		ctx = sess.accepted[: a-1 : a-1]
 	}
-	s.launch(msg, ctx, nil)
+	if s.launch(msg, ctx, nil) == nil {
+		s.putMsg(msg)
+		return
+	}
 	sess.stats.RunsLaunched++
 }
 
@@ -1214,6 +1442,11 @@ func (s *Scheduler) launchComposed(kind engine.RunKind, seqs []kvcache.SeqID) *e
 		msg.Seq = msg.Tokens[0].Seqs.Min()
 	}
 	run := s.launch(msg, nil, seqs)
+	if run == nil {
+		s.putCtxs(ctxs)
+		s.putMsg(msg)
+		return nil
+	}
 	run.Ctxs = ctxs
 	return run
 }
@@ -1405,9 +1638,21 @@ func (s *Scheduler) launchSpecGroup(depth int) bool {
 	msg.Seq = seqs[0]
 	msg.KVOps = ops
 	run := s.launch(msg, nil, seqs)
-	run.Ctxs = ctxs
-	msg.KVOps = nil // ops scratch is reused; Launch consumed them
+	msg.KVOps = nil // ops scratch is reused; Launch consumed (or rejected) them
 	s.ops = ops[:0]
+	if run == nil {
+		// Rejected by the shadow dry run: free the partitions; no pending
+		// tokens were recorded, so the sessions simply re-draft later.
+		for _, id := range seqs {
+			if sess := s.slots[int(id)/s.cfg.SeqsPerSession]; sess != nil && sess.alloc != nil {
+				sess.alloc.Free(id)
+			}
+		}
+		s.putCtxs(ctxs)
+		s.putMsg(msg)
+		return false
+	}
+	run.Ctxs = ctxs
 
 	// Record pending chains against the launched run and apply the
 	// continuous-speculation cutoff recovery per session (§IV-B.2).
@@ -1525,7 +1770,12 @@ func (s *Scheduler) trySpeculate(sess *session) bool {
 		}
 	}
 	run := s.launch(msg, runCtx, []kvcache.SeqID{seq})
-	msg.KVOps = nil // ops scratch is reused; Launch consumed them
+	msg.KVOps = nil // ops scratch is reused; Launch consumed (or rejected) them
+	if run == nil {
+		sess.alloc.Free(seq)
+		s.putMsg(msg)
+		return false
+	}
 	sess.stats.RunsLaunched++
 	for _, t := range toks {
 		sess.pending = append(sess.pending, pendingTok{tok: t, seq: seq, run: run.Msg.ID})
@@ -1545,11 +1795,32 @@ func (s *Scheduler) trySpeculate(sess *session) bool {
 // --- result handling ---
 
 func (s *Scheduler) handleResult() error {
-	run, res, ok, err := s.h.AwaitResult()
-	if err != nil {
-		return err
+	var (
+		run *engine.Run
+		res engine.Results
+		ok  bool
+		err error
+	)
+	if s.cfg.RunTimeout > 0 {
+		var failed bool
+		run, res, ok, failed, err = s.h.AwaitResultWithin(s.watchdogWait())
+		if err != nil {
+			return err
+		}
+		if failed {
+			err := s.recoverFailed(run)
+			s.rearmOldest()
+			return err
+		}
+	} else {
+		run, res, ok, err = s.h.AwaitResult()
+		if err != nil {
+			return err
+		}
 	}
+	s.noteSuccess()
 	s.observeRunCost(run)
+	s.rearmOldest()
 	if run.Msg.Batched() {
 		return s.handleBatchedResult(run, res, ok)
 	}
@@ -1564,7 +1835,10 @@ func (s *Scheduler) handleResult() error {
 		err = s.onPrefill(sess, run, res, ok)
 	case stateDecode:
 		err = s.onDecode(sess, run, res, ok)
-	case stateDrain:
+	case stateDrain, stateParked:
+		// Drained sessions await cleanup only; a parked session's stale
+		// (cancelled) runs likewise just return their partitions — its
+		// real state recomputes at readmission.
 		s.sendKV(s.appendCleanup(run, s.ops[:0]))
 	}
 
@@ -1580,6 +1854,124 @@ func (s *Scheduler) handleResult() error {
 		s.finalize(sess)
 	}
 	return nil
+}
+
+// watchdogWait returns how long AwaitResultWithin may block before the
+// oldest in-flight run is past its launch-time deadline.
+func (s *Scheduler) watchdogWait() time.Duration {
+	oldest := s.h.InflightAt(0)
+	if oldest.Deadline == 0 {
+		return s.cfg.RunTimeoutCap
+	}
+	d := oldest.Deadline - s.h.EP.Now()
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Breaker thresholds: consecutive watchdog failures that trip it, and
+// consecutive healthy completions that reset it.
+const (
+	breakerTripAfter  = 3
+	breakerResetAfter = 16
+)
+
+// noteFailure records one watchdog-failed run against the degradation
+// breaker.
+func (s *Scheduler) noteFailure() {
+	s.okStreak = 0
+	s.failStreak++
+	if s.failStreak >= breakerTripAfter && !s.tripped {
+		s.tripped = true
+		s.h.Stats.BreakerTrips++
+	}
+}
+
+// noteSuccess records one healthy completion; a sustained streak closes
+// the breaker again.
+func (s *Scheduler) noteSuccess() {
+	s.failStreak = 0
+	if !s.tripped {
+		return
+	}
+	s.okStreak++
+	if s.okStreak >= breakerResetAfter {
+		s.tripped, s.okStreak = false, 0
+	}
+}
+
+// recoverFailed consumes a watchdog-failed run: its result is lost (a
+// dropped frame, a stalled stage, a dead link), so every session whose
+// forward progress depended on it is recovered — parked through the
+// preemption machinery, its namespace evicted pipeline-wide — and
+// prefix-recompute readmission re-derives its greedy stream
+// bit-identically, lost sampled token included. Runs the scheduler had
+// already cancelled produce expected-missing results and need only
+// their partition cleanup; so do rows the scheduler had masked dead.
+func (s *Scheduler) recoverFailed(run *engine.Run) error {
+	s.noteFailure()
+	// The next completion gap spans the failure, not one run's service
+	// time: drop the cost model's anchor.
+	s.lastResultAt = 0
+	msg := run.Msg
+	if run.FailedLive {
+		if msg.Batched() {
+			for lo := 0; lo < len(msg.Tokens); {
+				slot, hi := batch.Group(msg, lo)
+				if !msg.RowDead(lo) {
+					s.recoverSlot(int(slot))
+				}
+				lo = hi
+			}
+		} else {
+			s.recoverSlot(int(msg.Session))
+		}
+	}
+	// The failed run's partitions are freed exactly as a consumed run's
+	// would be.
+	s.sendKV(s.appendCleanup(run, s.ops[:0]))
+	// Drained sessions whose last in-flight run this was finalize now —
+	// their missing result was the only thing holding the slot.
+	if msg.Batched() {
+		for lo := 0; lo < len(msg.Tokens); {
+			slot, hi := batch.Group(msg, lo)
+			if int(slot) < len(s.slots) {
+				if sess := s.slots[slot]; sess != nil && sess.state == stateDrain && s.inflight(sess) == 0 {
+					s.finalize(sess)
+				}
+			}
+			lo = hi
+		}
+	} else if slot := int(msg.Session); slot < len(s.slots) {
+		if sess := s.slots[slot]; sess != nil && sess.state == stateDrain && s.inflight(sess) == 0 {
+			s.finalize(sess)
+		}
+	}
+	s.putCtxs(run.Ctxs)
+	run.Ctxs = nil
+	s.h.Recycle(run)
+	s.putMsg(msg)
+	return nil
+}
+
+// recoverSlot parks a live session for fault recovery, crediting the
+// recovery. Parked and draining sessions need nothing: their state
+// recomputes at readmission or their namespace dies with finalize.
+func (s *Scheduler) recoverSlot(slot int) {
+	if slot >= len(s.slots) {
+		return
+	}
+	sess := s.slots[slot]
+	if sess == nil || sess.state == stateParked || sess.state == stateDrain {
+		return
+	}
+	s.park(sess)
+	sess.stats.Recoveries++
+	s.h.Stats.Recoveries++
+	if s.cfg.OnRecover != nil {
+		s.cfg.OnRecover(sess.req)
+	}
 }
 
 // handleBatchedResult demultiplexes one multi-session run's result back
