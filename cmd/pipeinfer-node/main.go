@@ -19,6 +19,15 @@
 //
 //	pipeinfer-node -rank 0 -peers ... -serve 8 -run-timeout 2s -heartbeat 500ms
 //
+// Every rank can expose live observability with -metrics-addr: /metrics
+// (Prometheus exposition — this rank's stage bubble fraction, link
+// traffic and, on rank 0, the serving latency percentiles), /healthz,
+// /readyz and /debug/pprof. -flight-dump arms automatic flight-recorder
+// dumps on watchdog failure or breaker trip (rank 0, serving mode):
+//
+//	pipeinfer-node -rank 0 -peers ... -serve 8 -run-timeout 2s \
+//	    -metrics-addr :9090 -flight-dump flight.bin
+//
 // Ctrl-C during mesh establishment aborts the dial loop immediately
 // instead of blocking until -timeout.
 package main
@@ -37,6 +46,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -57,6 +67,9 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", time.Second, "link keepalive interval; silent links are torn down and redialed (0 = off)")
 		backoff    = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff, doubled with jitter up to 2s")
 		reconnect  = flag.Duration("reconnect-timeout", 10*time.Second, "per-link reconnection budget after a failure (0 = broken links stay down)")
+
+		mAddr     = flag.String("metrics-addr", "", "serve this rank's observability HTTP here (e.g. :9090): /metrics Prometheus exposition, /healthz + /readyz, /debug/pprof (empty = off)")
+		flightOut = flag.String("flight-dump", "", "write an automatic flight-recorder dump to this file on watchdog failure or breaker trip (rank 0 with -serve; convert with pipeinfer-trace -flight; empty = off)")
 	)
 	flag.Parse()
 
@@ -99,8 +112,23 @@ func main() {
 	defer ep.Close()
 	fmt.Fprintf(os.Stderr, "rank %d/%d connected\n", *rank, len(addrs))
 
+	var reg *telemetry.Registry
+	if *mAddr != "" || *flightOut != "" {
+		reg = telemetry.New()
+		if *flightOut != "" {
+			reg.SetDumpPath(*flightOut)
+		}
+		if *mAddr != "" {
+			bound, _, err := reg.Serve(*mAddr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "rank %d telemetry: http://%s/metrics\n", *rank, bound)
+		}
+	}
+
 	if *sessions > 0 {
-		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *promptText, *seed, *noise, *runTimeout)
+		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *promptText, *seed, *noise, *runTimeout, reg)
 		return
 	}
 
@@ -135,7 +163,7 @@ func main() {
 // recovery armed when runTimeout > 0.
 func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg model.Config,
 	strategy engine.Strategy, sessions, tokens int, promptText string, seed uint64,
-	noise float64, runTimeout time.Duration) {
+	noise float64, runTimeout time.Duration, reg *telemetry.Registry) {
 	if strategy == engine.StrategySpeculative {
 		fatal(fmt.Errorf("-serve supports iterative and pipeinfer strategies"))
 	}
@@ -156,6 +184,7 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 		Speculate:  strategy == engine.StrategyPipeInfer,
 		DraftNoise: float32(noise),
 		RunTimeout: runTimeout,
+		Obs:        reg,
 		Requests:   reqs,
 	})
 	if err != nil {

@@ -26,6 +26,15 @@
 //	pipeinfer-serve -batch auto                            # adaptive batch width: the scheduler
 //	                                                       # picks each step's width from load,
 //	                                                       # occupancy and measured run overhead
+//	pipeinfer-serve -metrics-addr :9090                    # live observability: /metrics
+//	                                                       # (Prometheus), /healthz, /readyz and
+//	                                                       # /debug/pprof while serving
+//	pipeinfer-serve -run-timeout 50ms -flight-dump f.bin   # arm the always-on flight recorder's
+//	                                                       # automatic dump: on watchdog failure
+//	                                                       # or breaker trip the event rings are
+//	                                                       # written to f.bin (convert to Chrome
+//	                                                       # trace JSON with pipeinfer-trace
+//	                                                       # -flight f.bin)
 package main
 
 import (
@@ -39,7 +48,9 @@ import (
 	pipeinfer "github.com/pipeinfer/pipeinfer"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/model"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
 
 // parseBatch interprets the -batch flag: "auto" selects the adaptive
@@ -87,6 +98,8 @@ func main() {
 		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
 		chunk     = flag.Int("prefill-chunk", 0, "chunked cross-session prefill: per-run prompt token budget; prompts split into chunks that batch across sessions and ride with decode rows (0 = whole-prompt prefills; needs -batch)")
 		runTO     = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off)")
+		mAddr     = flag.String("metrics-addr", "", "serve live observability HTTP on this address (e.g. :9090): /metrics Prometheus exposition with streaming p50/p90/p99 latency summaries and per-stage bubble fractions, /healthz + /readyz health, /debug/pprof profiling (empty = off)")
+		flightOut = flag.String("flight-dump", "", "arm automatic flight-recorder dumps: on watchdog failure or breaker trip the per-rank event rings are written to this file (binary; convert with pipeinfer-trace -flight; empty = off)")
 		_         = flag.Duration("heartbeat", time.Second, "link keepalive interval (TCP transport only; the in-process mesh here has no links to keep alive — see pipeinfer-node)")
 		_         = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff (TCP transport only — see pipeinfer-node)")
 	)
@@ -97,8 +110,10 @@ func main() {
 		fatal(err)
 	}
 
+	reg := newRegistry(*mAddr, *flightOut)
+
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch, *runTO)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch, *runTO, reg)
 		return
 	}
 
@@ -131,6 +146,7 @@ func main() {
 		PrefillChunk: *chunk,
 		AutoBatch:    autoBatch,
 		RunTimeout:   *runTO,
+		Obs:          reg,
 		Requests:     reqs,
 	}
 	if *stream {
@@ -193,6 +209,7 @@ func main() {
 		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 	}
+	printTelemetry(reg)
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
 		os.Exit(1)
@@ -200,9 +217,51 @@ func main() {
 	fmt.Println("correctness: every session identical to its greedy reference")
 }
 
+// newRegistry builds the telemetry registry when -metrics-addr or
+// -flight-dump asks for one (nil otherwise: observation hooks no-op).
+func newRegistry(addr, flightPath string) *telemetry.Registry {
+	if addr == "" && flightPath == "" {
+		return nil
+	}
+	reg := telemetry.New()
+	if flightPath != "" {
+		reg.SetDumpPath(flightPath)
+	}
+	if addr != "" {
+		bound, _, err := reg.Serve(addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s/metrics (also /healthz, /readyz, /debug/pprof)\n", bound)
+	}
+	return reg
+}
+
+// printTelemetry summarises the registry's streaming percentiles and
+// per-stage pipeline utilisation after the run.
+func printTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Printf("telemetry: TTFT p50 %v p99 %v; ITL p50 %v p99 %v over %d/%d samples\n",
+		reg.TTFT.QuantileDuration(0.5).Round(time.Microsecond),
+		reg.TTFT.QuantileDuration(0.99).Round(time.Microsecond),
+		reg.ITL.QuantileDuration(0.5).Round(time.Microsecond),
+		reg.ITL.QuantileDuration(0.99).Round(time.Microsecond),
+		reg.TTFT.Count(), reg.ITL.Count())
+	now := reg.Now()
+	reg.EachStage(func(name string, m *trace.StageMeter) {
+		fmt.Printf("telemetry: stage %s busy %.0f%% bubble %.0f%% over %d evals\n",
+			name, m.BusyFraction(now)*100, m.BubbleFraction(now)*100, m.Evals())
+	})
+	if reg.Dumps() > 0 {
+		fmt.Printf("telemetry: %d flight dump(s) taken\n", reg.Dumps())
+	}
+}
+
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration, reg *telemetry.Registry) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
 		Cluster:      pipeinfer.ClusterC().Take(nodes),
 		Pair:         pipeinfer.CPUPairs()[0],
@@ -219,6 +278,7 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		PrefillChunk: chunk,
 		AutoBatch:    autoBatch,
 		RunTimeout:   runTO,
+		Obs:          reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -248,6 +308,7 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 	}
+	printTelemetry(reg)
 }
 
 func fatal(err error) {

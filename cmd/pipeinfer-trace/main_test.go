@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// TestConvertFlight round-trips a flight-recorder dump through the
+// -flight conversion path: binary dump in, well-formed Chrome
+// trace-event JSON out.
+func TestConvertFlight(t *testing.T) {
+	r := trace.NewRing(0)
+	r.Record(1*time.Millisecond, trace.FlightLaunch, 1, 4)
+	r.Record(2*time.Millisecond, trace.FlightEvalBeg, 1, 0)
+	r.Record(3*time.Millisecond, trace.FlightEvalEnd, 1, 0)
+	r.Record(4*time.Millisecond, trace.FlightFail, 1, 0)
+
+	dir := t.TempDir()
+	in := filepath.Join(dir, "flight.bin")
+	out := filepath.Join(dir, "flight.json")
+
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := &trace.FlightDump{
+		Reason: "test trigger",
+		Nodes:  []trace.FlightNode{{Name: "head", Events: r.Snapshot()}},
+	}
+	if err := trace.WriteFlightDump(f, dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := convertFlight(in, out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatalf("Chrome trace JSON invalid: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	spans := 0
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph == "B" || ev.Ph == "E" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Error("eval begin/end pair produced no B/E span events")
+	}
+
+	if err := convertFlight(filepath.Join(dir, "missing.bin"), out); err == nil {
+		t.Error("missing input file did not error")
+	}
+}

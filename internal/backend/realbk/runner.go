@@ -181,7 +181,7 @@ func RunRank(ep comm.Endpoint, opts Options) (Outcome, error) {
 	}
 	out.PerNodeMem[rank] += bk.MemoryBytes()
 	out.Tokens = toks
-	out.Stats = h.Stats
+	out.Stats = h.Stats.Snapshot()
 	return out, nil
 }
 

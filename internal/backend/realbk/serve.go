@@ -12,6 +12,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/model"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -83,6 +84,15 @@ type ServeOptions struct {
 	// engine sees it — the hook fault-injection harnesses (faultcomm) use
 	// to perturb a run without the backend knowing.
 	WrapEndpoint func(rank int, ep comm.Endpoint) comm.Endpoint
+
+	// Obs, when non-nil, is the live telemetry registry: each rank
+	// registers a per-stage busy/idle meter, a per-link traffic counter
+	// (the endpoint is wrapped with comm.Counted) and a flight-recorder
+	// ring, and the head wires the scheduler's latency histograms and
+	// health gauges into it. In-process Serve shares one registry across
+	// all rank goroutines; distributed ServeRank deployments give each
+	// process its own.
+	Obs *telemetry.Registry
 
 	Requests []serve.Request
 	// OnToken, when non-nil, streams accepted tokens as they are sampled.
@@ -215,6 +225,13 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 	if opts.WrapEndpoint != nil {
 		ep = opts.WrapEndpoint(ep.Rank(), ep)
 	}
+	// rawEP keeps the pre-telemetry endpoint: capability probes (the
+	// Reconnects accounting below) must not be hidden by the counting
+	// wrapper.
+	rawEP := ep
+	if opts.Obs != nil {
+		ep = comm.Counted(ep, opts.Obs.RegisterLink(fmt.Sprintf("rank%d", ep.Rank())))
+	}
 	if target == nil {
 		target, err = model.New(opts.ModelCfg, opts.Seed)
 		if err != nil {
@@ -230,7 +247,12 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 			return ServeOutcome{}, fmt.Errorf("realbk: rank %d has no role", rank)
 		}
 		w := p.newWorker(target, si)
-		if err := engine.WorkerLoop(ep, p.topo, w); err != nil {
+		var obs engine.WorkerObs
+		if opts.Obs != nil {
+			obs.Meter = opts.Obs.RegisterStage(fmt.Sprintf("rank%d", rank))
+			obs.Flight = opts.Obs.RegisterRing(fmt.Sprintf("rank%d", rank), 0)
+		}
+		if err := engine.WorkerLoopObs(ep, p.topo, w, obs); err != nil {
 			return ServeOutcome{}, fmt.Errorf("realbk: stage %d: %w", si, err)
 		}
 		if err := serveCacheClean(w.Cache()); err != nil {
@@ -257,6 +279,12 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 	if err != nil {
 		return ServeOutcome{}, err
 	}
+	if opts.Obs != nil && local != nil {
+		// The head's inline stage gets its own bubble-fraction meter; its
+		// window opens with the scheduler, same as remote stages.
+		h.LocalMeter = opts.Obs.RegisterStage(fmt.Sprintf("rank%d", rank))
+		h.LocalMeter.Open(ep.Now())
+	}
 	sched, err := serve.New(h, serve.Config{
 		MaxSessions:    opts.MaxSessions,
 		SeqsPerSession: opts.SeqsPerSession,
@@ -273,6 +301,7 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 		RunTimeoutMult: opts.RunTimeoutMult,
 		RunTimeoutCap:  opts.RunTimeoutCap,
 		OnRecover:      opts.OnRecover,
+		Obs:            opts.Obs,
 	}, opts.Requests)
 	if err != nil {
 		return ServeOutcome{}, err
@@ -289,10 +318,10 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 	}
 	out.PerNodeMem[rank] += bk.MemoryBytes()
 	out.Results = results
-	if rc, ok := ep.(interface{ Reconnects() int }); ok {
-		h.Stats.Reconnects = rc.Reconnects()
+	if rc, ok := rawEP.(interface{ Reconnects() int }); ok {
+		h.Stats.Reconnects.Store(int64(rc.Reconnects()))
 	}
-	out.Stats = h.Stats
+	out.Stats = h.Stats.Snapshot()
 	return out, nil
 }
 

@@ -146,7 +146,7 @@ func Run(opts Options) (Outcome, error) {
 			return
 		}
 		out.Tokens = toks
-		out.Stats = h.Stats
+		out.Stats = h.Stats.Snapshot()
 		out.PerNodeMem = make([]int64, n)
 		if opts.Strategy != engine.StrategyIterative {
 			// Only the speculative strategies host a draft model (§V-B:

@@ -12,6 +12,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/oracle"
 	"github.com/pipeinfer/pipeinfer/internal/serve"
 	"github.com/pipeinfer/pipeinfer/internal/simnet"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
@@ -76,6 +77,12 @@ type ServeOptions struct {
 	OnRecover func(req int)
 	// Trace, when non-nil, records the full pipeline timeline.
 	Trace *trace.Recorder
+	// Obs, when non-nil, is the live telemetry registry: per-stage
+	// busy/bubble meters, per-link traffic counters and flight rings are
+	// registered for every simulated rank, and the scheduler's latency
+	// histograms and health gauges are wired in — all evaluated in the
+	// simulation's virtual time.
+	Obs *telemetry.Registry
 }
 
 // ServeOutcome is the result of a serving simulation.
@@ -170,11 +177,17 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			if opts.WrapEndpoint != nil {
 				ep = opts.WrapEndpoint(rank, ep)
 			}
+			var obs engine.WorkerObs
+			if opts.Obs != nil {
+				ep = comm.Counted(ep, opts.Obs.RegisterLink(fmt.Sprintf("rank%d", rank)))
+				obs.Meter = opts.Obs.RegisterStage(fmt.Sprintf("rank%d", rank))
+				obs.Flight = opts.Obs.RegisterRing(fmt.Sprintf("rank%d", rank), 0)
+			}
 			w := NewWorker(ep, opts.Cluster.Nodes[rank], opts.Pair.Target,
 				splits[si], si == len(topo.Stages)-1, kv)
 			w.SetTrace(opts.Trace)
 			workers[si] = w
-			if err := engine.WorkerLoop(ep, topo, w); err != nil && runErr == nil {
+			if err := engine.WorkerLoopObs(ep, topo, w, obs); err != nil && runErr == nil {
 				runErr = fmt.Errorf("simbk: stage %d: %w", si, err)
 			}
 		})
@@ -184,6 +197,9 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 		ep := comm.Endpoint(cl.Bind(topo.Head, p))
 		if opts.WrapEndpoint != nil {
 			ep = opts.WrapEndpoint(topo.Head, ep)
+		}
+		if opts.Obs != nil {
+			ep = comm.Counted(ep, opts.Obs.RegisterLink(fmt.Sprintf("rank%d", topo.Head)))
 		}
 		bk := NewHead(ep, opts.Cluster.Nodes[topo.Head], opts.Pair.Draft, o)
 		var local engine.Worker
@@ -200,6 +216,10 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			return
 		}
 		h.Trace = opts.Trace
+		if opts.Obs != nil && local != nil {
+			h.LocalMeter = opts.Obs.RegisterStage(fmt.Sprintf("rank%d", topo.Head))
+			h.LocalMeter.Open(ep.Now())
+		}
 		sched, err := serve.New(h, serve.Config{
 			MaxSessions:    opts.MaxSessions,
 			SeqsPerSession: opts.SeqsPerSession,
@@ -213,6 +233,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			RunTimeoutMult: opts.RunTimeoutMult,
 			RunTimeoutCap:  opts.RunTimeoutCap,
 			OnRecover:      opts.OnRecover,
+			Obs:            opts.Obs,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,
 		}, reqs)
@@ -226,7 +247,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			return
 		}
 		out.Results = results
-		out.Stats = h.Stats
+		out.Stats = h.Stats.Snapshot()
 		out.PerNodeMem = make([]int64, n)
 		out.PerNodeMem[topo.Head] += bk.MemoryBytes()
 		for si, w := range workers {

@@ -1,0 +1,67 @@
+package comm
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LinkCounters accumulates per-endpoint traffic totals. All fields are
+// atomic (and therefore 64-bit-aligned on every platform), so the
+// telemetry layer reads them live while the transport goroutines write.
+type LinkCounters struct {
+	SentFrames atomic.Int64
+	SentBytes  atomic.Int64
+	RecvFrames atomic.Int64
+	RecvBytes  atomic.Int64
+}
+
+// counted wraps an Endpoint, charging every frame to c. Send charges
+// wireBytes when the caller provides it (the interconnect-model cost),
+// falling back to payload length like the Endpoint contract.
+type counted struct {
+	Endpoint
+	c *LinkCounters
+}
+
+func (ce counted) Send(dst int, tag Tag, payload []byte, wireBytes int) {
+	n := wireBytes
+	if n <= 0 {
+		n = len(payload)
+	}
+	ce.c.SentFrames.Add(1)
+	ce.c.SentBytes.Add(int64(n))
+	ce.Endpoint.Send(dst, tag, payload, wireBytes)
+}
+
+func (ce counted) Recv(src int, tag Tag) []byte {
+	b := ce.Endpoint.Recv(src, tag)
+	ce.c.RecvFrames.Add(1)
+	ce.c.RecvBytes.Add(int64(len(b)))
+	return b
+}
+
+// countedWaiter preserves the optional Waiter capability of the wrapped
+// endpoint: losing it would silently degrade the run watchdog to
+// polling.
+type countedWaiter struct {
+	counted
+}
+
+func (cw countedWaiter) WaitRecv(src int, tag Tag, d time.Duration) bool {
+	return cw.Endpoint.(Waiter).WaitRecv(src, tag, d)
+}
+
+// Counted wraps ep so every Send/Recv updates c. The wrapper adds two
+// atomic adds per frame and no allocations; it forwards the Waiter
+// capability when the underlying endpoint has it. A nil c returns ep
+// unwrapped.
+func Counted(ep Endpoint, c *LinkCounters) Endpoint {
+	if c == nil {
+		return ep
+	}
+	ce := counted{Endpoint: ep, c: c}
+	if _, ok := ep.(Waiter); ok {
+		return countedWaiter{ce}
+	}
+	return ce
+}

@@ -89,8 +89,8 @@ func Run(h *engine.Head, prompt []token.Token) ([]token.Token, error) {
 			return nil, err
 		}
 	}
-	h.Stats.Done = h.EP.Now()
-	h.Stats.Generated = p.generated()
+	h.Stats.MarkDone(h.EP.Now())
+	h.Stats.Generated.Store(int64(p.generated()))
 	h.Shutdown()
 	return p.accepted[p.prompt:], nil
 }
@@ -197,7 +197,7 @@ func (p *PipeInfer) trySpeculate() bool {
 	for _, t := range toks {
 		p.pending = append(p.pending, pendingTok{tok: t, seq: seq, run: run})
 	}
-	p.h.Stats.Proposed += len(toks)
+	p.h.Stats.Proposed.Add(int64(len(toks)))
 
 	// Reactive speculation: each successful continuous iteration raises
 	// the confidence bar for the next (§IV-B.2 recovery factor).
@@ -239,7 +239,7 @@ func (p *PipeInfer) handleResult() error {
 
 	// Superfluous: every output position is already accepted (§IV-D.1).
 	if base+l < a {
-		p.h.Stats.Superfluous++
+		p.h.Stats.Superfluous.Add(1)
 		ops = p.cleanupRun(run, ops)
 		p.h.SendKV(ops)
 		return nil
@@ -272,7 +272,7 @@ func (p *PipeInfer) handleResult() error {
 					Src: pt.seq, Dst: kvcache.Canonical, P0: pos, P1: pos + 1})
 				p.accepted = append(p.accepted, next)
 				p.pending = p.pending[1:]
-				p.h.Stats.Accepted++
+				p.h.Stats.Accepted.Add(1)
 				p.h.Sampled(1)
 				anyAccept = true
 				continue

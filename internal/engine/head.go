@@ -69,9 +69,20 @@ type Head struct {
 	// the accounting the serving layer's fair admission is built on.
 	sessInflight []int
 
-	Stats Stats
-	// Trace, when non-nil, records the head's timeline events.
+	// Stats holds live counters: atomically mutated on the hot path so
+	// telemetry can Snapshot()/Delta() them mid-serve without stopping
+	// the scheduler.
+	Stats LiveStats
+	// Trace, when non-nil, records the head's timeline events (string
+	// notes, mutex-guarded — the simulation/debugging recorder).
 	Trace *trace.Recorder
+	// Flight, when non-nil, records the head's timeline into the
+	// bounded lock-free flight recorder: packed binary events, zero
+	// allocations, always on in the serving layer.
+	Flight *trace.Ring
+	// LocalMeter, when non-nil, measures the inline stage's busy/idle
+	// split for the per-stage bubble-fraction gauges.
+	LocalMeter *trace.StageMeter
 }
 
 // NewHead builds a head driver.
@@ -156,8 +167,10 @@ func (h *Head) adjustSessInflight(msg *RunMsg, delta int) {
 	}
 }
 
-// distinctSessions counts the sessions a run fans out to.
-func distinctSessions(msg *RunMsg) int {
+// DistinctSessions counts the sessions a run fans out to: 1 for solo
+// runs, the number of distinct row-owning sessions for batched ones —
+// the realised cross-session batch width.
+func DistinctSessions(msg *RunMsg) int {
 	if !msg.Batched() {
 		return 1
 	}
@@ -187,10 +200,13 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 	run.Msg, run.Ctx, run.Seqs = msg, ctx, seqs
 	h.inflight.push(run)
 	h.adjustSessInflight(msg, 1)
-	h.Stats.RunsLaunched++
+	h.Stats.RunsLaunched.Add(1)
 	if msg.Batched() {
-		h.Stats.BatchedRuns++
-		h.Stats.BatchedRows += distinctSessions(msg)
+		h.Stats.BatchedRuns.Add(1)
+		h.Stats.BatchedRows.Add(int64(DistinctSessions(msg)))
+	}
+	if h.Flight != nil {
+		h.Flight.Record(h.EP.Now(), trace.FlightLaunch, msg.ID, int32(msg.Len()))
 	}
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindLaunch, msg.ID,
@@ -199,7 +215,17 @@ func (h *Head) Launch(msg *RunMsg, ctx []token.Token, seqs []kvcache.SeqID) *Run
 
 	if h.Local != nil {
 		h.Local.ApplyKV(msg.KVOps)
+		if h.LocalMeter != nil || h.Flight != nil {
+			now := h.EP.Now()
+			h.LocalMeter.Begin(now)
+			h.Flight.Record(now, trace.FlightEvalBeg, msg.ID, int32(msg.Len()))
+		}
 		out, wire, ok := h.Local.Eval(msg, nil, func() bool { return false })
+		if h.LocalMeter != nil || h.Flight != nil {
+			now := h.EP.Now()
+			h.LocalMeter.End(now)
+			h.Flight.Record(now, trace.FlightEvalEnd, msg.ID, int32(msg.Len()))
+		}
 		next := h.Topo.FirstRemote()
 		if next < 0 {
 			// Single-node: the inline stage is the whole pipeline. The
@@ -259,6 +285,13 @@ func (h *Head) consumeResult(payload []byte) (run *Run, res Results, ok bool, er
 	run = h.inflight.pop()
 	h.adjustSessInflight(run.Msg, -1)
 	_, data, hasData, _ := ParseResult(payload)
+	if h.Flight != nil {
+		arg := int32(0)
+		if hasData {
+			arg = 1
+		}
+		h.Flight.Record(h.EP.Now(), trace.FlightResult, run.Msg.ID, arg)
+	}
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindResult, run.Msg.ID,
 			fmt.Sprintf("data=%v cancelled=%v", hasData, run.Cancelled))
@@ -386,7 +419,10 @@ func (h *Head) AwaitResultWithin(d time.Duration) (run *Run, res Results, ok boo
 func (h *Head) failOldest() *Run {
 	run := h.inflight.pop()
 	h.adjustSessInflight(run.Msg, -1)
-	h.Stats.RunTimeouts++
+	h.Stats.RunTimeouts.Add(1)
+	if h.Flight != nil {
+		h.Flight.Record(h.EP.Now(), trace.FlightFail, run.Msg.ID, 0)
+	}
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, run.Msg.ID, "watchdog-failed")
 	}
@@ -419,7 +455,10 @@ func (h *Head) Cancel(runs []*Run) {
 		r.Cancelled = true
 		n++
 		payload = appendCancelSig(payload, CancelSig{ID: r.Msg.ID})
-		h.Stats.RunsCancelled++
+		h.Stats.RunsCancelled.Add(1)
+		if h.Flight != nil {
+			h.Flight.Record(h.EP.Now(), trace.FlightCancel, r.Msg.ID, 0)
+		}
 		if h.Trace != nil {
 			h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, r.Msg.ID, r.Msg.Kind.String())
 		}
@@ -451,14 +490,17 @@ func (h *Head) CancelRows(run *Run, slot uint16, signal bool) {
 		return
 	}
 	run.Msg.DeadSessions |= bit
-	h.Stats.RowCancels++
+	h.Stats.RowCancels.Add(1)
+	if h.Flight != nil {
+		h.Flight.Record(h.EP.Now(), trace.FlightCancel, run.Msg.ID, int32(slot))
+	}
 	if h.Trace != nil {
 		h.Trace.Record(h.EP.Now(), "head", trace.KindCancel, run.Msg.ID,
 			fmt.Sprintf("row-mask session %d", slot))
 	}
 	if run.Msg.AllDead() {
 		run.Cancelled = true
-		h.Stats.RunsCancelled++
+		h.Stats.RunsCancelled.Add(1)
 	}
 	if !signal || h.CFG.DisableCancel {
 		return
@@ -506,14 +548,13 @@ func (h *Head) Shutdown() {
 
 // Sampled records an accepted token timestamp and first-token latency.
 func (h *Head) Sampled(n int) {
+	if n <= 0 {
+		return
+	}
 	now := h.EP.Now()
-	for i := 0; i < n; i++ {
-		h.Stats.AcceptTimes = append(h.Stats.AcceptTimes, now)
-	}
-	if h.Stats.FirstToken == 0 && n > 0 {
-		h.Stats.FirstToken = now
-	}
-	if n > 0 && h.Trace != nil {
+	h.Stats.Sampled(now, n)
+	h.Flight.Record(now, trace.FlightAccept, 0, int32(n))
+	if h.Trace != nil {
 		h.Trace.Record(now, "head", trace.KindAccept, 0, fmt.Sprintf("n=%d", n))
 	}
 }

@@ -40,7 +40,7 @@ func Prefill(h *Head, prompt []token.Token) (token.Token, error) {
 		return 0, fmt.Errorf("engine: prefill run was cancelled")
 	}
 	next := res.Next(len(prompt) - 1)
-	h.Stats.PrefillDone = h.EP.Now()
+	h.Stats.SetPrefillDone(h.EP.Now())
 	return next, nil
 }
 
@@ -72,8 +72,8 @@ func RunIterative(h *Head, prompt []token.Token) ([]token.Token, error) {
 		accepted = append(accepted, res.Next(0))
 		h.Sampled(1)
 	}
-	h.Stats.Done = h.EP.Now()
-	h.Stats.Generated = len(accepted) - len(prompt)
+	h.Stats.MarkDone(h.EP.Now())
+	h.Stats.Generated.Store(int64(len(accepted) - len(prompt)))
 	h.Shutdown()
 	return accepted[len(prompt):], nil
 }

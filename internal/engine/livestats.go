@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LiveStats is the concurrently mutable form of Stats used on serving
+// hot paths: every counter is an atomic.Int64 (which also guarantees
+// the 64-bit alignment 32-bit platforms need — no manual field-ordering
+// rules), so the telemetry layer can take a consistent-enough Snapshot
+// or Delta mid-serve without stopping the scheduler. The few
+// non-counter fields (phase timestamps and the acceptance-timestamp
+// slice) sit behind a mutex taken only on acceptance events and
+// snapshots.
+//
+// Snapshot consistency rule: counters are read one atomic load at a
+// time, so a snapshot is not a single linearization point across
+// counters — Accepted may be one event ahead of Proposed, say. Each
+// individual counter is exact, monotone, and torn-read-free, which is
+// the contract monitoring needs; end-of-run snapshots (taken after the
+// scheduler stops) are exact across the board.
+type LiveStats struct {
+	Generated atomic.Int64
+
+	Proposed      atomic.Int64
+	Accepted      atomic.Int64
+	RunsLaunched  atomic.Int64
+	RunsCancelled atomic.Int64
+	Superfluous   atomic.Int64
+
+	SpecDrops    atomic.Int64
+	Preemptions  atomic.Int64
+	Readmissions atomic.Int64
+
+	BatchedRuns atomic.Int64
+	BatchedRows atomic.Int64
+	RowCancels  atomic.Int64
+
+	PrefillBatchedRuns atomic.Int64
+
+	RunTimeouts  atomic.Int64
+	Recoveries   atomic.Int64
+	Reconnects   atomic.Int64
+	BreakerTrips atomic.Int64
+
+	mu          sync.Mutex
+	prefillDone time.Duration
+	firstToken  time.Duration
+	done        time.Duration
+	acceptTimes []time.Duration
+}
+
+// GrowAccepts preallocates capacity for n acceptance timestamps so
+// steady-state Sampled calls never grow the slice — the serving layer's
+// zero-allocation gate depends on this.
+func (ls *LiveStats) GrowAccepts(n int) {
+	ls.mu.Lock()
+	if cap(ls.acceptTimes)-len(ls.acceptTimes) < n {
+		grown := make([]time.Duration, len(ls.acceptTimes), len(ls.acceptTimes)+n)
+		copy(grown, ls.acceptTimes)
+		ls.acceptTimes = grown
+	}
+	ls.mu.Unlock()
+}
+
+// Sampled records n acceptance timestamps at now and pins the
+// first-token time on the first call. Allocation-free once GrowAccepts
+// has reserved capacity.
+func (ls *LiveStats) Sampled(now time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	ls.mu.Lock()
+	for i := 0; i < n; i++ {
+		ls.acceptTimes = append(ls.acceptTimes, now)
+	}
+	if ls.firstToken == 0 {
+		ls.firstToken = now
+	}
+	ls.mu.Unlock()
+}
+
+// SetPrefillDone records when prompt processing finished.
+func (ls *LiveStats) SetPrefillDone(at time.Duration) {
+	ls.mu.Lock()
+	ls.prefillDone = at
+	ls.mu.Unlock()
+}
+
+// PrefillDoneOnce records at as the prefill-finish time only if none is
+// set yet (the serving layer's "first session through prefill" rule)
+// and reports whether it stored.
+func (ls *LiveStats) PrefillDoneOnce(at time.Duration) bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.prefillDone != 0 {
+		return false
+	}
+	ls.prefillDone = at
+	return true
+}
+
+// MarkDone records when generation finished.
+func (ls *LiveStats) MarkDone(at time.Duration) {
+	ls.mu.Lock()
+	ls.done = at
+	ls.mu.Unlock()
+}
+
+// AcceptCount reports the number of acceptance events so far.
+func (ls *LiveStats) AcceptCount() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.acceptTimes)
+}
+
+// Snapshot copies the live counters into a plain Stats value. Safe to
+// call concurrently with scheduler mutation; see the type comment for
+// the consistency contract. The acceptance-timestamp slice is copied,
+// so snapshots are self-contained (and Snapshot therefore allocates —
+// it belongs on scrape/shutdown paths, not per-token ones).
+func (ls *LiveStats) Snapshot() Stats {
+	ls.mu.Lock()
+	s := Stats{
+		PrefillDone: ls.prefillDone,
+		FirstToken:  ls.firstToken,
+		Done:        ls.done,
+	}
+	if len(ls.acceptTimes) > 0 {
+		s.AcceptTimes = make([]time.Duration, len(ls.acceptTimes))
+		copy(s.AcceptTimes, ls.acceptTimes)
+	}
+	ls.mu.Unlock()
+
+	s.Generated = int(ls.Generated.Load())
+	s.Proposed = int(ls.Proposed.Load())
+	s.Accepted = int(ls.Accepted.Load())
+	s.RunsLaunched = int(ls.RunsLaunched.Load())
+	s.RunsCancelled = int(ls.RunsCancelled.Load())
+	s.Superfluous = int(ls.Superfluous.Load())
+	s.SpecDrops = int(ls.SpecDrops.Load())
+	s.Preemptions = int(ls.Preemptions.Load())
+	s.Readmissions = int(ls.Readmissions.Load())
+	s.BatchedRuns = int(ls.BatchedRuns.Load())
+	s.BatchedRows = int(ls.BatchedRows.Load())
+	s.RowCancels = int(ls.RowCancels.Load())
+	s.PrefillBatchedRuns = int(ls.PrefillBatchedRuns.Load())
+	s.RunTimeouts = int(ls.RunTimeouts.Load())
+	s.Recoveries = int(ls.Recoveries.Load())
+	s.Reconnects = int(ls.Reconnects.Load())
+	s.BreakerTrips = int(ls.BreakerTrips.Load())
+	return s
+}
+
+// Delta returns the counter movement since prev (a prior Snapshot).
+// Timestamps carry the current values; AcceptTimes is omitted.
+func (ls *LiveStats) Delta(prev Stats) Stats {
+	cur := ls.Snapshot()
+	cur.AcceptTimes = nil
+	cur.Generated -= prev.Generated
+	cur.Proposed -= prev.Proposed
+	cur.Accepted -= prev.Accepted
+	cur.RunsLaunched -= prev.RunsLaunched
+	cur.RunsCancelled -= prev.RunsCancelled
+	cur.Superfluous -= prev.Superfluous
+	cur.SpecDrops -= prev.SpecDrops
+	cur.Preemptions -= prev.Preemptions
+	cur.Readmissions -= prev.Readmissions
+	cur.BatchedRuns -= prev.BatchedRuns
+	cur.BatchedRows -= prev.BatchedRows
+	cur.RowCancels -= prev.RowCancels
+	cur.PrefillBatchedRuns -= prev.PrefillBatchedRuns
+	cur.RunTimeouts -= prev.RunTimeouts
+	cur.Recoveries -= prev.Recoveries
+	cur.Reconnects -= prev.Reconnects
+	cur.BreakerTrips -= prev.BreakerTrips
+	return cur
+}

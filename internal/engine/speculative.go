@@ -87,7 +87,7 @@ func RunSpeculative(h *Head, prompt []token.Token) ([]token.Token, error) {
 		}
 		msg := &RunMsg{Kind: KindSpec, Seq: seqs[0], Tokens: places, KVOps: ops}
 		h.Launch(msg, snapshot(accepted[:a-1]), seqs)
-		h.Stats.Proposed += tree.Len()
+		h.Stats.Proposed.Add(int64(tree.Len()))
 
 		_, res, ok, err := h.AwaitResult()
 		if err != nil {
@@ -100,7 +100,7 @@ func RunSpeculative(h *Head, prompt []token.Token) ([]token.Token, error) {
 		g := spec.VerifyGreedy(tree, res.Next(0), func(node int) token.Token {
 			return res.Next(1 + node)
 		})
-		h.Stats.Accepted += len(g.Accepted)
+		h.Stats.Accepted.Add(int64(len(g.Accepted)))
 
 		var post []kvcache.Op
 		if n := len(g.AcceptedNodes); n > 0 {
@@ -125,8 +125,8 @@ func RunSpeculative(h *Head, prompt []token.Token) ([]token.Token, error) {
 		accepted = append(accepted, g.Bonus)
 		h.Sampled(len(g.Accepted) + 1)
 	}
-	h.Stats.Done = h.EP.Now()
-	h.Stats.Generated = len(accepted) - len(prompt)
+	h.Stats.MarkDone(h.EP.Now())
+	h.Stats.Generated.Store(int64(len(accepted) - len(prompt)))
 	h.Shutdown()
 	return accepted[len(prompt):], nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/pipeinfer/pipeinfer/internal/comm"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
 	"github.com/pipeinfer/pipeinfer/internal/transact"
 )
 
@@ -116,12 +117,27 @@ func (c *cancelSet) gc(processed uint32) {
 	}
 }
 
+// WorkerObs carries a stage worker's optional observability hooks:
+// a busy/idle meter feeding the per-stage bubble-fraction gauges and a
+// flight ring recording eval begin/end events. Both are nil-safe and
+// allocation-free, so always-on telemetry costs two clock reads per
+// evaluated run.
+type WorkerObs struct {
+	Meter  *trace.StageMeter
+	Flight *trace.Ring
+}
+
 // WorkerLoop is the main loop of every non-head pipeline rank: a
 // transaction server that evaluates decode runs over its layer shard,
 // applies pipelined KV operations, honours cancellation signals, and
 // forwards transactions downstream in order. It returns when the shutdown
 // transaction arrives.
 func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
+	return WorkerLoopObs(ep, topo, w, WorkerObs{})
+}
+
+// WorkerLoopObs is WorkerLoop with observability hooks attached.
+func WorkerLoopObs(ep comm.Endpoint, topo Topology, w Worker, obs WorkerObs) error {
 	rank := ep.Rank()
 	stageIdx := -1
 	for i, s := range topo.Stages {
@@ -149,6 +165,9 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 	expectsActivation := stageIdx > 0
 
 	cancels := newCancelSet()
+	// The bubble-fraction window opens at serve start, not first eval:
+	// a stage that idles before its first run is genuinely bubbling.
+	obs.Meter.Open(ep.Now())
 	d := transact.NewDispatcher(ep, upstream)
 
 	d.Register(transact.TypeDecode, func(ep comm.Endpoint, src int) error {
@@ -203,7 +222,18 @@ func WorkerLoop(ep comm.Endpoint, topo Topology, w Worker) error {
 				cancels.drain(ep, topo.Head)
 				return cancels.full(run.ID)
 			}
-			if data, w_, ok := w.Eval(run, input, cancelled); ok {
+			if obs.Meter != nil || obs.Flight != nil {
+				now := ep.Now()
+				obs.Meter.Begin(now)
+				obs.Flight.Record(now, trace.FlightEvalBeg, run.ID, int32(run.Len()))
+			}
+			data, w_, ok := w.Eval(run, input, cancelled)
+			if obs.Meter != nil || obs.Flight != nil {
+				now := ep.Now()
+				obs.Meter.End(now)
+				obs.Flight.Record(now, trace.FlightEvalEnd, run.ID, int32(run.Len()))
+			}
+			if ok {
 				// Eval's payload aliases worker staging; ResultPayload /
 				// DataPayload copy it into a pooled wire buffer. Results
 				// additionally carry the run ID so the head can fence

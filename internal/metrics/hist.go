@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an allocation-free streaming histogram over non-negative
+// int64 samples (durations are observed in nanoseconds). Buckets are
+// log-spaced with histSub sub-buckets per power of two, so any bucket's
+// width is at most 1/histSub of its lower bound and a quantile estimate
+// is within ~12.5% relative error of the true order statistic. All
+// state is a fixed array of atomic counters: Observe is lock-free,
+// O(1) and heap-allocation-free, safe for concurrent writers, and
+// Quantile may run concurrently with writers (it sees a slightly
+// smeared but monotone view — fine for monitoring).
+//
+// The zero value is ready to use. A nil *Hist ignores observations and
+// reports zeros, so telemetry-off paths need no branching.
+type Hist struct {
+	count atomic.Uint64
+	sum   atomic.Int64
+	cells [histCells]atomic.Uint64
+}
+
+const (
+	// histSubBits sets the resolution: 1<<histSubBits sub-buckets per
+	// power of two. 2 bits keeps the whole histogram in 248 buckets
+	// while bounding relative quantile error at 1/8.
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+
+	// Values 0..histSub-1 get exact singleton buckets; above that,
+	// exponents 2..62 (the int64 range) each contribute histSub cells.
+	histCells = histSub + (63-histSubBits)*histSub
+)
+
+// histIdx maps a non-negative value to its bucket index.
+func histIdx(u uint64) int {
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits
+	return (exp-histSubBits)<<histSubBits + int((u>>(exp-histSubBits))&(histSub-1)) + histSub
+}
+
+// histBounds returns the inclusive [lo, hi] value range of bucket idx.
+func histBounds(idx int) (lo, hi int64) {
+	if idx < histSub {
+		return int64(idx), int64(idx)
+	}
+	g := (idx - histSub) >> histSubBits
+	sub := (idx - histSub) & (histSub - 1)
+	shift := uint(g) // == exp - histSubBits
+	lo = int64(histSub+sub) << shift
+	return lo, lo + int64(1)<<shift - 1
+}
+
+// Observe folds one sample in. Negative samples clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.cells[histIdx(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count reports the number of samples observed.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of all samples.
+func (h *Hist) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) as the midpoint of the
+// bucket holding the rank-⌈p·n⌉ sample. Returns 0 with no samples.
+func (h *Hist) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum uint64
+	for i := range h.cells {
+		cum += h.cells[i].Load()
+		if cum >= rank {
+			lo, hi := histBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	// Writers raced count ahead of cells; fall back to the top bucket seen.
+	for i := histCells - 1; i >= 0; i-- {
+		if h.cells[i].Load() > 0 {
+			lo, hi := histBounds(i)
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
+// QuantileDuration is Quantile for nanosecond-observed durations.
+func (h *Hist) QuantileDuration(p float64) time.Duration {
+	return time.Duration(h.Quantile(p))
+}

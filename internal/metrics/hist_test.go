@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistBucketsContinuous asserts the bucket index function is
+// monotone and gap-free over value boundaries, and that every bucket's
+// bounds round-trip through the index.
+func TestHistBucketsContinuous(t *testing.T) {
+	prev := -1
+	for _, u := range []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 63, 64, 1 << 20, 1<<62 - 1, 1 << 62, 1<<63 - 1} {
+		idx := histIdx(u)
+		if idx < prev {
+			t.Fatalf("histIdx(%d) = %d < previous %d: not monotone", u, idx, prev)
+		}
+		if idx >= histCells {
+			t.Fatalf("histIdx(%d) = %d out of range %d", u, idx, histCells)
+		}
+		lo, hi := histBounds(idx)
+		if int64(u) < lo || int64(u) > hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d,%d]", u, idx, lo, hi)
+		}
+		prev = idx
+	}
+	// Adjacent buckets must tile the value line with no gaps or overlap.
+	for i := 0; i < histCells-1; i++ {
+		_, hi := histBounds(i)
+		lo, _ := histBounds(i + 1)
+		if lo != hi+1 {
+			t.Fatalf("bucket %d ends at %d but bucket %d starts at %d", i, hi, i+1, lo)
+		}
+	}
+}
+
+// TestHistQuantileDifferential checks Quantile against a brute-force
+// sorted reference across random workloads. The log-bucketed estimate
+// must land within the reference's bucket resolution: bucket width is
+// at most 1/4 of its lower bound, so the midpoint is within 12.5%
+// relative error (plus 1 for integer rounding at small values).
+func TestHistQuantileDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	workloads := []struct {
+		name string
+		gen  func() int64
+		n    int
+	}{
+		{"uniform-small", func() int64 { return rng.Int63n(100) }, 5000},
+		{"uniform-wide", func() int64 { return rng.Int63n(1 << 40) }, 5000},
+		{"exponential", func() int64 { return int64(rng.ExpFloat64() * 1e6) }, 5000},
+		{"constant", func() int64 { return 12345 }, 1000},
+		{"bimodal", func() int64 {
+			if rng.Intn(2) == 0 {
+				return rng.Int63n(10)
+			}
+			return 1e9 + rng.Int63n(1e9)
+		}, 5000},
+		{"single", func() int64 { return 7 }, 1},
+		{"negative-clamped", func() int64 { return rng.Int63n(20) - 10 }, 2000},
+	}
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, wl := range workloads {
+		var h Hist
+		ref := make([]int64, 0, wl.n)
+		for i := 0; i < wl.n; i++ {
+			v := wl.gen()
+			h.Observe(v)
+			if v < 0 {
+				v = 0 // Observe clamps; the reference must agree
+			}
+			ref = append(ref, v)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		if got, want := h.Count(), uint64(wl.n); got != want {
+			t.Fatalf("%s: Count() = %d, want %d", wl.name, got, want)
+		}
+		for _, p := range quantiles {
+			rank := int(float64(wl.n) * p)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > wl.n {
+				rank = wl.n
+			}
+			want := ref[rank-1]
+			got := h.Quantile(p)
+			tol := want/8 + 1
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s: Quantile(%g) = %d, reference %d (tolerance %d)",
+					wl.name, p, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestHistNilAndEmpty locks in the nil-receiver and zero-sample
+// behaviour the telemetry hot path relies on.
+func TestHistNilAndEmpty(t *testing.T) {
+	var nilH *Hist
+	nilH.Observe(5) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil Hist must report zeros")
+	}
+	var h Hist
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty Hist must report zero quantiles")
+	}
+	h.Observe(-100)
+	if h.Quantile(1) != 0 || h.Sum() != 0 {
+		t.Fatal("negative samples must clamp to zero")
+	}
+}

@@ -27,16 +27,16 @@ func TestBreakerTripAndReset(t *testing.T) {
 		t.Fatalf("healthy breaker clamped width to %d, want 4", w)
 	}
 	s.noteFailure()
-	if !s.tripped || s.h.Stats.BreakerTrips != 1 {
-		t.Fatalf("3 consecutive failures: tripped=%v trips=%d", s.tripped, s.h.Stats.BreakerTrips)
+	if !s.tripped || s.h.Stats.BreakerTrips.Load() != 1 {
+		t.Fatalf("3 consecutive failures: tripped=%v trips=%d", s.tripped, s.h.Stats.BreakerTrips.Load())
 	}
 	if w := s.effectiveWidth(); w != 1 {
 		t.Fatalf("open breaker width %d, want 1", w)
 	}
 	// Further failures don't double-count the trip.
 	s.noteFailure()
-	if s.h.Stats.BreakerTrips != 1 {
-		t.Fatalf("re-counted trip: %d", s.h.Stats.BreakerTrips)
+	if s.h.Stats.BreakerTrips.Load() != 1 {
+		t.Fatalf("re-counted trip: %d", s.h.Stats.BreakerTrips.Load())
 	}
 	// A sustained healthy streak closes it.
 	for i := 0; i < breakerResetAfter-1; i++ {

@@ -155,7 +155,9 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/metrics"
+	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
 )
 
 // Request is one queued generation request.
@@ -264,6 +266,14 @@ type Config struct {
 	// and parked for prefix-recompute readmission because a run it was
 	// riding in timed out or had its result lost.
 	OnRecover func(req int)
+	// Obs, when non-nil, is the live telemetry registry (PR 7): the
+	// scheduler streams TTFT, inter-token latency, per-run service time,
+	// realised batch width and queue depth into its histograms, mirrors
+	// breaker and admission-pressure state into its health gauges, and
+	// arms automatic flight-recorder dumps on watchdog failure and
+	// breaker trip. Every observation is an atomic update — enabling
+	// telemetry adds no allocation and no lock to the serving hot path.
+	Obs *telemetry.Registry
 }
 
 // Normalize fills the derived session-layout defaults: slot count
@@ -328,6 +338,10 @@ type session struct {
 	prompt   int
 	maxNew   int
 	priority int
+
+	// arrived anchors the session's streaming TTFT observation: the
+	// wall/virtual time the request was admitted to its slot.
+	arrived time.Duration
 
 	state       sessState
 	wantNonSpec bool
@@ -408,6 +422,10 @@ type Scheduler struct {
 	okStreak   int
 	tripped    bool
 
+	// obs mirrors cfg.Obs (nil when telemetry is disabled; every call on
+	// it is nil-safe and allocation-free).
+	obs *telemetry.Registry
+
 	// Reusable scratch: all uses are synchronous within one step.
 	msgPool  []*engine.RunMsg
 	ops      []kvcache.Op
@@ -484,7 +502,21 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 	}
 	// Aggregate acceptance timestamps never outgrow this, keeping the
 	// per-token Sampled call allocation-free.
-	h.Stats.AcceptTimes = make([]time.Duration, 0, totalNew)
+	h.Stats.GrowAccepts(totalNew)
+	// The flight recorder is always on: a bounded ring of binary events
+	// costs two atomic stores per record and is what makes a watchdog
+	// failure or breaker trip diagnosable after the fact.
+	if h.Flight == nil {
+		h.Flight = trace.NewRing(0)
+	}
+	if cfg.Obs != nil {
+		s.obs = cfg.Obs
+		s.obs.AttachRing("head", h.Flight)
+		s.obs.SetStatsFn(h.Stats.Snapshot)
+		s.obs.SetNowFn(h.EP.Now)
+		s.obs.SetPressure(len(reqs), 0, cfg.MaxSessions)
+		s.obs.SetReady(true)
+	}
 	return s, nil
 }
 
@@ -503,8 +535,9 @@ func (s *Scheduler) Run() ([]Result, error) {
 			return nil, err
 		}
 	}
-	s.h.Stats.Done = s.h.EP.Now()
-	s.h.Stats.Generated = s.total
+	s.h.Stats.MarkDone(s.h.EP.Now())
+	s.h.Stats.Generated.Store(int64(s.total))
+	s.obs.SetReady(false)
 	s.h.Shutdown()
 	return s.results, nil
 }
@@ -530,8 +563,10 @@ func (s *Scheduler) Step() error {
 	return fmt.Errorf("serve: scheduler stalled with %d/%d requests done (KV capacity too small for one session's footprint?)", s.done, len(s.reqs))
 }
 
-// admit moves queued requests into free session slots.
+// admit moves queued requests into free session slots, then publishes
+// the step's admission pressure (queue depth histogram + health gauges).
 func (s *Scheduler) admit() {
+	defer s.observePressure()
 	for s.nextReq < len(s.reqs) {
 		slot := -1
 		for i, sl := range s.slots {
@@ -559,10 +594,29 @@ func (s *Scheduler) admit() {
 			fillTarget: len(req.Prompt),
 		}
 		copy(sess.accepted, req.Prompt)
+		sess.arrived = s.h.EP.Now()
 		sess.stats.AcceptTimes = make([]time.Duration, 0, req.MaxNew)
 		s.slots[slot] = sess
 		s.nextReq++
 	}
+}
+
+// observePressure streams the scheduler's admission state into the
+// telemetry registry: how many requests still wait for a slot, how many
+// slots are occupied. No-op without telemetry; atomics only with it.
+func (s *Scheduler) observePressure() {
+	if s.obs == nil {
+		return
+	}
+	active := 0
+	for _, sl := range s.slots {
+		if sl != nil {
+			active++
+		}
+	}
+	queued := len(s.reqs) - s.nextReq
+	s.obs.ObserveQueueDepth(queued)
+	s.obs.SetPressure(queued, active, len(s.slots))
 }
 
 // --- launching ---
@@ -831,12 +885,13 @@ func (s *Scheduler) effectiveWidth() int {
 // its row count, which is what lets the EMA separate fixed per-run
 // overhead from marginal per-row cost.
 func (s *Scheduler) observeRunCost(run *engine.Run) {
-	if !s.cfg.AutoBatch && s.cfg.RunTimeout == 0 {
+	if !s.cfg.AutoBatch && s.cfg.RunTimeout == 0 && s.obs == nil {
 		return
 	}
 	now := s.h.EP.Now()
 	if s.lastResultAt > 0 && s.h.Inflight() > 0 {
 		s.runCost.Observe(run.Msg.Len(), now-s.lastResultAt)
+		s.obs.ObserveRunService(now - s.lastResultAt)
 	}
 	s.lastResultAt = now
 	if s.h.Inflight() == 0 {
@@ -974,7 +1029,7 @@ func (s *Scheduler) dropSpecPages(sess *session) bool {
 	s.ops = ops[:0]
 	s.sendKV(ops)
 	sess.stats.SpecDrops++
-	s.h.Stats.SpecDrops++
+	s.h.Stats.SpecDrops.Add(1)
 	return true
 }
 
@@ -1051,7 +1106,7 @@ func (s *Scheduler) park(sess *session) {
 func (s *Scheduler) preempt(victim *session) {
 	s.park(victim)
 	victim.stats.Preemptions++
-	s.h.Stats.Preemptions++
+	s.h.Stats.Preemptions.Add(1)
 	if s.cfg.OnPreempt != nil {
 		s.cfg.OnPreempt(victim.req)
 	}
@@ -1082,7 +1137,7 @@ func (s *Scheduler) launchReadmit(sess *session) {
 	}
 	sess.stats.RunsLaunched++
 	sess.stats.Readmissions++
-	s.h.Stats.Readmissions++
+	s.h.Stats.Readmissions.Add(1)
 	if s.cfg.OnReadmit != nil {
 		s.cfg.OnReadmit(sess.req)
 	}
@@ -1149,6 +1204,9 @@ func (s *Scheduler) launch(msg *engine.RunMsg, ctx []token.Token, seqs []kvcache
 		s.kvCells = cells[:0]
 	}
 	run := s.h.Launch(msg, ctx, seqs)
+	if s.obs != nil {
+		s.obs.ObserveBatchWidth(engine.DistinctSessions(msg))
+	}
 	if s.cfg.RunTimeout > 0 {
 		run.Deadline = s.h.EP.Now() + s.deadlineFor(msg.Len())
 	}
@@ -1392,7 +1450,7 @@ func (s *Scheduler) launchMixedBatch(ready, chunks []*session, lens []int) {
 		kind = engine.KindNonSpec
 	}
 	s.launchComposed(kind, nil)
-	s.h.Stats.PrefillBatchedRuns++
+	s.h.Stats.PrefillBatchedRuns.Add(1)
 }
 
 // launchChunkSolo launches one session's next prefill chunk as a ranged
@@ -1401,7 +1459,7 @@ func (s *Scheduler) launchMixedBatch(ready, chunks []*session, lens []int) {
 func (s *Scheduler) launchChunkSolo(sess *session) {
 	s.stageChunk(sess, s.cfg.PrefillChunk)
 	s.launchComposed(engine.KindPrefill, nil)
-	s.h.Stats.PrefillBatchedRuns++
+	s.h.Stats.PrefillBatchedRuns.Add(1)
 }
 
 // beginChunkedReadmit converts a parked session back into a chunked
@@ -1418,7 +1476,7 @@ func (s *Scheduler) beginChunkedReadmit(sess *session) {
 	sess.fillSent, sess.fillDone = 0, 0
 	sess.cutoff = s.h.CFG.SpecCutoff
 	sess.stats.Readmissions++
-	s.h.Stats.Readmissions++
+	s.h.Stats.Readmissions.Add(1)
 	if s.cfg.OnReadmit != nil {
 		s.cfg.OnReadmit(sess.req)
 	}
@@ -1675,7 +1733,7 @@ func (s *Scheduler) launchSpecGroup(depth int) bool {
 		}
 		sess.stats.RunsLaunched++
 		sess.stats.Proposed += l
-		s.h.Stats.Proposed += l
+		s.h.Stats.Proposed.Add(int64(l))
 		sess.cutoff += s.h.CFG.CutoffRecovery
 		if sess.cutoff > 0.95 {
 			sess.cutoff = 0.95
@@ -1781,7 +1839,7 @@ func (s *Scheduler) trySpeculate(sess *session) bool {
 		sess.pending = append(sess.pending, pendingTok{tok: t, seq: seq, run: run.Msg.ID})
 	}
 	sess.stats.Proposed += len(toks)
-	s.h.Stats.Proposed += len(toks)
+	s.h.Stats.Proposed.Add(int64(len(toks)))
 
 	// Each successful continuous iteration raises the confidence bar for
 	// the next (§IV-B.2 recovery factor).
@@ -1884,7 +1942,12 @@ func (s *Scheduler) noteFailure() {
 	s.failStreak++
 	if s.failStreak >= breakerTripAfter && !s.tripped {
 		s.tripped = true
-		s.h.Stats.BreakerTrips++
+		s.h.Stats.BreakerTrips.Add(1)
+		s.h.Flight.Record(s.h.EP.Now(), trace.FlightTrip, 0, int32(s.failStreak))
+		if s.obs != nil {
+			s.obs.SetTripped(true)
+			s.obs.DumpFlight("breaker tripped: consecutive watchdog failures")
+		}
 	}
 }
 
@@ -1898,6 +1961,7 @@ func (s *Scheduler) noteSuccess() {
 	s.okStreak++
 	if s.okStreak >= breakerResetAfter {
 		s.tripped, s.okStreak = false, 0
+		s.obs.SetTripped(false)
 	}
 }
 
@@ -1910,7 +1974,11 @@ func (s *Scheduler) noteSuccess() {
 // already cancelled produce expected-missing results and need only
 // their partition cleanup; so do rows the scheduler had masked dead.
 func (s *Scheduler) recoverFailed(run *engine.Run) error {
+	s.h.Flight.Record(s.h.EP.Now(), trace.FlightRecover, run.Msg.ID, int32(run.Msg.Len()))
 	s.noteFailure()
+	if s.obs != nil {
+		s.obs.DumpFlight("watchdog: run result lost or overdue")
+	}
 	// The next completion gap spans the failure, not one run's service
 	// time: drop the cost model's anchor.
 	s.lastResultAt = 0
@@ -1968,7 +2036,7 @@ func (s *Scheduler) recoverSlot(slot int) {
 	}
 	s.park(sess)
 	sess.stats.Recoveries++
-	s.h.Stats.Recoveries++
+	s.h.Stats.Recoveries.Add(1)
 	if s.cfg.OnRecover != nil {
 		s.cfg.OnRecover(sess.req)
 	}
@@ -2058,9 +2126,10 @@ func (s *Scheduler) completePrefill(sess *session, next token.Token) {
 	if !readmit {
 		now := s.h.EP.Now()
 		sess.stats.PrefillDone = now
-		if s.h.Stats.PrefillDone == 0 {
-			s.h.Stats.PrefillDone = now
-		}
+		s.h.Stats.PrefillDoneOnce(now)
+		// Streaming TTFT: admission to prefill completion — the latency
+		// this user waited before any output appeared.
+		s.obs.ObserveTTFT(now - sess.arrived)
 	}
 	sess.state = stateDecode
 	s.accept(sess, next, !readmit)
@@ -2132,7 +2201,7 @@ func (s *Scheduler) onDecodeRows(sess *session, run *engine.Run, res engine.Resu
 	// Superfluous: every output position is already accepted (§IV-D.1).
 	if base+l < a {
 		sess.stats.Superfluous++
-		s.h.Stats.Superfluous++
+		s.h.Stats.Superfluous.Add(1)
 		if cleanup != nil {
 			s.sendKV(s.appendCleanup(cleanup, ops))
 		}
@@ -2173,7 +2242,7 @@ func (s *Scheduler) onDecodeRows(sess *session, run *engine.Run, res engine.Resu
 				s.accept(sess, next, false)
 				sess.pending = sess.pending[1:]
 				sess.stats.Accepted++
-				s.h.Stats.Accepted++
+				s.h.Stats.Accepted.Add(1)
 				anyAccept = true
 				continue
 			}
@@ -2220,6 +2289,13 @@ func (s *Scheduler) accept(sess *session, tok token.Token, fromPrefill bool) {
 	s.total++
 	if !fromPrefill {
 		now := s.h.EP.Now()
+		if s.obs != nil {
+			// Inter-token latency: the gap to this session's previous
+			// timed acceptance.
+			if n := len(sess.stats.AcceptTimes); n > 0 {
+				s.obs.ObserveITL(now - sess.stats.AcceptTimes[n-1])
+			}
+		}
 		sess.stats.AcceptTimes = append(sess.stats.AcceptTimes, now)
 		if sess.stats.FirstToken == 0 {
 			sess.stats.FirstToken = now
@@ -2339,9 +2415,9 @@ func (s *Scheduler) scanSession(sess *session) {
 // cancelRowsFor masks sess's rows out of a batched in-flight run,
 // crediting the row cancellation to the session's stats.
 func (s *Scheduler) cancelRowsFor(sess *session, r *engine.Run, signal bool) {
-	before := s.h.Stats.RowCancels
+	before := s.h.Stats.RowCancels.Load()
 	s.h.CancelRows(r, uint16(sess.slot), signal)
-	sess.stats.RowCancels += s.h.Stats.RowCancels - before
+	sess.stats.RowCancels += int(s.h.Stats.RowCancels.Load() - before)
 }
 
 // appendCleanup returns the run's sequence partitions to their owning
@@ -2389,9 +2465,9 @@ func (s *Scheduler) enterDrain(sess *session) {
 // cancelFor cancels a session's runs, crediting the cancellations to its
 // per-session stats as well as the aggregate.
 func (s *Scheduler) cancelFor(sess *session, victims []*engine.Run) {
-	before := s.h.Stats.RunsCancelled
+	before := s.h.Stats.RunsCancelled.Load()
 	s.h.Cancel(victims)
-	sess.stats.RunsCancelled += s.h.Stats.RunsCancelled - before
+	sess.stats.RunsCancelled += int(s.h.Stats.RunsCancelled.Load() - before)
 }
 
 // finalize releases a drained session's namespace — removing every one of

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
+)
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	// Byte-wise on purpose: escaping must not re-encode (and so corrupt)
+	// label values that are not valid UTF-8.
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// promValue formats v for exposition; ok is false for NaN/Inf, which
+// must not be emitted.
+func promValue(v float64) (string, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "", false
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64), true
+}
+
+// countingWriter tracks bytes for the io.WriterTo contract.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) printf(format string, args ...any) {
+	if cw.err != nil {
+		return
+	}
+	n, err := fmt.Fprintf(cw.w, format, args...)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+// sample writes one metric line; labels alternate name, value and are
+// escaped here. NaN/Inf samples are silently skipped.
+func (cw *countingWriter) sample(name string, v float64, labels ...string) {
+	val, ok := promValue(v)
+	if !ok {
+		return
+	}
+	if len(labels) == 0 {
+		cw.printf("%s %s\n", name, val)
+		return
+	}
+	var sb strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", labels[i], promEscape(labels[i+1]))
+	}
+	cw.printf("%s{%s} %s\n", name, sb.String(), val)
+}
+
+func (cw *countingWriter) family(name, typ, help string) {
+	cw.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// summary writes a histogram as a Prometheus summary family: p50/p90/p99
+// quantiles plus _sum and _count. scale divides raw sample units into
+// exposition units (1e9 for nanosecond-observed duration histograms).
+func (cw *countingWriter) summary(name, help string, h *metrics.Hist, scale float64) {
+	cw.family(name, "summary", help)
+	for _, q := range [...]float64{0.5, 0.9, 0.99} {
+		cw.sample(name, float64(h.Quantile(q))/scale, "quantile", strconv.FormatFloat(q, 'g', -1, 64))
+	}
+	cw.sample(name+"_sum", float64(h.Sum())/scale)
+	cw.sample(name+"_count", float64(h.Count()))
+}
+
+// writeProm renders the full exposition. The scrape is lock-free with
+// respect to the serving hot path: histograms and counters are atomics,
+// stage fractions are evaluated against the registry clock, and the
+// engine counters come from a LiveStats snapshot.
+func (r *Registry) writeProm(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if r == nil {
+		return 0, nil
+	}
+
+	cw.family("pipeinfer_up", "gauge", "Serving process is alive.")
+	cw.sample("pipeinfer_up", 1)
+	cw.family("pipeinfer_ready", "gauge", "Admission is open (see /readyz).")
+	cw.sample("pipeinfer_ready", float64(r.ready.Load()))
+	cw.family("pipeinfer_breaker_tripped", "gauge", "Repeated-failure breaker is open: speculation off, batch width clamped.")
+	cw.sample("pipeinfer_breaker_tripped", float64(r.tripped.Load()))
+	cw.family("pipeinfer_sessions_active", "gauge", "Sessions currently holding a slot.")
+	cw.sample("pipeinfer_sessions_active", float64(r.active.Load()))
+	cw.family("pipeinfer_sessions_queued", "gauge", "Requests waiting for admission.")
+	cw.sample("pipeinfer_sessions_queued", float64(r.queued.Load()))
+	cw.family("pipeinfer_session_slots", "gauge", "Concurrent session slots.")
+	cw.sample("pipeinfer_session_slots", float64(r.slots.Load()))
+
+	const ns = float64(time.Second)
+	cw.summary("pipeinfer_ttft_seconds", "Per-session time-to-first-token (arrival to prefill completion).", r.TTFT, ns)
+	cw.summary("pipeinfer_itl_seconds", "Per-session inter-token latency (gap between consecutive acceptances).", r.ITL, ns)
+	cw.summary("pipeinfer_run_service_seconds", "Per-run pipeline service time (busy-pipeline result gaps).", r.RunService, ns)
+	cw.summary("pipeinfer_batch_width_rows", "Realised token rows per launched pipeline run.", r.BatchWidth, 1)
+	cw.summary("pipeinfer_queue_depth", "Admission-waiting requests per scheduler step.", r.QueueDepth, 1)
+
+	r.mu.Lock()
+	stages := append([]stageEntry(nil), r.stages...)
+	links := append([]linkEntry(nil), r.links...)
+	rings := append([]ringEntry(nil), r.rings...)
+	r.mu.Unlock()
+
+	if len(stages) > 0 {
+		now := r.now()
+		cw.family("pipeinfer_stage_busy_fraction", "gauge", "Share of the serving window the stage spent evaluating runs.")
+		for _, s := range stages {
+			cw.sample("pipeinfer_stage_busy_fraction", s.meter.BusyFraction(now), "stage", s.name)
+		}
+		cw.family("pipeinfer_stage_bubble_fraction", "gauge", "Share of the serving window the stage sat idle (pipeline bubbles, Fig 3).")
+		for _, s := range stages {
+			cw.sample("pipeinfer_stage_bubble_fraction", s.meter.BubbleFraction(now), "stage", s.name)
+		}
+		cw.family("pipeinfer_stage_busy_seconds_total", "counter", "Accumulated evaluation time per stage.")
+		for _, s := range stages {
+			cw.sample("pipeinfer_stage_busy_seconds_total", s.meter.Busy().Seconds(), "stage", s.name)
+		}
+		cw.family("pipeinfer_stage_evals_total", "counter", "Completed run evaluations per stage.")
+		for _, s := range stages {
+			cw.sample("pipeinfer_stage_evals_total", float64(s.meter.Evals()), "stage", s.name)
+		}
+	}
+
+	if len(links) > 0 {
+		cw.family("pipeinfer_link_sent_frames_total", "counter", "Frames sent per endpoint.")
+		for _, l := range links {
+			cw.sample("pipeinfer_link_sent_frames_total", float64(l.c.SentFrames.Load()), "link", l.name)
+		}
+		cw.family("pipeinfer_link_sent_bytes_total", "counter", "Bytes sent per endpoint (interconnect-model charge).")
+		for _, l := range links {
+			cw.sample("pipeinfer_link_sent_bytes_total", float64(l.c.SentBytes.Load()), "link", l.name)
+		}
+		cw.family("pipeinfer_link_recv_frames_total", "counter", "Frames received per endpoint.")
+		for _, l := range links {
+			cw.sample("pipeinfer_link_recv_frames_total", float64(l.c.RecvFrames.Load()), "link", l.name)
+		}
+		cw.family("pipeinfer_link_recv_bytes_total", "counter", "Bytes received per endpoint.")
+		for _, l := range links {
+			cw.sample("pipeinfer_link_recv_bytes_total", float64(l.c.RecvBytes.Load()), "link", l.name)
+		}
+	}
+
+	if len(rings) > 0 {
+		cw.family("pipeinfer_flight_events", "gauge", "Events currently held per flight-recorder ring.")
+		for _, re := range rings {
+			cw.sample("pipeinfer_flight_events", float64(re.ring.Len()), "ring", re.name)
+		}
+	}
+	cw.family("pipeinfer_flight_dumps_total", "counter", "Flight dumps taken (watchdog failures and breaker trips).")
+	cw.sample("pipeinfer_flight_dumps_total", float64(r.Dumps()))
+
+	s := r.Snapshot()
+	for _, c := range [...]struct {
+		name, help string
+		v          int
+	}{
+		{"pipeinfer_generated_tokens_total", "Tokens produced across sessions.", s.Generated},
+		{"pipeinfer_proposed_tokens_total", "Draft tokens offered for verification.", s.Proposed},
+		{"pipeinfer_accepted_tokens_total", "Draft tokens accepted.", s.Accepted},
+		{"pipeinfer_runs_launched_total", "Pipeline runs launched.", s.RunsLaunched},
+		{"pipeinfer_runs_cancelled_total", "Pipeline runs cancelled early.", s.RunsCancelled},
+		{"pipeinfer_runs_superfluous_total", "Runs whose outputs were entirely pre-accepted.", s.Superfluous},
+		{"pipeinfer_spec_drops_total", "Speculative KV footprints dropped under memory pressure.", s.SpecDrops},
+		{"pipeinfer_preemptions_total", "Sessions preempted (namespace evicted, request parked).", s.Preemptions},
+		{"pipeinfer_readmissions_total", "Parked sessions readmitted by prefix recompute.", s.Readmissions},
+		{"pipeinfer_batched_runs_total", "Multi-session pipeline runs launched.", s.BatchedRuns},
+		{"pipeinfer_batched_rows_total", "Per-session steps coalesced into batched runs.", s.BatchedRows},
+		{"pipeinfer_row_cancels_total", "Session rows masked out of in-flight batches.", s.RowCancels},
+		{"pipeinfer_prefill_batched_runs_total", "Batched runs carrying prompt-prefill chunks.", s.PrefillBatchedRuns},
+		{"pipeinfer_run_timeouts_total", "Runs the watchdog declared failed.", s.RunTimeouts},
+		{"pipeinfer_recoveries_total", "Sessions recovered by evict + prefix recompute.", s.Recoveries},
+		{"pipeinfer_reconnects_total", "Transport links re-established.", s.Reconnects},
+		{"pipeinfer_breaker_trips_total", "Repeated-failure breaker trips.", s.BreakerTrips},
+	} {
+		cw.family(c.name, "counter", c.help)
+		cw.sample(c.name, float64(c.v))
+	}
+
+	return cw.n, cw.err
+}

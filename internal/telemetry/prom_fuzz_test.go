@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzPromSample hammers the exposition sample writer with arbitrary
+// label values and float bit patterns. Invariants: NaN/Inf never reach
+// the output, emitted lines stay single-line and parseable
+// (name{label="..."} value), and escaping round-trips — unescaping the
+// emitted label value recovers the input.
+func FuzzPromSample(f *testing.F) {
+	f.Add("rank1", uint64(42))
+	f.Add(`quote"back\slash`, uint64(0))
+	f.Add("new\nline", math.Float64bits(math.NaN()))
+	f.Add("", math.Float64bits(math.Inf(1)))
+	f.Add("ünïcode ☃", math.Float64bits(-1.5))
+	f.Fuzz(func(t *testing.T, label string, bits uint64) {
+		v := math.Float64frombits(bits)
+		var sb strings.Builder
+		cw := &countingWriter{w: &sb}
+		cw.sample("pipeinfer_fuzz", v, "l", label)
+		if cw.err != nil {
+			t.Fatalf("writer error: %v", cw.err)
+		}
+		out := sb.String()
+
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			if out != "" {
+				t.Fatalf("NaN/Inf emitted: %q", out)
+			}
+			return
+		}
+		if out == "" {
+			t.Fatalf("finite value %v produced no sample", v)
+		}
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("sample not newline-terminated: %q", out)
+		}
+		// Single-line: exposition parsing splits on \n, so only a raw
+		// newline (not \r) can break a sample across lines.
+		line := strings.TrimSuffix(out, "\n")
+		if strings.Contains(line, "\n") {
+			t.Fatalf("sample spans lines: %q", out)
+		}
+		// Shape: pipeinfer_fuzz{l="<escaped>"} <value>
+		rest, ok := strings.CutPrefix(line, `pipeinfer_fuzz{l="`)
+		if !ok {
+			t.Fatalf("malformed sample: %q", line)
+		}
+		// The closing delimiter is the first UNESCAPED quote — a plain
+		// Cut would split early on labels containing `"} `.
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 || !strings.HasPrefix(rest[end:], `"} `) {
+			t.Fatalf("malformed sample: %q", line)
+		}
+		esc := rest[:end]
+		// The escaped form must itself be free of raw quotes/newlines …
+		if strings.Contains(esc, "\n") {
+			t.Fatalf("raw newline in escaped label: %q", esc)
+		}
+		// … and unescaping must recover the original label.
+		if got := promUnescape(esc); got != label {
+			t.Fatalf("escape round-trip: %q -> %q -> %q", label, esc, got)
+		}
+	})
+}
+
+// promUnescape inverts promEscape for the fuzz round-trip check.
+func promUnescape(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i])
+				sb.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}

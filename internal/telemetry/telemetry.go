@@ -1,0 +1,349 @@
+// Package telemetry is the live observability layer: streaming
+// histograms for serving latencies, per-stage busy/bubble gauges,
+// per-link traffic counters, flight-recorder management, and the
+// /metrics + health HTTP surface — all stdlib-only.
+//
+// The hot-path contract: every Observe*/Set* method is allocation-free
+// and lock-free (atomics only), and every method is nil-receiver-safe,
+// so engines and schedulers call them unconditionally whether or not
+// telemetry is enabled. Aggregation (Prometheus exposition, flight
+// dumps, snapshots) happens on the scrape/failure path and may
+// allocate.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/comm"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/metrics"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// Registry is one serving process's telemetry root: the histograms,
+// gauges, counters and flight rings the /metrics endpoint exposes.
+type Registry struct {
+	// Streaming latency/width histograms, observed by the scheduler.
+	// Durations are recorded in nanoseconds.
+	TTFT       *metrics.Hist // time-to-first-token per session
+	ITL        *metrics.Hist // inter-token gap per accepted token
+	RunService *metrics.Hist // per-run service time (busy-pipeline result gaps)
+	BatchWidth *metrics.Hist // realised rows per launched run
+	QueueDepth *metrics.Hist // waiting requests per scheduler step
+
+	// Health gauges (atomics: written per scheduler event, read by the
+	// health endpoints and exposition writer).
+	ready   atomic.Int64
+	tripped atomic.Int64
+	queued  atomic.Int64
+	active  atomic.Int64
+	slots   atomic.Int64
+
+	mu       sync.Mutex
+	stages   []stageEntry
+	links    []linkEntry
+	rings    []ringEntry
+	statsFn  func() engine.Stats
+	nowFn    func() time.Duration
+	dumpPath string
+	lastDump *trace.FlightDump
+	dumps    int
+}
+
+type stageEntry struct {
+	name  string
+	meter *trace.StageMeter
+}
+
+type linkEntry struct {
+	name string
+	c    *comm.LinkCounters
+}
+
+type ringEntry struct {
+	name string
+	ring *trace.Ring
+}
+
+// New creates a registry with all histograms allocated.
+func New() *Registry {
+	return &Registry{
+		TTFT:       &metrics.Hist{},
+		ITL:        &metrics.Hist{},
+		RunService: &metrics.Hist{},
+		BatchWidth: &metrics.Hist{},
+		QueueDepth: &metrics.Hist{},
+	}
+}
+
+// --- hot-path observation (nil-safe, allocation-free) ---
+
+// ObserveTTFT records one session's time-to-first-token.
+func (r *Registry) ObserveTTFT(d time.Duration) {
+	if r != nil {
+		r.TTFT.ObserveDuration(d)
+	}
+}
+
+// ObserveITL records the gap between two consecutive acceptances of one
+// session.
+func (r *Registry) ObserveITL(d time.Duration) {
+	if r != nil {
+		r.ITL.ObserveDuration(d)
+	}
+}
+
+// ObserveRunService records one run's service time.
+func (r *Registry) ObserveRunService(d time.Duration) {
+	if r != nil {
+		r.RunService.ObserveDuration(d)
+	}
+}
+
+// ObserveBatchWidth records a launched run's realised row count.
+func (r *Registry) ObserveBatchWidth(rows int) {
+	if r != nil {
+		r.BatchWidth.Observe(int64(rows))
+	}
+}
+
+// ObserveQueueDepth records the number of admission-waiting requests.
+func (r *Registry) ObserveQueueDepth(n int) {
+	if r != nil {
+		r.QueueDepth.Observe(int64(n))
+	}
+}
+
+// SetReady flips the readiness gauge (serving loop up and admitting).
+func (r *Registry) SetReady(ready bool) {
+	if r == nil {
+		return
+	}
+	r.ready.Store(b2i(ready))
+}
+
+// SetTripped mirrors the scheduler's repeated-failure breaker state.
+func (r *Registry) SetTripped(tripped bool) {
+	if r == nil {
+		return
+	}
+	r.tripped.Store(b2i(tripped))
+}
+
+// SetPressure publishes the scheduler's admission pressure: requests
+// still waiting, sessions active, and total session slots.
+func (r *Registry) SetPressure(queued, active, slots int) {
+	if r == nil {
+		return
+	}
+	r.queued.Store(int64(queued))
+	r.active.Store(int64(active))
+	r.slots.Store(int64(slots))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- registration / configuration (setup path) ---
+
+// RegisterStage creates (and returns) the busy/idle meter for one
+// pipeline stage.
+func (r *Registry) RegisterStage(name string) *trace.StageMeter {
+	if r == nil {
+		return nil
+	}
+	m := &trace.StageMeter{}
+	r.mu.Lock()
+	r.stages = append(r.stages, stageEntry{name, m})
+	r.mu.Unlock()
+	return m
+}
+
+// RegisterLink creates (and returns) the traffic counters for one
+// endpoint; wrap the endpoint with comm.Counted to feed them.
+func (r *Registry) RegisterLink(name string) *comm.LinkCounters {
+	if r == nil {
+		return nil
+	}
+	c := &comm.LinkCounters{}
+	r.mu.Lock()
+	r.links = append(r.links, linkEntry{name, c})
+	r.mu.Unlock()
+	return c
+}
+
+// RegisterRing creates (and returns) a flight-recorder ring for one
+// recording goroutine (size <= 0 picks the default depth).
+func (r *Registry) RegisterRing(name string, size int) *trace.Ring {
+	if r == nil {
+		return nil
+	}
+	ring := trace.NewRing(size)
+	r.mu.Lock()
+	r.rings = append(r.rings, ringEntry{name, ring})
+	r.mu.Unlock()
+	return ring
+}
+
+// AttachRing registers an externally created flight ring.
+func (r *Registry) AttachRing(name string, ring *trace.Ring) {
+	if r == nil || ring == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rings = append(r.rings, ringEntry{name, ring})
+	r.mu.Unlock()
+}
+
+// SetStatsFn installs the live engine-counter source (typically
+// head.Stats.Snapshot). Called once at startup.
+func (r *Registry) SetStatsFn(fn func() engine.Stats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.statsFn = fn
+	r.mu.Unlock()
+}
+
+// SetNowFn installs the clock the bubble-fraction gauges are evaluated
+// against (the endpoint's wall or virtual clock). Called once at
+// startup.
+func (r *Registry) SetNowFn(fn func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nowFn = fn
+	r.mu.Unlock()
+}
+
+// SetDumpPath arms automatic flight dumps: on watchdog failure or
+// breaker trip the rings are captured and written there (overwriting —
+// the last failure wins).
+func (r *Registry) SetDumpPath(path string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dumpPath = path
+	r.mu.Unlock()
+}
+
+// --- aggregation (scrape / failure path; may allocate) ---
+
+// Snapshot returns the live engine counters (zero value when no stats
+// source is installed).
+func (r *Registry) Snapshot() engine.Stats {
+	if r == nil {
+		return engine.Stats{}
+	}
+	r.mu.Lock()
+	fn := r.statsFn
+	r.mu.Unlock()
+	if fn == nil {
+		return engine.Stats{}
+	}
+	return fn()
+}
+
+// now evaluates the registry clock (0 when unset).
+func (r *Registry) now() time.Duration {
+	r.mu.Lock()
+	fn := r.nowFn
+	r.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// EachStage visits the registered stage meters in registration order.
+func (r *Registry) EachStage(f func(name string, m *trace.StageMeter)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stages := append([]stageEntry(nil), r.stages...)
+	r.mu.Unlock()
+	for _, s := range stages {
+		f(s.name, s.meter)
+	}
+}
+
+// Now exposes the registry clock for gauge evaluation (0 when unset).
+func (r *Registry) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// DumpFlight captures every registered flight ring into a FlightDump,
+// retains it as LastDump, and — when a dump path is armed — writes it
+// to disk. Called automatically on watchdog failure and breaker trip;
+// failures of the disk write are reported on stderr, never propagated
+// (observability must not take the serving loop down).
+func (r *Registry) DumpFlight(reason string) *trace.FlightDump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	rings := append([]ringEntry(nil), r.rings...)
+	path := r.dumpPath
+	r.mu.Unlock()
+	d := &trace.FlightDump{Reason: reason}
+	for _, re := range rings {
+		d.Nodes = append(d.Nodes, trace.FlightNode{Name: re.name, Events: re.ring.Snapshot()})
+	}
+	r.mu.Lock()
+	r.lastDump = d
+	r.dumps++
+	r.mu.Unlock()
+	if path != "" {
+		if f, err := os.Create(path); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: flight dump: %v\n", err)
+		} else {
+			if err := trace.WriteFlightDump(f, d); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: flight dump: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	return d
+}
+
+// LastDump returns the most recent flight dump (nil if none yet).
+func (r *Registry) LastDump() *trace.FlightDump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastDump
+}
+
+// Dumps reports how many flight dumps have been taken.
+func (r *Registry) Dumps() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dumps
+}
+
+// WriteTo is a convenience for tests and CLIs: the Prometheus
+// exposition written to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	return r.writeProm(w)
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/trace"
+)
+
+// TestPromExposition pins the exposition format: the core families are
+// present, quantile labels are summary-style, label values are escaped,
+// and engine counters flow through the stats source.
+func TestPromExposition(t *testing.T) {
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.ObserveTTFT(time.Duration(i+1) * time.Millisecond)
+		r.ObserveITL(2 * time.Millisecond)
+	}
+	r.ObserveBatchWidth(4)
+	r.ObserveQueueDepth(3)
+	r.SetReady(true)
+	r.SetPressure(2, 4, 8)
+
+	m := r.RegisterStage(`node"1\x`)
+	m.Open(0)
+	m.Begin(10 * time.Millisecond)
+	m.End(60 * time.Millisecond)
+	r.SetNowFn(func() time.Duration { return 100 * time.Millisecond })
+
+	c := r.RegisterLink("rank1")
+	c.SentFrames.Store(7)
+	c.SentBytes.Store(512)
+
+	ring := r.RegisterRing("head", 64)
+	ring.Record(time.Millisecond, trace.FlightLaunch, 1, 3)
+
+	r.SetStatsFn(func() engine.Stats {
+		return engine.Stats{Generated: 42, RunsLaunched: 9, BreakerTrips: 1}
+	})
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pipeinfer_ttft_seconds{quantile="0.5"}`,
+		`pipeinfer_ttft_seconds{quantile="0.99"}`,
+		"pipeinfer_ttft_seconds_sum",
+		"pipeinfer_ttft_seconds_count 100",
+		`pipeinfer_itl_seconds{quantile="0.9"}`,
+		"pipeinfer_ready 1",
+		"pipeinfer_sessions_active 4",
+		"pipeinfer_sessions_queued 2",
+		"pipeinfer_session_slots 8",
+		`pipeinfer_stage_busy_fraction{stage="node\"1\\x"} 0.5`,
+		`pipeinfer_stage_bubble_fraction{stage="node\"1\\x"} 0.5`,
+		`pipeinfer_stage_evals_total{stage="node\"1\\x"} 1`,
+		`pipeinfer_link_sent_frames_total{link="rank1"} 7`,
+		`pipeinfer_link_sent_bytes_total{link="rank1"} 512`,
+		`pipeinfer_flight_events{ring="head"} 1`,
+		"pipeinfer_generated_tokens_total 42",
+		"pipeinfer_runs_launched_total 9",
+		"pipeinfer_breaker_trips_total 1",
+		"# TYPE pipeinfer_ttft_seconds summary",
+		"# TYPE pipeinfer_stage_busy_fraction gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("exposition contains NaN/Inf:\n%s", out)
+	}
+
+	// Every non-comment line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") < 1 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestNilRegistry pins the hot-path contract: every method on a nil
+// registry is a safe no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.ObserveTTFT(time.Second)
+	r.ObserveITL(time.Second)
+	r.ObserveRunService(time.Second)
+	r.ObserveBatchWidth(2)
+	r.ObserveQueueDepth(2)
+	r.SetReady(true)
+	r.SetTripped(true)
+	r.SetPressure(1, 2, 3)
+	if m := r.RegisterStage("x"); m != nil {
+		t.Fatal("nil registry returned a meter")
+	}
+	if c := r.RegisterLink("x"); c != nil {
+		t.Fatal("nil registry returned counters")
+	}
+	if ring := r.RegisterRing("x", 0); ring != nil {
+		t.Fatal("nil registry returned a ring")
+	}
+	if d := r.DumpFlight("test"); d != nil {
+		t.Fatal("nil registry produced a dump")
+	}
+	if s := r.Snapshot(); s.Generated != 0 || s.RunsLaunched != 0 || s.AcceptTimes != nil {
+		t.Fatal("nil registry produced stats")
+	}
+	if n, err := r.WriteTo(io.Discard); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo: n=%d err=%v", n, err)
+	}
+}
+
+// TestHealthEndpoints pins /healthz and /readyz semantics across breaker
+// and saturation states.
+func TestHealthEndpoints(t *testing.T) {
+	r := New()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	// Not ready yet: healthz passes (process alive), readyz refuses.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before ready: %d", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "not serving") {
+		t.Fatalf("readyz before ready: %d %q", code, body)
+	}
+
+	r.SetReady(true)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz when ready: %d", code)
+	}
+
+	// Saturated: every slot busy and a queue built up.
+	r.SetPressure(3, 4, 4)
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "saturated") {
+		t.Fatalf("readyz when saturated: %d %q", code, body)
+	}
+	r.SetPressure(0, 4, 4) // full but nothing waiting: still ready
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz full-but-unqueued: %d", code)
+	}
+
+	// Breaker trip fails both.
+	r.SetTripped(true)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "breaker") {
+		t.Fatalf("healthz when tripped: %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz when tripped: %d", code)
+	}
+	r.SetTripped(false)
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after reset: %d", code)
+	}
+
+	// /metrics serves the exposition with the right content type.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if !strings.Contains(string(body), "pipeinfer_up 1") {
+		t.Fatal("metrics body missing pipeinfer_up")
+	}
+}
+
+// TestServeBindsAndShutsDown exercises the background server lifecycle
+// on an ephemeral port.
+func TestServeBindsAndShutsDown(t *testing.T) {
+	r := New()
+	addr, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over Serve: %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+// TestDumpFlight pins ring capture: events from every registered ring
+// land in the dump, LastDump retains it, and the armed path writes a
+// file that round-trips.
+func TestDumpFlight(t *testing.T) {
+	r := New()
+	ring := r.RegisterRing("head", 64)
+	ring.Record(time.Millisecond, trace.FlightLaunch, 7, 2)
+	ring.Record(2*time.Millisecond, trace.FlightFail, 7, 0)
+	path := t.TempDir() + "/flight.bin"
+	r.SetDumpPath(path)
+
+	d := r.DumpFlight("watchdog: run 7 timed out")
+	if d == nil || d.Len() != 2 || len(d.Nodes) != 1 || d.Nodes[0].Name != "head" {
+		t.Fatalf("dump shape: %+v", d)
+	}
+	if r.LastDump() != d || r.Dumps() != 1 {
+		t.Fatalf("dump retention: last=%p dumps=%d", r.LastDump(), r.Dumps())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := trace.ReadFlightDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != d.Reason || got.Len() != 2 {
+		t.Fatalf("round-trip: %+v", got)
+	}
+}

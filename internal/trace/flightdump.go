@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// FlightNode is one ring's worth of dumped events, labelled with the
+// recording goroutine's node name ("head", "stage0", ...).
+type FlightNode struct {
+	Name   string
+	Events []FlightEvent
+}
+
+// FlightDump is a point-in-time capture of every flight ring, written
+// automatically on watchdog failure or breaker trip and convertible to
+// Chrome trace-event JSON for Perfetto.
+type FlightDump struct {
+	Reason string
+	Nodes  []FlightNode
+}
+
+// Len reports the total number of events across all nodes.
+func (d *FlightDump) Len() int {
+	n := 0
+	for _, nd := range d.Nodes {
+		n += len(nd.Events)
+	}
+	return n
+}
+
+// flightMagic identifies the binary dump format, versioned in the last
+// byte.
+var flightMagic = [8]byte{'P', 'I', 'F', 'L', 'I', 'G', 'H', '1'}
+
+// WriteFlightDump serialises the dump in the compact binary format read
+// back by ReadFlightDump.
+func WriteFlightDump(w io.Writer, d *FlightDump) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(flightMagic[:]); err != nil {
+		return err
+	}
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		bw.Write(n[:])
+		bw.WriteString(s)
+	}
+	writeStr(d.Reason)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(d.Nodes)))
+	bw.Write(n[:])
+	var ev [16]byte
+	for _, nd := range d.Nodes {
+		writeStr(nd.Name)
+		binary.LittleEndian.PutUint32(n[:], uint32(len(nd.Events)))
+		bw.Write(n[:])
+		for _, e := range nd.Events {
+			binary.LittleEndian.PutUint64(ev[:8], uint64(e.At))
+			binary.LittleEndian.PutUint64(ev[8:], packMeta(e.Run, e.Arg, e.Kind))
+			if _, err := bw.Write(ev[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFlightDump parses a dump written by WriteFlightDump.
+func ReadFlightDump(r io.Reader) (*FlightDump, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("flight dump: %w", err)
+	}
+	if magic != flightMagic {
+		return nil, fmt.Errorf("flight dump: bad magic %q", magic[:])
+	}
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	const limit = 1 << 24 // refuse absurd counts from corrupt files
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil || n > limit {
+			return "", fmt.Errorf("flight dump: bad string length")
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	d := &FlightDump{}
+	var err error
+	if d.Reason, err = readStr(); err != nil {
+		return nil, err
+	}
+	nodes, err := readU32()
+	if err != nil || nodes > limit {
+		return nil, fmt.Errorf("flight dump: bad node count")
+	}
+	for i := uint32(0); i < nodes; i++ {
+		var nd FlightNode
+		if nd.Name, err = readStr(); err != nil {
+			return nil, err
+		}
+		count, err := readU32()
+		if err != nil || count > limit {
+			return nil, fmt.Errorf("flight dump: bad event count")
+		}
+		nd.Events = make([]FlightEvent, 0, count)
+		var ev [16]byte
+		for j := uint32(0); j < count; j++ {
+			if _, err := io.ReadFull(br, ev[:]); err != nil {
+				return nil, err
+			}
+			run, arg, kind := unpackMeta(binary.LittleEndian.Uint64(ev[8:]))
+			nd.Events = append(nd.Events, FlightEvent{
+				At:   time.Duration(binary.LittleEndian.Uint64(ev[:8])),
+				Run:  run,
+				Arg:  arg,
+				Kind: kind,
+			})
+		}
+		d.Nodes = append(d.Nodes, nd)
+	}
+	return d, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event ("Trace Event
+// Format") JSON array understood by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace converts the dump to Chrome trace-event JSON: eval+/−
+// pairs become duration (B/E) slices on the recording node's track,
+// everything else instant events. The output is a complete JSON object
+// loadable in Perfetto.
+func (d *FlightDump) ChromeTrace() ([]byte, error) {
+	var evs []chromeEvent
+	for tid, nd := range d.Nodes {
+		for _, e := range nd.Events {
+			ce := chromeEvent{
+				Ts:  float64(e.At) / float64(time.Microsecond),
+				Pid: 0,
+				Tid: tid,
+				Args: map[string]any{
+					"run": e.Run, "arg": e.Arg, "node": nd.Name,
+				},
+			}
+			switch e.Kind {
+			case FlightEvalBeg:
+				ce.Ph, ce.Name = "B", fmt.Sprintf("eval run %d", e.Run)
+			case FlightEvalEnd:
+				ce.Ph, ce.Name = "E", fmt.Sprintf("eval run %d", e.Run)
+			default:
+				ce.Ph, ce.Name, ce.S = "i", e.Kind.String(), "t"
+			}
+			evs = append(evs, ce)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		Metadata        map[string]any `json:"metadata,omitempty"`
+	}{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+	}
+	if d.Reason != "" {
+		doc.Metadata = map[string]any{"dump-reason": d.Reason}
+	}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	return json.MarshalIndent(doc, "", " ")
+}

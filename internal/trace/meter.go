@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// StageMeter measures one pipeline stage's busy/idle split from eval
+// begin/end callbacks, the per-stage utilisation the paper's Fig 3
+// argues PipeInfer keeps near 1.0. All state is atomic: Begin/End are
+// allocation-free and gauges may be read concurrently mid-serve. A nil
+// *StageMeter ignores all calls.
+//
+// Timestamps are the endpoint's monotone clock (wall for real
+// transports, virtual for the simulator). The observation window runs
+// from Open (or the first Begin if Open was never called) to "now" as
+// passed by the reader, so fractions are live, not end-of-run.
+type StageMeter struct {
+	busy   atomic.Int64 // accumulated eval ns
+	evals  atomic.Int64 // completed evals
+	opened atomic.Int64 // window start ns + 1 (0 = unopened)
+	cur    atomic.Int64 // current eval's begin ns + 1 (0 = idle)
+}
+
+// Open marks the start of the observation window. Optional: the first
+// Begin opens the window implicitly.
+func (m *StageMeter) Open(now time.Duration) {
+	if m == nil {
+		return
+	}
+	m.opened.CompareAndSwap(0, int64(now)+1)
+}
+
+// Begin marks the start of one evaluation.
+func (m *StageMeter) Begin(now time.Duration) {
+	if m == nil {
+		return
+	}
+	m.opened.CompareAndSwap(0, int64(now)+1)
+	m.cur.Store(int64(now) + 1)
+}
+
+// End marks the end of the evaluation opened by the last Begin.
+func (m *StageMeter) End(now time.Duration) {
+	if m == nil {
+		return
+	}
+	beg := m.cur.Swap(0)
+	if beg == 0 {
+		return
+	}
+	if d := int64(now) - (beg - 1); d > 0 {
+		m.busy.Add(d)
+	}
+	m.evals.Add(1)
+}
+
+// Busy reports accumulated evaluation time, excluding any in-progress
+// eval.
+func (m *StageMeter) Busy() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(m.busy.Load())
+}
+
+// Evals reports the number of completed evaluations.
+func (m *StageMeter) Evals() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.evals.Load()
+}
+
+// BusyFraction reports the stage's busy fraction over [open, now],
+// counting any in-progress eval as busy up to now. Returns 0 before the
+// window opens; the result is clamped to [0, 1].
+func (m *StageMeter) BusyFraction(now time.Duration) float64 {
+	if m == nil {
+		return 0
+	}
+	opened := m.opened.Load()
+	if opened == 0 {
+		return 0
+	}
+	window := int64(now) - (opened - 1)
+	if window <= 0 {
+		return 0
+	}
+	busy := m.busy.Load()
+	if beg := m.cur.Load(); beg != 0 {
+		if d := int64(now) - (beg - 1); d > 0 {
+			busy += d
+		}
+	}
+	f := float64(busy) / float64(window)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// BubbleFraction is 1 − BusyFraction: the share of the window the stage
+// sat idle (the pipeline "bubble" share of Fig 3). Returns 1 once the
+// window is open and 0 before, so an unused stage doesn't read as
+// bubble-free.
+func (m *StageMeter) BubbleFraction(now time.Duration) float64 {
+	if m == nil {
+		return 0
+	}
+	if m.opened.Load() == 0 {
+		return 0
+	}
+	return 1 - m.BusyFraction(now)
+}

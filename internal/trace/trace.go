@@ -2,6 +2,15 @@
 // to which run, when. The text rendering reproduces the shape of the
 // paper's Fig 3 (continuous asynchronous speculation timeline) for any
 // simulated scenario and doubles as a debugging aid for the engines.
+//
+// Recorder holds at most a configurable number of events (DefaultEventCap
+// unless SetCap raises or lowers it); once full it drops the oldest
+// event per new record, so arbitrarily long serves hold memory constant
+// at cap × sizeof(Event). The flight recorder (Ring) is the bounded,
+// lock-free counterpart used on serving hot paths: fixed-size rings of
+// packed binary events with atomic word stores, zero allocations in
+// steady state, dumpable on failure and convertible to Chrome
+// trace-event JSON for Perfetto.
 package trace
 
 import (
@@ -35,23 +44,55 @@ type Event struct {
 	Note string
 }
 
+// DefaultEventCap bounds a Recorder's retained events unless SetCap
+// overrides it: ~64k events (a few MiB) covers any simulated timeline
+// while keeping long serves from growing memory without bound.
+const DefaultEventCap = 1 << 16
+
 // Recorder accumulates events; safe for concurrent use (the real backend
-// records from several goroutines).
+// records from several goroutines). Retention is bounded: once the cap
+// is reached each new event drops the oldest one.
 type Recorder struct {
 	mu     sync.Mutex
+	cap    int
+	start  int // ring head once len(events) == cap
 	events []Event
 }
 
-// New creates an empty recorder.
+// New creates an empty recorder with the default event cap.
 func New() *Recorder { return &Recorder{} }
 
-// Record appends an event.
+// SetCap bounds the number of retained events (drop-oldest beyond it);
+// n <= 0 restores DefaultEventCap. Must be called before recording.
+func (r *Recorder) SetCap(n int) {
+	r.mu.Lock()
+	r.cap = n
+	r.mu.Unlock()
+}
+
+// Record appends an event, dropping the oldest if the recorder is full.
 func (r *Recorder) Record(at time.Duration, node string, kind Kind, run uint32, note string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, Event{At: at, Node: node, Kind: kind, Run: run, Note: note})
+	c := r.cap
+	if c <= 0 {
+		c = DefaultEventCap
+	}
+	e := Event{At: at, Node: node, Kind: kind, Run: run, Note: note}
+	if len(r.events) < c {
+		r.events = append(r.events, e)
+	} else {
+		if r.start >= len(r.events) {
+			r.start = 0
+		}
+		r.events[r.start] = e
+		r.start++
+		if r.start == len(r.events) {
+			r.start = 0
+		}
+	}
 	r.mu.Unlock()
 }
 
@@ -59,7 +100,8 @@ func (r *Recorder) Record(at time.Duration, node string, kind Kind, run uint32, 
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
 	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	copy(out, r.events[r.start:])
+	copy(out[len(r.events)-r.start:], r.events[:r.start])
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
