@@ -19,6 +19,14 @@
 //
 //	pipeinfer-node -rank 0 -peers ... -serve 8 -run-timeout 2s -heartbeat 500ms
 //
+// With -serve and -kv-cells the paged KV protocol runs over the wire,
+// including shared-prefix reuse: completed prompt prefixes are published
+// in a block-hash trie and mapped read-only into later sessions that
+// share them, so a common system prompt is computed once per cluster
+// (-prefix-cache=false disables):
+//
+//	pipeinfer-node -rank 0 -peers ... -serve 8 -kv-cells 512 -kv-page 8
+//
 // Every rank can expose live observability with -metrics-addr: /metrics
 // (Prometheus exposition — this rank's stage bubble fraction, link
 // traffic and, on rank 0, the serving latency percentiles), /healthz,
@@ -63,6 +71,9 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "mesh establishment timeout")
 
 		sessions   = flag.Int("serve", 0, "serve this many concurrent requests instead of one generation (must match on all ranks)")
+		kvCells    = flag.Int("kv-cells", 0, "per-stage KV capacity in cells (0 = fully provisioned; needs -serve; must match on all ranks)")
+		kvPage     = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16; must match on all ranks)")
+		prefix     = flag.Bool("prefix-cache", true, "shared-prefix reuse: publish completed prompt prefixes and map them read-only into later sessions sharing them (needs -serve and -kv-cells > 0; must match on all ranks)")
 		runTimeout = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off; needs -serve; rank 0 only)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "link keepalive interval; silent links are torn down and redialed (0 = off)")
 		backoff    = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff, doubled with jitter up to 2s")
@@ -128,7 +139,7 @@ func main() {
 	}
 
 	if *sessions > 0 {
-		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *promptText, *seed, *noise, *runTimeout, reg)
+		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *kvCells, *kvPage, *prefix, *promptText, *seed, *noise, *runTimeout, reg)
 		return
 	}
 
@@ -162,8 +173,8 @@ func main() {
 // pipeline multiplexes every request, with the watchdog and session
 // recovery armed when runTimeout > 0.
 func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg model.Config,
-	strategy engine.Strategy, sessions, tokens int, promptText string, seed uint64,
-	noise float64, runTimeout time.Duration, reg *telemetry.Registry) {
+	strategy engine.Strategy, sessions, tokens, kvCells, kvPage int, prefix bool,
+	promptText string, seed uint64, noise float64, runTimeout time.Duration, reg *telemetry.Registry) {
 	if strategy == engine.StrategySpeculative {
 		fatal(fmt.Errorf("-serve supports iterative and pipeinfer strategies"))
 	}
@@ -177,15 +188,18 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 	rank := ep.Rank()
 	start := time.Now()
 	out, err := realbk.ServeRank(ep, realbk.ServeOptions{
-		Nodes:      len(addrs),
-		CFG:        engine.Config{MaxNew: tokens},
-		ModelCfg:   cfg,
-		Seed:       seed,
-		Speculate:  strategy == engine.StrategyPipeInfer,
-		DraftNoise: float32(noise),
-		RunTimeout: runTimeout,
-		Obs:        reg,
-		Requests:   reqs,
+		Nodes:       len(addrs),
+		CFG:         engine.Config{MaxNew: tokens},
+		ModelCfg:    cfg,
+		Seed:        seed,
+		Speculate:   strategy == engine.StrategyPipeInfer,
+		DraftNoise:  float32(noise),
+		KVCells:     kvCells,
+		KVPageSize:  kvPage,
+		PrefixCache: prefix,
+		RunTimeout:  runTimeout,
+		Obs:         reg,
+		Requests:    reqs,
 	})
 	if err != nil {
 		fatal(err)
@@ -203,6 +217,15 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 	fmt.Printf("aggregate: %d tokens in %v (%.1f tok/s); runs: %d launched, %d cancelled\n",
 		total, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
 		out.Stats.RunsLaunched, out.Stats.RunsCancelled)
+	if prefix && kvCells > 0 {
+		promptTokens := 0
+		for _, r := range reqs {
+			promptTokens += len(r.Prompt)
+		}
+		fmt.Printf("prefix cache: %d hits reused %d prompt tokens (%.0f%% of prompt work skipped)\n",
+			out.Stats.PrefixHits, out.Stats.PrefixHitTokens,
+			100*float64(out.Stats.PrefixHitTokens)/float64(max(promptTokens, 1)))
+	}
 	fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 		out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 }

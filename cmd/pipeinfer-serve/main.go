@@ -26,6 +26,13 @@
 //	pipeinfer-serve -batch auto                            # adaptive batch width: the scheduler
 //	                                                       # picks each step's width from load,
 //	                                                       # occupancy and measured run overhead
+//	pipeinfer-serve -sessions 16 -slots 4 -kv-cells 512 -kv-page 8 \
+//	                -prompt "You are a helpful assistant. Answer briefly."
+//	                                                       # shared-prefix reuse: sessions share
+//	                                                       # the long system prompt; recycled
+//	                                                       # slots map the published prefix
+//	                                                       # read-only instead of recomputing it
+//	                                                       # (-prefix-cache=false disables)
 //	pipeinfer-serve -metrics-addr :9090                    # live observability: /metrics
 //	                                                       # (Prometheus), /healthz, /readyz and
 //	                                                       # /debug/pprof while serving
@@ -94,6 +101,8 @@ func main() {
 		sim       = flag.Bool("sim", false, "serve on the simulated 70B-scale cluster instead")
 		kvCells   = flag.Int("kv-cells", 0, "per-stage KV capacity in cells (0 = fully provisioned; smaller values oversubscribe and engage eviction/preemption)")
 		kvPage    = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16)")
+		prefix    = flag.Bool("prefix-cache", true, "shared-prefix reuse: publish completed prompt prefixes in a block-hash trie and map them read-only into later sessions sharing them, skipping recompute (needs -kv-cells > 0; ignored otherwise)")
+		sharedLen = flag.Int("shared-prompt", 0, "prepend this many common system-prompt tokens to every session (sim mode; pairs with -prefix-cache to demonstrate shared-prefix reuse)")
 		batchStr  = flag.String("batch", "0", "cross-session batching: coalesce up to this many sessions' steps into one multi-row pipeline run (0/1 = off; \"auto\" = adaptive width, \"auto:N\" = adaptive capped at N)")
 		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
 		chunk     = flag.Int("prefill-chunk", 0, "chunked cross-session prefill: per-run prompt token budget; prompts split into chunks that batch across sessions and ride with decode rows (0 = whole-prompt prefills; needs -batch)")
@@ -113,7 +122,7 @@ func main() {
 	reg := newRegistry(*mAddr, *flightOut)
 
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, batchSz, *batchWin, *chunk, autoBatch, *runTO, reg)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, *prefix, *sharedLen, batchSz, *batchWin, *chunk, autoBatch, *runTO, reg)
 		return
 	}
 
@@ -141,6 +150,7 @@ func main() {
 		MaxSessions:  *slots,
 		KVCells:      *kvCells,
 		KVPageSize:   *kvPage,
+		PrefixCache:  *prefix,
 		MaxBatch:     batchSz,
 		BatchWindow:  *batchWin,
 		PrefillChunk: *chunk,
@@ -201,6 +211,15 @@ func main() {
 	}
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
+	if *prefix && *kvCells > 0 {
+		promptTokens := 0
+		for _, r := range reqs {
+			promptTokens += len(r.Prompt)
+		}
+		fmt.Printf("prefix cache: %d hits reused %d prompt tokens (%.0f%% of prompt work skipped)\n",
+			out.Stats.PrefixHits, out.Stats.PrefixHitTokens,
+			100*float64(out.Stats.PrefixHitTokens)/float64(max(promptTokens, 1)))
+	}
 	if out.Stats.BatchedRuns > 0 {
 		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
 			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)
@@ -261,24 +280,26 @@ func printTelemetry(reg *telemetry.Registry) {
 
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration, reg *telemetry.Registry) {
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage int, prefix bool, sharedLen, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration, reg *telemetry.Registry) {
 	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
-		Cluster:      pipeinfer.ClusterC().Take(nodes),
-		Pair:         pipeinfer.CPUPairs()[0],
-		CFG:          engine.Config{MaxNew: tokens},
-		Sessions:     sessions,
-		PromptLen:    64,
-		Seed:         seed,
-		Speculate:    speculate,
-		MaxSessions:  slots,
-		KVCells:      kvCells,
-		KVPageSize:   kvPage,
-		MaxBatch:     batchSz,
-		BatchWindow:  batchWin,
-		PrefillChunk: chunk,
-		AutoBatch:    autoBatch,
-		RunTimeout:   runTO,
-		Obs:          reg,
+		Cluster:         pipeinfer.ClusterC().Take(nodes),
+		Pair:            pipeinfer.CPUPairs()[0],
+		CFG:             engine.Config{MaxNew: tokens},
+		Sessions:        sessions,
+		PromptLen:       64,
+		SharedPromptLen: sharedLen,
+		Seed:            seed,
+		Speculate:       speculate,
+		MaxSessions:     slots,
+		KVCells:         kvCells,
+		KVPageSize:      kvPage,
+		PrefixCache:     prefix,
+		MaxBatch:        batchSz,
+		BatchWindow:     batchWin,
+		PrefillChunk:    chunk,
+		AutoBatch:       autoBatch,
+		RunTimeout:      runTO,
+		Obs:             reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -300,6 +321,12 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		ttftMean.Round(time.Millisecond))
 	fmt.Printf("memory pressure: %d spec drops, %d preemptions, %d readmissions\n",
 		out.Stats.SpecDrops, out.Stats.Preemptions, out.Stats.Readmissions)
+	if prefix && kvCells > 0 {
+		promptTokens := sessions * (64 + sharedLen)
+		fmt.Printf("prefix cache: %d hits reused %d prompt tokens (%.0f%% of prompt work skipped)\n",
+			out.Stats.PrefixHits, out.Stats.PrefixHitTokens,
+			100*float64(out.Stats.PrefixHitTokens)/float64(max(promptTokens, 1)))
+	}
 	if out.Stats.BatchedRuns > 0 {
 		fmt.Printf("batching: %d multi-session runs (%d carrying prefill chunks), mean width %.1f, %d rows masked out in flight\n",
 			out.Stats.BatchedRuns, out.Stats.PrefillBatchedRuns, out.Stats.MeanBatch(), out.Stats.RowCancels)

@@ -137,6 +137,11 @@ func TestServeStepAllocs(t *testing.T) {
 // stage meter and the always-on flight recorder — pinning the telemetry
 // layer's core contract: observation is atomics-only and adds zero
 // allocations to the hot path.
+//
+// The prefix cache is also on, with prompts sharing a page-aligned
+// system prefix so the trie holds published entries (and the registry
+// pins shared pages) throughout the measured window: shared-prefix
+// bookkeeping must add zero allocations to the decode steady state.
 func TestServeBatchedStepAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; gate enforced by the non-race job")
@@ -156,14 +161,20 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 	)
 	reqs := make([]serve.Request, sessions)
 	for s := range reqs {
-		prompt := make([]token.Token, 8)
+		prompt := make([]token.Token, 24)
 		for i := range prompt {
-			prompt[i] = token.Token(token.NumSpecial + (3*i+7*s)%250)
+			// Two shared 8-cell pages of system prompt, then a distinct
+			// per-session suffix.
+			if i < 16 {
+				prompt[i] = token.Token(token.NumSpecial + (3 * i))
+			} else {
+				prompt[i] = token.Token(token.NumSpecial + (3*i+7*s+1)%250)
+			}
 		}
 		reqs[s] = serve.Request{Prompt: prompt, MaxNew: maxNew}
 	}
-	cells := sessions*(8+maxNew) + 256
-	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: cells, ShardSeqs: 1})
+	cells := sessions*(24+maxNew) + 256
+	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: cells, PageSize: 8, ShardSeqs: 1})
 	bk := NewHead(nil, cfg.VocabSize)
 	cl := chancomm.New(1)
 	topo := engine.Topology{Head: 0, Stages: []int{0}}
@@ -177,8 +188,9 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 	h.LocalMeter.Open(ep.Now())
 	sched, err := serve.New(h, serve.Config{
 		MaxSessions: sessions, SeqsPerSession: 1,
-		MaxBatch: sessions,
-		KV:       kvpage.Config{Cells: cells, ShardSeqs: 1},
+		MaxBatch:    sessions,
+		KV:          kvpage.Config{Cells: cells, PageSize: 8, ShardSeqs: 1},
+		PrefixCache: true,
 		// The armed watchdog's per-launch deadline derivation and
 		// per-result re-arm are part of the steady state being gated.
 		RunTimeout: time.Minute,

@@ -70,6 +70,15 @@ type ServeOptions struct {
 	// occupancy and the EMA-measured per-run overhead.
 	AutoBatch bool
 
+	// PrefixCache enables cross-session prompt-prefix reuse (PR 9):
+	// completed cold prefills publish their page-aligned prompt prefix as
+	// immutable refcounted shared KV pages, and later requests whose
+	// prompt matches map the published chain read-only instead of
+	// recomputing it — a shared system prompt is computed once and hit
+	// sessions' TTFT drops to the divergent suffix. Greedy output is
+	// bit-identical with or without it.
+	PrefixCache bool
+
 	// RunTimeout arms the head's run watchdog (PR 6): a launched run whose
 	// result does not arrive within its per-run deadline is declared
 	// failed, and the sessions it carried are recovered by eviction +
@@ -301,6 +310,7 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 		RunTimeoutMult: opts.RunTimeoutMult,
 		RunTimeoutCap:  opts.RunTimeoutCap,
 		OnRecover:      opts.OnRecover,
+		PrefixCache:    opts.PrefixCache,
 		Obs:            opts.Obs,
 	}, opts.Requests)
 	if err != nil {

@@ -283,6 +283,113 @@ func BenchmarkServeAutoWidth(b *testing.B) {
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
 }
 
+// sharedPrefixBenchRequests builds n requests as one sharedLen-token
+// system prompt plus a distinct 7-token user suffix each. The suffix is
+// deliberately shorter than a page, so every request's page-aligned
+// publish length is exactly the shared prompt and the trie converges on
+// a single entry.
+func sharedPrefixBenchRequests(n, maxNew, sharedLen int) []serve.Request {
+	shared := make([]token.Token, sharedLen)
+	for j := range shared {
+		shared[j] = token.Token(token.NumSpecial + (5*j+3)%250)
+	}
+	reqs := make([]serve.Request, n)
+	for i := range reqs {
+		p := append([]token.Token(nil), shared...)
+		for j := 0; j < 7; j++ {
+			p = append(p, token.Token(token.NumSpecial+(11*i+7*j)%250))
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	return reqs
+}
+
+// BenchmarkServeSharedPrefix is the PR-9 acceptance benchmark.
+//
+// ttft serves sessions with a 256-token common system prompt one at a
+// time (MaxSessions=1), so admission follows the previous session's
+// completion and per-session prefill spans are clean: session 0 pays
+// the cold full-prompt prefill, every later session maps the published
+// prefix and prefills only its 7-token suffix. Acceptance: hit TTFT at
+// least 3x below cold TTFT. Recorded in BENCH_pr9.json.
+//
+// throughput is the no-regression control: the 16-session batched
+// decode workload of BenchmarkServeFaultGoodput/fault-free with the
+// prefix cache (and its KV shadow) enabled — steady-state tok/s must
+// stay within noise of the BENCH_pr6 baseline.
+func BenchmarkServeSharedPrefix(b *testing.B) {
+	b.Run("ttft", func(b *testing.B) {
+		const (
+			sessions  = 8
+			maxNew    = 4
+			sharedLen = 256
+		)
+		reqs := sharedPrefixBenchRequests(sessions, maxNew, sharedLen)
+		var cold, hit time.Duration
+		hits := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := Serve(ServeOptions{
+				Nodes:       benchServeNodes,
+				CFG:         engine.Config{MaxNew: maxNew},
+				ModelCfg:    serveModel(6),
+				Seed:        13,
+				MaxSessions: 1,
+				KVCells:     2048,
+				KVPageSize:  8,
+				PrefixCache: true,
+				Requests:    reqs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold += out.Results[0].Stats.TimeToFirst()
+			for s := 1; s < sessions; s++ {
+				// Serial admission: session s enters its slot when s-1
+				// finishes, so its prefill span is PrefillDone relative to
+				// the previous session's Done (both absolute serve times).
+				hit += out.Results[s].Stats.PrefillDone - out.Results[s-1].Stats.Done
+				hits += out.Results[s].Stats.PrefixHits
+			}
+		}
+		b.StopTimer()
+		if want := b.N * (sessions - 1); hits != want {
+			b.Fatalf("%d prefix hits, want %d — warm sessions missed the published prompt", hits, want)
+		}
+		coldMS := float64(cold.Microseconds()) / float64(b.N) / 1e3
+		hitMS := float64(hit.Microseconds()) / float64(b.N*(sessions-1)) / 1e3
+		b.ReportMetric(coldMS, "cold-ttft-ms")
+		b.ReportMetric(hitMS, "hit-ttft-ms")
+		b.ReportMetric(coldMS/hitMS, "ttft-speedup")
+	})
+	b.Run("throughput", func(b *testing.B) {
+		const sessions = 16
+		reqs := serveRequests(sessions, benchServeTokens)
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := Serve(ServeOptions{
+				Nodes:       benchServeNodes,
+				CFG:         engine.Config{MaxNew: benchServeTokens},
+				ModelCfg:    serveModel(6),
+				Seed:        13,
+				MaxSessions: sessions,
+				MaxBatch:    8,
+				KVCells:     sessions*48 + 256,
+				KVPageSize:  8,
+				PrefixCache: true,
+				Requests:    reqs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += out.Stats.Generated
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tok/s")
+	})
+}
+
 // BenchmarkServeFaultGoodput is the PR-6 performance benchmark: the
 // 16-session batched decode workload served (a) fault-free with the
 // watchdog disarmed — the no-regression control against BENCH_pr5 —

@@ -360,6 +360,113 @@ func TestServeOversubscribedParity(t *testing.T) {
 	}
 }
 
+// TestServeSharedPrefixParity is the PR-9 acceptance gate on the real
+// backend: 16 requests sharing a 48-token system prompt — plus requests
+// that diverge halfway through it and fully cold outliers — recycled
+// through 4 slots over an undersized KV cache with the prefix cache on.
+// Later admissions and prefix-recompute readmissions map the published
+// system prompt read-only instead of recomputing it, KV pressure and
+// trie eviction compose, and every session must still be bit-identical
+// to its serial greedy reference (cold and hit sessions alike).
+func TestServeSharedPrefixParity(t *testing.T) {
+	const (
+		maxNew    = 8
+		sharedLen = 48
+		requests  = 16
+	)
+	shared := make([]token.Token, sharedLen)
+	for j := range shared {
+		shared[j] = token.Token(token.NumSpecial + (5*j+3)%250)
+	}
+	reqs := make([]serve.Request, requests)
+	for i := range reqs {
+		var p []token.Token
+		switch {
+		case i%5 == 4:
+			// Fully cold: no shared prefix at all.
+			p = make([]token.Token, 10)
+			for j := range p {
+				p[j] = token.Token(token.NumSpecial + (17*i+13*j+1)%250)
+			}
+		case i%5 == 3:
+			// Diverges halfway through the system prompt: a partial
+			// block-aligned hit against the full published entry.
+			p = append(p, shared[:sharedLen/2]...)
+			for j := 0; j < 6; j++ {
+				p = append(p, token.Token(token.NumSpecial+(11*i+7*j+2)%250))
+			}
+		default:
+			// Full system prompt plus a distinct user suffix.
+			p = append(p, shared...)
+			for j := 0; j < 4+i%3; j++ {
+				p = append(p, token.Token(token.NumSpecial+(11*i+7*j)%250))
+			}
+		}
+		reqs[i] = serve.Request{Prompt: p, MaxNew: maxNew}
+	}
+	// Footprint per full-prompt session: 48 shared + suffix + 8 generated
+	// ≈ 8 pages of 8. Four concurrent cold sessions need ~30 pages; 24
+	// pages (192 cells) force preemption until the shared prompt is
+	// published and mapped instead of copied.
+	for _, tc := range []struct {
+		name  string
+		batch int
+		chunk int
+	}{
+		{"solo", 0, 0},
+		{"chunked-batched", 4, 16},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := ServeOptions{
+				Nodes:        2,
+				CFG:          engine.Config{MaxNew: maxNew},
+				ModelCfg:     serveModel(4),
+				Seed:         21,
+				MaxSessions:  4,
+				MaxBatch:     tc.batch,
+				PrefillChunk: tc.chunk,
+				KVCells:      192,
+				KVPageSize:   8,
+				PrefixCache:  true,
+				Requests:     reqs,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range out.Results {
+				ref, err := ReferenceGreedy(Options{
+					ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+				}, maxNew)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("request %d diverged from its serial reference at token %d (prefix hits %d)",
+							i, j, res.Stats.PrefixHits)
+					}
+				}
+			}
+			if out.Stats.PrefixHits == 0 {
+				t.Fatal("shared-prompt workload recycled through few slots recorded no prefix hits")
+			}
+			if out.Stats.PrefixHitTokens < 8*out.Stats.PrefixHits {
+				t.Fatalf("%d prefix hits skipped only %d tokens — hits below page granularity",
+					out.Stats.PrefixHits, out.Stats.PrefixHitTokens)
+			}
+			if out.Stats.Preemptions == 0 || out.Stats.Readmissions == 0 {
+				t.Fatalf("undersized cache recorded %d preemptions / %d readmissions — pressure never composed with sharing",
+					out.Stats.Preemptions, out.Stats.Readmissions)
+			}
+		})
+	}
+}
+
 // TestServeOversubscribedSpeculative runs the pressure protocol with
 // per-session speculation: speculative pages are reclaimed first
 // (OpDropSpec), sessions still park and readmit, and parity still holds.

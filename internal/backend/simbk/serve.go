@@ -60,6 +60,17 @@ type ServeOptions struct {
 	// adaptive controller (MaxBatch becomes the cap).
 	PrefillChunk int
 	AutoBatch    bool
+	// PrefixCache enables cross-session prompt-prefix reuse (PR 9):
+	// completed cold prefills publish their page-aligned prompt prefix as
+	// refcounted shared KV pages, and later admissions whose prompt
+	// matches map the chain read-only instead of recomputing it.
+	PrefixCache bool
+	// SharedPromptLen, when > 0, prepends a common system prompt of that
+	// many tokens to every request's otherwise-distinct prompt — the
+	// multi-tenant shape prefix reuse targets. ServeReference derives its
+	// per-request target stream from the same combined prompt, so parity
+	// checks hold with or without the prefix cache.
+	SharedPromptLen int
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
 	// RunTimeout arms the head's run watchdog in virtual time (PR 6):
@@ -110,9 +121,16 @@ func (o *ServeOptions) defaults() {
 	}
 }
 
-// servePrompt builds request i's deterministic prompt.
+// servePrompt builds request i's deterministic prompt: an optional
+// shared system prefix common to every request, then a per-request
+// suffix no two requests share.
 func servePrompt(opts *ServeOptions, i int) []token.Token {
-	return Prompt(simVocab, opts.PromptLen, opts.Seed^(uint64(i+1)*0x9e3779b97f4a7c15))
+	suffix := Prompt(simVocab, opts.PromptLen, opts.Seed^(uint64(i+1)*0x9e3779b97f4a7c15))
+	if opts.SharedPromptLen <= 0 {
+		return suffix
+	}
+	shared := Prompt(simVocab, opts.SharedPromptLen, opts.Seed^0xc0ffee51a12ed)
+	return append(shared, suffix...)
 }
 
 // ServeReference returns the target stream request i of a serving
@@ -154,7 +172,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 	}
 
 	splits := cost.UniformSplit(opts.Pair.Target.NLayers, len(topo.Stages))
-	cells := opts.MaxSessions*(opts.PromptLen+cfg.MaxNew+4*opts.SeqsPerSession*cfg.MicroBatch) + 256
+	cells := opts.MaxSessions*(opts.SharedPromptLen+opts.PromptLen+cfg.MaxNew+4*opts.SeqsPerSession*cfg.MicroBatch) + 256
 	if opts.KVCells > 0 {
 		cells = opts.KVCells
 	}
@@ -233,6 +251,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			RunTimeoutMult: opts.RunTimeoutMult,
 			RunTimeoutCap:  opts.RunTimeoutCap,
 			OnRecover:      opts.OnRecover,
+			PrefixCache:    opts.PrefixCache,
 			Obs:            opts.Obs,
 			// The simulated backend replays the oracle over run contexts.
 			NeedCtx: true,

@@ -174,6 +174,75 @@ func TestSimServeOversubscribed(t *testing.T) {
 	}
 }
 
+// TestSimServeSharedPrefixParity is the PR-9 acceptance gate at paper
+// scale: 16 tenants sharing a 64-token system prompt recycled through 4
+// slots with the prefix cache on, plain over a half-provisioned KV cache
+// and speculative. Later admissions map the published system prompt
+// read-only instead of recomputing it, and every session must still
+// reproduce its oracle stream bit for bit.
+func TestSimServeSharedPrefixParity(t *testing.T) {
+	const maxNew = 24
+	cases := []struct {
+		name      string
+		speculate bool
+		width     int
+		kvCells   int
+	}{
+		// Per-session footprint: 64 shared + 8 suffix + 24 generated = 96
+		// cells. 320 cells force preemption while the shared prompt's 8
+		// pinned pages stay mapped; the speculative case gets headroom for
+		// draft footprints instead.
+		{"pressure", false, 1, 320},
+		{"speculative", true, 4, 768},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opts := ServeOptions{
+				Cluster:         cost.ClusterC().Take(4),
+				Pair:            cost.CPUPairs()[0],
+				CFG:             engine.Config{MaxNew: maxNew},
+				Sessions:        16,
+				PromptLen:       8,
+				SharedPromptLen: 64,
+				Seed:            5,
+				Speculate:       tc.speculate,
+				MaxSessions:     4,
+				SeqsPerSession:  tc.width,
+				KVCells:         tc.kvCells,
+				KVPageSize:      8,
+				PrefixCache:     true,
+			}
+			out, err := Serve(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, res := range out.Results {
+				ref := ServeReference(opts, i, maxNew)
+				if len(res.Tokens) != len(ref) {
+					t.Fatalf("session %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+				}
+				for j := range ref {
+					if res.Tokens[j] != ref[j] {
+						t.Fatalf("session %d deviated from its oracle stream at token %d (prefix hits %d)",
+							i, j, res.Stats.PrefixHits)
+					}
+				}
+			}
+			if out.Stats.PrefixHits == 0 {
+				t.Fatal("shared-prompt tenants recycled through few slots recorded no prefix hits")
+			}
+			if !tc.speculate && (out.Stats.Preemptions == 0 || out.Stats.Readmissions == 0) {
+				t.Fatalf("half-provisioned sim serving recorded %d preemptions / %d readmissions — pressure never composed with sharing",
+					out.Stats.Preemptions, out.Stats.Readmissions)
+			}
+			if tc.speculate && out.Stats.Proposed == 0 {
+				t.Fatal("speculative shared-prefix serving proposed nothing")
+			}
+		})
+	}
+}
+
 // TestSimServeBatchedGreedyParity is the PR-4 acceptance gate at paper
 // scale: sessions multiplexed with cross-session batching enabled must
 // each reproduce their oracle stream bit for bit — plain and speculative,

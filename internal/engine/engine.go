@@ -632,6 +632,12 @@ type Stats struct {
 	Recoveries   int
 	Reconnects   int
 	BreakerTrips int
+
+	// Prefix-reuse counters (serving layer, PR 9): admissions that mapped
+	// a published shared prefix instead of recomputing it, and the prompt
+	// tokens those hits skipped.
+	PrefixHits      int
+	PrefixHitTokens int
 }
 
 // MeanBatch is the realised mean number of per-session steps coalesced

@@ -45,6 +45,9 @@ type LiveStats struct {
 	Reconnects   atomic.Int64
 	BreakerTrips atomic.Int64
 
+	PrefixHits      atomic.Int64
+	PrefixHitTokens atomic.Int64
+
 	mu          sync.Mutex
 	prefillDone time.Duration
 	firstToken  time.Duration
@@ -151,6 +154,8 @@ func (ls *LiveStats) Snapshot() Stats {
 	s.Recoveries = int(ls.Recoveries.Load())
 	s.Reconnects = int(ls.Reconnects.Load())
 	s.BreakerTrips = int(ls.BreakerTrips.Load())
+	s.PrefixHits = int(ls.PrefixHits.Load())
+	s.PrefixHitTokens = int(ls.PrefixHitTokens.Load())
 	return s
 }
 
@@ -176,5 +181,7 @@ func (ls *LiveStats) Delta(prev Stats) Stats {
 	cur.Recoveries -= prev.Recoveries
 	cur.Reconnects -= prev.Reconnects
 	cur.BreakerTrips -= prev.BreakerTrips
+	cur.PrefixHits -= prev.PrefixHits
+	cur.PrefixHitTokens -= prev.PrefixHitTokens
 	return cur
 }

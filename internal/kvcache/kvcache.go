@@ -137,6 +137,16 @@ type TokenMeta struct {
 type Cache struct {
 	cells []Cell
 	used  int
+	// holds[i] counts the shared-prefix entries whose registered chain
+	// includes cell i (allocated lazily on first SharePrefix). A held
+	// cell stays resident — it keeps its position and its claim on the
+	// backend's K/V row — even after its sequence set drains to empty,
+	// so a later MapShared can revive it for another session. A cell is
+	// free only when it has neither sequences nor holds.
+	holds []int32
+	// entries maps a shared-prefix entry id to the cell indices of its
+	// chain, in position order.
+	entries map[int][]int
 }
 
 // New creates a cache with n cells.
@@ -157,13 +167,20 @@ func (c *Cache) Used() int { return c.used }
 // Cell returns a copy of cell i's metadata.
 func (c *Cache) Cell(i int) Cell { return c.cells[i] }
 
-// Clear empties every cell.
+// Clear empties every cell and drops all shared-prefix registrations.
 func (c *Cache) Clear() {
 	for i := range c.cells {
 		c.cells[i] = Cell{Pos: -1}
 	}
 	c.used = 0
+	for i := range c.holds {
+		c.holds[i] = 0
+	}
+	c.entries = nil
 }
+
+// held reports whether cell i is pinned by a shared-prefix registry hold.
+func (c *Cache) held(i int) bool { return len(c.holds) > 0 && c.holds[i] > 0 }
 
 // FindSlots locates n free cells (first-fit) and returns their indices
 // without occupying them. It fails if fewer than n cells are free.
@@ -177,7 +194,7 @@ func (c *Cache) FindSlots(n int) ([]int, error) {
 func (c *Cache) FindSlotsInto(dst []int, n int) ([]int, error) {
 	found := 0
 	for i := range c.cells {
-		if c.cells[i].Empty() {
+		if c.cells[i].Empty() && !c.held(i) {
 			dst = append(dst, i)
 			found++
 			if found == n {
@@ -194,7 +211,7 @@ func (c *Cache) Occupy(i int, pos int32, seqs SeqSet) {
 	if seqs.Empty() {
 		panic("kvcache: Occupy with empty sequence set")
 	}
-	if !c.cells[i].Empty() {
+	if !c.cells[i].Empty() || c.held(i) {
 		panic(fmt.Sprintf("kvcache: Occupy of non-empty cell %d", i))
 	}
 	c.cells[i] = Cell{Pos: pos, Seqs: seqs}
@@ -227,7 +244,7 @@ func (c *Cache) SeqRm(seq SeqID, p0, p1 int32) int {
 		cell := &c.cells[i]
 		if !cell.Empty() && cell.Seqs.Has(seq) && cell.Pos >= p0 && cell.Pos < p1 {
 			cell.Seqs = cell.Seqs.Remove(seq)
-			if cell.Seqs.Empty() {
+			if cell.Seqs.Empty() && !c.held(i) {
 				cell.Pos = -1
 				c.used--
 				freed++
@@ -249,8 +266,10 @@ func (c *Cache) SeqKeep(seq SeqID) {
 			cell.Seqs = NewSeqSet(seq)
 		} else {
 			cell.Seqs = 0
-			cell.Pos = -1
-			c.used--
+			if !c.held(i) {
+				cell.Pos = -1
+				c.used--
+			}
 		}
 	}
 }
@@ -268,7 +287,7 @@ func (c *Cache) RemoveSeqs(mask SeqSet) int {
 			continue
 		}
 		cell.Seqs &^= mask
-		if cell.Seqs.Empty() {
+		if cell.Seqs.Empty() && !c.held(i) {
 			cell.Pos = -1
 			c.used--
 			freed++
@@ -276,6 +295,106 @@ func (c *Cache) RemoveSeqs(mask SeqSet) int {
 	}
 	return freed
 }
+
+// SharePrefix registers sequence src's cells covering positions
+// [0, limit) as shared-prefix entry `entry`, pinning each with one
+// registry hold. The donor must hold exactly one cell per position —
+// sharing an incomplete prefix, or reusing a live entry id, is a bug in
+// the caller and panics. The flat store accepts any limit > 0; the paged
+// store additionally requires page alignment, which the serving layer
+// guarantees.
+func (c *Cache) SharePrefix(src SeqID, entry int, limit int32) {
+	if limit <= 0 {
+		panic(fmt.Sprintf("kvcache: SharePrefix limit %d out of range", limit))
+	}
+	if c.entries == nil {
+		c.entries = make(map[int][]int)
+	}
+	if _, dup := c.entries[entry]; dup {
+		panic(fmt.Sprintf("kvcache: SharePrefix reuses live entry %d", entry))
+	}
+	chain := make([]int, limit)
+	seen := make([]bool, limit)
+	for i := range c.cells {
+		cell := &c.cells[i]
+		if cell.Empty() || !cell.Seqs.Has(src) || cell.Pos >= limit {
+			continue
+		}
+		if seen[cell.Pos] {
+			panic(fmt.Sprintf("kvcache: SharePrefix donor %d has duplicate position %d", src, cell.Pos))
+		}
+		seen[cell.Pos] = true
+		chain[cell.Pos] = i
+	}
+	for pos, ok := range seen {
+		if !ok {
+			panic(fmt.Sprintf("kvcache: SharePrefix donor %d missing position %d of [0,%d)", src, pos, limit))
+		}
+	}
+	if c.holds == nil {
+		c.holds = make([]int32, len(c.cells))
+	}
+	for _, i := range chain {
+		c.holds[i]++
+	}
+	c.entries[entry] = chain
+}
+
+// MapShared adds sequence dst to the first limit cells of shared entry
+// `entry`, so dst's attention sees the donor-computed prefix without
+// recomputation. It returns the number of cells newly tagged.
+func (c *Cache) MapShared(dst SeqID, entry int, limit int32) int {
+	chain, ok := c.entries[entry]
+	if !ok {
+		panic(fmt.Sprintf("kvcache: MapShared of unregistered entry %d", entry))
+	}
+	if limit < 0 || int(limit) > len(chain) {
+		panic(fmt.Sprintf("kvcache: MapShared limit %d outside entry %d chain of %d", limit, entry, len(chain)))
+	}
+	n := 0
+	for _, i := range chain[:limit] {
+		cell := &c.cells[i]
+		if cell.Pos < 0 {
+			panic(fmt.Sprintf("kvcache: MapShared over dead cell %d of entry %d", i, entry))
+		}
+		if !cell.Seqs.Has(dst) {
+			cell.Seqs = cell.Seqs.Add(dst)
+			n++
+		}
+	}
+	return n
+}
+
+// UnrefPrefix drops the registry hold on shared entry `entry`. Cells
+// kept resident only by the hold become free; cells still carrying
+// sequence bits survive until those drain. It returns the number of
+// cells freed.
+func (c *Cache) UnrefPrefix(entry int) int {
+	chain, ok := c.entries[entry]
+	if !ok {
+		panic(fmt.Sprintf("kvcache: UnrefPrefix of unregistered entry %d", entry))
+	}
+	delete(c.entries, entry)
+	freed := 0
+	for _, i := range chain {
+		c.holds[i]--
+		if c.holds[i] == 0 && c.cells[i].Empty() && c.cells[i].Pos >= 0 {
+			c.cells[i].Pos = -1
+			c.used--
+			freed++
+		}
+	}
+	return freed
+}
+
+// EntryLen returns the chain length (in cells) of shared entry `entry`,
+// or 0 when it is not registered.
+func (c *Cache) EntryLen(entry int) int32 {
+	return int32(len(c.entries[entry]))
+}
+
+// Entries reports the number of registered shared-prefix entries.
+func (c *Cache) Entries() int { return len(c.entries) }
 
 // SeqMaxPos returns the largest position present in seq, or -1 if none.
 func (c *Cache) SeqMaxPos(seq SeqID) int32 {
@@ -400,23 +519,47 @@ func (c *Cache) BuildMask(batch []TokenMeta) [][]bool {
 }
 
 // CheckInvariants validates internal consistency (used by property tests
-// and enabled in debug paths): the used counter matches occupancy and no
-// occupied cell has an empty sequence set or negative position.
+// and enabled in debug paths): the used counter matches residency (a cell
+// is resident when it carries sequences or a shared-prefix hold), no
+// resident cell has a negative position, and the hold counters match the
+// entry registry exactly.
 func (c *Cache) CheckInvariants() error {
 	used := 0
 	for i, cell := range c.cells {
 		switch {
-		case cell.Empty() && cell.Pos != -1:
+		case cell.Empty() && !c.held(i) && cell.Pos != -1:
 			return fmt.Errorf("kvcache: cell %d empty but pos=%d", i, cell.Pos)
-		case !cell.Empty() && cell.Pos < 0:
-			return fmt.Errorf("kvcache: cell %d occupied but pos=%d", i, cell.Pos)
+		case (!cell.Empty() || c.held(i)) && cell.Pos < 0:
+			return fmt.Errorf("kvcache: cell %d resident but pos=%d", i, cell.Pos)
 		}
-		if !cell.Empty() {
+		if !cell.Empty() || c.held(i) {
 			used++
 		}
 	}
 	if used != c.used {
 		return fmt.Errorf("kvcache: used counter %d != actual %d", c.used, used)
+	}
+	holds := make(map[int]int32)
+	for e, chain := range c.entries {
+		if len(chain) == 0 {
+			return fmt.Errorf("kvcache: entry %d has empty chain", e)
+		}
+		for pos, i := range chain {
+			if int(c.cells[i].Pos) != pos {
+				return fmt.Errorf("kvcache: entry %d chain cell %d has pos %d, want %d", e, i, c.cells[i].Pos, pos)
+			}
+			holds[i]++
+		}
+	}
+	for i := range c.cells {
+		want := holds[i]
+		var got int32
+		if len(c.holds) > 0 {
+			got = c.holds[i]
+		}
+		if got != want {
+			return fmt.Errorf("kvcache: cell %d hold counter %d != registry %d", i, got, want)
+		}
 	}
 	return nil
 }

@@ -56,8 +56,12 @@ func (ns Namespace) SpecAllocator() *SeqAllocator {
 // This is the serving-layer isolation contract: every op issued on a
 // session's behalf must name only its own ids. The memory-pressure ops
 // (OpDropSpec, OpEvictShard) are valid only when they target exactly
-// this namespace; OpSeqKeep — which clears every other sequence in the
-// cache — is never valid while sessions share a cache.
+// this namespace; the shared-prefix ops (OpSharePrefix, OpMapShared) only
+// when the donor/mapping sequence is the session's canonical id (Dst
+// carries an entry id there, not a sequence). OpSeqKeep — which clears
+// every other sequence in the cache — and OpUnrefPrefix — which drops a
+// scheduler-owned registry hold no session owns — are never valid on a
+// session's behalf.
 func (ns Namespace) ValidOp(o Op) bool {
 	switch o.Kind {
 	case OpSeqCp:
@@ -66,6 +70,8 @@ func (ns Namespace) ValidOp(o Op) bool {
 		return ns.Contains(o.Src)
 	case OpDropSpec, OpEvictShard:
 		return o.Src == ns.Base && o.Dst == SeqID(ns.Width)
+	case OpSharePrefix, OpMapShared:
+		return o.Src == ns.Canonical()
 	default:
 		return false
 	}

@@ -28,6 +28,30 @@ const (
 	// idle session; the parked request is later readmitted by
 	// re-prefilling its accepted prefix.
 	OpEvictShard
+	// OpSharePrefix publishes sequence Src's first P1 cells as the
+	// immutable shared-prefix entry Dst (Dst carries an entry id, not a
+	// sequence id). Each cache collects the donor's cells covering
+	// positions [0, P1) locally — the paged store requires them to fill
+	// whole pages — and registers the chain in its own entry registry
+	// with one registry hold, so physical ids never cross the wire: like
+	// every cache op the share is replayed in transaction order and each
+	// replica resolves it against its own layout. Held cells stay
+	// resident after the donor's sequences drain, which is what lets a
+	// later OpMapShared serve another session's matching prompt prefix
+	// without recomputation.
+	OpSharePrefix
+	// OpMapShared maps the first P1 cells of shared entry Dst into
+	// sequence Src: the mapping session's canonical id is added to every
+	// covered cell, so its attention sees the donor-computed prefix
+	// read-only. P1 must respect the registering store's page
+	// granularity; cells past the mapped prefix stay private, so the
+	// session's first write past the share allocates fresh pages — no
+	// copying ever.
+	OpMapShared
+	// OpUnrefPrefix drops the registry hold on shared entry Dst. Cells
+	// kept resident only by the hold are freed; cells still mapped into
+	// sessions survive until their last sequence bit drains.
+	OpUnrefPrefix
 )
 
 // Op is one serialisable cache command.
@@ -50,6 +74,12 @@ func (o Op) String() string {
 		return fmt.Sprintf("dropspec(ns %d+%d)", o.Src, o.Dst)
 	case OpEvictShard:
 		return fmt.Sprintf("evict(ns %d+%d)", o.Src, o.Dst)
+	case OpSharePrefix:
+		return fmt.Sprintf("share(%d -> entry %d, [0,%d))", o.Src, o.Dst, o.P1)
+	case OpMapShared:
+		return fmt.Sprintf("map(entry %d -> %d, [0,%d))", o.Dst, o.Src, o.P1)
+	case OpUnrefPrefix:
+		return fmt.Sprintf("unref(entry %d)", o.Dst)
 	default:
 		return fmt.Sprintf("op(%d)", o.Kind)
 	}
@@ -76,6 +106,12 @@ func (o Op) Apply(c *Cache) {
 		c.RemoveSeqs(o.SpecSet())
 	case OpEvictShard:
 		c.RemoveSeqs(o.ShardSet())
+	case OpSharePrefix:
+		c.SharePrefix(o.Src, int(o.Dst), o.P1)
+	case OpMapShared:
+		c.MapShared(o.Src, int(o.Dst), o.P1)
+	case OpUnrefPrefix:
+		c.UnrefPrefix(int(o.Dst))
 	default:
 		panic("kvcache: unknown op kind")
 	}

@@ -23,6 +23,9 @@ type diffHarness struct {
 	// batches look like real decode traffic (monotone per sequence).
 	nextPos [kvcache.MaxSeqs]int32
 	scratch []int
+	// liveEntries tracks registered shared-prefix entry ids, mirroring
+	// the scheduler's registry so share/map/unref steps stay well-formed.
+	liveEntries []int
 }
 
 func newDiffHarness(t testing.TB, cfg Config) *diffHarness {
@@ -76,12 +79,66 @@ func (d *diffHarness) occupyBatch(seq kvcache.SeqID, n int) {
 func (d *diffHarness) apply(op kvcache.Op) {
 	op.Apply(d.flat)
 	d.paged.Apply(op)
-	if op.Kind == kvcache.OpSeqRm || op.Kind == kvcache.OpSeqKeep {
+	switch op.Kind {
+	case kvcache.OpSeqRm, kvcache.OpSeqKeep, kvcache.OpDropSpec, kvcache.OpEvictShard,
+		kvcache.OpMapShared, kvcache.OpUnrefPrefix:
 		d.resyncNextPos()
 	}
-	if op.Kind == kvcache.OpDropSpec || op.Kind == kvcache.OpEvictShard {
-		d.resyncNextPos()
+}
+
+// shareStep publishes seq's first `blocks` pages as a fresh entry in both
+// stores, gated on the paged store's CanShare — the same gate the head
+// scheduler uses — so ill-formed donors (holes, duplicate positions,
+// split blocks) are skipped identically.
+func (d *diffHarness) shareStep(seq kvcache.SeqID, blocks int) {
+	limit := int32(blocks * d.paged.PageSize())
+	if !d.paged.CanShare(seq, limit) {
+		return
 	}
+	entry := -1
+	for id := 0; id < 16; id++ {
+		free := true
+		for _, e := range d.liveEntries {
+			if e == id {
+				free = false
+				break
+			}
+		}
+		if free {
+			entry = id
+			break
+		}
+	}
+	if entry < 0 {
+		return
+	}
+	d.apply(kvcache.Op{Kind: kvcache.OpSharePrefix, Src: seq, Dst: kvcache.SeqID(entry), P1: limit})
+	d.liveEntries = append(d.liveEntries, entry)
+}
+
+// mapStep maps a live entry's prefix (page-aligned, possibly partial)
+// into dst in both stores.
+func (d *diffHarness) mapStep(dst kvcache.SeqID, pick, blocks int) {
+	if len(d.liveEntries) == 0 {
+		return
+	}
+	entry := d.liveEntries[pick%len(d.liveEntries)]
+	ps := int32(d.paged.PageSize())
+	maxBlocks := d.paged.EntryLen(entry) / ps
+	limit := (int32(blocks)%maxBlocks + 1) * ps
+	d.apply(kvcache.Op{Kind: kvcache.OpMapShared, Src: dst, Dst: kvcache.SeqID(entry), P1: limit})
+}
+
+// unrefStep drops a live entry's registry hold in both stores.
+func (d *diffHarness) unrefStep(pick int) {
+	if len(d.liveEntries) == 0 {
+		return
+	}
+	i := pick % len(d.liveEntries)
+	entry := d.liveEntries[i]
+	d.liveEntries[i] = d.liveEntries[len(d.liveEntries)-1]
+	d.liveEntries = d.liveEntries[:len(d.liveEntries)-1]
+	d.apply(kvcache.Op{Kind: kvcache.OpUnrefPrefix, Dst: kvcache.SeqID(entry)})
 }
 
 func (d *diffHarness) resyncNextPos() {
@@ -103,6 +160,14 @@ func (d *diffHarness) compare() {
 	}
 	if d.paged.Used() != d.flat.Used() {
 		t.Fatalf("occupancy diverged: paged %d, flat %d", d.paged.Used(), d.flat.Used())
+	}
+	if pe, fe := d.paged.Entries(), d.flat.Entries(); pe != fe || pe != len(d.liveEntries) {
+		t.Fatalf("entry registries diverged: paged %d, flat %d, harness %d", pe, fe, len(d.liveEntries))
+	}
+	for _, e := range d.liveEntries {
+		if pl, fl := d.paged.EntryLen(e), d.flat.EntryLen(e); pl != fl {
+			t.Fatalf("entry %d length diverged: paged %d, flat %d", e, pl, fl)
+		}
 	}
 	for id := kvcache.SeqID(0); id < kvcache.MaxSeqs; id++ {
 		if pl, fl := d.paged.SeqLen(id), d.flat.SeqLen(id); pl != fl {
@@ -164,7 +229,7 @@ func (d *diffHarness) step(rng *rand.Rand, allowKeep bool) {
 		}
 		p0 := rng.Int31n(hi + 1)
 		d.apply(kvcache.Op{Kind: kvcache.OpSeqCp, Src: src, Dst: dst, P0: p0, P1: p0 + rng.Int31n(8) + 1})
-	case k < 80:
+	case k < 76:
 		seq := d.seqInShard(shard, rng.Intn(w))
 		p0 := rng.Int31n(d.nextPos[seq] + 1)
 		p1 := p0 + rng.Int31n(16) + 1
@@ -172,10 +237,16 @@ func (d *diffHarness) step(rng *rand.Rand, allowKeep bool) {
 			p1 = 1 << 30
 		}
 		d.apply(kvcache.Op{Kind: kvcache.OpSeqRm, Src: seq, P0: p0, P1: p1})
-	case k < 88 && w > 1:
+	case k < 82 && w > 1:
 		d.apply(kvcache.Op{Kind: kvcache.OpDropSpec, Src: base, Dst: kvcache.SeqID(w)})
-	case k < 94:
+	case k < 86:
 		d.apply(kvcache.Op{Kind: kvcache.OpEvictShard, Src: base, Dst: kvcache.SeqID(w)})
+	case k < 91:
+		d.shareStep(d.seqInShard(shard, rng.Intn(w)), 1+rng.Intn(3))
+	case k < 96:
+		d.mapStep(d.seqInShard(shard, rng.Intn(w)), rng.Intn(16), rng.Intn(4))
+	case k < 99:
+		d.unrefStep(rng.Intn(16))
 	case allowKeep:
 		d.apply(kvcache.Op{Kind: kvcache.OpSeqKeep, Src: d.seqInShard(shard, rng.Intn(w))})
 	}
@@ -219,6 +290,9 @@ func TestDifferentialRandomOps(t *testing.T) {
 func FuzzDifferentialOps(f *testing.F) {
 	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x00, 0x05, 0x90, 0x01, 0x00})
 	f.Add([]byte{0x20, 0x03, 0x01, 0x55, 0x02, 0x03, 0x5e, 0x01, 0x07, 0x60, 0x00, 0x10})
+	// Shared-prefix lifecycle: occupy one whole page, publish it, map it
+	// into another shard, drop the registry hold, evict the donor.
+	f.Add([]byte{0x00, 0x00, 0x03, 0x05, 0x00, 0x00, 0x06, 0x10, 0x00, 0x07, 0x00, 0x00, 0x04, 0x00, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 3*512 {
 			data = data[:3*512]
@@ -230,7 +304,7 @@ func FuzzDifferentialOps(f *testing.F) {
 			shard := int(a>>4) % 4
 			base := kvcache.SeqID(shard * w)
 			seq := base + kvcache.SeqID(int(a)%w)
-			switch k % 5 {
+			switch k % 8 {
 			case 0:
 				d.occupyBatch(seq, 1+int(b)%4)
 			case 1:
@@ -247,6 +321,12 @@ func FuzzDifferentialOps(f *testing.F) {
 				d.apply(kvcache.Op{Kind: kvcache.OpDropSpec, Src: base, Dst: kvcache.SeqID(w)})
 			case 4:
 				d.apply(kvcache.Op{Kind: kvcache.OpEvictShard, Src: base, Dst: kvcache.SeqID(w)})
+			case 5:
+				d.shareStep(seq, 1+int(b)%3)
+			case 6:
+				d.mapStep(seq, int(b)>>4, int(b)%4)
+			case 7:
+				d.unrefStep(int(b))
 			}
 		}
 		d.compare()

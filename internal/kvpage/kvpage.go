@@ -34,6 +34,26 @@
 // namespace's entire footprint (kvcache.OpEvictShard) so the parked
 // session can be readmitted later by re-prefilling its accepted prefix.
 //
+// # Shared prefixes
+//
+// A completed prefill can publish its prompt's whole pages as an
+// immutable shared chain (SharePrefix), which other sessions map
+// read-only into their own shards (MapShared) so a common system prompt
+// is computed once and reused everywhere. Shared pages are owned by no
+// shard (sharedOwner), listed in every shard that maps them, and carry
+// two reference counts: shard listings (pageShards) and registry holds
+// from the serving layer's prefix trie (pageHolds). Cells are
+// append-only, so a session's first token past its mapped prefix simply
+// places into fresh private pages — nothing is ever copied. Eviction
+// composes: the ordinary strip operations (SeqRm, DropSpec, EvictShard)
+// remove a session's bits and delist pages rather than free them, a
+// registry hold keeps drained cells resident for future mappings, and a
+// page returns to the free list only when both counts reach zero. All of
+// it is driven by three pipelined ops (kvcache.OpSharePrefix, OpMapShared,
+// OpUnrefPrefix) that carry only sequence ids, entry ids and page-aligned
+// lengths — never physical page numbers — so every pipeline stage
+// resolves them against its own layout in transaction order.
+//
 // # Visibility order
 //
 // VisibleCells returns cells sorted by position (ties by cell index),
@@ -83,6 +103,11 @@ func (c Config) withDefaults() Config {
 
 const noPage = int32(-1)
 
+// sharedOwner marks a page published as part of a shared prefix: it is
+// listed in every shard that maps it, owned by none, and immutable (its
+// cells are never re-occupied) until both reference counts drain.
+const sharedOwner = int32(-2)
+
 // shard is one namespace's slice of the cache: the pages it owns plus a
 // free-cell count so capacity checks are O(1).
 type shard struct {
@@ -107,6 +132,17 @@ type Cache struct {
 	seqLen [kvcache.MaxSeqs]int32
 	seqMax [kvcache.MaxSeqs]int32
 
+	// Shared-prefix state. pageShards[p] counts the shard page lists
+	// containing shared page p; pageHolds[p] counts the registered prefix
+	// entries whose chain includes p. A shared page frees only when both
+	// reach zero; a cell on a held page stays resident after its sequence
+	// set drains (Pos kept, counted in used) so a later MapShared can
+	// revive it. pageUsed stays pinned at pageSize for shared pages, which
+	// is what keeps FindSlots from ever allocating into them.
+	pageShards []int32
+	pageHolds  []int32
+	entries    map[int][]int32 // entry id -> page chain in position order
+
 	// dryFree / dryTouched are CanPlaceRows scratch: per-shard simulated
 	// free counts (-1 = untouched) and the shards touched by the current
 	// dry run, so repeated admission checks allocate nothing.
@@ -121,14 +157,16 @@ func New(cfg Config) *Cache {
 	nPages := (cfg.Cells + cfg.PageSize - 1) / cfg.PageSize
 	nShards := (kvcache.MaxSeqs + cfg.ShardSeqs - 1) / cfg.ShardSeqs
 	c := &Cache{
-		pageSize:  cfg.PageSize,
-		shardSeqs: cfg.ShardSeqs,
-		cells:     make([]kvcache.Cell, nPages*cfg.PageSize),
-		pageOwner: make([]int32, nPages),
-		pageUsed:  make([]int32, nPages),
-		freePages: make([]int32, 0, nPages),
-		shards:    make([]shard, nShards),
-		dryFree:   make([]int, nShards),
+		pageSize:   cfg.PageSize,
+		shardSeqs:  cfg.ShardSeqs,
+		cells:      make([]kvcache.Cell, nPages*cfg.PageSize),
+		pageOwner:  make([]int32, nPages),
+		pageUsed:   make([]int32, nPages),
+		pageShards: make([]int32, nPages),
+		pageHolds:  make([]int32, nPages),
+		freePages:  make([]int32, 0, nPages),
+		shards:     make([]shard, nShards),
+		dryFree:    make([]int, nShards),
 	}
 	for i := range c.dryFree {
 		c.dryFree[i] = -1
@@ -198,8 +236,11 @@ func (c *Cache) Clear() {
 	for p := len(c.pageOwner) - 1; p >= 0; p-- {
 		c.pageOwner[p] = noPage
 		c.pageUsed[p] = 0
+		c.pageShards[p] = 0
+		c.pageHolds[p] = 0
 		c.freePages = append(c.freePages, int32(p))
 	}
+	c.entries = nil
 	for s := range c.shards {
 		c.shards[s].pages = c.shards[s].pages[:0]
 		c.shards[s].free = 0
@@ -502,6 +543,12 @@ func (c *Cache) SeqRm(seq kvcache.SeqID, p0, p1 int32) int {
 	remainMax := int32(-1)
 	for pi := 0; pi < len(sh.pages); pi++ {
 		p := sh.pages[pi]
+		if c.pageOwner[p] == sharedOwner {
+			if c.seqRmShared(si, p, seq, p0, p1, &remain, &remainMax, &freed) {
+				pi--
+			}
+			continue
+		}
 		base := int(p) * c.pageSize
 		drained := false
 		for s := 0; s < c.pageSize; s++ {
@@ -537,6 +584,157 @@ func (c *Cache) SeqRm(seq kvcache.SeqID, p0, p1 int32) int {
 	return freed
 }
 
+// seqRmShared is SeqRm's pass over one shared page listed in shard si:
+// bits strip exactly as on private pages, but a cell whose sequence set
+// drains dies only when no registry entry holds the page — a held cell
+// keeps its position (and its K/V row) for future mappings. A page left
+// carrying no bits of si's window is delisted from the shard (and freed
+// entirely once its last listing and last registry hold are gone);
+// seqRmShared reports whether it delisted, so the caller iterating the
+// swap-removed page list can revisit the slot.
+func (c *Cache) seqRmShared(si int, p int32, seq kvcache.SeqID, p0, p1 int32, remain, remainMax *int32, freed *int) bool {
+	base := int(p) * c.pageSize
+	held := c.pageHolds[p] > 0
+	sset := c.shardSet(si)
+	shardBits := false
+	for s := 0; s < c.pageSize; s++ {
+		cell := &c.cells[base+s]
+		if cell.Pos < 0 {
+			continue // already dead (drained while unheld)
+		}
+		if cell.Seqs.Has(seq) {
+			if cell.Pos < p0 || cell.Pos >= p1 {
+				*remain++
+				if cell.Pos > *remainMax {
+					*remainMax = cell.Pos
+				}
+			} else {
+				cell.Seqs = cell.Seqs.Remove(seq)
+				if cell.Seqs.Empty() && !held {
+					cell.Pos = -1
+					c.used--
+					*freed++
+					continue
+				}
+			}
+		}
+		if cell.Seqs.Intersects(sset) {
+			shardBits = true
+		}
+	}
+	if shardBits {
+		return false
+	}
+	c.unlistShared(si, p)
+	return true
+}
+
+// unlistShared removes shared page p from shard si's page list. The
+// shard's free counter is untouched: shared pages are always full, so
+// they never contributed free cells. When the last listing and the last
+// registry hold are both gone the page returns to the free list.
+func (c *Cache) unlistShared(si int, p int32) {
+	sh := &c.shards[si]
+	for i, q := range sh.pages {
+		if q == p {
+			sh.pages[i] = sh.pages[len(sh.pages)-1]
+			sh.pages = sh.pages[:len(sh.pages)-1]
+			break
+		}
+	}
+	c.pageShards[p]--
+	if c.pageShards[p] == 0 && c.pageHolds[p] == 0 {
+		c.freeShared(p)
+	}
+}
+
+// freeShared returns a fully dereferenced shared page to the free list.
+// Every cell must already be dead: no listing means no sequence bits, no
+// hold means no pinned residency.
+func (c *Cache) freeShared(p int32) {
+	base := int(p) * c.pageSize
+	for s := 0; s < c.pageSize; s++ {
+		cell := &c.cells[base+s]
+		if !cell.Seqs.Empty() {
+			panic(fmt.Sprintf("kvpage: freeing shared page %d with live cell %d", p, base+s))
+		}
+		if cell.Pos >= 0 {
+			cell.Pos = -1
+			c.used--
+		}
+	}
+	c.pageUsed[p] = 0
+	c.pageOwner[p] = noPage
+	c.freePages = append(c.freePages, p)
+}
+
+// seqKeepShared is SeqKeep's pass over one shared page listed in shard
+// si; same lifecycle as seqRmShared. Reports whether the page was
+// delisted from si.
+func (c *Cache) seqKeepShared(si int, p int32, seq kvcache.SeqID) bool {
+	base := int(p) * c.pageSize
+	held := c.pageHolds[p] > 0
+	sset := c.shardSet(si)
+	shardBits := false
+	for s := 0; s < c.pageSize; s++ {
+		cell := &c.cells[base+s]
+		if cell.Pos < 0 {
+			continue
+		}
+		if cell.Seqs.Has(seq) {
+			cell.Seqs = kvcache.NewSeqSet(seq)
+		} else if !cell.Seqs.Empty() {
+			cell.Seqs = 0
+			if !held {
+				cell.Pos = -1
+				c.used--
+				continue
+			}
+		}
+		if cell.Seqs.Intersects(sset) {
+			shardBits = true
+		}
+	}
+	if shardBits {
+		return false
+	}
+	c.unlistShared(si, p)
+	return true
+}
+
+// removeSeqsShared is RemoveSeqs's pass over one shared page listed in
+// shard si; same lifecycle as seqRmShared. Reports whether the page was
+// delisted from si.
+func (c *Cache) removeSeqsShared(si int, p int32, mask kvcache.SeqSet, freed *int) bool {
+	base := int(p) * c.pageSize
+	held := c.pageHolds[p] > 0
+	sset := c.shardSet(si)
+	shardBits := false
+	for s := 0; s < c.pageSize; s++ {
+		cell := &c.cells[base+s]
+		if cell.Pos < 0 {
+			continue
+		}
+		if cell.Seqs.Intersects(mask) {
+			cell.Seqs &^= mask
+			if cell.Seqs.Empty() && !held {
+				cell.Pos = -1
+				c.used--
+				*freed++
+				continue
+			}
+		}
+		if cell.Seqs.Intersects(sset) {
+			shardBits = true
+		}
+	}
+	if shardBits {
+		return false
+	}
+	c.unlistShared(si, p)
+	return true
+}
+
 // SeqKeep removes every sequence except seq from all cells of every
 // shard; cells not in seq free. The single-request engines use it to
 // collapse back to the canonical sequence (it is forbidden while sessions
@@ -546,6 +744,12 @@ func (c *Cache) SeqKeep(seq kvcache.SeqID) {
 		sh := &c.shards[si]
 		for pi := 0; pi < len(sh.pages); pi++ {
 			p := sh.pages[pi]
+			if c.pageOwner[p] == sharedOwner {
+				if c.seqKeepShared(si, p, seq) {
+					pi--
+				}
+				continue
+			}
 			base := int(p) * c.pageSize
 			drained := false
 			for s := 0; s < c.pageSize; s++ {
@@ -594,6 +798,12 @@ func (c *Cache) RemoveSeqs(mask kvcache.SeqSet) int {
 	freed := 0
 	for pi := 0; pi < len(sh.pages); pi++ {
 		p := sh.pages[pi]
+		if c.pageOwner[p] == sharedOwner {
+			if c.removeSeqsShared(si, p, mask, &freed) {
+				pi--
+			}
+			continue
+		}
 		base := int(p) * c.pageSize
 		drained := false
 		for s := 0; s < c.pageSize; s++ {
@@ -636,6 +846,224 @@ func (c *Cache) DropSpec(ns kvcache.Namespace) int {
 // pages to the free list (kvcache.OpEvictShard applied locally). It
 // returns the number of cells freed.
 func (c *Cache) EvictShard(ns kvcache.Namespace) int { return c.RemoveSeqs(ns.Set()) }
+
+// collectChain gathers the pages holding sequence src's cells for
+// positions [0, limit), in position order (page k covers positions
+// [k*pageSize, (k+1)*pageSize)). It reports ok=false unless the prefix is
+// whole-page shareable: limit a positive multiple of the page size, and
+// every covered page completely filled by exactly one cell per position
+// of its block — no holes, no duplicates, no unrelated cells. dst is
+// appended to (pass a nil or scratch slice).
+func (c *Cache) collectChain(dst []int32, src kvcache.SeqID, limit int32) ([]int32, bool) {
+	if limit <= 0 || int(limit)%c.pageSize != 0 {
+		return nil, false
+	}
+	nPages := int(limit) / c.pageSize
+	start := len(dst)
+	for i := 0; i < nPages; i++ {
+		dst = append(dst, noPage)
+	}
+	chain := dst[start:]
+	sh := &c.shards[c.shardOfSeq(src)]
+	for _, p := range sh.pages {
+		base := int(p) * c.pageSize
+		ord, n := -1, 0
+		var posSeen uint64 // pageSize <= 64 is checked by callers' configs in practice; guarded below
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Empty() || !cell.Seqs.Has(src) || cell.Pos >= limit {
+				continue
+			}
+			o := int(cell.Pos) / c.pageSize
+			if ord == -1 {
+				ord = o
+			}
+			if o != ord {
+				return nil, false // prefix cells of two blocks share a page
+			}
+			if c.pageSize <= 64 {
+				bit := uint64(1) << uint(int(cell.Pos)%c.pageSize)
+				if posSeen&bit != 0 {
+					return nil, false // duplicate position
+				}
+				posSeen |= bit
+			}
+			n++
+		}
+		if ord == -1 {
+			continue
+		}
+		if n != c.pageSize || chain[ord] != noPage {
+			return nil, false // partially covered page, or block split across pages
+		}
+		chain[ord] = p
+	}
+	for _, p := range chain {
+		if p == noPage {
+			return nil, false // block missing entirely
+		}
+	}
+	return dst, true
+}
+
+// CanShare reports whether sequence src's first limit positions are
+// shareable as an immutable page chain — the head scheduler's publish
+// gate before it emits a kvcache.OpSharePrefix down the pipeline.
+func (c *Cache) CanShare(src kvcache.SeqID, limit int32) bool {
+	_, ok := c.collectChain(nil, src, limit)
+	return ok
+}
+
+// SharePrefix publishes sequence src's first limit cells as shared-prefix
+// entry `entry` (kvcache.OpSharePrefix applied locally): the covered
+// pages become shared — owned by no shard, listed in every shard that
+// maps them, immutable until both reference counts drain — and the chain
+// is registered with one registry hold per page. The donor shard's
+// listing carries over, so the donor keeps seeing its own prefix. The
+// prefix must satisfy CanShare and the entry id must be free; violations
+// are bugs in the issuing scheduler and panic, exactly like a cache op
+// that names a foreign shard.
+func (c *Cache) SharePrefix(src kvcache.SeqID, entry int, limit int32) {
+	chain, ok := c.collectChain(nil, src, limit)
+	if !ok {
+		panic(fmt.Sprintf("kvpage: SharePrefix seq %d limit %d is not whole-page shareable", src, limit))
+	}
+	if c.entries == nil {
+		c.entries = make(map[int][]int32)
+	}
+	if _, dup := c.entries[entry]; dup {
+		panic(fmt.Sprintf("kvpage: SharePrefix reuses live entry %d", entry))
+	}
+	si := c.shardOfSeq(src)
+	for _, p := range chain {
+		if c.pageOwner[p] == int32(si) {
+			// Private page of the donor's shard becomes shared; the
+			// donor's listing is the first shard reference. Full pages
+			// contribute nothing to the shard's free count, so it is
+			// unchanged.
+			c.pageOwner[p] = sharedOwner
+			c.pageShards[p] = 1
+		} else if c.pageOwner[p] != sharedOwner {
+			panic(fmt.Sprintf("kvpage: SharePrefix chain page %d owned by shard %d, donor in %d",
+				p, c.pageOwner[p], si))
+		}
+		c.pageHolds[p]++
+	}
+	c.entries[entry] = chain
+}
+
+// MapShared maps the first limit cells of shared entry `entry` into
+// sequence dst (kvcache.OpMapShared applied locally): the covered chain
+// pages are listed in dst's shard (once — remapping is idempotent) and
+// dst's bit is added to their cells, so dst's attention sees the
+// donor-computed prefix with zero copying. limit must be a multiple of
+// the page size within the chain. It returns the number of cells newly
+// tagged.
+func (c *Cache) MapShared(dst kvcache.SeqID, entry int, limit int32) int {
+	chain, ok := c.entries[entry]
+	if !ok {
+		panic(fmt.Sprintf("kvpage: MapShared of unregistered entry %d", entry))
+	}
+	if limit < 0 || int(limit) > len(chain)*c.pageSize || int(limit)%c.pageSize != 0 {
+		panic(fmt.Sprintf("kvpage: MapShared limit %d invalid for entry %d chain of %d pages (page size %d)",
+			limit, entry, len(chain), c.pageSize))
+	}
+	si := c.shardOfSeq(dst)
+	sh := &c.shards[si]
+	n := 0
+	for _, p := range chain[:int(limit)/c.pageSize] {
+		listed := false
+		for _, q := range sh.pages {
+			if q == p {
+				listed = true
+				break
+			}
+		}
+		if !listed {
+			sh.pages = append(sh.pages, p)
+			c.pageShards[p]++
+		}
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Pos < 0 {
+				panic(fmt.Sprintf("kvpage: MapShared over dead cell %d of entry %d", base+s, entry))
+			}
+			if cell.Seqs.Has(dst) {
+				continue
+			}
+			cell.Seqs = cell.Seqs.Add(dst)
+			n++
+			c.seqLen[dst]++
+			if cell.Pos > c.seqMax[dst] {
+				c.seqMax[dst] = cell.Pos
+			}
+		}
+	}
+	return n
+}
+
+// UnrefPrefix drops the registry hold on shared entry `entry`
+// (kvcache.OpUnrefPrefix applied locally). Cells kept resident only by
+// the hold die; pages whose last hold and last shard listing are both
+// gone return to the free list. Sessions still mapping the chain are
+// untouched — their bits keep the pages alive until they drain. It
+// returns the number of cells freed.
+func (c *Cache) UnrefPrefix(entry int) int {
+	chain, ok := c.entries[entry]
+	if !ok {
+		panic(fmt.Sprintf("kvpage: UnrefPrefix of unregistered entry %d", entry))
+	}
+	delete(c.entries, entry)
+	freed := 0
+	for _, p := range chain {
+		c.pageHolds[p]--
+		if c.pageHolds[p] > 0 {
+			continue
+		}
+		if c.pageShards[p] == 0 {
+			base := int(p) * c.pageSize
+			for s := 0; s < c.pageSize; s++ {
+				if c.cells[base+s].Pos >= 0 && c.cells[base+s].Seqs.Empty() {
+					freed++
+				}
+			}
+			c.freeShared(p)
+			continue
+		}
+		// Still listed by mapping shards: only the hold-pinned cells die.
+		base := int(p) * c.pageSize
+		for s := 0; s < c.pageSize; s++ {
+			cell := &c.cells[base+s]
+			if cell.Pos >= 0 && cell.Seqs.Empty() {
+				cell.Pos = -1
+				c.used--
+				freed++
+			}
+		}
+	}
+	return freed
+}
+
+// EntryLen returns the chain length (in cells) of shared entry `entry`,
+// or 0 when it is not registered.
+func (c *Cache) EntryLen(entry int) int32 {
+	return int32(len(c.entries[entry]) * c.pageSize)
+}
+
+// Entries reports the number of registered shared-prefix entries.
+func (c *Cache) Entries() int { return len(c.entries) }
+
+// SharedPages reports the number of pages currently in the shared state.
+func (c *Cache) SharedPages() int {
+	n := 0
+	for _, o := range c.pageOwner {
+		if o == sharedOwner {
+			n++
+		}
+	}
+	return n
+}
 
 // SeqMaxPos returns the largest position present in seq, or -1 if none —
 // O(1) from the maintained counter.
@@ -717,6 +1145,12 @@ func (c *Cache) Apply(o kvcache.Op) {
 		c.RemoveSeqs(o.SpecSet())
 	case kvcache.OpEvictShard:
 		c.RemoveSeqs(o.ShardSet())
+	case kvcache.OpSharePrefix:
+		c.SharePrefix(o.Src, int(o.Dst), o.P1)
+	case kvcache.OpMapShared:
+		c.MapShared(o.Src, int(o.Dst), o.P1)
+	case kvcache.OpUnrefPrefix:
+		c.UnrefPrefix(int(o.Dst))
 	default:
 		panic("kvpage: unknown op kind")
 	}
@@ -731,36 +1165,108 @@ func (c *Cache) ApplyAll(ops []kvcache.Op) {
 
 // CheckInvariants validates internal consistency: cell/counter agreement,
 // page accounting, shard ownership (every occupied cell's sequences lie
-// inside its page's shard window), free-list integrity, and the
-// per-sequence length/max-pos counters against a brute-force scan.
+// inside its page's shard window — for shared pages, inside the union of
+// the windows of the shards listing them), free-list integrity, the
+// per-sequence length/max-pos counters against a brute-force scan, and
+// the shared-prefix reference counts against the shard page lists and the
+// entry registry. A shared page may appear in many shards' lists but is
+// counted exactly once in the global page accounting and contributes zero
+// free cells to every shard listing it.
 func (c *Cache) CheckInvariants() error {
+	// Pass 1: reconstruct shared-page references from the shard lists and
+	// the entry registry.
+	listings := make([]int32, len(c.pageOwner))
+	listedSet := make([]kvcache.SeqSet, len(c.pageOwner))
+	for si := range c.shards {
+		for _, p := range c.shards[si].pages {
+			if c.pageOwner[p] == sharedOwner {
+				listings[p]++
+				listedSet[p] |= c.shardSet(si)
+			}
+		}
+	}
+	holds := make([]int32, len(c.pageOwner))
+	for e, chain := range c.entries {
+		if len(chain) == 0 {
+			return fmt.Errorf("kvpage: entry %d has empty chain", e)
+		}
+		for ord, p := range chain {
+			if c.pageOwner[p] != sharedOwner {
+				return fmt.Errorf("kvpage: entry %d chain page %d not shared (owner %d)", e, p, c.pageOwner[p])
+			}
+			holds[p]++
+			base := int(p) * c.pageSize
+			for s := 0; s < c.pageSize; s++ {
+				cell := c.cells[base+s]
+				if cell.Pos >= 0 && int(cell.Pos)/c.pageSize != ord {
+					return fmt.Errorf("kvpage: entry %d chain page %d (block %d) holds cell at pos %d",
+						e, p, ord, cell.Pos)
+				}
+			}
+		}
+	}
 	var bruteLen [kvcache.MaxSeqs]int32
 	var bruteMax [kvcache.MaxSeqs]int32
 	for i := range bruteMax {
 		bruteMax[i] = -1
 	}
 	used := 0
+	sharedPages := 0
 	for p := range c.pageOwner {
+		if c.pageShards[int32(p)] != listings[p] {
+			return fmt.Errorf("kvpage: page %d shard-ref counter %d != actual listings %d",
+				p, c.pageShards[p], listings[p])
+		}
+		if c.pageHolds[int32(p)] != holds[p] {
+			return fmt.Errorf("kvpage: page %d hold counter %d != registry %d", p, c.pageHolds[p], holds[p])
+		}
+		shared := c.pageOwner[p] == sharedOwner
+		if shared {
+			sharedPages++
+			if listings[p] == 0 && holds[p] == 0 {
+				return fmt.Errorf("kvpage: shared page %d leaked (no listings, no holds)", p)
+			}
+			if c.pageUsed[p] != int32(c.pageSize) {
+				return fmt.Errorf("kvpage: shared page %d used counter %d not pinned to page size", p, c.pageUsed[p])
+			}
+		} else if listings[p] != 0 || holds[p] != 0 {
+			return fmt.Errorf("kvpage: non-shared page %d has %d listings / %d holds", p, listings[p], holds[p])
+		}
 		base := p * c.pageSize
 		pUsed := int32(0)
 		for s := 0; s < c.pageSize; s++ {
 			cell := c.cells[base+s]
-			switch {
-			case cell.Empty() && cell.Pos != -1:
-				return fmt.Errorf("kvpage: cell %d empty but pos=%d", base+s, cell.Pos)
-			case !cell.Empty() && cell.Pos < 0:
-				return fmt.Errorf("kvpage: cell %d occupied but pos=%d", base+s, cell.Pos)
+			if shared {
+				switch {
+				case cell.Pos < 0 && !cell.Empty():
+					return fmt.Errorf("kvpage: shared cell %d dead but carries seqs %#x", base+s, uint64(cell.Seqs))
+				case cell.Pos >= 0 && cell.Empty() && holds[p] == 0:
+					return fmt.Errorf("kvpage: shared cell %d resident without seqs or holds", base+s)
+				}
+				if cell.Seqs&^listedSet[p] != 0 {
+					return fmt.Errorf("kvpage: shared cell %d seqs %#x escape listing shards %#x",
+						base+s, uint64(cell.Seqs), uint64(listedSet[p]))
+				}
+			} else {
+				switch {
+				case cell.Empty() && cell.Pos != -1:
+					return fmt.Errorf("kvpage: cell %d empty but pos=%d", base+s, cell.Pos)
+				case !cell.Empty() && cell.Pos < 0:
+					return fmt.Errorf("kvpage: cell %d occupied but pos=%d", base+s, cell.Pos)
+				}
+			}
+			if cell.Pos >= 0 {
+				used++
 			}
 			if cell.Empty() {
 				continue
 			}
 			pUsed++
-			used++
 			owner := c.pageOwner[p]
 			if owner == noPage {
 				return fmt.Errorf("kvpage: occupied cell %d on free page %d", base+s, p)
 			}
-			if cell.Seqs&^c.shardSet(int(owner)) != 0 {
+			if !shared && cell.Seqs&^c.shardSet(int(owner)) != 0 {
 				return fmt.Errorf("kvpage: cell %d seqs %#x escape shard %d",
 					base+s, uint64(cell.Seqs), owner)
 			}
@@ -773,7 +1279,7 @@ func (c *Cache) CheckInvariants() error {
 				}
 			}
 		}
-		if pUsed != c.pageUsed[p] {
+		if !shared && pUsed != c.pageUsed[p] {
 			return fmt.Errorf("kvpage: page %d used counter %d != actual %d", p, c.pageUsed[p], pUsed)
 		}
 		if c.pageOwner[p] == noPage && pUsed != 0 {
@@ -796,6 +1302,23 @@ func (c *Cache) CheckInvariants() error {
 		sh := &c.shards[si]
 		free := 0
 		for _, p := range sh.pages {
+			if c.pageOwner[p] == sharedOwner {
+				// Listed shared page: must still carry at least one live
+				// bit of this shard's window, and contributes no free
+				// cells. Counted once globally below, not per listing.
+				base := int(p) * c.pageSize
+				live := false
+				for s := 0; s < c.pageSize; s++ {
+					if c.cells[base+s].Seqs.Intersects(c.shardSet(si)) {
+						live = true
+						break
+					}
+				}
+				if !live {
+					return fmt.Errorf("kvpage: shard %d lists shared page %d without any of its bits", si, p)
+				}
+				continue
+			}
 			if c.pageOwner[p] != int32(si) {
 				return fmt.Errorf("kvpage: shard %d lists page %d owned by %d", si, p, c.pageOwner[p])
 			}
@@ -803,15 +1326,15 @@ func (c *Cache) CheckInvariants() error {
 			if c.pageUsed[p] == 0 {
 				return fmt.Errorf("kvpage: shard %d holds drained page %d", si, p)
 			}
+			mapped++
 		}
 		if free != sh.free {
 			return fmt.Errorf("kvpage: shard %d free counter %d != actual %d", si, sh.free, free)
 		}
-		mapped += len(sh.pages)
 	}
-	if mapped+len(c.freePages) != len(c.pageOwner) {
-		return fmt.Errorf("kvpage: %d mapped + %d free pages != %d total",
-			mapped, len(c.freePages), len(c.pageOwner))
+	if mapped+sharedPages+len(c.freePages) != len(c.pageOwner) {
+		return fmt.Errorf("kvpage: %d mapped + %d shared + %d free pages != %d total",
+			mapped, sharedPages, len(c.freePages), len(c.pageOwner))
 	}
 	return nil
 }

@@ -106,6 +106,74 @@ func TestCapacityIsPerShard(t *testing.T) {
 	}
 }
 
+// TestSharedPrefixFootprint pins the PR-9 memory claim at 16 tenants:
+// sessions holding a 256-token common prefix concurrently occupy one
+// physical copy of it — a donor prefills once, publishes the aligned
+// prefix into the registry, and every tenant maps the same pages
+// read-only, paying cells only for its private tail. Peak usage must
+// collapse versus per-session copies (recorded in BENCH_pr9.json).
+func TestSharedPrefixFootprint(t *testing.T) {
+	const (
+		page    = 8
+		shared  = 256
+		suffix  = 16
+		tenants = 16
+	)
+	fill := func(c *Cache, set kvcache.SeqSet, n, base int) {
+		t.Helper()
+		cells, err := c.FindSlots(n, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cell := range cells {
+			c.Occupy(cell, int32(base+i), set)
+		}
+	}
+
+	shareCache := New(Config{Cells: 8192, PageSize: page, ShardSeqs: 1})
+	// The donor prefills the full prompt, publishes the page-aligned
+	// prefix, and completes: its private tail frees, the registry keeps
+	// the shared chain alive.
+	donor := kvcache.NewSeqSet(63)
+	fill(shareCache, donor, shared+suffix, 0)
+	shareCache.SharePrefix(63, 1, shared)
+	shareCache.RemoveSeqs(donor)
+	checkInv(t, shareCache)
+	for s := 0; s < tenants; s++ {
+		set := kvcache.NewSeqSet(kvcache.SeqID(s))
+		shareCache.MapShared(kvcache.SeqID(s), 1, shared)
+		fill(shareCache, set, suffix, shared)
+	}
+	checkInv(t, shareCache)
+	usedShared := shareCache.Used()
+
+	plainCache := New(Config{Cells: 8192, PageSize: page, ShardSeqs: 1})
+	for s := 0; s < tenants; s++ {
+		fill(plainCache, kvcache.NewSeqSet(kvcache.SeqID(s)), shared+suffix, 0)
+	}
+	checkInv(t, plainCache)
+	usedPlain := plainCache.Used()
+
+	if want := shared + tenants*suffix; usedShared != want {
+		t.Fatalf("shared layout uses %d cells, want %d (one prefix copy + private tails)", usedShared, want)
+	}
+	if usedShared*4 > usedPlain {
+		t.Fatalf("shared layout uses %d cells vs %d private — no footprint collapse", usedShared, usedPlain)
+	}
+	t.Logf("%d tenants, %d-token shared prefix + %d private: %d cells shared vs %d private copies (%.1fx)",
+		tenants, shared, suffix, usedShared, usedPlain, float64(usedPlain)/float64(usedShared))
+
+	// Unwind: tenants drain, the registry drops its hold — everything frees.
+	for s := 0; s < tenants; s++ {
+		shareCache.RemoveSeqs(kvcache.NewSeqSet(kvcache.SeqID(s)))
+	}
+	shareCache.UnrefPrefix(1)
+	checkInv(t, shareCache)
+	if shareCache.Used() != 0 {
+		t.Fatalf("%d cells leaked after drain + unref", shareCache.Used())
+	}
+}
+
 func TestEvictionPrimitives(t *testing.T) {
 	c := New(Config{Cells: 64, PageSize: 8, ShardSeqs: 4})
 	ns := kvcache.NamespaceFor(1, 4) // seqs 4..7

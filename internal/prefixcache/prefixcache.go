@@ -1,0 +1,274 @@
+// Package prefixcache is the serving layer's shared-prefix index: a
+// block-hash trie over prompt tokens at KV-page granularity. Each
+// registered entry maps a token prefix (a whole number of pages) to a
+// shared-prefix entry id — the handle the KV stores resolve to an
+// immutable, refcounted page chain via kvcache.OpSharePrefix /
+// OpMapShared / OpUnrefPrefix. The table is pure policy: it never sees
+// physical pages, so it lives only at the head scheduler while the page
+// mechanism is replicated at every pipeline stage by the ordinary
+// transaction stream.
+//
+// Lookup walks cumulative FNV-1a block hashes h_1..h_k of the prompt's
+// pages and returns the deepest registered match, so a prompt sharing n
+// pages with any published prefix resolves in O(n) hash steps
+// independent of how many entries are registered. Entries carry an
+// active count (sessions currently mapping them) and a logical LRU
+// stamp; EvictLRU reclaims the coldest inactive entry, which is how the
+// scheduler composes trie eviction with its memory-pressure protocol.
+package prefixcache
+
+import (
+	"fmt"
+
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+// MaxEntries is the hard ceiling on simultaneously registered entries:
+// entry ids travel in the one-byte Dst slot of the kvcache op codec.
+const MaxEntries = 256
+
+// Config sizes a Table.
+type Config struct {
+	// PageSize is the block granularity in tokens — must match the KV
+	// store's page size or mapped chains will not align.
+	PageSize int
+	// Entries bounds the number of simultaneously registered prefixes
+	// (default and maximum MaxEntries).
+	Entries int
+}
+
+// node is one trie position: a prefix of depth blocks whose cumulative
+// hash is the map key.
+type node struct {
+	// entry is a registered entry whose chain covers this prefix; -1
+	// while a removal has orphaned the node pending repair.
+	entry int
+	// refs counts the registered entries whose hash path includes this
+	// node.
+	refs int
+	// depth is the prefix length in blocks.
+	depth int
+}
+
+type entry struct {
+	live   bool
+	hashes []uint64 // cumulative block hashes, hashes[k] covers k+1 blocks
+	active int      // sessions currently mapping this entry
+	stamp  int64    // logical LRU clock value of last use
+}
+
+// Table is the block-hash prefix trie. Not safe for concurrent use; the
+// scheduler owns it single-threaded like the rest of its shadow state.
+type Table struct {
+	pageSize int
+	nodes    map[uint64]*node
+	entries  []entry
+	free     []int // free entry ids, LIFO
+	clock    int64
+	scratch  []uint64
+}
+
+// New creates an empty table.
+func New(cfg Config) *Table {
+	if cfg.PageSize <= 0 {
+		panic(fmt.Sprintf("prefixcache: page size %d must be positive", cfg.PageSize))
+	}
+	n := cfg.Entries
+	if n <= 0 || n > MaxEntries {
+		n = MaxEntries
+	}
+	t := &Table{
+		pageSize: cfg.PageSize,
+		nodes:    make(map[uint64]*node),
+		entries:  make([]entry, n),
+		free:     make([]int, 0, n),
+	}
+	for id := n - 1; id >= 0; id-- {
+		t.free = append(t.free, id)
+	}
+	return t
+}
+
+// PageSize returns the block granularity in tokens.
+func (t *Table) PageSize() int { return t.pageSize }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// blockHashes fills t.scratch with the cumulative FNV-1a hash chain of
+// tokens' whole blocks: scratch[k] digests blocks 0..k, so equal prefixes
+// produce equal chains regardless of what follows.
+func (t *Table) blockHashes(tokens []token.Token) []uint64 {
+	n := len(tokens) / t.pageSize
+	hs := t.scratch[:0]
+	h := uint64(fnvOffset)
+	for k := 0; k < n; k++ {
+		for _, tok := range tokens[k*t.pageSize : (k+1)*t.pageSize] {
+			v := uint32(tok)
+			for b := 0; b < 4; b++ {
+				h ^= uint64(byte(v >> (8 * b)))
+				h *= fnvPrime
+			}
+		}
+		hs = append(hs, h)
+	}
+	t.scratch = hs
+	return hs
+}
+
+// Lookup returns the deepest registered entry matching a prefix of
+// tokens[:limit] and the matched length in tokens (a whole number of
+// blocks), or (-1, 0) on a miss. The returned entry's LRU stamp is
+// refreshed. Allocation-free after warm-up.
+func (t *Table) Lookup(tokens []token.Token, limit int) (int, int) {
+	if limit > len(tokens) {
+		limit = len(tokens)
+	}
+	if limit < t.pageSize {
+		return -1, 0
+	}
+	best, depth := -1, 0
+	for k, h := range t.blockHashes(tokens[:limit]) {
+		nd, ok := t.nodes[h]
+		if !ok {
+			break
+		}
+		if nd.entry >= 0 {
+			best, depth = nd.entry, k+1
+		}
+	}
+	if best < 0 {
+		return -1, 0
+	}
+	t.clock++
+	t.entries[best].stamp = t.clock
+	return best, depth * t.pageSize
+}
+
+// Insert registers tokens (a whole number of blocks; at least one) as a
+// new entry and returns its id, or ok=false when every entry id is in
+// use — the caller then evicts and retries, or skips publication.
+func (t *Table) Insert(tokens []token.Token) (int, bool) {
+	if len(tokens) == 0 || len(tokens)%t.pageSize != 0 {
+		panic(fmt.Sprintf("prefixcache: Insert of %d tokens not block-aligned to %d", len(tokens), t.pageSize))
+	}
+	if len(t.free) == 0 {
+		return -1, false
+	}
+	id := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	hs := t.blockHashes(tokens)
+	e := &t.entries[id]
+	e.live = true
+	e.hashes = append(e.hashes[:0], hs...)
+	e.active = 0
+	t.clock++
+	e.stamp = t.clock
+	for k, h := range e.hashes {
+		nd, ok := t.nodes[h]
+		if !ok {
+			nd = &node{depth: k + 1}
+			t.nodes[h] = nd
+		}
+		nd.entry = id
+		nd.refs++
+	}
+	return id, true
+}
+
+// Ref marks one more session as actively mapping entry id.
+func (t *Table) Ref(id int) {
+	t.mustLive(id).active++
+	t.clock++
+	t.entries[id].stamp = t.clock
+}
+
+// Unref drops one active mapping of entry id.
+func (t *Table) Unref(id int) {
+	e := t.mustLive(id)
+	if e.active <= 0 {
+		panic(fmt.Sprintf("prefixcache: Unref of inactive entry %d", id))
+	}
+	e.active--
+}
+
+// Remove unregisters entry id unconditionally, returning its id to the
+// free list. Nodes on its hash path lose one reference; orphaned nodes
+// (whose resolved entry was this one) are repaired by scanning the
+// surviving entries — removal is rare, so the O(entries · depth) repair
+// is a fine trade for O(1) lookups.
+func (t *Table) Remove(id int) {
+	e := t.mustLive(id)
+	e.live = false // before the repair scan, or it resolves back to id
+	for _, h := range e.hashes {
+		nd := t.nodes[h]
+		nd.refs--
+		if nd.refs == 0 {
+			delete(t.nodes, h)
+			continue
+		}
+		if nd.entry == id {
+			nd.entry = -1
+		}
+	}
+	for oid := range t.entries {
+		o := &t.entries[oid]
+		if !o.live {
+			continue
+		}
+		for _, h := range o.hashes {
+			if nd, ok := t.nodes[h]; ok && nd.entry == -1 {
+				nd.entry = oid
+			}
+		}
+	}
+	e.hashes = e.hashes[:0]
+	e.active = 0
+	t.free = append(t.free, id)
+}
+
+// EvictLRU removes and returns the least-recently-used entry with no
+// active mappings, or ok=false when every live entry is active (or none
+// are live). The caller owns the corresponding kvcache.OpUnrefPrefix.
+func (t *Table) EvictLRU() (int, bool) {
+	victim, best := -1, int64(0)
+	for id := range t.entries {
+		e := &t.entries[id]
+		if !e.live || e.active > 0 {
+			continue
+		}
+		if victim < 0 || e.stamp < best {
+			victim, best = id, e.stamp
+		}
+	}
+	if victim < 0 {
+		return -1, false
+	}
+	t.Remove(victim)
+	return victim, true
+}
+
+// Len reports the number of registered entries.
+func (t *Table) Len() int { return len(t.entries) - len(t.free) }
+
+// Tokens reports the total token count covered by registered entries
+// (chains overlapping in the KV store are counted per entry — this is
+// trie occupancy, not physical footprint).
+func (t *Table) Tokens() int {
+	n := 0
+	for id := range t.entries {
+		if t.entries[id].live {
+			n += len(t.entries[id].hashes) * t.pageSize
+		}
+	}
+	return n
+}
+
+func (t *Table) mustLive(id int) *entry {
+	if id < 0 || id >= len(t.entries) || !t.entries[id].live {
+		panic(fmt.Sprintf("prefixcache: entry %d not registered", id))
+	}
+	return &t.entries[id]
+}

@@ -1,0 +1,188 @@
+package prefixcache
+
+import (
+	"testing"
+
+	"github.com/pipeinfer/pipeinfer/internal/token"
+)
+
+func toks(vals ...int) []token.Token {
+	out := make([]token.Token, len(vals))
+	for i, v := range vals {
+		out[i] = token.Token(v)
+	}
+	return out
+}
+
+// seqToks generates a deterministic token stream: seed, seed+1, ...
+func seqToks(seed, n int) []token.Token {
+	out := make([]token.Token, n)
+	for i := range out {
+		out[i] = token.Token(seed + i)
+	}
+	return out
+}
+
+func TestTableLookupDeepestMatch(t *testing.T) {
+	tb := New(Config{PageSize: 4, Entries: 8})
+	if e, n := tb.Lookup(seqToks(0, 16), 16); e != -1 || n != 0 {
+		t.Fatalf("empty table lookup = (%d, %d), want miss", e, n)
+	}
+	short, ok := tb.Insert(seqToks(0, 4))
+	if !ok {
+		t.Fatal("Insert(4) failed")
+	}
+	long, ok := tb.Insert(seqToks(0, 12))
+	if !ok {
+		t.Fatal("Insert(12) failed")
+	}
+	if e, n := tb.Lookup(seqToks(0, 16), 16); e != long || n != 12 {
+		t.Fatalf("lookup = (%d, %d), want deepest (%d, 12)", e, n, long)
+	}
+	// A limit below the deep entry's coverage clamps the walk.
+	if e, n := tb.Lookup(seqToks(0, 16), 7); e == -1 || n != 4 {
+		t.Fatalf("limited lookup = (%d, %d), want depth 4", e, n)
+	}
+	// A diverging second block still matches the first.
+	div := append(seqToks(0, 4), toks(99, 98, 97, 96, 95, 94, 93, 92)...)
+	if _, n := tb.Lookup(div, len(div)); n != 4 {
+		t.Fatalf("diverging lookup depth = %d, want 4", n)
+	}
+	if tb.Len() != 2 || tb.Tokens() != 16 {
+		t.Fatalf("occupancy = (%d entries, %d tokens), want (2, 16)", tb.Len(), tb.Tokens())
+	}
+	_ = short
+}
+
+func TestTableLRUEvictionRespectsActive(t *testing.T) {
+	tb := New(Config{PageSize: 2, Entries: 4})
+	a, _ := tb.Insert(seqToks(100, 2))
+	b, _ := tb.Insert(seqToks(200, 2))
+	c, _ := tb.Insert(seqToks(300, 2))
+	tb.Ref(a) // a is mapped by a session: not evictable
+	// Touch b so c is the coldest inactive entry.
+	tb.Lookup(seqToks(200, 2), 2)
+	v, ok := tb.EvictLRU()
+	if !ok || v != c {
+		t.Fatalf("EvictLRU = (%d, %v), want (%d, true)", v, ok, c)
+	}
+	v, ok = tb.EvictLRU()
+	if !ok || v != b {
+		t.Fatalf("second EvictLRU = (%d, %v), want (%d, true)", v, ok, b)
+	}
+	if _, ok = tb.EvictLRU(); ok {
+		t.Fatal("EvictLRU evicted an active entry")
+	}
+	tb.Unref(a)
+	if v, ok = tb.EvictLRU(); !ok || v != a {
+		t.Fatalf("post-Unref EvictLRU = (%d, %v), want (%d, true)", v, ok, a)
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("table not empty after full eviction: %d entries", tb.Len())
+	}
+}
+
+func TestTableRemoveRepairsSharedNodes(t *testing.T) {
+	tb := New(Config{PageSize: 2, Entries: 4})
+	a, _ := tb.Insert(seqToks(0, 6)) // blocks 0,1,2
+	b, _ := tb.Insert(seqToks(0, 4)) // blocks 0,1 — overwrites shallow nodes
+	tb.Remove(b)
+	// The shallow nodes resolved to b; after removal they must repair to
+	// a so a 4-token prompt still hits.
+	if e, n := tb.Lookup(seqToks(0, 4), 4); e != a || n != 4 {
+		t.Fatalf("post-remove lookup = (%d, %d), want (%d, 4)", e, n, a)
+	}
+	// Entry ids recycle.
+	c, ok := tb.Insert(seqToks(500, 2))
+	if !ok || c != b {
+		t.Fatalf("Insert after Remove = (%d, %v), want recycled id %d", c, ok, b)
+	}
+}
+
+func TestTableEntryExhaustion(t *testing.T) {
+	tb := New(Config{PageSize: 2, Entries: 2})
+	tb.Insert(seqToks(0, 2))
+	tb.Insert(seqToks(10, 2))
+	if _, ok := tb.Insert(seqToks(20, 2)); ok {
+		t.Fatal("Insert succeeded past the entry limit")
+	}
+	if v, ok := tb.EvictLRU(); !ok {
+		t.Fatal("EvictLRU found no victim")
+	} else if _, ok := tb.Insert(seqToks(20, 2)); !ok {
+		t.Fatalf("Insert after evicting %d still failed", v)
+	}
+}
+
+// FuzzTableLookup drives random insert/remove/lookup traffic and checks
+// every lookup against a brute-force reference over the live prefixes:
+// the matched depth must equal the longest registered prefix of the
+// probe, and the returned entry's tokens must actually be that prefix.
+func FuzzTableLookup(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x02, 0x41})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x20, 0x02, 0x00, 0x03, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const ps = 2
+		tb := New(Config{PageSize: ps, Entries: 8})
+		ref := map[int][]token.Token{} // entry id -> registered tokens
+		// streams: 4 base prompts sharing prefixes pairwise.
+		stream := func(kind byte, blocks int) []token.Token {
+			out := make([]token.Token, blocks*ps)
+			for i := range out {
+				if i < len(out)/2 {
+					out[i] = token.Token(int(kind%2)*1000 + i)
+				} else {
+					out[i] = token.Token(int(kind)*100 + i)
+				}
+			}
+			return out
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 3 {
+			case 0: // insert
+				tks := stream(arg%4, 1+int(arg/4)%4)
+				if id, ok := tb.Insert(tks); ok {
+					ref[id] = tks
+				}
+			case 1: // remove
+				for id := range ref {
+					if id == int(arg)%8 {
+						tb.Remove(id)
+						delete(ref, id)
+						break
+					}
+				}
+			case 2: // lookup
+				probe := stream(arg%4, 1+int(arg/4)%4)
+				e, n := tb.Lookup(probe, len(probe))
+				want := 0
+				for _, tks := range ref {
+					d := 0
+					for d < len(tks) && d < len(probe) && tks[d] == probe[d] {
+						d++
+					}
+					if d = d / ps * ps; d > want {
+						want = d
+					}
+				}
+				if n != want {
+					t.Fatalf("lookup depth %d, reference %d (probe %v, live %v)", n, want, probe, ref)
+				}
+				if n > 0 {
+					tks := ref[e]
+					if len(tks) < n {
+						t.Fatalf("matched entry %d covers %d tokens < matched %d", e, len(tks), n)
+					}
+					for k := 0; k < n; k++ {
+						if tks[k] != probe[k] {
+							t.Fatalf("matched entry %d diverges from probe at %d", e, k)
+						}
+					}
+				}
+			}
+		}
+		if tb.Len() != len(ref) {
+			t.Fatalf("table has %d entries, reference %d", tb.Len(), len(ref))
+		}
+	})
+}

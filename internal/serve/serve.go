@@ -140,6 +140,28 @@
 // evict/readmit storm; sustained healthy completions reset it. Counters:
 // Stats.RunTimeouts, Recoveries, BreakerTrips.
 //
+// # Prefix reuse (PR 9)
+//
+// With Config.PrefixCache (and a shadow cache), completed cold prefills
+// publish their prompt's page-aligned prefix into a block-hash trie
+// (internal/prefixcache) keyed over prompt tokens at KV-page
+// granularity, and the underlying pages become immutable, refcounted
+// shared pages (kvcache.OpSharePrefix). Admission probes the trie: a hit
+// maps the matched page chain read-only into the new session's shard
+// (kvcache.OpMapShared) — no copying, no recompute — and prefill starts
+// at the divergence point. Both ops ride the ordinary pipelined KV
+// transaction stream, so the head shadow and every stage build identical
+// logical state in transaction order; the trie itself is pure policy and
+// lives only at the head. Eviction composes: OpEvictShard and namespace
+// removal only delist shared pages from the departing shard (a decref,
+// never a free — a mapped session is never stranded), unreferenced trie
+// entries are evicted LRU under memory pressure (a stage of ensureRoom
+// before speculation dropping), and the run-down flush releases every
+// registry hold so the drained cache ends at zero used cells. Shared
+// cells hold exactly the K/V rows a cold prefill of the same tokens
+// would write, so greedy output is bit-identical for hit and cold
+// sessions (TestServeSharedPrefixParity).
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
@@ -155,6 +177,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/metrics"
+	"github.com/pipeinfer/pipeinfer/internal/prefixcache"
 	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 	"github.com/pipeinfer/pipeinfer/internal/trace"
@@ -266,6 +289,15 @@ type Config struct {
 	// and parked for prefix-recompute readmission because a run it was
 	// riding in timed out or had its result lost.
 	OnRecover func(req int)
+	// PrefixCache enables cross-session prompt-prefix reuse (PR 9):
+	// completed cold prefills publish their page-aligned prompt prefix as
+	// immutable refcounted shared pages, and later admissions whose
+	// prompt matches map the published chain read-only into their own
+	// shard instead of recomputing it — prefill starts at the divergence
+	// point, so a shared system prompt is computed once and TTFT for hit
+	// sessions drops to the divergent suffix. Requires the shadow cache
+	// (KV.Cells > 0); ignored without it.
+	PrefixCache bool
 	// Obs, when non-nil, is the live telemetry registry (PR 7): the
 	// scheduler streams TTFT, inter-token latency, per-run service time,
 	// realised batch width and queue depth into its histograms, mirrors
@@ -362,6 +394,15 @@ type session struct {
 	fillSent   int
 	fillDone   int
 
+	// Prefix reuse (PR 9): the shared-prefix entry this session maps
+	// (-1 when none) and how many leading tokens of accepted it covers —
+	// positions [0, prefixLen) live in read-only shared pages and are
+	// never recomputed; prefill starts at prefixLen. Parking drops the
+	// mapping (the namespace eviction delists the shared pages) and
+	// readmission re-probes the trie from scratch.
+	prefixEntry int
+	prefixLen   int
+
 	pending []pendingTok
 	cutoff  float32
 
@@ -400,6 +441,13 @@ type Scheduler struct {
 	// under-counting) bound on any stage's occupancy at the matching
 	// point of the stream, which is what makes its CanPlace verdicts safe.
 	kv *kvpage.Cache
+
+	// prefix is the shared-prefix trie (PR 9; nil unless
+	// Config.PrefixCache and a shadow cache): prompt-token block hashes
+	// to published shared-prefix entries. Pure head-side policy — the
+	// refcounted page chains it hands out are resolved per cache by the
+	// transaction stream.
+	prefix *prefixcache.Table
 
 	// composer coalesces ready sessions' steps into multi-row runs
 	// (nil when batching is disabled).
@@ -499,6 +547,9 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		cfg.KV.ShardSeqs = cfg.SeqsPerSession
 		s.cfg.KV = cfg.KV
 		s.kv = kvpage.New(cfg.KV)
+		if cfg.PrefixCache {
+			s.prefix = prefixcache.New(prefixcache.Config{PageSize: s.kv.PageSize()})
+		}
 	}
 	// Aggregate acceptance timestamps never outgrow this, keeping the
 	// per-token Sampled call allocation-free.
@@ -535,6 +586,10 @@ func (s *Scheduler) Run() ([]Result, error) {
 			return nil, err
 		}
 	}
+	// Release every shared-prefix registry hold so the drained pipeline
+	// ends with zero used cells (all sessions are done, so every entry is
+	// inactive and the evictions free the shared pages everywhere).
+	s.flushPrefix()
 	s.h.Stats.MarkDone(s.h.EP.Now())
 	s.h.Stats.Generated.Store(int64(s.total))
 	s.obs.SetReady(false)
@@ -581,23 +636,25 @@ func (s *Scheduler) admit() {
 		req := s.reqs[s.nextReq]
 		ns := kvcache.NamespaceFor(slot, s.cfg.SeqsPerSession)
 		sess := &session{
-			req:        s.nextReq,
-			slot:       slot,
-			ns:         ns,
-			alloc:      ns.SpecAllocator(),
-			canonSet:   kvcache.NewSeqSet(ns.Canonical()),
-			accepted:   make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
-			prompt:     len(req.Prompt),
-			maxNew:     req.MaxNew,
-			priority:   req.Priority,
-			cutoff:     s.h.CFG.SpecCutoff,
-			fillTarget: len(req.Prompt),
+			req:         s.nextReq,
+			slot:        slot,
+			ns:          ns,
+			alloc:       ns.SpecAllocator(),
+			canonSet:    kvcache.NewSeqSet(ns.Canonical()),
+			accepted:    make([]token.Token, len(req.Prompt), len(req.Prompt)+req.MaxNew+2),
+			prompt:      len(req.Prompt),
+			maxNew:      req.MaxNew,
+			priority:    req.Priority,
+			cutoff:      s.h.CFG.SpecCutoff,
+			fillTarget:  len(req.Prompt),
+			prefixEntry: -1,
 		}
 		copy(sess.accepted, req.Prompt)
 		sess.arrived = s.h.EP.Now()
 		sess.stats.AcceptTimes = make([]time.Duration, 0, req.MaxNew)
 		s.slots[slot] = sess
 		s.nextReq++
+		s.probePrefix(sess)
 	}
 }
 
@@ -909,8 +966,9 @@ func (s *Scheduler) launchFor(sess *session) bool {
 			return false
 		}
 		// Canonical prefill may preempt to make room: admission is
-		// mandatory work.
-		if !s.ensureRoom(sess, sess.prompt) {
+		// mandatory work. A prefix hit's shared pages are already mapped
+		// and pinned; only the divergent suffix needs cells.
+		if !s.ensureRoom(sess, sess.prompt-sess.prefixLen) {
 			return false
 		}
 		s.launchPrefill(sess)
@@ -926,14 +984,19 @@ func (s *Scheduler) launchFor(sess *session) bool {
 		// Readmission never evicts anyone: wait until the full accepted
 		// prefix fits in genuinely free cells, then recompute it — in one
 		// run, or chunk by chunk when chunked prefill is on.
+		// (The room check is conservative: a prefix hit at readmission
+		// would shrink the recompute, but probing before room is assured
+		// would strand a mapped entry on a failed admit.)
 		if !s.roomFor(sess, len(sess.accepted)) {
 			return false
 		}
 		if s.chunking() {
 			s.beginChunkedReadmit(sess)
+			s.probePrefix(sess)
 			s.launchChunkSolo(sess)
 			return true
 		}
+		s.probePrefix(sess)
 		s.launchReadmit(sess)
 		return true
 	case stateDecode:
@@ -969,6 +1032,23 @@ func (s *Scheduler) roomFor(sess *session, n int) bool {
 func (s *Scheduler) ensureRoom(sess *session, n int) bool {
 	if s.roomFor(sess, n) {
 		return true
+	}
+	// Stage 0: unreferenced shared prefixes are pure cache — evict the
+	// coldest trie entries (LRU, active mappings exempt) before touching
+	// any session's live work. Pages still listed by mapped shards are
+	// only de-registered here and free when their last shard departs.
+	if s.prefix != nil {
+		for {
+			v, ok := s.prefix.EvictLRU()
+			if !ok {
+				break
+			}
+			s.unrefEntry(v)
+			s.observePrefixOcc()
+			if s.roomFor(sess, n) {
+				return true
+			}
+		}
 	}
 	// Stage 1: speculation is optional work — reclaim every session's
 	// unverified chains (including the requester's own).
@@ -1095,6 +1175,13 @@ func (s *Scheduler) park(sess *session) {
 		sess.fillSent, sess.fillDone = 0, 0
 	}
 	sess.state = stateParked
+	// Drop the session's shared-prefix mapping: the shard eviction below
+	// delists the shared pages (a decref — other mapped sessions and the
+	// registry hold keep them alive), and readmission re-probes the trie.
+	if sess.prefixEntry >= 0 {
+		s.prefix.Unref(sess.prefixEntry)
+		sess.prefixEntry, sess.prefixLen = -1, 0
+	}
 	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpEvictShard,
 		Src: sess.ns.Base, Dst: kvcache.SeqID(sess.ns.Width)})
 	s.ops = ops[:0]
@@ -1119,19 +1206,24 @@ func (s *Scheduler) preempt(victim *session) {
 // uninterrupted greedy stream.
 func (s *Scheduler) launchReadmit(sess *session) {
 	n := len(sess.accepted)
-	msg := s.getMsg(n)
+	k := sess.prefixLen // shared pages cover [0, k): recompute only the rest
+	msg := s.getMsg(n - k)
 	msg.Kind = engine.KindPrefill
 	msg.Seq = sess.ns.Canonical()
 	msg.Session = uint16(sess.slot)
-	for i := 0; i < n; i++ {
-		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
+	for i := k; i < n; i++ {
+		msg.Tokens[i-k] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
 	}
 	sess.state = statePrefill
 	// A session recovered before its first token regenerates the prompt-
 	// sampled token, which stays untimed (same rule as a fresh prefill).
 	sess.readmitted = sess.generated() > 0
 	sess.cutoff = s.h.CFG.SpecCutoff
-	if s.launch(msg, nil, nil) == nil {
+	var ctx []token.Token
+	if s.cfg.NeedCtx && k > 0 {
+		ctx = sess.accepted[:k:k]
+	}
+	if s.launch(msg, ctx, nil) == nil {
 		s.putMsg(msg)
 		return
 	}
@@ -1327,15 +1419,127 @@ func (s *Scheduler) sendKV(ops []kvcache.Op) {
 	s.h.SendKV(ops)
 }
 
+// --- prefix reuse (PR 9) ---
+
+// probePrefix looks the session's accepted prefix up in the shared-prefix
+// trie and, on a hit, maps the matched page chain read-only into the
+// session's shard on the shadow and every stage (one OpMapShared
+// transaction): positions [0, n) need no compute and no private cells,
+// and prefill starts at the divergence point. The lookup is limited to
+// len(accepted)-1 so at least one token is always left to compute — the
+// run that samples the session's next token. Called at admission and at
+// readmission (after beginChunkedReadmit, whose reset it overwrites).
+func (s *Scheduler) probePrefix(sess *session) {
+	if s.prefix == nil {
+		return
+	}
+	e, n := s.prefix.Lookup(sess.accepted, len(sess.accepted)-1)
+	if e < 0 || n == 0 {
+		return
+	}
+	s.prefix.Ref(e)
+	sess.prefixEntry, sess.prefixLen = e, n
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpMapShared,
+		Src: sess.ns.Canonical(), Dst: kvcache.SeqID(e), P1: int32(n)})
+	s.ops = ops[:0]
+	s.sendKV(ops)
+	sess.fillSent, sess.fillDone = n, n
+	sess.stats.PrefixHits++
+	sess.stats.PrefixHitTokens += n
+	s.h.Stats.PrefixHits.Add(1)
+	s.h.Stats.PrefixHitTokens.Add(int64(n))
+}
+
+// publishPrefix runs at prefill completion: if the session's prompt has a
+// page-aligned prefix deeper than anything the trie already covers, it is
+// registered and the session's canonical cells over it become immutable
+// refcounted shared pages on the shadow and every stage (one
+// OpSharePrefix transaction). The donor keeps using the same cells; only
+// ownership changes. Publication is skipped when the chain is not
+// collectible whole-page (CanShare) — possible only in degenerate
+// layouts — or when every entry id is taken and even the LRU eviction
+// cannot free one.
+func (s *Scheduler) publishPrefix(sess *session) {
+	if s.prefix == nil {
+		return
+	}
+	ps := s.prefix.PageSize()
+	l := sess.prompt / ps * ps
+	if l == 0 || l <= sess.prefixLen {
+		return
+	}
+	if _, n := s.prefix.Lookup(sess.accepted[:sess.prompt], l); n >= l {
+		return // an entry at least this deep is already published
+	}
+	if !s.kv.CanShare(sess.ns.Canonical(), int32(l)) {
+		return
+	}
+	e, ok := s.prefix.Insert(sess.accepted[:l])
+	if !ok {
+		if v, evicted := s.prefix.EvictLRU(); evicted {
+			s.unrefEntry(v)
+			e, ok = s.prefix.Insert(sess.accepted[:l])
+		}
+		if !ok {
+			return
+		}
+	}
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpSharePrefix,
+		Src: sess.ns.Canonical(), Dst: kvcache.SeqID(e), P1: int32(l)})
+	s.ops = ops[:0]
+	s.sendKV(ops)
+	s.observePrefixOcc()
+}
+
+// unrefEntry drops the scheduler's registry hold on an evicted trie
+// entry pipeline-wide; pages free as soon as no mapped shard lists them.
+func (s *Scheduler) unrefEntry(e int) {
+	ops := append(s.ops[:0], kvcache.Op{Kind: kvcache.OpUnrefPrefix, Dst: kvcache.SeqID(e)})
+	s.ops = ops[:0]
+	s.sendKV(ops)
+}
+
+// flushPrefix evicts every remaining trie entry at run-down. All sessions
+// are done, so no entry is active and every shared page frees — the
+// drained caches end at zero used cells, same as without prefix reuse.
+func (s *Scheduler) flushPrefix() {
+	if s.prefix == nil {
+		return
+	}
+	for {
+		v, ok := s.prefix.EvictLRU()
+		if !ok {
+			break
+		}
+		s.unrefEntry(v)
+	}
+	s.observePrefixOcc()
+}
+
+// observePrefixOcc mirrors trie occupancy into the telemetry gauges.
+func (s *Scheduler) observePrefixOcc() {
+	if s.prefix == nil {
+		return
+	}
+	s.obs.SetPrefixCache(s.prefix.Len(), s.prefix.Tokens())
+}
+
 func (s *Scheduler) launchPrefill(sess *session) {
-	msg := s.getMsg(sess.prompt)
+	k := sess.prefixLen // shared pages cover [0, k): prefill the rest
+	msg := s.getMsg(sess.prompt - k)
 	msg.Kind = engine.KindPrefill
 	msg.Seq = sess.ns.Canonical()
 	msg.Session = uint16(sess.slot)
-	for i := 0; i < sess.prompt; i++ {
-		msg.Tokens[i] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
+	for i := k; i < sess.prompt; i++ {
+		msg.Tokens[i-k] = engine.TokenPlace{Tok: sess.accepted[i], Pos: int32(i), Seqs: sess.canonSet}
 	}
-	if s.launch(msg, nil, nil) == nil {
+	var ctx []token.Token
+	if s.cfg.NeedCtx && k > 0 {
+		// The mapped prefix is this run's context; accepted is append-only
+		// and frozen during prefill, so aliasing is safe.
+		ctx = sess.accepted[:k:k]
+	}
+	if s.launch(msg, ctx, nil) == nil {
 		s.putMsg(msg)
 		return
 	}
@@ -2121,6 +2325,7 @@ func (s *Scheduler) onPrefill(sess *session, run *engine.Run, res engine.Results
 // prefix-recompute readmission it is an ordinary mid-stream acceptance
 // and the original prefill timestamp (the TTFT anchor) stands.
 func (s *Scheduler) completePrefill(sess *session, next token.Token) {
+	s.publishPrefix(sess)
 	readmit := sess.readmitted
 	sess.readmitted = false
 	if !readmit {
@@ -2474,6 +2679,10 @@ func (s *Scheduler) cancelFor(sess *session, victims []*engine.Run) {
 // its sequence ids over the full position range on every stage, so the
 // recycled slot starts from an empty namespace — and records the result.
 func (s *Scheduler) finalize(sess *session) {
+	if sess.prefixEntry >= 0 {
+		s.prefix.Unref(sess.prefixEntry)
+		sess.prefixEntry, sess.prefixLen = -1, 0
+	}
 	ops := s.ops[:0]
 	for i := 0; i < sess.ns.Width; i++ {
 		ops = append(ops, kvcache.Op{Kind: kvcache.OpSeqRm,

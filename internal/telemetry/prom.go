@@ -119,6 +119,10 @@ func (r *Registry) writeProm(w io.Writer) (int64, error) {
 	cw.sample("pipeinfer_sessions_queued", float64(r.queued.Load()))
 	cw.family("pipeinfer_session_slots", "gauge", "Concurrent session slots.")
 	cw.sample("pipeinfer_session_slots", float64(r.slots.Load()))
+	cw.family("pipeinfer_prefix_cache_entries", "gauge", "Shared-prefix trie entries registered.")
+	cw.sample("pipeinfer_prefix_cache_entries", float64(r.prefixEntries.Load()))
+	cw.family("pipeinfer_prefix_cache_tokens", "gauge", "Prompt tokens covered by registered shared prefixes.")
+	cw.sample("pipeinfer_prefix_cache_tokens", float64(r.prefixTokens.Load()))
 
 	const ns = float64(time.Second)
 	cw.summary("pipeinfer_ttft_seconds", "Per-session time-to-first-token (arrival to prefill completion).", r.TTFT, ns)
@@ -203,6 +207,8 @@ func (r *Registry) writeProm(w io.Writer) (int64, error) {
 		{"pipeinfer_recoveries_total", "Sessions recovered by evict + prefix recompute.", s.Recoveries},
 		{"pipeinfer_reconnects_total", "Transport links re-established.", s.Reconnects},
 		{"pipeinfer_breaker_trips_total", "Repeated-failure breaker trips.", s.BreakerTrips},
+		{"pipeinfer_prefix_hits_total", "Admissions that mapped a published shared prefix.", s.PrefixHits},
+		{"pipeinfer_prefix_hit_tokens_total", "Prompt tokens skipped by shared-prefix hits.", s.PrefixHitTokens},
 	} {
 		cw.family(c.name, "counter", c.help)
 		cw.sample(c.name, float64(c.v))

@@ -44,6 +44,11 @@ type Registry struct {
 	active  atomic.Int64
 	slots   atomic.Int64
 
+	// Shared-prefix trie occupancy (PR 9): registered entries and the
+	// prompt tokens they cover.
+	prefixEntries atomic.Int64
+	prefixTokens  atomic.Int64
+
 	mu       sync.Mutex
 	stages   []stageEntry
 	links    []linkEntry
@@ -144,6 +149,16 @@ func (r *Registry) SetPressure(queued, active, slots int) {
 	r.queued.Store(int64(queued))
 	r.active.Store(int64(active))
 	r.slots.Store(int64(slots))
+}
+
+// SetPrefixCache publishes the shared-prefix trie's occupancy: entries
+// registered and the prompt tokens they cover.
+func (r *Registry) SetPrefixCache(entries, tokens int) {
+	if r == nil {
+		return
+	}
+	r.prefixEntries.Store(int64(entries))
+	r.prefixTokens.Store(int64(tokens))
 }
 
 func b2i(b bool) int64 {
