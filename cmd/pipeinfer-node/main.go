@@ -75,6 +75,10 @@ func main() {
 		kvPage     = flag.Int("kv-page", 0, "KV page size in cells (0 = default 16; must match on all ranks)")
 		prefix     = flag.Bool("prefix-cache", true, "shared-prefix reuse: publish completed prompt prefixes and map them read-only into later sessions sharing them (needs -serve and -kv-cells > 0; must match on all ranks)")
 		runTimeout = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off; needs -serve; rank 0 only)")
+		priority   = flag.Int("priority", 0, "service class for every request: higher priorities rank earlier in the admission queue (needs -serve; rank 0 only)")
+		ttftSLO    = flag.Duration("ttft-slo", 0, "time-to-first-token budget from serve start; queued requests whose budget is provably blown are shed before any compute (0 = off; needs -serve; rank 0 only)")
+		deadline   = flag.Duration("deadline", 0, "completion budget from serve start; served requests score a deadline hit or miss (0 = off; needs -serve; rank 0 only)")
+		maxQueue   = flag.Int("max-queue", 0, "admission queue bound: submissions past it are refused with an overload error; also anchors the brown-out ladder (0 = unbounded; needs -serve; rank 0 only)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "link keepalive interval; silent links are torn down and redialed (0 = off)")
 		backoff    = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff, doubled with jitter up to 2s")
 		reconnect  = flag.Duration("reconnect-timeout", 10*time.Second, "per-link reconnection budget after a failure (0 = broken links stay down)")
@@ -139,7 +143,8 @@ func main() {
 	}
 
 	if *sessions > 0 {
-		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *kvCells, *kvPage, *prefix, *promptText, *seed, *noise, *runTimeout, reg)
+		slo := sloOptions{priority: *priority, ttftSLO: *ttftSLO, deadline: *deadline, maxQueue: *maxQueue}
+		serveCluster(ep, addrs, tk, cfg, strategy, *sessions, *tokens, *kvCells, *kvPage, *prefix, *promptText, *seed, *noise, *runTimeout, slo, reg)
 		return
 	}
 
@@ -169,12 +174,22 @@ func main() {
 	}
 }
 
+// sloOptions bundles the overload-control flags: one service class plus
+// TTFT/completion budgets (from serve start) applied to every request,
+// and the admission queue bound.
+type sloOptions struct {
+	priority          int
+	ttftSLO, deadline time.Duration
+	maxQueue          int
+}
+
 // serveCluster runs one rank of a distributed serving run: the shared
 // pipeline multiplexes every request, with the watchdog and session
-// recovery armed when runTimeout > 0.
+// recovery armed when runTimeout > 0 and overload control armed by the
+// SLO flags.
 func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg model.Config,
 	strategy engine.Strategy, sessions, tokens, kvCells, kvPage int, prefix bool,
-	promptText string, seed uint64, noise float64, runTimeout time.Duration, reg *telemetry.Registry) {
+	promptText string, seed uint64, noise float64, runTimeout time.Duration, slo sloOptions, reg *telemetry.Registry) {
 	if strategy == engine.StrategySpeculative {
 		fatal(fmt.Errorf("-serve supports iterative and pipeinfer strategies"))
 	}
@@ -183,6 +198,11 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 		reqs[i] = serve.Request{
 			Prompt: tk.Encode(fmt.Sprintf("%s %d", promptText, i)),
 			MaxNew: tokens,
+			// Budgets from serve start are absolute deadlines on the TCP
+			// endpoint's clock, whose epoch is mesh establishment.
+			Priority:     slo.priority,
+			TTFTDeadline: slo.ttftSLO,
+			Deadline:     slo.deadline,
 		}
 	}
 	rank := ep.Rank()
@@ -198,6 +218,7 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 		KVPageSize:  kvPage,
 		PrefixCache: prefix,
 		RunTimeout:  runTimeout,
+		MaxQueue:    slo.maxQueue,
 		Obs:         reg,
 		Requests:    reqs,
 	})
@@ -211,6 +232,10 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 	wall := time.Since(start)
 	total := 0
 	for i, res := range out.Results {
+		if res.Err != nil {
+			fmt.Printf("session %d: not served (%v)\n", i, res.Err)
+			continue
+		}
 		total += res.Stats.Generated
 		fmt.Printf("session %d: %q (%d tok)\n", i, tk.Decode(res.Tokens), len(res.Tokens))
 	}
@@ -228,6 +253,13 @@ func serveCluster(ep *tcpcomm.Endpoint, addrs []string, tk *token.Tokenizer, cfg
 	}
 	fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 		out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
+	if slo.maxQueue > 0 || slo.ttftSLO > 0 || slo.deadline > 0 || out.Stats.Sheds > 0 || out.Stats.Overloads > 0 {
+		fmt.Printf("overload control: %d shed on TTFT deadline, %d refused at admission\n",
+			out.Stats.Sheds, out.Stats.Overloads)
+		if scored := out.Stats.DeadlineHits + out.Stats.DeadlineMisses; scored > 0 {
+			fmt.Printf("deadlines: %d/%d served requests met every deadline\n", out.Stats.DeadlineHits, scored)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -33,6 +33,18 @@
 //	                                                       # slots map the published prefix
 //	                                                       # read-only instead of recomputing it
 //	                                                       # (-prefix-cache=false disables)
+//	pipeinfer-serve -sessions 16 -slots 4 -ttft-slo 2s \
+//	                -deadline 30s -max-queue 8             # overload control: requests carry a
+//	                                                       # TTFT SLO and completion deadline
+//	                                                       # (budgets from serve start); queued
+//	                                                       # requests whose TTFT budget is
+//	                                                       # provably blown are shed before any
+//	                                                       # compute, submissions past the queue
+//	                                                       # bound are refused with a
+//	                                                       # distinguishable overload error, and
+//	                                                       # the brown-out ladder drops
+//	                                                       # speculation then narrows prefill
+//	                                                       # before any mandatory work suffers
 //	pipeinfer-serve -metrics-addr :9090                    # live observability: /metrics
 //	                                                       # (Prometheus), /healthz, /readyz and
 //	                                                       # /debug/pprof while serving
@@ -107,6 +119,10 @@ func main() {
 		batchWin  = flag.Int("batch-window", 0, "scheduler steps a partial batch may wait for more ready sessions while the pipeline is busy (0 = launch immediately)")
 		chunk     = flag.Int("prefill-chunk", 0, "chunked cross-session prefill: per-run prompt token budget; prompts split into chunks that batch across sessions and ride with decode rows (0 = whole-prompt prefills; needs -batch)")
 		runTO     = flag.Duration("run-timeout", 0, "run watchdog floor: a run without a result past its deadline fails and its sessions recover by evict + prefix recompute (0 = off)")
+		priority  = flag.Int("priority", 0, "service class for every request: higher priorities rank as if their deadline were earlier in the admission queue (aging prevents starvation of lower classes)")
+		ttftSLO   = flag.Duration("ttft-slo", 0, "time-to-first-token budget from serve start; a queued request whose budget is provably blown is shed before any compute is spent on it (0 = no TTFT SLO)")
+		deadline  = flag.Duration("deadline", 0, "completion budget from serve start; served requests score a deadline hit or miss (0 = no deadline)")
+		maxQueue  = flag.Int("max-queue", 0, "admission queue bound: submissions past it are refused with a distinguishable overload error instead of waiting; also anchors the brown-out degradation ladder (0 = unbounded)")
 		mAddr     = flag.String("metrics-addr", "", "serve live observability HTTP on this address (e.g. :9090): /metrics Prometheus exposition with streaming p50/p90/p99 latency summaries and per-stage bubble fractions, /healthz + /readyz health, /debug/pprof profiling (empty = off)")
 		flightOut = flag.String("flight-dump", "", "arm automatic flight-recorder dumps: on watchdog failure or breaker trip the per-rank event rings are written to this file (binary; convert with pipeinfer-trace -flight; empty = off)")
 		_         = flag.Duration("heartbeat", time.Second, "link keepalive interval (TCP transport only; the in-process mesh here has no links to keep alive — see pipeinfer-node)")
@@ -121,8 +137,10 @@ func main() {
 
 	reg := newRegistry(*mAddr, *flightOut)
 
+	slo := sloOptions{priority: *priority, ttftSLO: *ttftSLO, deadline: *deadline, maxQueue: *maxQueue}
+
 	if *sim {
-		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, *prefix, *sharedLen, batchSz, *batchWin, *chunk, autoBatch, *runTO, reg)
+		simServe(*nodes, *sessions, *slots, *tokens, *seed, *speculate, *kvCells, *kvPage, *prefix, *sharedLen, batchSz, *batchWin, *chunk, autoBatch, *runTO, slo, reg)
 		return
 	}
 
@@ -137,6 +155,12 @@ func main() {
 		reqs[i] = pipeinfer.ServeRequest{
 			Prompt: tk.Encode(fmt.Sprintf("%s %d", *prompt, i)),
 			MaxNew: *tokens,
+			// SLO budgets are measured from serve start; the endpoint
+			// clock's epoch is the cluster's creation inside Serve, so the
+			// relative budget is the absolute deadline.
+			Priority:     slo.priority,
+			TTFTDeadline: slo.ttftSLO,
+			Deadline:     slo.deadline,
 		}
 	}
 
@@ -156,6 +180,7 @@ func main() {
 		PrefillChunk: *chunk,
 		AutoBatch:    autoBatch,
 		RunTimeout:   *runTO,
+		MaxQueue:     slo.maxQueue,
 		Obs:          reg,
 		Requests:     reqs,
 	}
@@ -179,6 +204,12 @@ func main() {
 	fmt.Printf("== served %d requests over %d nodes (speculate=%v) ==\n", *sessions, *nodes, *speculate)
 	mismatch := false
 	for i, res := range out.Results {
+		if res.Err != nil {
+			// Shed and refused requests settle with an error Result, never
+			// silently — and never count against correctness.
+			fmt.Printf("session %d: not served (%v)\n", i, res.Err)
+			continue
+		}
 		ref, err := pipeinfer.ReferenceGreedy(pipeinfer.GenerateOptions{
 			ModelCfg: cfg, Seed: *seed, Prompt: reqs[i].Prompt,
 		}, *tokens)
@@ -228,6 +259,7 @@ func main() {
 		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 	}
+	printOverload(out.Stats, slo)
 	printTelemetry(reg)
 	if mismatch {
 		fmt.Println("correctness: MISMATCH against greedy reference")
@@ -278,10 +310,33 @@ func printTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// sloOptions bundles the overload-control flags: one service class plus
+// TTFT/completion budgets (from serve start) applied to every request,
+// and the admission queue bound.
+type sloOptions struct {
+	priority          int
+	ttftSLO, deadline time.Duration
+	maxQueue          int
+}
+
+// printOverload summarises the overload-control outcome when any of it
+// engaged or was configured: sheds, admission refusals, and the deadline
+// hit-rate over requests that carried deadlines.
+func printOverload(s engine.Stats, slo sloOptions) {
+	if slo.maxQueue == 0 && slo.ttftSLO == 0 && slo.deadline == 0 && s.Sheds == 0 && s.Overloads == 0 {
+		return
+	}
+	fmt.Printf("overload control: %d shed on TTFT deadline, %d refused at admission\n", s.Sheds, s.Overloads)
+	if scored := s.DeadlineHits + s.DeadlineMisses; scored > 0 {
+		fmt.Printf("deadlines: %d/%d served requests met every deadline (%.0f%% hit-rate)\n",
+			s.DeadlineHits, scored, 100*float64(s.DeadlineHits)/float64(scored))
+	}
+}
+
 // simServe serves on the discrete-event simulator at paper scale and
 // reports virtual-time throughput.
-func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage int, prefix bool, sharedLen, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration, reg *telemetry.Registry) {
-	out, err := pipeinfer.SimulateServe(pipeinfer.SimulateServeOptions{
+func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, kvCells, kvPage int, prefix bool, sharedLen, batchSz, batchWin, chunk int, autoBatch bool, runTO time.Duration, slo sloOptions, reg *telemetry.Registry) {
+	simOpts := pipeinfer.SimulateServeOptions{
 		Cluster:         pipeinfer.ClusterC().Take(nodes),
 		Pair:            pipeinfer.CPUPairs()[0],
 		CFG:             engine.Config{MaxNew: tokens},
@@ -299,21 +354,36 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		PrefillChunk:    chunk,
 		AutoBatch:       autoBatch,
 		RunTimeout:      runTO,
+		MaxQueue:        slo.maxQueue,
 		Obs:             reg,
-	})
+	}
+	if slo.priority != 0 || slo.ttftSLO > 0 || slo.deadline > 0 {
+		// Budgets from serve start are absolute deadlines on the
+		// simulation's virtual clock, whose epoch is t=0.
+		simOpts.SLOFor = func(int) (int, time.Duration, time.Duration) {
+			return slo.priority, slo.ttftSLO, slo.deadline
+		}
+	}
+	out, err := pipeinfer.SimulateServe(simOpts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("== simulated serving: %d sessions over %d nodes (speculate=%v) ==\n",
 		sessions, nodes, speculate)
 	var ttftSum, ttftMean time.Duration
+	served := 0
 	for i, res := range out.Results {
+		if res.Err != nil {
+			fmt.Printf("session %d: not served (%v)\n", i, res.Err)
+			continue
+		}
+		served++
 		ttftSum += res.Stats.TimeToFirst()
 		fmt.Printf("session %d: %d tokens, TTFT %v, speed %.1f tok/s\n",
 			i, res.Stats.Generated, res.Stats.TimeToFirst().Round(time.Millisecond), res.Stats.Speed())
 	}
-	if len(out.Results) > 0 {
-		ttftMean = ttftSum / time.Duration(len(out.Results))
+	if served > 0 {
+		ttftMean = ttftSum / time.Duration(served)
 	}
 	fmt.Printf("aggregate: %d tokens in %v virtual (%.1f tok/s); acceptance %.0f%%; mean TTFT %v\n",
 		out.Stats.Generated, out.Stats.Done.Round(time.Millisecond),
@@ -335,6 +405,7 @@ func simServe(nodes, sessions, slots, tokens int, seed uint64, speculate bool, k
 		fmt.Printf("fault tolerance: %d run timeouts, %d recoveries, %d reconnects, %d breaker trips\n",
 			out.Stats.RunTimeouts, out.Stats.Recoveries, out.Stats.Reconnects, out.Stats.BreakerTrips)
 	}
+	printOverload(out.Stats, slo)
 	printTelemetry(reg)
 }
 

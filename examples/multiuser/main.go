@@ -45,10 +45,18 @@
 //     published into a block-hash trie and every later user's admission
 //     maps those refcounted, read-only KV pages into their own
 //     namespace, prefilling only their question — first-token wait
-//     collapses, outputs still bit-identical.
+//     collapses, outputs still bit-identical;
+//  10. served through an overload burst: 10 users rush 2 session slots,
+//     half of them carrying an already-unmeetable TTFT SLO and two more
+//     arriving past the bounded admission queue — the doomed are shed
+//     before any prefill compute is spent, the over-bound are refused
+//     with a distinguishable "overloaded" result, and the survivors
+//     meet every deadline with outputs bit-identical to the
+//     uncontended run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -463,4 +471,67 @@ func main() {
 	fmt.Printf("  prefix cache on:  first-token wait %v per user after the cold first (%.1fx faster; %d hits reused %d prompt tokens) — outputs unchanged\n",
 		hitWait.Round(time.Millisecond), float64(coldWait)/float64(hitWait),
 		warmRun.Stats.PrefixHits, warmRun.Stats.PrefixHitTokens)
+
+	// 10. Overload control: 10 users rush a front door with 2 session
+	// slots and an 8-deep admission queue. Users 0-3 are patient (mixed
+	// priorities, a far-future completion deadline); users 4-7 carry a
+	// TTFT SLO that is already past, so the scheduler sheds them during
+	// admission — before a single token of their prompts is prefilled;
+	// users 8-9 arrive with the queue at its bound and are refused
+	// outright. Every request settles with an explicit outcome: served,
+	// shed (ErrServeShed), or refused (ErrServeOverloaded) — never a
+	// silent drop — and shedding the doomed load must not perturb the
+	// survivors by a bit.
+	const overloadUsers = 10
+	ovReqs := make([]pipeinfer.ServeRequest, overloadUsers)
+	for i := range ovReqs {
+		ovReqs[i] = pipeinfer.ServeRequest{
+			Prompt: tk.Encode(fmt.Sprintf("user %d asks", i)),
+			MaxNew: tokens,
+		}
+		switch {
+		case i < 4:
+			ovReqs[i].Priority = i % 3
+			ovReqs[i].Deadline = time.Hour
+		case i < 8:
+			ovReqs[i].TTFTDeadline = time.Nanosecond
+		}
+	}
+	overloaded, err := pipeinfer.Serve(pipeinfer.ServeOptions{
+		Nodes:       nodes,
+		CFG:         engine.Config{MaxNew: tokens},
+		ModelCfg:    cfg,
+		Seed:        42,
+		MaxSessions: 2,
+		MaxQueue:    8,
+		Requests:    ovReqs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shed, refused := 0, 0
+	for i, res := range overloaded.Results {
+		switch {
+		case errors.Is(res.Err, pipeinfer.ErrServeShed):
+			shed++
+		case errors.Is(res.Err, pipeinfer.ErrServeOverloaded):
+			refused++
+		case res.Err != nil:
+			log.Fatalf("user %d settled with an unexpected error: %v", i, res.Err)
+		default:
+			// Survivors are users 0-3, whose prompts match the step-2 run:
+			// shedding around them must leave their streams bit-identical.
+			for j, tok := range out.Results[i].Tokens {
+				if res.Tokens[j] != tok {
+					log.Fatalf("user %d got a different answer under overload shedding", i)
+				}
+			}
+		}
+	}
+	ost := overloaded.Stats
+	fmt.Printf("\noverload burst (%d users over 2 slots, queue bound 8):\n", overloadUsers)
+	fmt.Printf("  %d shed on an unmeetable TTFT SLO before any prefill compute, %d refused at the admission bound\n",
+		shed, refused)
+	fmt.Printf("  survivors: %d/%d deadlines met — outputs unchanged\n",
+		ost.DeadlineHits, ost.DeadlineHits+ost.DeadlineMisses)
 }

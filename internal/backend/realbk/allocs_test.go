@@ -142,6 +142,12 @@ func TestServeStepAllocs(t *testing.T) {
 // system prefix so the trie holds published entries (and the registry
 // pins shared pages) throughout the measured window: shared-prefix
 // bookkeeping must add zero allocations to the decode steady state.
+//
+// Overload control is armed too (PR 10): a bounded admission queue plus
+// per-request completion deadlines, so the brown-out recomputation,
+// overload gauge updates and deadline bookkeeping all sit inside the
+// measured window. With the queue drained they must stay off the
+// allocation path.
 func TestServeBatchedStepAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; gate enforced by the non-race job")
@@ -171,7 +177,9 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 				prompt[i] = token.Token(token.NumSpecial + (3*i+7*s+1)%250)
 			}
 		}
-		reqs[s] = serve.Request{Prompt: prompt, MaxNew: maxNew}
+		// A far-future absolute completion deadline keeps deadline scoring
+		// engaged without ever shedding.
+		reqs[s] = serve.Request{Prompt: prompt, MaxNew: maxNew, Deadline: time.Hour}
 	}
 	cells := sessions*(24+maxNew) + 256
 	w := NewWorker(m, 0, cfg.NLayers, true, true, kvpage.Config{Cells: cells, PageSize: 8, ShardSeqs: 1})
@@ -194,6 +202,7 @@ func TestServeBatchedStepAllocs(t *testing.T) {
 		// The armed watchdog's per-launch deadline derivation and
 		// per-result re-arm are part of the steady state being gated.
 		RunTimeout: time.Minute,
+		MaxQueue:   2 * sessions,
 		Obs:        reg,
 	}, reqs)
 	if err != nil {

@@ -1,0 +1,202 @@
+package realbk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+)
+
+// TestServeOverloadParity is the overload-control correctness wall on
+// the real backend: a 4x-oversubscribed mixed-SLO burst where half the
+// requests carry an already-unmeetable TTFT deadline. The doomed half
+// must be shed before any compute is spent on it (ErrShedDeadline, never
+// silent), every surviving session must still reproduce its serial
+// greedy reference bit for bit, completion deadlines must score, and the
+// stage caches must drain to zero cells (Serve self-checks that).
+func TestServeOverloadParity(t *testing.T) {
+	const maxNew = 9
+	const requests = 16
+	reqs := serveRequests(requests, maxNew)
+	for i := range reqs {
+		if i < requests/2 {
+			// Survivors: mixed priorities and a far-future completion
+			// deadline, so deadline scoring engages without shedding.
+			reqs[i].Priority = i % 3
+			reqs[i].Deadline = time.Hour
+		} else {
+			// Doomed: an absolute TTFT deadline of 1ns is already past by
+			// the time the first scheduler step runs on the wall clock, so
+			// shed-before-compute must drop them during admission.
+			reqs[i].TTFTDeadline = time.Nanosecond
+		}
+	}
+	opts := ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        21,
+		MaxSessions: 4,
+		Requests:    reqs,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != requests {
+		t.Fatalf("%d results for %d requests", len(out.Results), requests)
+	}
+	for i, res := range out.Results {
+		if i >= requests/2 {
+			if !errors.Is(res.Err, serve.ErrShedDeadline) {
+				t.Fatalf("doomed request %d: Err = %v, want ErrShedDeadline", i, res.Err)
+			}
+			if len(res.Tokens) != 0 {
+				t.Fatalf("shed request %d produced %d tokens", i, len(res.Tokens))
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("surviving request %d errored: %v", i, res.Err)
+		}
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tokens) != len(ref) {
+			t.Fatalf("request %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged from its serial reference at token %d under shedding: %d != %d",
+					i, j, res.Tokens[j], ref[j])
+			}
+		}
+	}
+	if out.Stats.Sheds != requests/2 {
+		t.Fatalf("Stats.Sheds = %d, want %d", out.Stats.Sheds, requests/2)
+	}
+	if out.Stats.DeadlineHits != requests/2 || out.Stats.DeadlineMisses != 0 {
+		t.Fatalf("deadline scoring: %d hits, %d misses; want %d, 0",
+			out.Stats.DeadlineHits, out.Stats.DeadlineMisses, requests/2)
+	}
+	if out.Stats.Generated != requests/2*maxNew {
+		t.Fatalf("aggregate generated %d, want %d (survivors only)", out.Stats.Generated, requests/2*maxNew)
+	}
+}
+
+// TestServeOverloadBoundedQueue checks the admission-control arm on the
+// real backend: with MaxQueue set, submissions past the bound settle as
+// distinguishable ErrOverloaded results while the in-bound requests
+// serve to bit-identical completion.
+func TestServeOverloadBoundedQueue(t *testing.T) {
+	const maxNew = 8
+	reqs := serveRequests(6, maxNew)
+	opts := ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        33,
+		MaxSessions: 1,
+		MaxQueue:    2,
+		Requests:    reqs,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Overloads != 4 {
+		t.Fatalf("Stats.Overloads = %d, want 4", out.Stats.Overloads)
+	}
+	for i, res := range out.Results {
+		if i >= 2 {
+			if !errors.Is(res.Err, serve.ErrOverloaded) {
+				t.Fatalf("over-bound request %d: Err = %v, want ErrOverloaded", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("in-bound request %d errored: %v", i, res.Err)
+		}
+		ref, err := ReferenceGreedy(Options{
+			ModelCfg: opts.ModelCfg, Seed: opts.Seed, Prompt: reqs[i].Prompt,
+		}, maxNew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("request %d diverged at token %d", i, j)
+			}
+		}
+	}
+}
+
+// TestServeOverloadAllShed is the termination regression for the
+// degenerate burst where not a single request survives admission: some
+// refused at the queue bound, the rest shed on an already-past TTFT
+// deadline during the first admission pass. No pipeline run ever
+// launches, so the scheduler settles everything inside admit() — Run
+// must still recognize completion and shut the worker ranks down
+// instead of misreporting a stall (which would leak the rank goroutines
+// and deadlock Serve's rank join).
+func TestServeOverloadAllShed(t *testing.T) {
+	const maxNew = 6
+	const requests = 6
+	reqs := serveRequests(requests, maxNew)
+	for i := range reqs {
+		reqs[i].TTFTDeadline = time.Nanosecond
+	}
+	opts := ServeOptions{
+		Nodes:       2,
+		CFG:         engine.Config{MaxNew: maxNew},
+		ModelCfg:    serveModel(4),
+		Seed:        7,
+		MaxSessions: 2,
+		MaxQueue:    4,
+		Requests:    reqs,
+	}
+	done := make(chan struct{})
+	var out ServeOutcome
+	var err error
+	go func() {
+		out, err = Serve(opts)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not terminate with every request settled unserved")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, refused := 0, 0
+	for i, res := range out.Results {
+		switch {
+		case errors.Is(res.Err, serve.ErrShedDeadline):
+			shed++
+		case errors.Is(res.Err, serve.ErrOverloaded):
+			refused++
+		default:
+			t.Fatalf("request %d: Err = %v, want shed or overloaded", i, res.Err)
+		}
+		if len(res.Tokens) != 0 {
+			t.Fatalf("unserved request %d produced %d tokens", i, len(res.Tokens))
+		}
+	}
+	if shed != 4 || refused != 2 {
+		t.Fatalf("shed %d + refused %d, want 4 + 2", shed, refused)
+	}
+	if out.Stats.Sheds != shed || out.Stats.Overloads != refused {
+		t.Fatalf("Stats sheds/overloads = %d/%d, want %d/%d",
+			out.Stats.Sheds, out.Stats.Overloads, shed, refused)
+	}
+	if out.Stats.Generated != 0 {
+		t.Fatalf("generated %d tokens with nothing served", out.Stats.Generated)
+	}
+}

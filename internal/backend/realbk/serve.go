@@ -89,6 +89,13 @@ type ServeOptions struct {
 	RunTimeoutMult float64
 	RunTimeoutCap  time.Duration
 
+	// MaxQueue bounds the admission queue (PR 10): submissions past the
+	// bound settle as serve.ErrOverloaded results instead of waiting, and
+	// the bound anchors the brown-out degradation ladder. 0 keeps the
+	// queue unbounded. Per-request SLO classes (priority, TTFT and
+	// completion deadlines) ride on the Requests entries themselves.
+	MaxQueue int
+
 	// WrapEndpoint, when non-nil, wraps each rank's endpoint before the
 	// engine sees it — the hook fault-injection harnesses (faultcomm) use
 	// to perturb a run without the backend knowing.
@@ -309,6 +316,7 @@ func serveRank(ep comm.Endpoint, opts ServeOptions, target *model.Model) (ServeO
 		RunTimeout:     opts.RunTimeout,
 		RunTimeoutMult: opts.RunTimeoutMult,
 		RunTimeoutCap:  opts.RunTimeoutCap,
+		MaxQueue:       opts.MaxQueue,
 		OnRecover:      opts.OnRecover,
 		PrefixCache:    opts.PrefixCache,
 		Obs:            opts.Obs,

@@ -1,0 +1,136 @@
+package simbk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pipeinfer/pipeinfer/internal/cost"
+	"github.com/pipeinfer/pipeinfer/internal/engine"
+	"github.com/pipeinfer/pipeinfer/internal/serve"
+)
+
+// TestServeOverloadParity is the overload-control correctness wall at
+// paper scale, in exact virtual time: a 4x-oversubscribed mixed-SLO
+// burst where half the sessions carry a 1ns TTFT deadline. Whatever
+// subset the scheduler sheds (virtual time is deterministic, but the
+// first admission happens at t=0 where a 1ns deadline is not yet past,
+// so early doomed sessions may legitimately serve), every settled
+// request must either carry ErrShedDeadline or reproduce its oracle
+// stream bit for bit — shed requests consume no pipeline work and are
+// never silent. Serve's own end-state check asserts the stage caches
+// drain to zero cells.
+func TestServeOverloadParity(t *testing.T) {
+	const maxNew = 24
+	const sessions = 16
+	opts := ServeOptions{
+		Cluster:     cost.ClusterC().Take(4),
+		Pair:        cost.CPUPairs()[0],
+		CFG:         engine.Config{MaxNew: maxNew},
+		Sessions:    sessions,
+		PromptLen:   12,
+		Seed:        5,
+		MaxSessions: 4,
+		SLOFor: func(i int) (int, time.Duration, time.Duration) {
+			if i >= sessions/2 {
+				// Doomed class: provably unmeetable as soon as virtual
+				// time advances past 1ns with the request still queued.
+				return 0, time.Nanosecond, 0
+			}
+			// Survivor class: mixed priorities, far-future completion
+			// deadline so deadline scoring engages.
+			return i % 3, 0, time.Hour
+		},
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != sessions {
+		t.Fatalf("%d results for %d sessions", len(out.Results), sessions)
+	}
+	served, shed := 0, 0
+	for i, res := range out.Results {
+		if errors.Is(res.Err, serve.ErrShedDeadline) {
+			shed++
+			if i < sessions/2 {
+				t.Fatalf("deadline-less session %d was shed", i)
+			}
+			if len(res.Tokens) != 0 {
+				t.Fatalf("shed session %d produced %d tokens", i, len(res.Tokens))
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("session %d errored: %v", i, res.Err)
+		}
+		served++
+		ref := ServeReference(opts, i, maxNew)
+		if len(res.Tokens) != len(ref) {
+			t.Fatalf("session %d: %d tokens, want %d", i, len(res.Tokens), len(ref))
+		}
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("session %d deviated from its oracle stream at token %d under shedding", i, j)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatal("a 4x-oversubscribed burst with 1ns TTFT deadlines shed nothing")
+	}
+	if served+shed != sessions {
+		t.Fatalf("%d served + %d shed != %d sessions", served, shed, sessions)
+	}
+	if out.Stats.Sheds != shed {
+		t.Fatalf("Stats.Sheds = %d, but %d results carry ErrShedDeadline", out.Stats.Sheds, shed)
+	}
+	if out.Stats.DeadlineHits != sessions/2 || out.Stats.DeadlineMisses+out.Stats.DeadlineHits+shed != sessions {
+		t.Fatalf("deadline scoring: %d hits, %d misses, %d shed over %d sessions",
+			out.Stats.DeadlineHits, out.Stats.DeadlineMisses, shed, sessions)
+	}
+	if out.Stats.Generated != served*maxNew {
+		t.Fatalf("aggregate generated %d, want %d (served sessions only)", out.Stats.Generated, served*maxNew)
+	}
+}
+
+// TestSimServeOverloadBoundedQueue checks the admission-control arm in
+// simulation: with MaxQueue set, submissions past the bound settle as
+// ErrOverloaded while in-bound sessions still reproduce their oracle
+// streams exactly.
+func TestSimServeOverloadBoundedQueue(t *testing.T) {
+	const maxNew = 16
+	opts := ServeOptions{
+		Cluster:     cost.ClusterC().Take(3),
+		Pair:        cost.CPUPairs()[0],
+		CFG:         engine.Config{MaxNew: maxNew},
+		Sessions:    6,
+		PromptLen:   10,
+		Seed:        11,
+		MaxSessions: 1,
+		MaxQueue:    2,
+	}
+	out, err := Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Overloads != 4 {
+		t.Fatalf("Stats.Overloads = %d, want 4", out.Stats.Overloads)
+	}
+	for i, res := range out.Results {
+		if i >= 2 {
+			if !errors.Is(res.Err, serve.ErrOverloaded) {
+				t.Fatalf("over-bound session %d: Err = %v, want ErrOverloaded", i, res.Err)
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("in-bound session %d errored: %v", i, res.Err)
+		}
+		ref := ServeReference(opts, i, maxNew)
+		for j := range ref {
+			if res.Tokens[j] != ref[j] {
+				t.Fatalf("session %d deviated from its oracle stream at token %d", i, j)
+			}
+		}
+	}
+}

@@ -73,6 +73,17 @@ type ServeOptions struct {
 	SharedPromptLen int
 	// AcceptanceOverride, when > 0, replaces Pair.Acceptance.
 	AcceptanceOverride float64
+	// MaxQueue bounds the admission queue (PR 10): submissions past the
+	// bound settle immediately as serve.ErrOverloaded results. 0 keeps
+	// the queue unbounded.
+	MaxQueue int
+	// SLOFor, when non-nil, assigns request i its service class: a
+	// priority plus TTFT and completion deadlines measured from the
+	// simulation's virtual t=0 (0 disables a deadline). Requests whose
+	// TTFT deadline becomes provably unmeetable while queued are shed
+	// (serve.ErrShedDeadline) without consuming pipeline work; the
+	// remaining sessions still reproduce ServeReference exactly.
+	SLOFor func(i int) (priority int, ttftDeadline, deadline time.Duration)
 	// RunTimeout arms the head's run watchdog in virtual time (PR 6):
 	// failed runs recover their sessions by eviction + prefix-recompute
 	// readmission. 0 disables. RunTimeoutMult / RunTimeoutCap tune the
@@ -169,6 +180,9 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 	reqs := make([]serve.Request, opts.Sessions)
 	for i := range reqs {
 		reqs[i] = serve.Request{Prompt: servePrompt(&opts, i), MaxNew: cfg.MaxNew}
+		if opts.SLOFor != nil {
+			reqs[i].Priority, reqs[i].TTFTDeadline, reqs[i].Deadline = opts.SLOFor(i)
+		}
 	}
 
 	splits := cost.UniformSplit(opts.Pair.Target.NLayers, len(topo.Stages))
@@ -250,6 +264,7 @@ func Serve(opts ServeOptions) (ServeOutcome, error) {
 			RunTimeout:     opts.RunTimeout,
 			RunTimeoutMult: opts.RunTimeoutMult,
 			RunTimeoutCap:  opts.RunTimeoutCap,
+			MaxQueue:       opts.MaxQueue,
 			OnRecover:      opts.OnRecover,
 			PrefixCache:    opts.PrefixCache,
 			Obs:            opts.Obs,

@@ -638,6 +638,17 @@ type Stats struct {
 	// tokens those hits skipped.
 	PrefixHits      int
 	PrefixHitTokens int
+
+	// Overload-control counters (serving layer, PR 10): queued requests
+	// shed because their TTFT deadline became provably unmeetable,
+	// submissions rejected at admission (queue at bound or beyond the
+	// sustainable-rate estimate), and — for deadline-carrying requests
+	// that were actually served — whether every configured deadline was
+	// met. Per-session Stats carry DeadlineHits/DeadlineMisses as 0/1.
+	Sheds          int
+	Overloads      int
+	DeadlineHits   int
+	DeadlineMisses int
 }
 
 // MeanBatch is the realised mean number of per-session steps coalesced

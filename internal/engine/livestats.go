@@ -48,6 +48,11 @@ type LiveStats struct {
 	PrefixHits      atomic.Int64
 	PrefixHitTokens atomic.Int64
 
+	Sheds          atomic.Int64
+	Overloads      atomic.Int64
+	DeadlineHits   atomic.Int64
+	DeadlineMisses atomic.Int64
+
 	mu          sync.Mutex
 	prefillDone time.Duration
 	firstToken  time.Duration
@@ -156,6 +161,10 @@ func (ls *LiveStats) Snapshot() Stats {
 	s.BreakerTrips = int(ls.BreakerTrips.Load())
 	s.PrefixHits = int(ls.PrefixHits.Load())
 	s.PrefixHitTokens = int(ls.PrefixHitTokens.Load())
+	s.Sheds = int(ls.Sheds.Load())
+	s.Overloads = int(ls.Overloads.Load())
+	s.DeadlineHits = int(ls.DeadlineHits.Load())
+	s.DeadlineMisses = int(ls.DeadlineMisses.Load())
 	return s
 }
 
@@ -183,5 +192,9 @@ func (ls *LiveStats) Delta(prev Stats) Stats {
 	cur.BreakerTrips -= prev.BreakerTrips
 	cur.PrefixHits -= prev.PrefixHits
 	cur.PrefixHitTokens -= prev.PrefixHitTokens
+	cur.Sheds -= prev.Sheds
+	cur.Overloads -= prev.Overloads
+	cur.DeadlineHits -= prev.DeadlineHits
+	cur.DeadlineMisses -= prev.DeadlineMisses
 	return cur
 }

@@ -78,6 +78,12 @@ type Agg struct {
 	Recoveries   Summary // sessions recovered by evict + prefix-recompute
 	Reconnects   Summary // transport links re-established
 	BreakerTrips Summary // repeated-failure breaker trips
+
+	// Overload-control counters per run (serving layer, PR 10).
+	Sheds          Summary // queued requests shed on unmeetable TTFT deadlines
+	Overloads      Summary // submissions rejected at admission
+	DeadlineHits   Summary // deadline-carrying requests that met every deadline
+	DeadlineMisses Summary // deadline-carrying requests that missed one
 }
 
 // Collector accumulates repetition results for one condition.
@@ -88,6 +94,7 @@ type Collector struct {
 	prefillBatched, timeToFirst           []float64
 	runTimeouts, recoveries               []float64
 	reconnects, breakerTrips              []float64
+	sheds, overloads, dlHits, dlMisses    []float64
 }
 
 // Add records one generation's stats and per-node memory bytes.
@@ -109,6 +116,10 @@ func (c *Collector) Add(s engine.Stats, perNodeMem []int64) {
 	c.recoveries = append(c.recoveries, float64(s.Recoveries))
 	c.reconnects = append(c.reconnects, float64(s.Reconnects))
 	c.breakerTrips = append(c.breakerTrips, float64(s.BreakerTrips))
+	c.sheds = append(c.sheds, float64(s.Sheds))
+	c.overloads = append(c.overloads, float64(s.Overloads))
+	c.dlHits = append(c.dlHits, float64(s.DeadlineHits))
+	c.dlMisses = append(c.dlMisses, float64(s.DeadlineMisses))
 	if len(perNodeMem) > 0 {
 		var sum float64
 		for _, m := range perNodeMem {
@@ -144,7 +155,23 @@ func (c *Collector) Agg() Agg {
 		Recoveries:   Summarize(c.recoveries),
 		Reconnects:   Summarize(c.reconnects),
 		BreakerTrips: Summarize(c.breakerTrips),
+
+		Sheds:          Summarize(c.sheds),
+		Overloads:      Summarize(c.overloads),
+		DeadlineHits:   Summarize(c.dlHits),
+		DeadlineMisses: Summarize(c.dlMisses),
 	}
+}
+
+// DeadlineHitRate reports the fraction of deadline-carrying served
+// requests that met every configured deadline (0 when none carried
+// deadlines) — the numerator of goodput.
+func (a Agg) DeadlineHitRate() float64 {
+	h, m := a.DeadlineHits.Mean, a.DeadlineMisses.Mean
+	if h+m <= 0 {
+		return 0
+	}
+	return h / (h + m)
 }
 
 // FaultEvents reports the mean number of fault-tolerance events (run

@@ -162,6 +162,29 @@
 // would write, so greedy output is bit-identical for hit and cold
 // sessions (TestServeSharedPrefixParity).
 //
+// # Overload control (PR 10)
+//
+// Requests arrive live: Scheduler.Submit enqueues while serving runs
+// (New's static slice is a thin wrapper that Submits everything and
+// Closes intake), and per-request validation records an error Result
+// instead of failing the whole serve. Waiting requests sit in a bounded
+// deadline-aware queue (internal/overload) ordered by earliest feasible
+// deadline with priority aging (low-priority work is never starved),
+// and are shed the moment their TTFT deadline becomes provably
+// unmeetable under the cost model's optimistic wait bound. The
+// shed-before-compute invariant: only queued requests are ever shed —
+// an admitted session always runs to completion, so survivors' greedy
+// outputs are bit-identical to an unloaded serve. Admission control
+// refuses submissions beyond the bounded queue — or, once the cost fit
+// has converged, beyond the sustainable-rate estimate that proves the
+// queued backlog alone pushes the request past its TTFT budget — with a
+// distinguishable ErrOverloaded result (surfaced as 503 + Retry-After
+// through /readyz). Between healthy and shedding sits the brown-out
+// ladder: as the queue fills (or queued TTFT slack falls under the
+// observed queue wait), speculation is dropped first, then the
+// prefill-chunk budget is halved — optional work degrades before any
+// mandatory work is refused or shed.
+//
 // Steady-state decode is allocation-free: run messages, tracking records
 // and wire buffers all cycle through pools, so a session decoding
 // mid-stream performs no heap allocation per accepted token (gated by
@@ -169,6 +192,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -177,6 +201,7 @@ import (
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
 	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/metrics"
+	"github.com/pipeinfer/pipeinfer/internal/overload"
 	"github.com/pipeinfer/pipeinfer/internal/prefixcache"
 	"github.com/pipeinfer/pipeinfer/internal/telemetry"
 	"github.com/pipeinfer/pipeinfer/internal/token"
@@ -191,16 +216,51 @@ type Request struct {
 	MaxNew int
 	// Priority orders sessions under memory pressure: when the scheduler
 	// must preempt, it parks the idle session with the lowest priority
-	// first, and a session never evicts one of higher priority. 0 is the
-	// default class.
+	// first, and a session never evicts one of higher priority. It also
+	// biases admission-queue ordering (PR 10): higher-priority requests
+	// rank as if their deadline were earlier. 0 is the default class.
 	Priority int
+	// TTFTDeadline, when nonzero, is the absolute latest time — on the
+	// endpoint clock (engine.Endpoint.Now: wall for real transports,
+	// virtual under simbk) — the request's first token may appear. A
+	// queued request whose TTFT deadline becomes provably unmeetable is
+	// shed (ErrShedDeadline) before any prefill compute is spent on it;
+	// a served request scores a deadline hit or miss at completion.
+	TTFTDeadline time.Duration
+	// Deadline, when nonzero, is the absolute completion deadline on the
+	// same clock: it biases queue ordering and scores hit/miss at
+	// completion, but is never shed on — only TTFT infeasibility is
+	// provable while a request still waits.
+	Deadline time.Duration
 }
 
-// Result is one request's outcome.
+// Result is one request's outcome. Err is nil for a served request; a
+// rejected or shed request carries a sentinel-wrapped error (ErrInvalid,
+// ErrOverloaded, ErrShedDeadline) and no tokens — no request is ever
+// silently dropped.
 type Result struct {
 	Tokens []token.Token
 	Stats  engine.Stats
+	Err    error
 }
+
+// Sentinel errors distinguishing the ways a request can settle without
+// being served; Result.Err wraps exactly one of them (match with
+// errors.Is).
+var (
+	// ErrInvalid marks a request that could never be served: an empty
+	// prompt, a Submit after Close, or a footprint that cannot fit the
+	// KV capacity even with the whole cache to itself.
+	ErrInvalid = errors.New("serve: invalid request")
+	// ErrOverloaded marks a request refused by admission control: the
+	// bounded queue is at its bound, or the sustainable-rate estimate
+	// proves the queued backlog alone already exceeds the request's TTFT
+	// budget. Retry later.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrShedDeadline marks a queued request shed because its TTFT
+	// deadline became provably unmeetable before a slot freed.
+	ErrShedDeadline = errors.New("serve: shed")
+)
 
 // Config tunes the serving layer.
 type Config struct {
@@ -298,6 +358,14 @@ type Config struct {
 	// sessions drops to the divergent suffix. Requires the shadow cache
 	// (KV.Cells > 0); ignored without it.
 	PrefixCache bool
+	// MaxQueue bounds the admission queue (PR 10): at most MaxQueue
+	// requests wait for a session slot, and a Submit beyond the bound is
+	// rejected with an ErrOverloaded result instead of queueing
+	// unboundedly. The bound also anchors the brown-out ladder:
+	// speculation drops at half occupancy, the prefill-chunk budget
+	// halves at three quarters. 0 (the default) keeps the legacy
+	// unbounded queue.
+	MaxQueue int
 	// Obs, when non-nil, is the live telemetry registry (PR 7): the
 	// scheduler streams TTFT, inter-token latency, per-run service time,
 	// realised batch width and queue depth into its histograms, mirrors
@@ -372,8 +440,14 @@ type session struct {
 	priority int
 
 	// arrived anchors the session's streaming TTFT observation: the
-	// wall/virtual time the request was admitted to its slot.
+	// wall/virtual time the request was submitted (PR 10: queue wait
+	// counts against the user-visible latency and the TTFT deadline).
 	arrived time.Duration
+
+	// SLO deadlines (PR 10), absolute on the endpoint clock; 0 = none.
+	// Scored at finalize against stats.PrefillDone / stats.Done.
+	ttftDL   time.Duration
+	deadline time.Duration
 
 	state       sessState
 	wantNonSpec bool
@@ -422,10 +496,33 @@ type Scheduler struct {
 	h   *engine.Head
 	cfg Config
 
+	// reqs/results are append-only registries (PR 10): Submit assigns
+	// the next request index and its Result slot; done counts settled
+	// requests — served, rejected, or shed.
 	reqs    []Request
 	results []Result
-	nextReq int
 	done    int
+
+	// queue holds submitted-but-unadmitted requests (PR 10): the
+	// bounded, deadline-aware admission queue with priority aging.
+	// closed marks the end of intake (Close); Done requires it.
+	queue  *overload.Queue
+	closed bool
+
+	// outstandingNew is the aggregate MaxNew of unsettled requests, so
+	// each Submit can pre-grow the acceptance-timestamp reserve
+	// (LiveStats.GrowAccepts) and keep steady-state accepts
+	// allocation-free under live intake.
+	outstandingNew int
+
+	// Brown-out ladder (PR 10): level 0 healthy, 1 speculation dropped,
+	// 2 prefill-chunk budget also halved. stepsSinceShed drives the
+	// /readyz "shed recently" overload window; queueWaitEMA tracks the
+	// recently observed admission waits the slack escalation rule
+	// compares deadline headroom against.
+	brownout       int
+	stepsSinceShed int
+	queueWaitEMA   time.Duration
 
 	slots   []*session
 	rr      int
@@ -490,38 +587,47 @@ type Scheduler struct {
 	ctxPool  [][][]token.Token
 }
 
-// New validates the configuration and builds a scheduler over h. The head
-// must be freshly constructed: the scheduler owns its FIFO and stats.
+// New validates the configuration and builds a scheduler over h with
+// the whole workload known up front: every request is Submitted and
+// intake is Closed before the first Step — the thin static wrapper over
+// the live-intake path (NewLive). The head must be freshly constructed:
+// the scheduler owns its FIFO and stats. A request that fails
+// per-request validation settles with an error Result (ErrInvalid /
+// ErrOverloaded) while the rest serve normally; only configuration
+// errors fail construction.
 func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("serve: no requests")
 	}
-	cfg = cfg.Normalize(len(reqs))
+	s, err := build(h, cfg.Normalize(len(reqs)))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reqs {
+		s.Submit(r)
+	}
+	s.Close()
+	return s, nil
+}
+
+// NewLive builds a scheduler with live intake open: requests arrive via
+// Submit while serving runs, and Close marks the end of intake. Like
+// the scheduler itself, Submit and Close are head-side calls — invoke
+// them from the goroutine driving Step (between steps, or from OnToken
+// callbacks), never concurrently with it.
+func NewLive(h *engine.Head, cfg Config) (*Scheduler, error) {
+	return build(h, cfg.Normalize(0))
+}
+
+// build validates the (already normalized) configuration and assembles
+// the scheduler with an empty request registry.
+func build(h *engine.Head, cfg Config) (*Scheduler, error) {
 	if cfg.Speculate && cfg.SeqsPerSession < 2 {
 		return nil, fmt.Errorf("serve: speculation needs SeqsPerSession >= 2, got %d", cfg.SeqsPerSession)
 	}
 	if cfg.MaxSessions*cfg.SeqsPerSession > kvcache.MaxSeqs {
 		return nil, fmt.Errorf("serve: %d sessions x %d seqs exceed the %d sequence ids",
 			cfg.MaxSessions, cfg.SeqsPerSession, kvcache.MaxSeqs)
-	}
-	reqs = append([]Request(nil), reqs...)
-	totalNew := 0
-	for i, r := range reqs {
-		if len(r.Prompt) == 0 {
-			return nil, fmt.Errorf("serve: request %d has an empty prompt", i)
-		}
-		if r.MaxNew <= 0 {
-			reqs[i].MaxNew = h.CFG.MaxNew
-		}
-		if cfg.KV.Cells > 0 {
-			// Oversubscription is fine — preemption parks whole sessions —
-			// but a single request that cannot fit alone can never finish.
-			if need := len(r.Prompt) + reqs[i].MaxNew; need > cfg.KV.Cells {
-				return nil, fmt.Errorf("serve: request %d needs %d KV cells but capacity is %d",
-					i, need, cfg.KV.Cells)
-			}
-		}
-		totalNew += reqs[i].MaxNew
 	}
 	if cfg.AutoBatch && cfg.MaxBatch <= 1 {
 		// Auto mode without an explicit cap: the controller may widen all
@@ -534,10 +640,11 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 	s := &Scheduler{
 		h:       h,
 		cfg:     cfg,
-		reqs:    reqs,
-		results: make([]Result, len(reqs)),
+		queue:   overload.New(overload.Config{Bound: cfg.MaxQueue}),
 		slots:   make([]*session, cfg.MaxSessions),
 		specCap: max(2, h.CFG.MaxInflight/cfg.MaxSessions),
+		// A fresh scheduler has not shed recently.
+		stepsSinceShed: shedRecentWindow,
 	}
 	if cfg.MaxBatch > 1 {
 		s.composer = &batch.Composer{MaxBatch: cfg.MaxBatch, Window: cfg.BatchWindow}
@@ -551,9 +658,6 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 			s.prefix = prefixcache.New(prefixcache.Config{PageSize: s.kv.PageSize()})
 		}
 	}
-	// Aggregate acceptance timestamps never outgrow this, keeping the
-	// per-token Sampled call allocation-free.
-	h.Stats.GrowAccepts(totalNew)
 	// The flight recorder is always on: a bounded ring of binary events
 	// costs two atomic stores per record and is what makes a watchdog
 	// failure or breaker trip diagnosable after the fact.
@@ -565,23 +669,119 @@ func New(h *engine.Head, cfg Config, reqs []Request) (*Scheduler, error) {
 		s.obs.AttachRing("head", h.Flight)
 		s.obs.SetStatsFn(h.Stats.Snapshot)
 		s.obs.SetNowFn(h.EP.Now)
-		s.obs.SetPressure(len(reqs), 0, cfg.MaxSessions)
+		s.obs.SetPressure(0, 0, cfg.MaxSessions)
 		s.obs.SetReady(true)
 	}
 	return s, nil
 }
 
-// Done reports whether every request has completed.
-func (s *Scheduler) Done() bool { return s.done == len(s.reqs) }
+// shedRecentWindow is the /readyz overload memory, in scheduler steps:
+// after a shed, the registry reports overloaded until this many steps
+// pass without another one, so a scraper sees the 503 even when the
+// queue has already drained past its bound.
+const shedRecentWindow = 256
+
+// Submit validates and enqueues one request, returning its request
+// index; the per-request outcome lands in the matching Result slot. An
+// invalid request (ErrInvalid) or one refused by admission control
+// (ErrOverloaded) settles immediately with an error Result — one bad or
+// excess request never fails the serve. Head-side only: call from the
+// goroutine driving Step, never concurrently with it.
+func (s *Scheduler) Submit(r Request) int {
+	i := len(s.reqs)
+	if r.MaxNew <= 0 {
+		r.MaxNew = s.h.CFG.MaxNew
+	}
+	s.reqs = append(s.reqs, r)
+	s.results = append(s.results, Result{})
+	switch {
+	case s.closed:
+		s.reject(i, fmt.Errorf("%w: request %d submitted after Close", ErrInvalid, i))
+	case len(r.Prompt) == 0:
+		s.reject(i, fmt.Errorf("%w: request %d has an empty prompt", ErrInvalid, i))
+	case s.cfg.KV.Cells > 0 && len(r.Prompt)+r.MaxNew > s.cfg.KV.Cells:
+		// Oversubscription is fine — preemption parks whole sessions —
+		// but a single request that cannot fit alone can never finish.
+		s.reject(i, fmt.Errorf("%w: request %d needs %d KV cells but capacity is %d",
+			ErrInvalid, i, len(r.Prompt)+r.MaxNew, s.cfg.KV.Cells))
+	default:
+		now := s.h.EP.Now()
+		if err := s.overloadCheck(i, r, now); err != nil {
+			s.h.Stats.Overloads.Add(1)
+			s.reject(i, err)
+			break
+		}
+		s.queue.Push(overload.Item{
+			ID:           i,
+			Priority:     r.Priority,
+			Arrived:      now,
+			TTFTDeadline: r.TTFTDeadline,
+			Deadline:     r.Deadline,
+			Cost:         len(r.Prompt),
+		})
+		// Keep the aggregate acceptance-timestamp reserve ahead of every
+		// unsettled request so steady-state accepts stay allocation-free.
+		s.outstandingNew += r.MaxNew
+		s.h.Stats.GrowAccepts(s.outstandingNew)
+	}
+	s.observePressure()
+	return i
+}
+
+// overloadCheck is the admission controller (PR 10): a submission is
+// refused when the bounded queue is at its bound, or — once the cost
+// model has converged — when the sustainable-rate estimate proves the
+// queued backlog alone already pushes the request past its TTFT
+// deadline, so queueing it could only shed it later.
+func (s *Scheduler) overloadCheck(i int, r Request, now time.Duration) error {
+	if s.queue.Full() {
+		return fmt.Errorf("%w: request %d refused, admission queue at bound %d",
+			ErrOverloaded, i, s.queue.Bound())
+	}
+	if r.TTFTDeadline > 0 {
+		if pr := s.runCost.PerRow(); pr > 0 {
+			wait := time.Duration(pr * float64(s.queue.CostSum()+len(r.Prompt)) * float64(time.Second))
+			if now+wait > r.TTFTDeadline {
+				return fmt.Errorf("%w: request %d refused, sustainable rate puts first token at %v, past the %v TTFT deadline",
+					ErrOverloaded, i, now+wait, r.TTFTDeadline)
+			}
+		}
+	}
+	return nil
+}
+
+// Close marks the end of request intake: no further Submit is accepted,
+// and the scheduler is Done once every submitted request has settled.
+// The static New path closes intake itself.
+func (s *Scheduler) Close() { s.closed = true }
+
+// reject settles request i without serving it: the error Result is
+// recorded and the request counts toward completion — rejected and shed
+// requests are always reported, never silently dropped.
+func (s *Scheduler) reject(i int, err error) {
+	s.results[i] = Result{Err: err}
+	s.done++
+}
+
+// Done reports whether intake is closed and every submitted request has
+// settled (served, rejected, or shed).
+func (s *Scheduler) Done() bool { return s.closed && s.done == len(s.reqs) }
 
 // TotalAccepted returns the number of tokens accepted across all sessions
 // so far (the serving alloc gate steps until this advances).
 func (s *Scheduler) TotalAccepted() int { return s.total }
 
-// Run drives the scheduler until every request has completed and returns
-// the per-request results in request order.
+// Run drives the scheduler until every request has settled and returns
+// the per-request results in request order. Run may be called with
+// intake still open only if further Submits arrive from its own
+// callbacks (OnToken) and Close is eventually called from one — a
+// drained scheduler with open intake has no event that could wake it,
+// so Run fails fast instead of spinning.
 func (s *Scheduler) Run() ([]Result, error) {
 	for !s.Done() {
+		if !s.closed && s.idle() {
+			return nil, fmt.Errorf("serve: intake open with no work in flight (Close intake or drive Step directly)")
+		}
 		if err := s.Step(); err != nil {
 			return nil, err
 		}
@@ -606,6 +806,13 @@ func (s *Scheduler) Step() error {
 		return nil
 	}
 	s.admit()
+	// admit may settle the final pending requests by shedding them: if
+	// everything is done now, this step is complete — falling through
+	// would misreport a drained scheduler as stalled (and an error return
+	// from Run skips the pipeline shutdown, deadlocking worker ranks).
+	if s.Done() {
+		return nil
+	}
 	if s.h.ResultWaiting() {
 		return s.handleResult()
 	}
@@ -615,14 +822,43 @@ func (s *Scheduler) Step() error {
 	if s.h.Inflight() > 0 {
 		return s.handleResult()
 	}
+	if !s.closed && s.idle() {
+		return nil // live intake: nothing to do until the next Submit
+	}
 	return fmt.Errorf("serve: scheduler stalled with %d/%d requests done (KV capacity too small for one session's footprint?)", s.done, len(s.reqs))
 }
 
-// admit moves queued requests into free session slots, then publishes
-// the step's admission pressure (queue depth histogram + health gauges).
+// idle reports a scheduler with nothing to do right now: an empty
+// admission queue, no active sessions, nothing in flight.
+func (s *Scheduler) idle() bool {
+	if s.queue.Len() > 0 || s.h.Inflight() > 0 {
+		return false
+	}
+	for _, sl := range s.slots {
+		if sl != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// admit sheds queued requests whose TTFT deadline is provably
+// unmeetable, moves the most urgent survivors into free session slots,
+// then publishes the step's admission pressure (queue depth and wait
+// histograms, health gauges) and recomputes the brown-out level.
 func (s *Scheduler) admit() {
 	defer s.observePressure()
-	for s.nextReq < len(s.reqs) {
+	if s.stepsSinceShed < shedRecentWindow {
+		s.stepsSinceShed++
+	}
+	if s.queue.Len() == 0 {
+		return
+	}
+	now := s.h.EP.Now()
+	// Shed before popping: a doomed request must never take a slot a
+	// feasible one could use — and a running session is never shed.
+	s.shedUnmeetable(now)
+	for s.queue.Len() > 0 {
 		slot := -1
 		for i, sl := range s.slots {
 			if sl == nil {
@@ -633,10 +869,14 @@ func (s *Scheduler) admit() {
 		if slot < 0 {
 			return
 		}
-		req := s.reqs[s.nextReq]
+		it, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		req := s.reqs[it.ID]
 		ns := kvcache.NamespaceFor(slot, s.cfg.SeqsPerSession)
 		sess := &session{
-			req:         s.nextReq,
+			req:         it.ID,
 			slot:        slot,
 			ns:          ns,
 			alloc:       ns.SpecAllocator(),
@@ -645,23 +885,53 @@ func (s *Scheduler) admit() {
 			prompt:      len(req.Prompt),
 			maxNew:      req.MaxNew,
 			priority:    req.Priority,
+			ttftDL:      req.TTFTDeadline,
+			deadline:    req.Deadline,
 			cutoff:      s.h.CFG.SpecCutoff,
 			fillTarget:  len(req.Prompt),
 			prefixEntry: -1,
 		}
 		copy(sess.accepted, req.Prompt)
-		sess.arrived = s.h.EP.Now()
+		// TTFT anchors at submission, not admission: queue wait is part
+		// of the latency this user experienced.
+		sess.arrived = it.Arrived
 		sess.stats.AcceptTimes = make([]time.Duration, 0, req.MaxNew)
+		wait := now - it.Arrived
+		s.queueWaitEMA = (4*s.queueWaitEMA + wait) / 5
+		s.obs.ObserveQueueWait(wait)
 		s.slots[slot] = sess
-		s.nextReq++
 		s.probePrefix(sess)
 	}
 }
 
-// observePressure streams the scheduler's admission state into the
-// telemetry registry: how many requests still wait for a slot, how many
-// slots are occupied. No-op without telemetry; atomics only with it.
+// shedUnmeetable drops every queued request whose TTFT deadline is
+// provably unmeetable: even under an optimistic lower bound on its wait
+// — its own prefill at the cost model's fitted marginal row cost, zero
+// until the fit converges — the first token would land past the
+// deadline. Shed-before-compute: a shed request has consumed no
+// pipeline work at all, and its error Result says exactly why.
+func (s *Scheduler) shedUnmeetable(now time.Duration) {
+	pr := s.runCost.PerRow()
+	shed := s.queue.Shed(now, func(it overload.Item) time.Duration {
+		return time.Duration(pr * float64(it.Cost) * float64(time.Second))
+	})
+	for _, it := range shed {
+		s.reject(it.ID, fmt.Errorf("%w: request %d TTFT deadline %v provably unmeetable at %v",
+			ErrShedDeadline, it.ID, it.TTFTDeadline, now))
+		s.outstandingNew -= s.reqs[it.ID].MaxNew
+		s.h.Stats.Sheds.Add(1)
+		s.stepsSinceShed = 0
+	}
+}
+
+// observePressure recomputes the brown-out level and streams the
+// scheduler's admission state into the telemetry registry: how many
+// requests still wait for a slot, how many slots are occupied, and
+// whether admission is overloaded (queue at bound or a shed within the
+// last window). Atomics only; brown-out is computed even without
+// telemetry because it gates speculation.
 func (s *Scheduler) observePressure() {
+	s.updateBrownout()
 	if s.obs == nil {
 		return
 	}
@@ -671,9 +941,44 @@ func (s *Scheduler) observePressure() {
 			active++
 		}
 	}
-	queued := len(s.reqs) - s.nextReq
+	queued := s.queue.Len()
 	s.obs.ObserveQueueDepth(queued)
 	s.obs.SetPressure(queued, active, len(s.slots))
+	s.obs.SetOverloaded(s.queue.Full() || s.stepsSinceShed < shedRecentWindow)
+}
+
+// updateBrownout recomputes the brown-out level (PR 10): optional work
+// degrades before admission refuses or sheds mandatory work. The
+// bounded queue's occupancy escalates first — at half the bound
+// speculation is dropped (level 1, the same lever the PR-6 breaker
+// pulls), at three quarters the prefill-chunk budget is halved on top
+// (level 2). Independently, when the tightest queued TTFT slack falls
+// under the recently observed queue wait, the same ladder engages even
+// far from the bound.
+func (s *Scheduler) updateBrownout() {
+	lvl := 0
+	if b := s.queue.Bound(); b > 0 {
+		switch q := s.queue.Len(); {
+		case 4*q >= 3*b:
+			lvl = 2
+		case 2*q >= b:
+			lvl = 1
+		}
+	}
+	if lvl < 2 && s.queueWaitEMA > 0 && s.queue.Len() > 0 {
+		if slack, ok := s.queue.MinTTFTSlack(s.h.EP.Now()); ok {
+			switch {
+			case slack < s.queueWaitEMA:
+				lvl = 2
+			case slack < 2*s.queueWaitEMA && lvl < 1:
+				lvl = 1
+			}
+		}
+	}
+	if lvl != s.brownout {
+		s.brownout = lvl
+		s.obs.SetBrownout(lvl)
+	}
 }
 
 // --- launching ---
@@ -812,6 +1117,12 @@ func (s *Scheduler) tryLaunchBatching() bool {
 		// cells can never drift apart.
 		lens := s.chunkLen[:0]
 		budget := s.cfg.PrefillChunk
+		if s.brownout >= 2 && budget > 1 {
+			// Brown-out level 2: halve the per-run prefill share so decode
+			// rows — already-admitted sessions racing their deadlines —
+			// keep the capacity. Admission slows; it does not stop.
+			budget = (budget + 1) / 2
+		}
 		kept := 0
 		for _, sess := range chunks {
 			if kept >= width-len(ready) || budget == 0 {
@@ -883,13 +1194,21 @@ func (s *Scheduler) tryLaunchBatching() bool {
 	}
 
 	// Pass 3: same-depth speculative batching, bounded by the same
-	// effective width as pass 1. The open breaker disables speculation:
-	// under repeated faults every drafted chain is work the next failure
-	// throws away.
-	if s.cfg.Speculate && !s.tripped {
+	// effective width as pass 1. The open breaker and the brown-out
+	// ladder both disable speculation: under repeated faults every
+	// drafted chain is work the next failure throws away, and under
+	// overload it is optional compute taken from queued mandatory work.
+	if s.specOK() {
 		return s.tryLaunchSpecBatch(width)
 	}
 	return false
+}
+
+// specOK gates speculative work: off while the PR-6 breaker is open or
+// the PR-10 brown-out ladder is engaged — under pressure, speculation
+// is the first work to go.
+func (s *Scheduler) specOK() bool {
+	return s.cfg.Speculate && !s.tripped && s.brownout == 0
 }
 
 // effectiveWidth picks this step's batch-width bound: MaxBatch in static
@@ -909,7 +1228,7 @@ func (s *Scheduler) effectiveWidth() int {
 	if !s.cfg.AutoBatch || capW <= 1 {
 		return capW
 	}
-	demand := len(s.reqs) - s.nextReq // queued requests become work on admission
+	demand := s.queue.Len() // queued requests become work on admission
 	for _, sess := range s.slots {
 		if sess != nil && sess.state != stateParked {
 			demand++
@@ -1012,7 +1331,7 @@ func (s *Scheduler) launchFor(sess *session) bool {
 			s.launchNonSpec(sess)
 			return true
 		}
-		if s.cfg.Speculate && !s.tripped && sess.alloc != nil && s.inflight(sess) < s.specCap {
+		if s.specOK() && sess.alloc != nil && s.inflight(sess) < s.specCap {
 			return s.trySpeculate(sess)
 		}
 	}
@@ -2332,8 +2651,8 @@ func (s *Scheduler) completePrefill(sess *session, next token.Token) {
 		now := s.h.EP.Now()
 		sess.stats.PrefillDone = now
 		s.h.Stats.PrefillDoneOnce(now)
-		// Streaming TTFT: admission to prefill completion — the latency
-		// this user waited before any output appeared.
+		// Streaming TTFT: submission to prefill completion, queue wait
+		// included — the latency this user waited before any output.
 		s.obs.ObserveTTFT(now - sess.arrived)
 	}
 	sess.state = stateDecode
@@ -2692,6 +3011,30 @@ func (s *Scheduler) finalize(sess *session) {
 	s.sendKV(ops)
 	sess.stats.Done = s.h.EP.Now()
 	sess.stats.Generated = sess.generated()
+	// SLO scoring (PR 10): a deadline-carrying request hits only if
+	// every configured deadline was met — first output (prefill
+	// completion) against the TTFT deadline, completion against the full
+	// one. Both timestamps and deadlines are endpoint-clock absolutes.
+	if sess.ttftDL > 0 || sess.deadline > 0 {
+		hit := true
+		if sess.ttftDL > 0 && sess.stats.PrefillDone > sess.ttftDL {
+			hit = false
+		}
+		if sess.deadline > 0 && sess.stats.Done > sess.deadline {
+			hit = false
+		}
+		if hit {
+			sess.stats.DeadlineHits = 1
+			s.h.Stats.DeadlineHits.Add(1)
+		} else {
+			sess.stats.DeadlineMisses = 1
+			s.h.Stats.DeadlineMisses.Add(1)
+		}
+	}
+	s.outstandingNew -= s.reqs[sess.req].MaxNew
+	if s.outstandingNew < 0 {
+		s.outstandingNew = 0
+	}
 	s.results[sess.req] = Result{Tokens: sess.accepted[sess.prompt:], Stats: sess.stats}
 	s.slots[sess.slot] = nil
 	s.done++

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/pipeinfer/pipeinfer/internal/comm/chancomm"
 	"github.com/pipeinfer/pipeinfer/internal/engine"
 	"github.com/pipeinfer/pipeinfer/internal/kvcache"
+	"github.com/pipeinfer/pipeinfer/internal/kvpage"
 	"github.com/pipeinfer/pipeinfer/internal/token"
 )
 
@@ -46,8 +49,10 @@ func req(n int) []Request {
 }
 
 // TestNewValidation pins the configuration contract: empty request sets,
-// empty prompts, namespace overflow of the 64-id space, and speculation
-// without spec partitions are all rejected up front.
+// namespace overflow of the 64-id space, and speculation without spec
+// partitions are all rejected up front. (Per-request problems like an
+// empty prompt are no longer configuration errors — they settle as error
+// Results; see TestSubmitPerRequestValidation.)
 func TestNewValidation(t *testing.T) {
 	cases := []struct {
 		name string
@@ -56,7 +61,6 @@ func TestNewValidation(t *testing.T) {
 		want string
 	}{
 		{"no-requests", Config{}, nil, "no requests"},
-		{"empty-prompt", Config{}, []Request{{}}, "empty prompt"},
 		{"namespace-overflow", Config{MaxSessions: 17, SeqsPerSession: 4}, req(17), "exceed"},
 		{"speculate-width-1", Config{Speculate: true, SeqsPerSession: 1}, req(2), "SeqsPerSession"},
 	}
@@ -99,15 +103,19 @@ func TestNewDefaults(t *testing.T) {
 
 // TestAdmissionRoundRobin checks slot assignment and recycling: requests
 // beyond MaxSessions stay queued until a slot frees, and freed slots are
-// reused lowest-first with a fresh namespace.
+// reused lowest-first with a fresh namespace. With uniform priorities and
+// no deadlines the bounded queue degenerates to arrival order.
 func TestAdmissionRoundRobin(t *testing.T) {
 	s, err := New(testHead(t), Config{MaxSessions: 2}, req(5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.admit()
-	if s.slots[0] == nil || s.slots[1] == nil || s.nextReq != 2 {
-		t.Fatalf("admission filled %d requests", s.nextReq)
+	if s.slots[0] == nil || s.slots[1] == nil || s.queue.Len() != 3 {
+		t.Fatalf("admission left %d requests queued, want 3", s.queue.Len())
+	}
+	if s.slots[0].req != 0 || s.slots[1].req != 1 {
+		t.Fatalf("admission order: slots hold requests %d, %d, want 0, 1", s.slots[0].req, s.slots[1].req)
 	}
 	if s.slots[0].ns.Canonical() == s.slots[1].ns.Canonical() {
 		t.Fatal("two sessions share a canonical sequence")
@@ -117,5 +125,154 @@ func TestAdmissionRoundRobin(t *testing.T) {
 	s.admit()
 	if s.slots[0] == nil || s.slots[0].req != 2 {
 		t.Fatal("freed slot was not recycled to the next queued request")
+	}
+}
+
+// TestSubmitPerRequestValidation pins the satellite fix: one invalid
+// request among good ones settles as its own error Result instead of
+// failing the whole serve.
+func TestSubmitPerRequestValidation(t *testing.T) {
+	reqs := req(3)
+	reqs[1].Prompt = nil // invalid: empty prompt
+	s, err := New(testHead(t), Config{MaxSessions: 1, KV: kvpage.Config{Cells: 64, PageSize: 16}}, reqs)
+	if err != nil {
+		t.Fatalf("New failed outright on a per-request problem: %v", err)
+	}
+	if !errors.Is(s.results[1].Err, ErrInvalid) {
+		t.Fatalf("bad request's Result.Err = %v, want ErrInvalid", s.results[1].Err)
+	}
+	if s.results[0].Err != nil || s.results[2].Err != nil {
+		t.Fatal("valid requests were rejected alongside the bad one")
+	}
+	if s.done != 1 || s.queue.Len() != 2 {
+		t.Fatalf("settled %d, queued %d; want 1 settled, 2 queued", s.done, s.queue.Len())
+	}
+	// A request whose footprint cannot fit the KV capacity alone is
+	// equally a per-request error.
+	s2, err := NewLive(testHead(t), Config{MaxSessions: 1, KV: kvpage.Config{Cells: 8, PageSize: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := s2.Submit(Request{Prompt: make([]token.Token, 6), MaxNew: 8})
+	if !errors.Is(s2.results[i].Err, ErrInvalid) {
+		t.Fatalf("doesn't-fit-KV request: Err = %v, want ErrInvalid", s2.results[i].Err)
+	}
+}
+
+// TestLiveIntake pins the live-intake contract: Submit after Close is
+// rejected, an open idle scheduler's Step is a no-op, and Run fails fast
+// rather than spinning when intake is open with nothing in flight.
+func TestLiveIntake(t *testing.T) {
+	s, err := NewLive(testHead(t), Config{MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("open intake with no requests must not be Done")
+	}
+	if err := s.Step(); err != nil {
+		t.Fatalf("idle-open Step: %v", err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("Run with open idle intake should fail fast")
+	}
+	s.Close()
+	i := s.Submit(req(1)[0])
+	if !errors.Is(s.results[i].Err, ErrInvalid) {
+		t.Fatalf("Submit after Close: Err = %v, want ErrInvalid", s.results[i].Err)
+	}
+	if !s.Done() {
+		t.Fatal("closed scheduler with every request settled must be Done")
+	}
+}
+
+// TestOverloadReject checks the bounded-queue admission control: with
+// MaxQueue set, submissions past the bound settle immediately with
+// ErrOverloaded and count in Stats.Overloads, and the overload gauge
+// trips for /readyz.
+func TestOverloadReject(t *testing.T) {
+	s, err := NewLive(testHead(t), Config{MaxSessions: 1, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := req(3)
+	for _, rq := range r {
+		s.Submit(rq)
+	}
+	if s.queue.Len() != 2 {
+		t.Fatalf("queue holds %d, want the bound 2", s.queue.Len())
+	}
+	if !errors.Is(s.results[2].Err, ErrOverloaded) {
+		t.Fatalf("over-bound submission: Err = %v, want ErrOverloaded", s.results[2].Err)
+	}
+	if got := s.h.Stats.Overloads.Load(); got != 1 {
+		t.Fatalf("Stats.Overloads = %d, want 1", got)
+	}
+	if s.results[0].Err != nil || s.results[1].Err != nil {
+		t.Fatal("in-bound submissions must not be rejected")
+	}
+}
+
+// TestShedUnmeetable checks shed-before-compute: a queued request whose
+// TTFT deadline is already unmeetable is shed during admit — before it
+// can take a slot — with ErrShedDeadline, a Sheds count, and the
+// overload window armed; deadline-less requests are untouched.
+func TestShedUnmeetable(t *testing.T) {
+	s, err := NewLive(testHead(t), Config{MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed := Request{Prompt: []token.Token{token.BOS}, MaxNew: 4, TTFTDeadline: time.Nanosecond}
+	patient := req(1)[0]
+	di := s.Submit(doomed) // absolute deadline 1ns: already past on the wall clock
+	pi := s.Submit(patient)
+	s.admit()
+	if !errors.Is(s.results[di].Err, ErrShedDeadline) {
+		t.Fatalf("doomed request: Err = %v, want ErrShedDeadline", s.results[di].Err)
+	}
+	if got := s.h.Stats.Sheds.Load(); got != 1 {
+		t.Fatalf("Stats.Sheds = %d, want 1", got)
+	}
+	if s.stepsSinceShed != 0 {
+		t.Fatalf("stepsSinceShed = %d, want 0 (overload window armed)", s.stepsSinceShed)
+	}
+	if s.slots[0] == nil || s.slots[0].req != pi {
+		t.Fatal("the deadline-less request should hold the slot")
+	}
+}
+
+// TestBrownoutLadder checks the degradation order: queue occupancy at
+// half the bound drops speculation (level 1), at three quarters it also
+// halves the prefill share (level 2), and draining steps back down.
+// Speculation must be the first thing to go — specOK gates on level 0.
+func TestBrownoutLadder(t *testing.T) {
+	s, err := NewLive(testHead(t), Config{
+		Speculate: true, SeqsPerSession: 4, MaxSessions: 1, MaxQueue: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.brownout != 0 || !s.specOK() {
+		t.Fatal("fresh scheduler must be healthy with speculation on")
+	}
+	for i := 0; i < 4; i++ { // 2*4 >= 8: level 1
+		s.Submit(req(1)[0])
+	}
+	if s.brownout != 1 || s.specOK() {
+		t.Fatalf("at half bound: level %d, specOK %v; want 1, false", s.brownout, s.specOK())
+	}
+	for i := 0; i < 2; i++ { // 4*6 >= 3*8: level 2
+		s.Submit(req(1)[0])
+	}
+	if s.brownout != 2 {
+		t.Fatalf("at three-quarter bound: level %d, want 2", s.brownout)
+	}
+	// Drain below half the bound: the ladder steps back to healthy.
+	for s.queue.Len() > 3 {
+		s.queue.Pop()
+	}
+	s.observePressure()
+	if s.brownout != 0 || !s.specOK() {
+		t.Fatalf("after drain: level %d, specOK %v; want 0, true", s.brownout, s.specOK())
 	}
 }

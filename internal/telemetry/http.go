@@ -14,8 +14,11 @@ import (
 //	/healthz        200 while the process is live and the breaker is
 //	                closed; 503 (with a reason body) when tripped
 //	/readyz         200 while admission is open; 503 when not yet
-//	                serving, breaker-tripped, or saturated (every slot
-//	                busy with more requests queued)
+//	                serving, breaker-tripped, overloaded (bounded queue
+//	                at its bound or shedding recently — the response
+//	                carries a Retry-After header so clients back off),
+//	                or saturated (every slot busy with more requests
+//	                queued)
 //	/debug/pprof/*  stdlib profiling endpoints
 //
 // All handlers are safe to scrape during active serving: they read only
@@ -40,6 +43,9 @@ func (r *Registry) Handler() http.Handler {
 			reason = "not serving yet"
 		case r.tripped.Load() != 0:
 			reason = "breaker tripped"
+		case r.overloaded.Load() != 0:
+			reason = "overloaded: admission queue at bound or shedding"
+			w.Header().Set("Retry-After", "1")
 		default:
 			slots, active, queued := r.slots.Load(), r.active.Load(), r.queued.Load()
 			if slots > 0 && active >= slots && queued > 0 {

@@ -113,6 +113,10 @@ func (r *Registry) writeProm(w io.Writer) (int64, error) {
 	cw.sample("pipeinfer_ready", float64(r.ready.Load()))
 	cw.family("pipeinfer_breaker_tripped", "gauge", "Repeated-failure breaker is open: speculation off, batch width clamped.")
 	cw.sample("pipeinfer_breaker_tripped", float64(r.tripped.Load()))
+	cw.family("pipeinfer_overloaded", "gauge", "Admission overload: bounded queue at its bound or a deadline shed within the last window.")
+	cw.sample("pipeinfer_overloaded", float64(r.overloaded.Load()))
+	cw.family("pipeinfer_brownout_level", "gauge", "Brown-out degradation level (0 healthy, 1 speculation off, 2 prefill share halved too).")
+	cw.sample("pipeinfer_brownout_level", float64(r.brownout.Load()))
 	cw.family("pipeinfer_sessions_active", "gauge", "Sessions currently holding a slot.")
 	cw.sample("pipeinfer_sessions_active", float64(r.active.Load()))
 	cw.family("pipeinfer_sessions_queued", "gauge", "Requests waiting for admission.")
@@ -130,6 +134,7 @@ func (r *Registry) writeProm(w io.Writer) (int64, error) {
 	cw.summary("pipeinfer_run_service_seconds", "Per-run pipeline service time (busy-pipeline result gaps).", r.RunService, ns)
 	cw.summary("pipeinfer_batch_width_rows", "Realised token rows per launched pipeline run.", r.BatchWidth, 1)
 	cw.summary("pipeinfer_queue_depth", "Admission-waiting requests per scheduler step.", r.QueueDepth, 1)
+	cw.summary("pipeinfer_queue_wait_seconds", "Admission-queue wait per admitted request (submission to slot).", r.QueueWait, ns)
 
 	r.mu.Lock()
 	stages := append([]stageEntry(nil), r.stages...)
@@ -209,6 +214,10 @@ func (r *Registry) writeProm(w io.Writer) (int64, error) {
 		{"pipeinfer_breaker_trips_total", "Repeated-failure breaker trips.", s.BreakerTrips},
 		{"pipeinfer_prefix_hits_total", "Admissions that mapped a published shared prefix.", s.PrefixHits},
 		{"pipeinfer_prefix_hit_tokens_total", "Prompt tokens skipped by shared-prefix hits.", s.PrefixHitTokens},
+		{"pipeinfer_shed_deadline_total", "Queued requests shed on provably unmeetable TTFT deadlines.", s.Sheds},
+		{"pipeinfer_shed_overload_total", "Submissions rejected at admission (queue bound or sustainable rate).", s.Overloads},
+		{"pipeinfer_deadline_hits_total", "Deadline-carrying served requests that met every configured deadline.", s.DeadlineHits},
+		{"pipeinfer_deadline_misses_total", "Deadline-carrying served requests that missed a configured deadline.", s.DeadlineMisses},
 	} {
 		cw.family(c.name, "counter", c.help)
 		cw.sample(c.name, float64(c.v))

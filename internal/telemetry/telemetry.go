@@ -35,14 +35,17 @@ type Registry struct {
 	RunService *metrics.Hist // per-run service time (busy-pipeline result gaps)
 	BatchWidth *metrics.Hist // realised rows per launched run
 	QueueDepth *metrics.Hist // waiting requests per scheduler step
+	QueueWait  *metrics.Hist // admission-queue wait per admitted request
 
 	// Health gauges (atomics: written per scheduler event, read by the
 	// health endpoints and exposition writer).
-	ready   atomic.Int64
-	tripped atomic.Int64
-	queued  atomic.Int64
-	active  atomic.Int64
-	slots   atomic.Int64
+	ready      atomic.Int64
+	tripped    atomic.Int64
+	queued     atomic.Int64
+	active     atomic.Int64
+	slots      atomic.Int64
+	overloaded atomic.Int64
+	brownout   atomic.Int64
 
 	// Shared-prefix trie occupancy (PR 9): registered entries and the
 	// prompt tokens they cover.
@@ -83,6 +86,7 @@ func New() *Registry {
 		RunService: &metrics.Hist{},
 		BatchWidth: &metrics.Hist{},
 		QueueDepth: &metrics.Hist{},
+		QueueWait:  &metrics.Hist{},
 	}
 }
 
@@ -124,6 +128,14 @@ func (r *Registry) ObserveQueueDepth(n int) {
 	}
 }
 
+// ObserveQueueWait records how long an admitted request waited in the
+// admission queue before taking a session slot.
+func (r *Registry) ObserveQueueWait(d time.Duration) {
+	if r != nil {
+		r.QueueWait.ObserveDuration(d)
+	}
+}
+
 // SetReady flips the readiness gauge (serving loop up and admitting).
 func (r *Registry) SetReady(ready bool) {
 	if r == nil {
@@ -149,6 +161,25 @@ func (r *Registry) SetPressure(queued, active, slots int) {
 	r.queued.Store(int64(queued))
 	r.active.Store(int64(active))
 	r.slots.Store(int64(slots))
+}
+
+// SetOverloaded mirrors the scheduler's admission overload state (PR
+// 10): the bounded queue at its bound, or a deadline shed within the
+// last window. /readyz answers 503 with a Retry-After signal while set.
+func (r *Registry) SetOverloaded(overloaded bool) {
+	if r == nil {
+		return
+	}
+	r.overloaded.Store(b2i(overloaded))
+}
+
+// SetBrownout publishes the scheduler's brown-out degradation level
+// (0 = healthy, 1 = speculation dropped, 2 = prefill share halved too).
+func (r *Registry) SetBrownout(level int) {
+	if r == nil {
+		return
+	}
+	r.brownout.Store(int64(level))
 }
 
 // SetPrefixCache publishes the shared-prefix trie's occupancy: entries

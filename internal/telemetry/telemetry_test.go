@@ -24,8 +24,11 @@ func TestPromExposition(t *testing.T) {
 	}
 	r.ObserveBatchWidth(4)
 	r.ObserveQueueDepth(3)
+	r.ObserveQueueWait(5 * time.Millisecond)
 	r.SetReady(true)
 	r.SetPressure(2, 4, 8)
+	r.SetOverloaded(true)
+	r.SetBrownout(2)
 
 	m := r.RegisterStage(`node"1\x`)
 	m.Open(0)
@@ -41,7 +44,7 @@ func TestPromExposition(t *testing.T) {
 	ring.Record(time.Millisecond, trace.FlightLaunch, 1, 3)
 
 	r.SetStatsFn(func() engine.Stats {
-		return engine.Stats{Generated: 42, RunsLaunched: 9, BreakerTrips: 1}
+		return engine.Stats{Generated: 42, RunsLaunched: 9, BreakerTrips: 1, Sheds: 3, Overloads: 2, DeadlineHits: 5, DeadlineMisses: 1}
 	})
 
 	var sb strings.Builder
@@ -68,6 +71,14 @@ func TestPromExposition(t *testing.T) {
 		"pipeinfer_generated_tokens_total 42",
 		"pipeinfer_runs_launched_total 9",
 		"pipeinfer_breaker_trips_total 1",
+		"pipeinfer_overloaded 1",
+		"pipeinfer_brownout_level 2",
+		`pipeinfer_queue_wait_seconds{quantile="0.5"}`,
+		"pipeinfer_queue_wait_seconds_count 1",
+		"pipeinfer_shed_deadline_total 3",
+		"pipeinfer_shed_overload_total 2",
+		"pipeinfer_deadline_hits_total 5",
+		"pipeinfer_deadline_misses_total 1",
 		"# TYPE pipeinfer_ttft_seconds summary",
 		"# TYPE pipeinfer_stage_busy_fraction gauge",
 	} {
@@ -99,9 +110,12 @@ func TestNilRegistry(t *testing.T) {
 	r.ObserveRunService(time.Second)
 	r.ObserveBatchWidth(2)
 	r.ObserveQueueDepth(2)
+	r.ObserveQueueWait(time.Second)
 	r.SetReady(true)
 	r.SetTripped(true)
 	r.SetPressure(1, 2, 3)
+	r.SetOverloaded(true)
+	r.SetBrownout(1)
 	if m := r.RegisterStage("x"); m != nil {
 		t.Fatal("nil registry returned a meter")
 	}
@@ -163,6 +177,31 @@ func TestHealthEndpoints(t *testing.T) {
 		t.Fatalf("readyz full-but-unqueued: %d", code)
 	}
 
+	// Overloaded admission (bounded queue at bound or recent shed, PR
+	// 10): readyz answers 503 with a Retry-After back-off hint, healthz
+	// stays green (the process is fine, it is just refusing work), and
+	// recovery restores 200.
+	r.SetOverloaded(true)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("readyz when overloaded: %d %q", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("overloaded readyz response missing Retry-After")
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz when overloaded: %d", code)
+	}
+	r.SetOverloaded(false)
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz after overload recovery: %d", code)
+	}
+
 	// Breaker trip fails both.
 	r.SetTripped(true)
 	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "breaker") {
@@ -177,11 +216,11 @@ func TestHealthEndpoints(t *testing.T) {
 	}
 
 	// /metrics serves the exposition with the right content type.
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	body, _ = io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
 		t.Fatalf("metrics content type %q", ct)

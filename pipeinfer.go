@@ -87,8 +87,19 @@ func ReferenceGreedy(opts GenerateOptions, maxNew int) ([]Token, error) {
 type ServeRequest = serve.Request
 
 // ServeResult is one served request's outcome (tokens plus per-session
-// §V-A metrics).
+// §V-A metrics). A request that was not served — invalid, refused by
+// admission control, or shed on an unmeetable TTFT deadline — carries a
+// sentinel-wrapped error instead of tokens; no request settles silently.
 type ServeResult = serve.Result
+
+// Sentinel errors a ServeResult.Err wraps (match with errors.Is): an
+// invalid request, one refused by overload admission control, and one
+// shed because its TTFT deadline became provably unmeetable.
+var (
+	ErrServeInvalid    = serve.ErrInvalid
+	ErrServeOverloaded = serve.ErrOverloaded
+	ErrServeShed       = serve.ErrShedDeadline
+)
 
 // ServeOptions configures a real-compute serving run: N concurrent
 // requests multiplexed over one shared pipeline with continuous session
